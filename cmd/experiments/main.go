@@ -1,0 +1,67 @@
+// Command experiments regenerates the reconstructed evaluation: every
+// figure (F1–F5) and table (T1–T5) of DESIGN.md, from freshly trained
+// models. Use -run to regenerate a single experiment and -markdown to emit
+// the EXPERIMENTS.md body.
+//
+//	experiments                 # run everything, text tables to stdout
+//	experiments -run F3         # just the recovery-latency figure
+//	experiments -markdown > out # markdown for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "experiment id to run (F1..F5, T1..T5, A1..A9); empty runs all")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of text tables")
+	csvDir := flag.String("csvdir", "", "when set, additionally write every table as CSV into this directory")
+	seed := flag.Int64("seed", 1, "zoo base seed (controls training and scenarios)")
+	flag.Parse()
+
+	z := experiments.NewZoo(*seed)
+	if *csvDir != "" {
+		if err := experiments.WriteCSVs(z, *runID, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV tables written to %s\n", *csvDir)
+		return
+	}
+	var err error
+	switch {
+	case *runID == "" && !*markdown:
+		err = experiments.RunAllAndPrint(z, os.Stdout)
+	case *runID == "" && *markdown:
+		for _, e := range experiments.All() {
+			var md string
+			md, err = experiments.Markdown(e, z)
+			if err != nil {
+				break
+			}
+			fmt.Println(md)
+		}
+	default:
+		var e experiments.Experiment
+		e, err = experiments.ByID(*runID)
+		if err == nil {
+			if *markdown {
+				var md string
+				md, err = experiments.Markdown(e, z)
+				if err == nil {
+					fmt.Println(md)
+				}
+			} else {
+				err = experiments.RunAndPrint(e, z, os.Stdout)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

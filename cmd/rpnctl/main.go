@@ -1,0 +1,335 @@
+// Command rpnctl is the operator CLI of the reversible-pruning stack: it
+// trains the perception models, designs and saves deployment bundles
+// (weights + calibrated level library), inspects them, and evaluates levels.
+//
+// Usage:
+//
+//	rpnctl train    -task obstacle|sign -out model.bin [-epochs N] [-seed S]
+//	rpnctl bundle   -task obstacle|sign -model model.bin -out bundle.rrp [-targets 0.95,0.9,0.85,0.77]
+//	rpnctl info     -bundle bundle.rrp
+//	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N
+//	rpnctl sensitivity -task obstacle|sign -model model.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/prune"
+	"repro/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "bundle":
+		err = cmdBundle(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "sensitivity":
+		err = cmdSensitivity(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rpnctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpnctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rpnctl <command> [flags]
+
+commands:
+  train        train a perception model and save its weights
+  bundle       design a level library and save a deployment bundle
+  info         print a bundle's level library
+  eval         evaluate a bundle at a given level
+  sensitivity  per-layer pruning sensitivity analysis`)
+}
+
+// task bundles the per-task model builder, dataset, and evaluator.
+type task struct {
+	name  string
+	build func(seed int64) *nn.Sequential
+	data  func(seed int64) *dataset.Dataset
+}
+
+func taskByName(name string) (task, error) {
+	switch name {
+	case "obstacle":
+		return task{
+			name:  "obstacle",
+			build: experiments.NewObstacleNet,
+			data: func(seed int64) *dataset.Dataset {
+				return dataset.Obstacles(dataset.ObstacleConfig{
+					N: 3000, Size: 16,
+					NoiseMin: 0.05, NoiseMax: 0.2,
+					MinRadius: 1.5, MaxRadius: 4.5,
+					ContrastMin: 0.7, ContrastMax: 1.0,
+					Seed: seed,
+				})
+			},
+		}, nil
+	case "sign":
+		return task{
+			name:  "sign",
+			build: experiments.NewSignNet,
+			data: func(seed int64) *dataset.Dataset {
+				return dataset.Signs(dataset.DefaultSignConfig(2400, seed))
+			},
+		}, nil
+	default:
+		return task{}, fmt.Errorf("unknown task %q (want obstacle or sign)", name)
+	}
+}
+
+func (t task) split(seed int64) (trainSet, testSet *dataset.Dataset) {
+	return t.data(seed+1).Split(0.8, seed+2)
+}
+
+func (t task) evaluator(testSet *dataset.Dataset) func(*nn.Sequential) float64 {
+	return func(m *nn.Sequential) float64 {
+		_, acc := train.Evaluate(m, testSet.X, testSet.Labels, 128)
+		return acc
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	taskName := fs.String("task", "obstacle", "perception task: obstacle or sign")
+	out := fs.String("out", "model.bin", "output weights file")
+	epochs := fs.Int("epochs", 10, "training epochs")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	t, err := taskByName(*taskName)
+	if err != nil {
+		return err
+	}
+	tr, te := t.split(*seed)
+	model := t.build(*seed + 3)
+	fmt.Printf("training %s model (%d params) on %d samples…\n", t.name, model.ParamCount(), tr.Len())
+	res := train.Fit(model, tr.X, tr.Labels, train.Config{
+		Epochs:    *epochs,
+		BatchSize: 32,
+		Optimizer: train.NewAdam(0.003, 0),
+		Seed:      *seed + 4,
+		Log:       os.Stdout,
+	})
+	acc := t.evaluator(te)(model)
+	fmt.Printf("final train acc %.4f, test acc %.4f\n", res.FinalAccuracy(), acc)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.SaveModel(f); err != nil {
+		return err
+	}
+	fmt.Printf("model (architecture + weights) saved to %s\n", *out)
+	return nil
+}
+
+func loadModel(path string) (*nn.Sequential, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.LoadModel("model", f)
+}
+
+func cmdBundle(args []string) error {
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	taskName := fs.String("task", "obstacle", "perception task: obstacle or sign")
+	modelPath := fs.String("model", "model.bin", "trained weights file (from rpnctl train)")
+	out := fs.String("out", "bundle.rrp", "output deployment bundle")
+	targetsStr := fs.String("targets", "", "comma-separated accuracy targets (default: dense − {0.005,0.03,0.07,0.15})")
+	seed := fs.Int64("seed", 1, "random seed (must match training)")
+	fs.Parse(args)
+
+	t, err := taskByName(*taskName)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	_, te := t.split(*seed)
+	eval := t.evaluator(te)
+
+	var targets []float64
+	if *targetsStr == "" {
+		dense := eval(model)
+		for _, d := range experiments.DefaultAccuracyDrops {
+			targets = append(targets, dense-d)
+		}
+	} else {
+		for _, s := range strings.Split(*targetsStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad target %q: %w", s, err)
+			}
+			targets = append(targets, v)
+		}
+	}
+	fmt.Printf("designing levels for accuracy targets %v…\n", targets)
+	levels, err := core.DesignLevels(model, prune.MagnitudeGlobal{}, eval, targets)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("designed sparsities: %v\n", levels)
+
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(model, levels)
+	if err != nil {
+		return err
+	}
+	rm, err := core.Build(model, plans)
+	if err != nil {
+		return err
+	}
+	if err := rm.Calibrate(eval); err != nil {
+		return err
+	}
+	spec := platform.EmbeddedCPU()
+	for i := 0; i < rm.NumLevels(); i++ {
+		if err := rm.ApplyLevel(i); err != nil {
+			return err
+		}
+		c := spec.Estimate(model)
+		rm.SetCost(i, c.LatencyMS, c.EnergyMJ)
+	}
+	if err := rm.RestoreFull(); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rm.SaveSelfContained(f); err != nil {
+		return err
+	}
+	fmt.Printf("bundle saved to %s (store overhead %d bytes)\n", *out, rm.StoreBytes())
+	printLevels(rm)
+	return nil
+}
+
+func loadBundle(path string) (*nn.Sequential, *core.ReversibleModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rm, err := core.LoadSelfContained("model", f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rm.Model(), rm, nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	bundlePath := fs.String("bundle", "bundle.rrp", "deployment bundle")
+	fs.Parse(args)
+
+	model, rm, err := loadBundle(*bundlePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s: %d params, %d-byte checkpoint\n", model.Name(), model.ParamCount(), model.WeightsSize())
+	fmt.Printf("recovery store: %d bytes (%d displaced weights)\n", rm.StoreBytes(), rm.StoredWeights())
+	printLevels(rm)
+	return nil
+}
+
+func printLevels(rm *core.ReversibleModel) {
+	tb := metrics.NewTable("level library", "level", "sparsity", "accuracy", "latency ms", "energy mJ")
+	for _, l := range rm.Levels() {
+		tb.AddRow(l.Name, metrics.Pct(l.Sparsity), metrics.F(l.Accuracy, 4),
+			metrics.F(l.LatencyMS, 3), metrics.F(l.EnergyMJ, 4))
+	}
+	fmt.Print(tb.String())
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	taskName := fs.String("task", "obstacle", "perception task: obstacle or sign")
+	bundlePath := fs.String("bundle", "bundle.rrp", "deployment bundle")
+	level := fs.Int("level", 0, "level to evaluate")
+	seed := fs.Int64("seed", 1, "random seed (must match training)")
+	fs.Parse(args)
+
+	t, err := taskByName(*taskName)
+	if err != nil {
+		return err
+	}
+	model, rm, err := loadBundle(*bundlePath)
+	if err != nil {
+		return err
+	}
+	if err := rm.ApplyLevel(*level); err != nil {
+		return err
+	}
+	_, te := t.split(*seed)
+	acc := t.evaluator(te)(model)
+	fmt.Printf("level L%d (sparsity %s): live test accuracy %.4f (calibrated %.4f)\n",
+		*level, metrics.Pct(rm.Level(*level).Sparsity), acc, rm.Level(*level).Accuracy)
+	return nil
+}
+
+func cmdSensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	taskName := fs.String("task", "obstacle", "perception task: obstacle or sign")
+	modelPath := fs.String("model", "model.bin", "trained weights file")
+	seed := fs.Int64("seed", 1, "random seed (must match training)")
+	fs.Parse(args)
+
+	t, err := taskByName(*taskName)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	_, te := t.split(*seed)
+	eval := t.evaluator(te)
+	results, err := prune.Sensitivity(model, []float64{0.3, 0.6, 0.9}, func() float64 { return eval(model) })
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable("per-layer pruning sensitivity (most sensitive first)",
+		"parameter", "acc @30%", "acc @60%", "acc @90%", "drop")
+	for _, r := range results {
+		tb.AddRow(r.Param,
+			metrics.F(r.Accuracy[0], 4), metrics.F(r.Accuracy[1], 4), metrics.F(r.Accuracy[2], 4),
+			metrics.F(r.Drop(), 4))
+	}
+	fmt.Print(tb.String())
+	return nil
+}

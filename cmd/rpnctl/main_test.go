@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIEndToEnd exercises the full operator workflow: train → bundle →
+// info → eval → sensitivity, through the real command entry points and
+// real files.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end skipped in -short mode")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	bundlePath := filepath.Join(dir, "bundle.rrp")
+
+	if err := cmdTrain([]string{"-task", "obstacle", "-out", modelPath, "-epochs", "4", "-seed", "1"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdBundle([]string{"-task", "obstacle", "-model", modelPath, "-out", bundlePath, "-seed", "1"}); err != nil {
+		t.Fatalf("bundle: %v", err)
+	}
+	if err := cmdInfo([]string{"-bundle", bundlePath}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := cmdEval([]string{"-task", "obstacle", "-bundle", bundlePath, "-level", "1", "-seed", "1"}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := cmdSensitivity([]string{"-task", "obstacle", "-model", modelPath, "-seed", "1"}); err != nil {
+		t.Fatalf("sensitivity: %v", err)
+	}
+}
+
+func TestCLIExplicitTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end skipped in -short mode")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	bundlePath := filepath.Join(dir, "bundle.rrp")
+	if err := cmdTrain([]string{"-task", "obstacle", "-out", modelPath, "-epochs", "3", "-seed", "2"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdBundle([]string{"-task", "obstacle", "-model", modelPath, "-out", bundlePath,
+		"-seed", "2", "-targets", "0.9,0.8,0.7"}); err != nil {
+		t.Fatalf("bundle with targets: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdTrain([]string{"-task", "bogus"}); err == nil {
+		t.Error("bogus task accepted")
+	}
+	if err := cmdInfo([]string{"-bundle", "/nonexistent/bundle.rrp"}); err == nil {
+		t.Error("missing bundle accepted")
+	}
+	if err := cmdBundle([]string{"-task", "obstacle", "-model", "/nonexistent/model.bin"}); err == nil {
+		t.Error("missing model accepted")
+	}
+}

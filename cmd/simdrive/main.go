@@ -1,0 +1,150 @@
+// Command simdrive runs one driving scenario through the closed
+// perception/adaptation loop and prints the adaptation timeline: what the
+// safety monitor saw, what the governor did, and what it cost.
+//
+//	simdrive -scenario cut-in -policy hysteresis
+//	simdrive -scenario pedestrian-fog -policy threshold -csv timeline.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/governor"
+	"repro/internal/metrics"
+	"repro/internal/perception"
+	"repro/internal/platform"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+func main() {
+	scenarioName := flag.String("scenario", "cut-in", "scenario: highway-cruise, urban-traffic, cut-in, pedestrian, sensor-degradation, pedestrian-fog")
+	policyName := flag.String("policy", "hysteresis", "governor policy: static-dense, static-deep, threshold, hysteresis, predictive")
+	seed := flag.Int64("seed", 42, "world seed")
+	csvPath := flag.String("csv", "", "optional path to write the per-tick timeline as CSV")
+	every := flag.Int("every", 100, "print one timeline row every N ticks")
+	flag.Parse()
+
+	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every); err != nil {
+		fmt.Fprintln(os.Stderr, "simdrive:", err)
+		os.Exit(1)
+	}
+}
+
+func findScenario(name string) (sim.Scenario, error) {
+	for _, sc := range sim.AllScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	var names []string
+	for _, sc := range sim.AllScenarios() {
+		names = append(names, sc.Name)
+	}
+	return sim.Scenario{}, fmt.Errorf("unknown scenario %q (have %v)", name, names)
+}
+
+func run(scenarioName, policyName string, seed int64, csvPath string, every int) error {
+	sc, err := findScenario(scenarioName)
+	if err != nil {
+		return err
+	}
+	fmt.Println("training perception model (deterministic, ~seconds)…")
+	z := experiments.NewZoo(1)
+	spec := platform.EmbeddedCPU()
+	model, rm, err := z.ObstacleStack(nil, spec)
+	if err != nil {
+		return err
+	}
+
+	var gov *governor.Governor
+	switch policyName {
+	case "static-dense":
+		// No governor; model stays dense.
+	case "static-deep":
+		if err := rm.ApplyLevel(rm.NumLevels() - 1); err != nil {
+			return err
+		}
+	case "threshold":
+		gov, err = governor.New(rm, governor.Threshold{}, safety.DefaultContract(), governor.WithTrace())
+	case "hysteresis":
+		gov, err = governor.New(rm, &governor.Hysteresis{DwellTicks: 20}, safety.DefaultContract(), governor.WithTrace())
+	case "predictive":
+		gov, err = governor.New(rm, &governor.Predictive{}, safety.DefaultContract(), governor.WithTrace())
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := perception.RunScenario(sc, model, rm, perception.LoopConfig{
+		FrameSize: 16,
+		Spec:      spec,
+		Governor:  gov,
+		Record:    true,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("timeline: %s under %s (every %d ticks)", sc.Name, policyName, every),
+		"tick", "ttc s", "score", "class", "level", "truth", "detected",
+	)
+	rec := res.Recorder
+	for tick := 0; tick < res.Ticks; tick += every {
+		ttc := rec.Series("ttc")[tick]
+		ttcStr := "∞"
+		if ttc >= 0 {
+			ttcStr = metrics.F(ttc, 2)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", tick),
+			ttcStr,
+			metrics.F(rec.Series("score")[tick], 3),
+			safety.Criticality(int(rec.Series("class")[tick])).String(),
+			fmt.Sprintf("L%d", int(rec.Series("level")[tick])),
+			metrics.F(rec.Series("truth")[tick], 0),
+			metrics.F(rec.Series("detected")[tick], 0),
+		)
+	}
+	fmt.Print(tb.String())
+
+	sum := metrics.NewTable("run summary", "metric", "value")
+	sum.AddRow("ticks", fmt.Sprintf("%d", res.Ticks))
+	sum.AddRow("collided", fmt.Sprintf("%v", res.Collided))
+	sum.AddRow("obstacle frames", fmt.Sprintf("%d", res.ObstacleTicks))
+	sum.AddRow("missed", fmt.Sprintf("%d", res.Missed))
+	sum.AddRow("missed critical", fmt.Sprintf("%d", res.MissedCritical))
+	sum.AddRow("false alarms", fmt.Sprintf("%d", res.FalseAlarms))
+	sum.AddRow("level switches", fmt.Sprintf("%d", res.Switches))
+	sum.AddRow("contract violations", fmt.Sprintf("%d", res.Violations))
+	sum.AddRow("mean level", metrics.F(res.MeanLevel, 2))
+	sum.AddRow("energy (mJ)", metrics.F(res.EnergyMJ, 2))
+	detected := 0
+	var gaps []float64
+	for _, g := range res.DetectionGaps {
+		if g >= 0 {
+			detected++
+			gaps = append(gaps, g)
+		}
+	}
+	sum.AddRow("obstacle episodes detected", fmt.Sprintf("%d/%d", detected, len(res.DetectionGaps)))
+	if len(gaps) > 0 {
+		sum.AddRow("median detection distance (m)", metrics.F(metrics.Percentile(gaps, 50), 1))
+	}
+	fmt.Print(sum.String())
+
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(res.Recorder.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("timeline CSV written to %s\n", csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindScenario(t *testing.T) {
+	if _, err := findScenario("cut-in"); err != nil {
+		t.Error(err)
+	}
+	if _, err := findScenario("nope"); err == nil {
+		t.Error("unknown scenario accepted")
+	} else if !strings.Contains(err.Error(), "cut-in") {
+		t.Error("error does not list valid names")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simdrive end-to-end skipped in -short mode")
+	}
+	csvPath := filepath.Join(t.TempDir(), "timeline.csv")
+	if err := run("cut-in", "hysteresis", 42, csvPath, 500); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "tick,") {
+		t.Errorf("timeline CSV malformed: %q", string(data[:40]))
+	}
+	if err := run("cut-in", "bogus", 1, "", 500); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	// All remaining policies at least construct and run.
+	for _, p := range []string{"static-dense", "static-deep", "threshold", "predictive"} {
+		if err := run("highway-cruise", p, 1, "", 1000); err != nil {
+			t.Errorf("policy %s: %v", p, err)
+		}
+	}
+}

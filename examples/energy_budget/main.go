@@ -1,0 +1,106 @@
+// Energy budget: sweep every static level and the adaptive policies over a
+// demanding mixed scenario set, and print the energy/safety frontier a
+// deployment engineer would use to pick an operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("training obstacle model and designing level library…")
+	zoo := experiments.NewZoo(1)
+	spec := revprune.EmbeddedCPU()
+	scenarios := []revprune.Scenario{
+		revprune.UrbanTraffic(),
+		revprune.CutIn(),
+		revprune.SensorDegradation(),
+	}
+
+	type rowFn func() (*revprune.Sequential, *revprune.ReversibleModel, *revprune.Governor, error)
+	mkStatic := func(level int) rowFn {
+		return func() (*revprune.Sequential, *revprune.ReversibleModel, *revprune.Governor, error) {
+			model, rm, err := zoo.ObstacleStack(nil, spec)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if err := rm.ApplyLevel(level); err != nil {
+				return nil, nil, nil, err
+			}
+			return model, rm, nil, nil
+		}
+	}
+	mkAdaptive := func(policy func() revprune.Policy) rowFn {
+		return func() (*revprune.Sequential, *revprune.ReversibleModel, *revprune.Governor, error) {
+			model, rm, err := zoo.ObstacleStack(nil, spec)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			gov, err := revprune.NewGovernor(rm, policy(), revprune.DefaultContract())
+			return model, rm, gov, err
+		}
+	}
+
+	_, probe, err := zoo.ObstacleStack(nil, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := []struct {
+		name string
+		mk   rowFn
+	}{}
+	for i := 0; i < probe.NumLevels(); i++ {
+		rows = append(rows, struct {
+			name string
+			mk   rowFn
+		}{fmt.Sprintf("static L%d (%.0f%%)", i, 100*probe.Level(i).Sparsity), mkStatic(i)})
+	}
+	rows = append(rows,
+		struct {
+			name string
+			mk   rowFn
+		}{"adaptive threshold", mkAdaptive(func() revprune.Policy { return revprune.Threshold{} })},
+		struct {
+			name string
+			mk   rowFn
+		}{"adaptive hysteresis", mkAdaptive(func() revprune.Policy { return &revprune.Hysteresis{DwellTicks: 20} })},
+	)
+
+	fmt.Printf("\n%-22s %12s %8s %10s %12s %10s\n",
+		"deployment", "energy (mJ)", "missed", "violations", "false alarms", "collisions")
+	for _, r := range rows {
+		var energy float64
+		var missed, violations, falseAlarms, collisions int
+		for _, sc := range scenarios {
+			model, rm, gov, err := r.mk()
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := revprune.RunScenario(sc, model, rm, revprune.LoopConfig{
+				FrameSize: 16,
+				Spec:      spec,
+				Governor:  gov,
+				Seed:      9,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			energy += res.EnergyMJ
+			missed += res.Missed
+			violations += res.Violations
+			falseAlarms += res.FalseAlarms
+			if res.Collided {
+				collisions++
+			}
+		}
+		fmt.Printf("%-22s %12.1f %8d %10d %12d %10d\n",
+			r.name, energy, missed, violations, falseAlarms, collisions)
+	}
+	fmt.Println("\nreading the frontier: static-deep is cheapest but violates the quality")
+	fmt.Println("contract whenever criticality rises; the adaptive rows hold the contract")
+	fmt.Println("at nearly the same energy — that is the reversible-pruning win.")
+}

@@ -1,0 +1,69 @@
+// Precision ladder: the reversible quantization knob alongside reversible
+// pruning. A quantizer keeps a full-precision shadow master and rounds the
+// live weights to 16/8/4-bit grids on demand — the gentler companion to
+// pruning's sparsity ladder, and the energy-budget policy rides the prune
+// ladder when joules run short.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("training obstacle model…")
+	zoo := experiments.NewZoo(1)
+	spec := revprune.EmbeddedCPU()
+
+	// The quantization ladder.
+	model := zoo.CloneObstacle()
+	q, err := revprune.BuildQuantizer(model, []int{16, 8, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.Calibrate(zoo.ObstacleEval()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-6s %10s %12s\n", "level", "accuracy", "energy (mJ)")
+	for i := 0; i < q.NumLevels(); i++ {
+		if err := q.ApplyLevel(i); err != nil {
+			log.Fatal(err)
+		}
+		cost := spec.PrecisionScaled(q.Level(i).Bits).Estimate(model)
+		fmt.Printf("%-6s %10.4f %12.4f\n", q.Level(i).Name, q.Level(i).Accuracy, cost.EnergyMJ)
+	}
+	if err := q.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	if err := q.VerifyMaster(); err != nil {
+		log.Fatal("quantization not reversible: ", err)
+	}
+	fmt.Println("\nfull precision restored bit-exactly ✓")
+
+	// An energy-starved mission under the budget policy: the governor digs
+	// deep to stay within the joule allowance but still snaps dense on the
+	// cut-in.
+	pModel, rm, err := zoo.ObstacleStack(nil, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := &revprune.EnergyBudget{BudgetPerTickMJ: rm.Level(rm.NumLevels()-1).EnergyMJ * 1.1}
+	gov, err := revprune.NewGovernor(rm, budget, revprune.DefaultContract())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := revprune.RunScenario(revprune.CutIn(), pModel, rm, revprune.LoopConfig{
+		FrameSize: 16,
+		Spec:      spec,
+		Governor:  gov,
+		Seed:      5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenergy-budget mission: spent %.1f mJ over %d ticks (allowance %.1f), mean level %.2f, violations %d, collided %v\n",
+		res.EnergyMJ, res.Ticks, budget.BudgetPerTickMJ*float64(res.Ticks), res.MeanLevel, res.Violations, res.Collided)
+}

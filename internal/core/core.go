@@ -1,0 +1,472 @@
+// Package core implements the paper's primary contribution: reversible
+// runtime neural-network pruning ("back to the future").
+//
+// A ReversibleModel wraps a trained network together with a library of
+// nested pruning levels L0 (dense) … Ln (sparsest) and a compact recovery
+// store. Deepening to a sparser level zeroes exactly the weights that level
+// additionally prunes; reverting to a denser level writes the displaced
+// original values back from the store. Both directions cost O(#changed
+// weights) float32 copies — microseconds for the models in this repository —
+// instead of the seconds (full checkpoint reload) or minutes-to-hours
+// (retraining) that conventional irreversible pruning needs to recover
+// accuracy.
+//
+// Because the levels are nested (each level's pruned set contains the
+// previous one's), the store holds every displaced weight exactly once: the
+// total store size equals the number of weights pruned at the deepest
+// level, independent of how many levels exist. This is the memory-overhead
+// result reproduced by experiment T1.
+//
+// The package is deliberately independent of *why* levels are switched;
+// the runtime policy lives in internal/governor.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+)
+
+// Level is one entry of the pruning-level library, with the calibration
+// data the runtime governor uses for decision making.
+type Level struct {
+	// ID is the level index: 0 is dense, higher is sparser.
+	ID int
+	// Name is "L0", "L1", ….
+	Name string
+	// Plan holds the masks defining this level; nil for the dense level.
+	Plan *prune.Plan
+	// Sparsity is the achieved weight sparsity over prunable parameters.
+	Sparsity float64
+	// Accuracy is the calibrated task accuracy at this level, filled by
+	// Calibrate. The governor treats it as this level's quality contract.
+	Accuracy float64
+	// LatencyMS is the per-inference latency estimate in milliseconds,
+	// filled by SetCost.
+	LatencyMS float64
+	// EnergyMJ is the per-inference energy estimate in millijoules.
+	EnergyMJ float64
+}
+
+// delta records, for one parameter, the weights additionally pruned when
+// deepening into a level, along with their displaced dense values. Values
+// are held either exactly (float32) or half-precision compressed
+// (bfloat16-style, high 16 bits of the float32 pattern), trading bit-exact
+// reversal for half the store memory.
+type delta struct {
+	param    string
+	indices  []int32
+	values   []float32 // exact store (nil when compressed)
+	values16 []uint16  // compressed store (nil when exact)
+}
+
+// value returns the stored displaced weight j of the delta.
+func (d *delta) value(j int) float32 {
+	if d.values != nil {
+		return d.values[j]
+	}
+	return math.Float32frombits(uint32(d.values16[j]) << 16)
+}
+
+// capture stores the displaced weight j.
+func (d *delta) capture(j int, v float32) {
+	if d.values != nil {
+		d.values[j] = v
+		return
+	}
+	d.values16[j] = uint16(math.Float32bits(v) >> 16)
+}
+
+// count returns the number of displaced weights held.
+func (d *delta) count() int {
+	if d.values != nil {
+		return len(d.values)
+	}
+	return len(d.values16)
+}
+
+// bytesPerValue returns the storage cost of one displaced value.
+func (d *delta) bytesPerValue() int64 {
+	if d.values != nil {
+		return 4
+	}
+	return 2
+}
+
+// TransitionStats counts runtime level-transition work.
+type TransitionStats struct {
+	// Transitions is the number of completed ApplyLevel calls that changed
+	// level.
+	Transitions int
+	// Deepen and Revert split Transitions by direction.
+	Deepen, Revert int
+	// WeightsZeroed and WeightsRestored count individual weight writes.
+	WeightsZeroed, WeightsRestored int64
+}
+
+// ReversibleModel is a network with an attached level library and recovery
+// store. It is not safe for concurrent use; a perception pipeline owns one.
+type ReversibleModel struct {
+	model   *nn.Sequential
+	levels  []*Level
+	deltas  [][]delta // deltas[i] moves level i-1 → i, for i ≥ 1
+	current int
+	hash0   uint64 // FNV-64a of dense prunable weights at Build time
+	lossy   bool   // half-precision recovery store
+	stats   TransitionStats
+}
+
+// BuildOption configures Build.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	halfPrecision bool
+}
+
+// WithHalfPrecisionStore halves the recovery store's value memory by
+// keeping displaced weights as bfloat16 (upper 16 bits of the float32
+// pattern). Restoration is then approximate — typically indistinguishable
+// in task accuracy, but no longer bit-exact, so VerifyDense is unavailable
+// on such models. Experiment T1 quantifies the memory/fidelity tradeoff.
+func WithHalfPrecisionStore() BuildOption {
+	return func(c *buildConfig) { c.halfPrecision = true }
+}
+
+// Build wraps model with the given nested pruning plans. The model must be
+// in its dense (unpruned) state: the plans' masks are validated for
+// nesting, the displaced weights are captured into the recovery store, and
+// the model is left at L0.
+//
+// plans[i] must nest into plans[i+1] (every weight pruned at level i+1 is
+// also pruned at level i+2…); prune.Method implementations produce such
+// families via PlanNested.
+func Build(model *nn.Sequential, plans []*prune.Plan, opts ...BuildOption) (*ReversibleModel, error) {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: Build with nil model")
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("core: Build with no pruning plans")
+	}
+	for i := 0; i < len(plans)-1; i++ {
+		if !plans[i].Nests(plans[i+1]) {
+			return nil, fmt.Errorf("core: plan %d (sparsity %.3f) does not nest into plan %d (sparsity %.3f)",
+				i, plans[i].Sparsity, i+1, plans[i+1].Sparsity)
+		}
+	}
+	for i, p := range plans {
+		for name, mask := range p.Masks {
+			param := model.Param(name)
+			if param == nil {
+				return nil, fmt.Errorf("core: plan %d references unknown parameter %q", i, name)
+			}
+			if param.Value.Len() != mask.Len() {
+				return nil, fmt.Errorf("core: plan %d mask for %q has %d bits, parameter has %d weights",
+					i, name, mask.Len(), param.Value.Len())
+			}
+		}
+	}
+
+	rm := &ReversibleModel{model: model, hash0: hashPrunable(model), lossy: cfg.halfPrecision}
+	rm.levels = append(rm.levels, &Level{ID: 0, Name: "L0"})
+	rm.deltas = append(rm.deltas, nil) // deltas[0] unused
+
+	prevMasks := map[string]*prune.Mask{}
+	for i, p := range plans {
+		lvl := &Level{
+			ID:       i + 1,
+			Name:     fmt.Sprintf("L%d", i+1),
+			Plan:     p,
+			Sparsity: p.AchievedSparsity(model),
+		}
+		var ds []delta
+		for _, name := range sortedMaskNames(p.Masks) {
+			mask := p.Masks[name]
+			prev := prevMasks[name]
+			if prev == nil {
+				prev = prune.NewMask(mask.Len())
+			}
+			idx := prev.Diff(mask)
+			if len(idx) == 0 {
+				continue
+			}
+			d := delta{param: name, indices: make([]int32, len(idx))}
+			if cfg.halfPrecision {
+				d.values16 = make([]uint16, len(idx))
+			} else {
+				d.values = make([]float32, len(idx))
+			}
+			w := model.Param(name).Value.Data()
+			for j, k := range idx {
+				d.indices[j] = int32(k)
+				d.capture(j, w[k])
+			}
+			ds = append(ds, d)
+		}
+		rm.deltas = append(rm.deltas, ds)
+		rm.levels = append(rm.levels, lvl)
+		for name, mask := range p.Masks {
+			prevMasks[name] = mask
+		}
+	}
+	return rm, nil
+}
+
+// Model returns the live network. Its weights reflect the current level.
+func (rm *ReversibleModel) Model() *nn.Sequential { return rm.model }
+
+// NumLevels returns the library size including the dense level L0.
+func (rm *ReversibleModel) NumLevels() int { return len(rm.levels) }
+
+// Current returns the active level index.
+func (rm *ReversibleModel) Current() int { return rm.current }
+
+// Level returns the metadata of level i.
+func (rm *ReversibleModel) Level(i int) *Level {
+	if i < 0 || i >= len(rm.levels) {
+		panic(fmt.Sprintf("core: level %d out of range [0,%d)", i, len(rm.levels)))
+	}
+	return rm.levels[i]
+}
+
+// Levels returns the level metadata slice (shared; do not mutate entries'
+// identity fields).
+func (rm *ReversibleModel) Levels() []*Level { return rm.levels }
+
+// Stats returns a copy of the accumulated transition statistics.
+func (rm *ReversibleModel) Stats() TransitionStats { return rm.stats }
+
+// ResetStats zeroes the transition statistics.
+func (rm *ReversibleModel) ResetStats() { rm.stats = TransitionStats{} }
+
+// ApplyLevel transitions the live model to the target level, deepening
+// (zeroing newly pruned weights) or reverting (restoring displaced values)
+// as needed. The cost is proportional to the number of weights that differ
+// between the current and target levels. ApplyLevel is a no-op for the
+// current level.
+func (rm *ReversibleModel) ApplyLevel(target int) error {
+	if target < 0 || target >= len(rm.levels) {
+		return fmt.Errorf("core: level %d out of range [0,%d)", target, len(rm.levels))
+	}
+	if target == rm.current {
+		return nil
+	}
+	if target > rm.current {
+		for l := rm.current + 1; l <= target; l++ {
+			for _, d := range rm.deltas[l] {
+				w := rm.model.Param(d.param).Value.Data()
+				for _, k := range d.indices {
+					w[k] = 0
+				}
+				rm.stats.WeightsZeroed += int64(len(d.indices))
+			}
+		}
+		rm.stats.Deepen++
+	} else {
+		for l := rm.current; l > target; l-- {
+			for di := range rm.deltas[l] {
+				d := &rm.deltas[l][di]
+				w := rm.model.Param(d.param).Value.Data()
+				for j, k := range d.indices {
+					w[k] = d.value(j)
+				}
+				rm.stats.WeightsRestored += int64(len(d.indices))
+			}
+		}
+		rm.stats.Revert++
+	}
+	rm.stats.Transitions++
+	rm.current = target
+	return nil
+}
+
+// RestoreFull is the safety-critical fast path: revert straight to the
+// dense level L0.
+func (rm *ReversibleModel) RestoreFull() error { return rm.ApplyLevel(0) }
+
+// WeightsChanged returns how many individual weights an ApplyLevel(from→to)
+// transition writes — the analytic transition-cost model behind experiment
+// T5.
+func (rm *ReversibleModel) WeightsChanged(from, to int) int64 {
+	if from < 0 || from >= len(rm.levels) || to < 0 || to >= len(rm.levels) {
+		panic(fmt.Sprintf("core: WeightsChanged(%d,%d) out of range [0,%d)", from, to, len(rm.levels)))
+	}
+	if from > to {
+		from, to = to, from
+	}
+	var n int64
+	for l := from + 1; l <= to; l++ {
+		for _, d := range rm.deltas[l] {
+			n += int64(len(d.indices))
+		}
+	}
+	return n
+}
+
+// StoreBytes returns the memory footprint of the recovery store: displaced
+// values plus their indices. This is the overhead reversibility costs over
+// an ordinary pruned deployment (experiment T1 compares it to per-level
+// full checkpoints).
+func (rm *ReversibleModel) StoreBytes() int64 {
+	var n int64
+	for _, ds := range rm.deltas {
+		for i := range ds {
+			n += int64(len(ds[i].indices))*4 + int64(ds[i].count())*ds[i].bytesPerValue()
+		}
+	}
+	return n
+}
+
+// StoredWeights returns the total number of displaced weights held by the
+// recovery store.
+func (rm *ReversibleModel) StoredWeights() int64 {
+	var n int64
+	for _, ds := range rm.deltas {
+		for i := range ds {
+			n += int64(ds[i].count())
+		}
+	}
+	return n
+}
+
+// Calibrate fills each level's Accuracy by applying it and running eval,
+// then returns the model to the level that was active. Calibration runs
+// offline, before deployment.
+func (rm *ReversibleModel) Calibrate(eval func(m *nn.Sequential) float64) error {
+	if eval == nil {
+		return fmt.Errorf("core: Calibrate with nil evaluator")
+	}
+	prev := rm.current
+	for i := range rm.levels {
+		if err := rm.ApplyLevel(i); err != nil {
+			return err
+		}
+		rm.levels[i].Accuracy = eval(rm.model)
+	}
+	return rm.ApplyLevel(prev)
+}
+
+// SetCost records the platform-model cost estimates for level i.
+func (rm *ReversibleModel) SetCost(i int, latencyMS, energyMJ float64) {
+	lvl := rm.Level(i)
+	lvl.LatencyMS = latencyMS
+	lvl.EnergyMJ = energyMJ
+}
+
+// VerifyDense checks, at L0, that the live prunable weights hash to the
+// value captured at Build time — the end-to-end reversibility integrity
+// check. Calling it at any other level is an error.
+func (rm *ReversibleModel) VerifyDense() error {
+	if rm.lossy {
+		return fmt.Errorf("core: VerifyDense unavailable with a half-precision store (restoration is approximate)")
+	}
+	if rm.current != 0 {
+		return fmt.Errorf("core: VerifyDense at level %d; restore to L0 first", rm.current)
+	}
+	if h := hashPrunable(rm.model); h != rm.hash0 {
+		return fmt.Errorf("core: dense weight hash mismatch: %#x != %#x (weights modified outside the level library?)", h, rm.hash0)
+	}
+	return nil
+}
+
+// CheckInvariants validates the live weights against the current level's
+// masks: every pruned position must be exactly zero. It is O(total
+// weights) and intended for tests and debugging.
+func (rm *ReversibleModel) CheckInvariants() error {
+	lvl := rm.levels[rm.current]
+	if lvl.Plan == nil {
+		return nil
+	}
+	for name, mask := range lvl.Plan.Masks {
+		w := rm.model.Param(name).Value.Data()
+		for i := range w {
+			if !mask.Keep(i) && w[i] != 0 {
+				return fmt.Errorf("core: level %s: %s[%d] = %v, want 0", lvl.Name, name, i, w[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Scrub re-enforces the current level's masks on the live weights: any
+// pruned position that is no longer exactly zero (memory corruption, a
+// stray write) is forced back to zero. It returns the number of weights
+// repaired. Scrub is the cheap periodic integrity action a deployed system
+// runs between the full VerifyDense audits; it cannot repair kept weights
+// (those need the dense checkpoint), but at deep levels the majority of
+// weight memory is store-covered.
+func (rm *ReversibleModel) Scrub() int64 {
+	lvl := rm.levels[rm.current]
+	if lvl.Plan == nil {
+		return 0
+	}
+	var repaired int64
+	for name, mask := range lvl.Plan.Masks {
+		w := rm.model.Param(name).Value.Data()
+		for i := range w {
+			if !mask.Keep(i) && w[i] != 0 {
+				w[i] = 0
+				repaired++
+			}
+		}
+	}
+	return repaired
+}
+
+// RefreshStore recaptures displaced weights from the current dense weights.
+// Call it after offline fine-tuning at L0 invalidates the captured values.
+// The model must be at L0.
+func (rm *ReversibleModel) RefreshStore() error {
+	if rm.current != 0 {
+		return fmt.Errorf("core: RefreshStore at level %d; restore to L0 first", rm.current)
+	}
+	for l := 1; l < len(rm.levels); l++ {
+		for di := range rm.deltas[l] {
+			d := &rm.deltas[l][di]
+			w := rm.model.Param(d.param).Value.Data()
+			for j, k := range d.indices {
+				d.capture(j, w[k])
+			}
+		}
+	}
+	rm.hash0 = hashPrunable(rm.model)
+	return nil
+}
+
+// hashPrunable hashes the prunable weights with FNV-64a, in parameter
+// order.
+func hashPrunable(model *nn.Sequential) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, p := range model.PrunableParams() {
+		for _, v := range p.Value.Data() {
+			bits := math.Float32bits(v)
+			buf[0] = byte(bits)
+			buf[1] = byte(bits >> 8)
+			buf[2] = byte(bits >> 16)
+			buf[3] = byte(bits >> 24)
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func sortedMaskNames(masks map[string]*prune.Mask) []string {
+	names := make([]string, 0, len(masks))
+	for name := range masks {
+		names = append(names, name)
+	}
+	// Insertion sort: the map is tiny (a handful of parameters per plan).
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+func buildModel(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	return nn.NewSequential("m",
+		nn.NewDense("fc1", 12, 24, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("fc2", 24, 16, rng),
+		nn.NewReLU("relu2"),
+		nn.NewDense("fc3", 16, 4, rng),
+	)
+}
+
+func buildRM(t *testing.T, seed int64, sparsities ...float64) (*ReversibleModel, *nn.Sequential) {
+	t.Helper()
+	if len(sparsities) == 0 {
+		sparsities = []float64{0.3, 0.6, 0.9}
+	}
+	m := buildModel(seed)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, sparsities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Build(m, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm, m
+}
+
+func TestBuildBasics(t *testing.T) {
+	rm, _ := buildRM(t, 1)
+	if rm.NumLevels() != 4 {
+		t.Fatalf("NumLevels = %d, want 4", rm.NumLevels())
+	}
+	if rm.Current() != 0 {
+		t.Errorf("fresh model at level %d", rm.Current())
+	}
+	if rm.Level(0).Name != "L0" || rm.Level(3).Name != "L3" {
+		t.Error("level names wrong")
+	}
+	if rm.Level(1).Sparsity <= 0 || rm.Level(3).Sparsity <= rm.Level(1).Sparsity {
+		t.Error("level sparsities not monotone")
+	}
+	if err := rm.VerifyDense(); err != nil {
+		t.Errorf("fresh model fails VerifyDense: %v", err)
+	}
+}
+
+func TestBuildRejectsNonNested(t *testing.T) {
+	m := buildModel(2)
+	p1, _ := prune.PlanSingle(prune.Random{Seed: 1}, m, 0.5)
+	p2, _ := prune.PlanSingle(prune.Random{Seed: 2}, m, 0.6)
+	if _, err := Build(m, []*prune.Plan{p1, p2}); err == nil {
+		t.Error("non-nested plans accepted")
+	}
+	if _, err := Build(m, nil); err == nil {
+		t.Error("empty plan list accepted")
+	}
+	if _, err := Build(nil, []*prune.Plan{p1}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestBuildRejectsForeignPlan(t *testing.T) {
+	m := buildModel(3)
+	other := buildModel(4)
+	otherPlan, _ := prune.PlanSingle(prune.MagnitudeGlobal{}, other, 0.5)
+	// Same architecture, so names match; corrupt a mask length instead.
+	bad := &prune.Plan{Method: "x", Sparsity: 0.5, Masks: map[string]*prune.Mask{
+		"fc1/weight": prune.NewMask(7),
+	}}
+	if _, err := Build(m, []*prune.Plan{bad}); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+	bad2 := &prune.Plan{Method: "x", Sparsity: 0.5, Masks: map[string]*prune.Mask{
+		"nope/weight": prune.NewMask(7),
+	}}
+	if _, err := Build(m, []*prune.Plan{bad2}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	_ = otherPlan
+}
+
+func TestApplyAndRestoreRoundTrip(t *testing.T) {
+	rm, m := buildRM(t, 5)
+	dense := snapshot(m)
+
+	for target := 1; target < rm.NumLevels(); target++ {
+		if err := rm.ApplyLevel(target); err != nil {
+			t.Fatal(err)
+		}
+		if err := rm.CheckInvariants(); err != nil {
+			t.Errorf("level %d: %v", target, err)
+		}
+		if err := rm.RestoreFull(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rm.VerifyDense(); err != nil {
+			t.Errorf("after L%d round trip: %v", target, err)
+		}
+		compareSnapshots(t, m, dense)
+	}
+}
+
+func TestApplySparsityMatchesLevel(t *testing.T) {
+	rm, m := buildRM(t, 6)
+	for i := 0; i < rm.NumLevels(); i++ {
+		if err := rm.ApplyLevel(i); err != nil {
+			t.Fatal(err)
+		}
+		var zeros, total int
+		for _, p := range m.PrunableParams() {
+			zeros += p.Value.Len() - p.Value.CountNonZero()
+			total += p.Value.Len()
+		}
+		got := float64(zeros) / float64(total)
+		want := rm.Level(i).Sparsity
+		// Allow for natural zeros in the dense weights (none expected from
+		// He init, but keep slack).
+		if got < want-1e-9 || got > want+0.01 {
+			t.Errorf("level %d live sparsity %v, calibrated %v", i, got, want)
+		}
+	}
+}
+
+func TestTransitionsAreIncremental(t *testing.T) {
+	rm, _ := buildRM(t, 7)
+	// Moving one level must touch fewer weights than jumping to deepest.
+	stepCost := rm.WeightsChanged(0, 1)
+	fullCost := rm.WeightsChanged(0, 3)
+	if stepCost >= fullCost {
+		t.Errorf("step cost %d >= full cost %d", stepCost, fullCost)
+	}
+	// Symmetric.
+	if rm.WeightsChanged(3, 0) != fullCost {
+		t.Error("WeightsChanged not symmetric")
+	}
+	// Triangle equality for a chain: 0→1→3 equals 0→3.
+	if rm.WeightsChanged(0, 1)+rm.WeightsChanged(1, 3) != fullCost {
+		t.Error("chain costs do not add up")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rm, _ := buildRM(t, 8)
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(2); err != nil { // no-op
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	s := rm.Stats()
+	if s.Transitions != 2 || s.Deepen != 1 || s.Revert != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.WeightsZeroed != s.WeightsRestored {
+		t.Errorf("zeroed %d != restored %d for a symmetric round trip", s.WeightsZeroed, s.WeightsRestored)
+	}
+	if s.WeightsZeroed != rm.WeightsChanged(0, 2) {
+		t.Errorf("zeroed %d != predicted %d", s.WeightsZeroed, rm.WeightsChanged(0, 2))
+	}
+	rm.ResetStats()
+	if rm.Stats().Transitions != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestStoreSizeEqualsDeepestLevel(t *testing.T) {
+	rm, m := buildRM(t, 9)
+	deepest := rm.Level(rm.NumLevels() - 1)
+	var wantStored int64
+	for _, p := range m.PrunableParams() {
+		if mask, ok := deepest.Plan.Masks[p.Name]; ok {
+			wantStored += int64(mask.PrunedCount())
+		}
+	}
+	if rm.StoredWeights() != wantStored {
+		t.Errorf("StoredWeights = %d, want %d (deepest level pruned count)", rm.StoredWeights(), wantStored)
+	}
+	if rm.StoreBytes() != wantStored*8 {
+		t.Errorf("StoreBytes = %d, want %d", rm.StoreBytes(), wantStored*8)
+	}
+}
+
+func TestInferenceChangesAcrossLevels(t *testing.T) {
+	rm, m := buildRM(t, 10, 0.5, 0.95)
+	x := tensor.RandNormal(tensor.NewRNG(11), 0, 1, 3, 12)
+	y0 := m.Forward(x, false).Clone()
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	y2 := m.Forward(x, false).Clone()
+	if tensor.Equal(y0, y2) {
+		t.Error("95% pruning did not change outputs — levels not taking effect")
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+	y0b := m.Forward(x, false)
+	if !tensor.Equal(y0, y0b) {
+		t.Error("outputs after restore differ from original dense outputs")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	rm, _ := buildRM(t, 12)
+	calls := 0
+	err := rm.Calibrate(func(m *nn.Sequential) float64 {
+		calls++
+		return 1.0 / float64(calls)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != rm.NumLevels() {
+		t.Errorf("evaluator called %d times, want %d", calls, rm.NumLevels())
+	}
+	if rm.Level(0).Accuracy != 1.0 || rm.Level(3).Accuracy != 0.25 {
+		t.Error("accuracy not recorded per level")
+	}
+	if rm.Current() != 0 {
+		t.Error("Calibrate did not restore previous level")
+	}
+	if err := rm.Calibrate(nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestSetCost(t *testing.T) {
+	rm, _ := buildRM(t, 13)
+	rm.SetCost(2, 1.5, 20)
+	if rm.Level(2).LatencyMS != 1.5 || rm.Level(2).EnergyMJ != 20 {
+		t.Error("SetCost not recorded")
+	}
+}
+
+func TestVerifyDenseDetectsTampering(t *testing.T) {
+	rm, m := buildRM(t, 14)
+	m.Param("fc1/weight").Value.Data()[0] += 1
+	if err := rm.VerifyDense(); err == nil {
+		t.Error("tampering not detected")
+	}
+	// At a non-dense level VerifyDense must refuse.
+	m.Param("fc1/weight").Value.Data()[0] -= 1
+	if err := rm.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.VerifyDense(); err == nil {
+		t.Error("VerifyDense at L1 accepted")
+	}
+}
+
+func TestRefreshStoreAfterFineTune(t *testing.T) {
+	rm, m := buildRM(t, 15)
+	// Simulate offline fine-tuning at L0: perturb all weights.
+	for _, p := range m.PrunableParams() {
+		p.Value.AddScalar(0.01)
+	}
+	if err := rm.RefreshStore(); err != nil {
+		t.Fatal(err)
+	}
+	dense := snapshot(m)
+	if err := rm.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+	compareSnapshots(t, m, dense)
+	if err := rm.VerifyDense(); err != nil {
+		t.Errorf("VerifyDense after refresh: %v", err)
+	}
+	// RefreshStore away from L0 must refuse.
+	if err := rm.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RefreshStore(); err == nil {
+		t.Error("RefreshStore at L1 accepted")
+	}
+}
+
+func TestApplyLevelErrors(t *testing.T) {
+	rm, _ := buildRM(t, 16)
+	if err := rm.ApplyLevel(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if err := rm.ApplyLevel(99); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rm, m := buildRM(t, 17)
+	if err := rm.Calibrate(func(mm *nn.Sequential) float64 { return 0.5 }); err != nil {
+		t.Fatal(err)
+	}
+	rm.SetCost(1, 2.5, 30)
+	var buf bytes.Buffer
+	if err := rm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := buildModel(99) // same architecture, different weights
+	rm2, err := Load(m2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm2.NumLevels() != rm.NumLevels() {
+		t.Fatalf("level count %d vs %d", rm2.NumLevels(), rm.NumLevels())
+	}
+	if rm2.Level(1).LatencyMS != 2.5 || rm2.Level(1).EnergyMJ != 30 {
+		t.Error("calibration lost in round trip")
+	}
+	// The loaded model must behave identically across levels.
+	x := tensor.RandNormal(tensor.NewRNG(18), 0, 1, 2, 12)
+	for lvl := 0; lvl < rm.NumLevels(); lvl++ {
+		if err := rm.ApplyLevel(lvl); err != nil {
+			t.Fatal(err)
+		}
+		if err := rm2.ApplyLevel(lvl); err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(m.Forward(x, false), m2.Forward(x, false)) {
+			t.Errorf("level %d outputs differ after load", lvl)
+		}
+	}
+	rm.RestoreFull()
+	rm2.RestoreFull()
+}
+
+func TestSaveRefusesAwayFromL0(t *testing.T) {
+	rm, _ := buildRM(t, 19)
+	if err := rm.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rm.Save(&buf); err == nil {
+		t.Error("Save at L1 accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(buildModel(20), bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// Property: any random walk over levels, ending at L0, restores the dense
+// weights bit-exactly — the paper's core reversibility claim.
+func TestRandomWalkReversibilityProperty(t *testing.T) {
+	rm, m := buildRM(t, 21, 0.2, 0.4, 0.6, 0.8)
+	dense := snapshot(m)
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		for k := 0; k < 20; k++ {
+			if err := rm.ApplyLevel(rng.Intn(rm.NumLevels())); err != nil {
+				return false
+			}
+			if rm.CheckInvariants() != nil {
+				return false
+			}
+		}
+		if err := rm.RestoreFull(); err != nil {
+			return false
+		}
+		if rm.VerifyDense() != nil {
+			return false
+		}
+		for _, p := range m.PrunableParams() {
+			if !tensor.Equal(p.Value, dense[p.Name]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: structured plans behave identically under the reversible
+// wrapper (masks cover biases and norm parameters too).
+func TestStructuredLevelsReversibleProperty(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	m := nn.NewSequential("cnn",
+		nn.NewConv2D("conv1", g, 6, rng),
+		nn.NewBatchNorm("bn1", 6),
+		nn.NewReLU("relu1"),
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", 6*8*8, 16, rng),
+		nn.NewReLU("relu2"),
+		nn.NewDense("fc2", 16, 3, rng),
+	)
+	plans, err := (prune.StructuredChannel{}).PlanNested(m, []float64{0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Build(m, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotAll(m)
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		if !tensor.Equal(m.Param(name).Value, want) {
+			t.Errorf("param %s not restored", name)
+		}
+	}
+}
+
+func TestScrubRepairsPrunedPositions(t *testing.T) {
+	rm, m := buildRM(t, 70)
+	if rm.Scrub() != 0 {
+		t.Error("scrub at L0 repaired something")
+	}
+	if err := rm.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt three pruned positions and one kept position.
+	w := m.Param("fc1/weight").Value.Data()
+	mask := rm.Level(3).Plan.Masks["fc1/weight"]
+	prunedHit, keptIdx := 0, -1
+	for i := range w {
+		if !mask.Keep(i) && prunedHit < 3 {
+			w[i] = 42
+			prunedHit++
+		} else if mask.Keep(i) && keptIdx < 0 {
+			keptIdx = i
+		}
+	}
+	keptBefore := w[keptIdx]
+	w[keptIdx] = keptBefore + 1
+
+	if repaired := rm.Scrub(); repaired != 3 {
+		t.Errorf("scrub repaired %d, want 3", repaired)
+	}
+	if err := rm.CheckInvariants(); err != nil {
+		t.Errorf("invariants broken after scrub: %v", err)
+	}
+	// Kept-position corruption is beyond scrub's reach…
+	if w[keptIdx] == keptBefore {
+		t.Error("scrub touched a kept weight")
+	}
+	// …and is what VerifyDense exists for.
+	w[keptIdx] = keptBefore
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.VerifyDense(); err != nil {
+		t.Errorf("after undoing the kept flip: %v", err)
+	}
+}
+
+func TestHalfPrecisionStore(t *testing.T) {
+	m := buildModel(50)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.3, 0.6, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := snapshot(m)
+	rm, err := Build(m, plans, WithHalfPrecisionStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The store must be smaller than the exact variant's.
+	mExact := buildModel(50)
+	plansExact, _ := (prune.MagnitudeGlobal{}).PlanNested(mExact, []float64{0.3, 0.6, 0.9})
+	rmExact, err := Build(mExact, plansExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.StoreBytes() >= rmExact.StoreBytes() {
+		t.Errorf("half store %d not below exact %d", rm.StoreBytes(), rmExact.StoreBytes())
+	}
+	if rm.StoredWeights() != rmExact.StoredWeights() {
+		t.Error("half store holds a different number of weights")
+	}
+
+	// Restore is approximate but close: bfloat16 keeps ~3 significant
+	// digits, so relative error per weight ≤ ~0.8%.
+	if err := rm.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range dense {
+		got := m.Param(name).Value
+		for i, w := range want.Data() {
+			g := got.Data()[i]
+			diff := float64(g - w)
+			if diff < 0 {
+				diff = -diff
+			}
+			mag := float64(w)
+			if mag < 0 {
+				mag = -mag
+			}
+			if diff > 0.008*mag+1e-7 {
+				t.Fatalf("%s[%d]: restored %v vs original %v", name, i, g, w)
+			}
+		}
+	}
+	// VerifyDense must refuse in lossy mode.
+	if err := rm.VerifyDense(); err == nil {
+		t.Error("VerifyDense accepted a lossy store")
+	}
+	// Masks still hold exactly.
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func snapshot(m *nn.Sequential) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range m.PrunableParams() {
+		out[p.Name] = p.Value.Clone()
+	}
+	return out
+}
+
+func snapshotAll(m *nn.Sequential) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range m.Params() {
+		out[p.Name] = p.Value.Clone()
+	}
+	return out
+}
+
+func compareSnapshots(t *testing.T, m *nn.Sequential, want map[string]*tensor.Tensor) {
+	t.Helper()
+	for name, w := range want {
+		if !tensor.Equal(m.Param(name).Value, w) {
+			t.Errorf("param %s differs from dense snapshot", name)
+		}
+	}
+}

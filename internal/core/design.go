@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+)
+
+// DesignLevels selects a level library for the given model by sweeping a
+// fine-grained nested sparsity ladder, calibrating every rung with eval,
+// and picking — for each accuracy target, in descending target order — the
+// deepest rung whose calibrated accuracy still meets the target. The
+// returned sparsities are strictly increasing and, because every rung comes
+// from one nested family, the selected subset is nested too.
+//
+// This is the offline library-design step of the system: contract floors
+// come first, and the sparsity that delivers each floor is discovered from
+// measurements rather than guessed. Targets must be in descending order
+// (denser levels promise more accuracy). An unreachable target falls back
+// to the shallowest remaining rung.
+//
+// The model is returned to its dense state before DesignLevels returns.
+func DesignLevels(model *nn.Sequential, method prune.Method, eval func(*nn.Sequential) float64, targets []float64) ([]float64, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: DesignLevels with no targets")
+	}
+	prev := 2.0
+	for _, t := range targets {
+		if t <= 0 || t > 1 {
+			return nil, fmt.Errorf("core: DesignLevels target %v out of (0,1]", t)
+		}
+		if t >= prev {
+			return nil, fmt.Errorf("core: DesignLevels targets must be strictly descending, got %v after %v", t, prev)
+		}
+		prev = t
+	}
+
+	var sweep []float64
+	for s := 0.05; s < 0.96; s += 0.05 {
+		sweep = append(sweep, s)
+	}
+	plans, err := method.PlanNested(model, sweep)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := Build(model, plans)
+	if err != nil {
+		return nil, err
+	}
+	if err := rm.Calibrate(eval); err != nil {
+		return nil, err
+	}
+	if err := rm.RestoreFull(); err != nil {
+		return nil, err
+	}
+
+	levels := rm.Levels()[1:] // skip the implicit dense L0
+	chosen := make([]float64, 0, len(targets))
+	minIdx := 0
+	for _, target := range targets {
+		best := -1
+		for i := minIdx; i < len(levels); i++ {
+			if levels[i].Accuracy >= target {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Target unreachable beyond minIdx: take the shallowest
+			// remaining rung so the library stays strictly nested.
+			if minIdx >= len(levels) {
+				break
+			}
+			best = minIdx
+		}
+		chosen = append(chosen, sweep[best])
+		minIdx = best + 1
+	}
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("core: DesignLevels found no usable levels")
+	}
+	return chosen, nil
+}

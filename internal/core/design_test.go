@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+)
+
+// sparsityEval returns an evaluator whose "accuracy" is exactly
+// 1 − live sparsity, giving DesignLevels a perfectly known curve.
+func sparsityEval(m *nn.Sequential) float64 {
+	var zeros, total int
+	for _, p := range m.PrunableParams() {
+		zeros += p.Value.Len() - p.Value.CountNonZero()
+		total += p.Value.Len()
+	}
+	return 1 - float64(zeros)/float64(total)
+}
+
+func TestDesignLevelsTracksTargets(t *testing.T) {
+	m := buildModel(40)
+	targets := []float64{0.9, 0.7, 0.5, 0.3}
+	levels, err := DesignLevels(m, prune.MagnitudeGlobal{}, sparsityEval, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != len(targets) {
+		t.Fatalf("got %d levels for %d targets", len(levels), len(targets))
+	}
+	// With accuracy = 1 − sparsity on a 0.05 grid, the deepest level
+	// meeting target τ is sparsity ≈ 1 − τ.
+	for i, want := range []float64{0.1, 0.3, 0.5, 0.7} {
+		if diff := levels[i] - want; diff > 0.051 || diff < -0.051 {
+			t.Errorf("level %d = %v, want ≈%v", i, levels[i], want)
+		}
+	}
+	// Strictly increasing.
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			t.Errorf("levels not strictly increasing: %v", levels)
+		}
+	}
+	// The model must be back at its dense state.
+	for _, p := range m.PrunableParams() {
+		if p.Value.CountNonZero() != p.Value.Len() {
+			t.Error("DesignLevels left the model pruned")
+		}
+	}
+}
+
+func TestDesignLevelsUnreachableTargetFallsBack(t *testing.T) {
+	m := buildModel(41)
+	// Target 1.01 is impossible; the designer takes the shallowest rung.
+	levels, err := DesignLevels(m, prune.MagnitudeGlobal{}, sparsityEval, []float64{0.99, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 || levels[0] > 0.06 {
+		t.Errorf("levels = %v, want shallow first level", levels)
+	}
+}
+
+func TestDesignLevelsValidation(t *testing.T) {
+	m := buildModel(42)
+	if _, err := DesignLevels(m, prune.MagnitudeGlobal{}, sparsityEval, nil); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := DesignLevels(m, prune.MagnitudeGlobal{}, sparsityEval, []float64{0.5, 0.7}); err == nil {
+		t.Error("ascending targets accepted")
+	}
+	if _, err := DesignLevels(m, prune.MagnitudeGlobal{}, sparsityEval, []float64{1.5}); err == nil {
+		t.Error("target >1 accepted")
+	}
+}
+
+func TestDesignLevelsPlansNest(t *testing.T) {
+	m := buildModel(43)
+	levels, err := DesignLevels(m, prune.MagnitudeGlobal{}, sparsityEval, []float64{0.8, 0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(m, plans); err != nil {
+		t.Errorf("designed levels do not build: %v", err)
+	}
+}

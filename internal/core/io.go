@@ -1,0 +1,240 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+)
+
+// Deployment bundle format (little-endian):
+//
+//	magic    uint32 0x30505252 ("RRP0")
+//	         dense model weights (nn.Sequential.SaveWeights)
+//	nLevels  uint32 (excluding L0)
+//	levels   nLevels × {
+//	           method   uint16-length string
+//	           sparsity float64 bits
+//	           nMasks   uint32
+//	           masks    nMasks × { name string, prune.Mask }
+//	         }
+//	calib    (nLevels+1) × { sparsity, accuracy, latencyMS, energyMJ } float64 bits
+//
+// The recovery store itself is not serialized: it is recomputed from the
+// dense weights and the masks at load time, which keeps the bundle minimal
+// and guarantees the store matches the weights.
+
+const (
+	bundleMagic uint32 = 0x30505252 // "RRP0": architecture provided by caller
+	bundleSelf  uint32 = 0x31505252 // "RRP1": architecture embedded
+)
+
+// Save writes a deployment bundle for rm. The model must be at L0 so the
+// serialized weights are the dense ones. The caller must reconstruct the
+// matching architecture before Load; use SaveSelfContained to embed it.
+func (rm *ReversibleModel) Save(w io.Writer) error {
+	if rm.current != 0 {
+		return fmt.Errorf("core: Save at level %d; restore to L0 first", rm.current)
+	}
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], bundleMagic)
+	if _, err := w.Write(magic[:]); err != nil {
+		return fmt.Errorf("core: save magic: %w", err)
+	}
+	return rm.saveBody(w)
+}
+
+// SaveSelfContained writes a bundle that additionally embeds the model
+// architecture, so LoadSelfContained can reconstruct everything from the
+// stream alone.
+func (rm *ReversibleModel) SaveSelfContained(w io.Writer) error {
+	if rm.current != 0 {
+		return fmt.Errorf("core: Save at level %d; restore to L0 first", rm.current)
+	}
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], bundleSelf)
+	if _, err := w.Write(magic[:]); err != nil {
+		return fmt.Errorf("core: save magic: %w", err)
+	}
+	if err := rm.model.SaveArchitecture(w); err != nil {
+		return fmt.Errorf("core: save architecture: %w", err)
+	}
+	return rm.saveBody(w)
+}
+
+func (rm *ReversibleModel) saveBody(w io.Writer) error {
+	if err := rm.model.SaveWeights(w); err != nil {
+		return fmt.Errorf("core: save weights: %w", err)
+	}
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(rm.levels)-1))
+	if _, err := w.Write(n4[:]); err != nil {
+		return fmt.Errorf("core: save level count: %w", err)
+	}
+	for _, lvl := range rm.levels[1:] {
+		if err := writeString(w, lvl.Plan.Method); err != nil {
+			return err
+		}
+		if err := writeFloat64(w, lvl.Plan.Sparsity); err != nil {
+			return err
+		}
+		names := sortedMaskNames(lvl.Plan.Masks)
+		binary.LittleEndian.PutUint32(n4[:], uint32(len(names)))
+		if _, err := w.Write(n4[:]); err != nil {
+			return fmt.Errorf("core: save mask count: %w", err)
+		}
+		for _, name := range names {
+			if err := writeString(w, name); err != nil {
+				return err
+			}
+			if _, err := lvl.Plan.Masks[name].WriteTo(w); err != nil {
+				return err
+			}
+		}
+	}
+	for _, lvl := range rm.levels {
+		for _, v := range []float64{lvl.Sparsity, lvl.Accuracy, lvl.LatencyMS, lvl.EnergyMJ} {
+			if err := writeFloat64(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a deployment bundle into the given (architecture-matching)
+// model and rebuilds the reversible wrapper, including the recovery store
+// and all calibration data.
+func Load(model *nn.Sequential, r io.Reader) (*ReversibleModel, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load magic: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(magic[:]); got != bundleMagic {
+		return nil, fmt.Errorf("core: bad bundle magic %#x", got)
+	}
+	return loadBody(model, r)
+}
+
+// LoadSelfContained reconstructs the model architecture, weights, level
+// library, and recovery store from a stream written by SaveSelfContained.
+func LoadSelfContained(name string, r io.Reader) (*ReversibleModel, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load magic: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(magic[:]); got != bundleSelf {
+		return nil, fmt.Errorf("core: bad self-contained bundle magic %#x", got)
+	}
+	model, err := nn.LoadArchitecture(name, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load architecture: %w", err)
+	}
+	return loadBody(model, r)
+}
+
+func loadBody(model *nn.Sequential, r io.Reader) (*ReversibleModel, error) {
+	if err := model.LoadWeights(r); err != nil {
+		return nil, fmt.Errorf("core: load weights: %w", err)
+	}
+	var n4 [4]byte
+	if _, err := io.ReadFull(r, n4[:]); err != nil {
+		return nil, fmt.Errorf("core: load level count: %w", err)
+	}
+	nLevels := int(binary.LittleEndian.Uint32(n4[:]))
+	if nLevels < 0 || nLevels > 1024 {
+		return nil, fmt.Errorf("core: implausible level count %d", nLevels)
+	}
+	plans := make([]*prune.Plan, nLevels)
+	for i := range plans {
+		method, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		sparsity, err := readFloat64(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(r, n4[:]); err != nil {
+			return nil, fmt.Errorf("core: load mask count: %w", err)
+		}
+		nMasks := int(binary.LittleEndian.Uint32(n4[:]))
+		if nMasks < 0 || nMasks > 1<<16 {
+			return nil, fmt.Errorf("core: implausible mask count %d", nMasks)
+		}
+		masks := make(map[string]*prune.Mask, nMasks)
+		for j := 0; j < nMasks; j++ {
+			name, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			mask, err := prune.ReadMask(r)
+			if err != nil {
+				return nil, err
+			}
+			masks[name] = mask
+		}
+		plans[i] = &prune.Plan{Method: method, Sparsity: sparsity, Masks: masks}
+	}
+	rm, err := Build(model, plans)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild from bundle: %w", err)
+	}
+	for _, lvl := range rm.levels {
+		vals := make([]float64, 4)
+		for k := range vals {
+			v, err := readFloat64(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[k] = v
+		}
+		lvl.Sparsity, lvl.Accuracy, lvl.LatencyMS, lvl.EnergyMJ = vals[0], vals[1], vals[2], vals[3]
+	}
+	return rm, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("core: string %q too long", s[:32])
+	}
+	buf := make([]byte, 2+len(s))
+	binary.LittleEndian.PutUint16(buf, uint16(len(s)))
+	copy(buf[2:], s)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("core: write string: %w", err)
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var lb [2]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return "", fmt.Errorf("core: read string length: %w", err)
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(lb[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("core: read string: %w", err)
+	}
+	return string(buf), nil
+}
+
+func writeFloat64(w io.Writer, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("core: write float: %w", err)
+	}
+	return nil
+}
+
+func readFloat64(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("core: read float: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

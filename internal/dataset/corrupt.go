@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Corruption is a sensor-degradation model applied to a dataset, used to
+// emulate the distribution shift (fog, glare, partial occlusion) that drives
+// the safety-governor experiments.
+type Corruption interface {
+	// Apply degrades the dataset in place.
+	Apply(d *Dataset, rng *tensor.RNG)
+	// Name identifies the corruption in logs and tables.
+	Name() string
+}
+
+// GaussianNoise adds zero-mean Gaussian noise with the given sigma to every
+// pixel.
+type GaussianNoise struct{ Sigma float64 }
+
+// Name returns a parameterized identifier.
+func (g GaussianNoise) Name() string { return fmt.Sprintf("gauss(%.2f)", g.Sigma) }
+
+// Apply adds noise in place.
+func (g GaussianNoise) Apply(d *Dataset, rng *tensor.RNG) {
+	data := d.X.Data()
+	for i := range data {
+		data[i] += float32(rng.Normal(0, g.Sigma))
+	}
+}
+
+// Occlusion blanks a random square of the given side length in every sample,
+// emulating lens dirt or partial blockage.
+type Occlusion struct{ Side int }
+
+// Name returns a parameterized identifier.
+func (o Occlusion) Name() string { return fmt.Sprintf("occlude(%d)", o.Side) }
+
+// Apply blanks one square region per sample.
+func (o Occlusion) Apply(d *Dataset, rng *tensor.RNG) {
+	shape := d.SampleShape()
+	c, h, w := shape[0], shape[1], shape[2]
+	if o.Side <= 0 || o.Side > h || o.Side > w {
+		panic(fmt.Sprintf("dataset: occlusion side %d invalid for %dx%d images", o.Side, h, w))
+	}
+	data := d.X.Data()
+	plane := h * w
+	sample := c * plane
+	for s := 0; s < d.Len(); s++ {
+		y0 := rng.Intn(h - o.Side + 1)
+		x0 := rng.Intn(w - o.Side + 1)
+		for ch := 0; ch < c; ch++ {
+			base := s*sample + ch*plane
+			for y := y0; y < y0+o.Side; y++ {
+				for x := x0; x < x0+o.Side; x++ {
+					data[base+y*w+x] = 0
+				}
+			}
+		}
+	}
+}
+
+// Brightness scales every pixel by Factor, emulating glare (>1) or low light
+// (<1).
+type Brightness struct{ Factor float64 }
+
+// Name returns a parameterized identifier.
+func (b Brightness) Name() string { return fmt.Sprintf("brightness(%.2f)", b.Factor) }
+
+// Apply scales pixels in place.
+func (b Brightness) Apply(d *Dataset, rng *tensor.RNG) {
+	d.X.Scale(float32(b.Factor))
+}
+
+// Corrupt returns a degraded deep copy of d with every corruption applied in
+// order, leaving the original untouched.
+func Corrupt(d *Dataset, seed int64, cs ...Corruption) *Dataset {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	out := d.Subset(idx)
+	rng := tensor.NewRNG(seed)
+	for _, c := range cs {
+		c.Apply(out, rng)
+	}
+	return out
+}

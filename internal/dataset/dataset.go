@@ -1,0 +1,92 @@
+// Package dataset procedurally generates the image datasets used throughout
+// the evaluation. The paper's perception workloads (road-sign recognition,
+// obstacle detection from camera frames) are substituted with deterministic
+// synthetic renderings that exercise the same code paths: convolutional
+// feature extraction, class imbalance, sensor noise, and distribution shift
+// under degradation. Every generator takes an explicit seed and is
+// bit-reproducible.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a labeled sample-major image set.
+type Dataset struct {
+	// X has shape [N, C, H, W].
+	X *tensor.Tensor
+	// Labels holds one class index per sample.
+	Labels []int
+	// ClassNames names each class; len(ClassNames) is the class count.
+	ClassNames []string
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// NumClasses returns the number of classes.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// SampleShape returns the per-sample shape [C, H, W].
+func (d *Dataset) SampleShape() []int { return d.X.Shape()[1:] }
+
+// Sample returns a copy of sample i as a [C, H, W] tensor with its label.
+func (d *Dataset) Sample(i int) (*tensor.Tensor, int) {
+	if i < 0 || i >= d.Len() {
+		panic(fmt.Sprintf("dataset: sample index %d out of range [0,%d)", i, d.Len()))
+	}
+	shape := d.SampleShape()
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	out := tensor.New(shape...)
+	copy(out.Data(), d.X.Data()[i*n:(i+1)*n])
+	return out, d.Labels[i]
+}
+
+// Split partitions the dataset into a training and a test set, shuffling
+// with the given seed. frac is the training fraction in (0,1).
+func (d *Dataset) Split(frac float64, seed int64) (train, test *Dataset) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("dataset: split fraction %v out of (0,1)", frac))
+	}
+	n := d.Len()
+	rng := tensor.NewRNG(seed)
+	perm := rng.Perm(n)
+	cut := int(float64(n) * frac)
+	if cut == 0 || cut == n {
+		panic(fmt.Sprintf("dataset: split of %d samples at %v is degenerate", n, frac))
+	}
+	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
+}
+
+// Subset returns a new dataset holding copies of the samples at idx.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	shape := d.SampleShape()
+	sampleLen := 1
+	for _, s := range shape {
+		sampleLen *= s
+	}
+	x := tensor.New(append([]int{len(idx)}, shape...)...)
+	labels := make([]int, len(idx))
+	for i, s := range idx {
+		if s < 0 || s >= d.Len() {
+			panic(fmt.Sprintf("dataset: subset index %d out of range [0,%d)", s, d.Len()))
+		}
+		copy(x.Data()[i*sampleLen:(i+1)*sampleLen], d.X.Data()[s*sampleLen:(s+1)*sampleLen])
+		labels[i] = d.Labels[s]
+	}
+	return &Dataset{X: x, Labels: labels, ClassNames: d.ClassNames}
+}
+
+// ClassCounts returns the number of samples per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses())
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	return counts
+}

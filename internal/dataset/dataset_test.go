@@ -1,0 +1,266 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func TestSignsShapeAndBalance(t *testing.T) {
+	d := Signs(DefaultSignConfig(60, 1))
+	if d.Len() != 60 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.NumClasses() != 6 {
+		t.Fatalf("NumClasses = %d", d.NumClasses())
+	}
+	shape := d.SampleShape()
+	if shape[0] != 1 || shape[1] != 16 || shape[2] != 16 {
+		t.Fatalf("sample shape %v", shape)
+	}
+	for c, n := range d.ClassCounts() {
+		if n != 10 {
+			t.Errorf("class %d count %d, want 10", c, n)
+		}
+	}
+}
+
+func TestSignsDeterminism(t *testing.T) {
+	a := Signs(DefaultSignConfig(30, 7))
+	b := Signs(DefaultSignConfig(30, 7))
+	if !tensor.Equal(a.X, b.X) {
+		t.Error("same seed produced different data")
+	}
+	c := Signs(DefaultSignConfig(30, 8))
+	if tensor.Equal(a.X, c.X) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSignsClassesAreDistinguishable(t *testing.T) {
+	// Mean images of different classes should differ substantially;
+	// otherwise the classification task is degenerate.
+	d := Signs(SignConfig{N: 300, Size: 16, Noise: 0, Jitter: false, Seed: 2})
+	plane := 16 * 16
+	means := make([][]float32, d.NumClasses())
+	counts := make([]int, d.NumClasses())
+	for i := range means {
+		means[i] = make([]float32, plane)
+	}
+	for s := 0; s < d.Len(); s++ {
+		y := d.Labels[s]
+		counts[y]++
+		for p := 0; p < plane; p++ {
+			means[y][p] += d.X.Data()[s*plane+p]
+		}
+	}
+	for y := range means {
+		for p := range means[y] {
+			means[y][p] /= float32(counts[y])
+		}
+	}
+	for a := 0; a < len(means); a++ {
+		for b := a + 1; b < len(means); b++ {
+			var diff float64
+			for p := 0; p < plane; p++ {
+				dd := float64(means[a][p] - means[b][p])
+				diff += dd * dd
+			}
+			if diff < 1 {
+				t.Errorf("classes %d and %d nearly identical (L2²=%v)", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestSampleCopies(t *testing.T) {
+	d := Signs(DefaultSignConfig(12, 3))
+	s, y := d.Sample(5)
+	if y != d.Labels[5] {
+		t.Errorf("label mismatch")
+	}
+	s.Fill(99)
+	s2, _ := d.Sample(5)
+	if s2.Data()[0] == 99 {
+		t.Error("Sample returned a view, want a copy")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Signs(DefaultSignConfig(100, 4))
+	tr, te := d.Split(0.8, 5)
+	if tr.Len() != 80 || te.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", tr.Len(), te.Len())
+	}
+	if tr.NumClasses() != d.NumClasses() {
+		t.Error("split lost class names")
+	}
+	// Same seed splits identically.
+	tr2, _ := d.Split(0.8, 5)
+	if !tensor.Equal(tr.X, tr2.X) {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestSplitRejectsDegenerateFraction(t *testing.T) {
+	d := Signs(DefaultSignConfig(10, 4))
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac %v accepted", frac)
+				}
+			}()
+			d.Split(frac, 1)
+		}()
+	}
+}
+
+func TestObstaclesBalanceAndShape(t *testing.T) {
+	d := Obstacles(DefaultObstacleConfig(40, 6))
+	counts := d.ClassCounts()
+	if counts[0] != 20 || counts[1] != 20 {
+		t.Errorf("counts %v", counts)
+	}
+	if d.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d", d.NumClasses())
+	}
+}
+
+func TestObstaclePatchHasBrightBlob(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	withObs := RenderObstaclePatch(true, 16, 4, 0, rng)
+	clear := RenderObstaclePatch(false, 16, 4, 0, rng)
+	maxOf := func(p []float32) float32 {
+		m := p[0]
+		for _, v := range p {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxOf(withObs) < 0.7 {
+		t.Error("obstacle patch lacks bright blob")
+	}
+	_ = clear // clear patches may contain lane markings; no assertion on max
+}
+
+func TestCorruptLeavesOriginalIntact(t *testing.T) {
+	d := Signs(DefaultSignConfig(20, 10))
+	orig := d.X.Clone()
+	c := Corrupt(d, 11, GaussianNoise{Sigma: 0.5}, Occlusion{Side: 4})
+	if !tensor.Equal(d.X, orig) {
+		t.Error("Corrupt mutated the original dataset")
+	}
+	if tensor.Equal(c.X, orig) {
+		t.Error("Corrupt returned unchanged data")
+	}
+	if c.Len() != d.Len() {
+		t.Error("Corrupt changed sample count")
+	}
+}
+
+func TestOcclusionZeroesSquare(t *testing.T) {
+	d := Signs(SignConfig{N: 5, Size: 16, Noise: 0, Jitter: false, Seed: 12})
+	// Make everything bright so zeros are unambiguous.
+	d.X.Fill(1)
+	c := Corrupt(d, 13, Occlusion{Side: 4})
+	for s := 0; s < c.Len(); s++ {
+		zeros := 0
+		plane := 16 * 16
+		for p := 0; p < plane; p++ {
+			if c.X.Data()[s*plane+p] == 0 {
+				zeros++
+			}
+		}
+		if zeros != 16 {
+			t.Errorf("sample %d has %d zeroed pixels, want 16", s, zeros)
+		}
+	}
+}
+
+func TestBrightnessScales(t *testing.T) {
+	d := Signs(SignConfig{N: 3, Size: 8, Noise: 0, Jitter: false, Seed: 14})
+	c := Corrupt(d, 15, Brightness{Factor: 0.5})
+	for i, v := range d.X.Data() {
+		if c.X.Data()[i] != v*0.5 {
+			t.Fatalf("pixel %d: %v vs %v", i, c.X.Data()[i], v*0.5)
+		}
+	}
+}
+
+func TestCorruptionNames(t *testing.T) {
+	if (GaussianNoise{Sigma: 0.25}).Name() != "gauss(0.25)" {
+		t.Error((GaussianNoise{Sigma: 0.25}).Name())
+	}
+	if (Occlusion{Side: 3}).Name() != "occlude(3)" {
+		t.Error(Occlusion{Side: 3}.Name())
+	}
+	if (Brightness{Factor: 1.5}).Name() != "brightness(1.50)" {
+		t.Error(Brightness{Factor: 1.5}.Name())
+	}
+}
+
+// Property: Subset preserves labels and data for arbitrary index choices.
+func TestSubsetProperty(t *testing.T) {
+	d := Signs(DefaultSignConfig(24, 16))
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		k := 1 + rng.Intn(24)
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = rng.Intn(24)
+		}
+		sub := d.Subset(idx)
+		for i, s := range idx {
+			if sub.Labels[i] != d.Labels[s] {
+				return false
+			}
+			a, _ := sub.Sample(i)
+			b, _ := d.Sample(s)
+			if !tensor.Equal(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSignsAreLearnable is the end-to-end sanity check that the synthetic
+// task is actually learnable by the small CNN used in the evaluation — the
+// whole evaluation is meaningless otherwise.
+func TestSignsAreLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	d := Signs(DefaultSignConfig(900, 17))
+	tr, te := d.Split(0.8, 18)
+	rng := tensor.NewRNG(19)
+	g := tensor.ConvGeom{InC: 1, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	model := nn.NewSequential("signnet",
+		nn.NewConv2D("conv1", g, 8, rng),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", 8, 16, 16, 2, 2, 2, 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", 8*8*8, 32, rng),
+		nn.NewReLU("relu2"),
+		nn.NewDense("fc2", 32, 6, rng),
+	)
+	train.Fit(model, tr.X, tr.Labels, train.Config{
+		Epochs:    8,
+		BatchSize: 32,
+		Optimizer: train.NewAdam(0.003, 0),
+		Seed:      20,
+	})
+	_, acc := train.Evaluate(model, te.X, te.Labels, 64)
+	if acc < 0.9 {
+		t.Errorf("sign task should be learnable: test acc %v", acc)
+	}
+}

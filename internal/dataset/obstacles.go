@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ObstacleClassNames are the labels of the obstacle-patch detector: class 1
+// means an obstacle is present in the patch.
+var ObstacleClassNames = []string{"clear", "obstacle"}
+
+// ObstacleConfig parameterizes the obstacle-patch generator, which mimics
+// windowed detection over a forward camera: "clear" patches contain only the
+// road-texture gradient, "obstacle" patches add a solid blob of varying size
+// and position.
+type ObstacleConfig struct {
+	// N is the number of samples.
+	N int
+	// Size is the square patch side in pixels (default 16).
+	Size int
+	// Noise is the additive Gaussian noise sigma (default 0.06). When
+	// NoiseMin/NoiseMax are set, each sample instead draws its sigma
+	// uniformly from [NoiseMin, NoiseMax] — matching a sensor whose
+	// conditions vary frame to frame.
+	Noise float64
+	// NoiseMin and NoiseMax bound per-sample noise jitter; both zero means
+	// fixed Noise.
+	NoiseMin, NoiseMax float64
+	// MinRadius and MaxRadius bound the obstacle blob radius in pixels
+	// (defaults 2 and 5). Smaller obstacles are harder — the evaluation uses
+	// radius as a difficulty proxy for "distant pedestrian".
+	MinRadius, MaxRadius float64
+	// Contrast scales the obstacle blob's intensity; 1 (or 0, the zero
+	// value) is full contrast, lower values model fog/low light where the
+	// obstacle barely stands out from the road.
+	Contrast float64
+	// ContrastMin/ContrastMax, when set, draw each sample's contrast
+	// uniformly from the range instead of using Contrast.
+	ContrastMin, ContrastMax float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultObstacleConfig returns the evaluation configuration.
+func DefaultObstacleConfig(n int, seed int64) ObstacleConfig {
+	return ObstacleConfig{N: n, Size: 16, Noise: 0.06, MinRadius: 2, MaxRadius: 5, Seed: seed}
+}
+
+// Obstacles generates a balanced obstacle/clear patch dataset.
+func Obstacles(cfg ObstacleConfig) *Dataset {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("dataset: Obstacles with N=%d", cfg.N))
+	}
+	if cfg.Size == 0 {
+		cfg.Size = 16
+	}
+	if cfg.MinRadius == 0 {
+		cfg.MinRadius = 2
+	}
+	if cfg.MaxRadius == 0 {
+		cfg.MaxRadius = 5
+	}
+	if cfg.MinRadius > cfg.MaxRadius {
+		panic(fmt.Sprintf("dataset: Obstacles MinRadius %v > MaxRadius %v", cfg.MinRadius, cfg.MaxRadius))
+	}
+	if cfg.NoiseMin > cfg.NoiseMax {
+		panic(fmt.Sprintf("dataset: Obstacles NoiseMin %v > NoiseMax %v", cfg.NoiseMin, cfg.NoiseMax))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	h := cfg.Size
+	x := tensor.New(cfg.N, 1, h, h)
+	labels := make([]int, cfg.N)
+	plane := h * h
+	for i := 0; i < cfg.N; i++ {
+		label := i % 2
+		labels[i] = label
+		sample := cfg
+		if cfg.NoiseMax > 0 {
+			sample.Noise = rng.Uniform(cfg.NoiseMin, cfg.NoiseMax)
+		}
+		if cfg.ContrastMax > 0 {
+			sample.Contrast = rng.Uniform(cfg.ContrastMin, cfg.ContrastMax)
+		}
+		img := renderObstaclePatch(label == 1, h, sample, rng)
+		copy(x.Data()[i*plane:(i+1)*plane], img)
+	}
+	return &Dataset{X: x, Labels: labels, ClassNames: append([]string(nil), ObstacleClassNames...)}
+}
+
+// RenderObstaclePatch rasterizes a single patch at full contrast; exported
+// for the scenario simulator, which feeds patches directly into the
+// perception pipeline.
+func RenderObstaclePatch(obstacle bool, size int, radius float64, noise float64, rng *tensor.RNG) []float32 {
+	return RenderObstaclePatchContrast(obstacle, size, radius, noise, 1, rng)
+}
+
+// RenderObstaclePatchContrast rasterizes a single patch with an explicit
+// obstacle contrast factor (see ObstacleConfig.Contrast).
+func RenderObstaclePatchContrast(obstacle bool, size int, radius, noise, contrast float64, rng *tensor.RNG) []float32 {
+	cfg := ObstacleConfig{Size: size, Noise: noise, MinRadius: radius, MaxRadius: radius, Contrast: contrast}
+	return renderObstaclePatch(obstacle, size, cfg, rng)
+}
+
+func renderObstaclePatch(obstacle bool, size int, cfg ObstacleConfig, rng *tensor.RNG) []float32 {
+	c := newCanvas(size, size)
+	// Road texture: vertical intensity gradient plus mild horizontal bands.
+	base := float32(rng.Uniform(0.1, 0.25))
+	for y := 0; y < size; y++ {
+		rowV := base + 0.3*float32(y)/float32(size)
+		for x := 0; x < size; x++ {
+			c.pix[y*size+x] = rowV
+		}
+	}
+	// Lane-marking streak in some patches, in both classes, so the model
+	// cannot key on bright pixels alone.
+	if rng.Float64() < 0.3 {
+		lx := rng.Intn(size)
+		c.vbar(float64(size)/2, float64(lx), float64(size)/2, 0.5, 0.7)
+	}
+	if obstacle {
+		contrast := cfg.Contrast
+		if contrast <= 0 {
+			contrast = 1
+		}
+		r := rng.Uniform(cfg.MinRadius, cfg.MaxRadius)
+		cy := rng.Uniform(r, float64(size)-r)
+		cx := rng.Uniform(r, float64(size)-r)
+		v := float32(rng.Uniform(0.75, 1.0) * contrast)
+		c.disc(cy, cx, r, v)
+		// Obstacle shadow directly beneath, fading with the blob.
+		c.rect(int(cy+r), int(cx-r/2), int(cy+r+1), int(cx+r/2), 0.05+0.15*(1-float32(contrast)))
+	}
+	if cfg.Noise > 0 {
+		for i := range c.pix {
+			c.pix[i] += float32(rng.Normal(0, cfg.Noise))
+		}
+	}
+	for i, v := range c.pix {
+		if v < 0 {
+			c.pix[i] = 0
+		} else if v > 1.5 {
+			c.pix[i] = 1.5
+		}
+	}
+	return c.pix
+}

@@ -1,0 +1,181 @@
+package dataset
+
+// canvas is a single-channel float32 image with simple software
+// rasterization primitives. Intensities are conventionally in [0,1].
+type canvas struct {
+	h, w int
+	pix  []float32
+}
+
+func newCanvas(h, w int) *canvas {
+	return &canvas{h: h, w: w, pix: make([]float32, h*w)}
+}
+
+func (c *canvas) fill(v float32) {
+	for i := range c.pix {
+		c.pix[i] = v
+	}
+}
+
+func (c *canvas) set(y, x int, v float32) {
+	if y >= 0 && y < c.h && x >= 0 && x < c.w {
+		c.pix[y*c.w+x] = v
+	}
+}
+
+// disc fills a circle of radius r centered at (cy, cx).
+func (c *canvas) disc(cy, cx, r float64, v float32) {
+	r2 := r * r
+	for y := 0; y < c.h; y++ {
+		dy := float64(y) - cy
+		for x := 0; x < c.w; x++ {
+			dx := float64(x) - cx
+			if dy*dy+dx*dx <= r2 {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// ring draws a circle outline of radius r and thickness th.
+func (c *canvas) ring(cy, cx, r, th float64, v float32) {
+	lo := (r - th) * (r - th)
+	hi := (r + th) * (r + th)
+	for y := 0; y < c.h; y++ {
+		dy := float64(y) - cy
+		for x := 0; x < c.w; x++ {
+			dx := float64(x) - cx
+			d2 := dy*dy + dx*dx
+			if d2 >= lo && d2 <= hi {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// triangleDown fills a downward-pointing isoceles triangle with apex at
+// (cy+r, cx) and base at cy-r.
+func (c *canvas) triangleDown(cy, cx, r float64, v float32) {
+	for y := 0; y < c.h; y++ {
+		fy := float64(y)
+		if fy < cy-r || fy > cy+r {
+			continue
+		}
+		// Width shrinks linearly from full at the base to zero at the apex.
+		frac := (cy + r - fy) / (2 * r)
+		half := r * frac
+		for x := 0; x < c.w; x++ {
+			fx := float64(x)
+			if fx >= cx-half && fx <= cx+half {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// triangleLeft fills a left-pointing triangle (apex at cx-r).
+func (c *canvas) triangleLeft(cy, cx, r float64, v float32) {
+	for x := 0; x < c.w; x++ {
+		fx := float64(x)
+		if fx < cx-r || fx > cx+r {
+			continue
+		}
+		frac := (fx - (cx - r)) / (2 * r)
+		half := r * frac
+		for y := 0; y < c.h; y++ {
+			fy := float64(y)
+			if fy >= cy-half && fy <= cy+half {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// triangleRight fills a right-pointing triangle (apex at cx+r).
+func (c *canvas) triangleRight(cy, cx, r float64, v float32) {
+	for x := 0; x < c.w; x++ {
+		fx := float64(x)
+		if fx < cx-r || fx > cx+r {
+			continue
+		}
+		frac := ((cx + r) - fx) / (2 * r)
+		half := r * frac
+		for y := 0; y < c.h; y++ {
+			fy := float64(y)
+			if fy >= cy-half && fy <= cy+half {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// hbar fills a horizontal bar of half-height th centred on cy spanning
+// [cx-r, cx+r].
+func (c *canvas) hbar(cy, cx, r, th float64, v float32) {
+	for y := 0; y < c.h; y++ {
+		fy := float64(y)
+		if fy < cy-th || fy > cy+th {
+			continue
+		}
+		for x := 0; x < c.w; x++ {
+			fx := float64(x)
+			if fx >= cx-r && fx <= cx+r {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// vbar fills a vertical bar of half-width th centred on cx spanning
+// [cy-r, cy+r].
+func (c *canvas) vbar(cy, cx, r, th float64, v float32) {
+	for y := 0; y < c.h; y++ {
+		fy := float64(y)
+		if fy < cy-r || fy > cy+r {
+			continue
+		}
+		for x := 0; x < c.w; x++ {
+			fx := float64(x)
+			if fx >= cx-th && fx <= cx+th {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// cross draws an X of two diagonal strokes with half-width th within radius
+// r of the centre.
+func (c *canvas) cross(cy, cx, r, th float64, v float32) {
+	for y := 0; y < c.h; y++ {
+		dy := float64(y) - cy
+		if dy < -r || dy > r {
+			continue
+		}
+		for x := 0; x < c.w; x++ {
+			dx := float64(x) - cx
+			if dx < -r || dx > r {
+				continue
+			}
+			d1 := dy - dx
+			d2 := dy + dx
+			if (d1 >= -th && d1 <= th) || (d2 >= -th && d2 <= th) {
+				c.pix[y*c.w+x] = v
+			}
+		}
+	}
+}
+
+// rect fills an axis-aligned rectangle.
+func (c *canvas) rect(y0, x0, y1, x1 int, v float32) {
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c.set(y, x, v)
+		}
+	}
+}

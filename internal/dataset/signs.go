@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// SignClassNames are the road-sign classes of the procedural generator, in
+// label order.
+var SignClassNames = []string{
+	"stop",       // filled disc
+	"yield",      // filled downward triangle
+	"speed",      // ring with horizontal bar
+	"turn-left",  // left-pointing arrowhead with shaft
+	"turn-right", // right-pointing arrowhead with shaft
+	"crossing",   // X glyph
+}
+
+// SignConfig parameterizes the road-sign generator.
+type SignConfig struct {
+	// N is the number of samples to generate.
+	N int
+	// Size is the square image side in pixels (default 16).
+	Size int
+	// Noise is the additive Gaussian noise sigma (default 0.08).
+	Noise float64
+	// Jitter enables random translation and scale (default true when using
+	// DefaultSignConfig).
+	Jitter bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultSignConfig returns the configuration used by the evaluation: 16×16
+// images with jitter and moderate sensor noise.
+func DefaultSignConfig(n int, seed int64) SignConfig {
+	return SignConfig{N: n, Size: 16, Noise: 0.08, Jitter: true, Seed: seed}
+}
+
+// Signs generates a balanced road-sign classification dataset. Classes are
+// assigned round-robin so every class count differs by at most one.
+func Signs(cfg SignConfig) *Dataset {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("dataset: Signs with N=%d", cfg.N))
+	}
+	if cfg.Size == 0 {
+		cfg.Size = 16
+	}
+	if cfg.Size < 8 {
+		panic(fmt.Sprintf("dataset: Signs size %d too small", cfg.Size))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	h := cfg.Size
+	x := tensor.New(cfg.N, 1, h, h)
+	labels := make([]int, cfg.N)
+	plane := h * h
+	for i := 0; i < cfg.N; i++ {
+		label := i % len(SignClassNames)
+		labels[i] = label
+		img := renderSign(label, h, cfg, rng)
+		copy(x.Data()[i*plane:(i+1)*plane], img)
+	}
+	return &Dataset{X: x, Labels: labels, ClassNames: append([]string(nil), SignClassNames...)}
+}
+
+// renderSign rasterizes one sign instance with per-sample jitter and noise.
+func renderSign(label, size int, cfg SignConfig, rng *tensor.RNG) []float32 {
+	c := newCanvas(size, size)
+	bg := float32(rng.Uniform(0.0, 0.15))
+	c.fill(bg)
+
+	cy := float64(size) / 2
+	cx := float64(size) / 2
+	r := float64(size) * 0.35
+	if cfg.Jitter {
+		cy += rng.Uniform(-1.5, 1.5)
+		cx += rng.Uniform(-1.5, 1.5)
+		r *= rng.Uniform(0.85, 1.15)
+	}
+	fg := float32(rng.Uniform(0.75, 1.0))
+
+	switch label {
+	case 0: // stop: filled disc
+		c.disc(cy, cx, r, fg)
+	case 1: // yield: filled downward triangle
+		c.triangleDown(cy, cx, r, fg)
+	case 2: // speed: ring with a horizontal bar
+		c.ring(cy, cx, r, 1.0, fg)
+		c.hbar(cy, cx, r*0.6, 0.8, fg)
+	case 3: // turn-left: shaft plus left arrowhead
+		c.hbar(cy, cx+r*0.2, r*0.7, 0.8, fg)
+		c.triangleLeft(cy, cx-r*0.45, r*0.55, fg)
+	case 4: // turn-right: shaft plus right arrowhead
+		c.hbar(cy, cx-r*0.2, r*0.7, 0.8, fg)
+		c.triangleRight(cy, cx+r*0.45, r*0.55, fg)
+	case 5: // crossing: X glyph
+		c.cross(cy, cx, r, 1.0, fg)
+	default:
+		panic(fmt.Sprintf("dataset: unknown sign label %d", label))
+	}
+
+	if cfg.Noise > 0 {
+		for i := range c.pix {
+			c.pix[i] += float32(rng.Normal(0, cfg.Noise))
+		}
+	}
+	// Clamp to a sane sensor range.
+	for i, v := range c.pix {
+		if v < 0 {
+			c.pix[i] = 0
+		} else if v > 1.5 {
+			c.pix[i] = 1.5
+		}
+	}
+	return c.pix
+}

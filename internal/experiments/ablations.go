@@ -1,0 +1,579 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/governor"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/perception"
+	"repro/internal/platform"
+	"repro/internal/prune"
+	"repro/internal/quant"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// The A-series are ablations of the design choices DESIGN.md calls out,
+// beyond the paper's reconstructed tables: they justify nested masks, the
+// hysteresis dwell, the sparse kernel, the uncertainty signal, and the
+// recovery-store encoding, and position pruning against the quantization
+// knob.
+
+// RunA1 compares the two reversible quality knobs: the pruning-level
+// ladder (delta store) versus the quantization ladder (shadow master) on
+// the accuracy/energy plane, plus their restore costs.
+func RunA1(z *Zoo) ([]*metrics.Table, error) {
+	spec := platform.EmbeddedCPU()
+	eval := z.ObstacleEval()
+
+	t := metrics.NewTable(
+		"A1: pruning vs quantization ladders (obstacle net)",
+		"knob", "level", "accuracy", "energy mJ", "store B", "restore µs (measured)",
+	)
+
+	// Pruning ladder (designed levels).
+	_, rm, err := z.ObstacleStack(nil, spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rm.NumLevels(); i++ {
+		if err := rm.ApplyLevel(i); err != nil {
+			return nil, err
+		}
+		us := 0.0
+		if i > 0 {
+			const reps = 100
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if err := rm.RestoreFull(); err != nil {
+					return nil, err
+				}
+				if err := rm.ApplyLevel(i); err != nil {
+					return nil, err
+				}
+			}
+			us = float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+		}
+		lvl := rm.Level(i)
+		t.AddRow("prune", fmt.Sprintf("%s (%.0f%%)", lvl.Name, 100*lvl.Sparsity),
+			metrics.F(lvl.Accuracy, 4), metrics.F(lvl.EnergyMJ, 4),
+			fmt.Sprintf("%d", rm.StoreBytes()), metrics.F(us, 1))
+	}
+	if err := rm.RestoreFull(); err != nil {
+		return nil, err
+	}
+
+	// Quantization ladder on a fresh clone.
+	qm := z.CloneObstacle()
+	qz, err := quant.BuildQuantizer(qm, []int{16, 8, 4})
+	if err != nil {
+		return nil, err
+	}
+	if err := qz.Calibrate(eval); err != nil {
+		return nil, err
+	}
+	for i := 0; i < qz.NumLevels(); i++ {
+		if err := qz.ApplyLevel(i); err != nil {
+			return nil, err
+		}
+		bits := qz.Level(i).Bits
+		cost := spec.PrecisionScaled(bits).Estimate(qm)
+		qz.SetCost(i, cost.EnergyMJ)
+		us := 0.0
+		if i > 0 {
+			const reps = 100
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if err := qz.Restore(); err != nil {
+					return nil, err
+				}
+				if err := qz.ApplyLevel(i); err != nil {
+					return nil, err
+				}
+			}
+			us = float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+		}
+		t.AddRow("quantize", qz.Level(i).Name,
+			metrics.F(qz.Level(i).Accuracy, 4), metrics.F(qz.Level(i).EnergyMJ, 4),
+			fmt.Sprintf("%d", qz.MasterBytes()), metrics.F(us, 1))
+	}
+	if err := qz.Restore(); err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA2 sweeps the hysteresis dwell time over the oscillation-heavy fog
+// scenarios: switches collapse with dwell while energy rises only
+// marginally — the knob the F5 default (20) was chosen from.
+func RunA2(z *Zoo) ([]*metrics.Table, error) {
+	spec := platform.EmbeddedCPU()
+	scenarios := []sim.Scenario{sim.SensorDegradation(), sim.PedestrianInFog(), sim.CutIn()}
+	t := metrics.NewTable(
+		"A2: hysteresis dwell sweep (fog + cut-in scenarios, sums)",
+		"dwell ticks", "switches", "violations", "missed critical", "energy mJ", "mean level",
+	)
+	for _, dwell := range []int{1, 5, 10, 20, 40, 80} {
+		var switches, violations, missedCrit int
+		var energy, meanLevel float64
+		for _, sc := range scenarios {
+			model, rm, err := z.ObstacleStack(nil, spec)
+			if err != nil {
+				return nil, err
+			}
+			gov, err := governor.New(rm, &governor.Hysteresis{DwellTicks: dwell}, safety.DefaultContract())
+			if err != nil {
+				return nil, err
+			}
+			res, err := perception.RunScenario(sc, model, rm, perception.LoopConfig{
+				FrameSize: 16, Spec: spec, Governor: gov, Seed: 42,
+			})
+			if err != nil {
+				return nil, err
+			}
+			switches += res.Switches
+			violations += res.Violations
+			missedCrit += res.MissedCritical
+			energy += res.EnergyMJ
+			meanLevel += res.MeanLevel / float64(len(scenarios))
+		}
+		t.AddRow(fmt.Sprintf("%d", dwell),
+			fmt.Sprintf("%d", switches),
+			fmt.Sprintf("%d", violations),
+			fmt.Sprintf("%d", missedCrit),
+			metrics.F(energy, 1),
+			metrics.F(meanLevel, 2))
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA3 measures the sparse-skip matmul kernel directly: wall-clock of a
+// 256×256 × 256×256 product as the left operand's sparsity rises. This is
+// the mechanism behind the platform model's SparseEfficiency constant.
+func RunA3(z *Zoo) ([]*metrics.Table, error) {
+	rng := tensor.NewRNG(3)
+	const n = 256
+	b := tensor.RandNormal(rng, 0, 1, n, n)
+	out := tensor.New(n, n)
+	t := metrics.NewTable(
+		fmt.Sprintf("A3: sparse-skip matmul kernel, %d×%d (host wall-clock)", n, n),
+		"sparsity", "ms/op", "speedup vs dense",
+	)
+	var denseMS float64
+	for _, s := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		a := tensor.RandNormal(rng, 0, 1, n, n)
+		// Zero a prefix of a random permutation — unstructured sparsity.
+		perm := rng.Perm(n * n)
+		k := int(s * float64(n*n))
+		for _, idx := range perm[:k] {
+			a.Data()[idx] = 0
+		}
+		const reps = 20
+		tensor.MatMulInto(out, a, b) // warm up
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			tensor.MatMulInto(out, a, b)
+		}
+		ms := float64(time.Since(start).Nanoseconds()) / reps / 1e6
+		if s == 0 {
+			denseMS = ms
+		}
+		t.AddRow(metrics.Pct(s), metrics.F(ms, 3), metrics.F(denseMS/ms, 2)+"×")
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA4 ablates the uncertainty signal: the same governor with and without
+// the perception-uncertainty term in the criticality fusion, on the
+// degraded-sensor scenarios. Without it the governor cannot react to fog
+// and stays deep exactly when perception is least trustworthy.
+func RunA4(z *Zoo) ([]*metrics.Table, error) {
+	spec := platform.EmbeddedCPU()
+	scenarios := []sim.Scenario{sim.SensorDegradation(), sim.PedestrianInFog()}
+
+	withUnc := safety.DefaultAssessor()
+	noUnc := withUnc
+	// Remove the uncertainty term and renormalize onto TTC and complexity.
+	total := noUnc.WTTC + noUnc.WComplexity
+	noUnc.WTTC /= total
+	noUnc.WComplexity /= total
+	noUnc.WUncertainty = 0
+
+	t := metrics.NewTable(
+		"A4: uncertainty-signal ablation (degraded-sensor scenarios, sums)",
+		"assessor", "mean level (fog)", "missed", "missed critical", "violations", "energy mJ",
+	)
+	for _, cse := range []struct {
+		name     string
+		assessor safety.Assessor
+	}{
+		{"TTC+complexity+uncertainty", withUnc},
+		{"TTC+complexity only", noUnc},
+	} {
+		var missed, missedCrit, violations int
+		var energy, fogLevel float64
+		var fogTicks int
+		for _, sc := range scenarios {
+			model, rm, err := z.ObstacleStack(nil, spec)
+			if err != nil {
+				return nil, err
+			}
+			gov, err := governor.New(rm, governor.Threshold{}, safety.DefaultContract())
+			if err != nil {
+				return nil, err
+			}
+			res, err := perception.RunScenario(sc, model, rm, perception.LoopConfig{
+				FrameSize: 16, Spec: spec, Governor: gov, Assessor: cse.assessor,
+				Record: true, Seed: 42,
+			})
+			if err != nil {
+				return nil, err
+			}
+			missed += res.Missed
+			missedCrit += res.MissedCritical
+			violations += res.Violations
+			energy += res.EnergyMJ
+			// Fog window: ticks 600–1400 in both scenarios.
+			levels := res.Recorder.Series("level")
+			for i := 600; i < 1400 && i < len(levels); i++ {
+				fogLevel += levels[i]
+				fogTicks++
+			}
+		}
+		t.AddRow(cse.name,
+			metrics.F(fogLevel/float64(fogTicks), 2),
+			fmt.Sprintf("%d", missed),
+			fmt.Sprintf("%d", missedCrit),
+			fmt.Sprintf("%d", violations),
+			metrics.F(energy, 1))
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA6 compares reversible pruning against the classic alternative: a
+// multi-model switcher that stores one physically compacted
+// (structured-pruned) network per quality level and swaps pointers at
+// runtime. Switching is near-free but memory grows with every level and
+// no weights are shared; RRP stores one model plus a delta store.
+func RunA6(z *Zoo) ([]*metrics.Table, error) {
+	eval := z.ObstacleEval()
+	sparsities := []float64{0.3, 0.5, 0.7}
+
+	t := metrics.NewTable(
+		"A6: RRP vs multi-model switching (3 pruned levels + dense)",
+		"approach", "total memory B", "switch µs (deepest↔dense)", "acc dense", "acc deepest", "notes",
+	)
+
+	// RRP: one dense model + delta store (unstructured magnitude levels).
+	m := z.CloneObstacle()
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, sparsities)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := core.Build(m, plans)
+	if err != nil {
+		return nil, err
+	}
+	if err := rm.Calibrate(eval); err != nil {
+		return nil, err
+	}
+	deepest := rm.NumLevels() - 1
+	const reps = 200
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if err := rm.ApplyLevel(deepest); err != nil {
+			return nil, err
+		}
+		if err := rm.RestoreFull(); err != nil {
+			return nil, err
+		}
+	}
+	rrpSwitchUS := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+	rrpMem := int64(m.WeightsSize()) + rm.StoreBytes()
+	t.AddRow("reversible pruning (RRP)",
+		fmt.Sprintf("%d", rrpMem),
+		metrics.F(rrpSwitchUS, 2),
+		metrics.F(rm.Level(0).Accuracy, 4),
+		metrics.F(rm.Level(deepest).Accuracy, 4),
+		"1 model + delta store; any-to-any")
+
+	// Multi-model: one compacted structured model per level plus the dense
+	// one; "switching" swaps a pointer.
+	type variant struct {
+		model *nn.Sequential
+		acc   float64
+	}
+	variants := []variant{{model: z.CloneObstacle()}}
+	variants[0].acc = eval(variants[0].model)
+	splans, err := (prune.StructuredChannel{}).PlanNested(z.CloneObstacle(), sparsities)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range splans {
+		vm := z.CloneObstacle()
+		p.Apply(vm)
+		compacted, err := prune.Compact(vm)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{model: compacted, acc: eval(compacted)})
+	}
+	var mmMem int64
+	for _, v := range variants {
+		mmMem += int64(v.model.WeightsSize())
+	}
+	// Pointer-swap cost: measured for honesty, effectively noise-level.
+	active := variants[0].model
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		active = variants[len(variants)-1].model
+		active = variants[0].model
+	}
+	mmSwitchUS := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+	_ = active
+	t.AddRow("multi-model switching",
+		fmt.Sprintf("%d", mmMem),
+		metrics.F(mmSwitchUS, 3),
+		metrics.F(variants[0].acc, 4),
+		metrics.F(variants[len(variants)-1].acc, 4),
+		fmt.Sprintf("%d separate models; no weight sharing", len(variants)))
+	return []*metrics.Table{t}, nil
+}
+
+// RunA9 probes memory-fault resilience (single-event upsets in weight
+// memory): at the deepest pruning level, random bit flips are injected and
+// the RRP integrity machinery responds — Scrub repairs every flip landing
+// on a store-covered (pruned) position, and the build-time hash
+// (VerifyDense) detects any surviving corruption after a restore attempt.
+func RunA9(z *Zoo) ([]*metrics.Table, error) {
+	eval := z.ObstacleEval()
+	t := metrics.NewTable(
+		"A9: single-event-upset injection at the deepest level",
+		"bit flips", "acc after faults", "scrub-repaired", "acc after scrub", "residual detected by hash",
+	)
+	for _, flips := range []int{1, 8, 32, 128} {
+		_, rm, err := z.ObstacleStack(nil, platform.EmbeddedCPU())
+		if err != nil {
+			return nil, err
+		}
+		deepest := rm.NumLevels() - 1
+		if err := rm.ApplyLevel(deepest); err != nil {
+			return nil, err
+		}
+		injector := faults.NewInjector(int64(900 + flips))
+		injections, err := injector.Inject(rm.Model(), flips)
+		if err != nil {
+			return nil, err
+		}
+		accFaulty := eval(rm.Model())
+		repaired := rm.Scrub()
+		accScrubbed := eval(rm.Model())
+
+		// Any kept-weight corruption survives the scrub; restoring to L0
+		// and hashing must flag it (or pass when the scrub fixed all).
+		if err := rm.RestoreFull(); err != nil {
+			return nil, err
+		}
+		detected := rm.VerifyDense() != nil
+		residual := int64(len(injections)) - repaired
+		if residual < 0 {
+			residual = 0
+		}
+		t.AddRow(fmt.Sprintf("%d", flips),
+			metrics.F(accFaulty, 4),
+			fmt.Sprintf("%d/%d", repaired, len(injections)),
+			metrics.F(accScrubbed, 4),
+			fmt.Sprintf("%v (%d kept-weight hits)", detected, residual))
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA8 evaluates gradual pruning with masked fine-tuning (the Zhu–Gupta
+// cubic schedule interleaved with one retraining epoch per step) against
+// one-shot pruning at the same final sparsities. This is the offline
+// companion of the runtime system: a production level library would be
+// prepared with the gradual recipe, pushing each accuracy target to deeper
+// sparsity.
+func RunA8(z *Zoo) ([]*metrics.Table, error) {
+	eval := z.ObstacleEval()
+	trainSet := z.ObstacleTrain()
+
+	t := metrics.NewTable(
+		"A8: one-shot vs gradual (cubic, masked fine-tuning) pruning",
+		"final sparsity", "one-shot acc", "one-shot + fine-tune acc", "gradual acc",
+	)
+	for _, final := range []float64{0.9, 0.95, 0.98} {
+		// One-shot, no recovery training.
+		oneShot := z.CloneObstacle()
+		planOS, err := prune.PlanSingle(prune.MagnitudeGlobal{}, oneShot, final)
+		if err != nil {
+			return nil, err
+		}
+		planOS.Apply(oneShot)
+		accOneShot := eval(oneShot)
+
+		// One-shot plus the same total fine-tuning budget (6 epochs) used by
+		// the gradual recipe, masks held fixed.
+		osft := z.CloneObstacle()
+		planFT, err := prune.PlanSingle(prune.MagnitudeGlobal{}, osft, final)
+		if err != nil {
+			return nil, err
+		}
+		planFT.Apply(osft)
+		train.Fit(osft, trainSet.X, trainSet.Labels, train.Config{
+			Epochs:    6,
+			BatchSize: 32,
+			Optimizer: train.NewAdam(0.001, 0),
+			Seed:      301,
+			PostStep: func(m *nn.Sequential) {
+				planFT.MaskGradients(m)
+				planFT.Apply(m)
+			},
+		})
+		accOSFT := eval(osft)
+
+		// Gradual: 6 cubic steps from 30% to the final sparsity, re-ranking
+		// the surviving weights each step, one masked epoch per step.
+		grad := z.CloneObstacle()
+		levels, err := prune.ScheduleLevels(prune.Cubic{Initial: 0.3, Final: final}, 6)
+		if err != nil {
+			return nil, err
+		}
+		for step, s := range levels {
+			plan, err := prune.PlanSingle(prune.MagnitudeGlobal{}, grad, s)
+			if err != nil {
+				return nil, err
+			}
+			plan.Apply(grad)
+			train.Fit(grad, trainSet.X, trainSet.Labels, train.Config{
+				Epochs:    1,
+				BatchSize: 32,
+				Optimizer: train.NewAdam(0.001, 0),
+				Seed:      int64(400 + step),
+				PostStep: func(m *nn.Sequential) {
+					plan.MaskGradients(m)
+					plan.Apply(m)
+				},
+			})
+		}
+		accGradual := eval(grad)
+
+		t.AddRow(metrics.Pct(final),
+			metrics.F(accOneShot, 4),
+			metrics.F(accOSFT, 4),
+			metrics.F(accGradual, 4))
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA7 is the Monte-Carlo robustness check: the dense baseline and the
+// adaptive governor over ten randomized traffic worlds (random spawns,
+// random fog window). The qualitative T2/T3 conclusions must not be an
+// artifact of the scripted scenarios.
+func RunA7(z *Zoo) ([]*metrics.Table, error) {
+	spec := platform.EmbeddedCPU()
+	const worlds = 10
+	const ticks = 1200
+
+	t := metrics.NewTable(
+		fmt.Sprintf("A7: Monte-Carlo robustness over %d random-traffic worlds", worlds),
+		"deployment", "collisions", "violations", "missed critical", "energy mJ (mean)", "energy mJ (p95)", "mean level",
+	)
+	for _, cse := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"always-dense", false},
+		{"adaptive hysteresis(20)", true},
+	} {
+		var collisions, violations, missedCrit int
+		var energies []float64
+		var meanLevel float64
+		for w := 0; w < worlds; w++ {
+			sc := sim.RandomTraffic(ticks, 0.004, int64(1000+w))
+			model, rm, err := z.ObstacleStack(nil, spec)
+			if err != nil {
+				return nil, err
+			}
+			var gov *governor.Governor
+			if cse.adaptive {
+				gov, err = governor.New(rm, &governor.Hysteresis{DwellTicks: 20}, safety.DefaultContract())
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err := perception.RunScenario(sc, model, rm, perception.LoopConfig{
+				FrameSize: 16, Spec: spec, Governor: gov, Seed: int64(2000 + w),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Collided {
+				collisions++
+			}
+			violations += res.Violations
+			missedCrit += res.MissedCritical
+			energies = append(energies, res.EnergyMJ)
+			meanLevel += res.MeanLevel / worlds
+		}
+		t.AddRow(cse.name,
+			fmt.Sprintf("%d", collisions),
+			fmt.Sprintf("%d", violations),
+			fmt.Sprintf("%d", missedCrit),
+			metrics.F(metrics.Mean(energies), 1),
+			metrics.F(metrics.Percentile(energies, 95), 1),
+			metrics.F(meanLevel, 2))
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunA5 compares recovery-store encodings: exact float32 versus the
+// half-precision (bfloat16) option — memory saved versus the accuracy left
+// after an approximate restore.
+func RunA5(z *Zoo) ([]*metrics.Table, error) {
+	eval := z.ObstacleEval()
+	levels, err := z.DesignedLevels()
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		"A5: recovery-store encoding (restore from deepest level)",
+		"encoding", "store B", "restored accuracy", "bit-exact",
+	)
+	for _, cse := range []struct {
+		name string
+		opts []core.BuildOption
+	}{
+		{"float32 (exact)", nil},
+		{"bfloat16 (half store)", []core.BuildOption{core.WithHalfPrecisionStore()}},
+	} {
+		m := z.CloneObstacle()
+		plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, levels)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := core.Build(m, plans, cse.opts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := rm.ApplyLevel(rm.NumLevels() - 1); err != nil {
+			return nil, err
+		}
+		if err := rm.RestoreFull(); err != nil {
+			return nil, err
+		}
+		acc := eval(m)
+		exact := rm.VerifyDense() == nil
+		t.AddRow(cse.name,
+			fmt.Sprintf("%d", rm.StoreBytes()),
+			metrics.F(acc, 4),
+			fmt.Sprintf("%v", exact))
+	}
+	return []*metrics.Table{t}, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Experiment is one reconstructed table or figure of the evaluation.
+type Experiment struct {
+	// ID is the DESIGN.md identifier ("F1" … "T5").
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run regenerates the experiment's tables. Runners share the zoo so
+	// model training happens once per process.
+	Run func(z *Zoo) ([]*metrics.Table, error)
+}
+
+// All returns every experiment in report order (figures first, then
+// tables).
+func All() []Experiment {
+	return []Experiment{
+		{ID: "F1", Title: "Accuracy vs sparsity per pruning method", Run: RunF1},
+		{ID: "F2", Title: "Latency and energy vs sparsity (model + measured)", Run: RunF2},
+		{ID: "F3", Title: "Recovery latency: reversible restore vs reload vs fine-tune", Run: RunF3},
+		{ID: "F4", Title: "Runtime adaptation timeline (cut-in scenario)", Run: RunF4},
+		{ID: "F5", Title: "Governor policy ablation", Run: RunF5},
+		{ID: "T1", Title: "Recovery-store memory overhead vs per-level checkpoints", Run: RunT1},
+		{ID: "T2", Title: "Safety outcomes per deployment strategy", Run: RunT2},
+		{ID: "T3", Title: "Energy at equal safety", Run: RunT3},
+		{ID: "T4", Title: "Level library calibration", Run: RunT4},
+		{ID: "T5", Title: "Transition cost matrix", Run: RunT5},
+		{ID: "A1", Title: "Ablation: pruning vs quantization ladders", Run: RunA1},
+		{ID: "A2", Title: "Ablation: hysteresis dwell sweep", Run: RunA2},
+		{ID: "A3", Title: "Ablation: sparse-skip matmul kernel", Run: RunA3},
+		{ID: "A4", Title: "Ablation: uncertainty signal in criticality fusion", Run: RunA4},
+		{ID: "A5", Title: "Ablation: recovery-store encoding (fp32 vs bf16)", Run: RunA5},
+		{ID: "A6", Title: "Baseline: RRP vs multi-model switching", Run: RunA6},
+		{ID: "A7", Title: "Monte-Carlo robustness over random traffic", Run: RunA7},
+		{ID: "A8", Title: "Ablation: one-shot vs gradual masked fine-tuning", Run: RunA8},
+		{ID: "A9", Title: "Fault injection: SEU detection and scrub repair", Run: RunA9},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// RunAndPrint executes one experiment and writes its tables (text format)
+// to w.
+func RunAndPrint(e Experiment, z *Zoo, w io.Writer) error {
+	tables, err := e.Run(z)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	fmt.Fprintf(w, "=== %s: %s ===\n\n", e.ID, e.Title)
+	for _, t := range tables {
+		fmt.Fprintln(w, t.String())
+	}
+	return nil
+}
+
+// RunAllAndPrint executes every experiment against one shared zoo.
+func RunAllAndPrint(z *Zoo, w io.Writer) error {
+	for _, e := range All() {
+		if err := RunAndPrint(e, z, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders an experiment's tables as markdown for EXPERIMENTS.md.
+func Markdown(e Experiment, z *Zoo) (string, error) {
+	tables, err := e.Run(z)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("### %s — %s\n\n", e.ID, e.Title)
+	for _, t := range tables {
+		out += t.Markdown() + "\n"
+	}
+	return out, nil
+}
+
+// WriteCSVs runs the selected experiment (or all when id is empty) and
+// writes every produced table as a CSV file named <ID>_<n>.csv in dir.
+func WriteCSVs(z *Zoo, id, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	list := All()
+	if id != "" {
+		e, err := ByID(id)
+		if err != nil {
+			return err
+		}
+		list = []Experiment{e}
+	}
+	for _, e := range list {
+		tables, err := e.Run(z)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		for i, t := range tables {
+			path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

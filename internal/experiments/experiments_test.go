@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/platform"
+)
+
+// sharedZoo is trained once per test binary; experiment runners are
+// read-mostly over it.
+var sharedZoo = NewZoo(1)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("F3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestZooModelsAreTrained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	if acc := sharedZoo.SignEval()(mustSign(t)); acc < 0.9 {
+		t.Errorf("sign model accuracy %v", acc)
+	}
+	if acc := sharedZoo.ObstacleEval()(mustObstacle(t)); acc < 0.9 {
+		t.Errorf("obstacle model accuracy %v", acc)
+	}
+}
+
+func mustSign(t *testing.T) *nn.Sequential {
+	t.Helper()
+	m, _ := sharedZoo.SignNet()
+	return m
+}
+
+func mustObstacle(t *testing.T) *nn.Sequential {
+	t.Helper()
+	m, _ := sharedZoo.ObstacleNet()
+	return m
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	a := sharedZoo.CloneObstacle()
+	b := sharedZoo.CloneObstacle()
+	a.Param("fc2/weight").Value.Fill(0)
+	if b.Param("fc2/weight").Value.CountNonZero() == 0 {
+		t.Error("clones share weight storage")
+	}
+	orig, _ := sharedZoo.ObstacleNet()
+	if orig.Param("fc2/weight").Value.CountNonZero() == 0 {
+		t.Error("clone mutation reached the zoo original")
+	}
+}
+
+func TestDesignedLevelsAreUsable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	levels, err := sharedZoo.DesignedLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != len(DefaultAccuracyDrops) {
+		t.Fatalf("designed %d levels for %d drops", len(levels), len(DefaultAccuracyDrops))
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			t.Fatalf("levels not increasing: %v", levels)
+		}
+	}
+	_, rm, err := sharedZoo.ObstacleStack(nil, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracies must be roughly monotone decreasing with depth (small
+	// calibration noise tolerated).
+	for i := 1; i < rm.NumLevels(); i++ {
+		if rm.Level(i).Accuracy > rm.Level(i-1).Accuracy+0.03 {
+			t.Errorf("level %d accuracy %v above level %d accuracy %v", i, rm.Level(i).Accuracy, i-1, rm.Level(i-1).Accuracy)
+		}
+	}
+	// Energy must fall with depth.
+	if rm.Level(rm.NumLevels()-1).EnergyMJ >= rm.Level(0).EnergyMJ {
+		t.Error("deepest level not cheaper than dense")
+	}
+}
+
+func TestObstacleStackDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	_, rm1, err := sharedZoo.ObstacleStack(nil, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rm2, err := sharedZoo.ObstacleStack(nil, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rm1.NumLevels(); i++ {
+		if rm1.Level(i).Accuracy != rm2.Level(i).Accuracy {
+			t.Errorf("level %d accuracy differs between identical stacks", i)
+		}
+	}
+}
+
+// TestAllExperimentsProduceTables is the end-to-end harness smoke test: it
+// regenerates every table and figure once.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness skipped in -short mode")
+	}
+	for _, e := range All() {
+		tables, err := e.Run(sharedZoo)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", e.ID)
+		}
+		for _, tb := range tables {
+			if tb.NumRows() == 0 {
+				t.Errorf("%s: empty table %q", e.ID, tb.Title)
+			}
+		}
+	}
+}
+
+// TestF3Shape parses the F3 table and asserts the headline ordering:
+// reversible ≪ reload ≪ fine-tune.
+func TestF3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness skipped in -short mode")
+	}
+	tables, err := RunF3(sharedZoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows()
+	if len(rows) != 4 {
+		t.Fatalf("F3 has %d rows", len(rows))
+	}
+	times := make([]float64, len(rows))
+	for i, r := range rows {
+		v, err := strconv.ParseFloat(r[1], 64)
+		if err != nil {
+			t.Fatalf("row %d time %q: %v", i, r[1], err)
+		}
+		times[i] = v
+	}
+	if !(times[0] < times[1] && times[1] <= times[2] && times[2] < times[3]) {
+		t.Errorf("recovery times not ordered: %v", times)
+	}
+	if times[3]/times[0] < 100 {
+		t.Errorf("fine-tune only %.0f× slower than restore; expected orders of magnitude", times[3]/times[0])
+	}
+}
+
+// TestF1Shape asserts magnitude pruning beats random at every sparsity.
+func TestF1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness skipped in -short mode")
+	}
+	tables, err := RunF1(sharedZoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows() {
+		mag, err1 := strconv.ParseFloat(row[1], 64)
+		rnd, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		if mag < rnd-0.05 {
+			t.Errorf("at %s magnitude %v below random %v", row[0], mag, rnd)
+		}
+	}
+}
+
+// TestT1Shape asserts the store is flat in level count while checkpoints
+// grow linearly.
+func TestT1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness skipped in -short mode")
+	}
+	tables, err := RunT1(sharedZoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows()
+	firstStore := rows[0][2]
+	for _, r := range rows[1:] {
+		if r[2] != firstStore {
+			t.Errorf("store bytes changed with level count: %s vs %s", r[2], firstStore)
+		}
+	}
+	ck0, _ := strconv.ParseFloat(rows[0][4], 64)
+	ckLast, _ := strconv.ParseFloat(rows[len(rows)-1][4], 64)
+	if ckLast <= ck0 {
+		t.Error("checkpoint bytes did not grow with level count")
+	}
+}
+
+func TestRunAndPrintFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness skipped in -short mode")
+	}
+	e, err := ByID("T5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunAndPrint(e, sharedZoo, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "=== T5") {
+		t.Error("header missing")
+	}
+	md, err := Markdown(e, sharedZoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "### T5") || !strings.Contains(md, "| from\\to |") {
+		t.Errorf("markdown rendering wrong:\n%s", md[:200])
+	}
+}
+
+func testSpec() platform.Spec { return platform.EmbeddedCPU() }

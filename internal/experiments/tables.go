@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/perception"
+	"repro/internal/platform"
+	"repro/internal/prune"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+// RunT1 reproduces Table 1: memory overhead of reversibility. The nested
+// recovery store holds every displaced weight exactly once, so its size is
+// flat in the level count, while per-level full checkpoints grow linearly.
+func RunT1(z *Zoo) ([]*metrics.Table, error) {
+	t := metrics.NewTable(
+		"T1: reversibility memory overhead vs level-library size (obstacle net)",
+		"levels", "deepest sparsity", "recovery store B", "values+bitmask B", "per-level checkpoints B", "store/checkpoints", "store/model",
+	)
+	for _, n := range []int{2, 4, 6, 8} {
+		// Ladder from 30% to 70% sparsity in n steps.
+		levels := make([]float64, n)
+		for i := range levels {
+			levels[i] = 0.3 + 0.4*float64(i)/float64(n-1)
+		}
+		model := z.CloneObstacle()
+		plans, err := (prune.MagnitudeGlobal{}).PlanNested(model, levels)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := core.Build(model, plans)
+		if err != nil {
+			return nil, err
+		}
+		checkpointBytes := int64(model.WeightsSize()) * int64(n)
+		modelBytes := int64(model.WeightsSize())
+		// The speed-optimized store keeps explicit int32 indices (8 B per
+		// displaced weight); a space-optimized variant would keep only the
+		// values plus one bitmask per level (4 B per weight + n/8 B per
+		// prunable weight per level).
+		var prunableWeights int64
+		for _, p := range model.PrunableParams() {
+			prunableWeights += int64(p.Value.Len())
+		}
+		bitmaskBytes := rm.StoredWeights()*4 + prunableWeights/8*int64(n)
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			metrics.Pct(levels[n-1]),
+			fmt.Sprintf("%d", rm.StoreBytes()),
+			fmt.Sprintf("%d", bitmaskBytes),
+			fmt.Sprintf("%d", checkpointBytes),
+			metrics.Pct(float64(rm.StoreBytes())/float64(checkpointBytes)),
+			metrics.Pct(float64(rm.StoreBytes())/float64(modelBytes)),
+		)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// strategyResult is one row of T2, aggregated over all scenarios.
+type strategyResult struct {
+	name                                      string
+	collisions, missed, missedCrit, violation int
+	falseAlarms                               int
+	obstacleTicks                             int
+	energy                                    float64
+	meanLevel                                 float64
+}
+
+// runStrategies executes the four deployment strategies over every
+// scenario; T2 and T3 both consume the (memoized) result.
+func runStrategies(z *Zoo) ([]strategyResult, error) {
+	z.stratMu.Lock()
+	defer z.stratMu.Unlock()
+	if z.stratCache != nil {
+		return z.stratCache, nil
+	}
+	res, err := runStrategiesUncached(z)
+	if err != nil {
+		return nil, err
+	}
+	z.stratCache = res
+	return res, nil
+}
+
+func runStrategiesUncached(z *Zoo) ([]strategyResult, error) {
+	spec := platform.EmbeddedCPU()
+	scenarios := sim.AllScenarios()
+
+	type strategy struct {
+		name  string
+		setup func() (runModel, error)
+	}
+	results := make([]strategyResult, 0, 4)
+
+	strategies := []strategy{
+		{"always-dense", func() (runModel, error) {
+			// Keeps the reversible wrapper (at L0, ungoverned) so violation
+			// and energy accounting are uniform across strategies.
+			model, rm, err := z.ObstacleStack(nil, spec)
+			return runModel{model: model, rm: rm}, err
+		}},
+		{"static-pruned (deepest)", func() (runModel, error) {
+			model, rm, err := z.ObstacleStack(nil, spec)
+			if err != nil {
+				return runModel{}, err
+			}
+			if err := rm.ApplyLevel(rm.NumLevels() - 1); err != nil {
+				return runModel{}, err
+			}
+			return runModel{model: model, rm: rm}, nil
+		}},
+		{"adaptive threshold", func() (runModel, error) {
+			model, rm, err := z.ObstacleStack(nil, spec)
+			if err != nil {
+				return runModel{}, err
+			}
+			gov, err := governor.New(rm, governor.Threshold{}, safety.DefaultContract())
+			return runModel{model: model, rm: rm, gov: gov}, err
+		}},
+		{"adaptive hysteresis(20)", func() (runModel, error) {
+			model, rm, err := z.ObstacleStack(nil, spec)
+			if err != nil {
+				return runModel{}, err
+			}
+			gov, err := governor.New(rm, &governor.Hysteresis{DwellTicks: 20}, safety.DefaultContract())
+			return runModel{model: model, rm: rm, gov: gov}, err
+		}},
+	}
+
+	for _, st := range strategies {
+		agg := strategyResult{name: st.name}
+		for _, sc := range scenarios {
+			rmod, err := st.setup()
+			if err != nil {
+				return nil, err
+			}
+			res, err := perception.RunScenario(sc, rmod.model, rmod.rm, perception.LoopConfig{
+				FrameSize: 16, Spec: spec, Governor: rmod.gov, Seed: 42,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Collided {
+				agg.collisions++
+			}
+			agg.missed += res.Missed
+			agg.missedCrit += res.MissedCritical
+			agg.violation += res.Violations
+			agg.falseAlarms += res.FalseAlarms
+			agg.obstacleTicks += res.ObstacleTicks
+			agg.energy += res.EnergyMJ
+			agg.meanLevel += res.MeanLevel / float64(len(scenarios))
+		}
+		results = append(results, agg)
+	}
+	return results, nil
+}
+
+type runModel struct {
+	model *nn.Sequential
+	rm    *core.ReversibleModel
+	gov   *governor.Governor
+}
+
+// RunT2 reproduces Table 2: safety outcomes per deployment strategy over
+// all scenarios. Expected shape: static-pruned misses critical frames (and
+// may collide); adaptive matches always-dense safety.
+func RunT2(z *Zoo) ([]*metrics.Table, error) {
+	results, err := runStrategies(z)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		"T2: safety outcomes over all 6 scenarios (sums)",
+		"strategy", "collisions", "missed", "missed critical", "false alarms", "violations", "mean level", "energy mJ",
+	)
+	for _, r := range results {
+		t.AddRow(r.name,
+			fmt.Sprintf("%d", r.collisions),
+			fmt.Sprintf("%d/%d", r.missed, r.obstacleTicks),
+			fmt.Sprintf("%d", r.missedCrit),
+			fmt.Sprintf("%d", r.falseAlarms),
+			fmt.Sprintf("%d", r.violation),
+			metrics.F(r.meanLevel, 2),
+			metrics.F(r.energy, 1),
+		)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunT3 reproduces Table 3: energy at equal safety — among strategies that
+// match the dense baseline's collision count and critical-miss budget, how
+// much energy does adaptation save?
+func RunT3(z *Zoo) ([]*metrics.Table, error) {
+	results, err := runStrategies(z)
+	if err != nil {
+		return nil, err
+	}
+	dense := results[0]
+	t := metrics.NewTable(
+		"T3: energy at equal safety (vs always-dense baseline)",
+		"strategy", "energy mJ", "saving", "collisions", "missed critical", "violations", "safety-equal",
+	)
+	for _, r := range results {
+		equal := r.collisions <= dense.collisions &&
+			r.missedCrit <= dense.missedCrit+2 &&
+			r.violation <= dense.violation
+		t.AddRow(r.name,
+			metrics.F(r.energy, 1),
+			metrics.Pct(1-r.energy/dense.energy),
+			fmt.Sprintf("%d", r.collisions),
+			fmt.Sprintf("%d", r.missedCrit),
+			fmt.Sprintf("%d", r.violation),
+			fmt.Sprintf("%v", equal),
+		)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunT4 reproduces Table 4: the calibrated level library as deployed —
+// sparsity, accuracy, platform costs, and the measured cost of restoring
+// from each level to dense.
+func RunT4(z *Zoo) ([]*metrics.Table, error) {
+	spec := platform.EmbeddedCPU()
+	_, rm, err := z.ObstacleStack(nil, spec)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("T4: level library calibration (obstacle net, %s)", spec.Name),
+		"level", "sparsity", "accuracy", "latency ms", "energy mJ", "restore weights", "restore µs (measured)",
+	)
+	for i := 0; i < rm.NumLevels(); i++ {
+		restoreUS := 0.0
+		if i > 0 {
+			const reps = 100
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if err := rm.ApplyLevel(i); err != nil {
+					return nil, err
+				}
+				if err := rm.RestoreFull(); err != nil {
+					return nil, err
+				}
+			}
+			// Half the loop is the deepen direction; charge half to restore.
+			restoreUS = float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+		}
+		lvl := rm.Level(i)
+		t.AddRow(lvl.Name,
+			metrics.Pct(lvl.Sparsity),
+			metrics.F(lvl.Accuracy, 4),
+			metrics.F(lvl.LatencyMS, 3),
+			metrics.F(lvl.EnergyMJ, 3),
+			fmt.Sprintf("%d", rm.WeightsChanged(0, i)),
+			metrics.F(restoreUS, 1),
+		)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// RunT5 reproduces Table 5: the any-to-any transition cost matrix, in
+// weights written, plus measured round-trip times for the extreme
+// transitions.
+func RunT5(z *Zoo) ([]*metrics.Table, error) {
+	spec := platform.EmbeddedCPU()
+	_, rm, err := z.ObstacleStack(nil, spec)
+	if err != nil {
+		return nil, err
+	}
+	n := rm.NumLevels()
+	header := []string{"from\\to"}
+	for j := 0; j < n; j++ {
+		header = append(header, fmt.Sprintf("L%d", j))
+	}
+	t := metrics.NewTable("T5: transition cost matrix (weights written)", header...)
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("L%d", i)}
+		for j := 0; j < n; j++ {
+			row = append(row, fmt.Sprintf("%d", rm.WeightsChanged(i, j)))
+		}
+		t.AddRow(row...)
+	}
+
+	timing := metrics.NewTable("T5b: measured transition round trips", "transition", "µs per direction")
+	for _, pair := range [][2]int{{0, 1}, {0, n - 1}, {n - 2, n - 1}} {
+		const reps = 200
+		if err := rm.ApplyLevel(pair[0]); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := rm.ApplyLevel(pair[1]); err != nil {
+				return nil, err
+			}
+			if err := rm.ApplyLevel(pair[0]); err != nil {
+				return nil, err
+			}
+		}
+		us := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+		timing.AddRow(fmt.Sprintf("L%d↔L%d", pair[0], pair[1]), metrics.F(us, 2))
+	}
+	if err := rm.RestoreFull(); err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{t, timing}, nil
+}

@@ -1,0 +1,95 @@
+// Package faults implements a memory-fault injection substrate: single-
+// event upsets (random bit flips) in live weight memory, the standard
+// model for radiation- and aging-induced corruption in safety-critical
+// electronics (ISO 26262's random-hardware-fault class).
+//
+// The reversible-pruning core interacts with faults in two ways probed by
+// experiment A9: the recovery store's build-time hash (VerifyDense)
+// detects any corruption of prunable weights, and a RestoreFull after
+// re-priming from the store repairs every weight the store covers.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Injection records one injected bit flip.
+type Injection struct {
+	// Param is the corrupted parameter's name.
+	Param string
+	// Index is the flat weight index.
+	Index int
+	// Bit is the flipped bit position (0 = LSB of the float32 pattern).
+	Bit int
+	// Before and After are the weight values around the flip.
+	Before, After float32
+}
+
+// Injector flips random bits in a model's prunable weights.
+type Injector struct {
+	rng *tensor.RNG
+	// MaxBit bounds the flipped bit position (default 32, i.e. any bit;
+	// lower it to 23 to exclude sign/exponent bits and model only
+	// mantissa-level noise).
+	MaxBit int
+}
+
+// NewInjector constructs a deterministic injector.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: tensor.NewRNG(seed), MaxBit: 32}
+}
+
+// Inject flips n random bits across the model's prunable weights and
+// returns a record of every flip (in injection order).
+func (in *Injector) Inject(model *nn.Sequential, n int) ([]Injection, error) {
+	params := model.PrunableParams()
+	if len(params) == 0 {
+		return nil, fmt.Errorf("faults: model %q has no prunable parameters", model.Name())
+	}
+	maxBit := in.MaxBit
+	if maxBit <= 0 || maxBit > 32 {
+		maxBit = 32
+	}
+	total := 0
+	for _, p := range params {
+		total += p.Value.Len()
+	}
+	out := make([]Injection, 0, n)
+	for i := 0; i < n; i++ {
+		k := in.rng.Intn(total)
+		for _, p := range params {
+			if k >= p.Value.Len() {
+				k -= p.Value.Len()
+				continue
+			}
+			d := p.Value.Data()
+			bit := in.rng.Intn(maxBit)
+			before := d[k]
+			d[k] = math.Float32frombits(math.Float32bits(before) ^ (1 << bit))
+			out = append(out, Injection{
+				Param: p.Name, Index: k, Bit: bit,
+				Before: before, After: d[k],
+			})
+			break
+		}
+	}
+	return out, nil
+}
+
+// Repair undoes the given injections (most-recent first, so double flips
+// at one location unwind correctly).
+func Repair(model *nn.Sequential, injections []Injection) error {
+	for i := len(injections) - 1; i >= 0; i-- {
+		inj := injections[i]
+		p := model.Param(inj.Param)
+		if p == nil {
+			return fmt.Errorf("faults: unknown parameter %q", inj.Param)
+		}
+		p.Value.Data()[inj.Index] = inj.Before
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func faultModel(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	return nn.NewSequential("m",
+		nn.NewDense("fc1", 10, 20, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 20, 4, rng),
+	)
+}
+
+func snapshot(m *nn.Sequential) map[string][]float32 {
+	out := map[string][]float32{}
+	for _, p := range m.PrunableParams() {
+		cp := make([]float32, p.Value.Len())
+		copy(cp, p.Value.Data())
+		out[p.Name] = cp
+	}
+	return out
+}
+
+func TestInjectFlipsExactlyNBits(t *testing.T) {
+	m := faultModel(1)
+	before := snapshot(m)
+	inj := NewInjector(2)
+	flips, err := inj.Inject(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips) != 7 {
+		t.Fatalf("recorded %d flips, want 7", len(flips))
+	}
+	changed := 0
+	for name, want := range before {
+		got := m.Param(name).Value.Data()
+		for i := range want {
+			if got[i] != want[i] {
+				changed++
+			}
+		}
+	}
+	// Flips can collide on the same weight (rare), so changed ≤ 7; but at
+	// least one weight must differ.
+	if changed == 0 || changed > 7 {
+		t.Errorf("%d weights changed by 7 flips", changed)
+	}
+	for _, f := range flips {
+		if f.Before == f.After {
+			t.Error("recorded flip with no effect")
+		}
+	}
+}
+
+func TestRepairRestoresExactly(t *testing.T) {
+	m := faultModel(3)
+	before := snapshot(m)
+	inj := NewInjector(4)
+	flips, err := inj.Inject(m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Repair(m, flips); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		got := m.Param(name).Value.Data()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] not repaired", name, i)
+			}
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	m1, m2 := faultModel(5), faultModel(5)
+	f1, _ := NewInjector(6).Inject(m1, 5)
+	f2, _ := NewInjector(6).Inject(m2, 5)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("same seed produced different injections")
+		}
+	}
+}
+
+func TestMaxBitBoundsPosition(t *testing.T) {
+	m := faultModel(7)
+	inj := NewInjector(8)
+	inj.MaxBit = 8
+	flips, _ := inj.Inject(m, 50)
+	for _, f := range flips {
+		if f.Bit >= 8 {
+			t.Fatalf("bit %d beyond MaxBit", f.Bit)
+		}
+	}
+}
+
+func TestInjectRejectsWeightlessModel(t *testing.T) {
+	m := nn.NewSequential("empty", nn.NewReLU("r"))
+	if _, err := NewInjector(1).Inject(m, 1); err == nil {
+		t.Error("weightless model accepted")
+	}
+}
+
+// Property: inject → repair is the identity for arbitrary counts and seeds.
+func TestInjectRepairIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := faultModel(seed)
+		before := snapshot(m)
+		rng := tensor.NewRNG(seed)
+		flips, err := NewInjector(seed+1).Inject(m, 1+rng.Intn(40))
+		if err != nil {
+			return false
+		}
+		if err := Repair(m, flips); err != nil {
+			return false
+		}
+		for name, want := range before {
+			got := m.Param(name).Value.Data()
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

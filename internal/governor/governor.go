@@ -1,0 +1,184 @@
+// Package governor implements the runtime self-adaptation loop (the MAPE-K
+// pattern: Monitor→Analyze→Plan→Execute over shared Knowledge) that drives
+// reversible pruning-level transitions. Each control tick it takes the
+// safety monitor's criticality assessment, asks a pluggable Policy for a
+// target level, enforces the hard accuracy contract, and executes the
+// transition on the ReversibleModel.
+//
+// The contract enforcement is deliberately outside the policies: whatever a
+// policy proposes, the governor only ever *raises* quality to meet the
+// current criticality class's accuracy floor, so a buggy or aggressive
+// policy cannot take the system below contract.
+package governor
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/safety"
+)
+
+// Inputs is what a policy sees each tick.
+type Inputs struct {
+	// Tick is the control tick index.
+	Tick int
+	// Assessment is the fused criticality estimate for this tick.
+	Assessment safety.Assessment
+	// Current is the active level index.
+	Current int
+	// Levels is the calibrated level library (index 0 = dense).
+	Levels []*core.Level
+	// Contract is the accuracy contract in force.
+	Contract safety.Contract
+}
+
+// Policy proposes a pruning level for the current tick. Implementations
+// may keep internal state (hysteresis, trend estimators) but must be
+// deterministic given their input sequence.
+type Policy interface {
+	// Name identifies the policy in tables.
+	Name() string
+	// Decide returns the desired level index; the governor clamps and
+	// contract-checks it.
+	Decide(in Inputs) int
+}
+
+// Decision records one governor tick.
+type Decision struct {
+	// Tick is the control tick index.
+	Tick int
+	// Class is the criticality class at decision time.
+	Class safety.Criticality
+	// Target is the policy's proposal, Applied the level actually set.
+	Target, Applied int
+	// Switched reports whether the level changed this tick.
+	Switched bool
+	// Clamped reports whether contract enforcement overrode the policy.
+	Clamped bool
+}
+
+// Governor executes the adaptation loop over one reversible model.
+type Governor struct {
+	rm        *core.ReversibleModel
+	policy    Policy
+	contract  safety.Contract
+	log       safety.ViolationLog
+	decisions []Decision
+	switches  int
+	keepTrace bool
+}
+
+// Option configures a Governor.
+type Option func(*Governor)
+
+// WithTrace records every Decision (for timeline figures); without it only
+// aggregate counters are kept.
+func WithTrace() Option { return func(g *Governor) { g.keepTrace = true } }
+
+// New constructs a governor. The model's levels should be calibrated
+// (Accuracy filled) — an uncalibrated library would make every contract
+// check fail to the dense level.
+func New(rm *core.ReversibleModel, policy Policy, contract safety.Contract, opts ...Option) (*Governor, error) {
+	if rm == nil {
+		return nil, fmt.Errorf("governor: nil model")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("governor: nil policy")
+	}
+	if err := contract.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Governor{rm: rm, policy: policy, contract: contract}
+	for _, o := range opts {
+		o(g)
+	}
+	return g, nil
+}
+
+// Model returns the governed reversible model.
+func (g *Governor) Model() *core.ReversibleModel { return g.rm }
+
+// Policy returns the active policy.
+func (g *Governor) Policy() Policy { return g.policy }
+
+// Tick runs one MAPE-K iteration and returns the decision taken.
+func (g *Governor) Tick(tick int, a safety.Assessment) (Decision, error) {
+	in := Inputs{
+		Tick:       tick,
+		Assessment: a,
+		Current:    g.rm.Current(),
+		Levels:     g.rm.Levels(),
+		Contract:   g.contract,
+	}
+	target := g.policy.Decide(in)
+	if target < 0 {
+		target = 0
+	}
+	if target >= g.rm.NumLevels() {
+		target = g.rm.NumLevels() - 1
+	}
+
+	// Hard contract enforcement: only ever raise quality. Emergency
+	// additionally bypasses the calibration table entirely — the system
+	// restores full capability regardless of what any level claims.
+	floor := g.contract.Floor(a.Class)
+	applied := target
+	clamped := false
+	if a.Class >= safety.Emergency {
+		if applied != 0 {
+			clamped = true
+		}
+		applied = 0
+	}
+	for applied > 0 && g.rm.Level(applied).Accuracy < floor {
+		applied--
+		clamped = true
+	}
+	if g.rm.Level(applied).Accuracy < floor {
+		// Even the dense model misses the floor; record the violation and
+		// run dense anyway — there is nothing better to execute.
+		g.log.Add(tick, a.Class, floor, g.rm.Level(applied).Accuracy)
+	}
+
+	prev := g.rm.Current()
+	if err := g.rm.ApplyLevel(applied); err != nil {
+		return Decision{}, fmt.Errorf("governor: tick %d: %w", tick, err)
+	}
+	d := Decision{
+		Tick:     tick,
+		Class:    a.Class,
+		Target:   target,
+		Applied:  applied,
+		Switched: applied != prev,
+		Clamped:  clamped,
+	}
+	if d.Switched {
+		g.switches++
+	}
+	if g.keepTrace {
+		g.decisions = append(g.decisions, d)
+	}
+	return d, nil
+}
+
+// Switches returns the number of level changes executed so far.
+func (g *Governor) Switches() int { return g.switches }
+
+// Violations returns the contract-violation log.
+func (g *Governor) Violations() *safety.ViolationLog { return &g.log }
+
+// Decisions returns the recorded decision trace (empty unless WithTrace).
+func (g *Governor) Decisions() []Decision { return g.decisions }
+
+// DeepestMeeting returns the deepest (sparsest) level index whose
+// calibrated accuracy meets floor, falling back to 0. It is the shared
+// quality-first selection rule the policies build on.
+func DeepestMeeting(levels []*core.Level, floor float64) int {
+	best := 0
+	for i, lvl := range levels {
+		if lvl.Accuracy >= floor {
+			best = i
+		}
+	}
+	return best
+}

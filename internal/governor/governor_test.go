@@ -1,0 +1,385 @@
+package governor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/safety"
+	"repro/internal/tensor"
+)
+
+// fixture builds a 4-level reversible model with synthetic calibrated
+// accuracies: L0 0.99, L1 0.95, L2 0.90, L3 0.80.
+func fixture(t *testing.T) *core.ReversibleModel {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	m := nn.NewSequential("m",
+		nn.NewDense("fc1", 8, 16, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 16, 4, rng),
+	)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.3, 0.6, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.Build(m, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := []float64{0.99, 0.95, 0.90, 0.80}
+	i := 0
+	if err := rm.Calibrate(func(*nn.Sequential) float64 { a := acc[i]; i++; return a }); err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func assess(score float64) safety.Assessment {
+	a := safety.DefaultAssessor()
+	cls := safety.Nominal
+	switch {
+	case score >= a.Thresholds[2]:
+		cls = safety.Emergency
+	case score >= a.Thresholds[1]:
+		cls = safety.Critical
+	case score >= a.Thresholds[0]:
+		cls = safety.Elevated
+	}
+	return safety.Assessment{Score: score, Class: cls}
+}
+
+func TestNewValidation(t *testing.T) {
+	rm := fixture(t)
+	if _, err := New(nil, Threshold{}, safety.DefaultContract()); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(rm, nil, safety.DefaultContract()); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad := safety.Contract{MinAccuracy: [safety.NumClasses]float64{0.9, 0.5, 0.9, 0.9}}
+	if _, err := New(rm, Threshold{}, bad); err == nil {
+		t.Error("invalid contract accepted")
+	}
+}
+
+func TestThresholdPolicyPicksDeepestMeetingFloor(t *testing.T) {
+	rm := fixture(t)
+	// Contract: nominal 0.75 → L3 (0.80 ≥ 0.75); critical 0.93 → L1;
+	// emergency 0.97 → L0.
+	g, err := New(rm, Threshold{}, safety.DefaultContract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Tick(0, assess(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Applied != 3 {
+		t.Errorf("nominal applied L%d, want L3", d.Applied)
+	}
+	d, _ = g.Tick(1, assess(0.45))
+	if d.Applied != 1 {
+		t.Errorf("critical applied L%d, want L1", d.Applied)
+	}
+	d, _ = g.Tick(2, assess(0.9))
+	if d.Applied != 0 {
+		t.Errorf("emergency applied L%d, want L0", d.Applied)
+	}
+	if g.Switches() != 3 {
+		t.Errorf("switches = %d, want 3", g.Switches())
+	}
+	if g.Violations().Count() != 0 {
+		t.Error("unexpected violations")
+	}
+}
+
+func TestGovernorClampsAggressivePolicy(t *testing.T) {
+	rm := fixture(t)
+	g, err := New(rm, Static{Level: 3}, safety.DefaultContract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Tick(0, assess(0.9)) // emergency floor 0.97: only L0 qualifies
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Applied != 0 || !d.Clamped {
+		t.Errorf("decision = %+v, want clamped to L0", d)
+	}
+}
+
+func TestGovernorLogsViolationWhenDenseMissesFloor(t *testing.T) {
+	rm := fixture(t)
+	contract := safety.Contract{MinAccuracy: [safety.NumClasses]float64{0.5, 0.6, 0.995, 0.999}}
+	g, err := New(rm, Threshold{}, contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tick(0, assess(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Violations().Count() != 1 {
+		t.Errorf("violations = %d, want 1", g.Violations().Count())
+	}
+	if rm.Current() != 0 {
+		t.Error("governor should still run dense when even L0 misses the floor")
+	}
+}
+
+func TestGovernorClampsOutOfRangeProposal(t *testing.T) {
+	rm := fixture(t)
+	g, _ := New(rm, Static{Level: 99}, safety.DefaultContract())
+	d, err := g.Tick(0, assess(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Applied >= rm.NumLevels() {
+		t.Errorf("applied out-of-range level %d", d.Applied)
+	}
+}
+
+func TestHysteresisEscalatesImmediately(t *testing.T) {
+	rm := fixture(t)
+	h := &Hysteresis{DwellTicks: 10}
+	g, _ := New(rm, h, safety.DefaultContract())
+	g.Tick(0, assess(0)) // settle at L3
+	d, _ := g.Tick(1, assess(0.9))
+	if d.Applied != 0 {
+		t.Errorf("escalation delayed: applied L%d", d.Applied)
+	}
+}
+
+func TestHysteresisDelaysDeescalation(t *testing.T) {
+	rm := fixture(t)
+	h := &Hysteresis{DwellTicks: 5}
+	g, _ := New(rm, h, safety.DefaultContract())
+	g.Tick(0, assess(0.9)) // L0
+	for i := 1; i <= 3; i++ {
+		d, _ := g.Tick(i, assess(0))
+		if d.Applied != 0 {
+			t.Fatalf("tick %d de-escalated to L%d before dwell", i, d.Applied)
+		}
+	}
+	d, _ := g.Tick(4, assess(0)) // 5th consecutive calm tick (0-based ticks 0..4 pending 1..4)
+	_ = d
+	d5, _ := g.Tick(5, assess(0))
+	if d5.Applied != 3 {
+		t.Errorf("after dwell still at L%d", d5.Applied)
+	}
+}
+
+func TestHysteresisCancelsPendingOnSpike(t *testing.T) {
+	rm := fixture(t)
+	h := &Hysteresis{DwellTicks: 4}
+	g, _ := New(rm, h, safety.DefaultContract())
+	g.Tick(0, assess(0.9)) // L0
+	g.Tick(1, assess(0))   // pending de-escalation
+	g.Tick(2, assess(0))
+	g.Tick(3, assess(0.9)) // spike cancels pending
+	for i := 4; i <= 6; i++ {
+		d, _ := g.Tick(i, assess(0))
+		if d.Applied != 0 {
+			if i < 7 {
+				t.Fatalf("tick %d: pending survived the spike (L%d)", i, d.Applied)
+			}
+		}
+	}
+}
+
+func TestHysteresisFewerSwitchesThanThreshold(t *testing.T) {
+	// Oscillating criticality right at a class boundary.
+	// Oscillate across the Elevated/Critical boundary at 0.4.
+	trace := make([]safety.Assessment, 200)
+	for i := range trace {
+		if i%2 == 0 {
+			trace[i] = assess(0.45)
+		} else {
+			trace[i] = assess(0.35)
+		}
+	}
+	run := func(p Policy) int {
+		rm := fixture(t)
+		g, err := New(rm, p, safety.DefaultContract())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range trace {
+			if _, err := g.Tick(i, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g.Switches()
+	}
+	th := run(Threshold{})
+	hy := run(&Hysteresis{DwellTicks: 20})
+	if hy >= th {
+		t.Errorf("hysteresis switches (%d) not below threshold (%d)", hy, th)
+	}
+	if th < 100 {
+		t.Errorf("oscillating trace should thrash threshold policy, got %d switches", th)
+	}
+}
+
+func TestPredictiveEscalatesEarly(t *testing.T) {
+	// A steadily rising score (steeper than the trend deadband): predictive
+	// should reach L0 before the score actually crosses the emergency
+	// boundary.
+	rmP := fixture(t)
+	p := &Predictive{Alpha: 0.5, LeadTicks: 30}
+	gP, _ := New(rmP, p, safety.DefaultContract())
+	rmT := fixture(t)
+	gT, _ := New(rmT, Threshold{}, safety.DefaultContract())
+
+	firstDenseP, firstDenseT := -1, -1
+	for i := 0; i < 100; i++ {
+		score := float64(i) * 0.02 // reaches the 0.6 emergency boundary at tick 30
+		if score > 1 {
+			score = 1
+		}
+		dp, err := gP.Tick(i, assess(score))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, err := gT.Tick(i, assess(score))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Applied == 0 && firstDenseP < 0 {
+			firstDenseP = i
+		}
+		if dt.Applied == 0 && firstDenseT < 0 {
+			firstDenseT = i
+		}
+	}
+	if firstDenseP < 0 || firstDenseT < 0 {
+		t.Fatal("policies never reached dense")
+	}
+	if firstDenseP >= firstDenseT {
+		t.Errorf("predictive reached dense at %d, threshold at %d — no anticipation", firstDenseP, firstDenseT)
+	}
+}
+
+func TestPredictiveNeverBelowObservedScore(t *testing.T) {
+	rm := fixture(t)
+	p := &Predictive{}
+	g, _ := New(rm, p, safety.DefaultContract())
+	// Falling scores: prediction must not undercut the live requirement.
+	for i := 0; i < 50; i++ {
+		score := math.Max(0, 0.9-float64(i)*0.05)
+		d, err := g.Tick(i, assess(score))
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor := safety.DefaultContract().Floor(assess(score).Class)
+		if rm.Level(d.Applied).Accuracy < floor {
+			t.Fatalf("tick %d below contract", i)
+		}
+	}
+}
+
+func TestEnergyBudgetPolicy(t *testing.T) {
+	rm := fixture(t)
+	// Attach per-level energies: dense 4× the deepest.
+	for i := 0; i < rm.NumLevels(); i++ {
+		rm.SetCost(i, 1, 4-float64(i))
+	}
+	// Generous budget: policy should track (or densify from) the quality
+	// choice, never force the deepest in calm conditions.
+	rich := &EnergyBudget{BudgetPerTickMJ: 10}
+	gRich, _ := New(rm, rich, safety.DefaultContract())
+	for i := 0; i < 50; i++ {
+		if _, err := gRich.Tick(i, assess(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	richLevel := rm.Current()
+
+	// Starvation budget: the policy must drive to the deepest feasible
+	// level.
+	rm2 := fixture(t)
+	for i := 0; i < rm2.NumLevels(); i++ {
+		rm2.SetCost(i, 1, 4-float64(i))
+	}
+	poor := &EnergyBudget{BudgetPerTickMJ: 0.1}
+	gPoor, _ := New(rm2, poor, safety.DefaultContract())
+	for i := 0; i < 50; i++ {
+		if _, err := gPoor.Tick(i, assess(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rm2.Current() < richLevel {
+		t.Errorf("starved policy at L%d, rich at L%d — budget has no effect", rm2.Current(), richLevel)
+	}
+	if poor.SpentMJ() <= 0 {
+		t.Error("energy accounting inactive")
+	}
+
+	// Contract still dominates: an emergency forces dense even when broke.
+	if _, err := gPoor.Tick(51, assess(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if rm2.Current() != 0 {
+		t.Errorf("emergency at L%d under energy starvation", rm2.Current())
+	}
+}
+
+func TestStaticPolicyNeverSwitchesWhenSafe(t *testing.T) {
+	rm := fixture(t)
+	g, _ := New(rm, Static{Level: 1}, safety.DefaultContract())
+	for i := 0; i < 20; i++ {
+		if _, err := g.Tick(i, assess(0.3)); err != nil { // elevated floor 0.85 ≤ L1's 0.95
+			t.Fatal(err)
+		}
+	}
+	if g.Switches() != 1 { // only the initial move from L0 to L1
+		t.Errorf("switches = %d, want 1", g.Switches())
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	rm := fixture(t)
+	g, _ := New(rm, Threshold{}, safety.DefaultContract(), WithTrace())
+	g.Tick(0, assess(0))
+	g.Tick(1, assess(0.9))
+	ds := g.Decisions()
+	if len(ds) != 2 {
+		t.Fatalf("trace length %d", len(ds))
+	}
+	if ds[1].Tick != 1 || ds[1].Applied != 0 || !ds[1].Switched {
+		t.Errorf("trace entry = %+v", ds[1])
+	}
+	// Without WithTrace, no decisions are kept.
+	g2, _ := New(rm, Threshold{}, safety.DefaultContract())
+	g2.Tick(0, assess(0))
+	if len(g2.Decisions()) != 0 {
+		t.Error("untraced governor recorded decisions")
+	}
+}
+
+func TestThresholdLatencyBudget(t *testing.T) {
+	rm := fixture(t)
+	// Give deep levels *higher* latency than allowed (artificial, to test
+	// the filter).
+	rm.SetCost(3, 9.0, 1)
+	rm.SetCost(2, 2.0, 1)
+	in := Inputs{Assessment: assess(0), Levels: rm.Levels(), Contract: safety.DefaultContract()}
+	if got := (Threshold{LatencyBudgetMS: 5}).Decide(in); got != 2 {
+		t.Errorf("latency-budgeted choice L%d, want L2", got)
+	}
+}
+
+func TestDeepestMeeting(t *testing.T) {
+	rm := fixture(t)
+	if DeepestMeeting(rm.Levels(), 0.97) != 0 {
+		t.Error("0.97 floor should force L0")
+	}
+	if DeepestMeeting(rm.Levels(), 0.85) != 2 {
+		t.Error("0.85 floor should give L2")
+	}
+	if DeepestMeeting(rm.Levels(), 0.1) != 3 {
+		t.Error("loose floor should give deepest")
+	}
+}

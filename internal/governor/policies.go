@@ -1,0 +1,223 @@
+package governor
+
+import "fmt"
+
+// Static always proposes the same level — the irreversible-deployment
+// baseline (a conventionally pruned model cannot move at runtime).
+type Static struct {
+	// Level is the fixed proposal.
+	Level int
+}
+
+// Name returns "static(L<n>)".
+func (s Static) Name() string { return fmt.Sprintf("static(L%d)", s.Level) }
+
+// Decide returns the fixed level.
+func (s Static) Decide(Inputs) int { return s.Level }
+
+// Threshold proposes, every tick, the deepest level whose calibrated
+// accuracy meets the current criticality class's floor. It reacts instantly
+// in both directions, which maximizes energy savings but can oscillate when
+// the criticality signal sits near a class boundary.
+type Threshold struct {
+	// LatencyBudgetMS, when positive, additionally filters out levels whose
+	// calibrated latency exceeds the budget.
+	LatencyBudgetMS float64
+}
+
+// Name returns "threshold".
+func (t Threshold) Name() string { return "threshold" }
+
+// Decide picks the deepest contract-satisfying level.
+func (t Threshold) Decide(in Inputs) int {
+	floor := in.Contract.Floor(in.Assessment.Class)
+	best := 0
+	for i, lvl := range in.Levels {
+		if lvl.Accuracy < floor {
+			continue
+		}
+		if t.LatencyBudgetMS > 0 && lvl.LatencyMS > t.LatencyBudgetMS {
+			continue
+		}
+		best = i
+	}
+	return best
+}
+
+// Hysteresis escalates quality immediately when criticality rises but
+// de-escalates (re-prunes) only after the relaxed requirement has held for
+// DwellTicks consecutive ticks. This trades a little energy for far fewer
+// transitions — the classic anti-oscillation governor.
+type Hysteresis struct {
+	// DwellTicks is how long a deeper target must persist before it is
+	// adopted (default 10).
+	DwellTicks int
+
+	pending      int
+	pendingSince int
+	initialized  bool
+}
+
+// Name returns "hysteresis(<dwell>)".
+func (h *Hysteresis) Name() string { return fmt.Sprintf("hysteresis(%d)", h.dwell()) }
+
+func (h *Hysteresis) dwell() int {
+	if h.DwellTicks <= 0 {
+		return 10
+	}
+	return h.DwellTicks
+}
+
+// Decide applies the asymmetric rule over the Threshold proposal.
+func (h *Hysteresis) Decide(in Inputs) int {
+	want := (Threshold{}).Decide(in)
+	if want <= in.Current {
+		// Escalation (or hold): immediate, and any pending de-escalation is
+		// cancelled.
+		h.initialized = false
+		return want
+	}
+	// De-escalation: adopt only after the same-or-deeper target persists.
+	if !h.initialized || want < h.pending {
+		h.pending = want
+		h.pendingSince = in.Tick
+		h.initialized = true
+	}
+	if in.Tick-h.pendingSince+1 >= h.dwell() {
+		h.initialized = false
+		return h.pending
+	}
+	return in.Current
+}
+
+// EnergyBudget tracks a rolling per-tick energy allowance: while actual
+// consumption runs ahead of budget it proposes deeper levels (never past
+// the contract — the governor clamps), and when under budget it affords
+// denser ones. It models a battery-constrained mission profile where
+// "spend quality only when you have the joules" is an explicit objective.
+type EnergyBudget struct {
+	// BudgetPerTickMJ is the sustainable per-tick energy allowance.
+	BudgetPerTickMJ float64
+	// Slack widens the dead zone around the budget before the policy
+	// reacts, as a fraction (default 0.1).
+	Slack float64
+
+	spentMJ float64
+	ticks   int
+}
+
+// Name returns "energy-budget".
+func (e *EnergyBudget) Name() string { return fmt.Sprintf("energy-budget(%.3f)", e.BudgetPerTickMJ) }
+
+// Decide charges the active level's energy, then proposes the deepest
+// contract-feasible level when over budget and the Threshold choice when
+// under.
+func (e *EnergyBudget) Decide(in Inputs) int {
+	if in.Current >= 0 && in.Current < len(in.Levels) {
+		e.spentMJ += in.Levels[in.Current].EnergyMJ
+	}
+	e.ticks++
+	slack := e.Slack
+	if slack <= 0 {
+		slack = 0.1
+	}
+	budget := e.BudgetPerTickMJ * float64(e.ticks)
+	base := (Threshold{}).Decide(in)
+	switch {
+	case e.BudgetPerTickMJ <= 0:
+		return base
+	case e.spentMJ > budget*(1+slack):
+		// Over budget: go as deep as the library allows; the governor's
+		// contract clamp keeps it honest.
+		return len(in.Levels) - 1
+	case e.spentMJ < budget*(1-slack):
+		// Under budget: afford one level denser than the quality-first
+		// choice.
+		if base > 0 {
+			return base - 1
+		}
+		return base
+	default:
+		return base
+	}
+}
+
+// SpentMJ returns the energy charged so far.
+func (e *EnergyBudget) SpentMJ() float64 { return e.spentMJ }
+
+// Predictive extrapolates the criticality score with an exponential moving
+// average and a smoothed trend, escalating *before* the class boundary is
+// crossed. It trades a few extra denser ticks for earlier full-quality
+// perception in rising-threat situations. The trend estimator is smoothed
+// three times harder than the level and gated by a deadband so frame-to-
+// frame uncertainty jitter does not amplify into level thrash.
+type Predictive struct {
+	// Alpha is the EMA coefficient for the score (default 0.3).
+	Alpha float64
+	// LeadTicks is how far ahead the trend is extrapolated (default 20).
+	LeadTicks float64
+	// TrendDeadband suppresses extrapolation for |trend| below this value
+	// (default 0.003/tick).
+	TrendDeadband float64
+	// Thresholds are the score boundaries per criticality class; use the
+	// assessor's. Zero value falls back to the default assessor boundaries.
+	Thresholds [3]float64
+
+	ema, trend float64
+	prev       float64
+	started    bool
+}
+
+// Name returns "predictive".
+func (p *Predictive) Name() string { return "predictive" }
+
+func (p *Predictive) params() (alpha, lead, deadband float64, th [3]float64) {
+	alpha = p.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	lead = p.LeadTicks
+	if lead <= 0 {
+		lead = 20
+	}
+	deadband = p.TrendDeadband
+	if deadband <= 0 {
+		deadband = 0.015
+	}
+	th = p.Thresholds
+	if th == ([3]float64{}) {
+		th = [3]float64{0.2, 0.4, 0.6} // the default assessor's boundaries
+	}
+	return alpha, lead, deadband, th
+}
+
+// Decide extrapolates the score and selects against the predicted class.
+func (p *Predictive) Decide(in Inputs) int {
+	alpha, lead, deadband, th := p.params()
+	score := in.Assessment.Score
+	if !p.started {
+		p.ema, p.prev, p.started = score, score, true
+	}
+	p.ema = alpha*score + (1-alpha)*p.ema
+	p.trend = alpha/3*(score-p.prev) + (1-alpha/3)*p.trend
+	p.prev = score
+
+	predicted := p.ema
+	if p.trend > deadband {
+		predicted += lead * p.trend
+	}
+	if predicted < score {
+		predicted = score // never predict *less* danger than observed now
+	}
+	class := 0
+	switch {
+	case predicted >= th[2]:
+		class = 3
+	case predicted >= th[1]:
+		class = 2
+	case predicted >= th[0]:
+		class = 1
+	}
+	floor := in.Contract.MinAccuracy[class]
+	return DeepestMeeting(in.Levels, floor)
+}

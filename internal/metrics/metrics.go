@@ -1,0 +1,307 @@
+// Package metrics provides the reporting primitives shared by the
+// experiment harness: aligned-text/markdown tables, time series recording,
+// percentile statistics, and confusion matrices.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned results table, rendered either as padded
+// text (for terminals) or markdown (for EXPERIMENTS.md).
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Header names the columns.
+	Header []string
+	rows   [][]string
+}
+
+// NewTable constructs a table with the given title and column names.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; the cell count must match the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("metrics: row with %d cells for %d columns", len(cells), len(t.Header)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the row data (shared; do not mutate).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// String renders the table as padded text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (cells containing commas or
+// quotes are quoted), for plot scripts.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// SI formats a value with an SI suffix (k, M, G) at one decimal.
+func SI(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Percentile of empty slice")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Recorder accumulates named time series tick by tick, for adaptation
+// timeline figures.
+type Recorder struct {
+	order []string
+	data  map[string][]float64
+}
+
+// NewRecorder constructs an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{data: make(map[string][]float64)}
+}
+
+// Record appends v to the named series.
+func (r *Recorder) Record(name string, v float64) {
+	if _, ok := r.data[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.data[name] = append(r.data[name], v)
+}
+
+// Series returns the named series (shared slice), or nil.
+func (r *Recorder) Series(name string) []float64 { return r.data[name] }
+
+// Names returns the series names in first-recorded order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// Len returns the length of the named series.
+func (r *Recorder) Len(name string) int { return len(r.data[name]) }
+
+// CSV renders all series column-wise with a tick index, padding shorter
+// series with empty cells.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("tick")
+	maxLen := 0
+	for _, name := range r.order {
+		fmt.Fprintf(&b, ",%s", name)
+		if len(r.data[name]) > maxLen {
+			maxLen = len(r.data[name])
+		}
+	}
+	b.WriteString("\n")
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&b, "%d", i)
+		for _, name := range r.order {
+			s := r.data[name]
+			if i < len(s) {
+				fmt.Fprintf(&b, ",%g", s[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ConfusionMatrix counts predictions per (true class, predicted class).
+type ConfusionMatrix struct {
+	k      int
+	counts []int
+}
+
+// NewConfusionMatrix constructs a k-class confusion matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	if k <= 0 {
+		panic(fmt.Sprintf("metrics: NewConfusionMatrix(%d)", k))
+	}
+	return &ConfusionMatrix{k: k, counts: make([]int, k*k)}
+}
+
+// Add records one (true, predicted) observation.
+func (c *ConfusionMatrix) Add(trueClass, predClass int) {
+	if trueClass < 0 || trueClass >= c.k || predClass < 0 || predClass >= c.k {
+		panic(fmt.Sprintf("metrics: confusion Add(%d,%d) for k=%d", trueClass, predClass, c.k))
+	}
+	c.counts[trueClass*c.k+predClass]++
+}
+
+// At returns the count for (true, predicted).
+func (c *ConfusionMatrix) At(trueClass, predClass int) int {
+	return c.counts[trueClass*c.k+predClass]
+}
+
+// Accuracy returns the diagonal fraction (0 for an empty matrix).
+func (c *ConfusionMatrix) Accuracy() float64 {
+	diag, total := 0, 0
+	for i := 0; i < c.k; i++ {
+		for j := 0; j < c.k; j++ {
+			n := c.counts[i*c.k+j]
+			total += n
+			if i == j {
+				diag += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Recall returns the recall of the given class (0 when the class is absent).
+func (c *ConfusionMatrix) Recall(class int) float64 {
+	var hit, total int
+	for j := 0; j < c.k; j++ {
+		n := c.counts[class*c.k+j]
+		total += n
+		if j == class {
+			hit += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

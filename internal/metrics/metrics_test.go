@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta", "22")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "alpha") {
+		t.Errorf("text rendering missing content:\n%s", s)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| name | value |") || !strings.Contains(md, "| beta | 22 |") {
+		t.Errorf("markdown rendering wrong:\n%s", md)
+	}
+}
+
+func TestTableRejectsWrongArity(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Error(F(3.14159, 2))
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Error(Pct(0.123))
+	}
+	if SI(1500) != "1.5k" || SI(2.5e6) != "2.5M" || SI(3e9) != "3.0G" || SI(12) != "12.0" {
+		t.Errorf("SI wrong: %s %s %s %s", SI(1500), SI(2.5e6), SI(3e9), SI(12))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Error("extremes wrong")
+	}
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("singleton wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty aggregates wrong")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 || Sum([]float64{1, 2, 3}) != 6 {
+		t.Error("aggregates wrong")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 1)
+	r.Record("b", 10)
+	r.Record("a", 2)
+	if r.Len("a") != 2 || r.Len("b") != 1 {
+		t.Error("lengths wrong")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+	if r.Series("a")[1] != 2 {
+		t.Error("series values wrong")
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "tick,a,b\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "1,2,") { // b padded empty at tick 1
+		t.Errorf("csv padding wrong:\n%s", csv)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	cm.Add(1, 1)
+	cm.Add(1, 1)
+	if cm.At(0, 1) != 1 || cm.At(1, 1) != 2 {
+		t.Error("counts wrong")
+	}
+	if math.Abs(cm.Accuracy()-0.75) > 1e-12 {
+		t.Errorf("accuracy = %v", cm.Accuracy())
+	}
+	if math.Abs(cm.Recall(0)-0.5) > 1e-12 || cm.Recall(1) != 1 {
+		t.Errorf("recall = %v / %v", cm.Recall(0), cm.Recall(1))
+	}
+	empty := NewConfusionMatrix(3)
+	if empty.Accuracy() != 0 || empty.Recall(0) != 0 {
+		t.Error("empty matrix aggregates wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cm.Add(2, 0)
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `has "quotes"`)
+	csv := tb.CSV()
+	want := "name,value\nplain,1\n\"with,comma\",\"has \"\"quotes\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

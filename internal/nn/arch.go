@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Architecture serialization: a compact binary description of a Sequential
+// model's layer stack, sufficient to reconstruct the model without source
+// code. Combined with the weight stream this makes deployment bundles
+// self-contained.
+//
+// Format (little-endian):
+//
+//	magic   uint32 0x41525253 ("SRRA")
+//	count   uint32
+//	layers  count × { typeID uint8, name string16, params uint32 × nParams }
+//
+// Dropout layers are reconstructed with a fresh deterministic RNG; dropout
+// is inert at inference, so this does not affect deployed behaviour.
+
+const archMagic uint32 = 0x41525253
+
+// Layer type identifiers. Order is part of the wire format; append only.
+const (
+	archDense uint8 = iota + 1
+	archConv2D
+	archReLU
+	archLeakyReLU
+	archTanh
+	archSoftmax
+	archMaxPool2D
+	archGlobalAvgPool2D
+	archFlatten
+	archBatchNorm
+	archDropout
+)
+
+// SaveArchitecture writes the model's layer-stack description to w.
+func (m *Sequential) SaveArchitecture(w io.Writer) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], archMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(m.layers)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: save arch header: %w", err)
+	}
+	for _, l := range m.layers {
+		id, params, err := describeLayerArch(l)
+		if err != nil {
+			return fmt.Errorf("nn: save arch: %w", err)
+		}
+		if err := writeArchLayer(w, id, l.Name(), params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadArchitecture reads a layer-stack description and reconstructs an
+// untrained model with the given name. Layer weights are freshly
+// initialized; load them separately with LoadWeights.
+func LoadArchitecture(name string, r io.Reader) (*Sequential, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nn: load arch header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != archMagic {
+		return nil, fmt.Errorf("nn: bad arch magic %#x", got)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if count < 0 || count > 4096 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", count)
+	}
+	model := NewSequential(name)
+	rng := tensor.NewRNG(0) // init overwritten by LoadWeights
+	for i := 0; i < count; i++ {
+		id, layerName, params, err := readArchLayer(r)
+		if err != nil {
+			return nil, fmt.Errorf("nn: load arch layer %d: %w", i, err)
+		}
+		l, err := buildLayerArch(id, layerName, params, rng)
+		if err != nil {
+			return nil, fmt.Errorf("nn: load arch layer %d (%s): %w", i, layerName, err)
+		}
+		model.Add(l)
+	}
+	return model, nil
+}
+
+// describeLayerArch extracts a layer's type id and integer parameters.
+func describeLayerArch(l Layer) (uint8, []uint32, error) {
+	switch t := l.(type) {
+	case *Dense:
+		return archDense, []uint32{uint32(t.in), uint32(t.out)}, nil
+	case *Conv2D:
+		g := t.geom
+		return archConv2D, []uint32{
+			uint32(g.InC), uint32(g.InH), uint32(g.InW),
+			uint32(g.KH), uint32(g.KW),
+			uint32(g.StrideH), uint32(g.StrideW),
+			uint32(g.PadH), uint32(g.PadW),
+			uint32(t.outC),
+		}, nil
+	case *ReLU:
+		return archReLU, nil, nil
+	case *LeakyReLU:
+		return archLeakyReLU, []uint32{math.Float32bits(t.alpha)}, nil
+	case *Tanh:
+		return archTanh, nil, nil
+	case *Softmax:
+		return archSoftmax, nil, nil
+	case *MaxPool2D:
+		return archMaxPool2D, []uint32{
+			uint32(t.c), uint32(t.h), uint32(t.w),
+			uint32(t.kh), uint32(t.kw),
+			uint32(t.strideH), uint32(t.strideW),
+		}, nil
+	case *GlobalAvgPool2D:
+		return archGlobalAvgPool2D, []uint32{uint32(t.c), uint32(t.h), uint32(t.w)}, nil
+	case *Flatten:
+		return archFlatten, nil, nil
+	case *BatchNorm:
+		return archBatchNorm, []uint32{uint32(t.features)}, nil
+	case *Dropout:
+		return archDropout, []uint32{math.Float32bits(t.p)}, nil
+	default:
+		return 0, nil, fmt.Errorf("unsupported layer type %T", l)
+	}
+}
+
+// buildLayerArch reconstructs a layer from its type id and parameters.
+func buildLayerArch(id uint8, name string, params []uint32, rng *tensor.RNG) (Layer, error) {
+	need := func(n int) error {
+		if len(params) != n {
+			return fmt.Errorf("layer type %d wants %d params, got %d", id, n, len(params))
+		}
+		return nil
+	}
+	switch id {
+	case archDense:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewDense(name, int(params[0]), int(params[1]), rng), nil
+	case archConv2D:
+		if err := need(10); err != nil {
+			return nil, err
+		}
+		g := tensor.ConvGeom{
+			InC: int(params[0]), InH: int(params[1]), InW: int(params[2]),
+			KH: int(params[3]), KW: int(params[4]),
+			StrideH: int(params[5]), StrideW: int(params[6]),
+			PadH: int(params[7]), PadW: int(params[8]),
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return NewConv2D(name, g, int(params[9]), rng), nil
+	case archReLU:
+		return NewReLU(name), nil
+	case archLeakyReLU:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewLeakyReLU(name, math.Float32frombits(params[0])), nil
+	case archTanh:
+		return NewTanh(name), nil
+	case archSoftmax:
+		return NewSoftmax(name), nil
+	case archMaxPool2D:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		return NewMaxPool2D(name,
+			int(params[0]), int(params[1]), int(params[2]),
+			int(params[3]), int(params[4]),
+			int(params[5]), int(params[6])), nil
+	case archGlobalAvgPool2D:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return NewGlobalAvgPool2D(name, int(params[0]), int(params[1]), int(params[2])), nil
+	case archFlatten:
+		return NewFlatten(name), nil
+	case archBatchNorm:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewBatchNorm(name, int(params[0])), nil
+	case archDropout:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewDropout(name, math.Float32frombits(params[0]), rng), nil
+	default:
+		return nil, fmt.Errorf("unknown layer type id %d", id)
+	}
+}
+
+func writeArchLayer(w io.Writer, id uint8, name string, params []uint32) error {
+	if len(name) > 0xFFFF {
+		return fmt.Errorf("nn: layer name too long")
+	}
+	buf := make([]byte, 1+2+len(name)+1+4*len(params))
+	buf[0] = id
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(name)))
+	copy(buf[3:], name)
+	off := 3 + len(name)
+	buf[off] = uint8(len(params))
+	off++
+	for _, p := range params {
+		binary.LittleEndian.PutUint32(buf[off:], p)
+		off += 4
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nn: write arch layer: %w", err)
+	}
+	return nil
+}
+
+func readArchLayer(r io.Reader) (uint8, string, []uint32, error) {
+	var head [3]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, "", nil, err
+	}
+	id := head[0]
+	nameBuf := make([]byte, binary.LittleEndian.Uint16(head[1:]))
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return 0, "", nil, err
+	}
+	var np [1]byte
+	if _, err := io.ReadFull(r, np[:]); err != nil {
+		return 0, "", nil, err
+	}
+	params := make([]uint32, np[0])
+	pbuf := make([]byte, 4*len(params))
+	if _, err := io.ReadFull(r, pbuf); err != nil {
+		return 0, "", nil, err
+	}
+	for i := range params {
+		params[i] = binary.LittleEndian.Uint32(pbuf[4*i:])
+	}
+	return id, string(nameBuf), params, nil
+}
+
+// SaveModel writes architecture followed by weights — a fully
+// self-contained model file.
+func (m *Sequential) SaveModel(w io.Writer) error {
+	if err := m.SaveArchitecture(w); err != nil {
+		return err
+	}
+	return m.SaveWeights(w)
+}
+
+// LoadModel reconstructs a model (architecture + weights) written by
+// SaveModel.
+func LoadModel(name string, r io.Reader) (*Sequential, error) {
+	m, err := LoadArchitecture(name, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadWeights(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fullArchModel exercises every serializable layer type.
+func fullArchModel(seed int64) *Sequential {
+	rng := tensor.NewRNG(seed)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	return NewSequential("full",
+		NewConv2D("conv1", g, 4, rng),
+		NewBatchNorm("bn1", 4),
+		NewReLU("relu1"),
+		NewLeakyReLU("lrelu1", 0.05),
+		NewMaxPool2D("pool1", 4, 8, 8, 2, 2, 2, 2),
+		NewDropout("drop1", 0.25, rng),
+		NewFlatten("flat"),
+		NewDense("fc1", 4*4*4, 12, rng),
+		NewTanh("tanh1"),
+		NewDense("fc2", 12, 3, rng),
+		NewSoftmax("sm"),
+	)
+}
+
+func TestArchitectureRoundTrip(t *testing.T) {
+	src := fullArchModel(1)
+	var buf bytes.Buffer
+	if err := src.SaveArchitecture(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArchitecture("rebuilt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layers()) != len(src.Layers()) {
+		t.Fatalf("layer count %d vs %d", len(got.Layers()), len(src.Layers()))
+	}
+	for i, l := range src.Layers() {
+		g := got.Layers()[i]
+		if l.Name() != g.Name() {
+			t.Errorf("layer %d name %q vs %q", i, g.Name(), l.Name())
+		}
+		if gotID, _, _ := describeLayerArch(g); func() uint8 { id, _, _ := describeLayerArch(l); return id }() != gotID {
+			t.Errorf("layer %d type mismatch", i)
+		}
+	}
+	if got.ParamCount() != src.ParamCount() {
+		t.Errorf("param count %d vs %d", got.ParamCount(), src.ParamCount())
+	}
+	// Reconstructed leaky alpha and dropout p survive.
+	if got.Layer("lrelu1").(*LeakyReLU).Alpha() != 0.05 {
+		t.Error("leaky alpha lost")
+	}
+	if got.Layer("drop1").(*Dropout).P() != 0.25 {
+		t.Error("dropout p lost")
+	}
+}
+
+func TestSaveLoadModelFullyEquivalent(t *testing.T) {
+	src := fullArchModel(2)
+	// Give BN real running stats.
+	rng := tensor.NewRNG(3)
+	for i := 0; i < 4; i++ {
+		src.Forward(tensor.RandNormal(rng, 0, 1, 8, 1, 8, 8), true)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel("clone", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(4), 0, 1, 3, 1, 8, 8)
+	if !tensor.Equal(src.Forward(x, false), got.Forward(x, false)) {
+		t.Error("loaded model disagrees with source at inference")
+	}
+}
+
+func TestLoadArchitectureRejectsGarbage(t *testing.T) {
+	if _, err := LoadArchitecture("x", bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := make([]byte, 8)
+	if _, err := LoadArchitecture("x", bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestLoadArchitectureRejectsTruncation(t *testing.T) {
+	src := fullArchModel(5)
+	var buf bytes.Buffer
+	if err := src.SaveArchitecture(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate at a sample of offsets; every one must error, never panic.
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.95} {
+		n := int(frac * float64(len(full)))
+		if _, err := LoadArchitecture("x", bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", n)
+		}
+	}
+}
+
+func TestLoadArchitectureRejectsUnknownLayerType(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewSequential("m", NewReLU("r"))
+	if err := m.SaveArchitecture(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 200 // corrupt the layer type id
+	if _, err := LoadArchitecture("x", bytes.NewReader(data)); err == nil {
+		t.Error("unknown layer type accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Model weight serialization format (little-endian):
+//
+//	magic   uint32 0x4D4E5252 ("RRNM")
+//	count   uint32 number of named tensors
+//	entries count × { nameLen uint16, name bytes, tensor }
+//
+// Named tensors comprise every trainable parameter plus, for each BatchNorm
+// layer, its running mean and variance under "<layer>/running_mean" and
+// "<layer>/running_var". Loading matches strictly by name and shape; a
+// checkpoint from a different architecture is rejected rather than silently
+// misapplied.
+
+const modelMagic uint32 = 0x4D4E5252
+
+type namedTensor struct {
+	name string
+	t    *tensor.Tensor
+}
+
+func (m *Sequential) namedTensors() []namedTensor {
+	var nts []namedTensor
+	for _, l := range m.layers {
+		for _, p := range l.Params() {
+			nts = append(nts, namedTensor{p.Name, p.Value})
+		}
+		if bn, ok := l.(*BatchNorm); ok {
+			mean, variance := bn.RunningStats()
+			nts = append(nts,
+				namedTensor{bn.Name() + "/running_mean", tensor.FromSlice(mean, len(mean))},
+				namedTensor{bn.Name() + "/running_var", tensor.FromSlice(variance, len(variance))},
+			)
+		}
+	}
+	return nts
+}
+
+// SaveWeights serializes the model's weights (and normalization statistics)
+// to w.
+func (m *Sequential) SaveWeights(w io.Writer) error {
+	nts := m.namedTensors()
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], modelMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(nts)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nn: save %q header: %w", m.name, err)
+	}
+	for _, nt := range nts {
+		if len(nt.name) > 0xFFFF {
+			return fmt.Errorf("nn: save %q: name %q too long", m.name, nt.name)
+		}
+		nb := make([]byte, 2+len(nt.name))
+		binary.LittleEndian.PutUint16(nb, uint16(len(nt.name)))
+		copy(nb[2:], nt.name)
+		if _, err := w.Write(nb); err != nil {
+			return fmt.Errorf("nn: save %q entry %q: %w", m.name, nt.name, err)
+		}
+		if _, err := nt.t.WriteTo(w); err != nil {
+			return fmt.Errorf("nn: save %q tensor %q: %w", m.name, nt.name, err)
+		}
+	}
+	return nil
+}
+
+// LoadWeights reads weights saved by SaveWeights into the model. Every
+// stored tensor must match an existing tensor by name and shape, and every
+// model tensor must be present in the stream.
+func (m *Sequential) LoadWeights(r io.Reader) error {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("nn: load %q header: %w", m.name, err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != modelMagic {
+		return fmt.Errorf("nn: load %q: bad magic %#x", m.name, got)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[4:]))
+
+	want := m.namedTensors()
+	index := make(map[string]*tensor.Tensor, len(want))
+	for _, nt := range want {
+		index[nt.name] = nt.t
+	}
+	if count != len(want) {
+		return fmt.Errorf("nn: load %q: stream has %d tensors, model has %d", m.name, count, len(want))
+	}
+
+	loadedBN := make(map[string][]float32)
+	for i := 0; i < count; i++ {
+		lb := make([]byte, 2)
+		if _, err := io.ReadFull(r, lb); err != nil {
+			return fmt.Errorf("nn: load %q entry %d: %w", m.name, i, err)
+		}
+		nameBuf := make([]byte, binary.LittleEndian.Uint16(lb))
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return fmt.Errorf("nn: load %q entry %d name: %w", m.name, i, err)
+		}
+		name := string(nameBuf)
+		t, err := tensor.ReadTensor(r)
+		if err != nil {
+			return fmt.Errorf("nn: load %q tensor %q: %w", m.name, name, err)
+		}
+		dst, ok := index[name]
+		if !ok {
+			return fmt.Errorf("nn: load %q: unexpected tensor %q", m.name, name)
+		}
+		if !tensor.SameShape(dst, t) {
+			return fmt.Errorf("nn: load %q: tensor %q shape %v, model wants %v", m.name, name, t.Shape(), dst.Shape())
+		}
+		dst.CopyFrom(t)
+		delete(index, name)
+		loadedBN[name] = t.Data()
+	}
+	if len(index) > 0 {
+		for name := range index {
+			return fmt.Errorf("nn: load %q: stream missing tensor %q", m.name, name)
+		}
+	}
+	// Running stats were copied into the temporary FromSlice views produced
+	// by namedTensors, which share backing arrays with the BatchNorm layers
+	// only for the save path. Re-apply them explicitly for the load path.
+	for _, l := range m.layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			mean, okM := loadedBN[bn.Name()+"/running_mean"]
+			variance, okV := loadedBN[bn.Name()+"/running_var"]
+			if okM && okV {
+				bn.SetRunningStats(mean, variance)
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeWeights serializes the model weights to a byte slice.
+func (m *Sequential) EncodeWeights() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.SaveWeights(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWeights loads model weights from a byte slice produced by
+// EncodeWeights.
+func (m *Sequential) DecodeWeights(b []byte) error {
+	return m.LoadWeights(bytes.NewReader(b))
+}
+
+// WeightsSize returns the encoded size in bytes of the model's checkpoint.
+func (m *Sequential) WeightsSize() int {
+	n := 8
+	for _, nt := range m.namedTensors() {
+		n += 2 + len(nt.name) + nt.t.EncodedSize()
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package perception
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Concurrent couples a detection pipeline with its reversible model behind
+// one mutex, so a perception thread and a governor thread can share them
+// safely in a real deployment. Neither nn.Sequential nor ReversibleModel
+// is internally synchronized (layer forward passes cache scratch state, and
+// level transitions write weights); Concurrent serializes the two access
+// paths — a detection never observes a half-applied level.
+//
+// The evaluation harness runs single-threaded (measurements must be
+// deterministic); Concurrent exists for applications embedding the library
+// in a multi-goroutine control stack.
+type Concurrent struct {
+	mu   sync.Mutex
+	pipe *Pipeline
+	rm   *core.ReversibleModel
+}
+
+// NewConcurrent wraps a pipeline and its reversible model. The pipeline
+// must have been built over rm.Model().
+func NewConcurrent(pipe *Pipeline, rm *core.ReversibleModel) *Concurrent {
+	return &Concurrent{pipe: pipe, rm: rm}
+}
+
+// Detect classifies one frame under the lock.
+func (c *Concurrent) Detect(frame *tensor.Tensor) Detection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pipe.Detect(frame)
+}
+
+// ApplyLevel transitions the model under the lock.
+func (c *Concurrent) ApplyLevel(target int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rm.ApplyLevel(target)
+}
+
+// RestoreFull reverts to dense under the lock.
+func (c *Concurrent) RestoreFull() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rm.RestoreFull()
+}
+
+// Current returns the active level under the lock.
+func (c *Concurrent) Current() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rm.Current()
+}
+
+// Scrub repairs pruned-position corruption under the lock.
+func (c *Concurrent) Scrub() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rm.Scrub()
+}

@@ -1,0 +1,343 @@
+// Package perception implements the camera perception pipeline and the
+// closed control loop that couples the scenario simulator, the safety
+// monitor, the runtime governor, and the reversible model. It is the
+// integration layer every end-to-end experiment runs through.
+package perception
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Detection is one frame's perception output.
+type Detection struct {
+	// Obstacle reports whether the pipeline declares an obstacle present.
+	Obstacle bool
+	// Confidence is p(obstacle) from the softmax head.
+	Confidence float64
+	// Uncertainty is the normalized softmax entropy in [0,1].
+	Uncertainty float64
+}
+
+// Pipeline wraps a binary obstacle classifier (input [1, S, S], two output
+// logits: clear/obstacle) for frame-by-frame use.
+type Pipeline struct {
+	model     *nn.Sequential
+	size      int
+	threshold float64
+	batch     *tensor.Tensor // reusable [1,1,S,S] input
+
+	// Debouncing (optional): declare an obstacle only when at least
+	// debounceK of the last debounceN raw frame decisions were positive.
+	debounceK, debounceN int
+	history              []bool
+	histPos              int
+	histCount            int
+}
+
+// SetDebounce enables k-of-n vote debouncing on the obstacle decision:
+// Detect reports an obstacle only when at least k of the last n raw frame
+// classifications were positive. Debouncing suppresses single-frame false
+// alarms (spurious emergency braking) at the cost of (k−1) control ticks
+// of detection latency. k must be in [1, n].
+func (p *Pipeline) SetDebounce(k, n int) error {
+	if n <= 0 || k <= 0 || k > n {
+		return fmt.Errorf("perception: debounce k=%d n=%d invalid", k, n)
+	}
+	p.debounceK, p.debounceN = k, n
+	p.history = make([]bool, n)
+	p.histPos, p.histCount = 0, 0
+	return nil
+}
+
+// NewPipeline constructs a pipeline around the classifier. threshold is the
+// detection probability cutoff; 0 defaults to 0.5.
+func NewPipeline(model *nn.Sequential, frameSize int, threshold float64) (*Pipeline, error) {
+	if model == nil {
+		return nil, fmt.Errorf("perception: nil model")
+	}
+	if frameSize <= 0 {
+		return nil, fmt.Errorf("perception: frame size %d", frameSize)
+	}
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	if threshold < 0 || threshold >= 1 {
+		return nil, fmt.Errorf("perception: threshold %v out of (0,1)", threshold)
+	}
+	return &Pipeline{
+		model:     model,
+		size:      frameSize,
+		threshold: threshold,
+		batch:     tensor.New(1, 1, frameSize, frameSize),
+	}, nil
+}
+
+// Detect classifies one [1, S, S] frame.
+func (p *Pipeline) Detect(frame *tensor.Tensor) Detection {
+	if frame.Len() != p.size*p.size {
+		panic(fmt.Sprintf("perception: frame with %d pixels, want %d", frame.Len(), p.size*p.size))
+	}
+	copy(p.batch.Data(), frame.Data())
+	logits := p.model.Forward(p.batch, false)
+	probs := tensor.SoftmaxRows(logits)
+	pObstacle := float64(probs.At2(0, 1))
+	raw := pObstacle >= p.threshold
+	decided := raw
+	if p.debounceN > 0 {
+		p.history[p.histPos] = raw
+		p.histPos = (p.histPos + 1) % p.debounceN
+		if p.histCount < p.debounceN {
+			p.histCount++
+		}
+		votes := 0
+		for i := 0; i < p.histCount; i++ {
+			if p.history[i] {
+				votes++
+			}
+		}
+		decided = votes >= p.debounceK
+	}
+	return Detection{
+		Obstacle:    decided,
+		Confidence:  pObstacle,
+		Uncertainty: safety.Entropy(probs.Row(0).Data()),
+	}
+}
+
+// LoopConfig parameterizes a closed-loop scenario run.
+type LoopConfig struct {
+	// FrameSize is the sensor patch side in pixels.
+	FrameSize int
+	// Assessor fuses the criticality signals.
+	Assessor safety.Assessor
+	// Governor, when non-nil, adapts the reversible model each tick. When
+	// nil the model runs as-is (static baselines).
+	Governor *governor.Governor
+	// Spec is the platform whose energy model accrues per-tick cost. The
+	// zero value disables energy accounting.
+	Spec platform.Spec
+	// Contract is the quality contract violations are scored against
+	// whenever a reversible model is present (with or without a governor).
+	// The zero value falls back to safety.DefaultContract. A tick is a
+	// violation when the active level's calibrated accuracy is below the
+	// floor of the current criticality class *and* a level meeting the
+	// floor (or the dense level) was available but not active — running
+	// dense against an unsatisfiable floor is not a violation.
+	Contract safety.Contract
+	// Record, when true, captures per-tick series into the result Recorder.
+	Record bool
+	// Seed drives the world (traffic and sensor noise).
+	Seed int64
+}
+
+// LoopResult aggregates a scenario run.
+type LoopResult struct {
+	// Scenario is the scenario name.
+	Scenario string
+	// Ticks is the number of control ticks executed.
+	Ticks int
+	// Collided reports a collision during the run.
+	Collided bool
+	// Missed counts obstacle-present frames the pipeline missed;
+	// MissedCritical restricts to ticks at Critical or Emergency class.
+	Missed, MissedCritical int
+	// ObstacleTicks counts frames with ground-truth obstacles.
+	ObstacleTicks int
+	// FalseAlarms counts obstacle-free frames declared obstacles.
+	FalseAlarms int
+	// EnergyMJ is the summed per-inference energy over the run.
+	EnergyMJ float64
+	// Switches is the number of level transitions (0 without a governor).
+	Switches int
+	// Violations counts ticks the active level ran below the contract
+	// floor while a better option existed (see LoopConfig.Contract).
+	Violations int
+	// MeanLevel is the average active level index (0 without a governor).
+	MeanLevel float64
+	// DetectionGaps holds, per obstacle episode (a maximal run of
+	// obstacle-present ticks), the gap in meters at which the pipeline
+	// first detected it — the reaction-distance metric. Episodes never
+	// detected contribute -1.
+	DetectionGaps []float64
+	// Recorder holds per-tick series when LoopConfig.Record was set:
+	// "score", "class", "level", "truth", "detected", "energy_mj", "ttc".
+	Recorder *metrics.Recorder
+}
+
+// MissRate returns Missed/ObstacleTicks (0 when no obstacles appeared).
+func (r LoopResult) MissRate() float64 {
+	if r.ObstacleTicks == 0 {
+		return 0
+	}
+	return float64(r.Missed) / float64(r.ObstacleTicks)
+}
+
+// RunScenario executes one closed-loop run of the scenario: each tick the
+// world is assessed (using the previous tick's perception uncertainty — the
+// monitor acts on observed state), the governor adapts the model, the
+// pipeline classifies the current frame, and the ego brakes on detection.
+func RunScenario(sc sim.Scenario, model *nn.Sequential, rm *core.ReversibleModel, cfg LoopConfig) (LoopResult, error) {
+	if cfg.FrameSize <= 0 {
+		cfg.FrameSize = 16
+	}
+	if cfg.Assessor == (safety.Assessor{}) {
+		cfg.Assessor = safety.DefaultAssessor()
+	}
+	if err := cfg.Assessor.Validate(); err != nil {
+		return LoopResult{}, err
+	}
+	pipe, err := NewPipeline(model, cfg.FrameSize, 0)
+	if err != nil {
+		return LoopResult{}, err
+	}
+	world, err := sim.NewWorld(sc, cfg.Seed)
+	if err != nil {
+		return LoopResult{}, err
+	}
+
+	res := LoopResult{Scenario: sc.Name}
+	if cfg.Record {
+		res.Recorder = metrics.NewRecorder()
+	}
+	useEnergy := cfg.Spec.MACsPerSecond > 0
+
+	// Per-level energy: prefer calibrated values, fall back to live
+	// estimates (computed lazily once per level).
+	levelEnergy := map[int]float64{}
+	energyNow := func() float64 {
+		if !useEnergy {
+			return 0
+		}
+		lvl := 0
+		if rm != nil {
+			lvl = rm.Current()
+			if e := rm.Level(lvl).EnergyMJ; e > 0 {
+				return e
+			}
+		}
+		if e, ok := levelEnergy[lvl]; ok {
+			return e
+		}
+		e := cfg.Spec.Estimate(model).EnergyMJ
+		levelEnergy[lvl] = e
+		return e
+	}
+
+	contract := cfg.Contract
+	if contract == (safety.Contract{}) {
+		contract = safety.DefaultContract()
+	}
+	if err := contract.Validate(); err != nil {
+		return LoopResult{}, err
+	}
+
+	lastUncertainty := 0.0
+	var levelSum float64
+	inEpisode := false
+	episodeDetected := false
+	for !world.Done() {
+		tick := world.Tick()
+		assessment := cfg.Assessor.Assess(world.TTC(), world.Complexity(), lastUncertainty)
+
+		if cfg.Governor != nil {
+			if _, err := cfg.Governor.Tick(tick, assessment); err != nil {
+				return res, err
+			}
+		}
+		if rm != nil {
+			floor := contract.Floor(assessment.Class)
+			active := rm.Level(rm.Current())
+			if active.Accuracy < floor && rm.Current() != governor.DeepestMeeting(rm.Levels(), floor) {
+				res.Violations++
+			}
+		}
+
+		frame, truth := world.Frame(cfg.FrameSize)
+		det := pipe.Detect(frame)
+		lastUncertainty = det.Uncertainty
+		world.SetBraking(det.Obstacle)
+
+		if truth {
+			res.ObstacleTicks++
+			if !inEpisode {
+				inEpisode = true
+				episodeDetected = false
+			}
+			if det.Obstacle {
+				if !episodeDetected {
+					_, gap := world.LeadActor()
+					res.DetectionGaps = append(res.DetectionGaps, gap)
+					episodeDetected = true
+				}
+			} else {
+				res.Missed++
+				if assessment.Class >= safety.Critical {
+					res.MissedCritical++
+				}
+			}
+		} else {
+			if inEpisode {
+				if !episodeDetected {
+					res.DetectionGaps = append(res.DetectionGaps, -1)
+				}
+				inEpisode = false
+			}
+			if det.Obstacle {
+				res.FalseAlarms++
+			}
+		}
+		e := energyNow()
+		res.EnergyMJ += e
+		if rm != nil {
+			levelSum += float64(rm.Current())
+		}
+		if cfg.Record {
+			res.Recorder.Record("score", assessment.Score)
+			res.Recorder.Record("class", float64(assessment.Class))
+			lvl := 0
+			if rm != nil {
+				lvl = rm.Current()
+			}
+			res.Recorder.Record("level", float64(lvl))
+			res.Recorder.Record("truth", boolTo01(truth))
+			res.Recorder.Record("detected", boolTo01(det.Obstacle))
+			res.Recorder.Record("energy_mj", e)
+			ttc := world.TTC()
+			if math.IsInf(ttc, 1) {
+				ttc = -1
+			}
+			res.Recorder.Record("ttc", ttc)
+		}
+
+		world.Step()
+		res.Ticks++
+	}
+	if inEpisode && !episodeDetected {
+		res.DetectionGaps = append(res.DetectionGaps, -1)
+	}
+	res.Collided = world.Collided()
+	if cfg.Governor != nil {
+		res.Switches = cfg.Governor.Switches()
+	}
+	if res.Ticks > 0 {
+		res.MeanLevel = levelSum / float64(res.Ticks)
+	}
+	return res, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

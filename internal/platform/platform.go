@@ -1,0 +1,201 @@
+// Package platform models the embedded compute platform the paper's system
+// would deploy on. The authors' testbed hardware is unavailable, so latency
+// and energy are estimated with a roofline-style analytical model driven by
+// per-layer MAC and byte counts, calibrated with embedded-class constants;
+// wall-clock measurement helpers complement the model so that benchmark
+// orderings can be cross-checked against real execution of this Go
+// implementation.
+//
+// The model's purpose is to preserve the *functional dependence* of cost on
+// pruning: unstructured sparsity removes a platform-dependent fraction of
+// MAC work (SparseEfficiency), while structured compaction shrinks the
+// dense kernels themselves and realizes its full saving.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Spec describes a compute platform's performance and energy constants.
+type Spec struct {
+	// Name identifies the platform in tables.
+	Name string
+	// MACsPerSecond is the effective dense multiply-accumulate throughput.
+	MACsPerSecond float64
+	// BytesPerSecond is the effective memory bandwidth.
+	BytesPerSecond float64
+	// EnergyPerMACJ is the switching energy per MAC, in joules.
+	EnergyPerMACJ float64
+	// EnergyPerByteJ is the energy per byte moved, in joules.
+	EnergyPerByteJ float64
+	// StaticPowerW is the idle power drawn while an inference runs.
+	StaticPowerW float64
+	// SparseEfficiency is the fraction of skipped-MAC savings an
+	// unstructured-sparse kernel actually realizes on this platform, in
+	// [0,1]. Structured (compacted) savings always realize fully.
+	SparseEfficiency float64
+}
+
+// EmbeddedGPU returns constants of a Jetson-class embedded GPU module.
+func EmbeddedGPU() Spec {
+	return Spec{
+		Name:             "embedded-gpu",
+		MACsPerSecond:    200e9,
+		BytesPerSecond:   25.6e9,
+		EnergyPerMACJ:    2e-12,
+		EnergyPerByteJ:   20e-12,
+		StaticPowerW:     2.0,
+		SparseEfficiency: 0.45,
+	}
+}
+
+// EmbeddedCPU returns constants of a microcontroller-class platform, the
+// default for the evaluation (its millisecond-scale latencies match the
+// perception deadlines the scenarios use).
+func EmbeddedCPU() Spec {
+	return Spec{
+		Name:             "embedded-cpu",
+		MACsPerSecond:    0.5e9,
+		BytesPerSecond:   0.5e9,
+		EnergyPerMACJ:    20e-12,
+		EnergyPerByteJ:   80e-12,
+		StaticPowerW:     0.15,
+		SparseEfficiency: 0.6,
+	}
+}
+
+// Validate checks the spec for physically meaningful constants.
+func (s Spec) Validate() error {
+	switch {
+	case s.MACsPerSecond <= 0 || s.BytesPerSecond <= 0:
+		return fmt.Errorf("platform %q: non-positive throughput", s.Name)
+	case s.EnergyPerMACJ < 0 || s.EnergyPerByteJ < 0 || s.StaticPowerW < 0:
+		return fmt.Errorf("platform %q: negative energy constant", s.Name)
+	case s.SparseEfficiency < 0 || s.SparseEfficiency > 1:
+		return fmt.Errorf("platform %q: sparse efficiency %v out of [0,1]", s.Name, s.SparseEfficiency)
+	}
+	return nil
+}
+
+// Scale returns the spec under voltage-frequency scaling to the fraction f
+// of nominal frequency: throughput scales with f, switching energy with f²
+// (voltage tracks frequency), static power with f.
+func (s Spec) Scale(f float64) Spec {
+	if f <= 0 {
+		panic(fmt.Sprintf("platform: Scale(%v)", f))
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s@%.2fx", s.Name, f)
+	out.MACsPerSecond *= f
+	out.BytesPerSecond *= f
+	out.EnergyPerMACJ *= f * f
+	out.StaticPowerW *= f
+	return out
+}
+
+// PrecisionScaled returns the spec adjusted for integer execution at the
+// given weight bit width: SIMD throughput scales with 32/bits and
+// switching energy roughly with (bits/32)² (multiplier area/energy is
+// superlinear in operand width; quadratic is the standard first-order
+// model). bits=32 returns the spec unchanged.
+func (s Spec) PrecisionScaled(bits int) Spec {
+	if bits <= 0 || bits > 32 {
+		panic(fmt.Sprintf("platform: PrecisionScaled(%d)", bits))
+	}
+	if bits == 32 {
+		return s
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s@int%d", s.Name, bits)
+	f := float64(bits) / 32
+	out.MACsPerSecond /= f
+	out.EnergyPerMACJ *= f * f
+	return out
+}
+
+// Cost is the estimated per-inference cost of a model on a platform.
+type Cost struct {
+	// LatencyMS is the roofline latency estimate in milliseconds.
+	LatencyMS float64
+	// EnergyMJ is the energy estimate in millijoules.
+	EnergyMJ float64
+	// MACs is the effective multiply-accumulate count after sparsity
+	// discounting.
+	MACs int64
+	// Bytes is the estimated memory traffic (weights + activations).
+	Bytes int64
+}
+
+// Estimate computes the per-inference cost of the model in its *current*
+// weight state: each compute layer's MACs are discounted by its live weight
+// sparsity times the platform's sparse efficiency, and sparse weight
+// tensors are accounted as compressed (CSR-style, 8 bytes per surviving
+// weight, capped at the dense 4 bytes per weight). A compacted model simply
+// reports smaller dense MAC counts and is not discounted further.
+func (s Spec) Estimate(model *nn.Sequential) Cost {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	var effMACs float64
+	var bytes int64
+	for _, l := range model.Layers() {
+		d, ok := l.(nn.Described)
+		if !ok {
+			continue
+		}
+		info := d.Describe()
+		macs := float64(info.MACsPerSample)
+		layerBytes := info.ParamCount*4 + info.ActivationsPerSample*4
+		var weight *nn.Param
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			weight = t.Weight()
+		case *nn.Dense:
+			weight = t.Weight()
+		}
+		if weight != nil {
+			sp := weight.Value.Sparsity()
+			macs *= 1 - sp*s.SparseEfficiency
+			denseWeightBytes := int64(weight.Value.Len()) * 4
+			csrBytes := int64(weight.Value.CountNonZero()) * 8
+			if csrBytes < denseWeightBytes {
+				layerBytes += csrBytes - denseWeightBytes
+			}
+		}
+		effMACs += macs
+		bytes += layerBytes
+	}
+	computeS := effMACs / s.MACsPerSecond
+	memoryS := float64(bytes) / s.BytesPerSecond
+	latencyS := computeS
+	if memoryS > latencyS {
+		latencyS = memoryS
+	}
+	energyJ := effMACs*s.EnergyPerMACJ + float64(bytes)*s.EnergyPerByteJ + s.StaticPowerW*latencyS
+	return Cost{
+		LatencyMS: latencyS * 1e3,
+		EnergyMJ:  energyJ * 1e3,
+		MACs:      int64(effMACs),
+		Bytes:     bytes,
+	}
+}
+
+// MeasureLatency runs iters inference passes of the model over input and
+// returns the mean wall-clock latency per pass in milliseconds. It
+// complements Estimate with a ground-truth ordering check on the host
+// executing this reproduction.
+func MeasureLatency(model *nn.Sequential, input *tensor.Tensor, iters int) float64 {
+	if iters <= 0 {
+		iters = 1
+	}
+	model.Forward(input, false) // warm up caches and scratch buffers
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		model.Forward(input, false)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters) / 1e6
+}

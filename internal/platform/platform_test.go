@@ -1,0 +1,172 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+func platModel(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	g := tensor.ConvGeom{InC: 1, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	return nn.NewSequential("m",
+		nn.NewConv2D("conv1", g, 8, rng),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", 8, 16, 16, 2, 2, 2, 2),
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", 8*8*8, 32, rng),
+		nn.NewReLU("relu2"),
+		nn.NewDense("fc2", 32, 6, rng),
+	)
+}
+
+func TestSpecsValidate(t *testing.T) {
+	for _, s := range []Spec{EmbeddedGPU(), EmbeddedCPU()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	bad := EmbeddedCPU()
+	bad.MACsPerSecond = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero throughput accepted")
+	}
+	bad = EmbeddedCPU()
+	bad.SparseEfficiency = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sparse efficiency >1 accepted")
+	}
+}
+
+func TestEstimatePositiveAndDeterministic(t *testing.T) {
+	m := platModel(1)
+	s := EmbeddedCPU()
+	c1 := s.Estimate(m)
+	c2 := s.Estimate(m)
+	if c1 != c2 {
+		t.Error("Estimate not deterministic")
+	}
+	if c1.LatencyMS <= 0 || c1.EnergyMJ <= 0 || c1.MACs <= 0 || c1.Bytes <= 0 {
+		t.Errorf("non-positive cost: %+v", c1)
+	}
+}
+
+func TestEstimateDiscountsUnstructuredSparsity(t *testing.T) {
+	m := platModel(2)
+	s := EmbeddedCPU()
+	dense := s.Estimate(m)
+	plan, err := prune.PlanSingle(prune.MagnitudeGlobal{}, m, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(m)
+	sparse := s.Estimate(m)
+	if sparse.MACs >= dense.MACs {
+		t.Errorf("sparse MACs %d not below dense %d", sparse.MACs, dense.MACs)
+	}
+	if sparse.EnergyMJ >= dense.EnergyMJ {
+		t.Errorf("sparse energy %v not below dense %v", sparse.EnergyMJ, dense.EnergyMJ)
+	}
+	// Sparse efficiency caps the saving: at 80% sparsity and 0.6 efficiency
+	// effective MACs must be ≥ (1-0.48)·dense.
+	lower := float64(dense.MACs) * (1 - 0.8*s.SparseEfficiency) * 0.98
+	if float64(sparse.MACs) < lower {
+		t.Errorf("sparse MACs %d below efficiency-capped floor %v", sparse.MACs, lower)
+	}
+}
+
+func TestCompactedBeatsUnstructuredAtEqualSparsity(t *testing.T) {
+	s := EmbeddedCPU()
+	mu := platModel(3)
+	planU, err := prune.PlanSingle(prune.MagnitudeGlobal{}, mu, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planU.Apply(mu)
+	costU := s.Estimate(mu)
+
+	ms := platModel(3)
+	planS, err := prune.PlanSingle(prune.StructuredChannel{}, ms, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planS.Apply(ms)
+	compacted, err := prune.Compact(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costS := s.Estimate(compacted)
+	if costS.LatencyMS >= costU.LatencyMS {
+		t.Errorf("compacted latency %v not below unstructured %v", costS.LatencyMS, costU.LatencyMS)
+	}
+	// Compaction also removes weight/activation bytes, which unstructured
+	// sparsity cannot.
+	if costS.Bytes >= costU.Bytes {
+		t.Errorf("compacted bytes %d not below unstructured %d", costS.Bytes, costU.Bytes)
+	}
+}
+
+func TestScaleDVFS(t *testing.T) {
+	s := EmbeddedCPU()
+	half := s.Scale(0.5)
+	if half.MACsPerSecond != s.MACsPerSecond*0.5 {
+		t.Error("throughput scaling wrong")
+	}
+	if half.EnergyPerMACJ != s.EnergyPerMACJ*0.25 {
+		t.Error("energy scaling should be quadratic")
+	}
+	m := platModel(4)
+	cFull := s.Estimate(m)
+	cHalf := half.Estimate(m)
+	if cHalf.LatencyMS <= cFull.LatencyMS {
+		t.Error("downscaled platform should be slower")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale(0) accepted")
+		}
+	}()
+	s.Scale(0)
+}
+
+func TestPrecisionScaled(t *testing.T) {
+	s := EmbeddedCPU()
+	if s.PrecisionScaled(32) != s {
+		t.Error("32-bit scaling should be identity")
+	}
+	q8 := s.PrecisionScaled(8)
+	if q8.MACsPerSecond != s.MACsPerSecond*4 {
+		t.Errorf("int8 throughput = %v, want 4×", q8.MACsPerSecond/s.MACsPerSecond)
+	}
+	if q8.EnergyPerMACJ != s.EnergyPerMACJ/16 {
+		t.Errorf("int8 MAC energy = %v, want 1/16", q8.EnergyPerMACJ/s.EnergyPerMACJ)
+	}
+	m := platModel(9)
+	if q8.Estimate(m).EnergyMJ >= s.Estimate(m).EnergyMJ {
+		t.Error("int8 estimate not cheaper than fp32")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PrecisionScaled(0) accepted")
+		}
+	}()
+	s.PrecisionScaled(0)
+}
+
+func TestMeasureLatencyOrdersBySize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	rng := tensor.NewRNG(5)
+	small := nn.NewSequential("small", nn.NewDense("fc", 64, 64, rng))
+	big := nn.NewSequential("big", nn.NewDense("fc", 512, 512, rng))
+	x64 := tensor.RandNormal(rng, 0, 1, 4, 64)
+	x512 := tensor.RandNormal(rng, 0, 1, 4, 512)
+	lSmall := MeasureLatency(small, x64, 50)
+	lBig := MeasureLatency(big, x512, 50)
+	if lBig <= lSmall {
+		t.Errorf("big model (%vms) not slower than small (%vms)", lBig, lSmall)
+	}
+}

@@ -1,0 +1,263 @@
+package prune
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Compact builds a physically smaller model from a channel-pruned one by
+// removing fully zeroed output channels and the downstream weights that
+// consume them. The compacted model computes bit-identical outputs (a
+// removed channel's activations are exactly zero everywhere, so dropping
+// its terms removes only exact +0 additions), but with genuinely smaller
+// dense kernels — this is where structured pruning's measured latency wins
+// come from.
+//
+// Supported layer sequence: Conv2D, Dense, BatchNorm, ReLU, LeakyReLU,
+// Tanh, Softmax, Dropout, MaxPool2D, GlobalAvgPool2D, Flatten. The final
+// Dense layer's outputs are always preserved (they are the class logits).
+func Compact(model *nn.Sequential) (*nn.Sequential, error) {
+	layers := model.Layers()
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("prune: compact of empty model %q", model.Name())
+	}
+
+	// lastDense identifies the classifier head, whose rows are never removed.
+	lastDense := -1
+	for i, l := range layers {
+		if _, ok := l.(*nn.Dense); ok {
+			lastDense = i
+		}
+	}
+
+	out := nn.NewSequential(model.Name() + "-compact")
+	rng := tensor.NewRNG(0) // init values are overwritten below
+
+	// keep[i] reports whether input channel/feature i of the *next* layer
+	// survives. spatialPlane is H*W of the current feature map when the
+	// representation is [B,C,H,W], or 0 once flattened.
+	var keep []bool
+	spatialPlane := 0
+	initialized := false
+
+	ensureInit := func(n int, plane int) {
+		if !initialized {
+			keep = allTrue(n)
+			spatialPlane = plane
+			initialized = true
+		}
+	}
+
+	for li, l := range layers {
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			g := t.Geom()
+			ensureInit(g.InC, g.OutH()*g.OutW())
+			if spatialPlane == 0 {
+				return nil, fmt.Errorf("prune: compact: Conv2D %q after flatten", t.Name())
+			}
+			if len(keep) != g.InC {
+				return nil, fmt.Errorf("prune: compact: Conv2D %q expects %d input channels, tracker has %d", t.Name(), g.InC, len(keep))
+			}
+			keepOut := liveRows(t.Weight().Value.Data(), t.Bias().Value.Data(), t.OutChannels())
+			if li == lastDenseEquivalent(layers) { // defensive: conv head unsupported
+				keepOut = allTrue(t.OutChannels())
+			}
+			if countTrue(keepOut) == 0 {
+				return nil, fmt.Errorf("prune: compact: Conv2D %q has no live channels", t.Name())
+			}
+			ng := g
+			ng.InC = countTrue(keep)
+			nc := nn.NewConv2D(t.Name(), ng, countTrue(keepOut), rng)
+			copyConvWeights(nc, t, keep, keepOut, g)
+			out.Add(nc)
+			keep = keepOut
+			spatialPlane = g.OutH() * g.OutW()
+
+		case *nn.Dense:
+			ensureInit(t.InFeatures(), 0)
+			var colKeep []bool
+			if spatialPlane > 0 {
+				// Input came from a flattened [C,H,W] map: expand channel
+				// survival over each channel's spatial block.
+				colKeep = make([]bool, len(keep)*spatialPlane)
+				for c, k := range keep {
+					for p := 0; p < spatialPlane; p++ {
+						colKeep[c*spatialPlane+p] = k
+					}
+				}
+			} else {
+				colKeep = keep
+			}
+			if len(colKeep) != t.InFeatures() {
+				return nil, fmt.Errorf("prune: compact: Dense %q expects %d inputs, tracker has %d", t.Name(), t.InFeatures(), len(colKeep))
+			}
+			var keepOut []bool
+			if li == lastDense {
+				keepOut = allTrue(t.OutFeatures())
+			} else {
+				keepOut = liveRows(t.Weight().Value.Data(), t.Bias().Value.Data(), t.OutFeatures())
+				if countTrue(keepOut) == 0 {
+					return nil, fmt.Errorf("prune: compact: Dense %q has no live neurons", t.Name())
+				}
+			}
+			nd := nn.NewDense(t.Name(), countTrue(colKeep), countTrue(keepOut), rng)
+			copyDenseWeights(nd, t, colKeep, keepOut)
+			out.Add(nd)
+			keep = keepOut
+			spatialPlane = 0
+
+		case *nn.BatchNorm:
+			ensureInit(t.Features(), 0)
+			if len(keep) != t.Features() {
+				return nil, fmt.Errorf("prune: compact: BatchNorm %q expects %d features, tracker has %d", t.Name(), t.Features(), len(keep))
+			}
+			nb := nn.NewBatchNorm(t.Name(), countTrue(keep))
+			ps, nps := t.Params(), nb.Params()
+			filterInto(nps[0].Value.Data(), ps[0].Value.Data(), keep)
+			filterInto(nps[1].Value.Data(), ps[1].Value.Data(), keep)
+			mean, variance := t.RunningStats()
+			nMean := make([]float32, countTrue(keep))
+			nVar := make([]float32, countTrue(keep))
+			filterInto(nMean, mean, keep)
+			filterInto(nVar, variance, keep)
+			nb.SetRunningStats(nMean, nVar)
+			out.Add(nb)
+
+		case *nn.MaxPool2D:
+			c, h, w, kh, kw, sh, sw := t.Config()
+			ensureInit(c, h*w)
+			out.Add(nn.NewMaxPool2D(t.Name(), countTrue(keep), h, w, kh, kw, sh, sw))
+			spatialPlane = t.OutH() * t.OutW()
+
+		case *nn.GlobalAvgPool2D:
+			c, h, w := t.Config()
+			ensureInit(c, h*w)
+			out.Add(nn.NewGlobalAvgPool2D(t.Name(), countTrue(keep), h, w))
+			spatialPlane = 0
+
+		case *nn.Flatten:
+			out.Add(nn.NewFlatten(t.Name()))
+			// keep/spatialPlane unchanged: Dense handles the expansion.
+
+		case *nn.ReLU:
+			out.Add(nn.NewReLU(t.Name()))
+		case *nn.LeakyReLU:
+			out.Add(nn.NewLeakyReLU(t.Name(), t.Alpha()))
+		case *nn.Tanh:
+			out.Add(nn.NewTanh(t.Name()))
+		case *nn.Softmax:
+			out.Add(nn.NewSoftmax(t.Name()))
+		case *nn.Dropout:
+			out.Add(nn.NewDropout(t.Name(), t.P(), tensor.NewRNG(0)))
+
+		default:
+			return nil, fmt.Errorf("prune: compact: unsupported layer type %T (%s)", l, l.Name())
+		}
+	}
+	return out, nil
+}
+
+// lastDenseEquivalent returns -1; it exists to keep the conv-head guard
+// explicit. Conv classification heads are not used in this repository.
+func lastDenseEquivalent([]nn.Layer) int { return -1 }
+
+func allTrue(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// liveRows marks rows that have any nonzero weight or bias.
+func liveRows(w []float32, bias []float32, rows int) []bool {
+	rowLen := len(w) / rows
+	live := make([]bool, rows)
+	for r := 0; r < rows; r++ {
+		if bias[r] != 0 {
+			live[r] = true
+			continue
+		}
+		for _, v := range w[r*rowLen : (r+1)*rowLen] {
+			if v != 0 {
+				live[r] = true
+				break
+			}
+		}
+	}
+	return live
+}
+
+// filterInto copies src[i] for kept i into dst, which must have exactly
+// countTrue(keep) capacity.
+func filterInto(dst, src []float32, keep []bool) {
+	j := 0
+	for i, k := range keep {
+		if k {
+			dst[j] = src[i]
+			j++
+		}
+	}
+}
+
+// copyConvWeights fills the compacted conv layer from the original,
+// filtering output rows by keepOut and, within each row, input-channel
+// blocks of KH·KW columns by keepIn.
+func copyConvWeights(dst, src *nn.Conv2D, keepIn, keepOut []bool, g tensor.ConvGeom) {
+	block := g.KH * g.KW
+	sw, dw := src.Weight().Value.Data(), dst.Weight().Value.Data()
+	sb, db := src.Bias().Value.Data(), dst.Bias().Value.Data()
+	rowLen := g.InC * block
+	newRowLen := countTrue(keepIn) * block
+	dr := 0
+	for r := 0; r < src.OutChannels(); r++ {
+		if !keepOut[r] {
+			continue
+		}
+		srow := sw[r*rowLen : (r+1)*rowLen]
+		drow := dw[dr*newRowLen : (dr+1)*newRowLen]
+		dc := 0
+		for c := 0; c < g.InC; c++ {
+			if !keepIn[c] {
+				continue
+			}
+			copy(drow[dc*block:(dc+1)*block], srow[c*block:(c+1)*block])
+			dc++
+		}
+		db[dr] = sb[r]
+		dr++
+	}
+}
+
+// copyDenseWeights fills the compacted dense layer from the original,
+// filtering rows by keepOut and columns by keepIn.
+func copyDenseWeights(dst, src *nn.Dense, keepIn, keepOut []bool) {
+	sw, dw := src.Weight().Value.Data(), dst.Weight().Value.Data()
+	sb, db := src.Bias().Value.Data(), dst.Bias().Value.Data()
+	in := src.InFeatures()
+	newIn := countTrue(keepIn)
+	dr := 0
+	for r := 0; r < src.OutFeatures(); r++ {
+		if !keepOut[r] {
+			continue
+		}
+		srow := sw[r*in : (r+1)*in]
+		drow := dw[dr*newIn : (dr+1)*newIn]
+		filterInto(drow, srow, keepIn)
+		db[dr] = sb[r]
+		dr++
+	}
+}

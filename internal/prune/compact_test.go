@@ -1,0 +1,142 @@
+package prune
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestCompactIdentityWhenNothingPruned(t *testing.T) {
+	m := testCNN(20)
+	c, err := Compact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ParamCount() != m.ParamCount() {
+		t.Errorf("compact changed param count with nothing pruned: %d vs %d", c.ParamCount(), m.ParamCount())
+	}
+	x := tensor.RandNormal(tensor.NewRNG(21), 0, 1, 3, 1, 16, 16)
+	if !tensor.Equal(m.Forward(x, false), c.Forward(x, false)) {
+		t.Error("outputs differ")
+	}
+}
+
+func TestCompactEquivalenceCNN(t *testing.T) {
+	for _, sparsity := range []float64{0.2, 0.5, 0.7} {
+		m := testCNN(22)
+		plan, err := PlanSingle(StructuredChannel{}, m, sparsity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Apply(m)
+		c, err := Compact(m)
+		if err != nil {
+			t.Fatalf("sparsity %v: %v", sparsity, err)
+		}
+		if c.ParamCount() >= m.ParamCount() {
+			t.Errorf("sparsity %v: compaction did not shrink model (%d vs %d)", sparsity, c.ParamCount(), m.ParamCount())
+		}
+		x := tensor.RandNormal(tensor.NewRNG(23), 0, 1, 4, 1, 16, 16)
+		ym := m.Forward(x, false)
+		yc := c.Forward(x, false)
+		if !tensor.Equal(ym, yc) {
+			t.Errorf("sparsity %v: compacted model output differs", sparsity)
+		}
+	}
+}
+
+func TestCompactEquivalenceMLP(t *testing.T) {
+	m := testMLP(24)
+	plan, err := PlanSingle(StructuredChannel{}, m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(m)
+	c, err := Compact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(25), 0, 1, 5, 10)
+	if !tensor.Equal(m.Forward(x, false), c.Forward(x, false)) {
+		t.Error("compacted MLP output differs")
+	}
+	if c.ParamCount() >= m.ParamCount() {
+		t.Error("MLP compaction did not shrink model")
+	}
+	// The head must keep all 4 outputs.
+	head := c.Layer("fc3").(*nn.Dense)
+	if head.OutFeatures() != 4 {
+		t.Errorf("head outputs %d, want 4", head.OutFeatures())
+	}
+}
+
+func TestCompactWithGlobalAvgPool(t *testing.T) {
+	rng := tensor.NewRNG(26)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	m := nn.NewSequential("gapnet",
+		nn.NewConv2D("conv1", g, 6, rng),
+		nn.NewReLU("relu1"),
+		nn.NewGlobalAvgPool2D("gap", 6, 8, 8),
+		nn.NewDense("fc", 6, 3, rng),
+	)
+	plan, err := PlanSingle(StructuredChannel{}, m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(m)
+	c, err := Compact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(27), 0, 1, 2, 1, 8, 8)
+	if !tensor.Equal(m.Forward(x, false), c.Forward(x, false)) {
+		t.Error("GAP model compaction changed outputs")
+	}
+}
+
+func TestCompactPreservesBatchNormStats(t *testing.T) {
+	m := testCNN(28)
+	// Populate running stats with a few training passes.
+	rng := tensor.NewRNG(29)
+	for i := 0; i < 3; i++ {
+		m.Forward(tensor.RandNormal(rng, 0.5, 1, 4, 1, 16, 16), true)
+	}
+	plan, err := PlanSingle(StructuredChannel{}, m, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(m)
+	c, err := Compact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(30), 0, 1, 2, 1, 16, 16)
+	if !tensor.Equal(m.Forward(x, false), c.Forward(x, false)) {
+		t.Error("compaction with BN running stats changed inference outputs")
+	}
+}
+
+func TestCompactSpeedupIsReal(t *testing.T) {
+	// Not a timing assertion (flaky); assert the MAC count shrinks, which
+	// is what the platform model and the wall-clock benches key on.
+	m := testCNN(31)
+	plan, err := PlanSingle(StructuredChannel{}, m, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(m)
+	c, err := Compact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalMACsPerSample() >= m.TotalMACsPerSample() {
+		t.Errorf("compacted MACs %d not below dense %d", c.TotalMACsPerSample(), m.TotalMACsPerSample())
+	}
+}
+
+func TestCompactRejectsEmptyModel(t *testing.T) {
+	if _, err := Compact(nn.NewSequential("empty")); err == nil {
+		t.Error("expected error")
+	}
+}

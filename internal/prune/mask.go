@@ -1,0 +1,226 @@
+// Package prune implements the pruning substrate: bitset masks over
+// parameter tensors, unstructured and structured pruning methods, nested
+// multi-level plans, gradual sparsity schedules, layer sensitivity analysis,
+// and physical compaction of channel-pruned models.
+//
+// Masks use *keep* semantics: a set bit means the weight survives; a cleared
+// bit means the weight is pruned to exactly zero. Exact zeros matter — the
+// tensor matmul kernels skip them, the platform model discounts them, and
+// the reversibility layer restores them bit-exactly.
+package prune
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"repro/internal/tensor"
+)
+
+// Mask is a fixed-length bitset over the elements of one parameter tensor.
+type Mask struct {
+	n    int
+	bits []uint64
+}
+
+// NewMask returns a mask of length n with every element kept.
+func NewMask(n int) *Mask {
+	if n < 0 {
+		panic(fmt.Sprintf("prune: NewMask(%d)", n))
+	}
+	m := &Mask{n: n, bits: make([]uint64, (n+63)/64)}
+	for i := range m.bits {
+		m.bits[i] = ^uint64(0)
+	}
+	// Clear the tail bits beyond n so popcounts are exact.
+	if rem := n % 64; rem != 0 && len(m.bits) > 0 {
+		m.bits[len(m.bits)-1] = (uint64(1) << rem) - 1
+	}
+	if n == 0 {
+		m.bits = m.bits[:0]
+	}
+	return m
+}
+
+// Len returns the mask length.
+func (m *Mask) Len() int { return m.n }
+
+// Keep reports whether element i survives.
+func (m *Mask) Keep(i int) bool {
+	m.check(i)
+	return m.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// SetPruned marks element i as pruned.
+func (m *Mask) SetPruned(i int) {
+	m.check(i)
+	m.bits[i/64] &^= 1 << (i % 64)
+}
+
+// SetKept marks element i as kept.
+func (m *Mask) SetKept(i int) {
+	m.check(i)
+	m.bits[i/64] |= 1 << (i % 64)
+}
+
+func (m *Mask) check(i int) {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("prune: mask index %d out of range [0,%d)", i, m.n))
+	}
+}
+
+// PrunedCount returns the number of pruned elements.
+func (m *Mask) PrunedCount() int { return m.n - m.KeptCount() }
+
+// KeptCount returns the number of kept elements.
+func (m *Mask) KeptCount() int {
+	n := 0
+	for _, w := range m.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Sparsity returns the pruned fraction in [0,1].
+func (m *Mask) Sparsity() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return float64(m.PrunedCount()) / float64(m.n)
+}
+
+// Clone returns a deep copy.
+func (m *Mask) Clone() *Mask {
+	c := &Mask{n: m.n, bits: make([]uint64, len(m.bits))}
+	copy(c.bits, m.bits)
+	return c
+}
+
+// Equal reports whether two masks are identical.
+func (m *Mask) Equal(o *Mask) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.bits {
+		if m.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every element pruned by m is also pruned by o —
+// i.e. o is at least as sparse as m and nests it. (Formally: kept(o) ⊆
+// kept(m).)
+func (m *Mask) IsSubsetOf(o *Mask) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.bits {
+		// Bits kept by o must all be kept by m: o.bits ⊆ m.bits.
+		if o.bits[i]&^m.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply zeroes the pruned elements of t in place. t must have exactly
+// Len() elements.
+func (m *Mask) Apply(t *tensor.Tensor) {
+	d := m.checkedData(t)
+	for i := range d {
+		if !m.Keep(i) {
+			d[i] = 0
+		}
+	}
+}
+
+// ExtractPruned returns the current values of t at pruned positions, in
+// ascending index order. Together with the mask itself this is exactly the
+// information needed to reverse the pruning later.
+func (m *Mask) ExtractPruned(t *tensor.Tensor) []float32 {
+	d := m.checkedData(t)
+	out := make([]float32, 0, m.PrunedCount())
+	for i := range d {
+		if !m.Keep(i) {
+			out = append(out, d[i])
+		}
+	}
+	return out
+}
+
+// RestorePruned writes values (as produced by ExtractPruned) back into the
+// pruned positions of t.
+func (m *Mask) RestorePruned(t *tensor.Tensor, values []float32) {
+	d := m.checkedData(t)
+	if len(values) != m.PrunedCount() {
+		panic(fmt.Sprintf("prune: RestorePruned with %d values for %d pruned slots", len(values), m.PrunedCount()))
+	}
+	vi := 0
+	for i := range d {
+		if !m.Keep(i) {
+			d[i] = values[vi]
+			vi++
+		}
+	}
+}
+
+func (m *Mask) checkedData(t *tensor.Tensor) []float32 {
+	if t.Len() != m.n {
+		panic(fmt.Sprintf("prune: mask of length %d applied to tensor of %d elements", m.n, t.Len()))
+	}
+	return t.Data()
+}
+
+// Diff returns the indices pruned by o but not by m — the extra weights that
+// must be displaced when deepening from level m to level o.
+func (m *Mask) Diff(o *Mask) []int {
+	if m.n != o.n {
+		panic(fmt.Sprintf("prune: Diff of masks with lengths %d and %d", m.n, o.n))
+	}
+	var idx []int
+	for i := 0; i < m.n; i++ {
+		if m.Keep(i) && !o.Keep(i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// WriteTo serializes the mask (length + words), implementing io.WriterTo.
+func (m *Mask) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 8+8*len(m.bits))
+	binary.LittleEndian.PutUint64(buf, uint64(m.n))
+	for i, word := range m.bits {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], word)
+	}
+	n, err := w.Write(buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("prune: write mask: %w", err)
+	}
+	return int64(n), nil
+}
+
+// ReadMask deserializes a mask written by WriteTo.
+func ReadMask(r io.Reader) (*Mask, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("prune: read mask length: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[:]))
+	if n < 0 || n > 1<<32 {
+		return nil, fmt.Errorf("prune: implausible mask length %d", n)
+	}
+	words := (n + 63) / 64
+	buf := make([]byte, 8*words)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("prune: read mask words: %w", err)
+	}
+	m := &Mask{n: n, bits: make([]uint64, words)}
+	for i := range m.bits {
+		m.bits[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return m, nil
+}

@@ -1,0 +1,198 @@
+package prune
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestNewMaskAllKept(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		m := NewMask(n)
+		if m.Len() != n || m.KeptCount() != n || m.PrunedCount() != 0 {
+			t.Errorf("NewMask(%d): len %d kept %d pruned %d", n, m.Len(), m.KeptCount(), m.PrunedCount())
+		}
+		if m.Sparsity() != 0 {
+			t.Errorf("NewMask(%d) sparsity %v", n, m.Sparsity())
+		}
+	}
+}
+
+func TestMaskSetAndCount(t *testing.T) {
+	m := NewMask(100)
+	for i := 0; i < 100; i += 3 {
+		m.SetPruned(i)
+	}
+	want := 34 // indices 0,3,...,99
+	if m.PrunedCount() != want {
+		t.Errorf("PrunedCount = %d, want %d", m.PrunedCount(), want)
+	}
+	if m.Keep(3) || !m.Keep(4) {
+		t.Error("Keep wrong")
+	}
+	m.SetKept(3)
+	if !m.Keep(3) || m.PrunedCount() != want-1 {
+		t.Error("SetKept did not restore")
+	}
+}
+
+func TestMaskBoundsPanics(t *testing.T) {
+	m := NewMask(10)
+	for _, f := range []func(){
+		func() { m.Keep(10) },
+		func() { m.SetPruned(-1) },
+		func() { m.Apply(tensor.New(11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaskCloneEqualSubset(t *testing.T) {
+	a := NewMask(70)
+	a.SetPruned(5)
+	a.SetPruned(69)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.SetPruned(10)
+	if a.Equal(b) {
+		t.Error("mutated clone still equal")
+	}
+	if !a.IsSubsetOf(b) {
+		t.Error("a should nest into b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Error("b should not nest into a")
+	}
+	if a.IsSubsetOf(NewMask(71)) {
+		t.Error("different lengths should not nest")
+	}
+}
+
+func TestMaskApplyExtractRestore(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	orig := tensor.RandNormal(rng, 0, 1, 40)
+	work := orig.Clone()
+	m := NewMask(40)
+	for i := 0; i < 40; i += 2 {
+		m.SetPruned(i)
+	}
+	displaced := m.ExtractPruned(work)
+	if len(displaced) != 20 {
+		t.Fatalf("displaced %d values", len(displaced))
+	}
+	m.Apply(work)
+	if work.Sparsity() < 0.49 {
+		t.Errorf("apply left sparsity %v", work.Sparsity())
+	}
+	for i := 1; i < 40; i += 2 {
+		if work.Data()[i] != orig.Data()[i] {
+			t.Fatal("apply touched kept weight")
+		}
+	}
+	m.RestorePruned(work, displaced)
+	if !tensor.Equal(work, orig) {
+		t.Error("restore did not reproduce original bit-exactly")
+	}
+}
+
+func TestMaskRestoreRejectsWrongLength(t *testing.T) {
+	m := NewMask(10)
+	m.SetPruned(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.RestorePruned(tensor.New(10), []float32{1, 2})
+}
+
+func TestMaskDiff(t *testing.T) {
+	a := NewMask(10)
+	a.SetPruned(1)
+	b := a.Clone()
+	b.SetPruned(4)
+	b.SetPruned(7)
+	d := a.Diff(b)
+	if len(d) != 2 || d[0] != 4 || d[1] != 7 {
+		t.Errorf("Diff = %v", d)
+	}
+	if len(b.Diff(a)) != 0 {
+		t.Errorf("reverse Diff should be empty, got %v", b.Diff(a))
+	}
+}
+
+func TestMaskSerializationRoundTrip(t *testing.T) {
+	m := NewMask(133)
+	for i := 0; i < 133; i += 5 {
+		m.SetPruned(i)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMask(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadMaskRejectsGarbage(t *testing.T) {
+	if _, err := ReadMask(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Property: Apply → RestorePruned is the identity for arbitrary masks.
+func TestMaskReversibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(200)
+		orig := tensor.RandNormal(rng, 0, 2, n)
+		work := orig.Clone()
+		m := NewMask(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				m.SetPruned(i)
+			}
+		}
+		displaced := m.ExtractPruned(work)
+		m.Apply(work)
+		m.RestorePruned(work, displaced)
+		return tensor.Equal(work, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KeptCount + PrunedCount == Len for random masks.
+func TestMaskCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n := rng.Intn(300)
+		m := NewMask(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				m.SetPruned(i)
+			}
+		}
+		return m.KeptCount()+m.PrunedCount() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

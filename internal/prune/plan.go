@@ -1,0 +1,145 @@
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Plan is the outcome of a pruning method: one mask per affected parameter,
+// keyed by fully qualified parameter name.
+type Plan struct {
+	// Method names the strategy that produced the plan.
+	Method string
+	// Sparsity is the requested weight sparsity over prunable parameters.
+	Sparsity float64
+	// Masks maps parameter name to its keep-mask. Parameters not present
+	// are untouched.
+	Masks map[string]*Mask
+}
+
+// Apply zeroes every pruned weight of model in place. It panics if the plan
+// references a parameter the model does not have.
+func (p *Plan) Apply(model *nn.Sequential) {
+	for name, mask := range p.Masks {
+		param := model.Param(name)
+		if param == nil {
+			panic(fmt.Sprintf("prune: plan references unknown parameter %q", name))
+		}
+		mask.Apply(param.Value)
+	}
+}
+
+// MaskGradients zeroes the gradient entries of pruned weights, so that an
+// optimizer step cannot resurrect them. Use together with Apply as a
+// train.Config.PostStep during masked fine-tuning.
+func (p *Plan) MaskGradients(model *nn.Sequential) {
+	for name, mask := range p.Masks {
+		param := model.Param(name)
+		if param == nil {
+			panic(fmt.Sprintf("prune: plan references unknown parameter %q", name))
+		}
+		d := param.Grad.Data()
+		for i := range d {
+			if !mask.Keep(i) {
+				d[i] = 0
+			}
+		}
+	}
+}
+
+// AchievedSparsity returns the pruned fraction over the model's *prunable*
+// parameters implied by the plan (auxiliary masks over biases and
+// normalization terms are excluded, matching how the literature reports
+// weight sparsity).
+func (p *Plan) AchievedSparsity(model *nn.Sequential) float64 {
+	var total, pruned int
+	for _, param := range model.PrunableParams() {
+		total += param.Value.Len()
+		if mask, ok := p.Masks[param.Name]; ok {
+			pruned += mask.PrunedCount()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(pruned) / float64(total)
+}
+
+// Nests reports whether p's pruned set is contained in q's for every
+// parameter — the invariant the reversibility layer relies on for its
+// delta-encoded recovery store.
+func (p *Plan) Nests(q *Plan) bool {
+	for name, pm := range p.Masks {
+		qm, ok := q.Masks[name]
+		if !ok {
+			if pm.PrunedCount() > 0 {
+				return false
+			}
+			continue
+		}
+		if !pm.IsSubsetOf(qm) {
+			return false
+		}
+	}
+	return true
+}
+
+// Method is a pruning strategy that can plan a family of nested sparsity
+// levels in one shot. Nesting (each level's pruned set contains the
+// previous level's) is what makes reversible level transitions cheap, so it
+// is part of the contract rather than an accident of implementation.
+type Method interface {
+	// Name identifies the method in tables.
+	Name() string
+	// PlanNested returns one plan per sparsity. Sparsities must be
+	// non-decreasing in [0,1); returned plans are nested in order.
+	PlanNested(model *nn.Sequential, sparsities []float64) ([]*Plan, error)
+}
+
+// PlanSingle is a convenience wrapper planning exactly one sparsity level.
+func PlanSingle(m Method, model *nn.Sequential, sparsity float64) (*Plan, error) {
+	plans, err := m.PlanNested(model, []float64{sparsity})
+	if err != nil {
+		return nil, err
+	}
+	return plans[0], nil
+}
+
+func checkSparsities(sparsities []float64) error {
+	if len(sparsities) == 0 {
+		return fmt.Errorf("prune: no sparsities requested")
+	}
+	prev := -1.0
+	for _, s := range sparsities {
+		if s < 0 || s >= 1 {
+			return fmt.Errorf("prune: sparsity %v out of [0,1)", s)
+		}
+		if s < prev {
+			return fmt.Errorf("prune: sparsities must be non-decreasing, got %v after %v", s, prev)
+		}
+		prev = s
+	}
+	return nil
+}
+
+// rankedEntry is one weight (or channel) in a global pruning order.
+type rankedEntry struct {
+	param string
+	index int
+	score float64
+}
+
+func sortRanked(entries []rankedEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score < entries[j].score
+		}
+		// Deterministic tie-break on (param, index).
+		if entries[i].param != entries[j].param {
+			return entries[i].param < entries[j].param
+		}
+		return entries[i].index < entries[j].index
+	})
+}

@@ -1,0 +1,85 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+)
+
+// SparsitySchedule maps a step in [0, Steps] to a target sparsity. Gradual
+// pruning interleaves mask deepening with fine-tuning and is the standard
+// way to reach high sparsity with less accuracy loss than one-shot pruning.
+type SparsitySchedule interface {
+	// At returns the target sparsity after `step` of `total` pruning steps.
+	At(step, total int) float64
+	// Name identifies the schedule.
+	Name() string
+}
+
+// OneShot jumps straight to the final sparsity at the first step.
+type OneShot struct{ Final float64 }
+
+// Name returns "one-shot".
+func (OneShot) Name() string { return "one-shot" }
+
+// At returns the final sparsity for every step.
+func (o OneShot) At(step, total int) float64 { return o.Final }
+
+// Linear ramps sparsity linearly from Initial to Final.
+type Linear struct{ Initial, Final float64 }
+
+// Name returns "linear".
+func (Linear) Name() string { return "linear" }
+
+// At returns the interpolated sparsity.
+func (l Linear) At(step, total int) float64 {
+	if total <= 1 {
+		return l.Final
+	}
+	f := float64(step) / float64(total-1)
+	if f > 1 {
+		f = 1
+	}
+	return l.Initial + (l.Final-l.Initial)*f
+}
+
+// Cubic is the Zhu–Gupta gradual schedule: sparsity approaches Final with a
+// cubically decaying rate, pruning aggressively early (while the network is
+// plastic) and gently near the end.
+type Cubic struct{ Initial, Final float64 }
+
+// Name returns "cubic".
+func (Cubic) Name() string { return "cubic" }
+
+// At returns Final + (Initial−Final)·(1 − step/total)³.
+func (c Cubic) At(step, total int) float64 {
+	if total <= 1 {
+		return c.Final
+	}
+	f := float64(step) / float64(total-1)
+	if f > 1 {
+		f = 1
+	}
+	return c.Final + (c.Initial-c.Final)*math.Pow(1-f, 3)
+}
+
+// ScheduleLevels materializes a schedule into the non-decreasing sparsity
+// sequence handed to Method.PlanNested.
+func ScheduleLevels(s SparsitySchedule, steps int) ([]float64, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("prune: schedule with %d steps", steps)
+	}
+	out := make([]float64, steps)
+	prev := -1.0
+	for i := range out {
+		v := s.At(i, steps)
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("prune: schedule %q produced sparsity %v at step %d", s.Name(), v, i)
+		}
+		if v < prev {
+			return nil, fmt.Errorf("prune: schedule %q is not monotone at step %d (%v after %v)", s.Name(), i, v, prev)
+		}
+		out[i] = v
+		prev = v
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// StructuredChannel prunes whole output channels (convolution filters /
+// dense neurons), ranked globally by normalized row L2 norm. Unlike
+// unstructured pruning, the resulting model can be physically compacted
+// into a smaller dense network (see Compact), so structured levels deliver
+// real latency reductions rather than just multiplication skips.
+//
+// For exact compaction the method zeroes, per pruned channel: the weight
+// row, the bias entry, and — when the layer is immediately followed by a
+// BatchNorm — that channel's gamma and beta. A pruned channel therefore
+// produces exactly zero activations.
+//
+// The final prunable layer (the classifier head) is never channel-pruned:
+// removing an output class is not a capacity/accuracy tradeoff, it is a
+// different task.
+type StructuredChannel struct {
+	// MinKeepPerLayer is the minimum number of channels every prunable
+	// layer retains (default 1).
+	MinKeepPerLayer int
+}
+
+// Name returns "structured-channel".
+func (StructuredChannel) Name() string { return "structured-channel" }
+
+// structTarget is one channel-prunable layer plus its attached parameters.
+type structTarget struct {
+	weightName string
+	biasName   string
+	bnGamma    string // empty when no following BatchNorm
+	bnBeta     string
+	rows       int
+	rowLen     int
+	weight     *nn.Param
+	bias       *nn.Param
+}
+
+// structTargets collects the channel-prunable layers of model in order,
+// excluding the final one (the classifier head).
+func structTargets(model *nn.Sequential) []structTarget {
+	layers := model.Layers()
+	var targets []structTarget
+	for i, l := range layers {
+		var weight, bias *nn.Param
+		var rows, rowLen int
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			weight, bias = t.Weight(), t.Bias()
+			rows = t.OutChannels()
+			rowLen = weight.Value.Len() / rows
+		case *nn.Dense:
+			weight, bias = t.Weight(), t.Bias()
+			rows = t.OutFeatures()
+			rowLen = t.InFeatures()
+		default:
+			continue
+		}
+		tg := structTarget{
+			weightName: weight.Name,
+			biasName:   bias.Name,
+			rows:       rows,
+			rowLen:     rowLen,
+			weight:     weight,
+			bias:       bias,
+		}
+		if i+1 < len(layers) {
+			if bn, ok := layers[i+1].(*nn.BatchNorm); ok && bn.Features() == rows {
+				ps := bn.Params()
+				tg.bnGamma, tg.bnBeta = ps[0].Name, ps[1].Name
+			}
+		}
+		targets = append(targets, tg)
+	}
+	if len(targets) > 0 {
+		targets = targets[:len(targets)-1] // never prune the classifier head
+	}
+	return targets
+}
+
+// PlanNested ranks channels once and prunes nested prefixes, converting
+// each requested weight sparsity into a channel budget.
+func (sc StructuredChannel) PlanNested(model *nn.Sequential, sparsities []float64) ([]*Plan, error) {
+	if err := checkSparsities(sparsities); err != nil {
+		return nil, err
+	}
+	minKeep := sc.MinKeepPerLayer
+	if minKeep <= 0 {
+		minKeep = 1
+	}
+	targets := structTargets(model)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("prune: model %q has no channel-prunable layers (besides the head)", model.Name())
+	}
+
+	// Rank all channels by length-normalized L2 norm so layers with
+	// different fan-in compete fairly.
+	var entries []rankedEntry
+	targetByName := make(map[string]*structTarget, len(targets))
+	for ti := range targets {
+		t := &targets[ti]
+		targetByName[t.weightName] = t
+		d := t.weight.Value.Data()
+		for r := 0; r < t.rows; r++ {
+			var sum float64
+			for _, v := range d[r*t.rowLen : (r+1)*t.rowLen] {
+				sum += float64(v) * float64(v)
+			}
+			entries = append(entries, rankedEntry{
+				param: t.weightName,
+				index: r,
+				score: math.Sqrt(sum / float64(t.rowLen)),
+			})
+		}
+	}
+	sortRanked(entries)
+
+	// Weight-sparsity accounting runs over all prunable parameters, to stay
+	// comparable with the unstructured methods.
+	var totalPrunable int
+	for _, p := range model.PrunableParams() {
+		totalPrunable += p.Value.Len()
+	}
+
+	// Build masks incrementally across levels (prefix of the same ranking →
+	// nested by construction).
+	masks := make(map[string]*Mask)
+	for _, p := range model.Params() {
+		masks[p.Name] = nil // lazily created
+	}
+	getMask := func(name string, n int) *Mask {
+		if masks[name] == nil {
+			masks[name] = NewMask(n)
+		}
+		return masks[name]
+	}
+	kept := make(map[string]int, len(targets))
+	for _, t := range targets {
+		kept[t.weightName] = t.rows
+	}
+
+	plans := make([]*Plan, len(sparsities))
+	cursor := 0
+	prunedWeights := 0
+	for li, s := range sparsities {
+		budget := int(s * float64(totalPrunable))
+		for cursor < len(entries) && prunedWeights < budget {
+			e := entries[cursor]
+			cursor++
+			t := targetByName[e.param]
+			if kept[t.weightName] <= minKeep {
+				continue
+			}
+			kept[t.weightName]--
+			wm := getMask(t.weightName, t.weight.Value.Len())
+			for i := e.index * t.rowLen; i < (e.index+1)*t.rowLen; i++ {
+				wm.SetPruned(i)
+			}
+			getMask(t.biasName, t.bias.Value.Len()).SetPruned(e.index)
+			if t.bnGamma != "" {
+				getMask(t.bnGamma, t.rows).SetPruned(e.index)
+				getMask(t.bnBeta, t.rows).SetPruned(e.index)
+			}
+			prunedWeights += t.rowLen
+		}
+		snapshot := make(map[string]*Mask)
+		for name, m := range masks {
+			if m != nil {
+				snapshot[name] = m.Clone()
+			}
+		}
+		plans[li] = &Plan{Method: "structured-channel", Sparsity: s, Masks: snapshot}
+	}
+	return plans, nil
+}
+
+// PrunedChannels reports, for each channel-prunable layer, which output
+// channels the live model has fully zeroed (weight row, bias, and any
+// attached normalization). Compact uses this to decide what to remove.
+func PrunedChannels(model *nn.Sequential) map[string][]int {
+	out := make(map[string][]int)
+	for _, t := range structTargets(model) {
+		d := t.weight.Value.Data()
+		bd := t.bias.Value.Data()
+		var dead []int
+		for r := 0; r < t.rows; r++ {
+			if bd[r] != 0 {
+				continue
+			}
+			allZero := true
+			for _, v := range d[r*t.rowLen : (r+1)*t.rowLen] {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if !allZero {
+				continue
+			}
+			if t.bnGamma != "" {
+				g := model.Param(t.bnGamma).Value.Data()
+				b := model.Param(t.bnBeta).Value.Data()
+				if g[r] != 0 || b[r] != 0 {
+					continue
+				}
+			}
+			dead = append(dead, r)
+		}
+		if len(dead) > 0 {
+			out[t.weightName] = dead
+		}
+	}
+	return out
+}

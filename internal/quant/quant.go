@@ -1,0 +1,227 @@
+// Package quant implements reversible runtime quantization — the companion
+// quality/energy knob to pruning, listed as an extension direction of the
+// reversible-runtime-adaptation idea. Weights are rounded onto a symmetric
+// per-tensor integer grid at a chosen bit width; a full-precision shadow
+// master makes any quantization level instantly revertible.
+//
+// Unlike the pruning recovery store (which holds only displaced weights),
+// exact reversal of rounding requires the original values, so the master
+// costs one model copy regardless of the level count. The ablation
+// experiments quantify that tradeoff against pruning's delta store.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Level is one rung of the precision ladder.
+type Level struct {
+	// ID is the level index; 0 is the full-precision (float32) level.
+	ID int
+	// Bits is the integer width weights are rounded to; 32 means identity.
+	Bits int
+	// Name is "Q32", "Q8", ….
+	Name string
+	// Accuracy is the calibrated task accuracy, filled by Calibrate.
+	Accuracy float64
+	// EnergyMJ is the per-inference energy estimate, filled by SetCost.
+	EnergyMJ float64
+}
+
+// ReversibleQuantizer wraps a model with a precision ladder and the
+// full-precision shadow master needed to reverse any rounding. It is not
+// safe for concurrent use.
+type ReversibleQuantizer struct {
+	model   *nn.Sequential
+	master  map[string][]float32
+	levels  []*Level
+	current int
+}
+
+// BuildQuantizer captures the model's current (full-precision) prunable
+// weights as the master and prepares the given bit-width ladder. bitLevels
+// must be strictly decreasing widths in [2, 31], e.g. [16, 8, 4]; level 0
+// (32-bit identity) is implicit.
+func BuildQuantizer(model *nn.Sequential, bitLevels []int) (*ReversibleQuantizer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("quant: nil model")
+	}
+	if len(bitLevels) == 0 {
+		return nil, fmt.Errorf("quant: no bit levels")
+	}
+	prev := 32
+	for _, b := range bitLevels {
+		if b < 2 || b >= prev {
+			return nil, fmt.Errorf("quant: bit levels must be strictly decreasing in [2,31], got %v", bitLevels)
+		}
+		prev = b
+	}
+	params := model.PrunableParams()
+	if len(params) == 0 {
+		return nil, fmt.Errorf("quant: model %q has no prunable parameters", model.Name())
+	}
+	q := &ReversibleQuantizer{
+		model:  model,
+		master: make(map[string][]float32, len(params)),
+	}
+	for _, p := range params {
+		cp := make([]float32, p.Value.Len())
+		copy(cp, p.Value.Data())
+		q.master[p.Name] = cp
+	}
+	q.levels = append(q.levels, &Level{ID: 0, Bits: 32, Name: "Q32"})
+	for i, b := range bitLevels {
+		q.levels = append(q.levels, &Level{ID: i + 1, Bits: b, Name: fmt.Sprintf("Q%d", b)})
+	}
+	return q, nil
+}
+
+// Model returns the live network.
+func (q *ReversibleQuantizer) Model() *nn.Sequential { return q.model }
+
+// NumLevels returns the ladder size including the identity level.
+func (q *ReversibleQuantizer) NumLevels() int { return len(q.levels) }
+
+// Current returns the active level index.
+func (q *ReversibleQuantizer) Current() int { return q.current }
+
+// Level returns level metadata.
+func (q *ReversibleQuantizer) Level(i int) *Level {
+	if i < 0 || i >= len(q.levels) {
+		panic(fmt.Sprintf("quant: level %d out of range [0,%d)", i, len(q.levels)))
+	}
+	return q.levels[i]
+}
+
+// Levels returns the ladder (shared slice).
+func (q *ReversibleQuantizer) Levels() []*Level { return q.levels }
+
+// MasterBytes returns the shadow master's memory footprint.
+func (q *ReversibleQuantizer) MasterBytes() int64 {
+	var n int64
+	for _, v := range q.master {
+		n += int64(len(v)) * 4
+	}
+	return n
+}
+
+// ApplyLevel rounds the live weights (from the master, so transitions are
+// path-independent) onto level i's grid. Level 0 restores full precision.
+func (q *ReversibleQuantizer) ApplyLevel(i int) error {
+	if i < 0 || i >= len(q.levels) {
+		return fmt.Errorf("quant: level %d out of range [0,%d)", i, len(q.levels))
+	}
+	bits := q.levels[i].Bits
+	for _, p := range q.model.PrunableParams() {
+		src := q.master[p.Name]
+		dst := p.Value.Data()
+		if bits >= 32 {
+			copy(dst, src)
+			continue
+		}
+		QuantizeInto(dst, src, bits)
+	}
+	q.current = i
+	return nil
+}
+
+// Restore is the fast path back to full precision.
+func (q *ReversibleQuantizer) Restore() error { return q.ApplyLevel(0) }
+
+// VerifyMaster checks, at level 0, that the live weights match the master
+// exactly.
+func (q *ReversibleQuantizer) VerifyMaster() error {
+	if q.current != 0 {
+		return fmt.Errorf("quant: VerifyMaster at level %d; restore first", q.current)
+	}
+	for _, p := range q.model.PrunableParams() {
+		src := q.master[p.Name]
+		for i, v := range p.Value.Data() {
+			if v != src[i] {
+				return fmt.Errorf("quant: %s[%d] = %v, master has %v", p.Name, i, v, src[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Calibrate fills each level's Accuracy using eval and returns to the
+// previously active level.
+func (q *ReversibleQuantizer) Calibrate(eval func(*nn.Sequential) float64) error {
+	if eval == nil {
+		return fmt.Errorf("quant: Calibrate with nil evaluator")
+	}
+	prev := q.current
+	for i := range q.levels {
+		if err := q.ApplyLevel(i); err != nil {
+			return err
+		}
+		q.levels[i].Accuracy = eval(q.model)
+	}
+	return q.ApplyLevel(prev)
+}
+
+// SetCost records the platform energy estimate for level i.
+func (q *ReversibleQuantizer) SetCost(i int, energyMJ float64) {
+	q.Level(i).EnergyMJ = energyMJ
+}
+
+// QuantizeInto rounds src onto a symmetric bits-wide integer grid scaled to
+// the tensor's max magnitude and writes the dequantized values into dst.
+// Exact zeros stay exactly zero, so quantization composes with pruning.
+func QuantizeInto(dst, src []float32, bits int) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("quant: QuantizeInto length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if bits < 2 || bits > 31 {
+		panic(fmt.Sprintf("quant: bits %d out of [2,31]", bits))
+	}
+	var maxAbs float32
+	for _, v := range src {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	qmax := float32(int32(1)<<(bits-1)) - 1
+	scale := maxAbs / qmax
+	inv := 1 / scale
+	for i, v := range src {
+		qv := float32(math.RoundToEven(float64(v * inv)))
+		if qv > qmax {
+			qv = qmax
+		} else if qv < -qmax {
+			qv = -qmax
+		}
+		dst[i] = qv * scale
+	}
+}
+
+// MaxQuantError returns the largest |dequant(w) − w| the grid can incur for
+// the given source tensor — half a step.
+func MaxQuantError(src []float32, bits int) float64 {
+	var maxAbs float64
+	for _, v := range src {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	qmax := float64(int32(1)<<(bits-1)) - 1
+	return maxAbs / qmax / 2
+}

@@ -1,0 +1,237 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func quantModel(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	return nn.NewSequential("m",
+		nn.NewDense("fc1", 8, 16, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 16, 4, rng),
+	)
+}
+
+func TestBuildQuantizerValidation(t *testing.T) {
+	m := quantModel(1)
+	if _, err := BuildQuantizer(nil, []int{8}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := BuildQuantizer(m, nil); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := BuildQuantizer(m, []int{8, 16}); err == nil {
+		t.Error("increasing ladder accepted")
+	}
+	if _, err := BuildQuantizer(m, []int{32}); err == nil {
+		t.Error("32-bit rung accepted (identity is implicit)")
+	}
+	if _, err := BuildQuantizer(m, []int{1}); err == nil {
+		t.Error("1-bit rung accepted")
+	}
+	empty := nn.NewSequential("e", nn.NewReLU("r"))
+	if _, err := BuildQuantizer(empty, []int{8}); err == nil {
+		t.Error("model without weights accepted")
+	}
+}
+
+func TestQuantizeRestoreExact(t *testing.T) {
+	m := quantModel(2)
+	orig := m.Param("fc1/weight").Value.Clone()
+	q, err := BuildQuantizer(m, []int{16, 8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumLevels() != 4 {
+		t.Fatalf("NumLevels = %d", q.NumLevels())
+	}
+	if err := q.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Equal(m.Param("fc1/weight").Value, orig) {
+		t.Error("4-bit quantization changed nothing")
+	}
+	if err := q.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(m.Param("fc1/weight").Value, orig) {
+		t.Error("restore not bit-exact")
+	}
+	if err := q.VerifyMaster(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyMasterRefusesAwayFromQ32(t *testing.T) {
+	m := quantModel(3)
+	q, _ := BuildQuantizer(m, []int{8})
+	q.ApplyLevel(1)
+	if err := q.VerifyMaster(); err == nil {
+		t.Error("VerifyMaster at Q8 accepted")
+	}
+}
+
+func TestTransitionsArePathIndependent(t *testing.T) {
+	m1 := quantModel(4)
+	m2 := quantModel(4)
+	q1, _ := BuildQuantizer(m1, []int{16, 8, 4})
+	q2, _ := BuildQuantizer(m2, []int{16, 8, 4})
+	// Direct jump vs a wandering path must land on identical weights.
+	q1.ApplyLevel(2)
+	q2.ApplyLevel(3)
+	q2.ApplyLevel(1)
+	q2.ApplyLevel(2)
+	if !tensor.Equal(m1.Param("fc1/weight").Value, m2.Param("fc1/weight").Value) {
+		t.Error("quantization depends on the path taken")
+	}
+}
+
+func TestQuantErrorBoundedAndShrinksWithBits(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	src := make([]float32, 500)
+	for i := range src {
+		src[i] = float32(rng.Normal(0, 1))
+	}
+	var prevMax float64 = math.Inf(1)
+	for _, bits := range []int{4, 8, 16} {
+		dst := make([]float32, len(src))
+		QuantizeInto(dst, src, bits)
+		// 1% slack for float32 rounding in the scale computation itself.
+		bound := MaxQuantError(src, bits)*1.01 + 1e-9
+		var worst float64
+		for i := range src {
+			e := math.Abs(float64(dst[i] - src[i]))
+			if e > worst {
+				worst = e
+			}
+			if e > bound {
+				t.Fatalf("bits=%d: error %v exceeds bound %v", bits, e, bound)
+			}
+		}
+		if worst >= prevMax {
+			t.Errorf("bits=%d: error %v did not shrink from %v", bits, worst, prevMax)
+		}
+		prevMax = worst
+	}
+}
+
+func TestQuantPreservesZeros(t *testing.T) {
+	src := []float32{0, 1, -1, 0, 0.5}
+	dst := make([]float32, len(src))
+	QuantizeInto(dst, src, 4)
+	if dst[0] != 0 || dst[3] != 0 {
+		t.Error("exact zeros not preserved — breaks composition with pruning")
+	}
+	allZero := make([]float32, 4)
+	QuantizeInto(dst[:4], allZero, 8)
+	for _, v := range dst[:4] {
+		if v != 0 {
+			t.Error("all-zero tensor not preserved")
+		}
+	}
+}
+
+func TestCalibrateAndCost(t *testing.T) {
+	m := quantModel(6)
+	q, _ := BuildQuantizer(m, []int{8, 4})
+	calls := 0
+	if err := q.Calibrate(func(*nn.Sequential) float64 { calls++; return float64(calls) }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("evaluator ran %d times", calls)
+	}
+	if q.Level(0).Accuracy != 1 || q.Level(2).Accuracy != 3 {
+		t.Error("accuracies not recorded")
+	}
+	if q.Current() != 0 {
+		t.Error("Calibrate did not restore level")
+	}
+	q.SetCost(1, 5.5)
+	if q.Level(1).EnergyMJ != 5.5 {
+		t.Error("SetCost not recorded")
+	}
+	if err := q.Calibrate(nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestMasterBytes(t *testing.T) {
+	m := quantModel(7)
+	q, _ := BuildQuantizer(m, []int{8})
+	var want int64
+	for _, p := range m.PrunableParams() {
+		want += int64(p.Value.Len()) * 4
+	}
+	if q.MasterBytes() != want {
+		t.Errorf("MasterBytes = %d, want %d", q.MasterBytes(), want)
+	}
+}
+
+func TestApplyLevelErrors(t *testing.T) {
+	m := quantModel(8)
+	q, _ := BuildQuantizer(m, []int{8})
+	if err := q.ApplyLevel(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if err := q.ApplyLevel(5); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+// Property: quantize→restore round trips exactly for arbitrary ladders and
+// walks.
+func TestQuantReversibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		m := quantModel(seed)
+		orig := m.Param("fc1/weight").Value.Clone()
+		q, err := BuildQuantizer(m, []int{16, 8, 4, 2})
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 10; k++ {
+			if err := q.ApplyLevel(rng.Intn(q.NumLevels())); err != nil {
+				return false
+			}
+		}
+		if err := q.Restore(); err != nil {
+			return false
+		}
+		return tensor.Equal(m.Param("fc1/weight").Value, orig) && q.VerifyMaster() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fewer bits never increases the number of distinct weight
+// values.
+func TestQuantDistinctValuesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		src := make([]float32, 200)
+		for i := range src {
+			src[i] = float32(rng.Normal(0, 2))
+		}
+		distinct := func(bits int) int {
+			dst := make([]float32, len(src))
+			QuantizeInto(dst, src, bits)
+			set := map[float32]bool{}
+			for _, v := range dst {
+				set[v] = true
+			}
+			return len(set)
+		}
+		return distinct(4) <= distinct(8) && distinct(8) <= distinct(16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

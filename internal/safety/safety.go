@@ -1,0 +1,236 @@
+// Package safety implements the safety-monitoring substrate: criticality
+// assessment fusing time-to-collision, scene complexity, and perception
+// uncertainty; per-class accuracy contracts; and a violation log. The
+// runtime governor consumes assessments and enforces contracts when picking
+// pruning levels.
+package safety
+
+import (
+	"fmt"
+	"math"
+)
+
+// Criticality is the discrete danger class of the current driving context.
+type Criticality int
+
+// Criticality classes, in increasing order of danger.
+const (
+	Nominal   Criticality = iota // open road, nothing of interest
+	Elevated                     // traffic present, no imminent threat
+	Critical                     // threat requires full perception quality
+	Emergency                    // collision imminent; maximum capability
+)
+
+// String returns the class name.
+func (c Criticality) String() string {
+	switch c {
+	case Nominal:
+		return "nominal"
+	case Elevated:
+		return "elevated"
+	case Critical:
+		return "critical"
+	case Emergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("criticality(%d)", int(c))
+	}
+}
+
+// NumClasses is the number of criticality classes.
+const NumClasses = 4
+
+// Assessment is the fused criticality estimate for one control tick.
+type Assessment struct {
+	// Score is the fused danger score in [0,1].
+	Score float64
+	// Class is Score discretized by the assessor thresholds.
+	Class Criticality
+	// TTC is the time-to-collision input, in seconds (+Inf when no
+	// collision course exists).
+	TTC float64
+	// Complexity is the scene-complexity input in [0,1].
+	Complexity float64
+	// Uncertainty is the perception-uncertainty input in [0,1].
+	Uncertainty float64
+}
+
+// Assessor fuses raw signals into an Assessment. The zero value is not
+// valid; use DefaultAssessor or fill every field.
+type Assessor struct {
+	// TTCHorizonS is the horizon below which time-to-collision starts to
+	// contribute danger; at TTC=0 the TTC term saturates at 1.
+	TTCHorizonS float64
+	// WTTC, WComplexity and WUncertainty weight the fused score; they
+	// should sum to 1.
+	WTTC, WComplexity, WUncertainty float64
+	// Thresholds are the score boundaries to Elevated, Critical and
+	// Emergency, in ascending order.
+	Thresholds [3]float64
+}
+
+// DefaultAssessor returns the evaluation's standard fusion: TTC dominates,
+// with complexity and uncertainty as context.
+func DefaultAssessor() Assessor {
+	return Assessor{
+		TTCHorizonS:  5.0,
+		WTTC:         0.65,
+		WComplexity:  0.10,
+		WUncertainty: 0.25,
+		Thresholds:   [3]float64{0.2, 0.4, 0.6},
+	}
+}
+
+// Validate checks internal consistency.
+func (a Assessor) Validate() error {
+	if a.TTCHorizonS <= 0 {
+		return fmt.Errorf("safety: TTC horizon %v must be positive", a.TTCHorizonS)
+	}
+	if a.WTTC < 0 || a.WComplexity < 0 || a.WUncertainty < 0 {
+		return fmt.Errorf("safety: negative fusion weight")
+	}
+	if s := a.WTTC + a.WComplexity + a.WUncertainty; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("safety: fusion weights sum to %v, want 1", s)
+	}
+	if !(a.Thresholds[0] < a.Thresholds[1] && a.Thresholds[1] < a.Thresholds[2]) {
+		return fmt.Errorf("safety: thresholds %v not ascending", a.Thresholds)
+	}
+	return nil
+}
+
+// Assess fuses the three signals. ttc may be +Inf; complexity and
+// uncertainty are clamped to [0,1].
+func (a Assessor) Assess(ttc, complexity, uncertainty float64) Assessment {
+	ttcTerm := 0.0
+	if !math.IsInf(ttc, 1) {
+		ttcTerm = 1 - ttc/a.TTCHorizonS
+		if ttcTerm < 0 {
+			ttcTerm = 0
+		}
+		if ttcTerm > 1 {
+			ttcTerm = 1
+		}
+	}
+	score := a.WTTC*ttcTerm + a.WComplexity*clamp01(complexity) + a.WUncertainty*clamp01(uncertainty)
+	cls := Nominal
+	switch {
+	case score >= a.Thresholds[2]:
+		cls = Emergency
+	case score >= a.Thresholds[1]:
+		cls = Critical
+	case score >= a.Thresholds[0]:
+		cls = Elevated
+	}
+	return Assessment{Score: score, Class: cls, TTC: ttc, Complexity: clamp01(complexity), Uncertainty: clamp01(uncertainty)}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Entropy returns the normalized Shannon entropy of a probability vector in
+// [0,1]: 0 for a one-hot prediction, 1 for uniform. It is the standard
+// cheap uncertainty proxy for softmax classifiers.
+func Entropy(probs []float32) float64 {
+	if len(probs) < 2 {
+		return 0
+	}
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= float64(p) * math.Log(float64(p))
+		}
+	}
+	return h / math.Log(float64(len(probs)))
+}
+
+// Margin returns 1 − (p₁ − p₂), the complement of the top-two probability
+// margin: 0 when the classifier is certain, approaching 1 when the top two
+// classes tie.
+func Margin(probs []float32) float64 {
+	if len(probs) < 2 {
+		return 0
+	}
+	top, second := float32(-1), float32(-1)
+	for _, p := range probs {
+		if p > top {
+			second = top
+			top = p
+		} else if p > second {
+			second = p
+		}
+	}
+	return float64(1 - (top - second))
+}
+
+// Contract is the quality contract the governor enforces: the minimum
+// calibrated accuracy the active pruning level must provide in each
+// criticality class.
+type Contract struct {
+	// MinAccuracy is indexed by Criticality.
+	MinAccuracy [NumClasses]float64
+}
+
+// DefaultContract relaxes quality in nominal conditions and demands
+// (near-)full quality under threat.
+func DefaultContract() Contract {
+	return Contract{MinAccuracy: [NumClasses]float64{0.75, 0.85, 0.93, 0.97}}
+}
+
+// Floor returns the accuracy floor for the given class.
+func (c Contract) Floor(cl Criticality) float64 {
+	if cl < 0 {
+		cl = 0
+	}
+	if int(cl) >= NumClasses {
+		cl = NumClasses - 1
+	}
+	return c.MinAccuracy[cl]
+}
+
+// Validate checks the floors are monotone non-decreasing in criticality and
+// within [0,1].
+func (c Contract) Validate() error {
+	prev := -1.0
+	for i, v := range c.MinAccuracy {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("safety: contract floor %v out of [0,1]", v)
+		}
+		if v < prev {
+			return fmt.Errorf("safety: contract floor for class %d (%v) below class %d (%v)", i, v, i-1, prev)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Violation records one tick where the active configuration failed the
+// contract.
+type Violation struct {
+	Tick  int
+	Class Criticality
+	Floor float64
+	Got   float64
+}
+
+// ViolationLog accumulates contract violations during a run.
+type ViolationLog struct {
+	violations []Violation
+}
+
+// Add records a violation.
+func (l *ViolationLog) Add(tick int, class Criticality, floor, got float64) {
+	l.violations = append(l.violations, Violation{Tick: tick, Class: class, Floor: floor, Got: got})
+}
+
+// Count returns the number of recorded violations.
+func (l *ViolationLog) Count() int { return len(l.violations) }
+
+// All returns the recorded violations (shared slice).
+func (l *ViolationLog) All() []Violation { return l.violations }

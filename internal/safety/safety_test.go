@@ -1,0 +1,169 @@
+package safety
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCriticalityString(t *testing.T) {
+	want := map[Criticality]string{
+		Nominal: "nominal", Elevated: "elevated", Critical: "critical", Emergency: "emergency",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if Criticality(9).String() != "criticality(9)" {
+		t.Error("unknown class string wrong")
+	}
+}
+
+func TestDefaultAssessorValidates(t *testing.T) {
+	if err := DefaultAssessor().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultAssessor()
+	bad.WTTC = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("weights not summing to 1 accepted")
+	}
+	bad = DefaultAssessor()
+	bad.Thresholds = [3]float64{0.5, 0.5, 0.7}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-ascending thresholds accepted")
+	}
+	bad = DefaultAssessor()
+	bad.TTCHorizonS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestAssessClasses(t *testing.T) {
+	a := DefaultAssessor()
+	// Open road: infinite TTC, empty, certain.
+	open := a.Assess(math.Inf(1), 0, 0)
+	if open.Class != Nominal || open.Score != 0 {
+		t.Errorf("open road = %+v", open)
+	}
+	// Imminent collision saturates TTC term: 0.6 ≥ threshold 0.5 → Critical.
+	imminent := a.Assess(0.1, 0, 0)
+	if imminent.Class < Critical {
+		t.Errorf("imminent TTC class = %v", imminent.Class)
+	}
+	// Everything maxed → Emergency.
+	worst := a.Assess(0, 1, 1)
+	if worst.Class != Emergency || math.Abs(worst.Score-1) > 1e-9 {
+		t.Errorf("worst case = %+v", worst)
+	}
+	// Moderate TTC only → Elevated.
+	moderate := a.Assess(2.5, 0, 0)
+	if moderate.Class != Elevated {
+		t.Errorf("moderate = %+v", moderate)
+	}
+}
+
+func TestAssessClampsInputs(t *testing.T) {
+	a := DefaultAssessor()
+	got := a.Assess(math.Inf(1), 5, -3)
+	if got.Complexity != 1 || got.Uncertainty != 0 {
+		t.Errorf("clamping wrong: %+v", got)
+	}
+}
+
+// Property: score is monotone — decreasing TTC or increasing complexity/
+// uncertainty never decreases the score.
+func TestAssessMonotoneProperty(t *testing.T) {
+	a := DefaultAssessor()
+	f := func(ttcRaw, c, u, dt float64) bool {
+		ttc := math.Abs(ttcRaw)
+		c = math.Mod(math.Abs(c), 1)
+		u = math.Mod(math.Abs(u), 1)
+		d := math.Mod(math.Abs(dt), 1)
+		base := a.Assess(ttc, c, u).Score
+		if a.Assess(ttc+d, c, u).Score > base+1e-12 {
+			return false
+		}
+		if a.Assess(ttc, math.Min(1, c+d), u).Score < base-1e-12 {
+			return false
+		}
+		if a.Assess(ttc, c, math.Min(1, u+d)).Score < base-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy([]float32{1, 0, 0, 0}) != 0 {
+		t.Error("one-hot entropy should be 0")
+	}
+	if got := Entropy([]float32{0.25, 0.25, 0.25, 0.25}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("uniform entropy = %v, want 1", got)
+	}
+	if Entropy([]float32{1}) != 0 {
+		t.Error("degenerate vector should be 0")
+	}
+	mid := Entropy([]float32{0.7, 0.3})
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("mid entropy = %v", mid)
+	}
+}
+
+func TestMargin(t *testing.T) {
+	if Margin([]float32{1, 0}) != 0 {
+		t.Error("certain margin should be 0")
+	}
+	if got := Margin([]float32{0.5, 0.5}); math.Abs(got-1) > 1e-6 {
+		t.Errorf("tied margin = %v", got)
+	}
+	if got := Margin([]float32{0.1, 0.6, 0.3}); math.Abs(got-0.7) > 1e-6 {
+		t.Errorf("margin = %v, want 0.7", got)
+	}
+}
+
+func TestContract(t *testing.T) {
+	c := DefaultContract()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Floor(Nominal) >= c.Floor(Emergency) {
+		t.Error("floors should increase with criticality")
+	}
+	// Out-of-range classes clamp.
+	if c.Floor(Criticality(-1)) != c.Floor(Nominal) {
+		t.Error("negative class not clamped")
+	}
+	if c.Floor(Criticality(99)) != c.Floor(Emergency) {
+		t.Error("overflow class not clamped")
+	}
+	bad := Contract{MinAccuracy: [NumClasses]float64{0.9, 0.8, 0.95, 0.99}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotone contract accepted")
+	}
+	bad = Contract{MinAccuracy: [NumClasses]float64{0.5, 0.6, 0.7, 1.2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("floor >1 accepted")
+	}
+}
+
+func TestViolationLog(t *testing.T) {
+	var l ViolationLog
+	if l.Count() != 0 {
+		t.Error("fresh log not empty")
+	}
+	l.Add(5, Critical, 0.95, 0.9)
+	l.Add(6, Emergency, 0.99, 0.9)
+	if l.Count() != 2 {
+		t.Error("count wrong")
+	}
+	v := l.All()[0]
+	if v.Tick != 5 || v.Class != Critical || v.Floor != 0.95 || v.Got != 0.9 {
+		t.Errorf("violation = %+v", v)
+	}
+}

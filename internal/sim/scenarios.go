@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Standard scenarios of the evaluation. Durations use a 10 Hz control tick
+// (dt = 0.1 s), matching embedded perception loops. All randomness flows
+// through the world seed, so scenarios themselves are pure descriptions.
+
+// baseScenario fills the common fields.
+func baseScenario(name string, ticks int) Scenario {
+	return Scenario{
+		Name:        name,
+		Ticks:       ticks,
+		Dt:          0.1,
+		CruiseSpeed: 20, // 72 km/h
+		BaseNoise:   0.06,
+		SensorRange: 60,
+	}
+}
+
+// HighwayCruise is the benign baseline: light traffic that stays out of the
+// ego lane, plus one slow lead far ahead. The governor should spend nearly
+// the whole run at a deep pruning level.
+func HighwayCruise() Scenario {
+	sc := baseScenario("highway-cruise", 2000)
+	sc.Events = []Event{
+		{Tick: 0, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 30, 19)
+			w.SpawnActor(Vehicle, 2, 55, 21)
+			w.SpawnActor(Vehicle, 0, 500, 19.5) // lead far ahead, barely closing
+		}},
+		{Tick: 1000, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 40, 22)
+		}},
+	}
+	return sc
+}
+
+// UrbanTraffic keeps moderate density with a slower lead that forces
+// intermittent elevated criticality.
+func UrbanTraffic() Scenario {
+	sc := baseScenario("urban-traffic", 2000)
+	sc.CruiseSpeed = 14 // ~50 km/h
+	sc.Events = []Event{
+		{Tick: 0, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 0, 80, 13)
+			w.SpawnActor(Vehicle, 1, 20, 14)
+			w.SpawnActor(Vehicle, 1, 60, 13)
+			w.SpawnActor(Vehicle, 2, 35, 15)
+		}},
+		{Tick: 600, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 25, 13.5)
+			w.SpawnActor(Vehicle, 2, 45, 14.5)
+		}},
+		{Tick: 1200, Do: func(w *World) {
+			// Lead slows, compressing the gap.
+			if lead, _ := w.LeadActor(); lead != nil {
+				lead.Speed = 11
+			}
+		}},
+	}
+	return sc
+}
+
+// CutIn is the headline criticality spike: after a long cruise, a vehicle
+// cuts into the ego lane 10 m ahead, 9 m/s slower than the ego is moving at
+// that instant. Anchoring the intruder to the live ego state guarantees the
+// spike (TTC ≈ 1.1 s) regardless of how earlier perception quality shaped
+// the ego's trajectory.
+func CutIn() Scenario {
+	sc := baseScenario("cut-in", 2000)
+	sc.Events = []Event{
+		{Tick: 0, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 20, 20) // ambient adjacent-lane traffic
+			w.SpawnActor(Vehicle, 2, 70, 21)
+		}},
+		{Tick: 1000, Do: func(w *World) {
+			speed := w.Ego().Speed - 9
+			if speed < 0 {
+				speed = 0
+			}
+			w.SpawnActor(Vehicle, 0, 10, speed)
+		}},
+	}
+	return sc
+}
+
+// PedestrianCrossing drops a stationary pedestrian into the ego lane at
+// medium range — the worst-case small-and-static obstacle.
+func PedestrianCrossing() Scenario {
+	sc := baseScenario("pedestrian", 1600)
+	sc.CruiseSpeed = 14
+	sc.Events = []Event{
+		{Tick: 0, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 40, 14)
+		}},
+		{Tick: 800, Do: func(w *World) {
+			w.SpawnActor(Pedestrian, 0, 50, 0)
+		}},
+	}
+	return sc
+}
+
+// SensorDegradation ramps sensor noise up mid-run (fog/glare), driving the
+// uncertainty signal without any geometric threat, then clears. A lead
+// vehicle appears during the degraded window, so perception quality matters
+// exactly when the sensor is worst.
+func SensorDegradation() Scenario {
+	sc := baseScenario("sensor-degradation", 2000)
+	sc.Events = []Event{
+		{Tick: 0, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 35, 20)
+		}},
+		{Tick: 700, Do: func(w *World) { w.SetNoise(0.18); w.SetContrast(0.8) }},
+		{Tick: 900, Do: func(w *World) { w.SetNoise(0.30); w.SetContrast(0.6) }},
+		{Tick: 1000, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 0, 55, 16)
+		}},
+		{Tick: 1500, Do: func(w *World) { w.SetNoise(0.06); w.SetContrast(1) }},
+	}
+	return sc
+}
+
+// PedestrianInFog is the differentiating worst case: heavy sensor
+// degradation (σ = 0.35) while a pedestrian stands in the lane at medium
+// range. A heavily pruned model misses the small low-contrast blob long
+// enough to matter; a dense model (or a governor that escalates on the
+// uncertainty spike) detects in time.
+func PedestrianInFog() Scenario {
+	sc := baseScenario("pedestrian-fog", 1600)
+	sc.CruiseSpeed = 16
+	sc.Events = []Event{
+		{Tick: 0, Do: func(w *World) {
+			w.SpawnActor(Vehicle, 1, 40, 16)
+		}},
+		{Tick: 600, Do: func(w *World) { w.SetNoise(0.2); w.SetContrast(0.55) }},
+		{Tick: 800, Do: func(w *World) {
+			w.SpawnActor(Pedestrian, 0, 55, 0)
+		}},
+		{Tick: 1400, Do: func(w *World) { w.SetNoise(0.06); w.SetContrast(1) }},
+	}
+	return sc
+}
+
+// RandomTraffic generates a Monte-Carlo scenario: vehicles spawn at random
+// ticks, lanes, gaps, and speeds (density controls the spawn rate per
+// tick), with one random fog window. The seed fixes the script at
+// construction time, so a RandomTraffic scenario is as deterministic as
+// the hand-written ones once built.
+func RandomTraffic(ticks int, density float64, seed int64) Scenario {
+	sc := baseScenario(fmt.Sprintf("random-traffic(%d)", seed), ticks)
+	rng := rand.New(rand.NewSource(seed))
+
+	var events []Event
+	for tick := 0; tick < ticks; tick++ {
+		if rng.Float64() >= density {
+			continue
+		}
+		lane := rng.Intn(3)
+		gap := 30 + rng.Float64()*60
+		speed := sc.CruiseSpeed * (0.6 + 0.5*rng.Float64())
+		if lane == 0 && rng.Float64() < 0.15 {
+			// Occasional stationary obstacle in the ego lane.
+			speed = 0
+			gap = 45 + rng.Float64()*15
+		}
+		events = append(events, Event{Tick: tick, Do: func(w *World) {
+			w.SpawnActor(Vehicle, lane, gap, speed)
+		}})
+	}
+	// One fog window somewhere in the middle half of the run.
+	fogStart := ticks/4 + rng.Intn(ticks/4)
+	fogLen := ticks / 8
+	fogNoise := 0.15 + rng.Float64()*0.15
+	fogContrast := 0.5 + rng.Float64()*0.3
+	events = append(events,
+		Event{Tick: fogStart, Do: func(w *World) { w.SetNoise(fogNoise); w.SetContrast(fogContrast) }},
+		Event{Tick: fogStart + fogLen, Do: func(w *World) { w.SetNoise(sc.BaseNoise); w.SetContrast(1) }},
+	)
+	sc.Events = events
+	return sc
+}
+
+// AllScenarios returns the six standard evaluation scenarios.
+func AllScenarios() []Scenario {
+	return []Scenario{
+		HighwayCruise(),
+		UrbanTraffic(),
+		CutIn(),
+		PedestrianCrossing(),
+		SensorDegradation(),
+		PedestrianInFog(),
+	}
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func plainScenario(ticks int) Scenario {
+	return Scenario{Name: "plain", Ticks: ticks, Dt: 0.1, CruiseSpeed: 20, BaseNoise: 0.05, SensorRange: 60}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := plainScenario(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Scenario{
+		{Name: "a", Ticks: 0, Dt: 0.1, CruiseSpeed: 10, SensorRange: 50},
+		{Name: "b", Ticks: 10, Dt: 0, CruiseSpeed: 10, SensorRange: 50},
+		{Name: "c", Ticks: 10, Dt: 0.1, CruiseSpeed: 0, SensorRange: 50},
+		{Name: "d", Ticks: 10, Dt: 0.1, CruiseSpeed: 10, SensorRange: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("scenario %q accepted", bad.Name)
+		}
+	}
+}
+
+func TestWorldAdvancesAndFinishes(t *testing.T) {
+	w, err := NewWorld(plainScenario(50), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.Ego().Pos
+	for !w.Done() {
+		w.Step()
+	}
+	if w.Tick() != 50 {
+		t.Errorf("tick = %d", w.Tick())
+	}
+	// 50 ticks × 0.1 s × 20 m/s = 100 m.
+	if got := w.Ego().Pos - start; math.Abs(got-100) > 1e-6 {
+		t.Errorf("ego traveled %v m, want 100", got)
+	}
+	w.Step() // past the end: must be a no-op
+	if w.Tick() != 50 {
+		t.Error("Step after Done advanced the world")
+	}
+}
+
+func TestBrakingStopsEgo(t *testing.T) {
+	w, _ := NewWorld(plainScenario(100), 2)
+	w.SetBraking(true)
+	for !w.Done() {
+		w.Step()
+	}
+	if w.Ego().Speed != 0 {
+		t.Errorf("ego speed %v after sustained braking", w.Ego().Speed)
+	}
+}
+
+func TestEgoRecoversCruiseAfterBraking(t *testing.T) {
+	w, _ := NewWorld(plainScenario(400), 3)
+	for i := 0; i < 50; i++ {
+		w.SetBraking(true)
+		w.Step()
+	}
+	w.SetBraking(false)
+	for !w.Done() {
+		w.Step()
+	}
+	if math.Abs(w.Ego().Speed-20) > 1e-6 {
+		t.Errorf("ego speed %v, want cruise 20", w.Ego().Speed)
+	}
+}
+
+func TestTTCAndLeadActor(t *testing.T) {
+	w, _ := NewWorld(plainScenario(100), 4)
+	if !math.IsInf(w.TTC(), 1) {
+		t.Error("empty road should have infinite TTC")
+	}
+	w.SpawnActor(Vehicle, 0, 40, 10) // closing at 10 m/s → TTC 4 s
+	if got := w.TTC(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("TTC = %v, want 4", got)
+	}
+	// A faster lead means no collision course.
+	w2, _ := NewWorld(plainScenario(100), 5)
+	w2.SpawnActor(Vehicle, 0, 40, 30)
+	if !math.IsInf(w2.TTC(), 1) {
+		t.Error("opening gap should give infinite TTC")
+	}
+	// Actors in other lanes are ignored.
+	w3, _ := NewWorld(plainScenario(100), 6)
+	w3.SpawnActor(Vehicle, 1, 10, 0)
+	if !math.IsInf(w3.TTC(), 1) {
+		t.Error("other-lane actor affected TTC")
+	}
+}
+
+func TestCollisionDetection(t *testing.T) {
+	w, _ := NewWorld(plainScenario(300), 7)
+	w.SpawnActor(Vehicle, 0, 30, 0) // parked car 30 m ahead, never brake
+	for !w.Done() && !w.Collided() {
+		w.Step()
+	}
+	if !w.Collided() {
+		t.Fatal("ego drove through a parked car")
+	}
+	if w.Ego().Speed != 0 {
+		t.Error("ego kept moving after collision")
+	}
+}
+
+func TestBrakingAvoidsCollision(t *testing.T) {
+	w, _ := NewWorld(plainScenario(300), 8)
+	w.SpawnActor(Vehicle, 0, 40, 0)
+	for !w.Done() {
+		// Perfect perception: brake as soon as the obstacle is in range.
+		w.SetBraking(w.ObstacleInRange())
+		w.Step()
+	}
+	// 20 m/s, brake at 6.5 m/s²: stopping distance ≈ 31 m < 40 m.
+	if w.Collided() {
+		t.Error("braking from 40 m failed to avoid a parked car")
+	}
+}
+
+func TestComplexitySaturates(t *testing.T) {
+	w, _ := NewWorld(plainScenario(10), 9)
+	if w.Complexity() != 0 {
+		t.Error("empty road complexity should be 0")
+	}
+	for i := 0; i < 12; i++ {
+		w.SpawnActor(Vehicle, i%3, float64(5+i*5), 10)
+	}
+	if w.Complexity() != 1 {
+		t.Errorf("dense scene complexity = %v, want 1", w.Complexity())
+	}
+}
+
+func TestFrameTruthMatchesRange(t *testing.T) {
+	w, _ := NewWorld(plainScenario(10), 10)
+	_, truth := w.Frame(16)
+	if truth {
+		t.Error("empty road frame claims obstacle")
+	}
+	w.SpawnActor(Vehicle, 0, 30, 10)
+	frame, truth := w.Frame(16)
+	if !truth {
+		t.Error("in-range obstacle not in truth")
+	}
+	if frame.Dims() != 3 || frame.Dim(1) != 16 {
+		t.Errorf("frame shape %v", frame.Shape())
+	}
+	// Out of range.
+	w2, _ := NewWorld(plainScenario(10), 11)
+	w2.SpawnActor(Vehicle, 0, 100, 10)
+	if _, truth := w2.Frame(16); truth {
+		t.Error("out-of-range obstacle in truth")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float32 {
+		w, _ := NewWorld(CutIn(), seed)
+		var pixels []float32
+		for !w.Done() {
+			if w.Tick()%100 == 0 {
+				f, _ := w.Frame(16)
+				pixels = append(pixels, f.Data()...)
+			}
+			w.SetBraking(w.TTC() < 2)
+			w.Step()
+		}
+		pixels = append(pixels, float32(w.Ego().Pos))
+		return pixels
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d", i)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		diff := false
+		for i := range a {
+			if a[i] != c[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical runs")
+		}
+	}
+}
+
+func TestActorRetirement(t *testing.T) {
+	w, _ := NewWorld(plainScenario(200), 12)
+	w.SpawnActor(Vehicle, 0, -70, 0) // far behind, should retire immediately
+	w.Step()
+	if len(w.Actors()) != 0 {
+		t.Error("behind-actor not retired")
+	}
+}
+
+func TestStandardScenariosRun(t *testing.T) {
+	for _, sc := range AllScenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+			continue
+		}
+		w, err := NewWorld(sc, 99)
+		if err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+			continue
+		}
+		sawObstacle := false
+		for !w.Done() {
+			if w.ObstacleInRange() {
+				sawObstacle = true
+			}
+			// Drive with perfect perception and a stopping-distance headway
+			// rule so scripted scenarios complete without contact.
+			_, gap := w.LeadActor()
+			v := w.Ego().Speed
+			w.SetBraking(gap < v*v/(2*6.5)+6)
+			w.Step()
+		}
+		if sc.Name != "highway-cruise" && !sawObstacle {
+			t.Errorf("%s: no obstacle ever entered sensor range", sc.Name)
+		}
+		if w.Collided() {
+			t.Errorf("%s: collided even with perfect perception", sc.Name)
+		}
+	}
+}
+
+func TestCutInSpikesTTC(t *testing.T) {
+	w, _ := NewWorld(CutIn(), 13)
+	minTTCBefore, minTTCAfter := math.Inf(1), math.Inf(1)
+	for !w.Done() {
+		ttc := w.TTC()
+		if w.Tick() < 1000 {
+			if ttc < minTTCBefore {
+				minTTCBefore = ttc
+			}
+		} else if ttc < minTTCAfter {
+			minTTCAfter = ttc
+		}
+		w.SetBraking(ttc < 2.5)
+		w.Step()
+	}
+	if minTTCAfter >= minTTCBefore {
+		t.Errorf("cut-in did not reduce TTC: before %v, after %v", minTTCBefore, minTTCAfter)
+	}
+	if minTTCAfter > 2.5 {
+		t.Errorf("cut-in min TTC %v not critical", minTTCAfter)
+	}
+}
+
+func TestSensorDegradationChangesNoise(t *testing.T) {
+	w, _ := NewWorld(SensorDegradation(), 14)
+	var atStart, atPeak float64
+	for !w.Done() {
+		if w.Tick() == 100 {
+			atStart = w.Noise()
+		}
+		if w.Tick() == 1200 {
+			atPeak = w.Noise()
+		}
+		w.Step()
+	}
+	if atPeak <= atStart {
+		t.Errorf("degradation did not raise noise: %v -> %v", atStart, atPeak)
+	}
+	if w.Noise() != 0.06 {
+		t.Errorf("noise did not clear: %v", w.Noise())
+	}
+}
+
+func TestFrameUsesCurrentNoise(t *testing.T) {
+	sc := plainScenario(10)
+	w, _ := NewWorld(sc, 15)
+	w.SetNoise(0)
+	f0, _ := w.Frame(16)
+	w2, _ := NewWorld(sc, 15)
+	w2.SetNoise(0.5)
+	f1, _ := w2.Frame(16)
+	if tensor.Equal(f0, f1) {
+		t.Error("noise level had no effect on frames")
+	}
+}
+
+func TestRandomTrafficDeterministicAndRunnable(t *testing.T) {
+	a := RandomTraffic(800, 0.005, 7)
+	b := RandomTraffic(800, 0.005, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed gave different event counts")
+	}
+	run := func(sc Scenario) (float64, bool, float64) {
+		w, err := NewWorld(sc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxNoise := 0.0
+		for !w.Done() {
+			if w.Noise() > maxNoise {
+				maxNoise = w.Noise()
+			}
+			_, gap := w.LeadActor()
+			v := w.Ego().Speed
+			w.SetBraking(gap < v*v/(2*6.5)+6)
+			w.Step()
+		}
+		return w.Ego().Pos, w.Collided(), maxNoise
+	}
+	posA, collA, noiseA := run(a)
+	posB, collB, _ := run(b)
+	if posA != posB || collA != collB {
+		t.Error("same scenario+seed diverged")
+	}
+	if collA {
+		t.Error("perfect-perception headway controller collided in random traffic")
+	}
+	if noiseA <= 0.06 {
+		t.Error("fog window never applied")
+	}
+	c := RandomTraffic(800, 0.005, 8)
+	posC, _, _ := run(c)
+	if posC == posA {
+		t.Error("different seeds produced identical runs")
+	}
+}

@@ -1,0 +1,109 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization format (little-endian):
+//
+//	magic   uint32  0x544E5352 ("RSNT")
+//	ndims   uint32
+//	dims    uint32 × ndims
+//	data    float32 × product(dims)
+//
+// The format is intentionally trivial: model reload cost is one of the
+// baselines the evaluation measures (experiment F3), so the reader must not
+// be artificially slow or artificially clever.
+
+const tensorMagic uint32 = 0x544E5352
+
+// WriteTo serializes t to w in the package binary format. It implements
+// io.WriterTo.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 8+4*len(t.shape))
+	binary.LittleEndian.PutUint32(hdr[0:], tensorMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.shape)))
+	for i, d := range t.shape {
+		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	}
+	wn, err := w.Write(hdr)
+	n += int64(wn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write header: %w", err)
+	}
+	buf := make([]byte, 4*len(t.data))
+	for i, v := range t.data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	wn, err = w.Write(buf)
+	n += int64(wn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write data: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom deserializes a tensor from r, replacing t's shape and data. It
+// implements io.ReaderFrom.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	hdr := make([]byte, 8)
+	rn, err := io.ReadFull(r, hdr)
+	n += int64(rn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != tensorMagic {
+		return n, fmt.Errorf("tensor: bad magic %#x", m)
+	}
+	ndims := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if ndims < 0 || ndims > 8 {
+		return n, fmt.Errorf("tensor: implausible rank %d", ndims)
+	}
+	dimBuf := make([]byte, 4*ndims)
+	rn, err = io.ReadFull(r, dimBuf)
+	n += int64(rn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read dims: %w", err)
+	}
+	shape := make([]int, ndims)
+	total := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(dimBuf[4*i:]))
+		total *= shape[i]
+	}
+	if total < 0 || total > 1<<30 {
+		return n, fmt.Errorf("tensor: implausible element count %d", total)
+	}
+	buf := make([]byte, 4*total)
+	rn, err = io.ReadFull(r, buf)
+	n += int64(rn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read data: %w", err)
+	}
+	data := make([]float32, total)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	t.shape = shape
+	t.data = data
+	return n, nil
+}
+
+// ReadTensor reads a tensor from r in the package binary format.
+func ReadTensor(r io.Reader) (*Tensor, error) {
+	t := &Tensor{}
+	if _, err := t.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodedSize returns the number of bytes WriteTo will produce for t.
+func (t *Tensor) EncodedSize() int {
+	return 8 + 4*len(t.shape) + 4*len(t.data)
+}

@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// matmulWorkers is the goroutine budget for large products; 0 resolves to
+// GOMAXPROCS (capped at 8). Output rows are disjoint and each row is
+// computed wholly within one goroutine, so results are bit-identical to
+// the serial kernel regardless of the worker count.
+var matmulWorkers int32
+
+// SetMatMulWorkers sets the goroutine budget for large matrix products.
+// n ≤ 0 restores the default (GOMAXPROCS, capped at 8); n == 1 forces the
+// serial kernel. Safe to call concurrently.
+func SetMatMulWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt32(&matmulWorkers, int32(n))
+}
+
+func resolveWorkers() int {
+	n := int(atomic.LoadInt32(&matmulWorkers))
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelThreshold is the m·k·n FLOP volume above which MatMul fans out.
+const parallelThreshold = 1 << 21
+
+// MatMul returns the matrix product a·b of two 2-D tensors, (m×k)·(k×n) →
+// (m×n). The kernel iterates in ikj order so the innermost loop streams both
+// the b row and the output row, which is the cache-friendly layout for
+// row-major storage.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(matmulDims(a, b))
+	matMulInto(out, a, b, false)
+	return out
+}
+
+// MatMulInto computes out = a·b, reusing out's storage. out must already
+// have shape (m×n).
+func MatMulInto(out, a, b *Tensor) {
+	m, n := matmulDims(a, b)
+	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	matMulInto(out, a, b, false)
+}
+
+// MatMulAccumulate computes out += a·b.
+func MatMulAccumulate(out, a, b *Tensor) {
+	m, n := matmulDims(a, b)
+	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAccumulate out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	matMulInto(out, a, b, true)
+}
+
+func matmulDims(a, b *Tensor) (m, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	return a.shape[0], b.shape[1]
+}
+
+func matMulInto(out, a, b *Tensor, accumulate bool) {
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	workers := resolveWorkers()
+	if workers > 1 && int64(m)*int64(k)*int64(n) >= parallelThreshold && m > 1 {
+		if workers > m {
+			workers = m
+		}
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matMulRows(out, a, b, accumulate, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	matMulRows(out, a, b, accumulate, 0, m)
+}
+
+// matMulRows computes output rows [lo, hi) of out = (out +) a·b.
+func matMulRows(out, a, b *Tensor, accumulate bool, lo, hi int) {
+	k, n := a.shape[1], b.shape[1]
+	ad, bd, od := a.data, b.data, out.data
+	if !accumulate {
+		for i := lo * n; i < hi*n; i++ {
+			od[i] = 0
+		}
+	}
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				// Sparse-friendly skip: pruned weights are exact zeros, so
+				// unstructured sparsity translates into skipped work here.
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a·bᵀ for 2-D a (m×k) and b (n×k) → (m×n). This is the
+// natural kernel for dense-layer forward passes where weights are stored as
+// (out×in).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b for 2-D a (k×m) and b (k×n) → (m×n). This is the
+// natural kernel for dense-layer weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x of a 2-D tensor (m×k) and a
+// 1-D tensor (k) → (m).
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(x.shape) != 1 {
+		panic(fmt.Sprintf("tensor: MatVec needs 2-D and 1-D operands, got %v and %v", a.shape, x.shape))
+	}
+	if a.shape[1] != x.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v · %v", a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var s float32
+		for p, v := range row {
+			s += v * x.data[p]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Outer returns the outer product x⊗y of two 1-D tensors (m)·(n) → (m×n).
+func Outer(x, y *Tensor) *Tensor {
+	if len(x.shape) != 1 || len(y.shape) != 1 {
+		panic(fmt.Sprintf("tensor: Outer needs 1-D operands, got %v and %v", x.shape, y.shape))
+	}
+	m, n := x.shape[0], y.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		xv := x.data[i]
+		if xv == 0 {
+			continue
+		}
+		row := out.data[i*n : (i+1)*n]
+		for j, yv := range y.data {
+			row[j] = xv * yv
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equally sized tensors, flattening
+// their shapes.
+func Dot(a, b *Tensor) float32 {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.data), len(b.data)))
+	}
+	var s float32
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+// Package train implements losses, optimizers, learning-rate schedules, and
+// the training loop used to fit and fine-tune the perception networks. It is
+// also the substrate for the "recover accuracy by retraining" baseline that
+// reversible runtime pruning is evaluated against.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ClassLoss scores 2-D logits [B, K] against integer class labels and
+// produces the gradient of the mean loss w.r.t. the logits.
+type ClassLoss interface {
+	// Loss returns the mean loss over the batch and dLoss/dLogits.
+	Loss(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor)
+	// Name identifies the loss in logs.
+	Name() string
+}
+
+// SoftmaxCrossEntropy is the fused softmax + negative-log-likelihood loss
+// for classification. The fused form has the famously simple gradient
+// (p − onehot)/B and avoids differentiating through an explicit softmax
+// layer.
+type SoftmaxCrossEntropy struct{}
+
+// Name returns "softmax-cross-entropy".
+func (SoftmaxCrossEntropy) Name() string { return "softmax-cross-entropy" }
+
+// Loss computes the mean cross entropy and its gradient.
+func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("train: cross entropy needs 2-D logits, got %v", logits.Shape()))
+	}
+	b, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("train: %d labels for batch of %d", len(labels), b))
+	}
+	probs := tensor.SoftmaxRows(logits)
+	grad := probs.Clone()
+	gd := grad.Data()
+	var loss float64
+	invB := 1 / float32(b)
+	for i, y := range labels {
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("train: label %d out of range [0,%d)", y, k))
+		}
+		p := probs.At2(i, y)
+		// Clamp to avoid -Inf on a confidently wrong, fully saturated output.
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(float64(p))
+		gd[i*k+y] -= 1
+	}
+	grad.Scale(invB)
+	return float32(loss) * invB, grad
+}
+
+// MSE is the mean-squared-error regression loss over equally shaped
+// prediction and target tensors.
+type MSE struct{}
+
+// Name returns "mse".
+func (MSE) Name() string { return "mse" }
+
+// Loss returns mean((pred-target)²) and its gradient w.r.t. pred.
+func (MSE) Loss(pred, target *tensor.Tensor) (float32, *tensor.Tensor) {
+	if !tensor.SameShape(pred, target) {
+		panic(fmt.Sprintf("train: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	n := pred.Len()
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	var loss float64
+	scale := 2 / float32(n)
+	for i := range pd {
+		d := pd[i] - td[i]
+		loss += float64(d) * float64(d)
+		gd[i] = scale * d
+	}
+	return float32(loss / float64(n)), grad
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	preds := tensor.ArgmaxRows(logits)
+	if len(preds) != len(labels) {
+		panic(fmt.Sprintf("train: %d predictions vs %d labels", len(preds), len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,175 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves gradients
+	// untouched (the trainer zeroes them).
+	Step(params []*nn.Param)
+	// SetLR changes the learning rate (used by schedules).
+	SetLR(lr float32)
+	// LR returns the current learning rate.
+	LR() float32
+	// Name identifies the optimizer in logs.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// decoupled weight decay.
+type SGD struct {
+	lr          float32
+	momentum    float32
+	weightDecay float32
+	velocity    map[*nn.Param][]float32
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("train: SGD lr %v must be positive", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("train: SGD momentum %v out of [0,1)", momentum))
+	}
+	return &SGD{lr: lr, momentum: momentum, weightDecay: weightDecay, velocity: make(map[*nn.Param][]float32)}
+}
+
+// Name returns "sgd".
+func (s *SGD) Name() string { return "sgd" }
+
+// LR returns the current learning rate.
+func (s *SGD) LR() float32 { return s.lr }
+
+// SetLR updates the learning rate.
+func (s *SGD) SetLR(lr float32) { s.lr = lr }
+
+// Step applies v = μv + g + λw; w -= lr·v.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		w, g := p.Value.Data(), p.Grad.Data()
+		if s.momentum == 0 {
+			for i := range w {
+				w[i] -= s.lr * (g[i] + s.weightDecay*w[i])
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float32, len(w))
+			s.velocity[p] = v
+		}
+		for i := range w {
+			v[i] = s.momentum*v[i] + g[i] + s.weightDecay*w[i]
+			w[i] -= s.lr * v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction and decoupled weight
+// decay (AdamW-style).
+type Adam struct {
+	lr, beta1, beta2, eps, weightDecay float32
+	t                                  int
+	m, v                               map[*nn.Param][]float32
+}
+
+// NewAdam constructs an Adam optimizer with standard defaults for the
+// second-order hyperparameters.
+func NewAdam(lr, weightDecay float32) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("train: Adam lr %v must be positive", lr))
+	}
+	return &Adam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weightDecay: weightDecay,
+		m: make(map[*nn.Param][]float32), v: make(map[*nn.Param][]float32),
+	}
+}
+
+// Name returns "adam".
+func (a *Adam) Name() string { return "adam" }
+
+// LR returns the current learning rate.
+func (a *Adam) LR() float32 { return a.lr }
+
+// SetLR updates the learning rate.
+func (a *Adam) SetLR(lr float32) { a.lr = lr }
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.beta2), float64(a.t)))
+	for _, p := range params {
+		w, g := p.Value.Data(), p.Grad.Data()
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float32, len(w))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float32, len(w))
+			a.v[p] = v
+		}
+		for i := range w {
+			m[i] = a.beta1*m[i] + (1-a.beta1)*g[i]
+			v[i] = a.beta2*v[i] + (1-a.beta2)*g[i]*g[i]
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			w[i] -= a.lr * (mhat/(float32(math.Sqrt(float64(vhat)))+a.eps) + a.weightDecay*w[i])
+		}
+	}
+}
+
+// Schedule maps an epoch index to a learning rate.
+type Schedule interface {
+	// LRAt returns the learning rate to use for the given 0-based epoch.
+	LRAt(epoch int) float32
+}
+
+// ConstantLR keeps the learning rate fixed.
+type ConstantLR float32
+
+// LRAt returns the constant rate.
+func (c ConstantLR) LRAt(int) float32 { return float32(c) }
+
+// StepLR multiplies the base rate by gamma every stepSize epochs.
+type StepLR struct {
+	Base     float32
+	Gamma    float32
+	StepSize int
+}
+
+// LRAt returns base · gamma^(epoch/stepSize).
+func (s StepLR) LRAt(epoch int) float32 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * float32(math.Pow(float64(s.Gamma), float64(epoch/s.StepSize)))
+}
+
+// CosineLR anneals from Base to Min over Span epochs following a half
+// cosine.
+type CosineLR struct {
+	Base float32
+	Min  float32
+	Span int
+}
+
+// LRAt returns the annealed rate.
+func (c CosineLR) LRAt(epoch int) float32 {
+	if c.Span <= 1 {
+		return c.Min
+	}
+	if epoch >= c.Span {
+		return c.Min
+	}
+	frac := float64(epoch) / float64(c.Span-1)
+	return c.Min + (c.Base-c.Min)*float32(0.5*(1+math.Cos(math.Pi*frac)))
+}

@@ -1,0 +1,252 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyKnownValues(t *testing.T) {
+	ce := SoftmaxCrossEntropy{}
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.New(1, 4)
+	loss, grad := ce.Loss(logits, []int{2})
+	if math.Abs(float64(loss)-math.Log(4)) > 1e-5 {
+		t.Errorf("uniform loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// Gradient: p - onehot = 0.25 everywhere except 0.25-1 at the label.
+	for j := 0; j < 4; j++ {
+		want := float32(0.25)
+		if j == 2 {
+			want = -0.75
+		}
+		if math.Abs(float64(grad.At2(0, j)-want)) > 1e-5 {
+			t.Errorf("grad[%d] = %v, want %v", j, grad.At2(0, j), want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyBatchMean(t *testing.T) {
+	ce := SoftmaxCrossEntropy{}
+	logits := tensor.New(4, 3)
+	loss1, grad := ce.Loss(logits, []int{0, 1, 2, 0})
+	if math.Abs(float64(loss1)-math.Log(3)) > 1e-5 {
+		t.Errorf("batch mean loss = %v, want ln3", loss1)
+	}
+	// Gradient row magnitudes scale with 1/B.
+	if math.Abs(float64(grad.At2(0, 0))-(1.0/3-1)/4) > 1e-5 {
+		t.Errorf("batch grad = %v", grad.At2(0, 0))
+	}
+}
+
+func TestSoftmaxCrossEntropyRejectsBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range label")
+		}
+	}()
+	SoftmaxCrossEntropy{}.Loss(tensor.New(1, 3), []int{3})
+}
+
+func TestSoftmaxCrossEntropyGradientNumerically(t *testing.T) {
+	ce := SoftmaxCrossEntropy{}
+	rng := tensor.NewRNG(1)
+	logits := tensor.RandNormal(rng, 0, 2, 3, 5)
+	labels := []int{1, 4, 0}
+	_, grad := ce.Loss(logits, labels)
+	const eps = 1e-2
+	ld := logits.Data()
+	for i := range ld {
+		orig := ld[i]
+		ld[i] = orig + eps
+		up, _ := ce.Loss(logits, labels)
+		ld[i] = orig - eps
+		down, _ := ce.Loss(logits, labels)
+		ld[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(float64(numeric-grad.Data()[i])) > 2e-3 {
+			t.Fatalf("grad[%d]: numeric %v vs analytic %v", i, numeric, grad.Data()[i])
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1, 2}, 2)
+	target := tensor.FromSlice([]float32{0, 4}, 2)
+	loss, grad := MSE{}.Loss(pred, target)
+	if math.Abs(float64(loss)-2.5) > 1e-6 { // (1+4)/2
+		t.Errorf("MSE loss = %v, want 2.5", loss)
+	}
+	if grad.Data()[0] != 1 || grad.Data()[1] != -2 { // 2/n * diff
+		t.Errorf("MSE grad = %v", grad.Data())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 0,
+		0, 1,
+		3, 2,
+	}, 3, 2)
+	if got := Accuracy(logits, []int{0, 1, 1}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if ConstantLR(0.1).LRAt(100) != 0.1 {
+		t.Error("ConstantLR changed")
+	}
+	s := StepLR{Base: 1, Gamma: 0.1, StepSize: 10}
+	if s.LRAt(0) != 1 || s.LRAt(9) != 1 {
+		t.Error("StepLR decayed early")
+	}
+	if math.Abs(float64(s.LRAt(10))-0.1) > 1e-7 || math.Abs(float64(s.LRAt(25))-0.01) > 1e-8 {
+		t.Errorf("StepLR wrong: %v %v", s.LRAt(10), s.LRAt(25))
+	}
+	c := CosineLR{Base: 1, Min: 0.1, Span: 11}
+	if c.LRAt(0) != 1 {
+		t.Errorf("CosineLR start = %v", c.LRAt(0))
+	}
+	if math.Abs(float64(c.LRAt(10))-0.1) > 1e-6 {
+		t.Errorf("CosineLR end = %v", c.LRAt(10))
+	}
+	if c.LRAt(100) != 0.1 {
+		t.Errorf("CosineLR past span = %v", c.LRAt(100))
+	}
+	mid := c.LRAt(5)
+	if mid <= 0.1 || mid >= 1 {
+		t.Errorf("CosineLR mid = %v", mid)
+	}
+}
+
+// xorData builds the classic XOR classification problem with jitter.
+func xorData(n int, seed int64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	xs := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		xs.Set2(float32(a)+float32(rng.Normal(0, 0.1)), i, 0)
+		xs.Set2(float32(b)+float32(rng.Normal(0, 0.1)), i, 1)
+		labels[i] = a ^ b
+	}
+	return xs, labels
+}
+
+func xorModel(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	return nn.NewSequential("xor",
+		nn.NewDense("fc1", 2, 16, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("fc2", 16, 2, rng),
+	)
+}
+
+func TestFitLearnsXORWithSGD(t *testing.T) {
+	xs, labels := xorData(256, 1)
+	model := xorModel(2)
+	res := Fit(model, xs, labels, Config{
+		Epochs:    60,
+		BatchSize: 32,
+		Optimizer: NewSGD(0.1, 0.9, 0),
+		Seed:      3,
+	})
+	if res.FinalAccuracy() < 0.95 {
+		t.Errorf("SGD failed to learn XOR: acc %v", res.FinalAccuracy())
+	}
+	if res.EpochLoss[0] <= res.FinalLoss() {
+		t.Errorf("loss did not decrease: %v -> %v", res.EpochLoss[0], res.FinalLoss())
+	}
+	_, evalAcc := Evaluate(model, xs, labels, 64)
+	if evalAcc < 0.95 {
+		t.Errorf("Evaluate disagrees: %v", evalAcc)
+	}
+}
+
+func TestFitLearnsXORWithAdam(t *testing.T) {
+	xs, labels := xorData(256, 4)
+	model := xorModel(5)
+	res := Fit(model, xs, labels, Config{
+		Epochs:    30,
+		BatchSize: 32,
+		Optimizer: NewAdam(0.01, 0),
+		Seed:      6,
+	})
+	if res.FinalAccuracy() < 0.95 {
+		t.Errorf("Adam failed to learn XOR: acc %v", res.FinalAccuracy())
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	xs, labels := xorData(128, 7)
+	m1, m2 := xorModel(8), xorModel(8)
+	cfg := Config{Epochs: 5, BatchSize: 16, Seed: 9}
+	cfg.Optimizer = NewSGD(0.05, 0.9, 0)
+	r1 := Fit(m1, xs, labels, cfg)
+	cfg.Optimizer = NewSGD(0.05, 0.9, 0)
+	r2 := Fit(m2, xs, labels, cfg)
+	for i := range r1.EpochLoss {
+		if r1.EpochLoss[i] != r2.EpochLoss[i] {
+			t.Fatalf("epoch %d losses differ: %v vs %v", i, r1.EpochLoss[i], r2.EpochLoss[i])
+		}
+	}
+	if !tensor.Equal(m1.Param("fc1/weight").Value, m2.Param("fc1/weight").Value) {
+		t.Error("identical runs produced different weights")
+	}
+}
+
+func TestPostStepHookRuns(t *testing.T) {
+	xs, labels := xorData(64, 10)
+	model := xorModel(11)
+	calls := 0
+	Fit(model, xs, labels, Config{
+		Epochs:    2,
+		BatchSize: 16,
+		Optimizer: NewSGD(0.1, 0, 0),
+		PostStep:  func(*nn.Sequential) { calls++ },
+		Seed:      12,
+	})
+	if calls != 2*4 { // 64/16 steps per epoch × 2 epochs
+		t.Errorf("PostStep ran %d times, want 8", calls)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	p := &nn.Param{Name: "w", Value: tensor.RandNormal(rng, 0, 1, 10), Grad: tensor.New(10)}
+	opt := NewSGD(0.1, 0, 0.5)
+	before := p.Value.L2Norm()
+	for i := 0; i < 10; i++ {
+		opt.Step([]*nn.Param{p})
+	}
+	if p.Value.L2Norm() >= before {
+		t.Errorf("weight decay did not shrink weights: %v -> %v", before, p.Value.L2Norm())
+	}
+}
+
+func TestGatherBatch(t *testing.T) {
+	xs := tensor.New(4, 2, 2)
+	for i := range xs.Data() {
+		xs.Data()[i] = float32(i)
+	}
+	labels := []int{10, 11, 12, 13}
+	bx, by := GatherBatch(xs, labels, []int{3, 1}, []int{2, 2})
+	if bx.Dim(0) != 2 || bx.At(0, 0, 0) != 12 || bx.At(1, 0, 0) != 4 {
+		t.Errorf("GatherBatch wrong: %v", bx.Data())
+	}
+	if by[0] != 13 || by[1] != 11 {
+		t.Errorf("labels wrong: %v", by)
+	}
+}
+
+func TestFitRejectsMismatchedLabels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fit(xorModel(14), tensor.New(4, 2), []int{0}, Config{Optimizer: NewSGD(0.1, 0, 0)})
+}

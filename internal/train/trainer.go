@@ -1,0 +1,181 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config parameterizes a training run.
+type Config struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the minibatch size; the trailing partial batch is used.
+	BatchSize int
+	// Optimizer updates the parameters. Required.
+	Optimizer Optimizer
+	// Schedule optionally adjusts the learning rate per epoch.
+	Schedule Schedule
+	// Loss scores logits against labels. Defaults to SoftmaxCrossEntropy.
+	Loss ClassLoss
+	// Seed drives batch shuffling.
+	Seed int64
+	// PostStep, when non-nil, runs after every optimizer step. The pruning
+	// layer uses it to re-apply sparsity masks so pruned weights stay
+	// exactly zero during fine-tuning.
+	PostStep func(model *nn.Sequential)
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+}
+
+// Result summarizes a training run.
+type Result struct {
+	// EpochLoss is the mean training loss per epoch.
+	EpochLoss []float64
+	// EpochAccuracy is the training accuracy per epoch.
+	EpochAccuracy []float64
+	// Steps is the total number of optimizer steps performed.
+	Steps int
+}
+
+// FinalLoss returns the last epoch's mean loss, or +Inf for an empty run.
+func (r Result) FinalLoss() float64 {
+	if len(r.EpochLoss) == 0 {
+		return math.Inf(1)
+	}
+	return r.EpochLoss[len(r.EpochLoss)-1]
+}
+
+// FinalAccuracy returns the last epoch's accuracy, or 0 for an empty run.
+func (r Result) FinalAccuracy() float64 {
+	if len(r.EpochAccuracy) == 0 {
+		return 0
+	}
+	return r.EpochAccuracy[len(r.EpochAccuracy)-1]
+}
+
+// Fit trains model on the classification set (xs, labels), where xs is a
+// sample-major tensor (first dimension indexes samples) and labels holds one
+// class per sample. It returns per-epoch statistics.
+func Fit(model *nn.Sequential, xs *tensor.Tensor, labels []int, cfg Config) Result {
+	n := xs.Dim(0)
+	if n != len(labels) {
+		panic(fmt.Sprintf("train: %d samples but %d labels", n, len(labels)))
+	}
+	if cfg.Optimizer == nil {
+		panic("train: Config.Optimizer is required")
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = SoftmaxCrossEntropy{}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	sampleShape := xs.Shape()[1:]
+	var res Result
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Schedule != nil {
+			cfg.Optimizer.SetLR(cfg.Schedule.LRAt(epoch))
+		}
+		perm := rng.Perm(n)
+		var epochLoss float64
+		correct, seen := 0, 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batchIdx := perm[start:end]
+			bx, by := GatherBatch(xs, labels, batchIdx, sampleShape)
+
+			model.ZeroGrad()
+			logits := model.Forward(bx, true)
+			loss, grad := cfg.Loss.Loss(logits, by)
+			model.Backward(grad)
+			cfg.Optimizer.Step(model.Params())
+			if cfg.PostStep != nil {
+				cfg.PostStep(model)
+			}
+			res.Steps++
+
+			epochLoss += float64(loss) * float64(len(batchIdx))
+			preds := tensor.ArgmaxRows(logits)
+			for i, p := range preds {
+				if p == by[i] {
+					correct++
+				}
+			}
+			seen += len(batchIdx)
+		}
+		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(seen))
+		res.EpochAccuracy = append(res.EpochAccuracy, float64(correct)/float64(seen))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d  loss %.4f  acc %.4f  lr %.5f\n",
+				epoch, res.EpochLoss[epoch], res.EpochAccuracy[epoch], cfg.Optimizer.LR())
+		}
+	}
+	return res
+}
+
+// GatherBatch copies the samples at idx out of the sample-major tensor xs
+// into a fresh batch tensor, along with their labels.
+func GatherBatch(xs *tensor.Tensor, labels []int, idx []int, sampleShape []int) (*tensor.Tensor, []int) {
+	sampleLen := 1
+	for _, d := range sampleShape {
+		sampleLen *= d
+	}
+	shape := append([]int{len(idx)}, sampleShape...)
+	bx := tensor.New(shape...)
+	by := make([]int, len(idx))
+	xd, bd := xs.Data(), bx.Data()
+	for i, s := range idx {
+		copy(bd[i*sampleLen:(i+1)*sampleLen], xd[s*sampleLen:(s+1)*sampleLen])
+		by[i] = labels[s]
+	}
+	return bx, by
+}
+
+// Evaluate runs the model over (xs, labels) in inference mode in batches and
+// returns the mean loss and accuracy.
+func Evaluate(model *nn.Sequential, xs *tensor.Tensor, labels []int, batchSize int) (loss float64, acc float64) {
+	n := xs.Dim(0)
+	if n == 0 {
+		return 0, 0
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	sampleShape := xs.Shape()[1:]
+	ce := SoftmaxCrossEntropy{}
+	idx := make([]int, 0, batchSize)
+	var totalLoss float64
+	correct := 0
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		idx = idx[:0]
+		for s := start; s < end; s++ {
+			idx = append(idx, s)
+		}
+		bx, by := GatherBatch(xs, labels, idx, sampleShape)
+		logits := model.Forward(bx, false)
+		l, _ := ce.Loss(logits, by)
+		totalLoss += float64(l) * float64(len(by))
+		for i, p := range tensor.ArgmaxRows(logits) {
+			if p == by[i] {
+				correct++
+			}
+		}
+	}
+	return totalLoss / float64(n), float64(correct) / float64(n)
+}

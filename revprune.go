@@ -1,0 +1,257 @@
+// Package revprune is the public facade of the reversible runtime
+// neural-network pruning (RRP) library — a Go reproduction of "Back to the
+// Future: Reversible Runtime Neural Network Pruning for Safe Autonomous
+// Systems" (DATE 2024, Autonomous Systems Design initiative).
+//
+// The facade re-exports the library's main entry points so applications can
+// depend on one import path:
+//
+//	model  := revprune.NewSequential(...)         // build & train a network
+//	plans  := revprune.MagnitudeGlobal{}.PlanNested(model, []float64{0.5, 0.8})
+//	rm, _  := revprune.Build(model, plans)        // attach the level library
+//	rm.ApplyLevel(2)                              // prune at runtime…
+//	rm.RestoreFull()                              // …and reverse it in O(Δweights)
+//	gov, _ := revprune.NewGovernor(rm, &revprune.Hysteresis{}, revprune.DefaultContract())
+//
+// Subsystem packages remain importable directly (repro/internal/...) for
+// finer-grained use; this file only aliases, never wraps.
+package revprune
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/governor"
+	"repro/internal/nn"
+	"repro/internal/perception"
+	"repro/internal/platform"
+	"repro/internal/prune"
+	"repro/internal/quant"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Core reversible-pruning types.
+type (
+	// ReversibleModel is a network with an attached pruning-level library
+	// and recovery store; see repro/internal/core.
+	ReversibleModel = core.ReversibleModel
+	// Level is one calibrated entry of the level library.
+	Level = core.Level
+	// TransitionStats counts runtime level-transition work.
+	TransitionStats = core.TransitionStats
+)
+
+// Core constructors.
+var (
+	// Build wraps a dense model with nested pruning plans.
+	Build = core.Build
+	// WithHalfPrecisionStore halves the recovery store (lossy restore).
+	WithHalfPrecisionStore = core.WithHalfPrecisionStore
+	// LoadBundle restores a saved deployment bundle into a model.
+	LoadBundle = core.Load
+	// LoadSelfContainedBundle reconstructs model + library from a stream.
+	LoadSelfContainedBundle = core.LoadSelfContained
+	// DesignLevels resolves accuracy targets into a sparsity ladder.
+	DesignLevels = core.DesignLevels
+)
+
+// Reversible quantization — the companion quality/energy knob.
+type (
+	// ReversibleQuantizer holds a precision ladder over a model.
+	ReversibleQuantizer = quant.ReversibleQuantizer
+	// QuantLevel is one rung of the precision ladder.
+	QuantLevel = quant.Level
+)
+
+var (
+	// BuildQuantizer captures the full-precision master and the ladder.
+	BuildQuantizer = quant.BuildQuantizer
+)
+
+// Pruning types and methods.
+type (
+	// Mask is a keep-bitset over one parameter tensor.
+	Mask = prune.Mask
+	// Plan maps parameter names to masks.
+	Plan = prune.Plan
+	// Method plans nested sparsity families.
+	Method = prune.Method
+	// MagnitudeGlobal prunes globally smallest weights.
+	MagnitudeGlobal = prune.MagnitudeGlobal
+	// MagnitudeLayer prunes per-layer smallest weights.
+	MagnitudeLayer = prune.MagnitudeLayer
+	// RandomPrune prunes uniformly at random (control baseline).
+	RandomPrune = prune.Random
+	// StructuredChannel prunes whole channels/neurons.
+	StructuredChannel = prune.StructuredChannel
+)
+
+var (
+	// PlanSingle plans one sparsity level with any method.
+	PlanSingle = prune.PlanSingle
+	// Compact physically shrinks a channel-pruned model.
+	Compact = prune.Compact
+	// Sensitivity runs per-layer pruning sensitivity analysis.
+	Sensitivity = prune.Sensitivity
+)
+
+// Network types.
+type (
+	// Sequential is the model container.
+	Sequential = nn.Sequential
+	// Layer is one differentiable stage.
+	Layer = nn.Layer
+	// Param is a named trainable tensor.
+	Param = nn.Param
+)
+
+var (
+	// NewSequential builds a model from layers.
+	NewSequential = nn.NewSequential
+	// NewDense, NewConv2D, NewReLU, NewMaxPool2D, NewFlatten, NewBatchNorm,
+	// NewDropout construct the standard layers.
+	NewDense     = nn.NewDense
+	NewConv2D    = nn.NewConv2D
+	NewReLU      = nn.NewReLU
+	NewMaxPool2D = nn.NewMaxPool2D
+	NewFlatten   = nn.NewFlatten
+	NewBatchNorm = nn.NewBatchNorm
+	NewDropout   = nn.NewDropout
+)
+
+// Tensor types.
+type (
+	// Tensor is the dense float32 array type.
+	Tensor = tensor.Tensor
+	// RNG is the deterministic random source.
+	RNG = tensor.RNG
+	// ConvGeom describes 2-D convolution geometry.
+	ConvGeom = tensor.ConvGeom
+)
+
+var (
+	// NewRNG seeds a deterministic generator.
+	NewRNG = tensor.NewRNG
+	// NewTensor allocates a zeroed tensor.
+	NewTensor = tensor.New
+)
+
+// Training.
+type (
+	// TrainConfig parameterizes train.Fit.
+	TrainConfig = train.Config
+	// Optimizer updates parameters from gradients.
+	Optimizer = train.Optimizer
+)
+
+var (
+	// Fit trains a classifier.
+	Fit = train.Fit
+	// Evaluate scores a classifier.
+	Evaluate = train.Evaluate
+	// NewSGD and NewAdam construct optimizers.
+	NewSGD  = train.NewSGD
+	NewAdam = train.NewAdam
+)
+
+// Runtime governor.
+type (
+	// Governor executes the MAPE-K adaptation loop.
+	Governor = governor.Governor
+	// Policy proposes levels.
+	Policy = governor.Policy
+	// Threshold, Hysteresis, Predictive, EnergyBudget, Static are the
+	// built-in policies.
+	Threshold    = governor.Threshold
+	Hysteresis   = governor.Hysteresis
+	Predictive   = governor.Predictive
+	EnergyBudget = governor.EnergyBudget
+	Static       = governor.Static
+)
+
+var (
+	// NewGovernor wires a policy to a reversible model under a contract.
+	NewGovernor = governor.New
+)
+
+// Safety monitoring.
+type (
+	// Assessor fuses criticality signals.
+	Assessor = safety.Assessor
+	// Assessment is one tick's fused estimate.
+	Assessment = safety.Assessment
+	// Contract holds per-class accuracy floors.
+	Contract = safety.Contract
+	// Criticality is the danger class.
+	Criticality = safety.Criticality
+)
+
+var (
+	// DefaultAssessor and DefaultContract are the evaluation settings.
+	DefaultAssessor = safety.DefaultAssessor
+	DefaultContract = safety.DefaultContract
+)
+
+// Platform model.
+type (
+	// PlatformSpec holds embedded-platform cost constants.
+	PlatformSpec = platform.Spec
+	// Cost is a per-inference estimate.
+	Cost = platform.Cost
+)
+
+var (
+	// EmbeddedCPU and EmbeddedGPU are calibrated platform presets.
+	EmbeddedCPU = platform.EmbeddedCPU
+	EmbeddedGPU = platform.EmbeddedGPU
+)
+
+// Scenario simulation and the closed perception loop.
+type (
+	// Scenario scripts one driving run.
+	Scenario = sim.Scenario
+	// World is the live simulation state.
+	World = sim.World
+	// LoopConfig and LoopResult parameterize perception.RunScenario.
+	LoopConfig = perception.LoopConfig
+	// LoopResult aggregates a closed-loop run.
+	LoopResult = perception.LoopResult
+	// Pipeline is the frame-by-frame detector.
+	Pipeline = perception.Pipeline
+)
+
+var (
+	// NewWorld starts a scenario.
+	NewWorld = sim.NewWorld
+	// AllScenarios returns the six evaluation scenarios.
+	AllScenarios = sim.AllScenarios
+	// CutIn, HighwayCruise etc. build individual scenarios.
+	CutIn              = sim.CutIn
+	HighwayCruise      = sim.HighwayCruise
+	UrbanTraffic       = sim.UrbanTraffic
+	PedestrianCrossing = sim.PedestrianCrossing
+	SensorDegradation  = sim.SensorDegradation
+	PedestrianInFog    = sim.PedestrianInFog
+	RandomTraffic      = sim.RandomTraffic
+	// RunScenario executes the closed perception/adaptation loop.
+	RunScenario = perception.RunScenario
+	// NewPipeline wraps a classifier for frame-by-frame detection.
+	NewPipeline = perception.NewPipeline
+)
+
+// Datasets.
+type (
+	// Dataset is a labeled image set.
+	Dataset = dataset.Dataset
+	// SignConfig and ObstacleConfig parameterize the generators.
+	SignConfig     = dataset.SignConfig
+	ObstacleConfig = dataset.ObstacleConfig
+)
+
+var (
+	// Signs and Obstacles generate the synthetic perception datasets.
+	Signs     = dataset.Signs
+	Obstacles = dataset.Obstacles
+)
