@@ -11,31 +11,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	runID := flag.String("run", "", "experiment id to run (F1..F5, T1..T5, A1..A9); empty runs all")
-	markdown := flag.Bool("markdown", false, "emit markdown instead of text tables")
-	csvDir := flag.String("csvdir", "", "when set, additionally write every table as CSV into this directory")
-	seed := flag.Int64("seed", 1, "zoo base seed (controls training and scenarios)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, dispatches to the
+// experiments package, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runID := fs.String("run", "", "experiment id to run (F1..F5, T1..T5, A1..A9); empty runs all")
+	markdown := fs.Bool("markdown", false, "emit markdown instead of text tables")
+	csvDir := fs.String("csvdir", "", "when set, additionally write every table as CSV into this directory")
+	seed := fs.Int64("seed", 1, "zoo base seed (controls training and scenarios)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	z := experiments.NewZoo(*seed)
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(z, *runID, *csvDir); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
-		fmt.Printf("CSV tables written to %s\n", *csvDir)
-		return
+		fmt.Fprintf(stdout, "CSV tables written to %s\n", *csvDir)
+		return 0
 	}
 	var err error
 	switch {
 	case *runID == "" && !*markdown:
-		err = experiments.RunAllAndPrint(z, os.Stdout)
+		err = experiments.RunAllAndPrint(z, stdout)
 	case *runID == "" && *markdown:
 		for _, e := range experiments.All() {
 			var md string
@@ -43,7 +54,7 @@ func main() {
 			if err != nil {
 				break
 			}
-			fmt.Println(md)
+			fmt.Fprintln(stdout, md)
 		}
 	default:
 		var e experiments.Experiment
@@ -53,15 +64,16 @@ func main() {
 				var md string
 				md, err = experiments.Markdown(e, z)
 				if err == nil {
-					fmt.Println(md)
+					fmt.Fprintln(stdout, md)
 				}
 			} else {
-				err = experiments.RunAndPrint(e, z, os.Stdout)
+				err = experiments.RunAndPrint(e, z, stdout)
 			}
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestRunRejectsUnknownExperiment covers the error path without training
+// any models: an unknown -run id must produce a nonzero exit code and a
+// diagnostic on stderr.
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-run", "Z9"}, &out, &errBuf); code == 0 {
+		t.Fatalf("run(-run Z9) exit code = 0, want nonzero")
+	}
+	if !strings.Contains(errBuf.String(), "Z9") {
+		t.Fatalf("stderr %q does not mention the unknown id", errBuf.String())
+	}
+}
+
+// TestRunRejectsBadFlags covers flag-parse failures.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("run(-no-such-flag) exit code = %d, want 2", code)
+	}
+}
+
+// TestRunIDsResolve checks that every id printed in the -run usage string
+// actually resolves, so the CLI surface and the experiment registry cannot
+// drift apart.
+func TestRunIDsResolve(t *testing.T) {
+	for _, e := range experiments.All() {
+		if _, err := experiments.ByID(e.ID); err != nil {
+			t.Errorf("ByID(%q): %v", e.ID, err)
+		}
+	}
+}

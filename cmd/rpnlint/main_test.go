@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagsFixturePackage drives the real driver over the floateq
+// fixture tree: the analyzer must fire on the seeded violations and the
+// process-level contract (exit code 1, findings then a count line) must
+// hold.
+func TestRunFlagsFixturePackage(t *testing.T) {
+	root, err := findModuleRoot(mustGetwd(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
+	var out strings.Builder
+	code, err := run(root, []string{fixture}, false, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has seeded findings)\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "(floateq)") {
+		t.Fatalf("output missing floateq findings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "rpnlint: ") {
+		t.Fatalf("output missing summary line:\n%s", out.String())
+	}
+}
+
+// TestRunVerboseShowsSuppressed checks that -v surfaces suppressed
+// findings with the [suppressed] tag while still exiting clean when every
+// finding is suppressed or absent.
+func TestRunVerboseShowsSuppressed(t *testing.T) {
+	root, err := findModuleRoot(mustGetwd(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
+	var quiet, verbose strings.Builder
+	if _, err := run(root, []string{fixture}, false, &quiet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(root, []string{fixture}, true, &verbose); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quiet.String(), "[suppressed]") {
+		t.Fatalf("non-verbose output leaked suppressed findings:\n%s", quiet.String())
+	}
+	if !strings.Contains(verbose.String(), "[suppressed]") {
+		t.Fatalf("verbose output missing suppressed findings:\n%s", verbose.String())
+	}
+}
+
+// TestRunCleanTree checks exit 0 and silence on a pattern with no
+// findings.
+func TestRunCleanTree(t *testing.T) {
+	root, err := findModuleRoot(mustGetwd(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run(root, []string{"internal/lint/linttest"}, false, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("exit=%d output=%q, want clean silent pass", code, out.String())
+	}
+}
+
+func mustGetwd(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cwd
+}

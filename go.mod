@@ -1,3 +1,9 @@
 module repro
 
 go 1.22
+
+// Deliberately dependency-free. internal/lint would normally pin
+// golang.org/x/tools for go/analysis + analysistest; this build
+// environment has no module proxy, so the same API shapes are
+// implemented on go/ast + go/types instead (DESIGN.md §8). If x/tools
+// becomes pinnable, the analyzers port mechanically.

@@ -230,7 +230,7 @@ func (rm *ReversibleModel) Current() int { return rm.current }
 // Level returns the metadata of level i.
 func (rm *ReversibleModel) Level(i int) *Level {
 	if i < 0 || i >= len(rm.levels) {
-		panic(fmt.Sprintf("core: level %d out of range [0,%d)", i, len(rm.levels)))
+		failf("core: level %d out of range [0,%d)", i, len(rm.levels))
 	}
 	return rm.levels[i]
 }
@@ -295,7 +295,7 @@ func (rm *ReversibleModel) RestoreFull() error { return rm.ApplyLevel(0) }
 // T5.
 func (rm *ReversibleModel) WeightsChanged(from, to int) int64 {
 	if from < 0 || from >= len(rm.levels) || to < 0 || to >= len(rm.levels) {
-		panic(fmt.Sprintf("core: WeightsChanged(%d,%d) out of range [0,%d)", from, to, len(rm.levels)))
+		failf("core: WeightsChanged(%d,%d) out of range [0,%d)", from, to, len(rm.levels))
 	}
 	if from > to {
 		from, to = to, from
@@ -386,7 +386,7 @@ func (rm *ReversibleModel) CheckInvariants() error {
 	for name, mask := range lvl.Plan.Masks {
 		w := rm.model.Param(name).Value.Data()
 		for i := range w {
-			if !mask.Keep(i) && w[i] != 0 {
+			if !mask.Keep(i) && w[i] != 0 { //lint:allow(floateq) pruned weights are scrubbed to bit-exact zeros
 				return fmt.Errorf("core: level %s: %s[%d] = %v, want 0", lvl.Name, name, i, w[i])
 			}
 		}
@@ -410,7 +410,7 @@ func (rm *ReversibleModel) Scrub() int64 {
 	for name, mask := range lvl.Plan.Masks {
 		w := rm.model.Param(name).Value.Data()
 		for i := range w {
-			if !mask.Keep(i) && w[i] != 0 {
+			if !mask.Keep(i) && w[i] != 0 { //lint:allow(floateq) pruned weights are scrubbed to bit-exact zeros
 				w[i] = 0
 				repaired++
 			}

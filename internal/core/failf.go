@@ -1,0 +1,9 @@
+package core
+
+import "fmt"
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site under the nopanic analyzer: level bookkeeping indices are validated on construction; an out-of-range level index at runtime is a caller bug, not a recoverable condition.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

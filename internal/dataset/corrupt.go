@@ -43,7 +43,7 @@ func (o Occlusion) Apply(d *Dataset, rng *tensor.RNG) {
 	shape := d.SampleShape()
 	c, h, w := shape[0], shape[1], shape[2]
 	if o.Side <= 0 || o.Side > h || o.Side > w {
-		panic(fmt.Sprintf("dataset: occlusion side %d invalid for %dx%d images", o.Side, h, w))
+		failf("dataset: occlusion side %d invalid for %dx%d images", o.Side, h, w)
 	}
 	data := d.X.Data()
 	plane := h * w

@@ -8,8 +8,6 @@
 package dataset
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -35,7 +33,7 @@ func (d *Dataset) SampleShape() []int { return d.X.Shape()[1:] }
 // Sample returns a copy of sample i as a [C, H, W] tensor with its label.
 func (d *Dataset) Sample(i int) (*tensor.Tensor, int) {
 	if i < 0 || i >= d.Len() {
-		panic(fmt.Sprintf("dataset: sample index %d out of range [0,%d)", i, d.Len()))
+		failf("dataset: sample index %d out of range [0,%d)", i, d.Len())
 	}
 	shape := d.SampleShape()
 	n := 1
@@ -51,14 +49,14 @@ func (d *Dataset) Sample(i int) (*tensor.Tensor, int) {
 // with the given seed. frac is the training fraction in (0,1).
 func (d *Dataset) Split(frac float64, seed int64) (train, test *Dataset) {
 	if frac <= 0 || frac >= 1 {
-		panic(fmt.Sprintf("dataset: split fraction %v out of (0,1)", frac))
+		failf("dataset: split fraction %v out of (0,1)", frac)
 	}
 	n := d.Len()
 	rng := tensor.NewRNG(seed)
 	perm := rng.Perm(n)
 	cut := int(float64(n) * frac)
 	if cut == 0 || cut == n {
-		panic(fmt.Sprintf("dataset: split of %d samples at %v is degenerate", n, frac))
+		failf("dataset: split of %d samples at %v is degenerate", n, frac)
 	}
 	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
 }
@@ -74,7 +72,7 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 	labels := make([]int, len(idx))
 	for i, s := range idx {
 		if s < 0 || s >= d.Len() {
-			panic(fmt.Sprintf("dataset: subset index %d out of range [0,%d)", s, d.Len()))
+			failf("dataset: subset index %d out of range [0,%d)", s, d.Len())
 		}
 		copy(x.Data()[i*sampleLen:(i+1)*sampleLen], d.X.Data()[s*sampleLen:(s+1)*sampleLen])
 		labels[i] = d.Labels[s]

@@ -1,8 +1,6 @@
 package dataset
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -50,22 +48,22 @@ func DefaultObstacleConfig(n int, seed int64) ObstacleConfig {
 // Obstacles generates a balanced obstacle/clear patch dataset.
 func Obstacles(cfg ObstacleConfig) *Dataset {
 	if cfg.N <= 0 {
-		panic(fmt.Sprintf("dataset: Obstacles with N=%d", cfg.N))
+		failf("dataset: Obstacles with N=%d", cfg.N)
 	}
 	if cfg.Size == 0 {
 		cfg.Size = 16
 	}
-	if cfg.MinRadius == 0 {
+	if cfg.MinRadius == 0 { //lint:allow(floateq) zero-value config sentinel selects the default
 		cfg.MinRadius = 2
 	}
-	if cfg.MaxRadius == 0 {
+	if cfg.MaxRadius == 0 { //lint:allow(floateq) zero-value config sentinel selects the default
 		cfg.MaxRadius = 5
 	}
 	if cfg.MinRadius > cfg.MaxRadius {
-		panic(fmt.Sprintf("dataset: Obstacles MinRadius %v > MaxRadius %v", cfg.MinRadius, cfg.MaxRadius))
+		failf("dataset: Obstacles MinRadius %v > MaxRadius %v", cfg.MinRadius, cfg.MaxRadius)
 	}
 	if cfg.NoiseMin > cfg.NoiseMax {
-		panic(fmt.Sprintf("dataset: Obstacles NoiseMin %v > NoiseMax %v", cfg.NoiseMin, cfg.NoiseMax))
+		failf("dataset: Obstacles NoiseMin %v > NoiseMax %v", cfg.NoiseMin, cfg.NoiseMax)
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	h := cfg.Size

@@ -1,8 +1,6 @@
 package dataset
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -42,13 +40,13 @@ func DefaultSignConfig(n int, seed int64) SignConfig {
 // assigned round-robin so every class count differs by at most one.
 func Signs(cfg SignConfig) *Dataset {
 	if cfg.N <= 0 {
-		panic(fmt.Sprintf("dataset: Signs with N=%d", cfg.N))
+		failf("dataset: Signs with N=%d", cfg.N)
 	}
 	if cfg.Size == 0 {
 		cfg.Size = 16
 	}
 	if cfg.Size < 8 {
-		panic(fmt.Sprintf("dataset: Signs size %d too small", cfg.Size))
+		failf("dataset: Signs size %d too small", cfg.Size)
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	h := cfg.Size
@@ -97,7 +95,7 @@ func renderSign(label, size int, cfg SignConfig, rng *tensor.RNG) []float32 {
 	case 5: // crossing: X glyph
 		c.cross(cy, cx, r, 1.0, fg)
 	default:
-		panic(fmt.Sprintf("dataset: unknown sign label %d", label))
+		failf("dataset: unknown sign label %d", label)
 	}
 
 	if cfg.Noise > 0 {

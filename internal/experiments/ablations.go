@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -49,7 +48,7 @@ func RunA1(z *Zoo) ([]*metrics.Table, error) {
 		us := 0.0
 		if i > 0 {
 			const reps = 100
-			start := time.Now()
+			start := now()
 			for r := 0; r < reps; r++ {
 				if err := rm.RestoreFull(); err != nil {
 					return nil, err
@@ -58,7 +57,7 @@ func RunA1(z *Zoo) ([]*metrics.Table, error) {
 					return nil, err
 				}
 			}
-			us = float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+			us = float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e3
 		}
 		lvl := rm.Level(i)
 		t.AddRow("prune", fmt.Sprintf("%s (%.0f%%)", lvl.Name, 100*lvl.Sparsity),
@@ -88,7 +87,7 @@ func RunA1(z *Zoo) ([]*metrics.Table, error) {
 		us := 0.0
 		if i > 0 {
 			const reps = 100
-			start := time.Now()
+			start := now()
 			for r := 0; r < reps; r++ {
 				if err := qz.Restore(); err != nil {
 					return nil, err
@@ -97,7 +96,7 @@ func RunA1(z *Zoo) ([]*metrics.Table, error) {
 					return nil, err
 				}
 			}
-			us = float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+			us = float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e3
 		}
 		t.AddRow("quantize", qz.Level(i).Name,
 			metrics.F(qz.Level(i).Accuracy, 4), metrics.F(qz.Level(i).EnergyMJ, 4),
@@ -176,12 +175,12 @@ func RunA3(z *Zoo) ([]*metrics.Table, error) {
 		}
 		const reps = 20
 		tensor.MatMulInto(out, a, b) // warm up
-		start := time.Now()
+		start := now()
 		for r := 0; r < reps; r++ {
 			tensor.MatMulInto(out, a, b)
 		}
-		ms := float64(time.Since(start).Nanoseconds()) / reps / 1e6
-		if s == 0 {
+		ms := float64(now().Sub(start).Nanoseconds()) / reps / 1e6
+		if metrics.ApproxEqual(s, 0, 1e-9) {
 			denseMS = ms
 		}
 		t.AddRow(metrics.Pct(s), metrics.F(ms, 3), metrics.F(denseMS/ms, 2)+"×")
@@ -285,7 +284,7 @@ func RunA6(z *Zoo) ([]*metrics.Table, error) {
 	}
 	deepest := rm.NumLevels() - 1
 	const reps = 200
-	start := time.Now()
+	start := now()
 	for r := 0; r < reps; r++ {
 		if err := rm.ApplyLevel(deepest); err != nil {
 			return nil, err
@@ -294,7 +293,7 @@ func RunA6(z *Zoo) ([]*metrics.Table, error) {
 			return nil, err
 		}
 	}
-	rrpSwitchUS := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+	rrpSwitchUS := float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e3
 	rrpMem := int64(m.WeightsSize()) + rm.StoreBytes()
 	t.AddRow("reversible pruning (RRP)",
 		fmt.Sprintf("%d", rrpMem),
@@ -330,12 +329,12 @@ func RunA6(z *Zoo) ([]*metrics.Table, error) {
 	}
 	// Pointer-swap cost: measured for honesty, effectively noise-level.
 	active := variants[0].model
-	start = time.Now()
+	start = now()
 	for r := 0; r < reps; r++ {
 		active = variants[len(variants)-1].model
 		active = variants[0].model
 	}
-	mmSwitchUS := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+	mmSwitchUS := float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e3
 	_ = active
 	t.AddRow("multi-model switching",
 		fmt.Sprintf("%d", mmMem),

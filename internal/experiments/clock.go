@@ -1,0 +1,11 @@
+package experiments
+
+import "time"
+
+// now is the package clock seam. All wall-clock reads in the experiment
+// harness go through it so that tests (and deterministic replays) can pin
+// time to a fake clock; the detrand analyzer rejects bare time.Now() in
+// this package to keep it that way. Benchmark timings read the real clock
+// by default, which is fine: they are reported as measurements, never used
+// as inputs to the experiment logic itself.
+var now = time.Now

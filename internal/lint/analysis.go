@@ -1,0 +1,191 @@
+// Package lint implements rpnlint, the project's custom static-analysis
+// suite. It enforces the safety invariants the reversible-runtime-pruning
+// (RRP) design depends on: library code that never panics in a hot path,
+// float comparisons that go through an epsilon helper, mutexes that are
+// never copied and always released, deterministic randomness and clocks in
+// the replayable packages, and goroutines that carry a cancellation or
+// completion signal.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic, an analysistest-style fixture
+// harness) but is implemented on the standard library only: this build
+// environment has no module proxy access, so x/tools cannot be pinned in
+// go.mod. If that dependency ever becomes available, each analyzer's Run
+// function ports mechanically — the Pass surface is a strict subset of the
+// upstream one.
+//
+// Suppressions: a finding is silenced by a comment containing
+// `lint:allow(<analyzer>)` — e.g. `//lint:allow(nopanic)` — placed either
+// on the offending line or on its own line directly above. Multiple
+// analyzers may be listed, comma-separated. The driver (cmd/rpnlint) and
+// the test harness both honor the same syntax.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description, shown by `rpnlint -help`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+// It mirrors the subset of analysis.Pass the suite needs.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// PkgPath is the package's import path.
+	PkgPath string
+	// TypesInfo holds the type-checker's expression, definition, use, and
+	// selection records for Files.
+	TypesInfo *types.Info
+
+	diagnostics *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diagnostics = append(*p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether f came from a _test.go file. The loader never
+// feeds test files to analyzers, but fixture harnesses may.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Diagnostic is one finding with its resolved source position.
+type Diagnostic struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// allowRe extracts the analyzer list from a lint:allow comment.
+var allowRe = regexp.MustCompile(`lint:allow\(([^)]+)\)`)
+
+// suppressionIndex maps "file:line" to the set of analyzer names allowed
+// there. A comment on line L grants the allowance to line L and line L+1,
+// covering both the trailing-comment and comment-above placements.
+type suppressionIndex map[string]map[string]bool
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	add := func(file string, line int, name string) {
+		key := fmt.Sprintf("%s:%d", file, line)
+		if idx[key] == nil {
+			idx[key] = map[string]bool{}
+		}
+		idx[key][name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					for _, name := range strings.Split(m[1], ",") {
+						name = strings.TrimSpace(name)
+						if name == "" {
+							continue
+						}
+						add(pos.Filename, pos.Line, name)
+						add(pos.Filename, pos.Line+1, name)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (s suppressionIndex) allows(d Diagnostic) bool {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	return s[key][d.Analyzer]
+}
+
+// RunAnalyzers runs every analyzer over every package and returns all
+// findings, suppressed ones included (marked), sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				PkgPath:     pkg.Path,
+				TypesInfo:   pkg.Info,
+				diagnostics: &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for i := range diags {
+				diags[i].Suppressed = sup.allows(diags[i])
+			}
+			all = append(all, diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// inspectStack walks every file, calling fn with each node and the stack of
+// its ancestors (outermost first, not including n itself). Returning false
+// skips the node's children.
+func inspectStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

@@ -1,0 +1,22 @@
+package lint
+
+// All returns the full rpnlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxbound,
+		AnalyzerDetrand,
+		AnalyzerFloateq,
+		AnalyzerLockcheck,
+		AnalyzerNopanic,
+	}
+}
+
+// ByName resolves a comma-free analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

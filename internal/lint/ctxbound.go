@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxboundPackages lists the long-lived packages (exact path, or a prefix
+// of path+"/") whose goroutines must be cancellable or joinable: the
+// governor loop, the perception pipeline, and the metrics recorders all
+// outlive individual ticks, so a fire-and-forget goroutine there is a leak.
+var CtxboundPackages = []string{
+	"repro/internal/governor",
+	"repro/internal/perception",
+	"repro/internal/metrics",
+}
+
+// AnalyzerCtxbound audits `go func` literals in long-lived packages: the
+// spawned body must reference a context.Context, a channel, or a
+// sync.WaitGroup (some way for the spawner to stop or join it), and it must
+// not capture an enclosing loop's variables — iteration state crossing a
+// goroutine boundary must be passed as an argument so the data flow is
+// explicit at the spawn site.
+var AnalyzerCtxbound = &Analyzer{
+	Name: "ctxbound",
+	Doc: "in long-lived packages (see CtxboundPackages), flag go-func literals with no " +
+		"done/context/WaitGroup signal and literals that capture enclosing loop variables.",
+	Run: runCtxbound,
+}
+
+func runCtxbound(pass *Pass) error {
+	if !ctxboundApplies(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		inspectStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				// Spawning a named function: its body is not visible here;
+				// the named function's own package is where it gets audited.
+				return true
+			}
+			if !hasCompletionSignal(pass, lit) {
+				pass.Reportf(g.Pos(), "goroutine has no done/context/WaitGroup signal; the spawner cannot stop or join it")
+			}
+			for _, captured := range capturedLoopVars(pass, lit, stack) {
+				pass.Reportf(g.Pos(), "goroutine captures loop variable %q; pass it as an argument", captured)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func ctxboundApplies(pkgPath string) bool {
+	for _, p := range CtxboundPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCompletionSignal reports whether the literal's body touches any value
+// that can signal cancellation or completion: a context.Context, a channel
+// of any type, or a sync.WaitGroup.
+func hasCompletionSignal(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		t := obj.Type()
+		if t == nil {
+			return true
+		}
+		if isSignalType(t) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isSignalType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+				return true
+			case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+				return true
+			}
+		}
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// capturedLoopVars returns the names of enclosing-loop iteration variables
+// the literal's body references without receiving them as parameters.
+func capturedLoopVars(pass *Pass, lit *ast.FuncLit, stack []ast.Node) []string {
+	loopObjs := map[types.Object]bool{}
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+		}
+	}
+	for _, anc := range stack {
+		switch s := anc.(type) {
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				addDef(s.Key)
+				if s.Value != nil {
+					addDef(s.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addDef(lhs)
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// A function boundary between the loop and the go statement
+			// resets which loop variables are "enclosing".
+			loopObjs = map[types.Object]bool{}
+		}
+	}
+	if len(loopObjs) == 0 {
+		return nil
+	}
+	var names []string
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && loopObjs[obj] && !seen[id.Name] {
+			seen[id.Name] = true
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetrandPackages lists the import paths (exact, or as a prefix of
+// path+"/") where experiment replay must be deterministic: every random
+// draw must come from an explicitly seeded *rand.Rand and every timestamp
+// from an injected clock.
+var DetrandPackages = []string{
+	"repro/internal/sim",
+	"repro/internal/experiments",
+	"repro/internal/dataset",
+}
+
+// detrandAllowedFuncs are the math/rand functions that construct seeded
+// sources rather than drawing from the shared, unseeded global one.
+var detrandAllowedFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// AnalyzerDetrand keeps the replayable packages deterministic: it forbids
+// the unseeded math/rand top-level draw functions (their shared global
+// source makes replays diverge) and bare time.Now() (wall-clock reads must
+// flow through an injectable clock seam such as the package-level
+// `var now = time.Now`).
+var AnalyzerDetrand = &Analyzer{
+	Name: "detrand",
+	Doc: "in replay-critical packages (see DetrandPackages), forbid unseeded math/rand top-level " +
+		"functions and bare time.Now(); inject a seeded *rand.Rand and a clock seam instead.",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) error {
+	if !detrandApplies(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods on *rand.Rand have a receiver and are fine; only the
+			// package-level functions hit the shared global source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !detrandAllowedFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "unseeded rand.%s draws from the global source; use a seeded *rand.Rand", fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(call.Pos(), "bare time.Now() breaks replay determinism; read through the package clock seam")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func detrandApplies(pkgPath string) bool {
+	for _, p := range DetrandPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

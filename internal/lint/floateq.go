@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloateq flags == and != between floating-point expressions.
+// Accuracy contracts, sparsity targets, and calibration values are floats;
+// exact equality on them silently varies across kernels and platforms, so
+// comparisons must go through metrics.ApproxEqual (or an explicit
+// //lint:allow(floateq) where bit-exactness is the point — e.g. the
+// pruned-weights-are-exact-zeros sparse skip).
+var AnalyzerFloateq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point expressions; compare through metrics.ApproxEqual, " +
+		"or suppress with //lint:allow(floateq) where exact bit equality is intended.",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo.TypeOf(bin.X)) || isFloat(pass.TypesInfo.TypeOf(bin.Y)) {
+				pass.Reportf(bin.OpPos, "floating-point %s comparison; use metrics.ApproxEqual or an epsilon", bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,63 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func fixtures(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestNopanic(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerNopanic, "nopanic")
+}
+
+func TestNopanicSkipsMainPackages(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerNopanic, "nopanic/mainpkg")
+}
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerFloateq, "floateq")
+}
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerLockcheck, "lockcheck")
+}
+
+func TestDetrand(t *testing.T) {
+	old := lint.DetrandPackages
+	lint.DetrandPackages = append([]string{"detrand"}, old...)
+	defer func() { lint.DetrandPackages = old }()
+	linttest.Run(t, fixtures(t), lint.AnalyzerDetrand, "detrand")
+}
+
+func TestDetrandSilentOutsideRegisteredPackages(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerDetrand, "detrandoff")
+}
+
+func TestCtxbound(t *testing.T) {
+	old := lint.CtxboundPackages
+	lint.CtxboundPackages = append([]string{"ctxbound"}, old...)
+	defer func() { lint.CtxboundPackages = old }()
+	linttest.Run(t, fixtures(t), lint.AnalyzerCtxbound, "ctxbound")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}

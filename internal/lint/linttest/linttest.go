@@ -1,0 +1,115 @@
+// Package linttest is an analysistest-style harness for the rpnlint
+// analyzers: it loads a fixture package from a testdata/src tree, runs one
+// analyzer over it, and checks the findings against `// want "regexp"`
+// comments placed on the offending lines. Lines with no want comment must
+// produce no finding, so //lint:allow suppressions are verified by writing
+// a violation with an allow comment and no want expectation.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*lint.Loader{}
+)
+
+func treeLoader(srcRoot string) *lint.Loader {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if l, ok := loaders[srcRoot]; ok {
+		return l
+	}
+	l := lint.NewTreeLoader(srcRoot)
+	loaders[srcRoot] = l
+	return l
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads srcRoot/pkgPath, applies the analyzer, and reports every
+// mismatch between findings and want comments as test errors.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := treeLoader(srcRoot).Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", pkgPath, pkg.TypeErrors)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	// expected: "file:line" -> regexes from want comments.
+	expected := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					rx, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, q[1], err)
+					}
+					expected[key] = append(expected[key], rx)
+				}
+			}
+		}
+	}
+
+	matched := map[string][]bool{}
+	for key, rxs := range expected {
+		matched[key] = make([]bool, len(rxs))
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ok := false
+		for i, rx := range expected[key] {
+			if !matched[key][i] && rx.MatchString(d.Message) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s", d)
+		}
+	}
+	for key, rxs := range expected {
+		for i, rx := range rxs {
+			if !matched[key][i] {
+				t.Errorf("%s: expected finding matching %q, got none", key, rx)
+			}
+		}
+	}
+	if t.Failed() {
+		var lines []string
+		for _, d := range diags {
+			suffix := ""
+			if d.Suppressed {
+				suffix = " [suppressed]"
+			}
+			lines = append(lines, "  "+d.String()+suffix)
+		}
+		t.Logf("all findings for %s on %s:\n%s", a.Name, pkgPath, strings.Join(lines, "\n"))
+	}
+}

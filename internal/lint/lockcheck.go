@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockcheck guards the recovery store's and the concurrent
+// pipeline's locking discipline with three checks:
+//
+//  1. values whose type contains a sync.Mutex/RWMutex copied by value
+//     (receivers, parameters, results, plain assignments, range values) —
+//     a copied mutex silently stops guarding the original;
+//  2. a mutex Lock()/RLock() in a function with no matching
+//     Unlock()/RUnlock() on the same receiver expression reachable in that
+//     function (defer or a later statement) — a held lock across a hot
+//     path is a deadline violation waiting to happen;
+//  3. exported struct fields read or written outside the declaring package
+//     when the struct also carries a mutex — such fields are meant to be
+//     accessed through the type's own locked methods.
+var AnalyzerLockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag mutexes copied by value, Lock() calls with no reachable Unlock in the same function, " +
+		"and cross-package access to exported fields of mutex-guarded structs.",
+	Run: runLockcheck,
+}
+
+func runLockcheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		checkLockCopies(pass, f)
+		checkLockPairs(pass, f)
+		checkGuardedFields(pass, f)
+	}
+	return nil
+}
+
+// containsLock reports whether a value of type t holds lock state directly
+// (not behind a pointer, slice, map, or channel), so that copying the value
+// copies the lock.
+func containsLock(t types.Type) bool {
+	return containsLock1(t, map[types.Type]bool{})
+}
+
+func containsLock1(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock1(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value transfers of lock-containing types.
+func checkLockCopies(pass *Pass, f *ast.File) {
+	flagFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				pass.Reportf(field.Type.Pos(), "%s passes a lock by value (%s); use a pointer", what, t)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			flagFieldList(n.Recv, "receiver")
+			flagFieldList(n.Type.Params, "parameter")
+			flagFieldList(n.Type.Results, "result")
+		case *ast.FuncLit:
+			flagFieldList(n.Type.Params, "parameter")
+			flagFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if !copiesValue(rhs) {
+					continue
+				}
+				if t := pass.TypesInfo.TypeOf(rhs); containsLock(t) {
+					pass.Reportf(rhs.Pos(), "assignment copies a lock (%s); use a pointer", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypesInfo.TypeOf(n.Value); containsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range value copies a lock (%s); range over indices or pointers", t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiesValue reports whether evaluating e yields a copy of an existing
+// value (as opposed to constructing a fresh one, whose zero mutex is fine).
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// mutexMethod returns the receiver expression and method name when call is
+// a sync.Mutex/RWMutex Lock/Unlock-family method call.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// checkLockPairs flags Lock/RLock calls whose function body contains no
+// Unlock/RUnlock on the same receiver expression. The check is
+// intra-procedural and keys receivers by their printed expression — a
+// deliberate, documented approximation.
+func checkLockPairs(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		type lockCall struct {
+			pos  ast.Node
+			name string
+			key  string
+		}
+		var locks []lockCall
+		unlocked := map[string]bool{}
+		ast.Inspect(body, func(m ast.Node) bool {
+			// Nested function literals audit their own bodies; an Unlock
+			// inside one is not reachable from this frame's Lock.
+			if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+				return false
+			}
+			call, isCall := m.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			recv, name, isMutex := mutexMethod(pass, call)
+			if !isMutex {
+				return true
+			}
+			key := types.ExprString(recv)
+			switch name {
+			case "Lock", "RLock":
+				locks = append(locks, lockCall{pos: call, name: name, key: key})
+			case "Unlock":
+				unlocked[key+"/Lock"] = true
+				unlocked[key+"/TryLock"] = true
+			case "RUnlock":
+				unlocked[key+"/RLock"] = true
+				unlocked[key+"/TryRLock"] = true
+			}
+			return true
+		})
+		for _, lc := range locks {
+			if !unlocked[lc.key+"/"+lc.name] {
+				pass.Reportf(lc.pos.Pos(), "%s.%s() with no reachable %s in this function; add a defer",
+					lc.key, lc.name, map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}[lc.name])
+			}
+		}
+		return true
+	})
+}
+
+// checkGuardedFields flags cross-package access to exported fields of
+// structs that carry their own mutex.
+func checkGuardedFields(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok || !field.Exported() || field.Pkg() == nil || field.Pkg() == pass.Pkg {
+			return true
+		}
+		recv := s.Recv()
+		if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		st, ok := recv.Underlying().(*types.Struct)
+		if !ok {
+			return true
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			if named, isNamed := ft.(*types.Named); isNamed {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+					(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+					pass.Reportf(sel.Sel.Pos(),
+						"field %s.%s is guarded by a sibling mutex; access it through %s's methods",
+						recv, field.Name(), recv)
+					return true
+				}
+			}
+		}
+		return true
+	})
+}

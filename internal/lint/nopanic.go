@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NopanicAllowlist names functions (as "pkgpath.Func" or
+// "pkgpath.(Type).Method") whose bodies may panic without a finding: the
+// sanctioned shape-validation helpers. Everything else in library code must
+// return errors, or carry an explicit //lint:allow(nopanic) suppression at
+// the panic site with a comment saying why the panic is a genuine
+// programmer-error invariant.
+var NopanicAllowlist = map[string]bool{
+	"repro/internal/tensor.checkMatMulShapes": true,
+	// Fixture entry exercised by the analysistest suite.
+	"nopanic.checkMatMulShapes": true,
+}
+
+// AnalyzerNopanic forbids panic and log.Fatal* in library (non-main,
+// non-test) code. The RRP governor calls into these packages from its
+// control loop; a panic there is a missed deadline, so failures must
+// surface as returned errors. Panics are permitted only inside allowlisted
+// validation helpers or under //lint:allow(nopanic).
+var AnalyzerNopanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic/log.Fatal in library packages; hot-path failures must be returned errors. " +
+		"Allowlisted shape-validation helpers (see NopanicAllowlist) and //lint:allow(nopanic) sites are exempt.",
+	Run: runNopanic,
+}
+
+func runNopanic(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		inspectStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+					if !inAllowlistedFunc(pass, stack) {
+						pass.Reportf(call.Pos(), "panic in library code; return an error or route through an allowlisted validation helper")
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal") {
+						pass.Reportf(call.Pos(), "log.%s in library code terminates the process; return an error", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inAllowlistedFunc reports whether the innermost enclosing function
+// declaration is on NopanicAllowlist.
+func inAllowlistedFunc(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := pass.PkgPath + "." + fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			recv := fd.Recv.List[0].Type
+			if star, ok := recv.(*ast.StarExpr); ok {
+				recv = star.X
+			}
+			if id, ok := recv.(*ast.Ident); ok {
+				name = pass.PkgPath + ".(" + id.Name + ")." + fd.Name.Name
+			}
+		}
+		return NopanicAllowlist[name]
+	}
+	return false
+}

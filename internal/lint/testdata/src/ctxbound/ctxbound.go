@@ -1,0 +1,82 @@
+// Package ctxbound is a fixture: goroutines without a completion signal
+// and goroutines capturing loop variables, plus WaitGroup-joined,
+// context-cancelled, channel-stopped, and suppressed counterexamples. The
+// test registers this package path in lint.CtxboundPackages before
+// running.
+package ctxbound
+
+import (
+	"context"
+	"sync"
+)
+
+func fire(items []int, process func(int)) {
+	for _, it := range items {
+		go func() { // want "no done/context/WaitGroup signal" "captures loop variable"
+			process(it)
+		}()
+	}
+}
+
+func orphan(tick func()) {
+	go func() { tick() }() // want "no done/context/WaitGroup signal"
+}
+
+func forLoop(n int, process func(int)) {
+	for i := 0; i < n; i++ {
+		go func() { // want "no done/context/WaitGroup signal" "captures loop variable"
+			process(i)
+		}()
+	}
+}
+
+func joined(items []int, process func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			process(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func cancellable(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+func channelStop(done chan struct{}, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+func suppressed(flush func()) {
+	//lint:allow(ctxbound) fire-and-forget telemetry flush at shutdown
+	go func() { flush() }()
+}
+
+var _ = fire
+var _ = orphan
+var _ = forLoop
+var _ = joined
+var _ = cancellable
+var _ = channelStop
+var _ = suppressed

@@ -1,0 +1,35 @@
+// Package detrand is a fixture: unseeded global rand draws and bare
+// time.Now() calls, plus seeded-RNG, clock-seam, and suppressed
+// counterexamples. The test registers this package path in
+// lint.DetrandPackages before running.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// now is the injectable clock seam the analyzer steers code toward.
+var now = time.Now
+
+func Bad() (int, time.Time) {
+	n := rand.Intn(10)    // want "unseeded rand.Intn"
+	return n, time.Now() // want "bare time.Now"
+}
+
+func BadFloat() float64 {
+	return rand.Float64() // want "unseeded rand.Float64"
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "unseeded rand.Shuffle"
+}
+
+func Good(seed int64) (int, time.Time) {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10), now()
+}
+
+func Suppressed() time.Time {
+	return time.Now() //lint:allow(detrand) wall-clock for operator-facing log lines only
+}

@@ -1,0 +1,13 @@
+// Package detrandoff is a fixture proving detrand stays silent for
+// packages outside DetrandPackages: same violations as the detrand
+// fixture, zero want comments.
+package detrandoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Unregistered() (int, time.Time) {
+	return rand.Intn(10), time.Now()
+}

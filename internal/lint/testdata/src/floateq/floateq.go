@@ -1,0 +1,30 @@
+// Package floateq is a fixture: exact floating-point comparisons in
+// several spellings, plus epsilon-based and suppressed counterexamples.
+package floateq
+
+// Temp exercises named types whose underlying type is a float.
+type Temp float64
+
+func Bad(a, b float64, f float32, t Temp) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if f != 0 { // want "floating-point != comparison"
+		return true
+	}
+	return t == Temp(a) // want "floating-point == comparison"
+}
+
+func Suppressed(w float64) bool {
+	return w == 0 //lint:allow(floateq) pruned weights are exact zeros
+}
+
+func Good(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,80 @@
+// Package lockcheck is a fixture: lock-by-value copies, Lock calls with
+// no reachable Unlock, and cross-package guarded-field access, plus
+// compliant and suppressed counterexamples.
+package lockcheck
+
+import (
+	"sync"
+
+	"lockcheck/store"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(c counter) int { // want "parameter passes a lock by value"
+	return c.n
+}
+
+func copyAssign(c *counter) int {
+	snapshot := *c // want "assignment copies a lock"
+	return snapshot.n
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range value copies a lock"
+		total += c.n
+	}
+	return total
+}
+
+func noUnlock(c *counter) {
+	c.mu.Lock() // want "no reachable Unlock"
+	c.n++
+}
+
+func rlockNoRUnlock(mu *sync.RWMutex) int {
+	mu.RLock() // want "no reachable RUnlock"
+	return 0
+}
+
+func deferred(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func pairedInline(c *counter) int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func guarded(s *store.Store) int {
+	return s.Count // want "guarded by a sibling mutex"
+}
+
+func throughMethods(s *store.Store) int {
+	s.Incr()
+	return s.Get()
+}
+
+func suppressedCopy(c *counter) int {
+	snapshot := *c //lint:allow(lockcheck) snapshot of an idle counter in a test helper
+	return snapshot.n
+}
+
+var _ = byValue
+var _ = copyAssign
+var _ = rangeCopy
+var _ = noUnlock
+var _ = rlockNoRUnlock
+var _ = deferred
+var _ = pairedInline
+var _ = guarded
+var _ = throughMethods
+var _ = suppressedCopy

@@ -1,0 +1,26 @@
+// Package store is a fixture dependency: a mutex-guarded struct with an
+// exported field, the violation target for lockcheck's guarded-field
+// check when accessed from the parent fixture package.
+package store
+
+import "sync"
+
+// Store guards Count with Mu; outside packages must go through Incr/Get.
+type Store struct {
+	Mu    sync.Mutex
+	Count int
+}
+
+// Incr bumps the counter under the lock.
+func (s *Store) Incr() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.Count++
+}
+
+// Get reads the counter under the lock.
+func (s *Store) Get() int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.Count
+}

@@ -1,0 +1,14 @@
+// Command mainpkg is a fixture: panic and log.Fatal are permitted in
+// package main, so this file expects no findings.
+package main
+
+import "log"
+
+func run() error { return nil }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	panic("main packages may panic")
+}

@@ -1,0 +1,45 @@
+// Package nopanic is a fixture: library code that panics or calls
+// log.Fatal, with allowlisted-helper and suppressed counterexamples.
+package nopanic
+
+import (
+	"fmt"
+	"log"
+)
+
+func Bad(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in library code"
+	}
+	log.Fatalf("n=%d", n) // want "log.Fatalf in library code"
+}
+
+func BadFatal() {
+	log.Fatal("boom") // want "log.Fatal in library code"
+}
+
+// checkMatMulShapes matches an entry on NopanicAllowlist, so its panic is
+// sanctioned.
+func checkMatMulShapes(m, k int) {
+	if m != k {
+		panic(fmt.Sprintf("shape %d vs %d", m, k))
+	}
+}
+
+// Invariant demonstrates the suppression comment on a genuine
+// programmer-error invariant.
+func Invariant(ok bool) {
+	if !ok {
+		panic("broken invariant") //lint:allow(nopanic) documented invariant
+	}
+}
+
+// Good is the steered-toward form: a returned error.
+func Good(n int) error {
+	if n < 0 {
+		return fmt.Errorf("nopanic: negative %d", n)
+	}
+	return nil
+}
+
+var _ = checkMatMulShapes

@@ -1,0 +1,25 @@
+package metrics
+
+import "fmt"
+
+// ApproxEqual reports whether a and b differ by at most eps. It is the
+// project-wide epsilon comparison the floateq analyzer steers float
+// equality toward: accuracy targets, sparsity fractions, and calibration
+// values accumulate rounding differently across kernels, so exact ==/!= on
+// them is only permitted where bit identity is the point (and then carries
+// a //lint:allow(floateq) comment). NaN operands compare unequal to
+// everything, matching IEEE semantics.
+func ApproxEqual[T ~float32 | ~float64](a, b, eps T) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site: table shape and confusion-matrix index errors are
+// documented programmer-error invariants, not runtime conditions.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqualFloat64(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{-3, -3.0000005, 1e-6, true},
+		{0, 1e-9, 1e-9, true}, // boundary: |a-b| == eps counts as equal
+		{0, 2e-9, 1e-9, false},
+		{5, -5, 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualFloat32(t *testing.T) {
+	if !ApproxEqual(float32(0.1)+float32(0.2), float32(0.3), 1e-6) {
+		t.Error("float32 0.1+0.2 should approximate 0.3 at eps 1e-6")
+	}
+	if ApproxEqual(float32(1), float32(1.01), 1e-6) {
+		t.Error("float32 1 and 1.01 should not approximate at eps 1e-6")
+	}
+}
+
+func TestApproxEqualNaN(t *testing.T) {
+	nan := math.NaN()
+	if ApproxEqual(nan, nan, 1) {
+		t.Error("NaN must not compare equal to NaN")
+	}
+	if ApproxEqual(nan, 0, math.Inf(1)) {
+		t.Error("NaN must not compare equal to anything, even with infinite eps")
+	}
+	// Inf-Inf is NaN, so infinities never approximate anything — callers
+	// comparing possibly-infinite values must handle them beforehand.
+	if ApproxEqual(math.Inf(1), math.Inf(1), 1) {
+		t.Error("+Inf vs +Inf should be false: the difference is NaN")
+	}
+}

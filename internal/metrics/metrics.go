@@ -28,7 +28,7 @@ func NewTable(title string, header ...string) *Table {
 // AddRow appends a row; the cell count must match the header.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) != len(t.Header) {
-		panic(fmt.Sprintf("metrics: row with %d cells for %d columns", len(cells), len(t.Header)))
+		failf("metrics: row with %d cells for %d columns", len(cells), len(t.Header))
 	}
 	t.rows = append(t.rows, cells)
 }
@@ -144,7 +144,7 @@ func SI(v float64) string {
 // interpolation. It panics on an empty slice.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("metrics: Percentile of empty slice")
+		failf("metrics: Percentile of empty slice")
 	}
 	if p < 0 {
 		p = 0
@@ -254,7 +254,7 @@ type ConfusionMatrix struct {
 // NewConfusionMatrix constructs a k-class confusion matrix.
 func NewConfusionMatrix(k int) *ConfusionMatrix {
 	if k <= 0 {
-		panic(fmt.Sprintf("metrics: NewConfusionMatrix(%d)", k))
+		failf("metrics: NewConfusionMatrix(%d)", k)
 	}
 	return &ConfusionMatrix{k: k, counts: make([]int, k*k)}
 }
@@ -262,7 +262,7 @@ func NewConfusionMatrix(k int) *ConfusionMatrix {
 // Add records one (true, predicted) observation.
 func (c *ConfusionMatrix) Add(trueClass, predClass int) {
 	if trueClass < 0 || trueClass >= c.k || predClass < 0 || predClass >= c.k {
-		panic(fmt.Sprintf("metrics: confusion Add(%d,%d) for k=%d", trueClass, predClass, c.k))
+		failf("metrics: confusion Add(%d,%d) for k=%d", trueClass, predClass, c.k)
 	}
 	c.counts[trueClass*c.k+predClass]++
 }

@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -48,7 +47,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // Backward gates the incoming gradient by the activation mask.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if r.lastMask == nil || len(r.lastMask) != grad.Len() {
-		panic(fmt.Sprintf("nn: ReLU %q Backward before training Forward", r.name))
+		failf("nn: ReLU %q Backward before training Forward", r.name)
 	}
 	out := tensor.New(grad.Shape()...)
 	gd, od := grad.Data(), out.Data()
@@ -74,7 +73,7 @@ type LeakyReLU struct {
 // NewLeakyReLU constructs a LeakyReLU with the given negative slope.
 func NewLeakyReLU(name string, alpha float32) *LeakyReLU {
 	if alpha < 0 || alpha >= 1 {
-		panic(fmt.Sprintf("nn: LeakyReLU %q alpha %v out of [0,1)", name, alpha))
+		failf("nn: LeakyReLU %q alpha %v out of [0,1)", name, alpha)
 	}
 	return &LeakyReLU{name: name, alpha: alpha}
 }
@@ -109,7 +108,7 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // Backward scales the incoming gradient by 1 or alpha.
 func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastMask == nil || len(l.lastMask) != grad.Len() {
-		panic(fmt.Sprintf("nn: LeakyReLU %q Backward before training Forward", l.name))
+		failf("nn: LeakyReLU %q Backward before training Forward", l.name)
 	}
 	out := tensor.New(grad.Shape()...)
 	gd, od := grad.Data(), out.Data()
@@ -150,7 +149,7 @@ func (t *Tanh) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // Backward multiplies the gradient by 1 - tanh²(x).
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if t.lastOut == nil || t.lastOut.Len() != grad.Len() {
-		panic(fmt.Sprintf("nn: Tanh %q Backward before training Forward", t.name))
+		failf("nn: Tanh %q Backward before training Forward", t.name)
 	}
 	out := tensor.New(grad.Shape()...)
 	gd, od, yd := grad.Data(), out.Data(), t.lastOut.Data()
@@ -184,7 +183,8 @@ func (s *Softmax) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 
 // Backward panics: use the fused softmax-cross-entropy loss for training.
 func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	panic(fmt.Sprintf("nn: Softmax %q does not support Backward; train with the fused cross-entropy loss", s.name))
+	failf("nn: Softmax %q does not support Backward; train with the fused cross-entropy loss", s.name)
+	return nil // unreachable: failf always panics
 }
 
 // Params returns nil: Softmax has no parameters.

@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -31,10 +29,10 @@ type Conv2D struct {
 // input; outC is the number of filters.
 func NewConv2D(name string, geom tensor.ConvGeom, outC int, rng *tensor.RNG) *Conv2D {
 	if err := geom.Validate(); err != nil {
-		panic(fmt.Sprintf("nn: Conv2D %q: %v", name, err))
+		failf("nn: Conv2D %q: %v", name, err)
 	}
 	if outC <= 0 {
-		panic(fmt.Sprintf("nn: Conv2D %q with non-positive outC %d", name, outC))
+		failf("nn: Conv2D %q with non-positive outC %d", name, outC)
 	}
 	k := geom.InC * geom.KH * geom.KW
 	return &Conv2D{
@@ -67,7 +65,7 @@ func (c *Conv2D) OutShape() []int { return []int{c.outC, c.geom.OutH(), c.geom.O
 func (c *Conv2D) checkInput(x *tensor.Tensor) int {
 	g := c.geom
 	if x.Dims() != 4 || x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
-		panic(fmt.Sprintf("nn: Conv2D %q input shape %v, want [B %d %d %d]", c.name, x.Shape(), g.InC, g.InH, g.InW))
+		failf("nn: Conv2D %q input shape %v, want [B %d %d %d]", c.name, x.Shape(), g.InC, g.InH, g.InW)
 	}
 	return x.Dim(0)
 }
@@ -116,14 +114,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // Backward accumulates weight/bias gradients and returns the input gradient.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastInput == nil || c.lastCols == nil {
-		panic(fmt.Sprintf("nn: Conv2D %q Backward before training Forward", c.name))
+		failf("nn: Conv2D %q Backward before training Forward", c.name)
 	}
 	batch := c.checkInput(c.lastInput)
 	g := c.geom
 	oh, ow := g.OutH(), g.OutW()
 	spatial := oh * ow
 	if grad.Dims() != 4 || grad.Dim(0) != batch || grad.Dim(1) != c.outC || grad.Dim(2) != oh || grad.Dim(3) != ow {
-		panic(fmt.Sprintf("nn: Conv2D %q grad shape %v, want [%d %d %d %d]", c.name, grad.Shape(), batch, c.outC, oh, ow))
+		failf("nn: Conv2D %q grad shape %v, want [%d %d %d %d]", c.name, grad.Shape(), batch, c.outC, oh, ow)
 	}
 	sampleIn := g.InC * g.InH * g.InW
 	sampleOut := c.outC * spatial

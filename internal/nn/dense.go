@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -22,7 +20,7 @@ type Dense struct {
 // zero biases.
 func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
 	if in <= 0 || out <= 0 {
-		panic(fmt.Sprintf("nn: Dense %q with non-positive dims in=%d out=%d", name, in, out))
+		failf("nn: Dense %q with non-positive dims in=%d out=%d", name, in, out)
 	}
 	return &Dense{
 		name:   name,
@@ -51,7 +49,7 @@ func (d *Dense) Bias() *Param { return d.bias }
 // Forward computes x·Wᵀ + b.
 func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != d.in {
-		panic(fmt.Sprintf("nn: Dense %q input shape %v, want [B %d]", d.name, x.Shape(), d.in))
+		failf("nn: Dense %q input shape %v, want [B %d]", d.name, x.Shape(), d.in)
 	}
 	if training {
 		d.lastInput = x
@@ -73,7 +71,7 @@ func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // dx = grad·W.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastInput == nil {
-		panic(fmt.Sprintf("nn: Dense %q Backward before training Forward", d.name))
+		failf("nn: Dense %q Backward before training Forward", d.name)
 	}
 	// dW (out×in) += gradᵀ (out×B) · x (B×in)
 	dW := tensor.MatMulTransA(grad, d.lastInput)

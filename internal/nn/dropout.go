@@ -1,8 +1,7 @@
 package nn
 
 import (
-	"fmt"
-
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -19,7 +18,7 @@ type Dropout struct {
 // NewDropout constructs a dropout layer with drop probability p in [0, 1).
 func NewDropout(name string, p float32, rng *tensor.RNG) *Dropout {
 	if p < 0 || p >= 1 {
-		panic(fmt.Sprintf("nn: Dropout %q p=%v out of [0,1)", name, p))
+		failf("nn: Dropout %q p=%v out of [0,1)", name, p)
 	}
 	return &Dropout{name: name, p: p, rng: rng}
 }
@@ -32,7 +31,7 @@ func (d *Dropout) P() float32 { return d.p }
 
 // Forward drops activations in training mode and passes through otherwise.
 func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
-	if !training || d.p == 0 {
+	if !training || metrics.ApproxEqual(d.p, 0, 1e-9) {
 		return x
 	}
 	out := tensor.New(x.Shape()...)
@@ -54,11 +53,11 @@ func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 
 // Backward applies the same keep mask to the gradient.
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if d.p == 0 {
+	if metrics.ApproxEqual(d.p, 0, 1e-9) {
 		return grad
 	}
 	if d.lastKeep == nil || len(d.lastKeep) != grad.Len() {
-		panic(fmt.Sprintf("nn: Dropout %q Backward before training Forward", d.name))
+		failf("nn: Dropout %q Backward before training Forward", d.name)
 	}
 	out := tensor.New(grad.Shape()...)
 	gd, od := grad.Data(), out.Data()

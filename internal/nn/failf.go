@@ -1,0 +1,9 @@
+package nn
+
+import "fmt"
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site under the nopanic analyzer: layer shape and hyper-parameter validation; the Layer API documents Forward/Backward geometry misuse as panicking programmer errors.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

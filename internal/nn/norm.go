@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -33,7 +32,7 @@ type BatchNorm struct {
 // of features (channels for 4-D inputs).
 func NewBatchNorm(name string, features int) *BatchNorm {
 	if features <= 0 {
-		panic(fmt.Sprintf("nn: BatchNorm %q non-positive features %d", name, features))
+		failf("nn: BatchNorm %q non-positive features %d", name, features)
 	}
 	b := &BatchNorm{
 		name:        name,
@@ -63,16 +62,17 @@ func (b *BatchNorm) geometry(x *tensor.Tensor) (batch, plane int) {
 	switch x.Dims() {
 	case 2:
 		if x.Dim(1) != b.features {
-			panic(fmt.Sprintf("nn: BatchNorm %q input shape %v, want [B %d]", b.name, x.Shape(), b.features))
+			failf("nn: BatchNorm %q input shape %v, want [B %d]", b.name, x.Shape(), b.features)
 		}
 		return x.Dim(0), 1
 	case 4:
 		if x.Dim(1) != b.features {
-			panic(fmt.Sprintf("nn: BatchNorm %q input shape %v, want [B %d H W]", b.name, x.Shape(), b.features))
+			failf("nn: BatchNorm %q input shape %v, want [B %d H W]", b.name, x.Shape(), b.features)
 		}
 		return x.Dim(0), x.Dim(2) * x.Dim(3)
 	default:
-		panic(fmt.Sprintf("nn: BatchNorm %q input shape %v, want 2-D or 4-D", b.name, x.Shape()))
+		failf("nn: BatchNorm %q input shape %v, want 2-D or 4-D", b.name, x.Shape())
+		return 0, 0 // unreachable: failf always panics
 	}
 }
 
@@ -101,7 +101,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 
 	n := batch * plane
 	if n < 2 {
-		panic(fmt.Sprintf("nn: BatchNorm %q needs ≥2 samples per feature in training, got %d", b.name, n))
+		failf("nn: BatchNorm %q needs ≥2 samples per feature in training, got %d", b.name, n)
 	}
 	b.lastXHat = tensor.New(x.Shape()...)
 	b.lastStd = make([]float32, b.features)
@@ -151,7 +151,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 //	dx = (1/σ)·(dx̂ − mean(dx̂) − x̂·mean(dx̂·x̂))
 func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if b.lastXHat == nil {
-		panic(fmt.Sprintf("nn: BatchNorm %q Backward before training Forward", b.name))
+		failf("nn: BatchNorm %q Backward before training Forward", b.name)
 	}
 	batch, plane := b.geometry(grad)
 	stride := b.features * plane
@@ -199,7 +199,7 @@ func (b *BatchNorm) RunningStats() (mean, variance []float32) {
 // uses it.
 func (b *BatchNorm) SetRunningStats(mean, variance []float32) {
 	if len(mean) != b.features || len(variance) != b.features {
-		panic(fmt.Sprintf("nn: BatchNorm %q SetRunningStats with %d/%d values, want %d", b.name, len(mean), len(variance), b.features))
+		failf("nn: BatchNorm %q SetRunningStats with %d/%d values, want %d", b.name, len(mean), len(variance), b.features)
 	}
 	copy(b.runningMean, mean)
 	copy(b.runningVar, variance)

@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -21,10 +19,10 @@ type MaxPool2D struct {
 // NewMaxPool2D constructs a max pooling layer for inputs of shape [B,c,h,w].
 func NewMaxPool2D(name string, c, h, w, kh, kw, strideH, strideW int) *MaxPool2D {
 	if c <= 0 || h <= 0 || w <= 0 || kh <= 0 || kw <= 0 || strideH <= 0 || strideW <= 0 {
-		panic(fmt.Sprintf("nn: MaxPool2D %q non-positive geometry", name))
+		failf("nn: MaxPool2D %q non-positive geometry", name)
 	}
 	if kh > h || kw > w {
-		panic(fmt.Sprintf("nn: MaxPool2D %q kernel %dx%d exceeds input %dx%d", name, kh, kw, h, w))
+		failf("nn: MaxPool2D %q kernel %dx%d exceeds input %dx%d", name, kh, kw, h, w)
 	}
 	return &MaxPool2D{name: name, c: c, h: h, w: w, kh: kh, kw: kw, strideH: strideH, strideW: strideW}
 }
@@ -51,7 +49,7 @@ func (m *MaxPool2D) OutShape() []int { return []int{m.c, m.OutH(), m.OutW()} }
 // Forward max-pools each channel plane.
 func (m *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != m.c || x.Dim(2) != m.h || x.Dim(3) != m.w {
-		panic(fmt.Sprintf("nn: MaxPool2D %q input shape %v, want [B %d %d %d]", m.name, x.Shape(), m.c, m.h, m.w))
+		failf("nn: MaxPool2D %q input shape %v, want [B %d %d %d]", m.name, x.Shape(), m.c, m.h, m.w)
 	}
 	batch := x.Dim(0)
 	oh, ow := m.OutH(), m.OutW()
@@ -97,7 +95,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // max.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if m.lastArg == nil || len(m.lastArg) != grad.Len() {
-		panic(fmt.Sprintf("nn: MaxPool2D %q Backward before training Forward", m.name))
+		failf("nn: MaxPool2D %q Backward before training Forward", m.name)
 	}
 	dx := tensor.New(m.lastShape...)
 	dd, gd := dx.Data(), grad.Data()
@@ -132,7 +130,7 @@ type GlobalAvgPool2D struct {
 // NewGlobalAvgPool2D constructs a global average pooling layer.
 func NewGlobalAvgPool2D(name string, c, h, w int) *GlobalAvgPool2D {
 	if c <= 0 || h <= 0 || w <= 0 {
-		panic(fmt.Sprintf("nn: GlobalAvgPool2D %q non-positive geometry", name))
+		failf("nn: GlobalAvgPool2D %q non-positive geometry", name)
 	}
 	return &GlobalAvgPool2D{name: name, c: c, h: h, w: w}
 }
@@ -146,7 +144,7 @@ func (g *GlobalAvgPool2D) Config() (c, h, w int) { return g.c, g.h, g.w }
 // Forward averages each plane.
 func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != g.c || x.Dim(2) != g.h || x.Dim(3) != g.w {
-		panic(fmt.Sprintf("nn: GlobalAvgPool2D %q input shape %v, want [B %d %d %d]", g.name, x.Shape(), g.c, g.h, g.w))
+		failf("nn: GlobalAvgPool2D %q input shape %v, want [B %d %d %d]", g.name, x.Shape(), g.c, g.h, g.w)
 	}
 	batch := x.Dim(0)
 	plane := g.h * g.w
@@ -208,7 +206,7 @@ func (f *Flatten) Name() string { return f.name }
 // Forward flattens all but the batch dimension.
 func (f *Flatten) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if x.Dims() < 2 {
-		panic(fmt.Sprintf("nn: Flatten %q input shape %v, want ≥2-D", f.name, x.Shape()))
+		failf("nn: Flatten %q input shape %v, want ≥2-D", f.name, x.Shape())
 	}
 	if training {
 		f.lastShape = x.Shape()
@@ -220,7 +218,7 @@ func (f *Flatten) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 // Backward restores the pre-flatten shape.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if f.lastShape == nil {
-		panic(fmt.Sprintf("nn: Flatten %q Backward before training Forward", f.name))
+		failf("nn: Flatten %q Backward before training Forward", f.name)
 	}
 	return grad.Reshape(f.lastShape...)
 }

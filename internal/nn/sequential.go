@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/tensor"
 )
 
@@ -31,7 +29,7 @@ func (m *Sequential) Name() string { return m.name }
 func (m *Sequential) Add(l Layer) {
 	for _, existing := range m.layers {
 		if existing.Name() == l.Name() {
-			panic(fmt.Sprintf("nn: model %q already has a layer named %q", m.name, l.Name()))
+			failf("nn: model %q already has a layer named %q", m.name, l.Name())
 		}
 	}
 	m.layers = append(m.layers, l)

@@ -68,7 +68,7 @@ func NewPipeline(model *nn.Sequential, frameSize int, threshold float64) (*Pipel
 	if frameSize <= 0 {
 		return nil, fmt.Errorf("perception: frame size %d", frameSize)
 	}
-	if threshold == 0 {
+	if threshold == 0 { //lint:allow(floateq) zero-value config sentinel selects the default
 		threshold = 0.5
 	}
 	if threshold < 0 || threshold >= 1 {
@@ -85,6 +85,7 @@ func NewPipeline(model *nn.Sequential, frameSize int, threshold float64) (*Pipel
 // Detect classifies one [1, S, S] frame.
 func (p *Pipeline) Detect(frame *tensor.Tensor) Detection {
 	if frame.Len() != p.size*p.size {
+		//lint:allow(nopanic) frame geometry is fixed at pipeline construction; a mismatch is a programmer error
 		panic(fmt.Sprintf("perception: frame with %d pixels, want %d", frame.Len(), p.size*p.size))
 	}
 	copy(p.batch.Data(), frame.Data())

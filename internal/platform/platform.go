@@ -86,7 +86,7 @@ func (s Spec) Validate() error {
 // (voltage tracks frequency), static power with f.
 func (s Spec) Scale(f float64) Spec {
 	if f <= 0 {
-		panic(fmt.Sprintf("platform: Scale(%v)", f))
+		failf("platform: Scale(%v)", f)
 	}
 	out := s
 	out.Name = fmt.Sprintf("%s@%.2fx", s.Name, f)
@@ -104,7 +104,7 @@ func (s Spec) Scale(f float64) Spec {
 // model). bits=32 returns the spec unchanged.
 func (s Spec) PrecisionScaled(bits int) Spec {
 	if bits <= 0 || bits > 32 {
-		panic(fmt.Sprintf("platform: PrecisionScaled(%d)", bits))
+		failf("platform: PrecisionScaled(%d)", bits)
 	}
 	if bits == 32 {
 		return s
@@ -138,7 +138,7 @@ type Cost struct {
 // reports smaller dense MAC counts and is not discounted further.
 func (s Spec) Estimate(model *nn.Sequential) Cost {
 	if err := s.Validate(); err != nil {
-		panic(err)
+		panic(err) //lint:allow(nopanic) specs are static fixtures validated at definition time
 	}
 	var effMACs float64
 	var bytes int64

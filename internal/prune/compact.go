@@ -187,12 +187,12 @@ func liveRows(w []float32, bias []float32, rows int) []bool {
 	rowLen := len(w) / rows
 	live := make([]bool, rows)
 	for r := 0; r < rows; r++ {
-		if bias[r] != 0 {
+		if bias[r] != 0 { //lint:allow(floateq) dead rows are bit-exact zeros left by pruning
 			live[r] = true
 			continue
 		}
 		for _, v := range w[r*rowLen : (r+1)*rowLen] {
-			if v != 0 {
+			if v != 0 { //lint:allow(floateq) dead rows are bit-exact zeros left by pruning
 				live[r] = true
 				break
 			}

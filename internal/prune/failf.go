@@ -1,0 +1,9 @@
+package prune
+
+import "fmt"
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site under the nopanic analyzer: mask lengths and plan parameter names are fixed at design time; a mismatch at runtime is a caller bug.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

@@ -27,7 +27,7 @@ type Mask struct {
 // NewMask returns a mask of length n with every element kept.
 func NewMask(n int) *Mask {
 	if n < 0 {
-		panic(fmt.Sprintf("prune: NewMask(%d)", n))
+		failf("prune: NewMask(%d)", n)
 	}
 	m := &Mask{n: n, bits: make([]uint64, (n+63)/64)}
 	for i := range m.bits {
@@ -66,7 +66,7 @@ func (m *Mask) SetKept(i int) {
 
 func (m *Mask) check(i int) {
 	if i < 0 || i >= m.n {
-		panic(fmt.Sprintf("prune: mask index %d out of range [0,%d)", i, m.n))
+		failf("prune: mask index %d out of range [0,%d)", i, m.n)
 	}
 }
 
@@ -156,7 +156,7 @@ func (m *Mask) ExtractPruned(t *tensor.Tensor) []float32 {
 func (m *Mask) RestorePruned(t *tensor.Tensor, values []float32) {
 	d := m.checkedData(t)
 	if len(values) != m.PrunedCount() {
-		panic(fmt.Sprintf("prune: RestorePruned with %d values for %d pruned slots", len(values), m.PrunedCount()))
+		failf("prune: RestorePruned with %d values for %d pruned slots", len(values), m.PrunedCount())
 	}
 	vi := 0
 	for i := range d {
@@ -169,7 +169,7 @@ func (m *Mask) RestorePruned(t *tensor.Tensor, values []float32) {
 
 func (m *Mask) checkedData(t *tensor.Tensor) []float32 {
 	if t.Len() != m.n {
-		panic(fmt.Sprintf("prune: mask of length %d applied to tensor of %d elements", m.n, t.Len()))
+		failf("prune: mask of length %d applied to tensor of %d elements", m.n, t.Len())
 	}
 	return t.Data()
 }
@@ -178,7 +178,7 @@ func (m *Mask) checkedData(t *tensor.Tensor) []float32 {
 // must be displaced when deepening from level m to level o.
 func (m *Mask) Diff(o *Mask) []int {
 	if m.n != o.n {
-		panic(fmt.Sprintf("prune: Diff of masks with lengths %d and %d", m.n, o.n))
+		failf("prune: Diff of masks with lengths %d and %d", m.n, o.n)
 	}
 	var idx []int
 	for i := 0; i < m.n; i++ {

@@ -25,7 +25,7 @@ func (p *Plan) Apply(model *nn.Sequential) {
 	for name, mask := range p.Masks {
 		param := model.Param(name)
 		if param == nil {
-			panic(fmt.Sprintf("prune: plan references unknown parameter %q", name))
+			failf("prune: plan references unknown parameter %q", name)
 		}
 		mask.Apply(param.Value)
 	}
@@ -38,7 +38,7 @@ func (p *Plan) MaskGradients(model *nn.Sequential) {
 	for name, mask := range p.Masks {
 		param := model.Param(name)
 		if param == nil {
-			panic(fmt.Sprintf("prune: plan references unknown parameter %q", name))
+			failf("prune: plan references unknown parameter %q", name)
 		}
 		d := param.Grad.Data()
 		for i := range d {
@@ -133,7 +133,7 @@ type rankedEntry struct {
 
 func sortRanked(entries []rankedEntry) {
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].score != entries[j].score {
+		if entries[i].score != entries[j].score { //lint:allow(floateq) deterministic sort tie-break on identical scores
 			return entries[i].score < entries[j].score
 		}
 		// Deterministic tie-break on (param, index).

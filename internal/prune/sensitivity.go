@@ -71,7 +71,7 @@ func Sensitivity(model *nn.Sequential, sparsities []float64, eval func() float64
 		results = append(results, res)
 	}
 	sort.Slice(results, func(i, j int) bool {
-		if results[i].Drop() != results[j].Drop() {
+		if results[i].Drop() != results[j].Drop() { //lint:allow(floateq) deterministic sort tie-break on identical drops
 			return results[i].Drop() > results[j].Drop()
 		}
 		return results[i].Param < results[j].Param

@@ -190,12 +190,12 @@ func PrunedChannels(model *nn.Sequential) map[string][]int {
 		bd := t.bias.Value.Data()
 		var dead []int
 		for r := 0; r < t.rows; r++ {
-			if bd[r] != 0 {
+			if bd[r] != 0 { //lint:allow(floateq) dead channels are bit-exact zeros left by pruning
 				continue
 			}
 			allZero := true
 			for _, v := range d[r*t.rowLen : (r+1)*t.rowLen] {
-				if v != 0 {
+				if v != 0 { //lint:allow(floateq) dead channels are bit-exact zeros left by pruning
 					allZero = false
 					break
 				}
@@ -206,7 +206,7 @@ func PrunedChannels(model *nn.Sequential) map[string][]int {
 			if t.bnGamma != "" {
 				g := model.Param(t.bnGamma).Value.Data()
 				b := model.Param(t.bnBeta).Value.Data()
-				if g[r] != 0 || b[r] != 0 {
+				if g[r] != 0 || b[r] != 0 { //lint:allow(floateq) dead channels are bit-exact zeros left by pruning
 					continue
 				}
 			}

@@ -1,0 +1,9 @@
+package quant
+
+import "fmt"
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site under the nopanic analyzer: level indices and buffer lengths are fixed when the ladder is built; misuse is a programmer error.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

@@ -91,7 +91,7 @@ func (q *ReversibleQuantizer) Current() int { return q.current }
 // Level returns level metadata.
 func (q *ReversibleQuantizer) Level(i int) *Level {
 	if i < 0 || i >= len(q.levels) {
-		panic(fmt.Sprintf("quant: level %d out of range [0,%d)", i, len(q.levels)))
+		failf("quant: level %d out of range [0,%d)", i, len(q.levels))
 	}
 	return q.levels[i]
 }
@@ -140,7 +140,7 @@ func (q *ReversibleQuantizer) VerifyMaster() error {
 	for _, p := range q.model.PrunableParams() {
 		src := q.master[p.Name]
 		for i, v := range p.Value.Data() {
-			if v != src[i] {
+			if v != src[i] { //lint:allow(floateq) master-weight restore check is deliberately bit-exact
 				return fmt.Errorf("quant: %s[%d] = %v, master has %v", p.Name, i, v, src[i])
 			}
 		}
@@ -174,10 +174,10 @@ func (q *ReversibleQuantizer) SetCost(i int, energyMJ float64) {
 // Exact zeros stay exactly zero, so quantization composes with pruning.
 func QuantizeInto(dst, src []float32, bits int) {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("quant: QuantizeInto length mismatch %d vs %d", len(dst), len(src)))
+		failf("quant: QuantizeInto length mismatch %d vs %d", len(dst), len(src))
 	}
 	if bits < 2 || bits > 31 {
-		panic(fmt.Sprintf("quant: bits %d out of [2,31]", bits))
+		failf("quant: bits %d out of [2,31]", bits)
 	}
 	var maxAbs float32
 	for _, v := range src {
@@ -189,7 +189,7 @@ func QuantizeInto(dst, src []float32, bits int) {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if maxAbs == 0 { //lint:allow(floateq) all-zero tensor detection is exact by construction
 		for i := range dst {
 			dst[i] = 0
 		}
@@ -219,7 +219,7 @@ func MaxQuantError(src []float32, bits int) float64 {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if maxAbs == 0 { //lint:allow(floateq) all-zero tensor detection is exact by construction
 		return 0
 	}
 	qmax := float64(int32(1)<<(bits-1)) - 1

@@ -48,10 +48,10 @@ func Im2col(src []float32, g ConvGeom, dst *Tensor) {
 	rows := g.InC * g.KH * g.KW
 	cols := oh * ow
 	if len(dst.shape) != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
-		panic(fmt.Sprintf("tensor: Im2col dst shape %v, want [%d %d]", dst.shape, rows, cols))
+		failf("tensor: Im2col dst shape %v, want [%d %d]", dst.shape, rows, cols)
 	}
 	if len(src) != g.InC*g.InH*g.InW {
-		panic(fmt.Sprintf("tensor: Im2col src length %d, want %d", len(src), g.InC*g.InH*g.InW))
+		failf("tensor: Im2col src length %d, want %d", len(src), g.InC*g.InH*g.InW)
 	}
 	d := dst.data
 	r := 0
@@ -95,10 +95,10 @@ func Col2im(cols *Tensor, g ConvGeom, dst []float32) {
 	rows := g.InC * g.KH * g.KW
 	ncols := oh * ow
 	if len(cols.shape) != 2 || cols.shape[0] != rows || cols.shape[1] != ncols {
-		panic(fmt.Sprintf("tensor: Col2im cols shape %v, want [%d %d]", cols.shape, rows, ncols))
+		failf("tensor: Col2im cols shape %v, want [%d %d]", cols.shape, rows, ncols)
 	}
 	if len(dst) != g.InC*g.InH*g.InW {
-		panic(fmt.Sprintf("tensor: Col2im dst length %d, want %d", len(dst), g.InC*g.InH*g.InW))
+		failf("tensor: Col2im dst length %d, want %d", len(dst), g.InC*g.InH*g.InW)
 	}
 	d := cols.data
 	r := 0

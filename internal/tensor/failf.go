@@ -1,0 +1,9 @@
+package tensor
+
+import "fmt"
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site under the nopanic analyzer: shape and arity validation outside the matmul family (which uses checkMatMulShapes); the Tensor API documents geometry misuse as panicking.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

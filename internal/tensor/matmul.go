@@ -40,12 +40,57 @@ func resolveWorkers() int {
 // parallelThreshold is the m·k·n FLOP volume above which MatMul fans out.
 const parallelThreshold = 1 << 21
 
+// ShapeError is the panic value raised by the matmul-family shape
+// validation. It implements error, so a recover() site can unwrap the
+// operation and the offending geometry instead of string-matching.
+type ShapeError struct {
+	// Op names the kernel whose operands were malformed, e.g. "MatMulInto".
+	Op string
+	// Detail describes the mismatch in terms of the operand shapes.
+	Detail string
+}
+
+func (e *ShapeError) Error() string { return "tensor: " + e.Op + ": " + e.Detail }
+
+// checkMatMulShapes validates the operand geometry shared by the
+// matmul-family kernels (MatMul, MatMulInto, MatMulAccumulate,
+// MatMulTransA, MatMulTransB) and returns the output dimensions (m, n).
+// aTrans/bTrans select which operand axes contract; a non-nil out must
+// already have shape (m×n). On mismatch it panics with a *ShapeError.
+//
+// This is the package's allowlisted nopanic validation helper: malformed
+// shapes are programmer errors on construction paths, never data-dependent
+// runtime conditions, so the documented API contract is to panic — from
+// exactly this one site.
+func checkMatMulShapes(op string, a, b, out *Tensor, aTrans, bTrans bool) (m, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(&ShapeError{Op: op, Detail: fmt.Sprintf("needs 2-D operands, got %v and %v", a.shape, b.shape)})
+	}
+	aInner, bInner := a.shape[1], b.shape[0]
+	m, n = a.shape[0], b.shape[1]
+	if aTrans {
+		aInner, m = a.shape[0], a.shape[1]
+	}
+	if bTrans {
+		bInner, n = b.shape[1], b.shape[0]
+	}
+	if aInner != bInner {
+		panic(&ShapeError{Op: op, Detail: fmt.Sprintf("inner dimension mismatch %v · %v (contracting %d vs %d)",
+			a.shape, b.shape, aInner, bInner)})
+	}
+	if out != nil && (len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n) {
+		panic(&ShapeError{Op: op, Detail: fmt.Sprintf("out shape %v, want [%d %d]", out.shape, m, n)})
+	}
+	return m, n
+}
+
 // MatMul returns the matrix product a·b of two 2-D tensors, (m×k)·(k×n) →
 // (m×n). The kernel iterates in ikj order so the innermost loop streams both
 // the b row and the output row, which is the cache-friendly layout for
 // row-major storage.
 func MatMul(a, b *Tensor) *Tensor {
-	out := New(matmulDims(a, b))
+	m, n := checkMatMulShapes("MatMul", a, b, nil, false, false)
+	out := New(m, n)
 	matMulInto(out, a, b, false)
 	return out
 }
@@ -53,30 +98,14 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes out = a·b, reusing out's storage. out must already
 // have shape (m×n).
 func MatMulInto(out, a, b *Tensor) {
-	m, n := matmulDims(a, b)
-	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.shape, m, n))
-	}
+	checkMatMulShapes("MatMulInto", a, b, out, false, false)
 	matMulInto(out, a, b, false)
 }
 
 // MatMulAccumulate computes out += a·b.
 func MatMulAccumulate(out, a, b *Tensor) {
-	m, n := matmulDims(a, b)
-	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulAccumulate out shape %v, want [%d %d]", out.shape, m, n))
-	}
+	checkMatMulShapes("MatMulAccumulate", a, b, out, false, false)
 	matMulInto(out, a, b, true)
-}
-
-func matmulDims(a, b *Tensor) (m, n int) {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	if a.shape[1] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
-	}
-	return a.shape[0], b.shape[1]
 }
 
 func matMulInto(out, a, b *Tensor, accumulate bool) {
@@ -122,7 +151,7 @@ func matMulRows(out, a, b *Tensor, accumulate bool, lo, hi int) {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]
 		for p, av := range arow {
-			if av == 0 {
+			if av == 0 { //lint:allow(floateq) sparse skip: pruned weights are exact zeros
 				// Sparse-friendly skip: pruned weights are exact zeros, so
 				// unstructured sparsity translates into skipped work here.
 				continue
@@ -139,13 +168,8 @@ func matMulRows(out, a, b *Tensor, accumulate bool, lo, hi int) {
 // natural kernel for dense-layer forward passes where weights are stored as
 // (out×in).
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	if a.shape[1] != b.shape[1] {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
-	}
-	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	m, n := checkMatMulShapes("MatMulTransB", a, b, nil, false, true)
+	k := a.shape[1]
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
 	for i := 0; i < m; i++ {
@@ -166,20 +190,15 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // MatMulTransA returns aᵀ·b for 2-D a (k×m) and b (k×n) → (m×n). This is the
 // natural kernel for dense-layer weight gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	if a.shape[0] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
-	}
-	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	m, n := checkMatMulShapes("MatMulTransA", a, b, nil, true, false)
+	k := a.shape[0]
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
 	for p := 0; p < k; p++ {
 		arow := ad[p*m : (p+1)*m]
 		brow := bd[p*n : (p+1)*n]
 		for i, av := range arow {
-			if av == 0 {
+			if av == 0 { //lint:allow(floateq) sparse skip: pruned weights are exact zeros
 				continue
 			}
 			orow := od[i*n : (i+1)*n]
@@ -195,10 +214,10 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // 1-D tensor (k) → (m).
 func MatVec(a, x *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(x.shape) != 1 {
-		panic(fmt.Sprintf("tensor: MatVec needs 2-D and 1-D operands, got %v and %v", a.shape, x.shape))
+		failf("tensor: MatVec needs 2-D and 1-D operands, got %v and %v", a.shape, x.shape)
 	}
 	if a.shape[1] != x.shape[0] {
-		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v · %v", a.shape, x.shape))
+		failf("tensor: MatVec dimension mismatch %v · %v", a.shape, x.shape)
 	}
 	m, k := a.shape[0], a.shape[1]
 	out := New(m)
@@ -216,13 +235,13 @@ func MatVec(a, x *Tensor) *Tensor {
 // Outer returns the outer product x⊗y of two 1-D tensors (m)·(n) → (m×n).
 func Outer(x, y *Tensor) *Tensor {
 	if len(x.shape) != 1 || len(y.shape) != 1 {
-		panic(fmt.Sprintf("tensor: Outer needs 1-D operands, got %v and %v", x.shape, y.shape))
+		failf("tensor: Outer needs 1-D operands, got %v and %v", x.shape, y.shape)
 	}
 	m, n := x.shape[0], y.shape[0]
 	out := New(m, n)
 	for i := 0; i < m; i++ {
 		xv := x.data[i]
-		if xv == 0 {
+		if xv == 0 { //lint:allow(floateq) sparse skip: pruned weights are exact zeros
 			continue
 		}
 		row := out.data[i*n : (i+1)*n]
@@ -237,7 +256,7 @@ func Outer(x, y *Tensor) *Tensor {
 // their shapes.
 func Dot(a, b *Tensor) float32 {
 	if len(a.data) != len(b.data) {
-		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.data), len(b.data)))
+		failf("tensor: Dot length mismatch %d vs %d", len(a.data), len(b.data))
 	}
 	var s float32
 	for i, v := range a.data {

@@ -1,14 +1,11 @@
 package tensor
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // binaryCheck panics unless a and b share a shape.
 func binaryCheck(op string, a, b *Tensor) {
 	if !SameShape(a, b) {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+		failf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape)
 	}
 }
 
@@ -141,7 +138,7 @@ func (t *Tensor) Mean() float32 {
 // Max returns the maximum element. It panics on an empty tensor.
 func (t *Tensor) Max() float32 {
 	if len(t.data) == 0 {
-		panic("tensor: Max of empty tensor")
+		failf("tensor: Max of empty tensor")
 	}
 	m := t.data[0]
 	for _, v := range t.data[1:] {
@@ -155,7 +152,7 @@ func (t *Tensor) Max() float32 {
 // Min returns the minimum element. It panics on an empty tensor.
 func (t *Tensor) Min() float32 {
 	if len(t.data) == 0 {
-		panic("tensor: Min of empty tensor")
+		failf("tensor: Min of empty tensor")
 	}
 	m := t.data[0]
 	for _, v := range t.data[1:] {
@@ -169,7 +166,7 @@ func (t *Tensor) Min() float32 {
 // Argmax returns the flat index of the first maximum element.
 func (t *Tensor) Argmax() int {
 	if len(t.data) == 0 {
-		panic("tensor: Argmax of empty tensor")
+		failf("tensor: Argmax of empty tensor")
 	}
 	best, bi := t.data[0], 0
 	for i, v := range t.data[1:] {
@@ -206,7 +203,7 @@ func (t *Tensor) L2Norm() float32 {
 func (t *Tensor) CountNonZero() int {
 	n := 0
 	for _, v := range t.data {
-		if v != 0 {
+		if v != 0 { //lint:allow(floateq) CountNonZero is defined over bit-exact zeros
 			n++
 		}
 	}
@@ -236,7 +233,7 @@ func (t *Tensor) Clamp(lo, hi float32) *Tensor {
 // Transpose2D returns the transpose of a 2-D tensor.
 func Transpose2D(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
-		panic(fmt.Sprintf("tensor: Transpose2D on %d-D tensor", len(a.shape)))
+		failf("tensor: Transpose2D on %d-D tensor", len(a.shape))
 	}
 	r, c := a.shape[0], a.shape[1]
 	out := New(c, r)
@@ -253,7 +250,7 @@ func Transpose2D(a *Tensor) *Tensor {
 // tensor of length cols.
 func (t *Tensor) Row(i int) *Tensor {
 	if len(t.shape) != 2 {
-		panic(fmt.Sprintf("tensor: Row on %d-D tensor", len(t.shape)))
+		failf("tensor: Row on %d-D tensor", len(t.shape))
 	}
 	c := t.shape[1]
 	return &Tensor{shape: []int{c}, data: t.data[i*c : (i+1)*c]}
@@ -263,7 +260,7 @@ func (t *Tensor) Row(i int) *Tensor {
 // 2-D tensor (i.e. the reduction over rows).
 func SumRows(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
-		panic(fmt.Sprintf("tensor: SumRows on %d-D tensor", len(a.shape)))
+		failf("tensor: SumRows on %d-D tensor", len(a.shape))
 	}
 	r, c := a.shape[0], a.shape[1]
 	out := New(c)
@@ -280,7 +277,7 @@ func SumRows(a *Tensor) *Tensor {
 // maximum element.
 func ArgmaxRows(a *Tensor) []int {
 	if len(a.shape) != 2 {
-		panic(fmt.Sprintf("tensor: ArgmaxRows on %d-D tensor", len(a.shape)))
+		failf("tensor: ArgmaxRows on %d-D tensor", len(a.shape))
 	}
 	r, c := a.shape[0], a.shape[1]
 	out := make([]int, r)
@@ -301,7 +298,7 @@ func ArgmaxRows(a *Tensor) []int {
 // rows, computed with the max-subtraction trick for numerical stability.
 func SoftmaxRows(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
-		panic(fmt.Sprintf("tensor: SoftmaxRows on %d-D tensor", len(a.shape)))
+		failf("tensor: SoftmaxRows on %d-D tensor", len(a.shape))
 	}
 	r, c := a.shape[0], a.shape[1]
 	out := New(r, c)

@@ -35,7 +35,7 @@ func New(shape ...int) *Tensor {
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (want %d)", len(data), shape, n))
+		failf("tensor: FromSlice data length %d does not match shape %v (want %d)", len(data), shape, n)
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: data}
 }
@@ -66,7 +66,7 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			failf("tensor: negative dimension in shape %v", shape)
 		}
 		n *= d
 	}
@@ -100,7 +100,7 @@ func (t *Tensor) Clone() *Tensor {
 // CopyFrom copies src's data into t. Shapes must match exactly.
 func (t *Tensor) CopyFrom(src *Tensor) {
 	if !SameShape(t, src) {
-		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, src.shape))
+		failf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, src.shape)
 	}
 	copy(t.data, src.data)
 }
@@ -110,7 +110,7 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := checkShape(shape)
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+		failf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n)
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
 }
@@ -118,12 +118,12 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 // offset computes the flat offset of the multi-index idx.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
-		panic(fmt.Sprintf("tensor: index %v has wrong arity for shape %v", idx, t.shape))
+		failf("tensor: index %v has wrong arity for shape %v", idx, t.shape)
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+			failf("tensor: index %v out of range for shape %v", idx, t.shape)
 		}
 		off = off*t.shape[i] + x
 	}
@@ -139,7 +139,7 @@ func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
 // At2 returns element (i,j) of a 2-D tensor without building an index slice.
 func (t *Tensor) At2(i, j int) float32 {
 	if len(t.shape) != 2 {
-		panic(fmt.Sprintf("tensor: At2 on %d-D tensor", len(t.shape)))
+		failf("tensor: At2 on %d-D tensor", len(t.shape))
 	}
 	return t.data[i*t.shape[1]+j]
 }
@@ -147,7 +147,7 @@ func (t *Tensor) At2(i, j int) float32 {
 // Set2 assigns element (i,j) of a 2-D tensor.
 func (t *Tensor) Set2(v float32, i, j int) {
 	if len(t.shape) != 2 {
-		panic(fmt.Sprintf("tensor: Set2 on %d-D tensor", len(t.shape)))
+		failf("tensor: Set2 on %d-D tensor", len(t.shape))
 	}
 	t.data[i*t.shape[1]+j] = v
 }
@@ -186,7 +186,7 @@ func Equal(a, b *Tensor) bool {
 		return false
 	}
 	for i := range a.data {
-		if a.data[i] != b.data[i] {
+		if a.data[i] != b.data[i] { //lint:allow(floateq) Equal is documented bit-exact equality
 			return false
 		}
 	}

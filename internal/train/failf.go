@@ -1,0 +1,9 @@
+package train
+
+import "fmt"
+
+// failf panics with the formatted message. It is this package's single
+// sanctioned panic site under the nopanic analyzer: optimizer hyper-parameters and batch geometry are validated programmer inputs; the documented API contract is to panic on misuse.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //lint:allow(nopanic) documented programmer-error invariant
+}

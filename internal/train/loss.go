@@ -5,7 +5,6 @@
 package train
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -32,11 +31,11 @@ func (SoftmaxCrossEntropy) Name() string { return "softmax-cross-entropy" }
 // Loss computes the mean cross entropy and its gradient.
 func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
 	if logits.Dims() != 2 {
-		panic(fmt.Sprintf("train: cross entropy needs 2-D logits, got %v", logits.Shape()))
+		failf("train: cross entropy needs 2-D logits, got %v", logits.Shape())
 	}
 	b, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != b {
-		panic(fmt.Sprintf("train: %d labels for batch of %d", len(labels), b))
+		failf("train: %d labels for batch of %d", len(labels), b)
 	}
 	probs := tensor.SoftmaxRows(logits)
 	grad := probs.Clone()
@@ -45,7 +44,7 @@ func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float32, *
 	invB := 1 / float32(b)
 	for i, y := range labels {
 		if y < 0 || y >= k {
-			panic(fmt.Sprintf("train: label %d out of range [0,%d)", y, k))
+			failf("train: label %d out of range [0,%d)", y, k)
 		}
 		p := probs.At2(i, y)
 		// Clamp to avoid -Inf on a confidently wrong, fully saturated output.
@@ -69,7 +68,7 @@ func (MSE) Name() string { return "mse" }
 // Loss returns mean((pred-target)²) and its gradient w.r.t. pred.
 func (MSE) Loss(pred, target *tensor.Tensor) (float32, *tensor.Tensor) {
 	if !tensor.SameShape(pred, target) {
-		panic(fmt.Sprintf("train: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+		failf("train: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape())
 	}
 	n := pred.Len()
 	grad := tensor.New(pred.Shape()...)
@@ -89,7 +88,7 @@ func (MSE) Loss(pred, target *tensor.Tensor) (float32, *tensor.Tensor) {
 func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 	preds := tensor.ArgmaxRows(logits)
 	if len(preds) != len(labels) {
-		panic(fmt.Sprintf("train: %d predictions vs %d labels", len(preds), len(labels)))
+		failf("train: %d predictions vs %d labels", len(preds), len(labels))
 	}
 	if len(labels) == 0 {
 		return 0

@@ -1,9 +1,9 @@
 package train
 
 import (
-	"fmt"
 	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/nn"
 )
 
@@ -32,10 +32,10 @@ type SGD struct {
 // NewSGD constructs an SGD optimizer.
 func NewSGD(lr, momentum, weightDecay float32) *SGD {
 	if lr <= 0 {
-		panic(fmt.Sprintf("train: SGD lr %v must be positive", lr))
+		failf("train: SGD lr %v must be positive", lr)
 	}
 	if momentum < 0 || momentum >= 1 {
-		panic(fmt.Sprintf("train: SGD momentum %v out of [0,1)", momentum))
+		failf("train: SGD momentum %v out of [0,1)", momentum)
 	}
 	return &SGD{lr: lr, momentum: momentum, weightDecay: weightDecay, velocity: make(map[*nn.Param][]float32)}
 }
@@ -53,7 +53,7 @@ func (s *SGD) SetLR(lr float32) { s.lr = lr }
 func (s *SGD) Step(params []*nn.Param) {
 	for _, p := range params {
 		w, g := p.Value.Data(), p.Grad.Data()
-		if s.momentum == 0 {
+		if metrics.ApproxEqual(s.momentum, 0, 1e-9) {
 			for i := range w {
 				w[i] -= s.lr * (g[i] + s.weightDecay*w[i])
 			}
@@ -83,7 +83,7 @@ type Adam struct {
 // second-order hyperparameters.
 func NewAdam(lr, weightDecay float32) *Adam {
 	if lr <= 0 {
-		panic(fmt.Sprintf("train: Adam lr %v must be positive", lr))
+		failf("train: Adam lr %v must be positive", lr)
 	}
 	return &Adam{
 		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weightDecay: weightDecay,

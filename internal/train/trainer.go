@@ -63,10 +63,10 @@ func (r Result) FinalAccuracy() float64 {
 func Fit(model *nn.Sequential, xs *tensor.Tensor, labels []int, cfg Config) Result {
 	n := xs.Dim(0)
 	if n != len(labels) {
-		panic(fmt.Sprintf("train: %d samples but %d labels", n, len(labels)))
+		failf("train: %d samples but %d labels", n, len(labels))
 	}
 	if cfg.Optimizer == nil {
-		panic("train: Config.Optimizer is required")
+		failf("train: Config.Optimizer is required")
 	}
 	if cfg.Loss == nil {
 		cfg.Loss = SoftmaxCrossEntropy{}

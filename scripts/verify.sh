@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# verify.sh — the tier-1.5 verification gate (see ROADMAP.md).
+#
+# Runs, in order, failing fast on the first nonzero exit:
+#   1. go vet            — the standard toolchain checks
+#   2. go build          — everything compiles
+#   3. rpnlint           — the project's safety-invariant analyzers
+#                          (nopanic, floateq, lockcheck, detrand, ctxbound);
+#                          exits nonzero on any unsuppressed finding
+#   4. go test           — the full unit-test suite
+#   5. go test -race     — the concurrency-sensitive packages under the
+#                          race detector
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() {
+    echo "==> $*"
+    "$@"
+}
+
+step go vet ./...
+step go build ./...
+step go run ./cmd/rpnlint ./...
+step go test ./...
+step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/
+
+echo "verify: all gates passed"
