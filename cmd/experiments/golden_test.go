@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestMarkdownT1IsDeterministic runs `experiments -run T1 -markdown` twice
+// with the same zoo seed and requires byte-identical output. T1 (recovery
+// store memory overhead) is fully derived from trained weights and plan
+// geometry — no wall-clock measurements — so any divergence means hidden
+// nondeterminism (map iteration, unseeded randomness) crept into the
+// training or reporting path.
+func TestMarkdownT1IsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the model zoo; skipped in -short mode")
+	}
+	render := func() string {
+		var out, errBuf strings.Builder
+		if code := run([]string{"-run", "T1", "-markdown", "-seed", "1"}, &out, &errBuf); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errBuf.String())
+		}
+		return out.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("two -run T1 -markdown renders differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !strings.HasPrefix(first, "### T1 — ") {
+		t.Errorf("markdown does not open with the T1 header: %q", first[:min(len(first), 40)])
+	}
+}
+
+// TestExperimentIDsMatchDocs cross-checks the experiment registry against
+// the committed EXPERIMENTS.md: every registered experiment must have a
+// `### <ID> — <Title>` section, and every such section must correspond to
+// a registered experiment — the document and the code cannot drift apart.
+func TestExperimentIDsMatchDocs(t *testing.T) {
+	data, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^### ([FTA]\d+) — `)
+	documented := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	registered := map[string]bool{}
+	for _, e := range experiments.All() {
+		registered[e.ID] = true
+		if !documented[e.ID] {
+			t.Errorf("experiment %s (%s) has no section in EXPERIMENTS.md", e.ID, e.Title)
+		}
+	}
+	for id := range documented {
+		if !registered[id] {
+			t.Errorf("EXPERIMENTS.md documents %s but the registry does not define it", id)
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no experiment sections found in EXPERIMENTS.md")
+	}
+}

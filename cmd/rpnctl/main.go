@@ -5,9 +5,9 @@
 // Usage:
 //
 //	rpnctl train    -task obstacle|sign -out model.bin [-epochs N] [-seed S]
-//	rpnctl bundle   -task obstacle|sign -model model.bin -out bundle.rrp [-targets 0.95,0.9,0.85,0.77]
+//	rpnctl bundle   -task obstacle|sign -model model.bin -out bundle.rrp [-targets 0.95,0.9,0.85,0.77] [-telemetry :8080]
 //	rpnctl info     -bundle bundle.rrp
-//	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N
+//	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N [-telemetry :8080]
 //	rpnctl sensitivity -task obstacle|sign -model model.bin
 package main
 
@@ -25,8 +25,36 @@ import (
 	"repro/internal/nn"
 	"repro/internal/platform"
 	"repro/internal/prune"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
+
+// attachTelemetry wires a reversible model to a telemetry server when addr
+// is non-empty: every level transition the command performs is then
+// observable on /healthz and /metrics until the returned closer runs. With
+// an empty addr it is a no-op returning a no-op closer.
+func attachTelemetry(rm *core.ReversibleModel, addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	reg := telemetry.NewRegistry()
+	hooks := telemetry.NewHooks(reg)
+	sp := make([]float64, rm.NumLevels())
+	for i, lvl := range rm.Levels() {
+		sp[i] = lvl.Sparsity
+	}
+	hooks.SetLevels(sp)
+	rm.SetObserver(hooks)
+	srv, err := telemetry.Serve(reg, addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("telemetry: http://%s/healthz and /metrics\n", srv.Addr())
+	return func() {
+		rm.SetObserver(nil)
+		_ = srv.Close()
+	}, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -169,6 +197,7 @@ func cmdBundle(args []string) error {
 	out := fs.String("out", "bundle.rrp", "output deployment bundle")
 	targetsStr := fs.String("targets", "", "comma-separated accuracy targets (default: dense − {0.005,0.03,0.07,0.15})")
 	seed := fs.Int64("seed", 1, "random seed (must match training)")
+	telemetryAddr := fs.String("telemetry", "", "serve /healthz and /metrics on this address during calibration")
 	fs.Parse(args)
 
 	t, err := taskByName(*taskName)
@@ -212,6 +241,11 @@ func cmdBundle(args []string) error {
 	if err != nil {
 		return err
 	}
+	closeTelemetry, err := attachTelemetry(rm, *telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer closeTelemetry()
 	if err := rm.Calibrate(eval); err != nil {
 		return err
 	}
@@ -282,6 +316,7 @@ func cmdEval(args []string) error {
 	bundlePath := fs.String("bundle", "bundle.rrp", "deployment bundle")
 	level := fs.Int("level", 0, "level to evaluate")
 	seed := fs.Int64("seed", 1, "random seed (must match training)")
+	telemetryAddr := fs.String("telemetry", "", "serve /healthz and /metrics on this address during the evaluation")
 	fs.Parse(args)
 
 	t, err := taskByName(*taskName)
@@ -292,6 +327,11 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
+	closeTelemetry, err := attachTelemetry(rm, *telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer closeTelemetry()
 	if err := rm.ApplyLevel(*level); err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/safety"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,9 +27,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "world seed")
 	csvPath := flag.String("csv", "", "optional path to write the per-tick timeline as CSV")
 	every := flag.Int("every", 100, "print one timeline row every N ticks")
+	telemetryAddr := flag.String("telemetry", "", "serve /healthz and /metrics on this address (e.g. :8080) during the run")
 	flag.Parse()
 
-	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every); err != nil {
+	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "simdrive:", err)
 		os.Exit(1)
 	}
@@ -47,7 +49,12 @@ func findScenario(name string) (sim.Scenario, error) {
 	return sim.Scenario{}, fmt.Errorf("unknown scenario %q (have %v)", name, names)
 }
 
-func run(scenarioName, policyName string, seed int64, csvPath string, every int) error {
+// run executes one scenario. When telemetryAddr is non-empty, a telemetry
+// server exposes /healthz and /metrics for the duration of the run; probe,
+// when non-nil, is invoked with the server's base URL after the run
+// completes and before the server shuts down (tests hook it to scrape the
+// live endpoints).
+func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr string, probe func(baseURL string)) error {
 	sc, err := findScenario(scenarioName)
 	if err != nil {
 		return err
@@ -60,6 +67,26 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int)
 		return err
 	}
 
+	govOpts := []governor.Option{governor.WithTrace()}
+	var tsrv *telemetry.Server
+	if telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		hooks := telemetry.NewHooks(reg)
+		sp := make([]float64, rm.NumLevels())
+		for i, lvl := range rm.Levels() {
+			sp[i] = lvl.Sparsity
+		}
+		hooks.SetLevels(sp)
+		rm.SetObserver(hooks)
+		govOpts = append(govOpts, governor.WithObserver(hooks))
+		tsrv, err = telemetry.Serve(reg, telemetryAddr)
+		if err != nil {
+			return err
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: http://%s/healthz and /metrics\n", tsrv.Addr())
+	}
+
 	var gov *governor.Governor
 	switch policyName {
 	case "static-dense":
@@ -69,11 +96,11 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int)
 			return err
 		}
 	case "threshold":
-		gov, err = governor.New(rm, governor.Threshold{}, safety.DefaultContract(), governor.WithTrace())
+		gov, err = governor.New(rm, governor.Threshold{}, safety.DefaultContract(), govOpts...)
 	case "hysteresis":
-		gov, err = governor.New(rm, &governor.Hysteresis{DwellTicks: 20}, safety.DefaultContract(), governor.WithTrace())
+		gov, err = governor.New(rm, &governor.Hysteresis{DwellTicks: 20}, safety.DefaultContract(), govOpts...)
 	case "predictive":
-		gov, err = governor.New(rm, &governor.Predictive{}, safety.DefaultContract(), governor.WithTrace())
+		gov, err = governor.New(rm, &governor.Predictive{}, safety.DefaultContract(), govOpts...)
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
@@ -145,6 +172,9 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int)
 			return err
 		}
 		fmt.Printf("timeline CSV written to %s\n", csvPath)
+	}
+	if probe != nil && tsrv != nil {
+		probe("http://" + tsrv.Addr())
 	}
 	return nil
 }

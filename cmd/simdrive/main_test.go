@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestFindScenario(t *testing.T) {
@@ -23,7 +28,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("simdrive end-to-end skipped in -short mode")
 	}
 	csvPath := filepath.Join(t.TempDir(), "timeline.csv")
-	if err := run("cut-in", "hysteresis", 42, csvPath, 500); err != nil {
+	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -33,13 +38,86 @@ func TestRunEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(data), "tick,") {
 		t.Errorf("timeline CSV malformed: %q", string(data[:40]))
 	}
-	if err := run("cut-in", "bogus", 1, "", 500); err == nil {
+	if err := run("cut-in", "bogus", 1, "", 500, "", nil); err == nil {
 		t.Error("bogus policy accepted")
 	}
 	// All remaining policies at least construct and run.
 	for _, p := range []string{"static-dense", "static-deep", "threshold", "predictive"} {
-		if err := run("highway-cruise", p, 1, "", 1000); err != nil {
+		if err := run("highway-cruise", p, 1, "", 1000, "", nil); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
+	}
+}
+
+// TestRunWithTelemetry drives the cut-in scenario with the telemetry server
+// live and scrapes both endpoints before shutdown: the snapshot must show
+// at least one emergency RestoreFull with a nonzero restore-latency
+// histogram, governor tick accounting, and the same counters in the
+// Prometheus rendering.
+func TestRunWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simdrive telemetry end-to-end skipped in -short mode")
+	}
+	probed := false
+	probe := func(baseURL string) {
+		probed = true
+		resp, err := http.Get(baseURL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Status     string                                 `json:"status"`
+			Switches   int64                                  `json:"switches"`
+			Counters   map[string]int64                       `json:"counters"`
+			Histograms map[string]telemetry.HistogramSnapshot `json:"histograms"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Status != "ok" {
+			t.Errorf("healthz status = %q", doc.Status)
+		}
+		if doc.Counters[telemetry.MetricRestores] < 1 {
+			t.Errorf("restores = %d, want ≥ 1 (cut-in must trigger an emergency RestoreFull)",
+				doc.Counters[telemetry.MetricRestores])
+		}
+		rl := doc.Histograms[telemetry.MetricRestoreLatency]
+		if rl.Count < 1 || rl.Max <= 0 {
+			t.Errorf("restore latency histogram = %+v, want count ≥ 1 and max > 0", rl)
+		}
+		if doc.Counters[telemetry.MetricGovernorTicks] < 1 {
+			t.Error("no governor ticks recorded")
+		}
+		if doc.Switches < 1 {
+			t.Error("no level switches recorded")
+		}
+
+		mresp, err := http.Get(baseURL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mresp.Body.Close()
+		body, err := io.ReadAll(mresp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(body)
+		for _, want := range []string{
+			"# TYPE rpn_restores_total counter",
+			"# TYPE rpn_transition_latency_us summary",
+			"rpn_governor_ticks_total",
+			"rpn_uptime_seconds",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	}
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", probe); err != nil {
+		t.Fatal(err)
+	}
+	if !probed {
+		t.Fatal("telemetry probe never ran")
 	}
 }

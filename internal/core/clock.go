@@ -1,0 +1,8 @@
+package core
+
+import "time"
+
+// now is the package clock seam. Transition-latency measurements for the
+// TransitionObserver hook read through it so tests can pin time to a fake
+// clock and assert exact observed latencies.
+var now = time.Now

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/prune"
@@ -58,6 +59,7 @@ type Level struct {
 // reversal for half the store memory.
 type delta struct {
 	param    string
+	data     []float32 // the live parameter buffer (aliases Param.Value)
 	indices  []int32
 	values   []float32 // exact store (nil when compressed)
 	values16 []uint16  // compressed store (nil when exact)
@@ -96,6 +98,18 @@ func (d *delta) bytesPerValue() int64 {
 	return 2
 }
 
+// TransitionObserver receives a notification after every completed level
+// transition. Implementations must be cheap and must not call back into the
+// model (ApplyLevel is not reentrant); internal/telemetry.Hooks satisfies
+// this interface.
+type TransitionObserver interface {
+	// ObserveTransition reports one transition: the level moved from and
+	// to, the number of individual weights written, and the wall-clock time
+	// the weight copies took. to == 0 is the safety-critical RestoreFull
+	// path.
+	ObserveTransition(from, to int, weights int64, elapsed time.Duration)
+}
+
 // TransitionStats counts runtime level-transition work.
 type TransitionStats struct {
 	// Transitions is the number of completed ApplyLevel calls that changed
@@ -113,10 +127,11 @@ type ReversibleModel struct {
 	model   *nn.Sequential
 	levels  []*Level
 	deltas  [][]delta // deltas[i] moves level i-1 → i, for i ≥ 1
-	current int
-	hash0   uint64 // FNV-64a of dense prunable weights at Build time
-	lossy   bool   // half-precision recovery store
-	stats   TransitionStats
+	current  int
+	hash0    uint64 // FNV-64a of dense prunable weights at Build time
+	lossy    bool   // half-precision recovery store
+	stats    TransitionStats
+	observer TransitionObserver // nil: observation disabled (zero cost)
 }
 
 // BuildOption configures Build.
@@ -202,7 +217,11 @@ func Build(model *nn.Sequential, plans []*prune.Plan, opts ...BuildOption) (*Rev
 			} else {
 				d.values = make([]float32, len(idx))
 			}
-			w := model.Param(name).Value.Data()
+			// Cache the live buffer: tensors are never reallocated (layers
+			// edit values in place), so transitions can skip the per-delta
+			// name lookup — ApplyLevel stays allocation-free.
+			d.data = model.Param(name).Value.Data()
+			w := d.data
 			for j, k := range idx {
 				d.indices[j] = int32(k)
 				d.capture(j, w[k])
@@ -239,6 +258,13 @@ func (rm *ReversibleModel) Level(i int) *Level {
 // identity fields).
 func (rm *ReversibleModel) Levels() []*Level { return rm.levels }
 
+// SetObserver installs (or, with nil, removes) the transition observer.
+// The hook is nil-safe by construction: with no observer, ApplyLevel takes
+// no clock readings and performs no extra allocations. SetObserver is not
+// synchronized with ApplyLevel; install the observer before the model is
+// shared (perception.Concurrent serializes the callers afterwards).
+func (rm *ReversibleModel) SetObserver(o TransitionObserver) { rm.observer = o }
+
 // Stats returns a copy of the accumulated transition statistics.
 func (rm *ReversibleModel) Stats() TransitionStats { return rm.stats }
 
@@ -257,32 +283,43 @@ func (rm *ReversibleModel) ApplyLevel(target int) error {
 	if target == rm.current {
 		return nil
 	}
+	from := rm.current
+	var t0 time.Time
+	if rm.observer != nil {
+		t0 = now()
+	}
+	var moved int64
 	if target > rm.current {
 		for l := rm.current + 1; l <= target; l++ {
 			for _, d := range rm.deltas[l] {
-				w := rm.model.Param(d.param).Value.Data()
+				w := d.data
 				for _, k := range d.indices {
 					w[k] = 0
 				}
-				rm.stats.WeightsZeroed += int64(len(d.indices))
+				moved += int64(len(d.indices))
 			}
 		}
+		rm.stats.WeightsZeroed += moved
 		rm.stats.Deepen++
 	} else {
 		for l := rm.current; l > target; l-- {
 			for di := range rm.deltas[l] {
 				d := &rm.deltas[l][di]
-				w := rm.model.Param(d.param).Value.Data()
+				w := d.data
 				for j, k := range d.indices {
 					w[k] = d.value(j)
 				}
-				rm.stats.WeightsRestored += int64(len(d.indices))
+				moved += int64(len(d.indices))
 			}
 		}
+		rm.stats.WeightsRestored += moved
 		rm.stats.Revert++
 	}
 	rm.stats.Transitions++
 	rm.current = target
+	if rm.observer != nil {
+		rm.observer.ObserveTransition(from, target, moved, now().Sub(t0))
+	}
 	return nil
 }
 
@@ -429,9 +466,8 @@ func (rm *ReversibleModel) RefreshStore() error {
 	for l := 1; l < len(rm.levels); l++ {
 		for di := range rm.deltas[l] {
 			d := &rm.deltas[l][di]
-			w := rm.model.Param(d.param).Value.Data()
 			for j, k := range d.indices {
-				d.capture(j, w[k])
+				d.capture(j, d.data[k])
 			}
 		}
 	}

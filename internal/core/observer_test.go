@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// recordingObserver captures every ObserveTransition call.
+type recordingObserver struct {
+	from, to []int
+	weights  []int64
+	elapsed  []time.Duration
+}
+
+func (o *recordingObserver) ObserveTransition(from, to int, weights int64, elapsed time.Duration) {
+	o.from = append(o.from, from)
+	o.to = append(o.to, to)
+	o.weights = append(o.weights, weights)
+	o.elapsed = append(o.elapsed, elapsed)
+}
+
+func TestObserverSeesTransitions(t *testing.T) {
+	// Pin the package clock so observed latencies are exact: the seam is
+	// read once at entry and once at exit, one 5µs step apart.
+	base := time.Unix(1_700_000_000, 0)
+	now = func() time.Time {
+		base = base.Add(5 * time.Microsecond)
+		return base
+	}
+	t.Cleanup(func() { now = time.Now })
+
+	rm, _ := buildRM(t, 31)
+	obs := &recordingObserver{}
+	rm.SetObserver(obs)
+
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(2); err != nil { // no-op: must not be observed
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(obs.from) != 3 {
+		t.Fatalf("observed %d transitions, want 3 (no-op must be silent)", len(obs.from))
+	}
+	wantFrom := []int{0, 2, 3}
+	wantTo := []int{2, 3, 0}
+	for i := range wantFrom {
+		if obs.from[i] != wantFrom[i] || obs.to[i] != wantTo[i] {
+			t.Errorf("transition %d = %d→%d, want %d→%d",
+				i, obs.from[i], obs.to[i], wantFrom[i], wantTo[i])
+		}
+		// Observed weight counts must match the analytic cost model.
+		if want := rm.WeightsChanged(wantFrom[i], wantTo[i]); obs.weights[i] != want {
+			t.Errorf("transition %d moved %d weights, want WeightsChanged=%d",
+				i, obs.weights[i], want)
+		}
+		if obs.elapsed[i] != 5*time.Microsecond {
+			t.Errorf("transition %d elapsed = %v, want 5µs", i, obs.elapsed[i])
+		}
+	}
+	// The emergency restore must move the sum of all per-level deltas.
+	if obs.weights[2] != rm.WeightsChanged(3, 0) {
+		t.Errorf("restore moved %d, want %d", obs.weights[2], rm.WeightsChanged(3, 0))
+	}
+
+	// Removing the observer silences the hook again.
+	rm.SetObserver(nil)
+	if err := rm.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.from) != 3 {
+		t.Error("transition observed after observer removed")
+	}
+}
+
+// TestApplyLevelNoObserverZeroAllocs proves the disabled-observer hot path
+// allocates nothing: level transitions without an observer must not touch
+// the clock or the heap beyond the transition writes themselves (which
+// mutate weights in place).
+func TestApplyLevelNoObserverZeroAllocs(t *testing.T) {
+	rm, _ := buildRM(t, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := rm.ApplyLevel(3); err != nil {
+			t.Fatal(err)
+		}
+		if err := rm.RestoreFull(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ApplyLevel without observer allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestLongRandomWalkMatchesFreshBuild is the deep reversibility property:
+// a 500-step seeded any-to-any random walk over ApplyLevel must leave the
+// live weights bit-identical to a freshly built model taken straight to
+// the walk's final level, and the accumulated stats must equal the sum of
+// the analytic per-step costs.
+func TestLongRandomWalkMatchesFreshBuild(t *testing.T) {
+	const steps = 500
+	sparsities := []float64{0.2, 0.4, 0.6, 0.8}
+	for _, seed := range []int64{1, 7, 99} {
+		rm, m := buildRM(t, 41, sparsities...)
+		rm.ResetStats()
+		rng := tensor.NewRNG(seed)
+		var wantZeroed, wantRestored int64
+		for k := 0; k < steps; k++ {
+			target := rng.Intn(rm.NumLevels())
+			fromLvl := rm.Current()
+			cost := rm.WeightsChanged(fromLvl, target)
+			if err := rm.ApplyLevel(target); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, k, err)
+			}
+			if target > fromLvl {
+				wantZeroed += cost
+			} else if target < fromLvl {
+				wantRestored += cost
+			}
+		}
+		final := rm.Current()
+
+		// Weights must be bit-identical to a fresh model built from the
+		// same RNG seed and taken directly to the final level.
+		fresh, fm := buildRM(t, 41, sparsities...)
+		if err := fresh.ApplyLevel(final); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.PrunableParams() {
+			if !tensor.Equal(p.Value, fm.Param(p.Name).Value) {
+				t.Errorf("seed %d: param %s diverged from fresh build at L%d",
+					seed, p.Name, final)
+			}
+		}
+
+		// Stats invariant: accumulated zeroed/restored totals equal the
+		// sum of per-step analytic costs.
+		st := rm.Stats()
+		if st.WeightsZeroed != wantZeroed {
+			t.Errorf("seed %d: WeightsZeroed = %d, want %d", seed, st.WeightsZeroed, wantZeroed)
+		}
+		if st.WeightsRestored != wantRestored {
+			t.Errorf("seed %d: WeightsRestored = %d, want %d", seed, st.WeightsRestored, wantRestored)
+		}
+
+		// And the walk remains fully reversible after 500 steps.
+		if err := rm.RestoreFull(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rm.VerifyDense(); err != nil {
+			t.Errorf("seed %d: VerifyDense after walk: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package governor
+
+import "time"
+
+// now is the package clock seam. Tick-latency measurements for the
+// TickObserver hook read through it so tests can pin time to a fake clock.
+var now = time.Now

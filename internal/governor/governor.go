@@ -13,6 +13,7 @@ package governor
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/safety"
@@ -57,6 +58,15 @@ type Decision struct {
 	Clamped bool
 }
 
+// TickObserver receives a notification after every completed governor
+// tick: the applied level, the decision outcome flags, and the wall-clock
+// time the tick took (policy decision + contract enforcement + transition
+// execution). Implementations must be cheap and must not call back into
+// the governor; internal/telemetry.Hooks satisfies this interface.
+type TickObserver interface {
+	ObserveTick(tick, level int, switched, clamped, violated bool, elapsed time.Duration)
+}
+
 // Governor executes the adaptation loop over one reversible model.
 type Governor struct {
 	rm        *core.ReversibleModel
@@ -66,6 +76,7 @@ type Governor struct {
 	decisions []Decision
 	switches  int
 	keepTrace bool
+	observer  TickObserver // nil: observation disabled (zero cost)
 }
 
 // Option configures a Governor.
@@ -74,6 +85,11 @@ type Option func(*Governor)
 // WithTrace records every Decision (for timeline figures); without it only
 // aggregate counters are kept.
 func WithTrace() Option { return func(g *Governor) { g.keepTrace = true } }
+
+// WithObserver installs a tick observer (runtime telemetry). The hook is
+// nil-safe: constructing without it leaves Tick's hot path free of clock
+// reads and allocations (see BenchmarkTickNoObserver).
+func WithObserver(o TickObserver) Option { return func(g *Governor) { g.observer = o } }
 
 // New constructs a governor. The model's levels should be calibrated
 // (Accuracy filled) — an uncalibrated library would make every contract
@@ -103,6 +119,10 @@ func (g *Governor) Policy() Policy { return g.policy }
 
 // Tick runs one MAPE-K iteration and returns the decision taken.
 func (g *Governor) Tick(tick int, a safety.Assessment) (Decision, error) {
+	var t0 time.Time
+	if g.observer != nil {
+		t0 = now()
+	}
 	in := Inputs{
 		Tick:       tick,
 		Assessment: a,
@@ -134,10 +154,12 @@ func (g *Governor) Tick(tick int, a safety.Assessment) (Decision, error) {
 		applied--
 		clamped = true
 	}
+	violated := false
 	if g.rm.Level(applied).Accuracy < floor {
 		// Even the dense model misses the floor; record the violation and
 		// run dense anyway — there is nothing better to execute.
 		g.log.Add(tick, a.Class, floor, g.rm.Level(applied).Accuracy)
+		violated = true
 	}
 
 	prev := g.rm.Current()
@@ -157,6 +179,9 @@ func (g *Governor) Tick(tick int, a safety.Assessment) (Decision, error) {
 	}
 	if g.keepTrace {
 		g.decisions = append(g.decisions, d)
+	}
+	if g.observer != nil {
+		g.observer.ObserveTick(tick, applied, d.Switched, d.Clamped, violated, now().Sub(t0))
 	}
 	return d, nil
 }

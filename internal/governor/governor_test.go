@@ -13,7 +13,7 @@ import (
 
 // fixture builds a 4-level reversible model with synthetic calibrated
 // accuracies: L0 0.99, L1 0.95, L2 0.90, L3 0.80.
-func fixture(t *testing.T) *core.ReversibleModel {
+func fixture(t testing.TB) *core.ReversibleModel {
 	t.Helper()
 	rng := tensor.NewRNG(1)
 	m := nn.NewSequential("m",

@@ -1,0 +1,199 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/safety"
+	"repro/internal/telemetry"
+)
+
+// recordingObserver captures every ObserveTick call.
+type recordingObserver struct {
+	ticks    []int
+	levels   []int
+	switched []bool
+	clamped  []bool
+	violated []bool
+	elapsed  []time.Duration
+}
+
+func (o *recordingObserver) ObserveTick(tick, level int, switched, clamped, violated bool, elapsed time.Duration) {
+	o.ticks = append(o.ticks, tick)
+	o.levels = append(o.levels, level)
+	o.switched = append(o.switched, switched)
+	o.clamped = append(o.clamped, clamped)
+	o.violated = append(o.violated, violated)
+	o.elapsed = append(o.elapsed, elapsed)
+}
+
+// pinClock swaps the package clock seam for a deterministic one advancing
+// step per read, restoring the real clock on cleanup.
+func pinClock(t *testing.T, step time.Duration) {
+	t.Helper()
+	base := time.Unix(1_700_000_000, 0)
+	now = func() time.Time {
+		base = base.Add(step)
+		return base
+	}
+	t.Cleanup(func() { now = time.Now })
+}
+
+func TestTickObserverReceivesDecisions(t *testing.T) {
+	pinClock(t, 3*time.Microsecond)
+	rm := fixture(t)
+	obs := &recordingObserver{}
+	g, err := New(rm, Threshold{}, safety.DefaultContract(), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal → deepest level (switch from 0), then steady state, then
+	// emergency → restore to dense.
+	if _, err := g.Tick(0, assess(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tick(1, assess(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tick(2, assess(0.99)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.ticks) != 3 {
+		t.Fatalf("observed %d ticks, want 3", len(obs.ticks))
+	}
+	if obs.ticks[0] != 0 || obs.ticks[1] != 1 || obs.ticks[2] != 2 {
+		t.Errorf("tick indices = %v", obs.ticks)
+	}
+	if obs.levels[0] != 3 || obs.levels[1] != 3 || obs.levels[2] != 0 {
+		t.Errorf("observed levels = %v, want [3 3 0]", obs.levels)
+	}
+	if !obs.switched[0] || obs.switched[1] || !obs.switched[2] {
+		t.Errorf("switched = %v, want [true false true]", obs.switched)
+	}
+	if obs.violated[0] || obs.violated[1] || obs.violated[2] {
+		t.Errorf("violated = %v, want all false", obs.violated)
+	}
+	// The pinned clock advances 3µs per read and Tick reads it exactly
+	// twice (entry/exit), so every observed elapsed time is one step.
+	for i, e := range obs.elapsed {
+		if e != 3*time.Microsecond {
+			t.Errorf("elapsed[%d] = %v, want 3µs", i, e)
+		}
+	}
+}
+
+// fixedPolicy always proposes the same level, whatever the assessment —
+// the governor's contract enforcement must override it.
+type fixedPolicy int
+
+func (fixedPolicy) Name() string        { return "fixed" }
+func (p fixedPolicy) Decide(Inputs) int { return int(p) }
+
+func TestTickObserverSeesEmergencyClamp(t *testing.T) {
+	rm := fixture(t)
+	obs := &recordingObserver{}
+	g, err := New(rm, fixedPolicy(3), safety.DefaultContract(), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tick(0, assess(0.99)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.clamped) != 1 || !obs.clamped[0] {
+		t.Fatalf("clamped = %v, want [true]", obs.clamped)
+	}
+	if obs.levels[0] != 0 {
+		t.Errorf("applied level = %d, want 0 (emergency restore)", obs.levels[0])
+	}
+}
+
+func TestTickObserverReportsViolation(t *testing.T) {
+	rm := fixture(t)
+	// A contract whose emergency floor exceeds even the dense accuracy
+	// (0.99) forces a logged violation on an emergency tick.
+	c := safety.DefaultContract()
+	c.MinAccuracy[safety.Emergency] = 0.999
+	obs := &recordingObserver{}
+	g, err := New(rm, Threshold{}, c, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tick(0, assess(0.99)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.violated) != 1 || !obs.violated[0] {
+		t.Fatalf("violated = %v, want [true]", obs.violated)
+	}
+	if g.Violations().Count() != 1 {
+		t.Errorf("violation log count = %d, want 1", g.Violations().Count())
+	}
+}
+
+// TestTickNoObserverZeroAllocs proves the disabled-telemetry hot path is
+// allocation-free: a steady-state tick (no level switch, no trace) must
+// not allocate at all when no observer is installed.
+func TestTickNoObserverZeroAllocs(t *testing.T) {
+	rm := fixture(t)
+	g, err := New(rm, Threshold{}, safety.DefaultContract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assess(0)
+	if _, err := g.Tick(0, a); err != nil { // settle into steady state
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := g.Tick(1, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Tick without observer allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkTickNoObserver(b *testing.B) {
+	rm := fixture(b)
+	g, err := New(rm, Threshold{}, safety.DefaultContract())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := assess(0)
+	if _, err := g.Tick(0, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Tick(i+1, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTickWithTelemetry(b *testing.B) {
+	rm := fixture(b)
+	reg := telemetry.NewRegistry()
+	hooks := telemetry.NewHooks(reg)
+	sp := make([]float64, rm.NumLevels())
+	for i, lvl := range rm.Levels() {
+		sp[i] = lvl.Sparsity
+	}
+	hooks.SetLevels(sp)
+	rm.SetObserver(hooks)
+	g, err := New(rm, Threshold{}, safety.DefaultContract(), WithObserver(hooks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := assess(0)
+	if _, err := g.Tick(0, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Tick(i+1, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

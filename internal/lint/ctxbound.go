@@ -15,6 +15,7 @@ var CtxboundPackages = []string{
 	"repro/internal/governor",
 	"repro/internal/perception",
 	"repro/internal/metrics",
+	"repro/internal/telemetry",
 }
 
 // AnalyzerCtxbound audits `go func` literals in long-lived packages: the

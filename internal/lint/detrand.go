@@ -14,6 +14,7 @@ var DetrandPackages = []string{
 	"repro/internal/sim",
 	"repro/internal/experiments",
 	"repro/internal/dataset",
+	"repro/internal/telemetry",
 }
 
 // detrandAllowedFuncs are the math/rand functions that construct seeded

@@ -1,0 +1,7 @@
+package perception
+
+import "time"
+
+// now is the package clock seam. Frame-latency measurements for the
+// FrameObserver hook read through it so tests can pin time to a fake clock.
+var now = time.Now

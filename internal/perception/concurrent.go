@@ -2,6 +2,7 @@ package perception
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -21,6 +22,15 @@ type Concurrent struct {
 	mu   sync.Mutex
 	pipe *Pipeline
 	rm   *core.ReversibleModel
+	obs  FrameObserver // nil: observation disabled (zero cost)
+}
+
+// FrameObserver receives the end-to-end latency of every Detect call,
+// including time spent waiting for the model lock (a level transition in
+// flight delays frames — that stall is exactly what an operator wants to
+// see). internal/telemetry.Hooks satisfies this interface.
+type FrameObserver interface {
+	ObserveFrame(elapsed time.Duration)
 }
 
 // NewConcurrent wraps a pipeline and its reversible model. The pipeline
@@ -29,11 +39,25 @@ func NewConcurrent(pipe *Pipeline, rm *core.ReversibleModel) *Concurrent {
 	return &Concurrent{pipe: pipe, rm: rm}
 }
 
+// SetObserver installs a frame observer. It must be called before the
+// Concurrent is shared across goroutines: the field is read without the
+// lock on the Detect hot path, so installing it mid-flight would race.
+func (c *Concurrent) SetObserver(o FrameObserver) { c.obs = o }
+
 // Detect classifies one frame under the lock.
 func (c *Concurrent) Detect(frame *tensor.Tensor) Detection {
+	obs := c.obs
+	var t0 time.Time
+	if obs != nil {
+		t0 = now()
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.pipe.Detect(frame)
+	d := c.pipe.Detect(frame)
+	c.mu.Unlock()
+	if obs != nil {
+		obs.ObserveFrame(now().Sub(t0))
+	}
+	return d
 }
 
 // ApplyLevel transitions the model under the lock.

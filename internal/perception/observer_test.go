@@ -1,0 +1,81 @@
+package perception
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// frameRecorder counts ObserveFrame calls and sums latencies.
+type frameRecorder struct {
+	n     int
+	total time.Duration
+}
+
+func (r *frameRecorder) ObserveFrame(elapsed time.Duration) {
+	r.n++
+	r.total += elapsed
+}
+
+// tinyConcurrent builds an untrained obstacle stack — Detect only needs a
+// forward pass, not a useful classifier.
+func tinyConcurrent(t *testing.T) *Concurrent {
+	t.Helper()
+	m := buildObstacleNet(7)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.Build(m, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(m, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewConcurrent(pipe, rm)
+}
+
+func TestFrameObserverSeesEveryDetect(t *testing.T) {
+	// Pin the package clock: each read advances 7µs, and Detect reads it
+	// exactly twice, so every frame observes exactly one step.
+	base := time.Unix(1_700_000_000, 0)
+	now = func() time.Time {
+		base = base.Add(7 * time.Microsecond)
+		return base
+	}
+	t.Cleanup(func() { now = time.Now })
+
+	c := tinyConcurrent(t)
+	rec := &frameRecorder{}
+	c.SetObserver(rec)
+	frame := tensor.New(16 * 16)
+	for i := 0; i < 5; i++ {
+		c.Detect(frame)
+	}
+	if rec.n != 5 {
+		t.Fatalf("observed %d frames, want 5", rec.n)
+	}
+	if rec.total != 5*7*time.Microsecond {
+		t.Errorf("total latency = %v, want 35µs", rec.total)
+	}
+}
+
+func TestDetectWithoutObserverSkipsClock(t *testing.T) {
+	reads := 0
+	now = func() time.Time {
+		reads++
+		return time.Unix(1_700_000_000, 0)
+	}
+	t.Cleanup(func() { now = time.Now })
+
+	c := tinyConcurrent(t)
+	c.Detect(tensor.New(16 * 16))
+	if reads != 0 {
+		t.Errorf("Detect without observer read the clock %d times, want 0", reads)
+	}
+}

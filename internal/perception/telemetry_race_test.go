@@ -1,0 +1,81 @@
+package perception
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// TestConcurrentStackWithLiveTelemetry races a perception thread
+// (Detect), a governor-like thread (ApplyLevel/RestoreFull), a scrubber
+// (Scrub), and a telemetry scraper (Snapshot) against one shared stack
+// with live hooks installed — the deployment shape from the paper: the
+// model adapts under load while an operator scrapes /metrics. Run under
+// -race (scripts/verify.sh does); the assertions double-check that every
+// path's observations landed.
+func TestConcurrentStackWithLiveTelemetry(t *testing.T) {
+	const iters = 1000
+
+	c := tinyConcurrent(t)
+	reg := telemetry.NewRegistry()
+	hooks := telemetry.NewHooks(reg)
+	hooks.SetLevels([]float64{0, 0.5})
+	c.SetObserver(hooks)
+	c.rm.SetObserver(hooks)
+
+	frame := tensor.New(16 * 16)
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			c.Detect(frame)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := c.ApplyLevel(i % c.rm.NumLevels()); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%97 == 0 {
+				if err := c.RestoreFull(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			c.Scrub()
+			c.Current()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s := reg.Snapshot()
+			if s.Counters[telemetry.MetricTransitions] < 0 {
+				t.Error("negative transition counter")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	s := reg.Snapshot()
+	if s.Counters[telemetry.MetricFrames] != iters {
+		t.Errorf("frames = %d, want %d", s.Counters[telemetry.MetricFrames], iters)
+	}
+	if s.Counters[telemetry.MetricTransitions] == 0 {
+		t.Error("no transitions observed")
+	}
+	if h := s.Histograms[telemetry.MetricFrameLatency]; h.Count != iters {
+		t.Errorf("frame latency count = %d, want %d", h.Count, iters)
+	}
+}

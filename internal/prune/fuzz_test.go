@@ -1,0 +1,63 @@
+package prune
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMaskRoundTrip feeds arbitrary bytes to the mask reader. Malformed
+// input must yield an error — never a panic, never an allocation sized by
+// the header's claim, and never a mask whose popcount exceeds its length
+// (set tail bits beyond n are a format violation). Accepted input must
+// round-trip bit-exactly.
+func FuzzMaskRoundTrip(f *testing.F) {
+	// A valid 100-bit mask with a few pruned positions.
+	m := NewMask(100)
+	for _, i := range []int{0, 13, 63, 64, 99} {
+		m.SetPruned(i)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	// Header claiming a 2^32-bit mask with no payload.
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint64(huge, 1<<32)
+	f.Add(huge)
+	// Length 1 but all 64 word bits set: tail-bit violation.
+	bad := make([]byte, 16)
+	binary.LittleEndian.PutUint64(bad, 1)
+	binary.LittleEndian.PutUint64(bad[8:], ^uint64(0))
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		parsed, err := ReadMask(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if kept := parsed.KeptCount(); kept > parsed.Len() {
+			t.Fatalf("mask of length %d claims %d kept bits", parsed.Len(), kept)
+		}
+		if parsed.PrunedCount() < 0 || parsed.PrunedCount() > parsed.Len() {
+			t.Fatalf("pruned count %d out of range for length %d", parsed.PrunedCount(), parsed.Len())
+		}
+		var out bytes.Buffer
+		if _, err := parsed.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		// Canonical format: the re-encoding is exactly the consumed prefix.
+		if len(in) < out.Len() || !bytes.Equal(out.Bytes(), in[:out.Len()]) {
+			t.Fatalf("re-encode differs from consumed input")
+		}
+		back, err := ReadMask(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if !parsed.Equal(back) {
+			t.Fatalf("round trip changed the mask")
+		}
+	})
+}

@@ -203,24 +203,42 @@ func (m *Mask) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), nil
 }
 
-// ReadMask deserializes a mask written by WriteTo.
+// maskReadChunk caps how many bytes ReadMask requests per io.ReadFull, so
+// a length header claiming a huge mask cannot force a huge allocation —
+// memory grows with bytes actually delivered, not with the claim.
+const maskReadChunk = 64 * 1024
+
+// ReadMask deserializes a mask written by WriteTo. The stream must be
+// well-formed: bits beyond the declared length must be zero (WriteTo never
+// produces them set, and accepting them would break popcount-based
+// sparsity accounting).
 func ReadMask(r io.Reader) (*Mask, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("prune: read mask length: %w", err)
 	}
-	n := int(binary.LittleEndian.Uint64(hdr[:]))
-	if n < 0 || n > 1<<32 {
-		return nil, fmt.Errorf("prune: implausible mask length %d", n)
+	n64 := binary.LittleEndian.Uint64(hdr[:])
+	if n64 > 1<<32 {
+		return nil, fmt.Errorf("prune: implausible mask length %d", n64)
 	}
+	n := int(n64)
 	words := (n + 63) / 64
-	buf := make([]byte, 8*words)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("prune: read mask words: %w", err)
+	bits := make([]uint64, 0, min(words, maskReadChunk/8))
+	var chunk [maskReadChunk]byte
+	for remaining := words; remaining > 0; {
+		w := min(remaining, maskReadChunk/8)
+		if _, err := io.ReadFull(r, chunk[:8*w]); err != nil {
+			return nil, fmt.Errorf("prune: read mask words: %w", err)
+		}
+		for i := 0; i < 8*w; i += 8 {
+			bits = append(bits, binary.LittleEndian.Uint64(chunk[i:]))
+		}
+		remaining -= w
 	}
-	m := &Mask{n: n, bits: make([]uint64, words)}
-	for i := range m.bits {
-		m.bits[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	if rem := n % 64; rem != 0 {
+		if tail := bits[words-1] >> rem; tail != 0 {
+			return nil, fmt.Errorf("prune: mask has set bits beyond length %d", n)
+		}
 	}
-	return m, nil
+	return &Mask{n: n, bits: bits}, nil
 }

@@ -1,0 +1,9 @@
+package telemetry
+
+import "time"
+
+// now is the package clock seam. Uptime and histogram timestamps flow
+// through it so tests (and deterministic replays) can pin time to a fake
+// clock; the detrand analyzer rejects bare time.Now() in this package to
+// keep it that way.
+var now = time.Now

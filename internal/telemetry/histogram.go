@@ -1,0 +1,78 @@
+package telemetry
+
+import "sort"
+
+// histogram is a fixed-window rolling histogram: the last `cap(window)`
+// samples in a ring buffer, plus monotonic lifetime count/sum. Quantiles
+// are computed over the window at snapshot time, so the write path is one
+// store and two adds — cheap enough for per-tick recording.
+//
+// histogram is not internally synchronized; the owning Registry's mutex
+// guards every access.
+type histogram struct {
+	window []float64 // ring buffer, len == configured window
+	next   int       // next write position
+	filled int       // number of valid samples in window
+	count  int64     // lifetime samples
+	sum    float64   // lifetime sum
+}
+
+func newHistogram(window int) *histogram {
+	if window < 1 {
+		window = DefaultWindow
+	}
+	return &histogram{window: make([]float64, window)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.window[h.next] = v
+	h.next++
+	if h.next == len(h.window) {
+		h.next = 0
+	}
+	if h.filled < len(h.window) {
+		h.filled++
+	}
+	h.count++
+	h.sum += v
+}
+
+// snapshot summarizes the rolling window. Sorting a copy is O(w log w) with
+// w ≤ the configured window; snapshots run off the hot path (an HTTP
+// scrape or a test assertion).
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Window: h.filled}
+	if h.filled == 0 {
+		return s
+	}
+	sorted := make([]float64, h.filled)
+	copy(sorted, h.window[:h.filled])
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile returns the q-th quantile (0..1) of an ascending-sorted slice
+// using linear interpolation between closest ranks.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

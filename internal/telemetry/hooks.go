@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Well-known metric names written by Hooks. The /healthz summary and the
+// operator dashboards key on these.
+const (
+	// MetricLevel is a gauge holding the active pruning level index.
+	MetricLevel = "rpn_level"
+	// MetricSparsity is a gauge holding the active level's weight sparsity.
+	MetricSparsity = "rpn_sparsity"
+	// MetricTransitions counts completed level transitions (any pair).
+	MetricTransitions = "rpn_transitions_total"
+	// MetricRestores counts transitions that landed on the dense level L0 —
+	// the safety-critical RestoreFull path.
+	MetricRestores = "rpn_restores_total"
+	// MetricWeightsMoved counts individual weights written by transitions.
+	MetricWeightsMoved = "rpn_weights_moved_total"
+	// MetricTransitionLatency is the per-transition latency histogram (µs).
+	MetricTransitionLatency = "rpn_transition_latency_us"
+	// MetricRestoreLatency is the latency histogram (µs) of transitions to
+	// L0 only — the paper's headline restore-latency quantity (F3), live.
+	MetricRestoreLatency = "rpn_restore_latency_us"
+	// MetricGovernorTicks counts governor control ticks.
+	MetricGovernorTicks = "rpn_governor_ticks_total"
+	// MetricGovernorTickLatency is the per-tick decision+execute latency
+	// histogram (µs).
+	MetricGovernorTickLatency = "rpn_governor_tick_us"
+	// MetricLevelSwitches counts ticks on which the governor changed level.
+	MetricLevelSwitches = "rpn_level_switches_total"
+	// MetricContractClamps counts ticks on which contract enforcement
+	// overrode the policy's proposal.
+	MetricContractClamps = "rpn_contract_clamps_total"
+	// MetricContractViolations counts ticks the governor logged a contract
+	// violation (even the dense level missed the active floor).
+	MetricContractViolations = "rpn_contract_violations_total"
+	// MetricFrames counts perception frames classified.
+	MetricFrames = "rpn_frames_total"
+	// MetricFrameLatency is the per-frame detection latency histogram (µs),
+	// including lock wait in the concurrent pipeline.
+	MetricFrameLatency = "rpn_frame_latency_us"
+	// metricResidencyPrefix prefixes the per-level residency-tick counters:
+	// rpn_level_residency_ticks_L0, _L1, …
+	metricResidencyPrefix = "rpn_level_residency_ticks_L"
+)
+
+// Hooks adapts a Registry to the observer seams of the stack. Its method
+// set structurally satisfies core.TransitionObserver, governor.TickObserver
+// and perception.FrameObserver without this package importing any of them,
+// keeping telemetry a stdlib-only leaf.
+//
+// Configure (SetLevels) before sharing a Hooks across goroutines; after
+// that every method is safe for concurrent use (the registry serializes).
+type Hooks struct {
+	reg *Registry
+	// sparsities[i] is level i's weight sparsity, for the MetricSparsity
+	// gauge. Immutable after SetLevels.
+	sparsities []float64
+	// residency[i] is the precomputed per-level residency counter name, so
+	// the per-tick path does not format strings.
+	residency []string
+}
+
+// NewHooks wires a Hooks to the registry.
+func NewHooks(reg *Registry) *Hooks {
+	return &Hooks{reg: reg}
+}
+
+// SetLevels records the level library's sparsities (index = level id) and
+// precomputes the residency counter names. Call once, at wiring time,
+// before the stack starts ticking.
+func (h *Hooks) SetLevels(sparsities []float64) {
+	h.sparsities = append([]float64(nil), sparsities...)
+	h.residency = make([]string, len(sparsities))
+	for i := range h.residency {
+		h.residency[i] = residencyMetric(i)
+	}
+	if len(sparsities) > 0 {
+		h.reg.SetGauge(MetricLevel, 0)
+		h.reg.SetGauge(MetricSparsity, sparsities[0])
+	}
+}
+
+// residencyMetric returns the residency counter name for a level index.
+func residencyMetric(level int) string {
+	return fmt.Sprintf("%s%d", metricResidencyPrefix, level)
+}
+
+// ResidencyMetric returns the residency-tick counter name for a level, for
+// tests and dashboards.
+func ResidencyMetric(level int) string { return residencyMetric(level) }
+
+// ObserveTransition implements the core.TransitionObserver seam: called by
+// ReversibleModel.ApplyLevel after every completed level change with the
+// number of weights written and the wall-clock latency.
+func (h *Hooks) ObserveTransition(from, to int, weights int64, elapsed time.Duration) {
+	h.reg.Inc(MetricTransitions)
+	h.reg.Add(MetricWeightsMoved, weights)
+	h.reg.ObserveDuration(MetricTransitionLatency, elapsed)
+	if to == 0 {
+		h.reg.Inc(MetricRestores)
+		h.reg.ObserveDuration(MetricRestoreLatency, elapsed)
+	}
+	h.reg.SetGauge(MetricLevel, float64(to))
+	if to >= 0 && to < len(h.sparsities) {
+		h.reg.SetGauge(MetricSparsity, h.sparsities[to])
+	}
+}
+
+// ObserveTick implements the governor.TickObserver seam: called once per
+// control tick with the applied level and the decision outcome flags.
+func (h *Hooks) ObserveTick(tick, level int, switched, clamped, violated bool, elapsed time.Duration) {
+	h.reg.Inc(MetricGovernorTicks)
+	h.reg.ObserveDuration(MetricGovernorTickLatency, elapsed)
+	if switched {
+		h.reg.Inc(MetricLevelSwitches)
+	}
+	if clamped {
+		h.reg.Inc(MetricContractClamps)
+	}
+	if violated {
+		h.reg.Inc(MetricContractViolations)
+	}
+	if level >= 0 && level < len(h.residency) {
+		h.reg.Inc(h.residency[level])
+	} else {
+		h.reg.Inc(residencyMetric(level))
+	}
+}
+
+// ObserveFrame implements the perception.FrameObserver seam: called per
+// classified frame with the end-to-end detection latency.
+func (h *Hooks) ObserveFrame(elapsed time.Duration) {
+	h.reg.Inc(MetricFrames)
+	h.reg.ObserveDuration(MetricFrameLatency, elapsed)
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentAccess hammers the registry from writer and
+// snapshot-reader goroutines; run under `go test -race` (scripts/verify.sh
+// includes this package in the race suite). 1000 iterations per goroutine.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	const iters = 1000
+	r := NewRegistry(WithWindow(64))
+	h := NewHooks(r)
+	h.SetLevels([]float64{0, 0.5, 0.9})
+
+	var wg sync.WaitGroup
+	writer := func(f func(i int)) {
+		wg.Add(1)
+		go func(f func(i int)) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f(i)
+			}
+		}(f)
+	}
+	writer(func(i int) { r.Inc("counter") })
+	writer(func(i int) { r.SetGauge("gauge", float64(i)) })
+	writer(func(i int) { r.Observe("hist", float64(i%17)) })
+	writer(func(i int) { h.ObserveTransition(i%3, (i+1)%3, int64(i), time.Microsecond) })
+	writer(func(i int) { h.ObserveTick(i, i%3, i%2 == 0, false, i%5 == 0, time.Microsecond) })
+	writer(func(i int) { h.ObserveFrame(time.Duration(i) * time.Nanosecond) })
+
+	// Readers: snapshots and Prometheus renders interleaved with writes.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := r.Snapshot()
+				if s.Counters["counter"] < 0 {
+					t.Error("negative counter in snapshot")
+					return
+				}
+				var b strings.Builder
+				writePrometheus(&b, s)
+				_ = r.Uptime()
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if s.Counters["counter"] != iters {
+		t.Errorf("counter = %d, want %d", s.Counters["counter"], iters)
+	}
+	if s.Counters[MetricTransitions] != iters {
+		t.Errorf("transitions = %d, want %d", s.Counters[MetricTransitions], iters)
+	}
+	if s.Histograms["hist"].Count != iters {
+		t.Errorf("hist count = %d, want %d", s.Histograms["hist"].Count, iters)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe("hist", float64(i&1023))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		r.Inc("c")
+		r.SetGauge("g", 1)
+		for j := 0; j < 256; j++ {
+			r.Observe("h", float64(j))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

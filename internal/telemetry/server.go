@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server exposes a Registry over HTTP:
+//
+//	GET /healthz  — JSON Snapshot plus a summary of the well-known
+//	                deployment metrics (level, sparsity, switches,
+//	                violations, uptime)
+//	GET /metrics  — Prometheus text exposition (counters, gauges, and
+//	                histograms as summaries with rolling-window quantiles)
+//
+// The listener goroutine is joined through a WaitGroup and stopped through
+// the server's Close, so a Server never leaks a goroutine past Close.
+type Server struct {
+	reg  *Registry
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Serve starts listening on addr (e.g. ":8080" or "127.0.0.1:0") and
+// serves the registry until Close. It returns once the listener is bound,
+// so Addr is immediately valid.
+func Serve(reg *Registry, addr string) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("telemetry: Serve with nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeHealthz(w, reg)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, reg.Snapshot())
+	})
+	s := &Server{
+		reg:  reg,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func(done chan struct{}) {
+		// Serve returns http.ErrServerClosed (or an accept error) once the
+		// server is closed; closing done lets Close join this goroutine.
+		_ = s.srv.Serve(s.ln)
+		close(done)
+	}(s.done)
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43121"), useful with
+// ":0" listeners.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close stops the listener, terminates in-flight connections, and waits
+// for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// writeHealthz renders the /healthz JSON document.
+func writeHealthz(w http.ResponseWriter, reg *Registry) {
+	snap := reg.Snapshot()
+	doc := struct {
+		Status string `json:"status"`
+		// Summary lifts the well-known deployment metrics (written by
+		// Hooks) to the top level for cheap probes.
+		Level      int     `json:"level"`
+		Sparsity   float64 `json:"sparsity"`
+		Switches   int64   `json:"switches"`
+		Violations int64   `json:"violations"`
+		Snapshot
+	}{
+		Status:     "ok",
+		Level:      int(snap.Gauges[MetricLevel]),
+		Sparsity:   snap.Gauges[MetricSparsity],
+		Switches:   snap.Counters[MetricLevelSwitches],
+		Violations: snap.Counters[MetricContractViolations],
+		Snapshot:   snap,
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// writePrometheus renders a snapshot in the Prometheus text exposition
+// format (0.0.4), deterministically ordered. Histograms are emitted as
+// summaries: rolling-window quantiles plus lifetime _sum/_count.
+func writePrometheus(w io.Writer, snap Snapshot) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+		"rpn_uptime_seconds", "rpn_uptime_seconds", formatFloat(snap.UptimeSeconds))
+	for _, name := range sortedKeys(snap.Counters) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		n := sanitizeMetricName(name)
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", n, formatFloat(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", n, formatFloat(h.P90))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", n, formatFloat(h.P99))
+		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other rune with '_'.
+func sanitizeMetricName(name string) string {
+	ok := func(i int, r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			return true
+		case r >= '0' && r <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i, r := range name {
+		if !ok(i, r) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i, r := range name {
+		if ok(i, r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

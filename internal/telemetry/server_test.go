@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHooks(reg)
+	h.SetLevels([]float64{0, 0.9})
+	h.ObserveTransition(0, 1, 500, 3*time.Microsecond)
+	h.ObserveTransition(1, 0, 500, 4*time.Microsecond)
+	h.ObserveTick(0, 1, true, false, false, 2*time.Microsecond)
+
+	srv, err := Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var doc struct {
+		Status     string  `json:"status"`
+		Level      int     `json:"level"`
+		Sparsity   float64 `json:"sparsity"`
+		Switches   int64   `json:"switches"`
+		Violations int64   `json:"violations"`
+		Snapshot
+	}
+	if err := json.Unmarshal(get(t, base+"/healthz"), &doc); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if doc.Status != "ok" {
+		t.Errorf("status = %q", doc.Status)
+	}
+	if doc.Level != 0 || doc.Sparsity != 0 {
+		t.Errorf("level/sparsity = %d/%v, want 0/0 after the restore", doc.Level, doc.Sparsity)
+	}
+	if doc.Switches != 1 {
+		t.Errorf("switches = %d, want 1", doc.Switches)
+	}
+	if doc.Counters[MetricRestores] != 1 {
+		t.Errorf("restores = %d, want 1", doc.Counters[MetricRestores])
+	}
+	if hist := doc.Histograms[MetricRestoreLatency]; hist.Count != 1 || hist.Max <= 0 {
+		t.Errorf("restore latency histogram = %+v, want 1 sample > 0", hist)
+	}
+	if doc.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", doc.UptimeSeconds)
+	}
+
+	metrics := string(get(t, base+"/metrics"))
+	for _, want := range []string{
+		"rpn_transitions_total 2",
+		"rpn_restores_total 1",
+		"rpn_level 0",
+		"rpn_restore_latency_us_count 1",
+		"# TYPE rpn_restore_latency_us summary",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestServeRejectsNilRegistryAndBadAddr(t *testing.T) {
+	if _, err := Serve(nil, "127.0.0.1:0"); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := Serve(NewRegistry(), "256.256.256.256:99999"); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestServerCloseJoinsGoroutine(t *testing.T) {
+	srv, err := Serve(NewRegistry(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The port is released: the endpoint no longer answers.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	// Closing is idempotent enough not to hang (second Close errors fast).
+	_ = srv.srv.Close()
+}

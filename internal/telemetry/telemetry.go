@@ -1,0 +1,218 @@
+// Package telemetry is the runtime observability subsystem of the
+// reversible-pruning stack: a dependency-free, mutex-guarded metrics
+// registry (monotonic counters, gauges, and fixed-window rolling histograms
+// with microsecond-resolution quantiles) plus an HTTP server exposing the
+// registry as a JSON health snapshot (/healthz) and Prometheus text
+// (/metrics).
+//
+// The offline experiment harness (cmd/experiments) measures transitions in
+// tables; telemetry makes the same quantities — restore latency, level
+// residency, contract violations — observable from a *live* deployment, the
+// way containerized services expose rolling counters. The package imports
+// only the standard library so every layer of the stack can depend on it
+// without cycles; the stack-specific wiring lives in Hooks, whose methods
+// structurally satisfy the observer seams of internal/core,
+// internal/governor, and internal/perception.
+//
+// All registry methods are safe for concurrent use. The hot-path contract
+// is one mutex acquisition and no allocations for existing metrics; the
+// disabled path (a nil observer upstream) costs nothing at all — see the
+// benchmarks in internal/governor.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWindow is the rolling-histogram window size (samples) used when
+// WithWindow is not given.
+const DefaultWindow = 256
+
+// Registry is a mutex-guarded metric store. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	clock    func() time.Time
+	start    time.Time
+	window   int
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// Option configures NewRegistry.
+type Option func(*Registry)
+
+// WithWindow sets the rolling-histogram window (number of retained
+// samples). Values below 1 fall back to DefaultWindow.
+func WithWindow(n int) Option {
+	return func(r *Registry) {
+		if n >= 1 {
+			r.window = n
+		}
+	}
+}
+
+// WithClock injects the wall clock (for deterministic tests). The default
+// is the package clock seam.
+func WithClock(clock func() time.Time) Option {
+	return func(r *Registry) {
+		if clock != nil {
+			r.clock = clock
+		}
+	}
+}
+
+// NewRegistry constructs an empty registry; its uptime starts now.
+func NewRegistry(opts ...Option) *Registry {
+	r := &Registry{
+		clock:    now,
+		window:   DefaultWindow,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.start = r.clock()
+	return r
+}
+
+// Inc increments the named monotonic counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Add increments the named monotonic counter by delta. Negative deltas are
+// ignored: counters only ever go up.
+func (r *Registry) Add(name string, delta int64) {
+	if name == "" || delta < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Counter returns the current value of the named counter (0 if absent).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge sets the named gauge to v.
+func (r *Registry) SetGauge(name string, v float64) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = v
+}
+
+// Gauge returns the current value of the named gauge (0 if absent).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Observe records one sample into the named rolling histogram. The unit is
+// whatever the caller chooses; the duration helpers record microseconds.
+func (r *Registry) Observe(name string, v float64) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(r.window)
+		r.hists[name] = h
+	}
+	h.observe(v)
+}
+
+// ObserveDuration records d into the named histogram in microseconds
+// (fractional, so nanosecond information is preserved).
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, float64(d.Nanoseconds())/1e3)
+}
+
+// Uptime returns the time elapsed since the registry was constructed.
+func (r *Registry) Uptime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock().Sub(r.start)
+}
+
+// HistogramSnapshot is the exported state of one rolling histogram:
+// lifetime count/sum plus quantiles over the current window.
+type HistogramSnapshot struct {
+	// Count and Sum accumulate over the registry's lifetime (monotonic).
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Window is the number of samples the quantiles are computed over
+	// (min(lifetime count, configured window)).
+	Window int `json:"window"`
+	// Min, P50, P90, P99 and Max summarize the rolling window.
+	Min float64 `json:"min"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Mean returns the lifetime mean sample (0 with no samples).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a deep, consistent copy of the registry at one instant.
+type Snapshot struct {
+	// UptimeSeconds is the registry age at snapshot time.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Counters, Gauges and Histograms copy every registered metric.
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric under one lock acquisition, so the result
+// is internally consistent (no torn counter/histogram pairs).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		UptimeSeconds: r.clock().Sub(r.start).Seconds(),
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]float64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in ascending order (for deterministic
+// rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock seam that advances `step` per read.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a")
+	r.Inc("a")
+	r.Add("a", 3)
+	if got := r.Counter("a"); got != 5 {
+		t.Errorf("counter a = %d, want 5", got)
+	}
+	r.Add("a", -7) // negative deltas ignored: counters are monotonic
+	if got := r.Counter("a"); got != 5 {
+		t.Errorf("counter a after negative add = %d, want 5", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+	r.SetGauge("g", 2.5)
+	r.SetGauge("g", -1.25)
+	if got := r.Gauge("g"); got != -1.25 {
+		t.Errorf("gauge g = %v, want -1.25", got)
+	}
+	// Empty names are dropped, not stored.
+	r.Inc("")
+	r.SetGauge("", 1)
+	r.Observe("", 1)
+	s := r.Snapshot()
+	if _, ok := s.Counters[""]; ok {
+		t.Error("empty counter name stored")
+	}
+	if _, ok := s.Gauges[""]; ok {
+		t.Error("empty gauge name stored")
+	}
+	if _, ok := s.Histograms[""]; ok {
+		t.Error("empty histogram name stored")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry(WithWindow(1000))
+	// 1..100 µs: p50 ≈ 50.5, p90 ≈ 90.1, min 1, max 100.
+	for i := 1; i <= 100; i++ {
+		r.Observe("h", float64(i))
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != 100 || h.Window != 100 {
+		t.Fatalf("count/window = %d/%d, want 100/100", h.Count, h.Window)
+	}
+	if h.Min != 1 || h.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", h.Min, h.Max)
+	}
+	if math.Abs(h.P50-50.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 50.5", h.P50)
+	}
+	if math.Abs(h.P90-90.1) > 1e-9 {
+		t.Errorf("p90 = %v, want 90.1", h.P90)
+	}
+	if math.Abs(h.Sum-5050) > 1e-9 {
+		t.Errorf("sum = %v, want 5050", h.Sum)
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", h.Mean())
+	}
+}
+
+func TestHistogramRollingWindowEvictsOldSamples(t *testing.T) {
+	r := NewRegistry(WithWindow(4))
+	for _, v := range []float64{1000, 1000, 1000, 1000, 1, 2, 3, 4} {
+		r.Observe("h", v)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != 8 {
+		t.Errorf("lifetime count = %d, want 8", h.Count)
+	}
+	if h.Window != 4 {
+		t.Errorf("window = %d, want 4", h.Window)
+	}
+	// The window holds only the last 4 samples; the early 1000s are gone.
+	if h.Max != 4 || h.Min != 1 {
+		t.Errorf("window min/max = %v/%v, want 1/4", h.Min, h.Max)
+	}
+	// Lifetime sum still includes the evicted samples.
+	if h.Sum != 4010 {
+		t.Errorf("lifetime sum = %v, want 4010", h.Sum)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveDuration("d", 1500*time.Nanosecond) // 1.5 µs
+	h := r.Snapshot().Histograms["d"]
+	if h.Count != 1 || h.P50 != 1.5 || h.P99 != 1.5 || h.Min != 1.5 || h.Max != 1.5 {
+		t.Errorf("single-sample snapshot = %+v", h)
+	}
+}
+
+func TestUptimeUsesInjectedClock(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	r := NewRegistry(WithClock(fakeClock(base, time.Second)))
+	// Construction read the clock once; each Uptime advances it one more
+	// second.
+	if up := r.Uptime(); up != time.Second {
+		t.Errorf("uptime = %v, want 1s", up)
+	}
+	if up := r.Uptime(); up != 2*time.Second {
+		t.Errorf("uptime = %v, want 2s", up)
+	}
+	s := r.Snapshot()
+	if s.UptimeSeconds != 3 {
+		t.Errorf("snapshot uptime = %v, want 3", s.UptimeSeconds)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("c")
+	r.SetGauge("g", 1)
+	r.Observe("h", 1)
+	s := r.Snapshot()
+	s.Counters["c"] = 99
+	s.Gauges["g"] = 99
+	if r.Counter("c") != 1 || r.Gauge("g") != 1 {
+		t.Error("mutating a snapshot leaked into the registry")
+	}
+	r.Observe("h", 2)
+	if s.Histograms["h"].Count != 1 {
+		t.Error("snapshot histogram tracked later observations")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry(WithClock(fakeClock(time.Unix(0, 0), time.Second)))
+	r.Add("rpn_transitions_total", 7)
+	r.SetGauge("rpn_level", 3)
+	r.Observe("rpn_restore_latency_us", 9.5)
+	r.Observe("rpn_restore_latency_us", 10.5)
+	var b strings.Builder
+	writePrometheus(&b, r.Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE rpn_transitions_total counter\nrpn_transitions_total 7\n",
+		"# TYPE rpn_level gauge\nrpn_level 3\n",
+		"# TYPE rpn_restore_latency_us summary\n",
+		"rpn_restore_latency_us{quantile=\"0.5\"} 10\n",
+		"rpn_restore_latency_us_sum 20\n",
+		"rpn_restore_latency_us_count 2\n",
+		"rpn_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders of the same snapshot are identical.
+	var b2 strings.Builder
+	writePrometheus(&b2, r.Snapshot())
+	// (the clock advanced, so zero the uptime lines before comparing)
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "rpn_uptime_seconds ") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(b.String()) != strip(b2.String()) {
+		t.Error("prometheus rendering is not deterministic")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"rpn_level":        "rpn_level",
+		"bad name/µs":      "bad_name__s",
+		"0starts_with_num": "_starts_with_num",
+		"":                 "_",
+		"a:b_c9":           "a:b_c9",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHooksTransitionAndTick(t *testing.T) {
+	r := NewRegistry()
+	h := NewHooks(r)
+	h.SetLevels([]float64{0, 0.8, 0.9, 0.95})
+
+	h.ObserveTransition(0, 3, 11787, 12*time.Microsecond)
+	h.ObserveTransition(3, 0, 11787, 9*time.Microsecond) // emergency restore
+	s := r.Snapshot()
+	if s.Counters[MetricTransitions] != 2 {
+		t.Errorf("transitions = %d, want 2", s.Counters[MetricTransitions])
+	}
+	if s.Counters[MetricRestores] != 1 {
+		t.Errorf("restores = %d, want 1", s.Counters[MetricRestores])
+	}
+	if s.Counters[MetricWeightsMoved] != 2*11787 {
+		t.Errorf("weights moved = %d", s.Counters[MetricWeightsMoved])
+	}
+	if got := s.Histograms[MetricRestoreLatency]; got.Count != 1 || got.Max != 9 {
+		t.Errorf("restore latency histogram = %+v", got)
+	}
+	if got := s.Histograms[MetricTransitionLatency]; got.Count != 2 {
+		t.Errorf("transition latency count = %d, want 2", got.Count)
+	}
+	if s.Gauges[MetricLevel] != 0 || s.Gauges[MetricSparsity] != 0 {
+		t.Errorf("level/sparsity gauges = %v/%v, want 0/0 after restore",
+			s.Gauges[MetricLevel], s.Gauges[MetricSparsity])
+	}
+
+	h.ObserveTick(0, 3, true, false, false, 5*time.Microsecond)
+	h.ObserveTick(1, 3, false, true, true, 4*time.Microsecond)
+	s = r.Snapshot()
+	if s.Counters[MetricGovernorTicks] != 2 {
+		t.Errorf("ticks = %d, want 2", s.Counters[MetricGovernorTicks])
+	}
+	if s.Counters[MetricLevelSwitches] != 1 || s.Counters[MetricContractClamps] != 1 ||
+		s.Counters[MetricContractViolations] != 1 {
+		t.Errorf("switch/clamp/violation = %d/%d/%d, want 1/1/1",
+			s.Counters[MetricLevelSwitches], s.Counters[MetricContractClamps],
+			s.Counters[MetricContractViolations])
+	}
+	if s.Counters[ResidencyMetric(3)] != 2 {
+		t.Errorf("L3 residency = %d, want 2", s.Counters[ResidencyMetric(3)])
+	}
+	// Out-of-library levels still count (defensively).
+	h.ObserveTick(2, 9, false, false, false, time.Microsecond)
+	if r.Counter(ResidencyMetric(9)) != 1 {
+		t.Error("out-of-range level residency not counted")
+	}
+
+	h.ObserveFrame(100 * time.Microsecond)
+	if r.Counter(MetricFrames) != 1 {
+		t.Error("frame counter not incremented")
+	}
+}

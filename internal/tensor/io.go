@@ -20,6 +20,17 @@ import (
 
 const tensorMagic uint32 = 0x544E5352
 
+const (
+	// maxRank and maxElements bound what ReadFrom will accept; real models
+	// here are far below both.
+	maxRank     = 8
+	maxElements = 1 << 30
+	// readChunk caps how much ReadFrom requests per io.ReadFull, so a
+	// header that *claims* a huge payload cannot force a huge allocation:
+	// memory grows with bytes actually delivered, not with the claim.
+	readChunk = 64 * 1024
+)
+
 // WriteTo serializes t to w in the package binary format. It implements
 // io.WriterTo.
 func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
@@ -61,7 +72,7 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 		return n, fmt.Errorf("tensor: bad magic %#x", m)
 	}
 	ndims := int(binary.LittleEndian.Uint32(hdr[4:]))
-	if ndims < 0 || ndims > 8 {
+	if ndims < 0 || ndims > maxRank {
 		return n, fmt.Errorf("tensor: implausible rank %d", ndims)
 	}
 	dimBuf := make([]byte, 4*ndims)
@@ -73,21 +84,34 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 	shape := make([]int, ndims)
 	total := 1
 	for i := range shape {
-		shape[i] = int(binary.LittleEndian.Uint32(dimBuf[4*i:]))
-		total *= shape[i]
+		d := int(binary.LittleEndian.Uint32(dimBuf[4*i:]))
+		shape[i] = d
+		// Overflow-safe product: reject before multiplying past the cap,
+		// so adversarial dims cannot wrap around to a small total.
+		if d != 0 && total > maxElements/d {
+			return n, fmt.Errorf("tensor: implausible element count (dims overflow)")
+		}
+		total *= d
 	}
-	if total < 0 || total > 1<<30 {
+	if total > maxElements {
 		return n, fmt.Errorf("tensor: implausible element count %d", total)
 	}
-	buf := make([]byte, 4*total)
-	rn, err = io.ReadFull(r, buf)
-	n += int64(rn)
-	if err != nil {
-		return n, fmt.Errorf("tensor: read data: %w", err)
-	}
-	data := make([]float32, total)
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	// Read the payload in bounded chunks and grow data as bytes actually
+	// arrive: a truncated stream with an inflated header fails with a
+	// proportional allocation, not a 4 GiB one.
+	data := make([]float32, 0, min(total, readChunk/4))
+	var chunk [readChunk]byte
+	for remaining := total; remaining > 0; {
+		elems := min(remaining, readChunk/4)
+		rn, err = io.ReadFull(r, chunk[:4*elems])
+		n += int64(rn)
+		if err != nil {
+			return n, fmt.Errorf("tensor: read data: %w", err)
+		}
+		for i := 0; i < 4*elems; i += 4 {
+			data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:])))
+		}
+		remaining -= elems
 	}
 	t.shape = shape
 	t.data = data

@@ -10,6 +10,9 @@
 #   4. go test           — the full unit-test suite
 #   5. go test -race     — the concurrency-sensitive packages under the
 #                          race detector
+#   6. go test -fuzz     — a short coverage-guided smoke run of the binary
+#                          format fuzzers (the checked-in corpus always runs
+#                          as part of step 4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,8 @@ step go vet ./...
 step go build ./...
 step go run ./cmd/rpnlint ./...
 step go test ./...
-step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/
+step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/
+step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
+step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
 
 echo "verify: all gates passed"
