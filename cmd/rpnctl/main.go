@@ -5,18 +5,20 @@
 // Usage:
 //
 //	rpnctl train    -task obstacle|sign -out model.bin [-epochs N] [-seed S]
-//	rpnctl bundle   -task obstacle|sign -model model.bin -out bundle.rrp [-targets 0.95,0.9,0.85,0.77] [-telemetry :8080]
+//	rpnctl bundle   -task obstacle|sign -model model.bin -out bundle.rrp [-targets 0.95,0.9,0.85,0.77] [-telemetry :8080] [-otlp-endpoint localhost:4318]
 //	rpnctl info     -bundle bundle.rrp
-//	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N [-telemetry :8080]
+//	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N [-telemetry :8080] [-otlp-endpoint localhost:4318]
 //	rpnctl sensitivity -task obstacle|sign -model model.bin
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -26,15 +28,18 @@ import (
 	"repro/internal/platform"
 	"repro/internal/prune"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/otlp"
 	"repro/internal/train"
 )
 
-// attachTelemetry wires a reversible model to a telemetry server when addr
-// is non-empty: every level transition the command performs is then
-// observable on /healthz and /metrics until the returned closer runs. With
-// an empty addr it is a no-op returning a no-op closer.
-func attachTelemetry(rm *core.ReversibleModel, addr string) (func(), error) {
-	if addr == "" {
+// attachTelemetry wires a reversible model to observability backends:
+// when addr is non-empty every level transition the command performs is
+// observable on /healthz and /metrics, and when otlpEndpoint is non-empty
+// the same registry is pushed to that OTLP/HTTP collector (with a final
+// flush when the closer runs, so short commands still deliver). With both
+// empty it is a no-op returning a no-op closer.
+func attachTelemetry(rm *core.ReversibleModel, addr, otlpEndpoint string) (func(), error) {
+	if addr == "" && otlpEndpoint == "" {
 		return func() {}, nil
 	}
 	reg := telemetry.NewRegistry()
@@ -45,14 +50,39 @@ func attachTelemetry(rm *core.ReversibleModel, addr string) (func(), error) {
 	}
 	hooks.SetLevels(sp)
 	rm.SetObserver(hooks)
-	srv, err := telemetry.Serve(reg, addr)
-	if err != nil {
-		return nil, err
+	var srv *telemetry.Server
+	if addr != "" {
+		var err error
+		srv, err = telemetry.Serve(reg, addr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("telemetry: http://%s/healthz and /metrics\n", srv.Addr())
 	}
-	fmt.Printf("telemetry: http://%s/healthz and /metrics\n", srv.Addr())
+	var exp *otlp.Exporter
+	if otlpEndpoint != "" {
+		var err error
+		exp, err = otlp.NewExporter(reg, otlpEndpoint, otlp.WithServiceName("rpnctl"))
+		if err != nil {
+			if srv != nil {
+				_ = srv.Close()
+			}
+			return nil, err
+		}
+		fmt.Printf("otlp: exporting to %s\n", exp.URL())
+	}
 	return func() {
 		rm.SetObserver(nil)
-		_ = srv.Close()
+		if srv != nil {
+			_ = srv.Close()
+		}
+		if exp != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := exp.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "rpnctl: otlp shutdown:", err)
+			}
+		}
 	}, nil
 }
 
@@ -198,6 +228,7 @@ func cmdBundle(args []string) error {
 	targetsStr := fs.String("targets", "", "comma-separated accuracy targets (default: dense − {0.005,0.03,0.07,0.15})")
 	seed := fs.Int64("seed", 1, "random seed (must match training)")
 	telemetryAddr := fs.String("telemetry", "", "serve /healthz and /metrics on this address during calibration")
+	otlpEndpoint := fs.String("otlp-endpoint", "", "export OTLP/HTTP metrics to this collector during calibration")
 	fs.Parse(args)
 
 	t, err := taskByName(*taskName)
@@ -241,7 +272,7 @@ func cmdBundle(args []string) error {
 	if err != nil {
 		return err
 	}
-	closeTelemetry, err := attachTelemetry(rm, *telemetryAddr)
+	closeTelemetry, err := attachTelemetry(rm, *telemetryAddr, *otlpEndpoint)
 	if err != nil {
 		return err
 	}
@@ -317,6 +348,7 @@ func cmdEval(args []string) error {
 	level := fs.Int("level", 0, "level to evaluate")
 	seed := fs.Int64("seed", 1, "random seed (must match training)")
 	telemetryAddr := fs.String("telemetry", "", "serve /healthz and /metrics on this address during the evaluation")
+	otlpEndpoint := fs.String("otlp-endpoint", "", "export OTLP/HTTP metrics to this collector during the evaluation")
 	fs.Parse(args)
 
 	t, err := taskByName(*taskName)
@@ -327,7 +359,7 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	closeTelemetry, err := attachTelemetry(rm, *telemetryAddr)
+	closeTelemetry, err := attachTelemetry(rm, *telemetryAddr, *otlpEndpoint)
 	if err != nil {
 		return err
 	}

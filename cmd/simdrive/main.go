@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/governor"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/safety"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/otlp"
 )
 
 func main() {
@@ -28,9 +31,10 @@ func main() {
 	csvPath := flag.String("csv", "", "optional path to write the per-tick timeline as CSV")
 	every := flag.Int("every", 100, "print one timeline row every N ticks")
 	telemetryAddr := flag.String("telemetry", "", "serve /healthz and /metrics on this address (e.g. :8080) during the run")
+	otlpEndpoint := flag.String("otlp-endpoint", "", "export OTLP/HTTP metrics to this collector (e.g. localhost:4318) during the run")
 	flag.Parse()
 
-	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, nil); err != nil {
+	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "simdrive:", err)
 		os.Exit(1)
 	}
@@ -50,11 +54,13 @@ func findScenario(name string) (sim.Scenario, error) {
 }
 
 // run executes one scenario. When telemetryAddr is non-empty, a telemetry
-// server exposes /healthz and /metrics for the duration of the run; probe,
-// when non-nil, is invoked with the server's base URL after the run
-// completes and before the server shuts down (tests hook it to scrape the
-// live endpoints).
-func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr string, probe func(baseURL string)) error {
+// server exposes /healthz and /metrics for the duration of the run; when
+// otlpEndpoint is non-empty, an OTLP exporter pushes the same registry to
+// that collector (final flush on shutdown, so runs shorter than the export
+// interval still deliver). probe, when non-nil, is invoked with the
+// server's base URL after the run completes and before the server shuts
+// down (tests hook it to scrape the live endpoints).
+func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, probe func(baseURL string)) error {
 	sc, err := findScenario(scenarioName)
 	if err != nil {
 		return err
@@ -69,7 +75,7 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 
 	govOpts := []governor.Option{governor.WithTrace()}
 	var tsrv *telemetry.Server
-	if telemetryAddr != "" {
+	if telemetryAddr != "" || otlpEndpoint != "" {
 		reg := telemetry.NewRegistry()
 		hooks := telemetry.NewHooks(reg)
 		sp := make([]float64, rm.NumLevels())
@@ -79,12 +85,28 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 		hooks.SetLevels(sp)
 		rm.SetObserver(hooks)
 		govOpts = append(govOpts, governor.WithObserver(hooks))
-		tsrv, err = telemetry.Serve(reg, telemetryAddr)
-		if err != nil {
-			return err
+		if telemetryAddr != "" {
+			tsrv, err = telemetry.Serve(reg, telemetryAddr)
+			if err != nil {
+				return err
+			}
+			defer tsrv.Close()
+			fmt.Printf("telemetry: http://%s/healthz and /metrics\n", tsrv.Addr())
 		}
-		defer tsrv.Close()
-		fmt.Printf("telemetry: http://%s/healthz and /metrics\n", tsrv.Addr())
+		if otlpEndpoint != "" {
+			exp, err := otlp.NewExporter(reg, otlpEndpoint, otlp.WithServiceName("simdrive"))
+			if err != nil {
+				return err
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := exp.Shutdown(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "simdrive: otlp shutdown:", err)
+				}
+			}()
+			fmt.Printf("otlp: exporting to %s\n", exp.URL())
+		}
 	}
 
 	var gov *governor.Governor

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/otlp"
 )
 
 func TestFindScenario(t *testing.T) {
@@ -28,7 +31,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("simdrive end-to-end skipped in -short mode")
 	}
 	csvPath := filepath.Join(t.TempDir(), "timeline.csv")
-	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", nil); err != nil {
+	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -38,12 +41,12 @@ func TestRunEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(data), "tick,") {
 		t.Errorf("timeline CSV malformed: %q", string(data[:40]))
 	}
-	if err := run("cut-in", "bogus", 1, "", 500, "", nil); err == nil {
+	if err := run("cut-in", "bogus", 1, "", 500, "", "", nil); err == nil {
 		t.Error("bogus policy accepted")
 	}
 	// All remaining policies at least construct and run.
 	for _, p := range []string{"static-dense", "static-deep", "threshold", "predictive"} {
-		if err := run("highway-cruise", p, 1, "", 1000, "", nil); err != nil {
+		if err := run("highway-cruise", p, 1, "", 1000, "", "", nil); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
 	}
@@ -114,10 +117,136 @@ func TestRunWithTelemetry(t *testing.T) {
 			}
 		}
 	}
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", probe); err != nil {
 		t.Fatal(err)
 	}
 	if !probed {
 		t.Fatal("telemetry probe never ran")
+	}
+}
+
+// TestRunWithOTLP is the collector-side end-to-end: simdrive runs the
+// cut-in scenario against an in-process fake OTLP collector, and the
+// decoded export must carry the emergency restore and the per-layer
+// transition-latency summaries as labeled datapoints — with the same
+// layer label set the live /metrics endpoint renders.
+func TestRunWithOTLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simdrive OTLP end-to-end skipped in -short mode")
+	}
+
+	var mu sync.Mutex
+	var reqs []*otlp.Request
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			t.Errorf("collector hit on %q, want /v1/metrics", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-protobuf" {
+			t.Errorf("Content-Type = %q, want application/x-protobuf", ct)
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req, err := otlp.Decode(body)
+		if err != nil {
+			t.Errorf("collector failed to decode export: %v", err)
+			return
+		}
+		mu.Lock()
+		reqs = append(reqs, req)
+		mu.Unlock()
+	}))
+	defer collector.Close()
+
+	// Scrape the layer label set from /metrics during the run so the OTLP
+	// attributes can be cross-checked against the Prometheus rendering.
+	promLayers := map[string]bool{}
+	probe := func(baseURL string) {
+		resp, err := http.Get(baseURL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if !strings.HasPrefix(line, telemetry.MetricLayerTransitionLatency+"{") {
+				continue
+			}
+			if _, labels, ok := telemetry.ParseSeries(strings.SplitN(line, " ", 2)[0]); ok {
+				for _, l := range labels {
+					if l.Key == telemetry.LabelLayer {
+						promLayers[l.Value] = true
+					}
+				}
+			}
+		}
+	}
+
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, probe); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// run() shuts the exporter down with a final flush, so at least one
+	// export must have landed even if the run beat the export interval.
+	if len(reqs) == 0 {
+		t.Fatal("collector received no exports")
+	}
+	last := reqs[len(reqs)-1]
+
+	if got := last.ResourceAttrs["service.name"]; got != "simdrive" {
+		t.Errorf("service.name = %q, want simdrive", got)
+	}
+	restores := last.Metric(telemetry.MetricRestores)
+	if restores == nil || len(restores.Points) == 0 {
+		t.Fatal("export missing " + telemetry.MetricRestores)
+	}
+	if restores.Points[0].AsInt < 1 {
+		t.Errorf("restores = %d, want ≥ 1 (cut-in must trigger an emergency RestoreFull)",
+			restores.Points[0].AsInt)
+	}
+
+	layerLat := last.Metric(telemetry.MetricLayerTransitionLatency)
+	if layerLat == nil {
+		t.Fatal("export missing per-layer transition latency summaries")
+	}
+	if layerLat.Type != "summary" {
+		t.Errorf("per-layer latency exported as %q, want summary", layerLat.Type)
+	}
+	otlpLayers := map[string]bool{}
+	for _, p := range layerLat.Points {
+		layer := p.Attrs[telemetry.LabelLayer]
+		if layer == "" {
+			t.Errorf("per-layer datapoint missing %q attribute: %+v", telemetry.LabelLayer, p)
+		}
+		otlpLayers[layer] = true
+		if p.Count < 1 {
+			t.Errorf("layer %q datapoint count = %d, want ≥ 1", layer, p.Count)
+		}
+	}
+	if len(otlpLayers) < 2 {
+		t.Errorf("exported layers = %v, want ≥ 2 distinct prunable parameters", otlpLayers)
+	}
+	// The OTLP attribute set must match the labels Prometheus renders.
+	if len(promLayers) == 0 {
+		t.Fatal("/metrics probe saw no per-layer series")
+	}
+	for layer := range promLayers {
+		if !otlpLayers[layer] {
+			t.Errorf("layer %q on /metrics but missing from OTLP export", layer)
+		}
+	}
+	for layer := range otlpLayers {
+		if !promLayers[layer] {
+			t.Errorf("layer %q in OTLP export but missing from /metrics", layer)
+		}
 	}
 }

@@ -18,7 +18,12 @@
 // result reproduced by experiment T1.
 //
 // The package is deliberately independent of *why* levels are switched;
-// the runtime policy lives in internal/governor.
+// the runtime policy lives in internal/governor. Transitions are
+// observable through the TransitionObserver seam (one callback per
+// completed level change, with weight count and wall-clock latency) and
+// its optional ParamTransitionObserver extension (one callback per
+// parameter per level step, for per-layer latency attribution); with no
+// observer installed the hot path stays allocation-free.
 package core
 
 import (
@@ -108,6 +113,22 @@ type TransitionObserver interface {
 	// the weight copies took. to == 0 is the safety-critical RestoreFull
 	// path.
 	ObserveTransition(from, to int, weights int64, elapsed time.Duration)
+}
+
+// ParamTransitionObserver is an optional extension of TransitionObserver.
+// When the installed observer also implements it, ApplyLevel times each
+// delta application individually and reports it here — one call per
+// (parameter, level step) pair, so a parameter touched by a multi-level
+// jump is reported once per step. The extra cost is two clock reads per
+// delta, paid only when the extension is present;
+// internal/telemetry.Hooks implements it to feed the per-layer
+// rpn_layer_transition_latency_us histograms.
+type ParamTransitionObserver interface {
+	TransitionObserver
+	// ObserveParamTransition reports the weights written into one
+	// parameter during one level step of an ApplyLevel(from→to)
+	// transition, with the wall-clock time of just those writes.
+	ObserveParamTransition(from, to int, param string, weights int64, elapsed time.Duration)
 }
 
 // TransitionStats counts runtime level-transition work.
@@ -285,18 +306,28 @@ func (rm *ReversibleModel) ApplyLevel(target int) error {
 	}
 	from := rm.current
 	var t0 time.Time
+	var po ParamTransitionObserver
 	if rm.observer != nil {
 		t0 = now()
+		po, _ = rm.observer.(ParamTransitionObserver)
 	}
 	var moved int64
 	if target > rm.current {
 		for l := rm.current + 1; l <= target; l++ {
-			for _, d := range rm.deltas[l] {
+			for di := range rm.deltas[l] {
+				d := &rm.deltas[l][di]
+				var pt time.Time
+				if po != nil {
+					pt = now()
+				}
 				w := d.data
 				for _, k := range d.indices {
 					w[k] = 0
 				}
 				moved += int64(len(d.indices))
+				if po != nil {
+					po.ObserveParamTransition(from, target, d.param, int64(len(d.indices)), now().Sub(pt))
+				}
 			}
 		}
 		rm.stats.WeightsZeroed += moved
@@ -305,11 +336,18 @@ func (rm *ReversibleModel) ApplyLevel(target int) error {
 		for l := rm.current; l > target; l-- {
 			for di := range rm.deltas[l] {
 				d := &rm.deltas[l][di]
+				var pt time.Time
+				if po != nil {
+					pt = now()
+				}
 				w := d.data
 				for j, k := range d.indices {
 					w[k] = d.value(j)
 				}
 				moved += int64(len(d.indices))
+				if po != nil {
+					po.ObserveParamTransition(from, target, d.param, int64(len(d.indices)), now().Sub(pt))
+				}
 			}
 		}
 		rm.stats.WeightsRestored += moved

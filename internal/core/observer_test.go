@@ -82,6 +82,81 @@ func TestObserverSeesTransitions(t *testing.T) {
 	}
 }
 
+// paramRecorder additionally captures every ObserveParamTransition call.
+type paramRecorder struct {
+	recordingObserver
+	params  []string
+	weights []int64
+	froms   []int
+	tos     []int
+	elapsed []time.Duration
+}
+
+func (o *paramRecorder) ObserveParamTransition(from, to int, param string, weights int64, elapsed time.Duration) {
+	o.froms = append(o.froms, from)
+	o.tos = append(o.tos, to)
+	o.params = append(o.params, param)
+	o.weights = append(o.weights, weights)
+	o.elapsed = append(o.elapsed, elapsed)
+}
+
+// TestParamObserverSeesPerDeltaTiming exercises the optional
+// ParamTransitionObserver extension: every delta application is reported
+// with its parameter, the per-parameter weight counts sum to the
+// aggregate transition cost, and the per-delta latencies are measured
+// around just the writes.
+func TestParamObserverSeesPerDeltaTiming(t *testing.T) {
+	// Pin the clock: every read advances 5µs, so each delta (one read
+	// before, one after) observes exactly 5µs.
+	base := time.Unix(1_700_000_000, 0)
+	now = func() time.Time {
+		base = base.Add(5 * time.Microsecond)
+		return base
+	}
+	t.Cleanup(func() { now = time.Now })
+
+	rm, _ := buildRM(t, 33)
+	obs := &paramRecorder{}
+	rm.SetObserver(obs)
+
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(obs.params) == 0 {
+		t.Fatal("no per-parameter observations")
+	}
+	var perParam int64
+	for i, p := range obs.params {
+		if p == "" {
+			t.Error("empty parameter name observed")
+		}
+		perParam += obs.weights[i]
+		if obs.elapsed[i] != 5*time.Microsecond {
+			t.Errorf("delta %d (%s) elapsed = %v, want 5µs", i, p, obs.elapsed[i])
+		}
+	}
+	// Down and back up: per-parameter weights must sum to both aggregate
+	// transitions' costs.
+	want := rm.WeightsChanged(0, 2) + rm.WeightsChanged(2, 0)
+	if perParam != want {
+		t.Errorf("per-parameter weights sum = %d, want %d", perParam, want)
+	}
+	// Endpoints are the overall transition's, not the intermediate level
+	// steps: the restore deltas all report 2→0.
+	if obs.froms[len(obs.froms)-1] != 2 || obs.tos[len(obs.tos)-1] != 0 {
+		t.Errorf("last delta endpoints = %d→%d, want 2→0",
+			obs.froms[len(obs.froms)-1], obs.tos[len(obs.tos)-1])
+	}
+	// The aggregate ObserveTransition hook still fires alongside.
+	if len(obs.from) != 2 {
+		t.Errorf("aggregate transitions observed = %d, want 2", len(obs.from))
+	}
+}
+
 // TestApplyLevelNoObserverZeroAllocs proves the disabled-observer hot path
 // allocates nothing: level transitions without an observer must not touch
 // the clock or the heap beyond the transition writes themselves (which

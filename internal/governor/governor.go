@@ -9,6 +9,12 @@
 // policy proposes, the governor only ever *raises* quality to meet the
 // current criticality class's accuracy floor, so a buggy or aggressive
 // policy cannot take the system below contract.
+//
+// Every tick is observable through the TickObserver seam (applied level,
+// switch/clamp/violation flags, decide+execute latency); telemetry.Hooks
+// plugs in via WithObserver to expose the loop's behavior on /metrics and
+// over OTLP. A nil observer costs nothing — the disabled path is
+// allocation-free (BenchmarkTickNoObserver).
 package governor
 
 import (

@@ -16,6 +16,10 @@ var CtxboundPackages = []string{
 	"repro/internal/perception",
 	"repro/internal/metrics",
 	"repro/internal/telemetry",
+	// Covered by the telemetry prefix rule, listed explicitly because the
+	// exporter's periodic loop is exactly the kind of long-lived goroutine
+	// this analyzer exists for.
+	"repro/internal/telemetry/otlp",
 }
 
 // AnalyzerCtxbound audits `go func` literals in long-lived packages: the

@@ -15,6 +15,10 @@ var DetrandPackages = []string{
 	"repro/internal/experiments",
 	"repro/internal/dataset",
 	"repro/internal/telemetry",
+	// Covered by the telemetry prefix rule, listed explicitly so the OTLP
+	// exporter's clock discipline (export timestamps through the seam) is
+	// auditable here.
+	"repro/internal/telemetry/otlp",
 }
 
 // detrandAllowedFuncs are the math/rand functions that construct seeded

@@ -2,6 +2,12 @@
 // closed control loop that couples the scenario simulator, the safety
 // monitor, the runtime governor, and the reversible model. It is the
 // integration layer every end-to-end experiment runs through.
+//
+// For multi-goroutine deployments, Concurrent serializes detection and
+// level transitions behind one mutex so a frame never observes a
+// half-applied level. Per-frame detection latency (including that lock
+// wait) is observable through the FrameObserver seam, which
+// telemetry.Hooks satisfies; a nil observer is free.
 package perception
 
 import (

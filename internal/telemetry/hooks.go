@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -21,6 +22,15 @@ const (
 	MetricWeightsMoved = "rpn_weights_moved_total"
 	// MetricTransitionLatency is the per-transition latency histogram (µs).
 	MetricTransitionLatency = "rpn_transition_latency_us"
+	// MetricLayerTransitionLatency is the base name of the per-parameter
+	// transition-latency histograms (µs). Each series carries a
+	// layer="<parameter>" label (see LabelLayer); together they decompose
+	// MetricTransitionLatency and localize a slow delta application to the
+	// parameter whose weights it was writing.
+	MetricLayerTransitionLatency = "rpn_layer_transition_latency_us"
+	// LabelLayer is the label key of the per-layer latency series: the
+	// parameter name the delta application wrote (e.g. "conv1.w").
+	LabelLayer = "layer"
 	// MetricRestoreLatency is the latency histogram (µs) of transitions to
 	// L0 only — the paper's headline restore-latency quantity (F3), live.
 	MetricRestoreLatency = "rpn_restore_latency_us"
@@ -48,7 +58,8 @@ const (
 )
 
 // Hooks adapts a Registry to the observer seams of the stack. Its method
-// set structurally satisfies core.TransitionObserver, governor.TickObserver
+// set structurally satisfies core.TransitionObserver (including the
+// optional core.ParamTransitionObserver extension), governor.TickObserver
 // and perception.FrameObserver without this package importing any of them,
 // keeping telemetry a stdlib-only leaf.
 //
@@ -62,6 +73,11 @@ type Hooks struct {
 	// residency[i] is the precomputed per-level residency counter name, so
 	// the per-tick path does not format strings.
 	residency []string
+	// layerMu guards layerSeries, the lazily built cache of parameter name
+	// → rendered per-layer series identifier, so steady-state per-parameter
+	// observations don't re-render labels.
+	layerMu     sync.Mutex
+	layerSeries map[string]string
 }
 
 // NewHooks wires a Hooks to the registry.
@@ -108,6 +124,40 @@ func (h *Hooks) ObserveTransition(from, to int, weights int64, elapsed time.Dura
 	if to >= 0 && to < len(h.sparsities) {
 		h.reg.SetGauge(MetricSparsity, h.sparsities[to])
 	}
+}
+
+// ObserveParamTransition implements the core.ParamTransitionObserver
+// extension seam: called by ReversibleModel.ApplyLevel once per delta
+// application (one parameter at one level step) with the weights written
+// and the wall-clock latency of just that parameter's writes. The sample
+// lands in the layer-labeled series
+// rpn_layer_transition_latency_us{layer="<param>"}.
+func (h *Hooks) ObserveParamTransition(from, to int, param string, weights int64, elapsed time.Duration) {
+	h.reg.ObserveDuration(h.layerSeriesFor(param), elapsed)
+}
+
+// layerSeriesFor returns (rendering and caching on first sight) the
+// labeled series identifier for one parameter's transition-latency
+// histogram.
+func (h *Hooks) layerSeriesFor(param string) string {
+	h.layerMu.Lock()
+	defer h.layerMu.Unlock()
+	s, ok := h.layerSeries[param]
+	if !ok {
+		if h.layerSeries == nil {
+			h.layerSeries = make(map[string]string)
+		}
+		s = Series(MetricLayerTransitionLatency, Label{Key: LabelLayer, Value: param})
+		h.layerSeries[param] = s
+	}
+	return s
+}
+
+// LayerSeries returns the rendered per-layer latency series identifier for
+// a parameter name, for tests and dashboards:
+// rpn_layer_transition_latency_us{layer="<param>"}.
+func LayerSeries(param string) string {
+	return Series(MetricLayerTransitionLatency, Label{Key: LabelLayer, Value: param})
 }
 
 // ObserveTick implements the governor.TickObserver seam: called once per

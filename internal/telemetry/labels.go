@@ -1,0 +1,155 @@
+package telemetry
+
+import "strings"
+
+// Label is one key/value pair attached to a metric series. Labels turn a
+// flat metric name into a family of series — the per-layer transition
+// histograms rpn_layer_transition_latency_us{layer="conv1.w"} are the
+// canonical use. Keys should match the Prometheus label charset
+// ([a-zA-Z_][a-zA-Z0-9_]*); values are arbitrary strings (escaped on
+// rendering).
+type Label struct {
+	Key, Value string
+}
+
+// Series renders a metric name plus labels into the canonical series
+// identifier the Registry keys on: name{k1="v1",k2="v2"} with labels
+// sorted by key and values escaped (backslash, double quote, newline).
+// With no labels (or only empty-keyed ones, which are dropped) it returns
+// the bare name, so flat metrics are the zero-label case of the same
+// scheme. The rendered form is exactly one Prometheus sample line's name
+// part, which keeps /healthz JSON keys and /metrics lines greppable for
+// the same string.
+//
+// Hot paths should call Series once at wiring time and reuse the result
+// (see Hooks' per-layer cache); the registry itself treats the identifier
+// as an opaque key.
+func Series(name string, labels ...Label) string {
+	n := 0
+	for _, l := range labels {
+		if l.Key != "" {
+			n++
+		}
+	}
+	if n == 0 {
+		return name
+	}
+	ls := make([]Label, 0, n)
+	for _, l := range labels {
+		if l.Key != "" {
+			ls = append(ls, l)
+		}
+	}
+	// Insertion sort: label sets are tiny (typically one pair).
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Key < ls[j-1].Key; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseSeries splits a series identifier produced by Series back into its
+// base name and labels. A bare name parses as (name, nil, true). It
+// returns ok=false when the identifier is malformed (an unmatched brace,
+// a missing quote, trailing bytes after '}'), in which case callers should
+// treat the whole string as a flat metric name. Exported for render-side
+// consumers — the Prometheus writer and the OTLP encoder both decompose
+// registry keys with it.
+func ParseSeries(series string) (name string, labels []Label, ok bool) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, nil, true
+	}
+	name = series[:i]
+	rest := series[i+1:]
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			return "", nil, false
+		}
+		key := rest[:eq]
+		if key == "" || strings.ContainsAny(key, `{}",`) {
+			return "", nil, false
+		}
+		value, remain, valueOK := scanQuoted(rest[eq+2:])
+		if !valueOK {
+			return "", nil, false
+		}
+		labels = append(labels, Label{Key: key, Value: value})
+		if strings.HasPrefix(remain, ",") {
+			rest = remain[1:]
+			continue
+		}
+		if remain == "}" {
+			return name, labels, true
+		}
+		return "", nil, false
+	}
+}
+
+// scanQuoted consumes an escaped label value up to its closing quote and
+// returns the unescaped value plus the unconsumed remainder.
+func scanQuoted(s string) (value, remain string, ok bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), s[i+1:], true
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", false
+			}
+		case '\n':
+			return "", "", false
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", false
+}
+
+// escapeLabelValue applies the Prometheus label-value escaping rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesRendering(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []Label
+		want   string
+	}{
+		{"rpn_x", nil, "rpn_x"},
+		{"rpn_x", []Label{{Key: "layer", Value: "conv1.w"}}, `rpn_x{layer="conv1.w"}`},
+		// Labels sort by key regardless of argument order.
+		{"rpn_x", []Label{{Key: "b", Value: "2"}, {Key: "a", Value: "1"}}, `rpn_x{a="1",b="2"}`},
+		// Empty label VALUES are kept: a labeled series with an empty value
+		// is distinct from the flat metric.
+		{"rpn_x", []Label{{Key: "layer", Value: ""}}, `rpn_x{layer=""}`},
+		// Empty label KEYS are dropped; all-empty degrades to the flat name.
+		{"rpn_x", []Label{{Key: "", Value: "v"}}, "rpn_x"},
+		// Values are escaped.
+		{"rpn_x", []Label{{Key: "l", Value: `a"b\c` + "\n"}}, `rpn_x{l="a\"b\\c\n"}`},
+	}
+	for _, c := range cases {
+		if got := Series(c.name, c.labels...); got != c.want {
+			t.Errorf("Series(%q, %v) = %q, want %q", c.name, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestParseSeriesRoundTrip(t *testing.T) {
+	cases := [][]Label{
+		nil,
+		{{Key: "layer", Value: "conv1.w"}},
+		{{Key: "layer", Value: ""}},
+		{{Key: "a", Value: "1"}, {Key: "b", Value: `x"y\z` + "\n"}},
+	}
+	for _, labels := range cases {
+		s := Series("rpn_m", labels...)
+		name, got, ok := ParseSeries(s)
+		if !ok || name != "rpn_m" {
+			t.Fatalf("ParseSeries(%q) = %q, %v, %v", s, name, got, ok)
+		}
+		if len(got) != len(labels) {
+			t.Fatalf("ParseSeries(%q) labels = %v, want %v", s, got, labels)
+		}
+		for i := range labels {
+			if got[i] != labels[i] {
+				t.Errorf("ParseSeries(%q) label %d = %+v, want %+v", s, i, got[i], labels[i])
+			}
+		}
+	}
+}
+
+func TestParseSeriesMalformed(t *testing.T) {
+	for _, s := range []string{
+		`rpn_x{`, `rpn_x{layer}`, `rpn_x{layer=}`, `rpn_x{layer="a}`,
+		`rpn_x{layer="a"`, `rpn_x{layer="a"}trailing`, `rpn_x{layer="a",}`,
+		`rpn_x{="a"}`, `rpn_x{l="a"extra"}`, "rpn_x{l=\"a\nb\"}", `rpn_x{l="a\q"}`,
+	} {
+		if _, _, ok := ParseSeries(s); ok {
+			t.Errorf("ParseSeries(%q) accepted malformed input", s)
+		}
+	}
+}
+
+// TestLabeledFlatCollision pins the collision semantics: a flat metric, a
+// labeled series with an empty value, and a labeled series with a value
+// are three distinct registry entries, and the Prometheus rendering emits
+// all three under one # TYPE header.
+func TestLabeledFlatCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Add("rpn_coll_total", 1)
+	r.Add(Series("rpn_coll_total", Label{Key: "layer", Value: ""}), 10)
+	r.Add(Series("rpn_coll_total", Label{Key: "layer", Value: "w"}), 100)
+	// A flat metric that sorts lexically between the base name and its
+	// labeled keys must not split the family's TYPE header.
+	r.Add("rpn_coll_totalz", 5)
+
+	snap := r.Snapshot()
+	if len(snap.Counters) != 4 {
+		t.Fatalf("registered %d counters, want 4 distinct: %v", len(snap.Counters), snap.Counters)
+	}
+	if snap.Counters["rpn_coll_total"] != 1 ||
+		snap.Counters[`rpn_coll_total{layer=""}`] != 10 ||
+		snap.Counters[`rpn_coll_total{layer="w"}`] != 100 {
+		t.Errorf("collision series mixed values: %v", snap.Counters)
+	}
+
+	var b strings.Builder
+	writePrometheus(&b, snap)
+	text := b.String()
+	if got := strings.Count(text, "# TYPE rpn_coll_total counter"); got != 1 {
+		t.Errorf("family TYPE header appears %d times, want 1\n%s", got, text)
+	}
+	for _, want := range []string{
+		"rpn_coll_total 1\n",
+		`rpn_coll_total{layer=""} 10` + "\n",
+		`rpn_coll_total{layer="w"} 100` + "\n",
+		"# TYPE rpn_coll_totalz counter\nrpn_coll_totalz 5\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestLabeledHistogramRendering checks the summary rendering of a labeled
+// histogram: the quantile label appends after the series labels, and
+// _sum/_count carry the series labels.
+func TestLabeledHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 4; i++ {
+		r.Observe(LayerSeries("conv1.w"), float64(10*i))
+	}
+	var b strings.Builder
+	writePrometheus(&b, r.Snapshot())
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE rpn_layer_transition_latency_us summary\n",
+		`rpn_layer_transition_latency_us{layer="conv1.w",quantile="0.5"} 25` + "\n",
+		`rpn_layer_transition_latency_us_sum{layer="conv1.w"} 100` + "\n",
+		`rpn_layer_transition_latency_us_count{layer="conv1.w"} 4` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestHooksObserveParamTransition checks the per-layer fan-out: each
+// parameter lands in its own labeled histogram series.
+func TestHooksObserveParamTransition(t *testing.T) {
+	r := NewRegistry()
+	h := NewHooks(r)
+	h.ObserveParamTransition(2, 0, "conv1.w", 64, 10*time.Microsecond)
+	h.ObserveParamTransition(2, 0, "fc.w", 32, 20*time.Microsecond)
+	h.ObserveParamTransition(1, 0, "conv1.w", 16, 30*time.Microsecond)
+
+	snap := r.Snapshot()
+	c1 := snap.Histograms[LayerSeries("conv1.w")]
+	if c1.Count != 2 || c1.Sum != 40 {
+		t.Errorf("conv1.w series = %+v, want count 2 sum 40µs", c1)
+	}
+	fc := snap.Histograms[LayerSeries("fc.w")]
+	if fc.Count != 1 || fc.Sum != 20 {
+		t.Errorf("fc.w series = %+v, want count 1 sum 20µs", fc)
+	}
+}
+
+// FuzzSeriesRoundTrip is the labeled-registry grammar property: for any
+// clean base name and label keys (no series metacharacters) and ARBITRARY
+// label values, ParseSeries(Series(...)) recovers the inputs exactly, and
+// for arbitrary inputs neither function panics.
+func FuzzSeriesRoundTrip(f *testing.F) {
+	f.Add("rpn_x", "layer", "conv1.w")
+	f.Add("rpn_x", "layer", "")
+	f.Add("rpn_x", "l", `a"b\c`+"\n")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, name, key, value string) {
+		s := Series(name, Label{Key: key, Value: value})
+		gotName, labels, ok := ParseSeries(s)
+		if strings.ContainsAny(name, `{}"`) || strings.Contains(name, "\n") ||
+			strings.ContainsAny(key, `{}",=`) || strings.ContainsAny(key, "\\\n") {
+			return // outside the grammar: only the no-panic property holds
+		}
+		if key == "" {
+			if !ok || gotName != name || len(labels) != 0 {
+				t.Fatalf("flat round trip of %q = (%q, %v, %v)", s, gotName, labels, ok)
+			}
+			return
+		}
+		if !ok || gotName != name || len(labels) != 1 ||
+			labels[0].Key != key || labels[0].Value != value {
+			t.Fatalf("round trip of %q = (%q, %v, %v), want (%q, [{%q %q}])",
+				s, gotName, labels, ok, name, key, value)
+		}
+	})
+}

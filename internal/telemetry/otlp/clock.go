@@ -1,0 +1,8 @@
+package otlp
+
+import "time"
+
+// now is the package clock seam. Export timestamps flow through it so
+// tests can pin datapoint times to a fake clock; the detrand analyzer
+// rejects bare time.Now() in this package to keep it that way.
+var now = time.Now

@@ -1,0 +1,504 @@
+package otlp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Request is the decoded form of an ExportMetricsServiceRequest — the
+// subset of the OTLP metrics schema this package emits, flattened across
+// resource/scope boundaries. It exists for the in-process fake collectors
+// the end-to-end tests run simdrive against; a production deployment
+// points the Exporter at a real collector and never decodes.
+type Request struct {
+	// ResourceAttrs holds every resource attribute with a string value
+	// (e.g. "service.name"), merged across resources.
+	ResourceAttrs map[string]string
+	// Metrics lists every metric in request order.
+	Metrics []Metric
+}
+
+// Metric is one decoded metric family.
+type Metric struct {
+	// Name is the metric name (e.g. "rpn_restores_total").
+	Name string
+	// Unit is the OTLP unit string ("1", "us", "s").
+	Unit string
+	// Type is the decoded oneof arm: "sum", "gauge", or "summary".
+	Type string
+	// Points holds the datapoints, one per label set.
+	Points []Point
+}
+
+// Point is one decoded datapoint of any supported type; only the fields
+// of the owning metric's type are meaningful.
+type Point struct {
+	// Attrs holds the datapoint attributes with string values — the
+	// registry labels (e.g. layer="conv1.w").
+	Attrs map[string]string
+	// StartUnixNano and TimeUnixNano are the datapoint timestamps.
+	StartUnixNano, TimeUnixNano uint64
+	// AsInt is a Sum point's cumulative value.
+	AsInt int64
+	// AsDouble is a Gauge point's value.
+	AsDouble float64
+	// Count and Sum are a Summary point's lifetime aggregates.
+	Count uint64
+	Sum   float64
+	// Quantiles are a Summary point's quantile values in wire order.
+	Quantiles []Quantile
+}
+
+// Quantile is one ValueAtQuantile pair.
+type Quantile struct {
+	Q, V float64
+}
+
+// Metric returns the first metric with the given name (nil if absent).
+func (r *Request) Metric(name string) *Metric {
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// reader is a bounds-checked protobuf wire reader over one message's
+// bytes. Every length is validated against the remaining input before
+// any slice or allocation, so malformed input fails with an error rather
+// than a panic or an attacker-sized allocation — FuzzDecodeRequest
+// hammers exactly this property.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.b) }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("otlp: bad varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// field reads one field tag.
+func (r *reader) field() (field, wire int, err error) {
+	tag, err := r.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if tag>>3 == 0 || tag>>3 > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("otlp: bad field number %d", tag>>3)
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, fmt.Errorf("otlp: length %d exceeds remaining %d bytes", n, len(r.b)-r.pos)
+	}
+	out := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *reader) fixed64() (uint64, error) {
+	if len(r.b)-r.pos < 8 {
+		return 0, fmt.Errorf("otlp: truncated fixed64 at offset %d", r.pos)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+// skip consumes one field of the given wire type.
+func (r *reader) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.uvarint()
+		return err
+	case wireFixed64:
+		_, err := r.fixed64()
+		return err
+	case wireBytes:
+		_, err := r.bytes()
+		return err
+	case wireFixed32:
+		if len(r.b)-r.pos < 4 {
+			return fmt.Errorf("otlp: truncated fixed32 at offset %d", r.pos)
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("otlp: unsupported wire type %d", wire)
+	}
+}
+
+// Decode parses an ExportMetricsServiceRequest. Unknown fields are
+// skipped, so a request from a richer encoder still decodes its known
+// subset; structurally invalid input returns an error.
+func Decode(data []byte) (*Request, error) {
+	req := &Request{ResourceAttrs: map[string]string{}}
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		if field == fieldResourceMetrics && wire == wireBytes {
+			msg, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if err := decodeResourceMetrics(msg, req); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+func decodeResourceMetrics(data []byte, req *Request) error {
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		if wire != wireBytes {
+			if err := r.skip(wire); err != nil {
+				return err
+			}
+			continue
+		}
+		msg, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case fieldResource:
+			if err := decodeResource(msg, req); err != nil {
+				return err
+			}
+		case fieldScopeMetrics:
+			if err := decodeScopeMetrics(msg, req); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func decodeResource(data []byte, req *Request) error {
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		if field == fieldResourceAttributes && wire == wireBytes {
+			msg, err := r.bytes()
+			if err != nil {
+				return err
+			}
+			k, v, err := decodeKeyValue(msg)
+			if err != nil {
+				return err
+			}
+			req.ResourceAttrs[k] = v
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeKeyValue returns a KeyValue's key and its AnyValue's string arm
+// (empty for non-string values, which this encoder never emits).
+func decodeKeyValue(data []byte) (key, value string, err error) {
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return "", "", err
+		}
+		if wire != wireBytes {
+			if err := r.skip(wire); err != nil {
+				return "", "", err
+			}
+			continue
+		}
+		msg, err := r.bytes()
+		if err != nil {
+			return "", "", err
+		}
+		switch field {
+		case fieldKVKey:
+			key = string(msg)
+		case fieldKVValue:
+			av := &reader{b: msg}
+			for !av.done() {
+				f, w, err := av.field()
+				if err != nil {
+					return "", "", err
+				}
+				if f == fieldAnyString && w == wireBytes {
+					s, err := av.bytes()
+					if err != nil {
+						return "", "", err
+					}
+					value = string(s)
+					continue
+				}
+				if err := av.skip(w); err != nil {
+					return "", "", err
+				}
+			}
+		}
+	}
+	return key, value, nil
+}
+
+func decodeScopeMetrics(data []byte, req *Request) error {
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		if field == fieldScopeMetric && wire == wireBytes {
+			msg, err := r.bytes()
+			if err != nil {
+				return err
+			}
+			m, err := decodeMetric(msg)
+			if err != nil {
+				return err
+			}
+			req.Metrics = append(req.Metrics, m)
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeMetric(data []byte) (Metric, error) {
+	var m Metric
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return m, err
+		}
+		if wire != wireBytes {
+			if err := r.skip(wire); err != nil {
+				return m, err
+			}
+			continue
+		}
+		msg, err := r.bytes()
+		if err != nil {
+			return m, err
+		}
+		switch field {
+		case fieldMetricName:
+			m.Name = string(msg)
+		case fieldMetricUnit:
+			m.Unit = string(msg)
+		case fieldMetricSum:
+			m.Type = "sum"
+			if err := decodePoints(msg, &m, decodeNumberPoint); err != nil {
+				return m, err
+			}
+		case fieldMetricGauge:
+			m.Type = "gauge"
+			if err := decodePoints(msg, &m, decodeNumberPoint); err != nil {
+				return m, err
+			}
+		case fieldMetricSummary:
+			m.Type = "summary"
+			if err := decodePoints(msg, &m, decodeSummaryPoint); err != nil {
+				return m, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// decodePoints walks a Gauge/Sum/Summary message and decodes each
+// repeated data_points entry with the given point decoder.
+func decodePoints(data []byte, m *Metric, decodePoint func([]byte) (Point, error)) error {
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		if field == fieldDataPoints && wire == wireBytes {
+			msg, err := r.bytes()
+			if err != nil {
+				return err
+			}
+			p, err := decodePoint(msg)
+			if err != nil {
+				return err
+			}
+			m.Points = append(m.Points, p)
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeNumberPoint(data []byte) (Point, error) {
+	p := Point{Attrs: map[string]string{}}
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return p, err
+		}
+		switch {
+		case field == fieldNDPStartTime && wire == wireFixed64:
+			if p.StartUnixNano, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldNDPTime && wire == wireFixed64:
+			if p.TimeUnixNano, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldNDPAsDouble && wire == wireFixed64:
+			v, err := r.fixed64()
+			if err != nil {
+				return p, err
+			}
+			p.AsDouble = math.Float64frombits(v)
+		case field == fieldNDPAsInt && wire == wireFixed64:
+			v, err := r.fixed64()
+			if err != nil {
+				return p, err
+			}
+			p.AsInt = int64(v)
+		case field == fieldNDPAttrs && wire == wireBytes:
+			msg, err := r.bytes()
+			if err != nil {
+				return p, err
+			}
+			k, v, err := decodeKeyValue(msg)
+			if err != nil {
+				return p, err
+			}
+			p.Attrs[k] = v
+		default:
+			if err := r.skip(wire); err != nil {
+				return p, err
+			}
+		}
+	}
+	return p, nil
+}
+
+func decodeSummaryPoint(data []byte) (Point, error) {
+	p := Point{Attrs: map[string]string{}}
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return p, err
+		}
+		switch {
+		case field == fieldSDPStartTime && wire == wireFixed64:
+			if p.StartUnixNano, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldSDPTime && wire == wireFixed64:
+			if p.TimeUnixNano, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldSDPCount && wire == wireFixed64:
+			if p.Count, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldSDPSum && wire == wireFixed64:
+			v, err := r.fixed64()
+			if err != nil {
+				return p, err
+			}
+			p.Sum = math.Float64frombits(v)
+		case field == fieldSDPQuantiles && wire == wireBytes:
+			msg, err := r.bytes()
+			if err != nil {
+				return p, err
+			}
+			q, err := decodeQuantile(msg)
+			if err != nil {
+				return p, err
+			}
+			p.Quantiles = append(p.Quantiles, q)
+		case field == fieldSDPAttrs && wire == wireBytes:
+			msg, err := r.bytes()
+			if err != nil {
+				return p, err
+			}
+			k, v, err := decodeKeyValue(msg)
+			if err != nil {
+				return p, err
+			}
+			p.Attrs[k] = v
+		default:
+			if err := r.skip(wire); err != nil {
+				return p, err
+			}
+		}
+	}
+	return p, nil
+}
+
+func decodeQuantile(data []byte) (Quantile, error) {
+	var q Quantile
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return q, err
+		}
+		if wire == wireFixed64 && (field == fieldVAQQuantile || field == fieldVAQValue) {
+			v, err := r.fixed64()
+			if err != nil {
+				return q, err
+			}
+			if field == fieldVAQQuantile {
+				q.Q = math.Float64frombits(v)
+			} else {
+				q.V = math.Float64frombits(v)
+			}
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return q, err
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,262 @@
+package otlp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Exporter periodically snapshots a telemetry.Registry, encodes the
+// snapshot as an OTLP ExportMetricsServiceRequest, and POSTs it to a
+// collector endpoint over HTTP. Failed exports retry with exponential
+// backoff up to a bounded attempt count; the loop goroutine is joined
+// through Shutdown, which also performs one final flush so metrics from
+// runs shorter than the export interval still arrive.
+//
+// All methods are safe for concurrent use. Construct with NewExporter;
+// the zero value is not usable.
+type Exporter struct {
+	reg      *telemetry.Registry
+	url      string
+	service  string
+	interval time.Duration
+	client   *http.Client
+	attempts int
+	backoff  time.Duration
+
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts the exporter's delivery outcomes.
+type Stats struct {
+	// Exports is the number of requests a collector acknowledged (2xx).
+	Exports int64
+	// Failures is the number of export rounds abandoned after exhausting
+	// retries or hitting a non-retryable response.
+	Failures int64
+	// Retries is the number of individual failed attempts that were
+	// retried.
+	Retries int64
+}
+
+// ExporterOption configures NewExporter.
+type ExporterOption func(*Exporter)
+
+// WithInterval sets the export period (default 10s). Values below 1ms
+// are ignored.
+func WithInterval(d time.Duration) ExporterOption {
+	return func(e *Exporter) {
+		if d >= time.Millisecond {
+			e.interval = d
+		}
+	}
+}
+
+// WithServiceName sets the resource service.name attribute (default
+// "revprune").
+func WithServiceName(s string) ExporterOption {
+	return func(e *Exporter) {
+		if s != "" {
+			e.service = s
+		}
+	}
+}
+
+// WithHTTPClient replaces the HTTP client (default: 5s total timeout).
+func WithHTTPClient(c *http.Client) ExporterOption {
+	return func(e *Exporter) {
+		if c != nil {
+			e.client = c
+		}
+	}
+}
+
+// WithRetry sets the per-export attempt budget (≥1) and the initial
+// backoff, which doubles per retry (default: 3 attempts, 250ms).
+func WithRetry(attempts int, backoff time.Duration) ExporterOption {
+	return func(e *Exporter) {
+		if attempts >= 1 {
+			e.attempts = attempts
+		}
+		if backoff > 0 {
+			e.backoff = backoff
+		}
+	}
+}
+
+// NewExporter validates and normalizes the endpoint, then starts the
+// export loop. Accepted endpoint forms: "host:port", "http://host:port",
+// or a full URL; a missing scheme defaults to http and a missing path to
+// the OTLP/HTTP metrics path /v1/metrics.
+func NewExporter(reg *telemetry.Registry, endpoint string, opts ...ExporterOption) (*Exporter, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("otlp: NewExporter with nil registry")
+	}
+	u, err := normalizeEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	e := &Exporter{
+		reg:      reg,
+		url:      u,
+		service:  "revprune",
+		interval: 10 * time.Second,
+		client:   &http.Client{Timeout: 5 * time.Second},
+		attempts: 3,
+		backoff:  250 * time.Millisecond,
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.wg.Add(1)
+	go e.loop()
+	return e, nil
+}
+
+// normalizeEndpoint turns the accepted endpoint forms into the full
+// collector URL.
+func normalizeEndpoint(endpoint string) (string, error) {
+	if endpoint == "" {
+		return "", fmt.Errorf("otlp: empty endpoint")
+	}
+	if !strings.Contains(endpoint, "://") {
+		endpoint = "http://" + endpoint
+	}
+	u, err := url.Parse(endpoint)
+	if err != nil {
+		return "", fmt.Errorf("otlp: bad endpoint %q: %w", endpoint, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("otlp: endpoint scheme %q not supported (want http or https)", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("otlp: endpoint %q has no host", endpoint)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/v1/metrics"
+	}
+	return u.String(), nil
+}
+
+// URL returns the full collector URL exports POST to.
+func (e *Exporter) URL() string { return e.url }
+
+// Stats returns a copy of the delivery counters.
+func (e *Exporter) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// loop is the periodic export goroutine, joined by Shutdown via the done
+// channel and the WaitGroup.
+func (e *Exporter) loop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			// Periodic exports abort their backoff waits on shutdown; the
+			// final flush in Shutdown re-delivers anything they missed.
+			_ = e.export(context.Background(), e.done)
+		}
+	}
+}
+
+// Shutdown stops the export loop, waits for it to exit, and performs one
+// final context-bound flush of the registry. It returns the context's
+// error if the deadline expires first (the loop may then still be
+// draining an in-flight POST, bounded by the HTTP client timeout), or
+// the final flush's delivery error.
+func (e *Exporter) Shutdown(ctx context.Context) error {
+	e.stop.Do(func() { close(e.done) })
+	joined := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(joined)
+	}()
+	select {
+	case <-joined:
+	case <-ctx.Done():
+		return fmt.Errorf("otlp: shutdown: %w", ctx.Err())
+	}
+	return e.export(ctx, nil)
+}
+
+// export performs one snapshot→encode→POST round with retries. abort,
+// when non-nil, cancels backoff waits early (the loop passes the done
+// channel); ctx bounds the HTTP requests and backoff waits.
+func (e *Exporter) export(ctx context.Context, abort <-chan struct{}) error {
+	snap := e.reg.Snapshot()
+	ts := now()
+	start := ts.Add(-time.Duration(snap.UptimeSeconds * float64(time.Second)))
+	body := Encode(snap, e.service, start, ts)
+	for attempt := 0; ; attempt++ {
+		retryable, err := e.post(ctx, body)
+		if err == nil {
+			e.count(func(s *Stats) { s.Exports++ })
+			return nil
+		}
+		if !retryable || attempt+1 >= e.attempts {
+			e.count(func(s *Stats) { s.Failures++ })
+			return err
+		}
+		e.count(func(s *Stats) { s.Retries++ })
+		wait := e.backoff << attempt
+		select {
+		case <-abort:
+			e.count(func(s *Stats) { s.Failures++ })
+			return err
+		case <-ctx.Done():
+			e.count(func(s *Stats) { s.Failures++ })
+			return fmt.Errorf("otlp: export canceled: %w", ctx.Err())
+		case <-time.After(wait):
+		}
+	}
+}
+
+// post delivers one encoded request. retryable reports whether a failure
+// is worth retrying: network errors, 429, and 5xx are; other non-2xx
+// statuses (a misconfigured endpoint) are not.
+func (e *Exporter) post(ctx context.Context, body []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.url, bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("otlp: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-protobuf")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("otlp: post %s: %w", e.url, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return false, nil
+	}
+	retryable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+	return retryable, fmt.Errorf("otlp: collector %s returned %s", e.url, resp.Status)
+}
+
+// count applies one mutation to the stats under the lock.
+func (e *Exporter) count(f func(*Stats)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f(&e.stats)
+}

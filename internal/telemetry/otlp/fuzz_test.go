@@ -1,0 +1,80 @@
+package otlp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// FuzzDecodeRequest hardens the vendored protobuf decoder against
+// arbitrary input: whatever the bytes, Decode must return quickly with a
+// request or an error — no panics, no attacker-controlled allocations
+// (every declared length is validated against the remaining input).
+// scripts/verify.sh runs this as a 5s coverage-guided smoke; the seed
+// corpus covers the encoder's own output plus structural edge cases.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x0a, 0x00})       // empty ResourceMetrics
+	f.Add([]byte{0x0a, 0xff, 0x01}) // length past end of input
+	f.Add([]byte{0x78, 0x01})       // unknown field, varint
+	reg := telemetry.NewRegistry()
+	reg.Add("rpn_restores_total", 3)
+	reg.SetGauge("rpn_level", 2)
+	reg.Observe(telemetry.LayerSeries("conv1.w"), 17)
+	full := Encode(reg.Snapshot(), "fuzz", time.Unix(0, 0), time.Unix(1, 0))
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := Decode(data)
+		if err == nil && req == nil {
+			t.Fatal("Decode returned nil request and nil error")
+		}
+		if req != nil {
+			// Decoded metrics must be traversable without surprises.
+			for _, m := range req.Metrics {
+				_ = req.Metric(m.Name)
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeSnapshot drives the encoder with fuzzer-chosen metric
+// names, label values, and sample values, and requires the decoder to
+// recover the same families — the round-trip property that keeps the
+// vendored writer and reader honest against each other.
+func FuzzEncodeDecodeSnapshot(f *testing.F) {
+	f.Add("rpn_x_total", "conv1.w", int64(5), 12.5)
+	f.Add("m", "", int64(0), -1.0)
+	f.Fuzz(func(t *testing.T, name, layer string, cv int64, hv float64) {
+		if strings.Contains(name, "{") {
+			// A brace inside a base name collides with the series grammar;
+			// such keys degrade to flat metrics under a different name, so
+			// the name-preserving property below does not apply.
+			t.Skip()
+		}
+		reg := telemetry.NewRegistry()
+		reg.Add(name, cv)
+		reg.Observe(telemetry.Series(name+"_us", telemetry.Label{Key: "layer", Value: layer}), hv)
+		data := Encode(reg.Snapshot(), "fuzz", time.Unix(0, 0), time.Unix(1, 0))
+		req, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode of encoder output failed: %v", err)
+		}
+		if name != "" && cv >= 0 {
+			m := req.Metric(name)
+			if m == nil || len(m.Points) != 1 || m.Points[0].AsInt != cv {
+				t.Fatalf("counter %q round trip = %+v, want %d", name, m, cv)
+			}
+		}
+		s := req.Metric(name + "_us")
+		if s == nil || len(s.Points) != 1 {
+			t.Fatalf("summary %q missing after round trip", name+"_us")
+		}
+		if got := s.Points[0].Attrs["layer"]; got != layer {
+			t.Fatalf("layer attr = %q, want %q", got, layer)
+		}
+	})
+}

@@ -1,0 +1,327 @@
+// Package otlp exports the telemetry registry to OpenTelemetry
+// collectors over OTLP/HTTP, using a vendored, dependency-free protobuf
+// encoder — the wire format of ExportMetricsServiceRequest
+// (opentelemetry.proto.collector.metrics.v1) is hand-rolled here so the
+// stack keeps its no-external-deps rule while still speaking the fleet
+// standard.
+//
+// Encode maps one telemetry.Snapshot onto OTLP metrics: monotonic
+// counters become cumulative Sums, gauges become Gauges, and the rolling
+// histograms become Summaries carrying the window quantiles plus lifetime
+// sum/count — the same shape the Prometheus endpoint exposes. Labeled
+// registry series (telemetry.Series keys, e.g. the per-layer
+// rpn_layer_transition_latency_us{layer=...} histograms) become multiple
+// datapoints of one metric, the labels carried as datapoint attributes.
+//
+// Exporter wraps Encode in a periodic push loop: snapshot → encode →
+// POST to <endpoint>/v1/metrics (Content-Type application/x-protobuf)
+// with bounded retry and exponential backoff, and a context-bound
+// Shutdown that stops the loop and performs one final flush so short
+// runs still deliver their metrics. Decode is the matching minimal
+// decoder, used by the in-process fake collectors in the end-to-end
+// tests and hardened by fuzzing (FuzzDecodeRequest) against arbitrary
+// input.
+package otlp
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Proto field numbers of the OTLP metrics schema (opentelemetry-proto
+// v1). Only the subset this encoder emits is listed; names follow the
+// .proto definitions.
+const (
+	// ExportMetricsServiceRequest
+	fieldResourceMetrics = 1
+	// ResourceMetrics
+	fieldResource     = 1
+	fieldScopeMetrics = 2
+	// Resource
+	fieldResourceAttributes = 1
+	// KeyValue
+	fieldKVKey   = 1
+	fieldKVValue = 2
+	// AnyValue (oneof)
+	fieldAnyString = 1
+	// ScopeMetrics
+	fieldScope        = 1
+	fieldScopeMetric  = 2
+	fieldScopeNameKey = 1 // InstrumentationScope.name
+	fieldScopeVersion = 2 // InstrumentationScope.version
+	// Metric
+	fieldMetricName    = 1
+	fieldMetricUnit    = 3
+	fieldMetricGauge   = 5
+	fieldMetricSum     = 7
+	fieldMetricSummary = 11
+	// Gauge / Sum / Summary
+	fieldDataPoints     = 1
+	fieldSumTemporality = 2
+	fieldSumMonotonic   = 3
+	// NumberDataPoint
+	fieldNDPStartTime = 2
+	fieldNDPTime      = 3
+	fieldNDPAsDouble  = 4
+	fieldNDPAsInt     = 6
+	fieldNDPAttrs     = 7
+	// SummaryDataPoint
+	fieldSDPStartTime = 2
+	fieldSDPTime      = 3
+	fieldSDPCount     = 4
+	fieldSDPSum       = 5
+	fieldSDPQuantiles = 6
+	fieldSDPAttrs     = 7
+	// SummaryDataPoint.ValueAtQuantile
+	fieldVAQQuantile = 1
+	fieldVAQValue    = 2
+
+	// temporalityCumulative is AGGREGATION_TEMPORALITY_CUMULATIVE: the
+	// registry's counters never reset.
+	temporalityCumulative = 2
+)
+
+// Protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// enc is a minimal protobuf writer. Nested messages are built in child
+// buffers and embedded length-prefixed; the export path runs off the hot
+// path (one encode per export interval), so the extra copies are fine.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *enc) tag(field, wire int) {
+	e.uvarint(uint64(field)<<3 | uint64(wire))
+}
+
+func (e *enc) bytesField(field int, b []byte) {
+	e.tag(field, wireBytes)
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) stringField(field int, s string) {
+	e.tag(field, wireBytes)
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) doubleField(field int, v float64) {
+	e.tag(field, wireFixed64)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *enc) fixed64Field(field int, v uint64) {
+	e.tag(field, wireFixed64)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *enc) varintField(field int, v uint64) {
+	e.tag(field, wireVarint)
+	e.uvarint(v)
+}
+
+func (e *enc) boolField(field int, v bool) {
+	var b uint64
+	if v {
+		b = 1
+	}
+	e.varintField(field, b)
+}
+
+// keyValue encodes a KeyValue{key, AnyValue{string_value}} message.
+func keyValue(key, value string) []byte {
+	var av enc
+	av.stringField(fieldAnyString, value)
+	var kv enc
+	kv.stringField(fieldKVKey, key)
+	kv.bytesField(fieldKVValue, av.buf)
+	return kv.buf
+}
+
+// attrs encodes one label set as repeated KeyValue attribute fields into
+// the datapoint buffer.
+func attrs(e *enc, field int, labels []telemetry.Label) {
+	for _, l := range labels {
+		e.bytesField(field, keyValue(l.Key, l.Value))
+	}
+}
+
+// family is one metric family: every registry series sharing a base name,
+// in deterministic (raw-key) order.
+type family struct {
+	name   string
+	series []oneSeries
+}
+
+type oneSeries struct {
+	key    string
+	labels []telemetry.Label
+}
+
+// groupFamilies decomposes the keys of a metric map into label-aware
+// families sorted by base name. A key that does not parse as a series is
+// one flat metric named by the whole key.
+func groupFamilies[V any](m map[string]V) []family {
+	byName := map[string]*family{}
+	for key := range m {
+		name, labels, ok := telemetry.ParseSeries(key)
+		if !ok {
+			name, labels = key, nil
+		}
+		f := byName[name]
+		if f == nil {
+			f = &family{name: name}
+			byName[name] = f
+		}
+		f.series = append(f.series, oneSeries{key: key, labels: labels})
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]family, 0, len(names))
+	for _, n := range names {
+		f := byName[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+		out = append(out, *f)
+	}
+	return out
+}
+
+// unitFor derives the OTLP unit string from the repo's metric naming
+// convention: *_us histograms are microseconds, *_seconds gauges are
+// seconds, everything else is a dimensionless count.
+func unitFor(name string) string {
+	switch {
+	case strings.HasSuffix(name, "_us"):
+		return "us"
+	case strings.HasSuffix(name, "_seconds"):
+		return "s"
+	default:
+		return "1"
+	}
+}
+
+// ScopeName identifies this encoder as the instrumentation scope of every
+// exported metric.
+const ScopeName = "repro/internal/telemetry"
+
+// Encode serializes one registry snapshot as an OTLP
+// ExportMetricsServiceRequest protobuf message. service becomes the
+// resource's service.name attribute; start is the cumulative-counter
+// start timestamp (the registry's birth) and ts the observation
+// timestamp. The output is deterministic for a given snapshot: families
+// sort by base name, datapoints by series key.
+func Encode(snap telemetry.Snapshot, service string, start, ts time.Time) []byte {
+	startNano := uint64(start.UnixNano())
+	tsNano := uint64(ts.UnixNano())
+
+	var metrics [][]byte
+
+	// Synthesized uptime gauge, mirroring the Prometheus endpoint.
+	{
+		var dp enc
+		dp.fixed64Field(fieldNDPStartTime, startNano)
+		dp.fixed64Field(fieldNDPTime, tsNano)
+		dp.doubleField(fieldNDPAsDouble, snap.UptimeSeconds)
+		var g enc
+		g.bytesField(fieldDataPoints, dp.buf)
+		metrics = append(metrics, metricMsg("rpn_uptime_seconds", "s", fieldMetricGauge, g.buf))
+	}
+
+	for _, f := range groupFamilies(snap.Counters) {
+		var sum enc
+		for _, s := range f.series {
+			var dp enc
+			dp.fixed64Field(fieldNDPStartTime, startNano)
+			dp.fixed64Field(fieldNDPTime, tsNano)
+			dp.fixed64Field(fieldNDPAsInt, uint64(snap.Counters[s.key]))
+			attrs(&dp, fieldNDPAttrs, s.labels)
+			sum.bytesField(fieldDataPoints, dp.buf)
+		}
+		sum.varintField(fieldSumTemporality, temporalityCumulative)
+		sum.boolField(fieldSumMonotonic, true)
+		metrics = append(metrics, metricMsg(f.name, unitFor(f.name), fieldMetricSum, sum.buf))
+	}
+
+	for _, f := range groupFamilies(snap.Gauges) {
+		var g enc
+		for _, s := range f.series {
+			var dp enc
+			dp.fixed64Field(fieldNDPStartTime, startNano)
+			dp.fixed64Field(fieldNDPTime, tsNano)
+			dp.doubleField(fieldNDPAsDouble, snap.Gauges[s.key])
+			attrs(&dp, fieldNDPAttrs, s.labels)
+			g.bytesField(fieldDataPoints, dp.buf)
+		}
+		metrics = append(metrics, metricMsg(f.name, unitFor(f.name), fieldMetricGauge, g.buf))
+	}
+
+	for _, f := range groupFamilies(snap.Histograms) {
+		var sm enc
+		for _, s := range f.series {
+			h := snap.Histograms[s.key]
+			var dp enc
+			dp.fixed64Field(fieldSDPStartTime, startNano)
+			dp.fixed64Field(fieldSDPTime, tsNano)
+			dp.fixed64Field(fieldSDPCount, uint64(h.Count))
+			dp.doubleField(fieldSDPSum, h.Sum)
+			for _, q := range [...]struct{ q, v float64 }{
+				{0, h.Min}, {0.5, h.P50}, {0.9, h.P90}, {0.99, h.P99}, {1, h.Max},
+			} {
+				var vq enc
+				vq.doubleField(fieldVAQQuantile, q.q)
+				vq.doubleField(fieldVAQValue, q.v)
+				dp.bytesField(fieldSDPQuantiles, vq.buf)
+			}
+			attrs(&dp, fieldSDPAttrs, s.labels)
+			sm.bytesField(fieldDataPoints, dp.buf)
+		}
+		metrics = append(metrics, metricMsg(f.name, unitFor(f.name), fieldMetricSummary, sm.buf))
+	}
+
+	var scope enc
+	scope.stringField(fieldScopeNameKey, ScopeName)
+	var sm enc
+	sm.bytesField(fieldScope, scope.buf)
+	for _, m := range metrics {
+		sm.bytesField(fieldScopeMetric, m)
+	}
+
+	var res enc
+	res.bytesField(fieldResourceAttributes, keyValue("service.name", service))
+
+	var rm enc
+	rm.bytesField(fieldResource, res.buf)
+	rm.bytesField(fieldScopeMetrics, sm.buf)
+
+	var req enc
+	req.bytesField(fieldResourceMetrics, rm.buf)
+	return req.buf
+}
+
+// metricMsg encodes one Metric message with its oneof data field.
+func metricMsg(name, unit string, dataField int, data []byte) []byte {
+	var m enc
+	m.stringField(fieldMetricName, name)
+	m.stringField(fieldMetricUnit, unit)
+	m.bytesField(dataField, data)
+	return m.buf
+}

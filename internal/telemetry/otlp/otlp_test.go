@@ -1,0 +1,346 @@
+package otlp
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// sampleRegistry builds a registry with every metric shape the encoder
+// handles: flat and labeled counters, a gauge, and flat and labeled
+// histograms.
+func sampleRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Add("rpn_restores_total", 3)
+	reg.Inc(telemetry.Series("rpn_labeled_total", telemetry.Label{Key: "layer", Value: "conv1.w"}))
+	reg.Inc(telemetry.Series("rpn_labeled_total", telemetry.Label{Key: "layer", Value: "fc.w"}))
+	reg.SetGauge("rpn_level", 3)
+	for _, v := range []float64{10, 20, 30} {
+		reg.Observe("rpn_transition_latency_us", v)
+		reg.Observe(telemetry.LayerSeries("conv1.w"), v*2)
+	}
+	return reg
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	reg := sampleRegistry()
+	start := time.Unix(1_700_000_000, 0)
+	ts := start.Add(42 * time.Second)
+	data := Encode(reg.Snapshot(), "test-svc", start, ts)
+	req, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := req.ResourceAttrs["service.name"]; got != "test-svc" {
+		t.Errorf("service.name = %q, want test-svc", got)
+	}
+
+	up := req.Metric("rpn_uptime_seconds")
+	if up == nil || up.Type != "gauge" || len(up.Points) != 1 {
+		t.Fatalf("uptime metric = %+v, want one gauge point", up)
+	}
+	if up.Unit != "s" {
+		t.Errorf("uptime unit = %q, want s", up.Unit)
+	}
+
+	c := req.Metric("rpn_restores_total")
+	if c == nil || c.Type != "sum" || len(c.Points) != 1 {
+		t.Fatalf("counter metric = %+v, want one sum point", c)
+	}
+	p := c.Points[0]
+	if p.AsInt != 3 {
+		t.Errorf("counter value = %d, want 3", p.AsInt)
+	}
+	if p.StartUnixNano != uint64(start.UnixNano()) || p.TimeUnixNano != uint64(ts.UnixNano()) {
+		t.Errorf("timestamps = %d/%d, want %d/%d",
+			p.StartUnixNano, p.TimeUnixNano, start.UnixNano(), ts.UnixNano())
+	}
+
+	// The labeled counter family must arrive as one metric with one
+	// attribute-carrying datapoint per series.
+	lc := req.Metric("rpn_labeled_total")
+	if lc == nil || lc.Type != "sum" || len(lc.Points) != 2 {
+		t.Fatalf("labeled counter = %+v, want two sum points", lc)
+	}
+	layers := map[string]bool{}
+	for _, p := range lc.Points {
+		if p.AsInt != 1 {
+			t.Errorf("labeled counter point = %d, want 1", p.AsInt)
+		}
+		layers[p.Attrs["layer"]] = true
+	}
+	if !layers["conv1.w"] || !layers["fc.w"] {
+		t.Errorf("labeled counter layers = %v, want conv1.w and fc.w", layers)
+	}
+
+	g := req.Metric("rpn_level")
+	if g == nil || g.Type != "gauge" || len(g.Points) != 1 || g.Points[0].AsDouble != 3 {
+		t.Fatalf("gauge metric = %+v, want one point of 3", g)
+	}
+
+	s := req.Metric("rpn_transition_latency_us")
+	if s == nil || s.Type != "summary" || len(s.Points) != 1 {
+		t.Fatalf("summary metric = %+v, want one summary point", s)
+	}
+	if s.Unit != "us" {
+		t.Errorf("summary unit = %q, want us", s.Unit)
+	}
+	sp := s.Points[0]
+	if sp.Count != 3 || sp.Sum != 60 {
+		t.Errorf("summary count/sum = %d/%v, want 3/60", sp.Count, sp.Sum)
+	}
+	var p50 float64
+	for _, q := range sp.Quantiles {
+		if q.Q == 0.5 {
+			p50 = q.V
+		}
+	}
+	if p50 != 20 {
+		t.Errorf("summary p50 = %v, want 20", p50)
+	}
+
+	ls := req.Metric("rpn_layer_transition_latency_us")
+	if ls == nil || ls.Type != "summary" || len(ls.Points) != 1 {
+		t.Fatalf("layer summary = %+v, want one point", ls)
+	}
+	if got := ls.Points[0].Attrs["layer"]; got != "conv1.w" {
+		t.Errorf("layer summary attr = %q, want conv1.w", got)
+	}
+	if ls.Points[0].Sum != 120 {
+		t.Errorf("layer summary sum = %v, want 120", ls.Points[0].Sum)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	reg := sampleRegistry()
+	snap := reg.Snapshot()
+	start := time.Unix(1_700_000_000, 0)
+	ts := start.Add(time.Second)
+	a := Encode(snap, "svc", start, ts)
+	b := Encode(snap, "svc", start, ts)
+	if string(a) != string(b) {
+		t.Error("Encode is not deterministic for the same snapshot")
+	}
+}
+
+func TestNormalizeEndpoint(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "localhost:4318", want: "http://localhost:4318/v1/metrics"},
+		{in: "http://collector:4318", want: "http://collector:4318/v1/metrics"},
+		{in: "https://collector:4318/", want: "https://collector:4318/v1/metrics"},
+		{in: "http://collector:4318/custom/path", want: "http://collector:4318/custom/path"},
+		{in: "", wantErr: true},
+		{in: "ftp://collector", wantErr: true},
+		{in: "http://", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := normalizeEndpoint(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("normalizeEndpoint(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("normalizeEndpoint(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("normalizeEndpoint(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// collector is an in-process fake OTLP collector: it decodes every POST
+// and retains the requests.
+type collector struct {
+	mu       sync.Mutex
+	requests []*Request
+	// status, when nonzero, is returned (with no decode) for the first
+	// failN requests.
+	status int
+	failN  int
+	seen   int
+}
+
+func (c *collector) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.seen++
+		if c.status != 0 && c.seen <= c.failN {
+			http.Error(w, "unavailable", c.status)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-protobuf" {
+			http.Error(w, "bad content type "+ct, http.StatusBadRequest)
+			return
+		}
+		body := make([]byte, 0, 1<<16)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		req, err := Decode(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		c.requests = append(c.requests, req)
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.requests)
+}
+
+func (c *collector) last() *Request {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.requests) == 0 {
+		return nil
+	}
+	return c.requests[len(c.requests)-1]
+}
+
+func TestExporterPeriodicDelivery(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	reg.Add("rpn_restores_total", 7)
+	exp, err := NewExporter(reg, srv.URL, WithInterval(5*time.Millisecond), WithServiceName("periodic-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if col.count() == 0 {
+		t.Fatal("collector received no periodic exports")
+	}
+	req := col.last()
+	if got := req.ResourceAttrs["service.name"]; got != "periodic-test" {
+		t.Errorf("service.name = %q", got)
+	}
+	m := req.Metric("rpn_restores_total")
+	if m == nil || len(m.Points) != 1 || m.Points[0].AsInt != 7 {
+		t.Errorf("restores metric = %+v, want one point of 7", m)
+	}
+	if st := exp.Stats(); st.Exports < 1 {
+		t.Errorf("stats = %+v, want ≥ 1 export", st)
+	}
+	// A second Shutdown is a no-op flush, not a panic.
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+func TestExporterRetriesThenSucceeds(t *testing.T) {
+	col := &collector{status: http.StatusServiceUnavailable, failN: 2}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	reg.Inc("rpn_transitions_total")
+	exp, err := NewExporter(reg, srv.URL, WithInterval(time.Hour), WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after retries: %v", err)
+	}
+	if col.count() != 1 {
+		t.Errorf("collector received %d requests, want 1", col.count())
+	}
+	st := exp.Stats()
+	if st.Exports != 1 || st.Retries != 2 || st.Failures != 0 {
+		t.Errorf("stats = %+v, want 1 export / 2 retries / 0 failures", st)
+	}
+}
+
+func TestExporterNonRetryableStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+
+	exp, err := NewExporter(telemetry.NewRegistry(), srv.URL, WithInterval(time.Hour), WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = exp.Shutdown(ctx)
+	if err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("Shutdown = %v, want 403 error", err)
+	}
+	st := exp.Stats()
+	if st.Retries != 0 || st.Failures != 1 {
+		t.Errorf("stats = %+v, want 0 retries / 1 failure (403 must not retry)", st)
+	}
+}
+
+func TestExporterUnreachableCollector(t *testing.T) {
+	// A port nothing listens on: connection refused is retryable, so the
+	// flush exhausts its attempt budget and reports the failure.
+	exp, err := NewExporter(telemetry.NewRegistry(), "127.0.0.1:1",
+		WithInterval(time.Hour), WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown against unreachable collector succeeded")
+	}
+	st := exp.Stats()
+	if st.Retries != 1 || st.Failures != 1 {
+		t.Errorf("stats = %+v, want 1 retry / 1 failure", st)
+	}
+}
+
+func TestExporterNilRegistry(t *testing.T) {
+	if _, err := NewExporter(nil, "localhost:4318"); err == nil {
+		t.Error("nil registry accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	reg := sampleRegistry()
+	data := Encode(reg.Snapshot(), "svc", time.Unix(0, 0), time.Unix(1, 0))
+	bad := 0
+	for i := 1; i < len(data); i++ {
+		if _, err := Decode(data[:i]); err != nil {
+			bad++
+		}
+	}
+	// Truncations may not all fail (a prefix of length-delimited fields
+	// can be self-consistent), but most must, and none may panic.
+	if bad == 0 {
+		t.Error("no truncated input was rejected")
+	}
+}

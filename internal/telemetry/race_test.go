@@ -32,6 +32,13 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	writer(func(i int) { h.ObserveTransition(i%3, (i+1)%3, int64(i), time.Microsecond) })
 	writer(func(i int) { h.ObserveTick(i, i%3, i%2 == 0, false, i%5 == 0, time.Microsecond) })
 	writer(func(i int) { h.ObserveFrame(time.Duration(i) * time.Nanosecond) })
+	// Labeled paths: two goroutines hammer the same labeled series (the
+	// Hooks layer cache is shared state), one alternates layers, and one
+	// writes the flat metric the labeled family collides with.
+	writer(func(i int) { h.ObserveParamTransition(1, 0, "conv1.w", int64(i), time.Microsecond) })
+	writer(func(i int) { h.ObserveParamTransition(2, 0, "conv1.w", int64(i), time.Microsecond) })
+	writer(func(i int) { h.ObserveParamTransition(1, 0, []string{"fc.w", "fc.b"}[i%2], int64(i), time.Microsecond) })
+	writer(func(i int) { r.Observe(MetricLayerTransitionLatency, float64(i%13)) })
 
 	// Readers: snapshots and Prometheus renders interleaved with writes.
 	for g := 0; g < 2; g++ {
@@ -61,6 +68,18 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	}
 	if s.Histograms["hist"].Count != iters {
 		t.Errorf("hist count = %d, want %d", s.Histograms["hist"].Count, iters)
+	}
+	// Labeled writes must land in their own series: 2 goroutines × iters
+	// into conv1.w, iters/2 each into the alternating layers, and the
+	// flat collision metric stays separate.
+	if got := s.Histograms[LayerSeries("conv1.w")].Count; got != 2*iters {
+		t.Errorf("conv1.w labeled count = %d, want %d", got, 2*iters)
+	}
+	if got := s.Histograms[LayerSeries("fc.w")].Count + s.Histograms[LayerSeries("fc.b")].Count; got != iters {
+		t.Errorf("alternating labeled counts sum = %d, want %d", got, iters)
+	}
+	if got := s.Histograms[MetricLayerTransitionLatency].Count; got != iters {
+		t.Errorf("flat collision histogram count = %d, want %d", got, iters)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -103,29 +104,112 @@ func writeHealthz(w http.ResponseWriter, reg *Registry) {
 	_ = enc.Encode(doc)
 }
 
+// series is one registry key decomposed for rendering: the sanitized base
+// name plus its (sanitized-key, raw-value) labels.
+type series struct {
+	key    string // raw registry key
+	name   string // sanitized base metric name
+	labels []Label
+}
+
+// parseSanitized decomposes a registry key into a renderable series. A key
+// that does not parse as name{labels} is treated as one flat metric whose
+// whole identifier is sanitized into the metric name.
+func parseSanitized(key string) series {
+	name, labels, ok := ParseSeries(key)
+	if !ok {
+		return series{key: key, name: sanitizeMetricName(key)}
+	}
+	s := series{key: key, name: sanitizeMetricName(name)}
+	for _, l := range labels {
+		s.labels = append(s.labels, Label{Key: sanitizeMetricName(l.Key), Value: l.Value})
+	}
+	return s
+}
+
+// render writes the sample name: base name plus the series labels and any
+// extra labels (the summary quantile), re-escaped.
+func (s series) render(extra ...Label) string {
+	if len(s.labels) == 0 && len(extra) == 0 {
+		return s.name
+	}
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	wrote := false
+	for _, l := range append(append([]Label(nil), s.labels...), extra...) {
+		if wrote {
+			b.WriteByte(',')
+		}
+		wrote = true
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortedSeries decomposes every key of a metric map and orders the result
+// by (base name, raw key), so all series of one labeled family are
+// contiguous — a family's # TYPE header is emitted exactly once even when
+// a flat metric name sorts between the base name and its labeled keys.
+func sortedSeries[V any](m map[string]V) []series {
+	out := make([]series, 0, len(m))
+	for key := range m {
+		out = append(out, parseSanitized(key))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
 // writePrometheus renders a snapshot in the Prometheus text exposition
 // format (0.0.4), deterministically ordered. Histograms are emitted as
-// summaries: rolling-window quantiles plus lifetime _sum/_count.
+// summaries: rolling-window quantiles plus lifetime _sum/_count. Labeled
+// series render with their label set, one # TYPE header per family; the
+// summary quantile label is appended after any series labels.
 func writePrometheus(w io.Writer, snap Snapshot) {
 	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
 		"rpn_uptime_seconds", "rpn_uptime_seconds", formatFloat(snap.UptimeSeconds))
-	for _, name := range sortedKeys(snap.Counters) {
-		n := sanitizeMetricName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	prevType := ""
+	for _, s := range sortedSeries(snap.Counters) {
+		if s.name != prevType {
+			fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
+			prevType = s.name
+		}
+		fmt.Fprintf(w, "%s %d\n", s.render(), snap.Counters[s.key])
 	}
-	for _, name := range sortedKeys(snap.Gauges) {
-		n := sanitizeMetricName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(snap.Gauges[name]))
+	prevType = ""
+	for _, s := range sortedSeries(snap.Gauges) {
+		if s.name != prevType {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", s.name)
+			prevType = s.name
+		}
+		fmt.Fprintf(w, "%s %s\n", s.render(), formatFloat(snap.Gauges[s.key]))
 	}
-	for _, name := range sortedKeys(snap.Histograms) {
-		n := sanitizeMetricName(name)
-		h := snap.Histograms[name]
-		fmt.Fprintf(w, "# TYPE %s summary\n", n)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", n, formatFloat(h.P50))
-		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", n, formatFloat(h.P90))
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", n, formatFloat(h.P99))
-		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	prevType = ""
+	for _, s := range sortedSeries(snap.Histograms) {
+		if s.name != prevType {
+			fmt.Fprintf(w, "# TYPE %s summary\n", s.name)
+			prevType = s.name
+		}
+		h := snap.Histograms[s.key]
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			fmt.Fprintf(w, "%s %s\n", s.render(Label{Key: "quantile", Value: q.q}), formatFloat(q.v))
+		}
+		sumSeries := series{name: s.name + "_sum", labels: s.labels}
+		countSeries := series{name: s.name + "_count", labels: s.labels}
+		fmt.Fprintf(w, "%s %s\n", sumSeries.render(), formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s %d\n", countSeries.render(), h.Count)
 	}
 }
 

@@ -3,21 +3,31 @@
 // registry (monotonic counters, gauges, and fixed-window rolling histograms
 // with microsecond-resolution quantiles) plus an HTTP server exposing the
 // registry as a JSON health snapshot (/healthz) and Prometheus text
-// (/metrics).
+// (/metrics). Metrics may carry labels: Series renders a name plus
+// key="value" pairs into one opaque registry key, so labeled families like
+// rpn_layer_transition_latency_us{layer="conv1.w"} coexist with flat names
+// without changing the Registry API, and the Prometheus renderer groups
+// them back into families. The otlp subpackage pushes the same registry to
+// OpenTelemetry collectors over OTLP/HTTP.
 //
 // The offline experiment harness (cmd/experiments) measures transitions in
-// tables; telemetry makes the same quantities — restore latency, level
-// residency, contract violations — observable from a *live* deployment, the
-// way containerized services expose rolling counters. The package imports
-// only the standard library so every layer of the stack can depend on it
-// without cycles; the stack-specific wiring lives in Hooks, whose methods
-// structurally satisfy the observer seams of internal/core,
-// internal/governor, and internal/perception.
+// tables; telemetry makes the same quantities — restore latency (whole
+// transition and per layer), level residency, contract violations —
+// observable from a *live* deployment, the way containerized services
+// expose rolling counters. The package imports only the standard library
+// so every layer of the stack can depend on it without cycles; the
+// stack-specific wiring lives in Hooks, whose methods structurally satisfy
+// the observer seams of internal/core, internal/governor, and
+// internal/perception.
 //
 // All registry methods are safe for concurrent use. The hot-path contract
 // is one mutex acquisition and no allocations for existing metrics; the
 // disabled path (a nil observer upstream) costs nothing at all — see the
 // benchmarks in internal/governor.
+//
+// docs/METRICS.md is the authoritative reference of every emitted metric
+// (enforced by TestMetricsDocCrossCheck); docs/OPERATIONS.md is the
+// operator guide.
 package telemetry
 
 import (

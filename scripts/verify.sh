@@ -13,6 +13,8 @@
 #   6. go test -fuzz     — a short coverage-guided smoke run of the binary
 #                          format fuzzers (the checked-in corpus always runs
 #                          as part of step 4)
+#   7. docs consistency  — the METRICS.md cross-check: every emitted metric
+#                          documented, every documented metric emitted
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,8 +27,11 @@ step go vet ./...
 step go build ./...
 step go run ./cmd/rpnlint ./...
 step go test ./...
-step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/
+step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
+step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry/otlp/
+step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemetry/
+step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
 
 echo "verify: all gates passed"
