@@ -4,6 +4,14 @@
 //
 //	simdrive -scenario cut-in -policy hysteresis
 //	simdrive -scenario pedestrian-fog -policy threshold -csv timeline.csv
+//
+// With -fleet N > 1 simdrive runs N independent model instances as a
+// sharded fleet: each vehicle gets its own trained model, scenario
+// (cycling through the library starting at -scenario), and world seed,
+// all driving concurrently. -fleet-budget-mj adds a fleet budget governor
+// that rebalances prune levels during the run to hold the aggregate
+// per-inference energy envelope. Per-model telemetry series carry a
+// model="carN" label on the shared registry.
 package main
 
 import (
@@ -11,9 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/governor"
 	"repro/internal/metrics"
 	"repro/internal/perception"
@@ -28,63 +40,45 @@ func main() {
 	scenarioName := flag.String("scenario", "cut-in", "scenario: highway-cruise, urban-traffic, cut-in, pedestrian, sensor-degradation, pedestrian-fog")
 	policyName := flag.String("policy", "hysteresis", "governor policy: static-dense, static-deep, threshold, hysteresis, predictive")
 	seed := flag.Int64("seed", 42, "world seed")
-	csvPath := flag.String("csv", "", "optional path to write the per-tick timeline as CSV")
-	every := flag.Int("every", 100, "print one timeline row every N ticks")
+	csvPath := flag.String("csv", "", "optional path to write the per-tick timeline as CSV (per-vehicle files in fleet mode)")
+	every := flag.Int("every", 100, "print one timeline row every N ticks (single-model mode)")
 	telemetryAddr := flag.String("telemetry", "", "serve /healthz and /metrics on this address (e.g. :8080) during the run")
 	otlpEndpoint := flag.String("otlp-endpoint", "", "export OTLP/HTTP metrics to this collector (e.g. localhost:4318) during the run")
+	fleetSize := flag.Int("fleet", 1, "number of model instances to run as a fleet (1 = single-model mode)")
+	fleetBudget := flag.Float64("fleet-budget-mj", 0, "aggregate per-inference energy budget (mJ) a fleet governor holds during the run (0 = no budget; fleet mode only)")
 	flag.Parse()
 
-	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, nil); err != nil {
+	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "simdrive:", err)
 		os.Exit(1)
 	}
 }
 
 func findScenario(name string) (sim.Scenario, error) {
-	for _, sc := range sim.AllScenarios() {
-		if sc.Name == name {
-			return sc, nil
-		}
-	}
-	var names []string
-	for _, sc := range sim.AllScenarios() {
-		names = append(names, sc.Name)
-	}
-	return sim.Scenario{}, fmt.Errorf("unknown scenario %q (have %v)", name, names)
+	return sim.FindScenario(name)
 }
 
-// run executes one scenario. When telemetryAddr is non-empty, a telemetry
+// run executes one scenario (fleetSize == 1) or a fleet of concurrent
+// instances (fleetSize > 1). When telemetryAddr is non-empty, a telemetry
 // server exposes /healthz and /metrics for the duration of the run; when
 // otlpEndpoint is non-empty, an OTLP exporter pushes the same registry to
 // that collector (final flush on shutdown, so runs shorter than the export
 // interval still deliver). probe, when non-nil, is invoked with the
 // server's base URL after the run completes and before the server shuts
 // down (tests hook it to scrape the live endpoints).
-func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, probe func(baseURL string)) error {
+func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, fleetSize int, fleetBudgetMJ float64, probe func(baseURL string)) error {
 	sc, err := findScenario(scenarioName)
 	if err != nil {
 		return err
 	}
-	fmt.Println("training perception model (deterministic, ~seconds)…")
-	z := experiments.NewZoo(1)
-	spec := platform.EmbeddedCPU()
-	model, rm, err := z.ObstacleStack(nil, spec)
-	if err != nil {
-		return err
+	if fleetSize < 1 {
+		return fmt.Errorf("fleet size %d (want ≥ 1)", fleetSize)
 	}
 
-	govOpts := []governor.Option{governor.WithTrace()}
+	var reg *telemetry.Registry
 	var tsrv *telemetry.Server
 	if telemetryAddr != "" || otlpEndpoint != "" {
-		reg := telemetry.NewRegistry()
-		hooks := telemetry.NewHooks(reg)
-		sp := make([]float64, rm.NumLevels())
-		for i, lvl := range rm.Levels() {
-			sp[i] = lvl.Sparsity
-		}
-		hooks.SetLevels(sp)
-		rm.SetObserver(hooks)
-		govOpts = append(govOpts, governor.WithObserver(hooks))
+		reg = telemetry.NewRegistry()
 		if telemetryAddr != "" {
 			tsrv, err = telemetry.Serve(reg, telemetryAddr)
 			if err != nil {
@@ -107,6 +101,43 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 			}()
 			fmt.Printf("otlp: exporting to %s\n", exp.URL())
 		}
+	}
+
+	if fleetSize == 1 {
+		err = runSolo(sc, policyName, seed, csvPath, every, reg)
+	} else {
+		err = runFleet(sc, policyName, seed, csvPath, fleetSize, fleetBudgetMJ, reg)
+	}
+	if err != nil {
+		return err
+	}
+	if probe != nil && tsrv != nil {
+		probe("http://" + tsrv.Addr())
+	}
+	return nil
+}
+
+// runSolo is the classic single-model closed loop with the per-tick
+// timeline print.
+func runSolo(sc sim.Scenario, policyName string, seed int64, csvPath string, every int, reg *telemetry.Registry) error {
+	fmt.Println("training perception model (deterministic, ~seconds)…")
+	z := experiments.NewZoo(1)
+	spec := platform.EmbeddedCPU()
+	model, rm, err := z.ObstacleStack(nil, spec)
+	if err != nil {
+		return err
+	}
+
+	govOpts := []governor.Option{governor.WithTrace()}
+	if reg != nil {
+		hooks := telemetry.NewHooks(reg)
+		sp := make([]float64, rm.NumLevels())
+		for i, lvl := range rm.Levels() {
+			sp[i] = lvl.Sparsity
+		}
+		hooks.SetLevels(sp)
+		rm.SetObserver(hooks)
+		govOpts = append(govOpts, governor.WithObserver(hooks))
 	}
 
 	var gov *governor.Governor
@@ -195,8 +226,202 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 		}
 		fmt.Printf("timeline CSV written to %s\n", csvPath)
 	}
-	if probe != nil && tsrv != nil {
-		probe("http://" + tsrv.Addr())
+	return nil
+}
+
+// fleetVehicle pairs one fleet instance with the scenario and seed its
+// closed loop runs.
+type fleetVehicle struct {
+	inst *fleet.Instance
+	sc   sim.Scenario
+	seed int64
+}
+
+// runFleet builds n instances named car0..car(n-1) — each with its own
+// trained model, governor, and (when reg is non-nil) model-labeled
+// telemetry hooks — and drives them concurrently, each through its own
+// scenario (cycling from base) and world seed. A positive budget starts a
+// fleet budget governor that rebalances prune levels throughout the run.
+func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, n int, budgetMJ float64, reg *telemetry.Registry) error {
+	scens := sim.AllScenarios()
+	baseIdx := 0
+	for i, s := range scens {
+		if s.Name == base.Name {
+			baseIdx = i
+			break
+		}
+	}
+
+	fmt.Printf("training perception model and cloning %d fleet instances (deterministic, ~seconds)…\n", n)
+	z := experiments.NewZoo(1)
+	spec := platform.EmbeddedCPU()
+
+	f := fleet.New()
+	vehicles := make([]fleetVehicle, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("car%d", i)
+		model, rm, err := z.ObstacleStack(nil, spec)
+		if err != nil {
+			return err
+		}
+		pipe, err := perception.NewPipeline(model, 16, 0)
+		if err != nil {
+			return err
+		}
+		inst, err := fleet.NewInstance(name, pipe, rm)
+		if err != nil {
+			return err
+		}
+		govOpts := []governor.Option{governor.WithTrace()}
+		if reg != nil {
+			hooks := telemetry.NewHooks(reg, telemetry.Label{Key: telemetry.LabelModel, Value: name})
+			sp := make([]float64, rm.NumLevels())
+			for j, lvl := range rm.Levels() {
+				sp[j] = lvl.Sparsity
+			}
+			hooks.SetLevels(sp)
+			inst.SetModelObserver(hooks)
+			inst.SetObserver(hooks)
+			govOpts = append(govOpts, governor.WithObserver(hooks))
+		}
+		switch policyName {
+		case "static-dense":
+			// No governor; the instance stays dense unless the budget
+			// governor retargets it.
+		case "static-deep":
+			err = inst.ApplyLevel(inst.NumLevels() - 1)
+		case "threshold":
+			err = inst.AttachGovernor(governor.Threshold{}, safety.DefaultContract(), govOpts...)
+		case "hysteresis":
+			err = inst.AttachGovernor(&governor.Hysteresis{DwellTicks: 20}, safety.DefaultContract(), govOpts...)
+		case "predictive":
+			err = inst.AttachGovernor(&governor.Predictive{}, safety.DefaultContract(), govOpts...)
+		default:
+			return fmt.Errorf("unknown policy %q", policyName)
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.Add(inst); err != nil {
+			return err
+		}
+		vehicles = append(vehicles, fleetVehicle{
+			inst: inst,
+			sc:   scens[(baseIdx+i)%len(scens)],
+			seed: seed + int64(i),
+		})
+	}
+
+	// Optional fleet budget governor: one initial pass so the fleet starts
+	// inside the envelope, then a periodic rebalance loop for the duration
+	// of the run.
+	var bgWG sync.WaitGroup
+	bgDone := make(chan struct{})
+	if budgetMJ > 0 {
+		var bopts []fleet.BudgetOption
+		if reg != nil {
+			bopts = append(bopts, fleet.WithRebalanceObserver(telemetry.NewHooks(reg)))
+		}
+		bg, err := fleet.NewBudgetGovernor(f, fleet.Budget{EnergyMJ: budgetMJ}, bopts...)
+		if err != nil {
+			return err
+		}
+		if _, err := bg.Rebalance(); err != nil {
+			return err
+		}
+		fmt.Printf("fleet: holding %s mJ aggregate per-inference energy budget\n", metrics.F(budgetMJ, 2))
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			t := time.NewTicker(25 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-bgDone:
+					return
+				case <-t.C:
+					if _, err := bg.Rebalance(); err != nil {
+						fmt.Fprintln(os.Stderr, "simdrive: rebalance:", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	results := make([]perception.LoopResult, len(vehicles))
+	errs := make([]error, len(vehicles))
+	var wg sync.WaitGroup
+	for i := range vehicles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := vehicles[i]
+			results[i], errs[i] = perception.RunStack(v.sc, v.inst, perception.LoopConfig{
+				FrameSize: 16,
+				Spec:      spec,
+				Record:    csvPath != "",
+				Seed:      v.seed,
+			})
+		}(i)
+	}
+	wg.Wait()
+	close(bgDone)
+	bgWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", vehicles[i].inst.Name(), vehicles[i].sc.Name, err)
+		}
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("fleet summary: %d vehicles under %s", n, policyName),
+		"model", "scenario", "ticks", "collided", "missed", "crit", "false+", "switches", "viol", "mean level", "energy mJ",
+	)
+	totalEnergy := 0.0
+	totalSwitches, totalViolations, collisions := 0, 0, 0
+	for i, v := range vehicles {
+		r := results[i]
+		tb.AddRow(
+			v.inst.Name(),
+			r.Scenario,
+			fmt.Sprintf("%d", r.Ticks),
+			fmt.Sprintf("%v", r.Collided),
+			fmt.Sprintf("%d", r.Missed),
+			fmt.Sprintf("%d", r.MissedCritical),
+			fmt.Sprintf("%d", r.FalseAlarms),
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.Violations),
+			metrics.F(r.MeanLevel, 2),
+			metrics.F(r.EnergyMJ, 2),
+		)
+		totalEnergy += r.EnergyMJ
+		totalSwitches += r.Switches
+		totalViolations += r.Violations
+		if r.Collided {
+			collisions++
+		}
+	}
+	fmt.Print(tb.String())
+
+	agg := metrics.NewTable("fleet aggregate", "metric", "value")
+	agg.AddRow("vehicles", fmt.Sprintf("%d", n))
+	agg.AddRow("collisions", fmt.Sprintf("%d", collisions))
+	agg.AddRow("total level switches", fmt.Sprintf("%d", totalSwitches))
+	agg.AddRow("total contract violations", fmt.Sprintf("%d", totalViolations))
+	agg.AddRow("total energy (mJ)", metrics.F(totalEnergy, 2))
+	fmt.Print(agg.String())
+
+	if csvPath != "" {
+		ext := filepath.Ext(csvPath)
+		stem := strings.TrimSuffix(csvPath, ext)
+		for i, v := range vehicles {
+			path := fmt.Sprintf("%s.%s%s", stem, v.inst.Name(), ext)
+			if err := os.WriteFile(path, []byte(results[i].Recorder.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("timeline CSV written to %s\n", path)
+		}
 	}
 	return nil
 }

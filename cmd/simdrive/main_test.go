@@ -1,12 +1,14 @@
 package main
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -31,7 +33,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("simdrive end-to-end skipped in -short mode")
 	}
 	csvPath := filepath.Join(t.TempDir(), "timeline.csv")
-	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", nil); err != nil {
+	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", 1, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -41,12 +43,15 @@ func TestRunEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(data), "tick,") {
 		t.Errorf("timeline CSV malformed: %q", string(data[:40]))
 	}
-	if err := run("cut-in", "bogus", 1, "", 500, "", "", nil); err == nil {
+	if err := run("cut-in", "bogus", 1, "", 500, "", "", 1, 0, nil); err == nil {
 		t.Error("bogus policy accepted")
+	}
+	if err := run("cut-in", "hysteresis", 1, "", 500, "", "", 0, 0, nil); err == nil {
+		t.Error("zero fleet size accepted")
 	}
 	// All remaining policies at least construct and run.
 	for _, p := range []string{"static-dense", "static-deep", "threshold", "predictive"} {
-		if err := run("highway-cruise", p, 1, "", 1000, "", "", nil); err != nil {
+		if err := run("highway-cruise", p, 1, "", 1000, "", "", 1, 0, nil); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
 	}
@@ -117,11 +122,59 @@ func TestRunWithTelemetry(t *testing.T) {
 			}
 		}
 	}
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", 1, 0, probe); err != nil {
 		t.Fatal(err)
 	}
 	if !probed {
 		t.Fatal("telemetry probe never ran")
+	}
+}
+
+// newFakeCollector starts an in-process OTLP/HTTP collector that accepts
+// the exporter's default gzip-compressed bodies (and plain ones) and
+// decodes every export. The returned func snapshots the decoded requests.
+func newFakeCollector(t *testing.T) (*httptest.Server, func() []*otlp.Request) {
+	t.Helper()
+	var mu sync.Mutex
+	var reqs []*otlp.Request
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			t.Errorf("collector hit on %q, want /v1/metrics", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-protobuf" {
+			t.Errorf("Content-Type = %q, want application/x-protobuf", ct)
+		}
+		var body io.Reader = r.Body
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			zr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				t.Errorf("collector failed to open gzip body: %v", err)
+				return
+			}
+			defer zr.Close()
+			body = zr
+		}
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req, err := otlp.Decode(raw)
+		if err != nil {
+			t.Errorf("collector failed to decode export: %v", err)
+			return
+		}
+		mu.Lock()
+		reqs = append(reqs, req)
+		mu.Unlock()
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() []*otlp.Request {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*otlp.Request(nil), reqs...)
 	}
 }
 
@@ -135,32 +188,7 @@ func TestRunWithOTLP(t *testing.T) {
 		t.Skip("simdrive OTLP end-to-end skipped in -short mode")
 	}
 
-	var mu sync.Mutex
-	var reqs []*otlp.Request
-	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/v1/metrics" {
-			t.Errorf("collector hit on %q, want /v1/metrics", r.URL.Path)
-			http.NotFound(w, r)
-			return
-		}
-		if ct := r.Header.Get("Content-Type"); ct != "application/x-protobuf" {
-			t.Errorf("Content-Type = %q, want application/x-protobuf", ct)
-		}
-		body, err := io.ReadAll(r.Body)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		req, err := otlp.Decode(body)
-		if err != nil {
-			t.Errorf("collector failed to decode export: %v", err)
-			return
-		}
-		mu.Lock()
-		reqs = append(reqs, req)
-		mu.Unlock()
-	}))
-	defer collector.Close()
+	collector, decoded := newFakeCollector(t)
 
 	// Scrape the layer label set from /metrics during the run so the OTLP
 	// attributes can be cross-checked against the Prometheus rendering.
@@ -189,14 +217,13 @@ func TestRunWithOTLP(t *testing.T) {
 		}
 	}
 
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, 1, 0, probe); err != nil {
 		t.Fatal(err)
 	}
 
-	mu.Lock()
-	defer mu.Unlock()
 	// run() shuts the exporter down with a final flush, so at least one
 	// export must have landed even if the run beat the export interval.
+	reqs := decoded()
 	if len(reqs) == 0 {
 		t.Fatal("collector received no exports")
 	}
@@ -248,5 +275,130 @@ func TestRunWithOTLP(t *testing.T) {
 		if !promLayers[layer] {
 			t.Errorf("layer %q in OTLP export but missing from /metrics", layer)
 		}
+	}
+}
+
+// TestRunFleet is the fleet end-to-end acceptance check: simdrive -fleet 4
+// with the telemetry server and an OTLP collector live. Every instance
+// must surface model-labeled series on /metrics (including the combined
+// layer+model label set on per-layer histograms), the fleet budget
+// governor must record rebalance passes, and the per-model governor tick
+// counters must cross-check exactly between the Prometheus rendering and
+// the final OTLP export.
+func TestRunFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simdrive fleet end-to-end skipped in -short mode")
+	}
+
+	collector, decoded := newFakeCollector(t)
+
+	models := []string{"car0", "car1", "car2", "car3"}
+	promTicks := map[string]float64{}
+	sawLayerModel := false
+	rebalances := 0.0
+	probe := func(baseURL string) {
+		resp, err := http.Get(baseURL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.SplitN(line, " ", 2)
+			if len(fields) != 2 {
+				continue
+			}
+			name, labels, ok := telemetry.ParseSeries(fields[0])
+			if !ok {
+				continue
+			}
+			model, layer := "", ""
+			for _, l := range labels {
+				switch l.Key {
+				case telemetry.LabelModel:
+					model = l.Value
+				case telemetry.LabelLayer:
+					layer = l.Value
+				}
+			}
+			switch name {
+			case telemetry.MetricGovernorTicks:
+				if model == "" {
+					t.Errorf("flat %s series leaked into fleet mode: %s", name, line)
+					continue
+				}
+				v, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+				if err != nil {
+					t.Errorf("bad counter value in %q: %v", line, err)
+					continue
+				}
+				promTicks[model] = v
+			case telemetry.MetricLayerTransitionLatency:
+				if model != "" && layer != "" {
+					sawLayerModel = true
+				}
+			case telemetry.MetricFleetRebalances:
+				if model != "" {
+					t.Errorf("fleet aggregate %s carries a model label: %s", name, line)
+				}
+				rebalances, _ = strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+			}
+		}
+	}
+
+	if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0", collector.URL, len(models), 40, probe); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range models {
+		if promTicks[m] < 1 {
+			t.Errorf("/metrics governor ticks for %s = %v, want ≥ 1", m, promTicks[m])
+		}
+	}
+	if !sawLayerModel {
+		t.Error("/metrics has no per-layer series carrying both layer and model labels")
+	}
+	if rebalances < 1 {
+		t.Errorf("%s = %v, want ≥ 1 (budget loop must have run)", telemetry.MetricFleetRebalances, rebalances)
+	}
+
+	reqs := decoded()
+	if len(reqs) == 0 {
+		t.Fatal("collector received no exports")
+	}
+	last := reqs[len(reqs)-1]
+	ticks := last.Metric(telemetry.MetricGovernorTicks)
+	if ticks == nil {
+		t.Fatal("export missing " + telemetry.MetricGovernorTicks)
+	}
+	otlpTicks := map[string]float64{}
+	for _, p := range ticks.Points {
+		model := p.Attrs[telemetry.LabelModel]
+		if model == "" {
+			t.Errorf("governor tick datapoint without model attribute: %+v", p)
+			continue
+		}
+		otlpTicks[model] = float64(p.AsInt)
+	}
+	// The registry is static by probe time (vehicles joined, budget loop
+	// stopped), so the final OTLP flush must agree exactly with /metrics.
+	for m, v := range promTicks {
+		if otlpTicks[m] != v {
+			t.Errorf("governor ticks for %s: /metrics %v vs OTLP %v", m, v, otlpTicks[m])
+		}
+	}
+	for m := range otlpTicks {
+		if _, ok := promTicks[m]; !ok {
+			t.Errorf("model %s in OTLP export but missing from /metrics", m)
+		}
+	}
+	if fr := last.Metric(telemetry.MetricFleetRebalances); fr == nil || len(fr.Points) == 0 || fr.Points[0].AsInt < 1 {
+		t.Error("OTLP export missing fleet rebalance counter")
 	}
 }

@@ -1,0 +1,138 @@
+// Fleet: two model instances sharing one energy budget. Each vehicle
+// demands the dense model, but the platform cannot afford two dense
+// networks — the fleet budget governor deepens the instance that gives up
+// the least accuracy per millijoule saved until the aggregate fits, drives
+// both closed loops concurrently at the rebalanced levels, and then shows
+// the squeeze reversing the moment the budget relaxes (the instances
+// return to their own demands). The per-vehicle safety governor loop on
+// top of this is cmd/simdrive -fleet.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "training obstacle model and cloning two fleet instances…")
+	zoo := experiments.NewZoo(1)
+	spec := revprune.EmbeddedCPU()
+
+	f := revprune.NewFleet()
+	names := []string{"lead", "follow"}
+	for _, name := range names {
+		model, rm, err := zoo.ObstacleStack(nil, spec)
+		if err != nil {
+			return err
+		}
+		pipe, err := revprune.NewPipeline(model, 16, 0)
+		if err != nil {
+			return err
+		}
+		inst, err := revprune.NewFleetInstance(name, pipe, rm)
+		if err != nil {
+			return err
+		}
+		// Every vehicle wants the dense model (demand = L0).
+		if err := inst.RestoreFull(); err != nil {
+			return err
+		}
+		if err := f.Add(inst); err != nil {
+			return err
+		}
+	}
+
+	levels := func(w io.Writer, caption string) {
+		fmt.Fprintf(w, "\n%s\n%-8s %7s %7s %11s %9s\n", caption,
+			"model", "demand", "level", "energy (mJ)", "accuracy")
+		for _, name := range f.Names() {
+			inst, _ := f.Get(name)
+			lvl := inst.Level(inst.Current())
+			fmt.Fprintf(w, "%-8s %7s %7s %11.3f %9.4f\n",
+				name, fmt.Sprintf("L%d", inst.Demand()), fmt.Sprintf("L%d", inst.Current()),
+				lvl.EnergyMJ, lvl.Accuracy)
+		}
+	}
+
+	dense := 0.0
+	for _, name := range f.Names() {
+		inst, _ := f.Get(name)
+		dense += inst.Level(0).EnergyMJ
+	}
+	budget := 0.6 * dense
+	fmt.Fprintf(w, "dense fleet needs %.3f mJ per inference; platform affords %.3f mJ\n", dense, budget)
+
+	bg, err := revprune.NewFleetBudgetGovernor(f,
+		revprune.FleetBudget{EnergyMJ: budget},
+		revprune.WithFleetAccuracyFloor(0.5))
+	if err != nil {
+		return err
+	}
+	levels(w, "before rebalance (both dense, over budget):")
+	retargets, err := bg.Rebalance()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nrebalance retargeted %d instance(s) to fit the budget\n", retargets)
+	levels(w, "after rebalance (cheapest accuracy given up first):")
+
+	// Both vehicles drive concurrently at the rebalanced levels.
+	scenarios := map[string]revprune.Scenario{
+		"lead":   revprune.HighwayCruise(),
+		"follow": revprune.UrbanTraffic(),
+	}
+	results := map[string]revprune.LoopResult{}
+	errs := map[string]error{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range f.Names() {
+		inst, _ := f.Get(name)
+		wg.Add(1)
+		go func(name string, inst *revprune.FleetInstance) {
+			defer wg.Done()
+			res, err := revprune.RunStack(scenarios[name], inst, revprune.LoopConfig{
+				FrameSize: 16,
+				Spec:      spec,
+				Seed:      7,
+			})
+			mu.Lock()
+			results[name], errs[name] = res, err
+			mu.Unlock()
+		}(name, inst)
+	}
+	wg.Wait()
+	fmt.Fprintf(w, "\n%-8s %-16s %6s %7s %12s\n", "model", "scenario", "ticks", "missed", "energy (mJ)")
+	for _, name := range f.Names() {
+		if errs[name] != nil {
+			return errs[name]
+		}
+		r := results[name]
+		fmt.Fprintf(w, "%-8s %-16s %6d %7d %12.1f\n", name, r.Scenario, r.Ticks, r.Missed, r.EnergyMJ)
+	}
+
+	// The squeeze is reversible: relax the budget and the next pass walks
+	// every instance back to its own demand — no retraining, no reload.
+	relaxed, err := revprune.NewFleetBudgetGovernor(f, revprune.FleetBudget{EnergyMJ: dense})
+	if err != nil {
+		return err
+	}
+	if _, err := relaxed.Rebalance(); err != nil {
+		return err
+	}
+	levels(w, "after the budget relaxes (back to demand):")
+	fmt.Fprintln(w, "\nthe budget squeeze never touched demand — reversible pruning makes the")
+	fmt.Fprintln(w, "fleet's quality/energy split a runtime decision, not a deployment one.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

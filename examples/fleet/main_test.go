@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFleetExample smoke-runs the example end to end and checks the three
+// acts of its narrative landed: the over-budget start, the rebalanced
+// middle, and the reversed squeeze at the end.
+func TestFleetExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet example smoke test skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"over budget",
+		"after rebalance",
+		"back to demand",
+		"lead",
+		"follow",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "retargeted 0 instance(s)") {
+		t.Error("budget squeeze retargeted nothing — the example's premise failed")
+	}
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Budget is the aggregate per-inference resource envelope the fleet must
+// hold. A zero field leaves that dimension unconstrained.
+type Budget struct {
+	// EnergyMJ caps the summed calibrated per-inference energy (mJ) across
+	// all instances.
+	EnergyMJ float64
+	// LatencyMS caps the summed calibrated per-inference latency (ms)
+	// across all instances — the sequential-execution budget of a shared
+	// accelerator.
+	LatencyMS float64
+}
+
+// RebalanceObserver receives a notification after every rebalance pass:
+// how many instances were retargeted, the resulting aggregate energy and
+// latency, whether the fleet still exceeds the budget at its deepest
+// admissible assignment, and the pass's wall-clock latency.
+// telemetry.Hooks satisfies this interface (ObserveRebalance).
+type RebalanceObserver interface {
+	ObserveRebalance(retargets int, energyMJ, latencyMS float64, overBudget bool, elapsed time.Duration)
+}
+
+// BudgetGovernor holds a fleet inside an aggregate budget. Each Rebalance
+// pass starts from every instance's own demand (the level its vehicle
+// governor last requested) and greedily deepens the instance with the best
+// resource saving per unit of accuracy given up until the budget is met —
+// so a budget squeeze costs the fleet the least total quality, and relaxes
+// automatically on the next pass when the pressure (or the demand) drops.
+//
+// The pass never deepens an instance below the configured accuracy floor;
+// if the budget still cannot be met the pass stops, applies the deepest
+// admissible assignment, and reports overBudget through the observer — the
+// operator's signal that the platform is genuinely oversubscribed.
+type BudgetGovernor struct {
+	fleet  *Fleet
+	budget Budget
+	floor  float64
+	obs    RebalanceObserver
+}
+
+// BudgetOption configures a BudgetGovernor.
+type BudgetOption func(*BudgetGovernor)
+
+// WithRebalanceObserver installs the rebalance observer (fleet telemetry).
+func WithRebalanceObserver(o RebalanceObserver) BudgetOption {
+	return func(b *BudgetGovernor) { b.obs = o }
+}
+
+// WithAccuracyFloor forbids rebalancing any instance to a level whose
+// calibrated accuracy is below floor, regardless of budget pressure.
+func WithAccuracyFloor(floor float64) BudgetOption {
+	return func(b *BudgetGovernor) { b.floor = floor }
+}
+
+// NewBudgetGovernor constructs a budget governor over the fleet.
+func NewBudgetGovernor(f *Fleet, budget Budget, opts ...BudgetOption) (*BudgetGovernor, error) {
+	if f == nil {
+		return nil, fmt.Errorf("fleet: nil fleet")
+	}
+	if budget.EnergyMJ < 0 || budget.LatencyMS < 0 {
+		return nil, fmt.Errorf("fleet: negative budget %+v", budget)
+	}
+	b := &BudgetGovernor{fleet: f, budget: budget}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
+}
+
+// Budget returns the configured envelope.
+func (b *BudgetGovernor) Budget() Budget { return b.budget }
+
+// Rebalance runs one pass and returns the number of instances retargeted.
+// It is safe to call concurrently with detection and governor ticks on
+// every instance (all instance access locks per call), but passes
+// themselves should be serialized — run one rebalance loop per fleet.
+func (b *BudgetGovernor) Rebalance() (int, error) {
+	var t0 time.Time
+	if b.obs != nil {
+		t0 = now()
+	}
+	insts := b.fleet.Instances()
+	n := len(insts)
+	assigned := make([]int, n)
+	libraries := make([][]costedLevel, n)
+	for k, inst := range insts {
+		lvls := inst.Levels()
+		lib := make([]costedLevel, len(lvls))
+		for j, l := range lvls {
+			lib[j] = costedLevel{energy: l.EnergyMJ, latency: l.LatencyMS, accuracy: l.Accuracy}
+		}
+		libraries[k] = lib
+		d := inst.Demand()
+		if d < 0 {
+			d = 0
+		}
+		if d >= len(lib) {
+			d = len(lib) - 1
+		}
+		assigned[k] = d
+	}
+
+	overBudget := false
+	for b.exceeded(total(libraries, assigned)) {
+		best, bestScore := -1, 0.0
+		for k := range insts {
+			next := assigned[k] + 1
+			if next >= len(libraries[k]) {
+				continue
+			}
+			cand := libraries[k][next]
+			if cand.accuracy < b.floor {
+				continue
+			}
+			cur := libraries[k][assigned[k]]
+			saving := 0.0
+			if b.budget.EnergyMJ > 0 {
+				saving += cur.energy - cand.energy
+			}
+			if b.budget.LatencyMS > 0 {
+				saving += cur.latency - cand.latency
+			}
+			if saving <= 0 {
+				continue
+			}
+			drop := cur.accuracy - cand.accuracy
+			if drop < 1e-9 {
+				drop = 1e-9
+			}
+			// Strict > keeps the tie-break deterministic: first (lowest
+			// name, instances are sorted) candidate wins.
+			if score := saving / drop; score > bestScore {
+				best, bestScore = k, score
+			}
+		}
+		if best < 0 {
+			// No admissible deepening saves anything: the budget is not
+			// reachable from here.
+			overBudget = true
+			break
+		}
+		assigned[best]++
+	}
+
+	retargets := 0
+	for k, inst := range insts {
+		if assigned[k] == inst.Current() {
+			continue
+		}
+		if err := inst.retarget(assigned[k]); err != nil {
+			return retargets, fmt.Errorf("fleet: rebalance %q: %w", inst.Name(), err)
+		}
+		retargets++
+	}
+	energy, latency := total(libraries, assigned)
+	if b.obs != nil {
+		b.obs.ObserveRebalance(retargets, energy, latency, overBudget, now().Sub(t0))
+	}
+	return retargets, nil
+}
+
+// costedLevel is the per-level cost snapshot a rebalance pass works from.
+type costedLevel struct {
+	energy, latency, accuracy float64
+}
+
+// total sums the assigned levels' calibrated costs.
+func total(libraries [][]costedLevel, assigned []int) (energy, latency float64) {
+	for k, lib := range libraries {
+		energy += lib[assigned[k]].energy
+		latency += lib[assigned[k]].latency
+	}
+	return energy, latency
+}
+
+// exceeded reports whether the aggregate violates any constrained
+// dimension.
+func (b *BudgetGovernor) exceeded(energy, latency float64) bool {
+	if b.budget.EnergyMJ > 0 && energy > b.budget.EnergyMJ {
+		return true
+	}
+	if b.budget.LatencyMS > 0 && latency > b.budget.LatencyMS {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package fleet
+
+import "time"
+
+// now is the package clock seam; tests pin it for deterministic latency
+// observations.
+var now = time.Now

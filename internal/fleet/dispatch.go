@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/perception"
+	"repro/internal/tensor"
+)
+
+// Result is one dispatched frame's perception output.
+type Result struct {
+	// Model is the instance that classified the frame.
+	Model string
+	// Seq is the dispatcher-wide submission sequence number, for
+	// correlating results (which arrive in completion order) back to
+	// submissions.
+	Seq int64
+	// Detection is the classification.
+	Detection perception.Detection
+}
+
+// job is one queued frame.
+type job struct {
+	inst  *Instance
+	name  string
+	seq   int64
+	frame *tensor.Tensor
+}
+
+// Dispatcher fans frames out across fleet instances on a fixed pool of
+// worker goroutines. Frames for different instances run concurrently;
+// frames for the same instance serialize on that instance's lock. Results
+// arrive on Results in completion order.
+//
+// Lifecycle: Submit must not be called after Close. Close drains the
+// queue, waits for in-flight work, then closes Results — so ranging over
+// Results after Close terminates.
+type Dispatcher struct {
+	fleet   *Fleet
+	jobs    chan job
+	results chan Result
+	wg      sync.WaitGroup
+	once    sync.Once
+	seq     atomic.Int64
+}
+
+// NewDispatcher starts workers goroutines over the fleet. queue bounds the
+// number of submitted-but-unstarted frames (Submit blocks when full);
+// Results has the same capacity, so a caller that stops draining results
+// eventually backpressures Submit.
+func NewDispatcher(f *Fleet, workers, queue int) (*Dispatcher, error) {
+	if f == nil {
+		return nil, fmt.Errorf("fleet: nil fleet")
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("fleet: %d workers", workers)
+	}
+	if queue < 0 {
+		return nil, fmt.Errorf("fleet: negative queue %d", queue)
+	}
+	d := &Dispatcher{
+		fleet:   f,
+		jobs:    make(chan job, queue),
+		results: make(chan Result, queue),
+	}
+	for w := 0; w < workers; w++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d, nil
+}
+
+// worker drains the job queue until Close closes it.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for j := range d.jobs {
+		d.results <- Result{Model: j.name, Seq: j.seq, Detection: j.inst.Detect(j.frame)}
+	}
+}
+
+// Submit queues one frame for the named instance and returns its sequence
+// number. The frame must stay untouched until its Result arrives (workers
+// read it asynchronously). Blocks while the queue is full.
+func (d *Dispatcher) Submit(model string, frame *tensor.Tensor) (int64, error) {
+	inst, ok := d.fleet.Get(model)
+	if !ok {
+		return 0, fmt.Errorf("fleet: unknown instance %q", model)
+	}
+	seq := d.seq.Add(1) - 1
+	d.jobs <- job{inst: inst, name: model, seq: seq, frame: frame}
+	return seq, nil
+}
+
+// Results returns the completion stream. It is closed by Close after all
+// in-flight frames finish.
+func (d *Dispatcher) Results() <-chan Result { return d.results }
+
+// Close stops accepting work, waits for queued and in-flight frames to
+// finish, and closes Results. Idempotent. A caller must keep draining
+// Results (or have capacity left) for Close to return.
+func (d *Dispatcher) Close() {
+	d.once.Do(func() {
+		close(d.jobs)
+		d.wg.Wait()
+		close(d.results)
+	})
+}

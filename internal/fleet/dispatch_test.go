@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestDispatcherFansOutAndDrains(t *testing.T) {
+	f := New()
+	for _, name := range []string{"car0", "car1", "car2"} {
+		if err := f.Add(newTestInstance(t, name, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := NewDispatcher(f, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perModel = 10
+	go func() {
+		defer d.Close()
+		for s := 0; s < perModel; s++ {
+			for _, name := range f.Names() {
+				// Each in-flight frame needs its own tensor (workers read
+				// asynchronously).
+				if _, err := d.Submit(name, testFrame()); err != nil {
+					t.Errorf("Submit(%s): %v", name, err)
+					return
+				}
+			}
+		}
+	}()
+
+	counts := map[string]int{}
+	seen := map[int64]bool{}
+	for r := range d.Results() {
+		counts[r.Model]++
+		if seen[r.Seq] {
+			t.Fatalf("duplicate sequence %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	for _, name := range f.Names() {
+		if counts[name] != perModel {
+			t.Fatalf("model %s got %d results, want %d", name, counts[name], perModel)
+		}
+	}
+	if len(seen) != 3*perModel {
+		t.Fatalf("total results %d, want %d", len(seen), 3*perModel)
+	}
+	d.Close() // idempotent
+}
+
+func TestDispatcherUnknownModel(t *testing.T) {
+	f := New()
+	if err := f.Add(newTestInstance(t, "car0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(f, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Submit("ghost", testFrame()); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestDispatcherValidation(t *testing.T) {
+	if _, err := NewDispatcher(nil, 1, 1); err == nil {
+		t.Fatal("nil fleet accepted")
+	}
+	if _, err := NewDispatcher(New(), 0, 1); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := NewDispatcher(New(), 1, -1); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+}

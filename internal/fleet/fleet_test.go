@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/nn"
+	"repro/internal/perception"
+	"repro/internal/prune"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Compile-time seam checks: an Instance is both a perception closed-loop
+// stack and a governor adaptation target.
+var (
+	_ perception.Stack = (*Instance)(nil)
+	_ governor.Target  = (*Instance)(nil)
+)
+
+const testFrameSize = 8
+
+// testModel builds a tiny untrained classifier — fleet plumbing only needs
+// forward passes, not a useful detector.
+func testModel(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	g := tensor.ConvGeom{InC: 1, InH: testFrameSize, InW: testFrameSize, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	return nn.NewSequential("fleetnet",
+		nn.NewConv2D("conv1", g, 4, rng),
+		nn.NewReLU("relu1"),
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc", 4*testFrameSize*testFrameSize, 2, rng),
+	)
+}
+
+// newTestInstance builds an instance with a hand-calibrated 3-level
+// library: L0 (acc .95, 10 mJ, 4 ms), L1 (acc .85, 6 mJ, 2.5 ms),
+// L2 (acc .70, 3 mJ, 1.5 ms).
+func newTestInstance(t testing.TB, name string, seed int64) *Instance {
+	t.Helper()
+	m := testModel(seed)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.Build(m, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := []float64{0.95, 0.85, 0.70}
+	for i, l := range rm.Levels() {
+		l.Accuracy = accs[i]
+	}
+	rm.SetCost(0, 4, 10)
+	rm.SetCost(1, 2.5, 6)
+	rm.SetCost(2, 1.5, 3)
+	pipe, err := perception.NewPipeline(m, testFrameSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(name, pipe, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func testFrame() *tensor.Tensor { return tensor.New(testFrameSize * testFrameSize) }
+
+func TestFleetRegistry(t *testing.T) {
+	f := New()
+	if f.Size() != 0 {
+		t.Fatalf("empty fleet size %d", f.Size())
+	}
+	b := newTestInstance(t, "bus1", 2)
+	a := newTestInstance(t, "car0", 1)
+	for _, inst := range []*Instance{b, a} {
+		if err := f.Add(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Add(newTestInstance(t, "car0", 3)); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if err := f.Add(nil); err == nil {
+		t.Fatal("nil Add accepted")
+	}
+	if got, ok := f.Get("bus1"); !ok || got != b {
+		t.Fatal("Get(bus1) wrong instance")
+	}
+	if _, ok := f.Get("nope"); ok {
+		t.Fatal("Get(nope) found something")
+	}
+	names := f.Names()
+	if len(names) != 2 || names[0] != "bus1" || names[1] != "car0" {
+		t.Fatalf("Names = %v, want sorted [bus1 car0]", names)
+	}
+	insts := f.Instances()
+	if len(insts) != 2 || insts[0] != b || insts[1] != a {
+		t.Fatal("Instances not sorted by name")
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	inst := newTestInstance(t, "car0", 1)
+	if _, err := NewInstance("", nil, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if inst.Name() != "car0" {
+		t.Fatalf("Name = %q", inst.Name())
+	}
+	if inst.NumLevels() != 3 {
+		t.Fatalf("NumLevels = %d, want 3", inst.NumLevels())
+	}
+}
+
+func TestInstanceDemandVsRetarget(t *testing.T) {
+	inst := newTestInstance(t, "car0", 1)
+	if err := inst.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Demand() != 1 || inst.Current() != 1 {
+		t.Fatalf("after ApplyLevel(1): demand=%d current=%d", inst.Demand(), inst.Current())
+	}
+	// A budget retarget moves the model but not the demand.
+	if err := inst.retarget(2); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Demand() != 1 || inst.Current() != 2 {
+		t.Fatalf("after retarget(2): demand=%d current=%d, want 1/2", inst.Demand(), inst.Current())
+	}
+	if err := inst.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Demand() != 0 || inst.Current() != 0 {
+		t.Fatalf("after RestoreFull: demand=%d current=%d", inst.Demand(), inst.Current())
+	}
+}
+
+func TestInstanceGovernorSerializesAgainstDetect(t *testing.T) {
+	inst := newTestInstance(t, "car0", 1)
+	if err := inst.AttachGovernor(governor.Threshold{}, safety.DefaultContract()); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Governor() == nil {
+		t.Fatal("Governor() nil after attach")
+	}
+	// Nominal class → policy picks a deep level; the decision executes
+	// through the instance (governor.Target), so demand tracks it.
+	d, err := inst.Tick(0, safety.Assessment{Score: 0.05, Class: safety.Nominal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Applied != inst.Current() {
+		t.Fatalf("decision applied %d but instance at %d", d.Applied, inst.Current())
+	}
+	if inst.Demand() != d.Applied {
+		t.Fatalf("demand %d does not track governed level %d", inst.Demand(), d.Applied)
+	}
+	if inst.Switches() != inst.Governor().Switches() {
+		t.Fatal("Switches mismatch")
+	}
+	det := inst.Detect(testFrame())
+	if det.Confidence < 0 || det.Confidence > 1 {
+		t.Fatalf("confidence %v out of range", det.Confidence)
+	}
+}
+
+func TestInstanceTickWithoutGovernor(t *testing.T) {
+	inst := newTestInstance(t, "car0", 1)
+	d, err := inst.Tick(0, safety.Assessment{Class: safety.Critical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != (governor.Decision{}) {
+		t.Fatalf("ungoverned Tick returned %+v, want zero Decision", d)
+	}
+	if inst.Switches() != 0 {
+		t.Fatal("ungoverned Switches != 0")
+	}
+}
+
+// recordedRebalance captures one ObserveRebalance call.
+type recordedRebalance struct {
+	retargets         int
+	energyMJ, latency float64
+	overBudget        bool
+	elapsed           time.Duration
+}
+
+type rebalanceRecorder struct{ calls []recordedRebalance }
+
+func (r *rebalanceRecorder) ObserveRebalance(retargets int, energyMJ, latencyMS float64, overBudget bool, elapsed time.Duration) {
+	r.calls = append(r.calls, recordedRebalance{retargets, energyMJ, latencyMS, overBudget, elapsed})
+}
+
+func TestBudgetRebalanceDeepensAndRelaxes(t *testing.T) {
+	f := New()
+	for _, name := range []string{"car0", "car1"} {
+		if err := f.Add(newTestInstance(t, name, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := &rebalanceRecorder{}
+	// Both demand L0: aggregate 20 mJ. Budget 13 mJ forces one instance to
+	// L1 (16 mJ > 13, still over → second to L1: 12 mJ ≤ 13).
+	bg, err := NewBudgetGovernor(f, Budget{EnergyMJ: 13}, WithRebalanceObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bg.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("retargets = %d, want 2", n)
+	}
+	car0, _ := f.Get("car0")
+	car1, _ := f.Get("car1")
+	if car0.Current() != 1 || car1.Current() != 1 {
+		t.Fatalf("levels after squeeze: %d/%d, want 1/1", car0.Current(), car1.Current())
+	}
+	if car0.Demand() != 0 || car1.Demand() != 0 {
+		t.Fatal("rebalance mutated demand")
+	}
+	if len(rec.calls) != 1 {
+		t.Fatalf("observer calls = %d", len(rec.calls))
+	}
+	if c := rec.calls[0]; c.retargets != 2 || c.energyMJ != 12 || c.overBudget {
+		t.Fatalf("observed %+v, want retargets=2 energy=12 overBudget=false", c)
+	}
+
+	// The instance's own demand reasserts itself once pressure lifts: a
+	// governor applying the demand wins the next pass when the budget is
+	// loose enough.
+	loose, err := NewBudgetGovernor(f, Budget{EnergyMJ: 100}, WithRebalanceObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loose.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if car0.Current() != 0 || car1.Current() != 0 {
+		t.Fatalf("levels after relax: %d/%d, want 0/0 (demands)", car0.Current(), car1.Current())
+	}
+}
+
+func TestBudgetAccuracyFloorAndOverBudget(t *testing.T) {
+	f := New()
+	for _, name := range []string{"car0", "car1"} {
+		if err := f.Add(newTestInstance(t, name, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := &rebalanceRecorder{}
+	// 8 mJ needs both at L2 (6 mJ), but the 0.8 floor forbids anything
+	// below L1 (acc .85): deepest admissible is 12 mJ → over budget.
+	bg, err := NewBudgetGovernor(f, Budget{EnergyMJ: 8}, WithAccuracyFloor(0.8), WithRebalanceObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bg.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	car1, _ := f.Get("car1")
+	if car0.Current() != 1 || car1.Current() != 1 {
+		t.Fatalf("levels = %d/%d, want 1/1 (floor-clamped)", car0.Current(), car1.Current())
+	}
+	if len(rec.calls) != 1 || !rec.calls[0].overBudget {
+		t.Fatalf("overBudget not reported: %+v", rec.calls)
+	}
+}
+
+func TestBudgetLatencyDimension(t *testing.T) {
+	f := New()
+	if err := f.Add(newTestInstance(t, "car0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// 4 ms at L0; a 3 ms latency budget forces L1 (2.5 ms) even though
+	// energy is unconstrained.
+	bg, err := NewBudgetGovernor(f, Budget{LatencyMS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bg.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	if n != 1 || car0.Current() != 1 {
+		t.Fatalf("retargets=%d level=%d, want 1/1", n, car0.Current())
+	}
+}
+
+func TestBudgetGovernorValidation(t *testing.T) {
+	if _, err := NewBudgetGovernor(nil, Budget{}); err == nil {
+		t.Fatal("nil fleet accepted")
+	}
+	if _, err := NewBudgetGovernor(New(), Budget{EnergyMJ: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// TestRunStackOverInstance drives the shared closed loop end-to-end over a
+// fleet instance, proving the Stack seam carries the full scenario loop.
+func TestRunStackOverInstance(t *testing.T) {
+	inst := newTestInstance(t, "car0", 1)
+	if err := inst.AttachGovernor(governor.Threshold{}, safety.DefaultContract()); err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.AllScenarios()[0]
+	res, err := perception.RunStack(sc, inst, perception.LoopConfig{FrameSize: testFrameSize, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != sc.Ticks {
+		t.Fatalf("ran %d ticks, want %d", res.Ticks, sc.Ticks)
+	}
+}

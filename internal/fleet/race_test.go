@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/safety"
+	"repro/internal/telemetry"
+)
+
+// TestFleetHammer runs, under -race via scripts/verify.sh: per instance, a
+// detect goroutine, a governor-tick goroutine, and a scrub goroutine; plus
+// a fleet-wide budget-rebalance loop, a mid-flight observer flipper, a
+// dispatcher feeding extra frames, and a registry scraper. Every
+// per-instance telemetry series lands in one shared registry under a
+// model label; the exact per-model frame counts prove no observation was
+// lost or cross-attributed.
+func TestFleetHammer(t *testing.T) {
+	const (
+		iters      = 1000
+		scrubs     = 200
+		rebalances = 200
+		dispatched = 300
+		snapshots  = 100
+	)
+	names := []string{"car0", "car1", "car2"}
+	reg := telemetry.NewRegistry()
+	f := New()
+	flat := telemetry.NewHooks(reg)
+	for _, name := range names {
+		inst := newTestInstance(t, name, 1)
+		h := telemetry.NewHooks(reg, telemetry.Label{Key: telemetry.LabelModel, Value: name})
+		h.SetLevels([]float64{0, 0.5, 0.8})
+		inst.SetObserver(h)
+		inst.SetModelObserver(h)
+		if err := inst.AttachGovernor(governor.Threshold{}, safety.DefaultContract(), governor.WithObserver(h)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Add(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bg, err := NewBudgetGovernor(f, Budget{EnergyMJ: 14}, WithRebalanceObserver(flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(f, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assessments := []safety.Assessment{
+		{Score: 0.05, Class: safety.Nominal},
+		{Score: 0.4, Class: safety.Elevated},
+		{Score: 0.7, Class: safety.Critical},
+		{Score: 0.95, Class: safety.Emergency},
+	}
+
+	var wg sync.WaitGroup
+	for _, name := range names {
+		inst, _ := f.Get(name)
+		wg.Add(3)
+		go func(inst *Instance) {
+			defer wg.Done()
+			frame := testFrame()
+			for i := 0; i < iters; i++ {
+				inst.Detect(frame)
+			}
+		}(inst)
+		go func(inst *Instance) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := inst.Tick(i, assessments[i%len(assessments)]); err != nil {
+					t.Errorf("tick: %v", err)
+					return
+				}
+			}
+		}(inst)
+		go func(inst *Instance) {
+			defer wg.Done()
+			for i := 0; i < scrubs; i++ {
+				inst.Scrub()
+			}
+		}(inst)
+	}
+	// Budget retargeting races against every instance's own governor.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rebalances; i++ {
+			if _, err := bg.Rebalance(); err != nil {
+				t.Errorf("rebalance: %v", err)
+				return
+			}
+		}
+	}()
+	// Mid-flight observer churn on one instance (atomic-pointer pattern).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inst, _ := f.Get("car2")
+		extra := telemetry.NewHooks(telemetry.NewRegistry(),
+			telemetry.Label{Key: telemetry.LabelModel, Value: "car2"})
+		for i := 0; i < iters/2; i++ {
+			inst.SetObserver(extra)
+			inst.SetObserver(nil)
+		}
+	}()
+	// Dispatcher traffic on top of the per-instance loops.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer d.Close()
+		for i := 0; i < dispatched; i++ {
+			if _, err := d.Submit(names[i%len(names)], testFrame()); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for range d.Results() {
+		}
+	}()
+	// A scraper keeps reading consistent snapshots while everything moves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snapshots; i++ {
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"car0", "car1"} {
+		series := telemetry.Series(telemetry.MetricFrames,
+			telemetry.Label{Key: telemetry.LabelModel, Value: name})
+		// iters from the detect loop + the dispatcher's share.
+		want := int64(iters + dispatched/len(names))
+		if got := snap.Counters[series]; got != want {
+			t.Errorf("%s = %d, want %d", series, got, want)
+		}
+		ticks := telemetry.Series(telemetry.MetricGovernorTicks,
+			telemetry.Label{Key: telemetry.LabelModel, Value: name})
+		if got := snap.Counters[ticks]; got != iters {
+			t.Errorf("%s = %d, want %d", ticks, got, iters)
+		}
+	}
+	if got := snap.Counters[telemetry.MetricFleetRebalances]; got != rebalances {
+		t.Errorf("rebalances = %d, want %d", got, rebalances)
+	}
+	// car2's observer was being flipped; it may have seen anything from 0
+	// to every frame, but never more than were run.
+	car2 := telemetry.Series(telemetry.MetricFrames,
+		telemetry.Label{Key: telemetry.LabelModel, Value: "car2"})
+	if got := snap.Counters[car2]; got > int64(iters+dispatched/len(names)) {
+		t.Errorf("car2 frames = %d, exceeds submitted work", got)
+	}
+}

@@ -64,6 +64,25 @@ type Decision struct {
 	Clamped bool
 }
 
+// Target is the knob surface a Governor drives: the level-library view it
+// reads (Current/NumLevels/Level/Levels) and the transition it executes
+// (ApplyLevel). *core.ReversibleModel satisfies it directly; a fleet
+// instance satisfies it with per-call locking so a governor built over the
+// instance serializes correctly against concurrent detection without the
+// governor knowing about locks.
+type Target interface {
+	// Current returns the active level index.
+	Current() int
+	// NumLevels returns the size of the level library.
+	NumLevels() int
+	// Level returns level i's calibrated metadata.
+	Level(i int) *core.Level
+	// Levels returns the calibrated level library (index 0 = dense).
+	Levels() []*core.Level
+	// ApplyLevel transitions the model to the target level.
+	ApplyLevel(target int) error
+}
+
 // TickObserver receives a notification after every completed governor
 // tick: the applied level, the decision outcome flags, and the wall-clock
 // time the tick took (policy decision + contract enforcement + transition
@@ -73,9 +92,11 @@ type TickObserver interface {
 	ObserveTick(tick, level int, switched, clamped, violated bool, elapsed time.Duration)
 }
 
-// Governor executes the adaptation loop over one reversible model.
+// Governor executes the adaptation loop over one adaptation target
+// (typically a *core.ReversibleModel, or a fleet.Instance in multi-model
+// deployments).
 type Governor struct {
-	rm        *core.ReversibleModel
+	rm        Target
 	policy    Policy
 	contract  safety.Contract
 	log       safety.ViolationLog
@@ -97,10 +118,10 @@ func WithTrace() Option { return func(g *Governor) { g.keepTrace = true } }
 // reads and allocations (see BenchmarkTickNoObserver).
 func WithObserver(o TickObserver) Option { return func(g *Governor) { g.observer = o } }
 
-// New constructs a governor. The model's levels should be calibrated
-// (Accuracy filled) — an uncalibrated library would make every contract
-// check fail to the dense level.
-func New(rm *core.ReversibleModel, policy Policy, contract safety.Contract, opts ...Option) (*Governor, error) {
+// New constructs a governor over an adaptation target. The target's levels
+// should be calibrated (Accuracy filled) — an uncalibrated library would
+// make every contract check fail to the dense level.
+func New(rm Target, policy Policy, contract safety.Contract, opts ...Option) (*Governor, error) {
 	if rm == nil {
 		return nil, fmt.Errorf("governor: nil model")
 	}
@@ -117,8 +138,8 @@ func New(rm *core.ReversibleModel, policy Policy, contract safety.Contract, opts
 	return g, nil
 }
 
-// Model returns the governed reversible model.
-func (g *Governor) Model() *core.ReversibleModel { return g.rm }
+// Model returns the governed adaptation target.
+func (g *Governor) Model() Target { return g.rm }
 
 // Policy returns the active policy.
 func (g *Governor) Policy() Policy { return g.policy }

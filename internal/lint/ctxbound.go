@@ -20,6 +20,7 @@ var CtxboundPackages = []string{
 	// exporter's periodic loop is exactly the kind of long-lived goroutine
 	// this analyzer exists for.
 	"repro/internal/telemetry/otlp",
+	"repro/internal/fleet",
 }
 
 // AnalyzerCtxbound audits `go func` literals in long-lived packages: the

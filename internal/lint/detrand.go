@@ -19,6 +19,7 @@ var DetrandPackages = []string{
 	// exporter's clock discipline (export timestamps through the seam) is
 	// auditable here.
 	"repro/internal/telemetry/otlp",
+	"repro/internal/fleet",
 }
 
 // detrandAllowedFuncs are the math/rand functions that construct seeded

@@ -2,6 +2,7 @@ package perception
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -22,7 +23,10 @@ type Concurrent struct {
 	mu   sync.Mutex
 	pipe *Pipeline
 	rm   *core.ReversibleModel
-	obs  FrameObserver // nil: observation disabled (zero cost)
+	// obs holds the installed FrameObserver behind an atomic pointer so
+	// SetObserver is safe mid-flight (nil load: observation disabled, no
+	// clock reads). fleet.Instance uses the same pattern.
+	obs atomic.Pointer[FrameObserver]
 }
 
 // FrameObserver receives the end-to-end latency of every Detect call,
@@ -39,14 +43,24 @@ func NewConcurrent(pipe *Pipeline, rm *core.ReversibleModel) *Concurrent {
 	return &Concurrent{pipe: pipe, rm: rm}
 }
 
-// SetObserver installs a frame observer. It must be called before the
-// Concurrent is shared across goroutines: the field is read without the
-// lock on the Detect hot path, so installing it mid-flight would race.
-func (c *Concurrent) SetObserver(o FrameObserver) { c.obs = o }
+// SetObserver installs (or, with nil, removes) a frame observer. The
+// observer is stored behind an atomic pointer, so installing it while
+// other goroutines are mid-Detect is safe: in-flight frames finish against
+// whichever observer they loaded at entry.
+func (c *Concurrent) SetObserver(o FrameObserver) {
+	if o == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&o)
+}
 
 // Detect classifies one frame under the lock.
 func (c *Concurrent) Detect(frame *tensor.Tensor) Detection {
-	obs := c.obs
+	var obs FrameObserver
+	if p := c.obs.Load(); p != nil {
+		obs = *p
+	}
 	var t0 time.Time
 	if obs != nil {
 		t0 = now()

@@ -65,6 +65,32 @@ func TestFrameObserverSeesEveryDetect(t *testing.T) {
 	}
 }
 
+// TestSetObserverMidFlight installs and removes the observer while Detect
+// runs on other goroutines; under -race this pins the atomic-pointer fix
+// for the former "must be called before sharing" restriction.
+func TestSetObserverMidFlight(t *testing.T) {
+	c := tinyConcurrent(t)
+	frame := tensor.New(16 * 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c.Detect(frame)
+		}
+	}()
+	rec := &frameRecorder{}
+	for i := 0; i < 100; i++ {
+		c.SetObserver(rec)
+		c.SetObserver(nil)
+	}
+	c.SetObserver(rec)
+	<-done
+	c.Detect(frame)
+	if rec.n == 0 {
+		t.Fatal("observer installed mid-flight never saw a frame")
+	}
+}
+
 func TestDetectWithoutObserverSkipsClock(t *testing.T) {
 	reads := 0
 	now = func() time.Time {

@@ -88,6 +88,10 @@ func NewPipeline(model *nn.Sequential, frameSize int, threshold float64) (*Pipel
 	}, nil
 }
 
+// FrameSize returns the sensor patch side length the pipeline was built
+// for; Detect only accepts frames with exactly FrameSize² pixels.
+func (p *Pipeline) FrameSize() int { return p.size }
+
 // Detect classifies one [1, S, S] frame.
 func (p *Pipeline) Detect(frame *tensor.Tensor) Detection {
 	if frame.Len() != p.size*p.size {
@@ -189,6 +193,68 @@ func (r LoopResult) MissRate() float64 {
 	return float64(r.Missed) / float64(r.ObstacleTicks)
 }
 
+// Stack is the adaptation surface the closed loop drives each tick: frame
+// classification, a governor tick, and the level-library view the contract
+// scoring and energy accounting read. Two implementations exist:
+// the package-internal soloStack (what RunScenario wraps around a bare
+// pipeline + model) and fleet.Instance, whose methods lock per call so one
+// loop goroutine per instance composes safely with a fleet-level budget
+// governor retargeting levels concurrently.
+type Stack interface {
+	// Detect classifies one [1, S, S] frame.
+	Detect(frame *tensor.Tensor) Detection
+	// Tick runs one governor iteration (a no-op Decision when the stack has
+	// no governor attached).
+	Tick(tick int, a safety.Assessment) (governor.Decision, error)
+	// Current returns the active level index (0 without a reversible model).
+	Current() int
+	// Levels returns the calibrated level library (nil without a reversible
+	// model).
+	Levels() []*core.Level
+	// Switches returns the number of level changes the stack's governor has
+	// executed (0 without a governor).
+	Switches() int
+}
+
+// soloStack adapts the single-model triple (pipeline, reversible model,
+// optional governor) RunScenario has always run to the Stack seam. Any of
+// rm and gov may be nil (static baselines).
+type soloStack struct {
+	pipe *Pipeline
+	rm   *core.ReversibleModel
+	gov  *governor.Governor
+}
+
+func (s soloStack) Detect(frame *tensor.Tensor) Detection { return s.pipe.Detect(frame) }
+
+func (s soloStack) Tick(tick int, a safety.Assessment) (governor.Decision, error) {
+	if s.gov == nil {
+		return governor.Decision{}, nil
+	}
+	return s.gov.Tick(tick, a)
+}
+
+func (s soloStack) Current() int {
+	if s.rm == nil {
+		return 0
+	}
+	return s.rm.Current()
+}
+
+func (s soloStack) Levels() []*core.Level {
+	if s.rm == nil {
+		return nil
+	}
+	return s.rm.Levels()
+}
+
+func (s soloStack) Switches() int {
+	if s.gov == nil {
+		return 0
+	}
+	return s.gov.Switches()
+}
+
 // RunScenario executes one closed-loop run of the scenario: each tick the
 // world is assessed (using the previous tick's perception uncertainty — the
 // monitor acts on observed state), the governor adapts the model, the
@@ -207,6 +273,41 @@ func RunScenario(sc sim.Scenario, model *nn.Sequential, rm *core.ReversibleModel
 	if err != nil {
 		return LoopResult{}, err
 	}
+	st := soloStack{pipe: pipe, rm: rm, gov: cfg.Governor}
+	// Live-estimate fallback for uncalibrated levels, preserved from the
+	// pre-Stack loop: estimate the platform cost of the model as currently
+	// configured.
+	estimate := func() float64 { return cfg.Spec.Estimate(model).EnergyMJ }
+	return runLoop(sc, st, cfg, estimate)
+}
+
+// RunStack executes the same closed loop over any Stack — in particular a
+// fleet.Instance, whose per-call locking lets a fleet budget governor
+// retarget levels while the loop runs. cfg.Governor is ignored (ticking
+// goes through st.Tick); cfg.FrameSize must match the stack's pipeline
+// frame size. Energy accounting uses calibrated per-level EnergyMJ only —
+// there is no model handle here to live-estimate uncalibrated levels, so
+// such levels accrue zero.
+func RunStack(sc sim.Scenario, st Stack, cfg LoopConfig) (LoopResult, error) {
+	if st == nil {
+		return LoopResult{}, fmt.Errorf("perception: nil stack")
+	}
+	if cfg.FrameSize <= 0 {
+		cfg.FrameSize = 16
+	}
+	if cfg.Assessor == (safety.Assessor{}) {
+		cfg.Assessor = safety.DefaultAssessor()
+	}
+	if err := cfg.Assessor.Validate(); err != nil {
+		return LoopResult{}, err
+	}
+	return runLoop(sc, st, cfg, nil)
+}
+
+// runLoop is the shared closed-loop body behind RunScenario and RunStack.
+// estimate, when non-nil, lazily prices a level with no calibrated EnergyMJ
+// (computed once per level); nil means uncalibrated levels cost zero.
+func runLoop(sc sim.Scenario, st Stack, cfg LoopConfig, estimate func() float64) (LoopResult, error) {
 	world, err := sim.NewWorld(sc, cfg.Seed)
 	if err != nil {
 		return LoopResult{}, err
@@ -225,17 +326,19 @@ func RunScenario(sc sim.Scenario, model *nn.Sequential, rm *core.ReversibleModel
 		if !useEnergy {
 			return 0
 		}
-		lvl := 0
-		if rm != nil {
-			lvl = rm.Current()
-			if e := rm.Level(lvl).EnergyMJ; e > 0 {
+		lvl := st.Current()
+		if lvls := st.Levels(); lvl >= 0 && lvl < len(lvls) {
+			if e := lvls[lvl].EnergyMJ; e > 0 {
 				return e
 			}
 		}
 		if e, ok := levelEnergy[lvl]; ok {
 			return e
 		}
-		e := cfg.Spec.Estimate(model).EnergyMJ
+		e := 0.0
+		if estimate != nil {
+			e = estimate()
+		}
 		levelEnergy[lvl] = e
 		return e
 	}
@@ -250,27 +353,27 @@ func RunScenario(sc sim.Scenario, model *nn.Sequential, rm *core.ReversibleModel
 
 	lastUncertainty := 0.0
 	var levelSum float64
+	trackLevel := len(st.Levels()) > 0
 	inEpisode := false
 	episodeDetected := false
 	for !world.Done() {
 		tick := world.Tick()
 		assessment := cfg.Assessor.Assess(world.TTC(), world.Complexity(), lastUncertainty)
 
-		if cfg.Governor != nil {
-			if _, err := cfg.Governor.Tick(tick, assessment); err != nil {
-				return res, err
-			}
+		if _, err := st.Tick(tick, assessment); err != nil {
+			return res, err
 		}
-		if rm != nil {
+		if lvls := st.Levels(); len(lvls) > 0 {
 			floor := contract.Floor(assessment.Class)
-			active := rm.Level(rm.Current())
-			if active.Accuracy < floor && rm.Current() != governor.DeepestMeeting(rm.Levels(), floor) {
+			cur := st.Current()
+			active := lvls[cur]
+			if active.Accuracy < floor && cur != governor.DeepestMeeting(lvls, floor) {
 				res.Violations++
 			}
 		}
 
 		frame, truth := world.Frame(cfg.FrameSize)
-		det := pipe.Detect(frame)
+		det := st.Detect(frame)
 		lastUncertainty = det.Uncertainty
 		world.SetBraking(det.Obstacle)
 
@@ -305,15 +408,15 @@ func RunScenario(sc sim.Scenario, model *nn.Sequential, rm *core.ReversibleModel
 		}
 		e := energyNow()
 		res.EnergyMJ += e
-		if rm != nil {
-			levelSum += float64(rm.Current())
+		if trackLevel {
+			levelSum += float64(st.Current())
 		}
 		if cfg.Record {
 			res.Recorder.Record("score", assessment.Score)
 			res.Recorder.Record("class", float64(assessment.Class))
 			lvl := 0
-			if rm != nil {
-				lvl = rm.Current()
+			if trackLevel {
+				lvl = st.Current()
 			}
 			res.Recorder.Record("level", float64(lvl))
 			res.Recorder.Record("truth", boolTo01(truth))
@@ -333,9 +436,7 @@ func RunScenario(sc sim.Scenario, model *nn.Sequential, rm *core.ReversibleModel
 		res.DetectionGaps = append(res.DetectionGaps, -1)
 	}
 	res.Collided = world.Collided()
-	if cfg.Governor != nil {
-		res.Switches = cfg.Governor.Switches()
-	}
+	res.Switches = st.Switches()
 	if res.Ticks > 0 {
 		res.MeanLevel = levelSum / float64(res.Ticks)
 	}

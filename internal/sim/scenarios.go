@@ -195,3 +195,19 @@ func AllScenarios() []Scenario {
 		PedestrianInFog(),
 	}
 }
+
+// FindScenario resolves a scenario by its Name field. The error of an
+// unknown name lists every valid name, so command-line surfaces can
+// forward it verbatim.
+func FindScenario(name string) (Scenario, error) {
+	for _, sc := range AllScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := make([]string, 0, len(AllScenarios()))
+	for _, sc := range AllScenarios() {
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("sim: unknown scenario %q (have %v)", name, names)
+}

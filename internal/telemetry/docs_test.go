@@ -50,6 +50,7 @@ func TestMetricsDocCrossCheck(t *testing.T) {
 	h.ObserveTick(0, 2, true, true, true, 10*time.Microsecond)
 	h.ObserveTick(1, 0, false, false, false, 10*time.Microsecond)
 	h.ObserveFrame(3 * time.Millisecond)
+	h.ObserveRebalance(2, 1.5, 4.2, true, 8*time.Microsecond)
 
 	// Scrape the live rendering: every family announces itself with one
 	// # TYPE line, labels already folded onto the base name.

@@ -31,6 +31,10 @@ const (
 	// LabelLayer is the label key of the per-layer latency series: the
 	// parameter name the delta application wrote (e.g. "conv1.w").
 	LabelLayer = "layer"
+	// LabelModel is the label key identifying a model instance in a fleet
+	// deployment. Hooks constructed with NewHooks(reg, Label{LabelModel,
+	// name}) stamp it onto every series they write.
+	LabelModel = "model"
 	// MetricRestoreLatency is the latency histogram (µs) of transitions to
 	// L0 only — the paper's headline restore-latency quantity (F3), live.
 	MetricRestoreLatency = "rpn_restore_latency_us"
@@ -52,26 +56,81 @@ const (
 	// MetricFrameLatency is the per-frame detection latency histogram (µs),
 	// including lock wait in the concurrent pipeline.
 	MetricFrameLatency = "rpn_frame_latency_us"
+	// MetricFleetRebalances counts fleet budget-governor rebalance passes.
+	MetricFleetRebalances = "rpn_fleet_rebalances_total"
+	// MetricFleetRetargets counts per-instance level retargets issued by
+	// rebalance passes (0 on a pass that left every instance in place).
+	MetricFleetRetargets = "rpn_fleet_retargets_total"
+	// MetricFleetEnergy is a gauge holding the fleet's aggregate calibrated
+	// per-inference energy (mJ) after the last rebalance.
+	MetricFleetEnergy = "rpn_fleet_energy_mj"
+	// MetricFleetLatency is a gauge holding the fleet's aggregate calibrated
+	// per-inference latency (ms) after the last rebalance.
+	MetricFleetLatency = "rpn_fleet_latency_ms"
+	// MetricFleetOverBudget is a gauge that is 1 while the fleet cannot meet
+	// its budget even at every instance's deepest admissible level, else 0.
+	MetricFleetOverBudget = "rpn_fleet_over_budget"
+	// MetricFleetRebalanceLatency is the rebalance-pass latency histogram (µs).
+	MetricFleetRebalanceLatency = "rpn_fleet_rebalance_latency_us"
 	// metricResidencyPrefix prefixes the per-level residency-tick counters:
 	// rpn_level_residency_ticks_L0, _L1, …
 	metricResidencyPrefix = "rpn_level_residency_ticks_L"
 )
 
+// hookFamilies lists every fixed metric family Hooks writes, so NewHooks
+// can pre-render the labeled series identifiers once. Per-level residency
+// counters and per-layer histograms are rendered separately (SetLevels and
+// the layer cache).
+var hookFamilies = []string{
+	MetricLevel,
+	MetricSparsity,
+	MetricTransitions,
+	MetricRestores,
+	MetricWeightsMoved,
+	MetricTransitionLatency,
+	MetricRestoreLatency,
+	MetricGovernorTicks,
+	MetricGovernorTickLatency,
+	MetricLevelSwitches,
+	MetricContractClamps,
+	MetricContractViolations,
+	MetricFrames,
+	MetricFrameLatency,
+	MetricFleetRebalances,
+	MetricFleetRetargets,
+	MetricFleetEnergy,
+	MetricFleetLatency,
+	MetricFleetOverBudget,
+	MetricFleetRebalanceLatency,
+}
+
 // Hooks adapts a Registry to the observer seams of the stack. Its method
 // set structurally satisfies core.TransitionObserver (including the
-// optional core.ParamTransitionObserver extension), governor.TickObserver
-// and perception.FrameObserver without this package importing any of them,
-// keeping telemetry a stdlib-only leaf.
+// optional core.ParamTransitionObserver extension), governor.TickObserver,
+// perception.FrameObserver and fleet.RebalanceObserver without this
+// package importing any of them, keeping telemetry a stdlib-only leaf.
+//
+// A Hooks may carry constant base labels (NewHooks(reg, Label{LabelModel,
+// "car0"})): every series it writes is then rendered with those labels, so
+// N instances sharing one Registry stay distinguishable per series. Series
+// identifiers are pre-rendered at construction; the observation hot paths
+// never build label strings.
 //
 // Configure (SetLevels) before sharing a Hooks across goroutines; after
 // that every method is safe for concurrent use (the registry serializes).
 type Hooks struct {
 	reg *Registry
+	// base is the constant label set stamped onto every series. Immutable
+	// after NewHooks.
+	base []Label
+	// names maps each fixed metric family to its pre-rendered series
+	// identifier under base. Immutable after NewHooks.
+	names map[string]string
 	// sparsities[i] is level i's weight sparsity, for the MetricSparsity
 	// gauge. Immutable after SetLevels.
 	sparsities []float64
-	// residency[i] is the precomputed per-level residency counter name, so
-	// the per-tick path does not format strings.
+	// residency[i] is the precomputed per-level residency series, so the
+	// per-tick path does not format strings.
 	residency []string
 	// layerMu guards layerSeries, the lazily built cache of parameter name
 	// → rendered per-layer series identifier, so steady-state per-parameter
@@ -80,9 +139,30 @@ type Hooks struct {
 	layerSeries map[string]string
 }
 
-// NewHooks wires a Hooks to the registry.
-func NewHooks(reg *Registry) *Hooks {
-	return &Hooks{reg: reg}
+// NewHooks wires a Hooks to the registry. Optional base labels (typically
+// one Label{LabelModel, "<instance>"}) are stamped onto every series the
+// Hooks writes; with no labels the series are the flat metric names.
+func NewHooks(reg *Registry, base ...Label) *Hooks {
+	h := &Hooks{reg: reg}
+	for _, l := range base {
+		if l.Key != "" {
+			h.base = append(h.base, l)
+		}
+	}
+	h.names = make(map[string]string, len(hookFamilies))
+	for _, f := range hookFamilies {
+		h.names[f] = Series(f, h.base...)
+	}
+	return h
+}
+
+// name returns the pre-rendered series identifier for a fixed family,
+// falling back to rendering for names outside the precomputed set.
+func (h *Hooks) name(family string) string {
+	if s, ok := h.names[family]; ok {
+		return s
+	}
+	return Series(family, h.base...)
 }
 
 // SetLevels records the level library's sparsities (index = level id) and
@@ -92,11 +172,11 @@ func (h *Hooks) SetLevels(sparsities []float64) {
 	h.sparsities = append([]float64(nil), sparsities...)
 	h.residency = make([]string, len(sparsities))
 	for i := range h.residency {
-		h.residency[i] = residencyMetric(i)
+		h.residency[i] = Series(residencyMetric(i), h.base...)
 	}
 	if len(sparsities) > 0 {
-		h.reg.SetGauge(MetricLevel, 0)
-		h.reg.SetGauge(MetricSparsity, sparsities[0])
+		h.reg.SetGauge(h.name(MetricLevel), 0)
+		h.reg.SetGauge(h.name(MetricSparsity), sparsities[0])
 	}
 }
 
@@ -113,16 +193,16 @@ func ResidencyMetric(level int) string { return residencyMetric(level) }
 // ReversibleModel.ApplyLevel after every completed level change with the
 // number of weights written and the wall-clock latency.
 func (h *Hooks) ObserveTransition(from, to int, weights int64, elapsed time.Duration) {
-	h.reg.Inc(MetricTransitions)
-	h.reg.Add(MetricWeightsMoved, weights)
-	h.reg.ObserveDuration(MetricTransitionLatency, elapsed)
+	h.reg.Inc(h.name(MetricTransitions))
+	h.reg.Add(h.name(MetricWeightsMoved), weights)
+	h.reg.ObserveDuration(h.name(MetricTransitionLatency), elapsed)
 	if to == 0 {
-		h.reg.Inc(MetricRestores)
-		h.reg.ObserveDuration(MetricRestoreLatency, elapsed)
+		h.reg.Inc(h.name(MetricRestores))
+		h.reg.ObserveDuration(h.name(MetricRestoreLatency), elapsed)
 	}
-	h.reg.SetGauge(MetricLevel, float64(to))
+	h.reg.SetGauge(h.name(MetricLevel), float64(to))
 	if to >= 0 && to < len(h.sparsities) {
-		h.reg.SetGauge(MetricSparsity, h.sparsities[to])
+		h.reg.SetGauge(h.name(MetricSparsity), h.sparsities[to])
 	}
 }
 
@@ -131,7 +211,7 @@ func (h *Hooks) ObserveTransition(from, to int, weights int64, elapsed time.Dura
 // application (one parameter at one level step) with the weights written
 // and the wall-clock latency of just that parameter's writes. The sample
 // lands in the layer-labeled series
-// rpn_layer_transition_latency_us{layer="<param>"}.
+// rpn_layer_transition_latency_us{layer="<param>"} (plus any base labels).
 func (h *Hooks) ObserveParamTransition(from, to int, param string, weights int64, elapsed time.Duration) {
 	h.reg.ObserveDuration(h.layerSeriesFor(param), elapsed)
 }
@@ -147,7 +227,10 @@ func (h *Hooks) layerSeriesFor(param string) string {
 		if h.layerSeries == nil {
 			h.layerSeries = make(map[string]string)
 		}
-		s = Series(MetricLayerTransitionLatency, Label{Key: LabelLayer, Value: param})
+		ls := make([]Label, 0, len(h.base)+1)
+		ls = append(ls, h.base...)
+		ls = append(ls, Label{Key: LabelLayer, Value: param})
+		s = Series(MetricLayerTransitionLatency, ls...)
 		h.layerSeries[param] = s
 	}
 	return s
@@ -163,27 +246,46 @@ func LayerSeries(param string) string {
 // ObserveTick implements the governor.TickObserver seam: called once per
 // control tick with the applied level and the decision outcome flags.
 func (h *Hooks) ObserveTick(tick, level int, switched, clamped, violated bool, elapsed time.Duration) {
-	h.reg.Inc(MetricGovernorTicks)
-	h.reg.ObserveDuration(MetricGovernorTickLatency, elapsed)
+	h.reg.Inc(h.name(MetricGovernorTicks))
+	h.reg.ObserveDuration(h.name(MetricGovernorTickLatency), elapsed)
 	if switched {
-		h.reg.Inc(MetricLevelSwitches)
+		h.reg.Inc(h.name(MetricLevelSwitches))
 	}
 	if clamped {
-		h.reg.Inc(MetricContractClamps)
+		h.reg.Inc(h.name(MetricContractClamps))
 	}
 	if violated {
-		h.reg.Inc(MetricContractViolations)
+		h.reg.Inc(h.name(MetricContractViolations))
 	}
 	if level >= 0 && level < len(h.residency) {
 		h.reg.Inc(h.residency[level])
 	} else {
-		h.reg.Inc(residencyMetric(level))
+		h.reg.Inc(Series(residencyMetric(level), h.base...))
 	}
 }
 
 // ObserveFrame implements the perception.FrameObserver seam: called per
 // classified frame with the end-to-end detection latency.
 func (h *Hooks) ObserveFrame(elapsed time.Duration) {
-	h.reg.Inc(MetricFrames)
-	h.reg.ObserveDuration(MetricFrameLatency, elapsed)
+	h.reg.Inc(h.name(MetricFrames))
+	h.reg.ObserveDuration(h.name(MetricFrameLatency), elapsed)
+}
+
+// ObserveRebalance implements the fleet.RebalanceObserver seam: called
+// after every fleet budget-governor rebalance pass with the number of
+// instance retargets issued, the resulting aggregate energy/latency, the
+// over-budget flag, and the pass's wall-clock latency. Fleet-level series
+// are typically written through a flat (unlabeled) Hooks while the
+// per-instance series go through model-labeled ones.
+func (h *Hooks) ObserveRebalance(retargets int, energyMJ, latencyMS float64, overBudget bool, elapsed time.Duration) {
+	h.reg.Inc(h.name(MetricFleetRebalances))
+	h.reg.Add(h.name(MetricFleetRetargets), int64(retargets))
+	h.reg.SetGauge(h.name(MetricFleetEnergy), energyMJ)
+	h.reg.SetGauge(h.name(MetricFleetLatency), latencyMS)
+	over := 0.0
+	if overBudget {
+		over = 1
+	}
+	h.reg.SetGauge(h.name(MetricFleetOverBudget), over)
+	h.reg.ObserveDuration(h.name(MetricFleetRebalanceLatency), elapsed)
 }

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHooksBaseLabels verifies that a Hooks constructed with a model base
+// label stamps it onto every series family it writes, and that two labeled
+// Hooks sharing one registry stay fully disjoint.
+func TestHooksBaseLabels(t *testing.T) {
+	reg := NewRegistry()
+	a := NewHooks(reg, Label{Key: LabelModel, Value: "car0"})
+	b := NewHooks(reg, Label{Key: LabelModel, Value: "car1"})
+	a.SetLevels([]float64{0, 0.5})
+	b.SetLevels([]float64{0, 0.5})
+
+	a.ObserveTransition(0, 1, 64, 10*time.Microsecond)
+	a.ObserveParamTransition(0, 1, "conv1.w", 32, 5*time.Microsecond)
+	a.ObserveTick(0, 1, true, false, false, 3*time.Microsecond)
+	a.ObserveFrame(2 * time.Millisecond)
+	b.ObserveFrame(1 * time.Millisecond)
+
+	snap := reg.Snapshot()
+	series := func(name, model string) string {
+		return Series(name, Label{Key: LabelModel, Value: model})
+	}
+	if got := snap.Counters[series(MetricFrames, "car0")]; got != 1 {
+		t.Fatalf("car0 frames = %d, want 1", got)
+	}
+	if got := snap.Counters[series(MetricFrames, "car1")]; got != 1 {
+		t.Fatalf("car1 frames = %d, want 1", got)
+	}
+	if _, ok := snap.Counters[MetricFrames]; ok {
+		t.Fatalf("flat %s series written by labeled hooks", MetricFrames)
+	}
+	if got := snap.Gauges[series(MetricLevel, "car0")]; got != 1 {
+		t.Fatalf("car0 level gauge = %v, want 1", got)
+	}
+	if got := snap.Gauges[series(MetricLevel, "car1")]; got != 0 {
+		t.Fatalf("car1 level gauge = %v, want 0", got)
+	}
+	if got := snap.Counters[series(MetricTransitions, "car0")]; got != 1 {
+		t.Fatalf("car0 transitions = %d, want 1", got)
+	}
+	layer := Series(MetricLayerTransitionLatency,
+		Label{Key: LabelLayer, Value: "conv1.w"},
+		Label{Key: LabelModel, Value: "car0"})
+	if h, ok := snap.Histograms[layer]; !ok || h.Count != 1 {
+		t.Fatalf("layer series %q missing or wrong count (%+v)", layer, h)
+	}
+	residency := Series(ResidencyMetric(1), Label{Key: LabelModel, Value: "car0"})
+	if got := snap.Counters[residency]; got != 1 {
+		t.Fatalf("residency series %q = %d, want 1", residency, got)
+	}
+}
+
+// TestHooksObserveRebalance verifies the fleet rebalance seam's counter,
+// gauge, and histogram writes.
+func TestHooksObserveRebalance(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHooks(reg)
+	h.ObserveRebalance(3, 2.5, 7.0, true, 12*time.Microsecond)
+	h.ObserveRebalance(0, 2.0, 6.0, false, 9*time.Microsecond)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricFleetRebalances]; got != 2 {
+		t.Fatalf("rebalances = %d, want 2", got)
+	}
+	if got := snap.Counters[MetricFleetRetargets]; got != 3 {
+		t.Fatalf("retargets = %d, want 3", got)
+	}
+	if got := snap.Gauges[MetricFleetEnergy]; got != 2.0 {
+		t.Fatalf("energy gauge = %v, want 2.0", got)
+	}
+	if got := snap.Gauges[MetricFleetLatency]; got != 6.0 {
+		t.Fatalf("latency gauge = %v, want 6.0", got)
+	}
+	if got := snap.Gauges[MetricFleetOverBudget]; got != 0 {
+		t.Fatalf("over-budget gauge = %v, want 0 after in-budget pass", got)
+	}
+	if h, ok := snap.Histograms[MetricFleetRebalanceLatency]; !ok || h.Count != 2 {
+		t.Fatalf("rebalance latency histogram missing or wrong count (%+v)", h)
+	}
+}

@@ -2,6 +2,7 @@ package otlp
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -16,7 +18,10 @@ import (
 
 // Exporter periodically snapshots a telemetry.Registry, encodes the
 // snapshot as an OTLP ExportMetricsServiceRequest, and POSTs it to a
-// collector endpoint over HTTP. Failed exports retry with exponential
+// collector endpoint over HTTP. Bodies are gzip-compressed by default
+// (Content-Encoding: gzip), with an automatic one-shot plain re-send and a
+// permanent fallback for collectors that reject compressed payloads (see
+// WithCompression). Failed exports retry with exponential
 // backoff up to a bounded attempt count; the loop goroutine is joined
 // through Shutdown, which also performs one final flush so metrics from
 // runs shorter than the export interval still arrive.
@@ -31,6 +36,12 @@ type Exporter struct {
 	client   *http.Client
 	attempts int
 	backoff  time.Duration
+	compress bool
+
+	// gzOff latches on once a collector proves it cannot take gzip (it
+	// rejected a compressed body but accepted the same bytes plain), so
+	// every later export skips compression without re-probing.
+	gzOff atomic.Bool
 
 	done chan struct{}
 	stop sync.Once
@@ -50,6 +61,9 @@ type Stats struct {
 	// Retries is the number of individual failed attempts that were
 	// retried.
 	Retries int64
+	// PlainFallbacks is the number of rounds in which a collector rejected
+	// a gzip-compressed body and the exporter re-sent it uncompressed.
+	PlainFallbacks int64
 }
 
 // ExporterOption configures NewExporter.
@@ -97,6 +111,15 @@ func WithRetry(attempts int, backoff time.Duration) ExporterOption {
 	}
 }
 
+// WithCompression enables or disables gzip request bodies (default: on).
+// With compression on, a collector that rejects a compressed body with a
+// non-retryable 4xx gets the same payload re-sent uncompressed in the same
+// round; once the plain send succeeds, compression stays off for the rest
+// of the exporter's lifetime.
+func WithCompression(enabled bool) ExporterOption {
+	return func(e *Exporter) { e.compress = enabled }
+}
+
 // NewExporter validates and normalizes the endpoint, then starts the
 // export loop. Accepted endpoint forms: "host:port", "http://host:port",
 // or a full URL; a missing scheme defaults to http and a missing path to
@@ -117,6 +140,7 @@ func NewExporter(reg *telemetry.Registry, endpoint string, opts ...ExporterOptio
 		client:   &http.Client{Timeout: 5 * time.Second},
 		attempts: 3,
 		backoff:  250 * time.Millisecond,
+		compress: true,
 		done:     make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -208,11 +232,34 @@ func (e *Exporter) export(ctx context.Context, abort <-chan struct{}) error {
 	ts := now()
 	start := ts.Add(-time.Duration(snap.UptimeSeconds * float64(time.Second)))
 	body := Encode(snap, e.service, start, ts)
+	useGzip := e.compress && !e.gzOff.Load()
+	var gz []byte
+	if useGzip {
+		gz = gzipBytes(body)
+	}
 	for attempt := 0; ; attempt++ {
-		retryable, err := e.post(ctx, body)
+		send, gzipped := body, false
+		if useGzip {
+			send, gzipped = gz, true
+		}
+		retryable, status, err := e.post(ctx, send, gzipped)
 		if err == nil {
 			e.count(func(s *Stats) { s.Exports++ })
 			return nil
+		}
+		if gzipped && !retryable && status >= 400 && status < 500 {
+			// The collector rejected the compressed body outright (e.g. 415
+			// Unsupported Media Type on a gzip-blind endpoint): re-send the
+			// same payload plain in this round. A plain success latches
+			// compression off for the exporter's lifetime.
+			e.count(func(s *Stats) { s.PlainFallbacks++ })
+			useGzip = false
+			retryable, _, err = e.post(ctx, body, false)
+			if err == nil {
+				e.gzOff.Store(true)
+				e.count(func(s *Stats) { s.Exports++ })
+				return nil
+			}
 		}
 		if !retryable || attempt+1 >= e.attempts {
 			e.count(func(s *Stats) { s.Failures++ })
@@ -232,26 +279,40 @@ func (e *Exporter) export(ctx context.Context, abort <-chan struct{}) error {
 	}
 }
 
-// post delivers one encoded request. retryable reports whether a failure
-// is worth retrying: network errors, 429, and 5xx are; other non-2xx
-// statuses (a misconfigured endpoint) are not.
-func (e *Exporter) post(ctx context.Context, body []byte) (retryable bool, err error) {
+// post delivers one encoded request, gzip-compressed when gzipped is set.
+// retryable reports whether a failure is worth retrying: network errors,
+// 429, and 5xx are; other non-2xx statuses (a misconfigured endpoint) are
+// not. status is the HTTP status code (0 on network errors).
+func (e *Exporter) post(ctx context.Context, body []byte, gzipped bool) (retryable bool, status int, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.url, bytes.NewReader(body))
 	if err != nil {
-		return false, fmt.Errorf("otlp: build request: %w", err)
+		return false, 0, fmt.Errorf("otlp: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/x-protobuf")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
 	resp, err := e.client.Do(req)
 	if err != nil {
-		return true, fmt.Errorf("otlp: post %s: %w", e.url, err)
+		return true, 0, fmt.Errorf("otlp: post %s: %w", e.url, err)
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return false, nil
+		return false, resp.StatusCode, nil
 	}
 	retryable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
-	return retryable, fmt.Errorf("otlp: collector %s returned %s", e.url, resp.Status)
+	return retryable, resp.StatusCode, fmt.Errorf("otlp: collector %s returned %s", e.url, resp.Status)
+}
+
+// gzipBytes compresses one request body. Writes to the in-memory buffer
+// cannot fail.
+func gzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	_, _ = zw.Write(b)
+	_ = zw.Close()
+	return buf.Bytes()
 }
 
 // count applies one mutation to the stats under the lock.

@@ -1,7 +1,9 @@
 package otlp
 
 import (
+	"compress/gzip"
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -159,15 +161,21 @@ func TestNormalizeEndpoint(t *testing.T) {
 }
 
 // collector is an in-process fake OTLP collector: it decodes every POST
-// and retains the requests.
+// (transparently gunzipping Content-Encoding: gzip bodies) and retains the
+// requests.
 type collector struct {
 	mu       sync.Mutex
 	requests []*Request
+	// encodings records each decoded request's Content-Encoding header.
+	encodings []string
 	// status, when nonzero, is returned (with no decode) for the first
 	// failN requests.
 	status int
 	failN  int
 	seen   int
+	// rejectGzip simulates a gzip-blind collector: compressed bodies get
+	// 415 Unsupported Media Type.
+	rejectGzip bool
 }
 
 func (c *collector) handler() http.HandlerFunc {
@@ -183,10 +191,25 @@ func (c *collector) handler() http.HandlerFunc {
 			http.Error(w, "bad content type "+ct, http.StatusBadRequest)
 			return
 		}
+		enc := r.Header.Get("Content-Encoding")
+		if c.rejectGzip && enc == "gzip" {
+			http.Error(w, "gzip not supported", http.StatusUnsupportedMediaType)
+			return
+		}
+		var src io.Reader = r.Body
+		if enc == "gzip" {
+			zr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			defer zr.Close()
+			src = zr
+		}
 		body := make([]byte, 0, 1<<16)
 		buf := make([]byte, 4096)
 		for {
-			n, err := r.Body.Read(buf)
+			n, err := src.Read(buf)
 			body = append(body, buf[:n]...)
 			if err != nil {
 				break
@@ -198,6 +221,7 @@ func (c *collector) handler() http.HandlerFunc {
 			return
 		}
 		c.requests = append(c.requests, req)
+		c.encodings = append(c.encodings, enc)
 		w.WriteHeader(http.StatusOK)
 	}
 }
@@ -320,6 +344,122 @@ func TestExporterUnreachableCollector(t *testing.T) {
 	st := exp.Stats()
 	if st.Retries != 1 || st.Failures != 1 {
 		t.Errorf("stats = %+v, want 1 retry / 1 failure", st)
+	}
+}
+
+// TestExporterGzipRoundTrip: compression is on by default, the collector
+// transparently gunzips, and the decoded values survive the trip.
+func TestExporterGzipRoundTrip(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	reg.Add("rpn_restores_total", 7)
+	exp, err := NewExporter(reg, srv.URL, WithInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if col.count() != 1 {
+		t.Fatalf("collector received %d requests, want 1", col.count())
+	}
+	col.mu.Lock()
+	enc := col.encodings[0]
+	col.mu.Unlock()
+	if enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	m := col.last().Metric("rpn_restores_total")
+	if m == nil || len(m.Points) != 1 || m.Points[0].AsInt != 7 {
+		t.Errorf("restores metric = %+v, want one point of 7", m)
+	}
+	if st := exp.Stats(); st.PlainFallbacks != 0 {
+		t.Errorf("stats = %+v, want no plain fallbacks", st)
+	}
+}
+
+// TestExporterCompressionDisabled: WithCompression(false) sends plain.
+func TestExporterCompressionDisabled(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	exp, err := NewExporter(telemetry.NewRegistry(), srv.URL,
+		WithInterval(time.Hour), WithCompression(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	col.mu.Lock()
+	enc := col.encodings[0]
+	col.mu.Unlock()
+	if enc != "" {
+		t.Fatalf("Content-Encoding = %q, want empty", enc)
+	}
+}
+
+// TestExporterGzipFallback: a gzip-blind collector (415 on compressed
+// bodies) gets the payload re-sent plain in the same round, and the
+// exporter latches compression off for all later rounds.
+func TestExporterGzipFallback(t *testing.T) {
+	col := &collector{rejectGzip: true}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	reg.Add("rpn_transitions_total", 5)
+	exp, err := NewExporter(reg, srv.URL, WithInterval(time.Hour), WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown (fallback round): %v", err)
+	}
+	st := exp.Stats()
+	if st.Exports != 1 || st.PlainFallbacks != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want 1 export / 1 plain fallback / 0 failures", st)
+	}
+	if col.count() != 1 {
+		t.Fatalf("collector decoded %d requests, want 1", col.count())
+	}
+	m := col.last().Metric("rpn_transitions_total")
+	if m == nil || len(m.Points) != 1 || m.Points[0].AsInt != 5 {
+		t.Errorf("transitions metric = %+v, want one point of 5", m)
+	}
+
+	// Second round: compression stays off — no 415 probe, one plain POST.
+	seenBefore := func() int {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		return col.seen
+	}()
+	if err := exp.export(ctx, nil); err != nil {
+		t.Fatalf("second export: %v", err)
+	}
+	col.mu.Lock()
+	seenAfter, encodings := col.seen, append([]string(nil), col.encodings...)
+	col.mu.Unlock()
+	if seenAfter != seenBefore+1 {
+		t.Errorf("second round hit the collector %d times, want 1 (gzip latch)", seenAfter-seenBefore)
+	}
+	for _, enc := range encodings {
+		if enc != "" {
+			t.Errorf("decoded request had Content-Encoding %q, want plain", enc)
+		}
+	}
+	if st := exp.Stats(); st.PlainFallbacks != 1 {
+		t.Errorf("stats after latch = %+v, want still 1 plain fallback", st)
 	}
 }
 

@@ -20,6 +20,7 @@ package revprune
 import (
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/governor"
 	"repro/internal/nn"
 	"repro/internal/perception"
@@ -227,6 +228,8 @@ var (
 	NewWorld = sim.NewWorld
 	// AllScenarios returns the six evaluation scenarios.
 	AllScenarios = sim.AllScenarios
+	// FindScenario resolves a scenario by name.
+	FindScenario = sim.FindScenario
 	// CutIn, HighwayCruise etc. build individual scenarios.
 	CutIn              = sim.CutIn
 	HighwayCruise      = sim.HighwayCruise
@@ -237,8 +240,41 @@ var (
 	RandomTraffic      = sim.RandomTraffic
 	// RunScenario executes the closed perception/adaptation loop.
 	RunScenario = perception.RunScenario
+	// RunStack executes the same loop over any Stack (e.g. a fleet
+	// instance).
+	RunStack = perception.RunStack
 	// NewPipeline wraps a classifier for frame-by-frame detection.
 	NewPipeline = perception.NewPipeline
+)
+
+// Fleet deployment: many model instances sharing one platform and budget.
+type (
+	// Fleet is a registry of named model instances.
+	Fleet = fleet.Fleet
+	// FleetInstance is one named pipeline+model pair behind a per-instance
+	// lock; it satisfies Stack and the governor's Target seam.
+	FleetInstance = fleet.Instance
+	// FleetBudget is the aggregate per-inference resource envelope.
+	FleetBudget = fleet.Budget
+	// FleetBudgetGovernor retargets prune levels to hold a FleetBudget.
+	FleetBudgetGovernor = fleet.BudgetGovernor
+	// FleetDispatcher fans frames out to instances on worker goroutines.
+	FleetDispatcher = fleet.Dispatcher
+	// Stack is the closed-loop seam RunStack drives.
+	Stack = perception.Stack
+)
+
+var (
+	// NewFleet, NewFleetInstance, NewFleetBudgetGovernor and
+	// NewFleetDispatcher construct the fleet layer.
+	NewFleet               = fleet.New
+	NewFleetInstance       = fleet.NewInstance
+	NewFleetBudgetGovernor = fleet.NewBudgetGovernor
+	NewFleetDispatcher     = fleet.NewDispatcher
+	// WithFleetAccuracyFloor and WithFleetRebalanceObserver configure the
+	// budget governor.
+	WithFleetAccuracyFloor     = fleet.WithAccuracyFloor
+	WithFleetRebalanceObserver = fleet.WithRebalanceObserver
 )
 
 // Datasets.

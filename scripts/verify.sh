@@ -27,7 +27,7 @@ step go vet ./...
 step go build ./...
 step go run ./cmd/rpnlint ./...
 step go test ./...
-step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/
+step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
 step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry/otlp/
