@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// chaosScrape is what the probe reads from the live endpoints at the end
+// of a drill (after the vehicles joined, before the server shuts down).
+type chaosScrape struct {
+	status string            // /healthz status field
+	health map[string]string // /healthz instance → state name
+	series []chaosSeries     // every numeric /metrics sample
+}
+
+type chaosSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// sum adds every series of the family whose labels include want.
+func (s *chaosScrape) sum(name string, want map[string]string) float64 {
+	total := 0.0
+	for _, sv := range s.series {
+		if sv.name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if sv.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += sv.value
+		}
+	}
+	return total
+}
+
+// scrapeChaos probes /healthz and /metrics into a chaosScrape.
+func scrapeChaos(t *testing.T, baseURL string) *chaosScrape {
+	t.Helper()
+	out := &chaosScrape{}
+
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string            `json:"status"`
+		Health map[string]string `json:"health"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	out.status = doc.Status
+	out.health = doc.Health
+
+	mresp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			continue
+		}
+		name, labels, ok := telemetry.ParseSeries(fields[0])
+		if !ok {
+			name = fields[0]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			continue
+		}
+		lm := map[string]string{}
+		for _, l := range labels {
+			lm[l.Key] = l.Value
+		}
+		out.series = append(out.series, chaosSeries{name: name, labels: lm, value: v})
+	}
+	return out
+}
+
+// TestRunChaosDrill is the chaos acceptance suite: each subtest arms one
+// fault kind against car1 of a three-vehicle fleet and drives the full
+// scenario set to completion. Every drill must exit cleanly, leak no
+// goroutines, leave every instance healthy by the end of the run, keep
+// car0 untouched, and surface the injected faults — and the watchdog's
+// response — on /healthz, /metrics, and the final OTLP export.
+func TestRunChaosDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simdrive chaos end-to-end skipped in -short mode")
+	}
+
+	cases := []struct {
+		name string
+		spec string
+		// budget > 0 runs the fleet budget governor (health-gated) during
+		// the drill.
+		budget float64
+		// minTransitions bounds car1's rpn_health_transitions_total.
+		minTransitions float64
+		// reason/minReason bound car1's rpn_health_faults_total{reason=…}.
+		reason    string
+		minReason float64
+		// minRestores bounds car1's emergency-restore counter (0 for fault
+		// kinds the watchdog attributes to errors — no restore, the store
+		// has nothing to heal).
+		minRestores float64
+		// skipKind skips the rpn_fault_injections_total cross-check for
+		// faults that fire after the probe (the otlp-outage final flush).
+		skipKind bool
+	}{
+		{
+			// Poison fires on car1's first level transition; the NaN output
+			// trips the watchdog on the next frame, forcing an emergency
+			// restore to dense that genuinely heals the model.
+			name:           "nan-weights",
+			spec:           "nan-weights:car1:for=1",
+			minTransitions: 2, // Healthy→Degraded, →Healthy after the clean streak
+			reason:         "nan",
+			minReason:      1,
+			minRestores:    1,
+		},
+		{
+			// Three consecutive lost frames walk car1 through the full
+			// trajectory: Degraded on the first, Quarantined on the third,
+			// Probation after the dwell, Healthy after the clean streak. The
+			// health-gated budget governor keeps rebalancing around it.
+			name:           "drop-frames",
+			spec:           "drop-frames:car1:after=40:for=3",
+			budget:         40,
+			minTransitions: 4,
+			reason:         "error",
+			minReason:      3,
+		},
+		{
+			// A garbled (truncated) frame is rejected by the pipeline's
+			// geometry check — same error trajectory as a lost frame.
+			name:           "garble-frames",
+			spec:           "garble-frames:car1:after=40:for=3",
+			minTransitions: 4,
+			reason:         "error",
+			minReason:      3,
+		},
+		{
+			// A 400ms stall breaches the 150ms frame deadline three times:
+			// quarantine trajectory plus an emergency restore per breach.
+			name:           "slow-infer",
+			spec:           "slow-infer:car1:after=40:for=3:latency=400ms",
+			minTransitions: 4,
+			reason:         "deadline",
+			minReason:      3,
+			minRestores:    1,
+		},
+		{
+			// The stall wedges inside the governor tick's level transition;
+			// the tick watchdog catches the deadline breach and restores.
+			name:           "stuck-transition",
+			spec:           "stuck-transition:car1:for=1:latency=400ms",
+			minTransitions: 2,
+			reason:         "deadline",
+			minReason:      1,
+			minRestores:    1,
+		},
+		{
+			// A collector outage fails the first two POSTs; the exporter's
+			// jittered retries must still land the final flush. No instance
+			// faults: the whole fleet stays healthy throughout.
+			name:     "otlp-outage",
+			spec:     "otlp-outage:after=0:for=2",
+			skipKind: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			collector, decoded := newFakeCollector(t)
+			baseline := runtime.NumGoroutine()
+
+			var scrape *chaosScrape
+			probe := func(baseURL string) { scrape = scrapeChaos(t, baseURL) }
+			if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0",
+				collector.URL, 3, tc.budget, tc.spec, probe); err != nil {
+				t.Fatalf("chaos drill %q: %v", tc.spec, err)
+			}
+			if scrape == nil {
+				t.Fatal("probe never ran")
+			}
+
+			// Every drill ends recovered: /healthz reports all three
+			// instances healthy and the overall status ok.
+			if scrape.status != "ok" {
+				t.Errorf("healthz status = %q, want ok (health %v)", scrape.status, scrape.health)
+			}
+			for _, car := range []string{"car0", "car1", "car2"} {
+				if st := scrape.health[car]; st != "healthy" {
+					t.Errorf("final %s state = %q, want healthy", car, st)
+				}
+			}
+
+			// The injected faults and the watchdog's response are on the
+			// target's counters; the untouched neighbor has none.
+			car1 := map[string]string{telemetry.LabelModel: "car1"}
+			if got := scrape.sum(telemetry.MetricHealthTransitions, car1); got < tc.minTransitions {
+				t.Errorf("car1 health transitions = %v, want ≥ %v", got, tc.minTransitions)
+			}
+			if tc.reason != "" {
+				want := map[string]string{telemetry.LabelModel: "car1", telemetry.LabelReason: tc.reason}
+				if got := scrape.sum(telemetry.MetricHealthFaults, want); got < tc.minReason {
+					t.Errorf("car1 %s faults = %v, want ≥ %v", tc.reason, got, tc.minReason)
+				}
+			}
+			if got := scrape.sum(telemetry.MetricHealthRestores, car1); got < tc.minRestores {
+				t.Errorf("car1 emergency restores = %v, want ≥ %v", got, tc.minRestores)
+			}
+			car0 := map[string]string{telemetry.LabelModel: "car0"}
+			if got := scrape.sum(telemetry.MetricHealthFaults, car0); got != 0 {
+				t.Errorf("healthy neighbor car0 recorded %v faults", got)
+			}
+			if !tc.skipKind {
+				want := map[string]string{telemetry.LabelFault: tc.name}
+				if got := scrape.sum(telemetry.MetricFaultInjections, want); got < 1 {
+					t.Errorf("rpn_fault_injections_total{fault=%q} = %v, want ≥ 1", tc.name, got)
+				}
+			}
+
+			// The final OTLP flush delivered (through the outage, when one
+			// was armed) and its health-state gauges agree with /healthz.
+			reqs := decoded()
+			if len(reqs) == 0 {
+				t.Fatal("collector received no exports")
+			}
+			hs := reqs[len(reqs)-1].Metric(telemetry.MetricHealthState)
+			if hs == nil {
+				t.Fatal("final export missing " + telemetry.MetricHealthState)
+			}
+			otlpStates := map[string]string{}
+			for _, p := range hs.Points {
+				otlpStates[p.Attrs[telemetry.LabelModel]] = telemetry.HealthStateName(int(p.AsDouble))
+			}
+			for car, want := range scrape.health {
+				if got := otlpStates[car]; got != want {
+					t.Errorf("%s: /healthz says %q, OTLP export says %q", car, want, got)
+				}
+			}
+
+			// The drill tore everything down: no goroutine outlives the run
+			// (idle HTTP conns are closed explicitly — keep-alives linger far
+			// longer than the settle window otherwise).
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+				if n := runtime.NumGoroutine(); n <= baseline {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("goroutines leaked: %d at start, %d after settle",
+						baseline, runtime.NumGoroutine())
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		})
+	}
+}

@@ -18,15 +18,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/governor"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/perception"
 	"repro/internal/platform"
@@ -46,9 +50,10 @@ func main() {
 	otlpEndpoint := flag.String("otlp-endpoint", "", "export OTLP/HTTP metrics to this collector (e.g. localhost:4318) during the run")
 	fleetSize := flag.Int("fleet", 1, "number of model instances to run as a fleet (1 = single-model mode)")
 	fleetBudget := flag.Float64("fleet-budget-mj", 0, "aggregate per-inference energy budget (mJ) a fleet governor holds during the run (0 = no budget; fleet mode only)")
+	chaos := flag.String("chaos", "", "arm a chaos drill: comma-separated fault specs, e.g. nan-weights:car1:after=1,drop-frames:car2:after=40:for=3 (fleet mode only)")
 	flag.Parse()
 
-	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, nil); err != nil {
+	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, *chaos, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "simdrive:", err)
 		os.Exit(1)
 	}
@@ -63,10 +68,13 @@ func findScenario(name string) (sim.Scenario, error) {
 // server exposes /healthz and /metrics for the duration of the run; when
 // otlpEndpoint is non-empty, an OTLP exporter pushes the same registry to
 // that collector (final flush on shutdown, so runs shorter than the export
-// interval still deliver). probe, when non-nil, is invoked with the
-// server's base URL after the run completes and before the server shuts
-// down (tests hook it to scrape the live endpoints).
-func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, fleetSize int, fleetBudgetMJ float64, probe func(baseURL string)) error {
+// interval still deliver). chaos, when non-empty, is a fault-spec list
+// (see internal/fault) armed over the run's seed — fleet mode only, so a
+// drill always has healthy instances to measure the blast radius against.
+// probe, when non-nil, is invoked with the server's base URL after the run
+// completes and before the server shuts down (tests hook it to scrape the
+// live endpoints).
+func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, fleetSize int, fleetBudgetMJ float64, chaos string, probe func(baseURL string)) error {
 	sc, err := findScenario(scenarioName)
 	if err != nil {
 		return err
@@ -74,11 +82,28 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 	if fleetSize < 1 {
 		return fmt.Errorf("fleet size %d (want ≥ 1)", fleetSize)
 	}
+	var inj *fault.Injector
+	if chaos != "" {
+		specs, err := fault.ParseSpecs(chaos)
+		if err != nil {
+			return err
+		}
+		if fleetSize < 2 {
+			return fmt.Errorf("-chaos drills run against a fleet: want -fleet ≥ 2, got %d", fleetSize)
+		}
+		inj = fault.NewInjector(seed, specs...)
+		fmt.Printf("chaos: armed %s (seed %d)\n", fault.FormatSpecs(specs), seed)
+	}
 
 	var reg *telemetry.Registry
 	var tsrv *telemetry.Server
 	if telemetryAddr != "" || otlpEndpoint != "" {
 		reg = telemetry.NewRegistry()
+		if inj != nil {
+			// Fired faults land on the shared registry unlabeled: the kind
+			// label already identifies them, and outage faults have no model.
+			inj.SetObserver(telemetry.NewHooks(reg))
+		}
 		if telemetryAddr != "" {
 			tsrv, err = telemetry.Serve(reg, telemetryAddr)
 			if err != nil {
@@ -88,7 +113,16 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 			fmt.Printf("telemetry: http://%s/healthz and /metrics\n", tsrv.Addr())
 		}
 		if otlpEndpoint != "" {
-			exp, err := otlp.NewExporter(reg, otlpEndpoint, otlp.WithServiceName("simdrive"))
+			eopts := []otlp.ExporterOption{otlp.WithServiceName("simdrive")}
+			if inj != nil {
+				// Route exports through the injector's transport so armed
+				// otlp-outage windows fail POSTs before they reach the wire.
+				eopts = append(eopts, otlp.WithHTTPClient(&http.Client{
+					Timeout:   5 * time.Second,
+					Transport: inj.Transport(nil),
+				}))
+			}
+			exp, err := otlp.NewExporter(reg, otlpEndpoint, eopts...)
 			if err != nil {
 				return err
 			}
@@ -106,7 +140,7 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 	if fleetSize == 1 {
 		err = runSolo(sc, policyName, seed, csvPath, every, reg)
 	} else {
-		err = runFleet(sc, policyName, seed, csvPath, fleetSize, fleetBudgetMJ, reg)
+		err = runFleet(sc, policyName, seed, csvPath, fleetSize, fleetBudgetMJ, reg, inj)
 	}
 	if err != nil {
 		return err
@@ -229,12 +263,13 @@ func runSolo(sc sim.Scenario, policyName string, seed int64, csvPath string, eve
 	return nil
 }
 
-// fleetVehicle pairs one fleet instance with the scenario and seed its
-// closed loop runs.
+// fleetVehicle pairs one fleet instance with the health guard its closed
+// loop actually drives, plus the scenario and seed.
 type fleetVehicle struct {
-	inst *fleet.Instance
-	sc   sim.Scenario
-	seed int64
+	inst  *fleet.Instance
+	guard *health.Guard
+	sc    sim.Scenario
+	seed  int64
 }
 
 // runFleet builds n instances named car0..car(n-1) — each with its own
@@ -242,7 +277,12 @@ type fleetVehicle struct {
 // telemetry hooks — and drives them concurrently, each through its own
 // scenario (cycling from base) and world seed. A positive budget starts a
 // fleet budget governor that rebalances prune levels throughout the run.
-func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, n int, budgetMJ float64, reg *telemetry.Registry) error {
+//
+// Every vehicle loop runs behind a health.Guard: the per-instance watchdog
+// fences a faulting instance off (quarantine + emergency restore to dense)
+// while the rest of the fleet keeps driving. inj, when non-nil, arms the
+// instances' fault points for a chaos drill.
+func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, n int, budgetMJ float64, reg *telemetry.Registry, inj *fault.Injector) error {
 	scens := sim.AllScenarios()
 	baseIdx := 0
 	for i, s := range scens {
@@ -257,6 +297,7 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 	spec := platform.EmbeddedCPU()
 
 	f := fleet.New()
+	monitor := health.NewMonitor(health.Config{})
 	vehicles := make([]fleetVehicle, 0, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("car%d", i)
@@ -272,7 +313,11 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 		if err != nil {
 			return err
 		}
+		if inj != nil {
+			inst.SetFaultInjector(inj)
+		}
 		govOpts := []governor.Option{governor.WithTrace()}
+		var hobs health.Observer
 		if reg != nil {
 			hooks := telemetry.NewHooks(reg, telemetry.Label{Key: telemetry.LabelModel, Value: name})
 			sp := make([]float64, rm.NumLevels())
@@ -283,6 +328,13 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 			inst.SetModelObserver(hooks)
 			inst.SetObserver(hooks)
 			govOpts = append(govOpts, governor.WithObserver(hooks))
+			hobs = hooks
+		}
+		// The instance is its own emergency restorer: a NaN or deadline
+		// fault forces ApplyLevel(0), rewriting every pruned position from
+		// the reversible store.
+		if err := monitor.Register(name, inst, hobs); err != nil {
+			return err
 		}
 		switch policyName {
 		case "static-dense":
@@ -306,9 +358,10 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 			return err
 		}
 		vehicles = append(vehicles, fleetVehicle{
-			inst: inst,
-			sc:   scens[(baseIdx+i)%len(scens)],
-			seed: seed + int64(i),
+			inst:  inst,
+			guard: health.NewGuard(name, inst, monitor),
+			sc:    scens[(baseIdx+i)%len(scens)],
+			seed:  seed + int64(i),
 		})
 	}
 
@@ -318,7 +371,7 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 	var bgWG sync.WaitGroup
 	bgDone := make(chan struct{})
 	if budgetMJ > 0 {
-		var bopts []fleet.BudgetOption
+		bopts := []fleet.BudgetOption{fleet.WithHealthGate(monitor)}
 		if reg != nil {
 			bopts = append(bopts, fleet.WithRebalanceObserver(telemetry.NewHooks(reg)))
 		}
@@ -357,7 +410,7 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 		go func(i int) {
 			defer wg.Done()
 			v := vehicles[i]
-			results[i], errs[i] = perception.RunStack(v.sc, v.inst, perception.LoopConfig{
+			results[i], errs[i] = perception.RunStack(v.sc, v.guard, perception.LoopConfig{
 				FrameSize: 16,
 				Spec:      spec,
 				Record:    csvPath != "",
@@ -411,6 +464,18 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 	agg.AddRow("total contract violations", fmt.Sprintf("%d", totalViolations))
 	agg.AddRow("total energy (mJ)", metrics.F(totalEnergy, 2))
 	fmt.Print(agg.String())
+
+	states := monitor.States()
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ht := metrics.NewTable("fleet health (end of run)", "model", "state")
+	for _, name := range names {
+		ht.AddRow(name, states[name].String())
+	}
+	fmt.Print(ht.String())
 
 	if csvPath != "" {
 		ext := filepath.Ext(csvPath)

@@ -33,7 +33,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("simdrive end-to-end skipped in -short mode")
 	}
 	csvPath := filepath.Join(t.TempDir(), "timeline.csv")
-	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", 1, 0, nil); err != nil {
+	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", 1, 0, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -43,15 +43,15 @@ func TestRunEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(data), "tick,") {
 		t.Errorf("timeline CSV malformed: %q", string(data[:40]))
 	}
-	if err := run("cut-in", "bogus", 1, "", 500, "", "", 1, 0, nil); err == nil {
+	if err := run("cut-in", "bogus", 1, "", 500, "", "", 1, 0, "", nil); err == nil {
 		t.Error("bogus policy accepted")
 	}
-	if err := run("cut-in", "hysteresis", 1, "", 500, "", "", 0, 0, nil); err == nil {
+	if err := run("cut-in", "hysteresis", 1, "", 500, "", "", 0, 0, "", nil); err == nil {
 		t.Error("zero fleet size accepted")
 	}
 	// All remaining policies at least construct and run.
 	for _, p := range []string{"static-dense", "static-deep", "threshold", "predictive"} {
-		if err := run("highway-cruise", p, 1, "", 1000, "", "", 1, 0, nil); err != nil {
+		if err := run("highway-cruise", p, 1, "", 1000, "", "", 1, 0, "", nil); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
 	}
@@ -122,7 +122,7 @@ func TestRunWithTelemetry(t *testing.T) {
 			}
 		}
 	}
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", 1, 0, probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", 1, 0, "", probe); err != nil {
 		t.Fatal(err)
 	}
 	if !probed {
@@ -217,7 +217,7 @@ func TestRunWithOTLP(t *testing.T) {
 		}
 	}
 
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, 1, 0, probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, 1, 0, "", probe); err != nil {
 		t.Fatal(err)
 	}
 
@@ -352,7 +352,7 @@ func TestRunFleet(t *testing.T) {
 		}
 	}
 
-	if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0", collector.URL, len(models), 40, probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0", collector.URL, len(models), 40, "", probe); err != nil {
 		t.Fatal(err)
 	}
 

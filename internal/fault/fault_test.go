@@ -1,0 +1,379 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want Spec
+	}{
+		{"nan-weights", Spec{Kind: KindNaNWeights, Count: defaultPoisonCount}},
+		{"nan-weights:car2:after=50", Spec{Kind: KindNaNWeights, Model: "car2", After: 50, Count: defaultPoisonCount}},
+		{"nan-weights:car1:after=5:for=3:n=2", Spec{Kind: KindNaNWeights, Model: "car1", After: 5, For: 3, Count: 2}},
+		{"drop-frames:car0:for=4", Spec{Kind: KindDropFrames, Model: "car0", For: 4}},
+		{"garble-frames", Spec{Kind: KindGarbleFrames}},
+		{"slow-infer", Spec{Kind: KindSlowInfer, Latency: defaultLatency}},
+		{"slow-infer:car3:latency=250ms", Spec{Kind: KindSlowInfer, Model: "car3", Latency: 250 * time.Millisecond}},
+		{"stuck-transition:latency=1s", Spec{Kind: KindStuckTransition, Latency: time.Second}},
+		{"otlp-outage:after=1:for=2", Spec{Kind: KindOTLPOutage, After: 1, For: 2}},
+		{"  garble-frames  ", Spec{Kind: KindGarbleFrames}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.raw)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.raw, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, raw := range []string{
+		"",
+		"   ",
+		"meteor-strike",
+		"nan-weights:car1:whatever=3",
+		"nan-weights:after=1:car1",  // target after params
+		"nan-weights:car1:bus2",     // two targets
+		"drop-frames:car1:after=-1", // negative window
+		"drop-frames:car1:after=x",
+		"drop-frames:latency=9ms", // latency on a kind without stalls
+		"slow-infer:latency=0s",
+		"slow-infer:latency=-5ms",
+		"garble-frames:n=4", // n on a kind without poison
+		"nan-weights:car1:n=0",
+		"otlp-outage:collector1", // outage takes no target
+		"nan-weights::after=1",   // empty target segment
+	} {
+		if spec, err := ParseSpec(raw); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", raw, spec)
+		}
+	}
+}
+
+func TestParseSpecsListAndFormatRoundTrip(t *testing.T) {
+	raw := "nan-weights:car1:after=5:for=3,drop-frames:car2,slow-infer:latency=75ms"
+	specs, err := ParseSpecs(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	again, err := ParseSpecs(FormatSpecs(specs))
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", FormatSpecs(specs), err)
+	}
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Errorf("spec %d: %+v != re-parsed %+v", i, specs[i], again[i])
+		}
+	}
+	if _, err := ParseSpecs("drop-frames,,garble-frames"); err == nil {
+		t.Error("empty list element accepted")
+	}
+	if _, err := ParseSpecs(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	kinds := SpecKinds(specs)
+	if len(kinds) != 3 || kinds[0] != KindDropFrames {
+		t.Errorf("SpecKinds = %v", kinds)
+	}
+}
+
+// recorder counts fired faults per kind.
+type recorder struct{ fired map[string]int }
+
+func (r *recorder) ObserveFaultInjection(kind string) {
+	if r.fired == nil {
+		r.fired = map[string]int{}
+	}
+	r.fired[kind]++
+}
+
+func TestFrameWindowing(t *testing.T) {
+	spec, err := ParseSpec("drop-frames:car1:after=2:for=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(1, spec)
+	rec := &recorder{}
+	in.SetObserver(rec)
+	frame := tensor.New(4)
+
+	var drops []bool
+	for i := 0; i < 6; i++ {
+		_, drop, _ := in.OnFrame("car1", frame)
+		drops = append(drops, drop)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if drops[i] != want[i] {
+			t.Errorf("event %d: drop=%v want %v (all %v)", i, drops[i], want[i], drops)
+		}
+	}
+	if rec.fired[string(KindDropFrames)] != 2 {
+		t.Errorf("observer saw %d drops, want 2", rec.fired[string(KindDropFrames)])
+	}
+	// Another instance is untargeted: its window never opens, and its
+	// events don't advance car1's counter.
+	if _, drop, _ := in.OnFrame("car2", frame); drop {
+		t.Error("untargeted instance dropped a frame")
+	}
+}
+
+func TestFrameGarbleAndSlow(t *testing.T) {
+	specs, err := ParseSpecs("garble-frames:car0:for=1,slow-infer:car0:latency=7ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(42, specs...)
+	frame := tensor.New(10)
+	repl, drop, stall := in.OnFrame("car0", frame)
+	if drop {
+		t.Error("garble+slow dropped the frame")
+	}
+	if stall != 7*time.Millisecond {
+		t.Errorf("stall = %v", stall)
+	}
+	if repl == nil {
+		t.Fatal("no garbled replacement")
+	}
+	if repl.Len() >= frame.Len() {
+		t.Fatalf("garbled frame has %d pixels, want a short read (< %d)", repl.Len(), frame.Len())
+	}
+	for i, v := range frame.Data() {
+		if v != 0 {
+			t.Fatalf("original frame mutated at %d: %v", i, v)
+		}
+	}
+	sawNaN := false
+	for _, v := range repl.Data() {
+		if math.IsNaN(float64(v)) {
+			sawNaN = true
+		}
+	}
+	if !sawNaN {
+		t.Error("garbled frame carries no NaN pixels")
+	}
+	// Window for=1 closed: second frame passes clean.
+	repl, _, stall = in.OnFrame("car0", frame)
+	if repl != nil {
+		t.Error("garble window did not close")
+	}
+	if stall == 0 {
+		t.Error("slow-infer with no for= should stall forever")
+	}
+}
+
+func TestGarbleDeterministicPerSeed(t *testing.T) {
+	spec, err := ParseSpec("garble-frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := tensor.New(16)
+	a, _, _ := NewInjector(7, spec).OnFrame("car0", frame)
+	b, _, _ := NewInjector(7, spec).OnFrame("car0", frame)
+	c, _, _ := NewInjector(8, spec).OnFrame("car0", frame)
+	for i := range a.Data() {
+		av, bv := a.Data()[i], b.Data()[i]
+		if av != bv && !(math.IsNaN(float64(av)) && math.IsNaN(float64(bv))) {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, av, bv)
+		}
+	}
+	same := true
+	for i := range a.Data() {
+		if a.Data()[i] != c.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical garble")
+	}
+}
+
+// testNet builds a tiny model held at a pruned level, so transitions have
+// zeroed positions for the poison point to target.
+func testNet(t *testing.T) *nn.Sequential {
+	t.Helper()
+	rng := tensor.NewRNG(3)
+	m := nn.NewSequential("faultnet",
+		nn.NewDense("fc1", 16, 8, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 8, 2, rng),
+	)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.Build(m, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPoisonPruned(t *testing.T) {
+	m := testNet(t)
+	zeros := 0
+	for _, p := range m.PrunableParams() {
+		for _, v := range p.Value.Data() {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("test model has no pruned positions")
+	}
+	n := PoisonPruned(m, 4)
+	if n != 4 {
+		t.Fatalf("poisoned %d, want 4", n)
+	}
+	nans := 0
+	for _, p := range m.PrunableParams() {
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(float64(v)) {
+				nans++
+			}
+		}
+	}
+	if nans != 4 {
+		t.Errorf("model carries %d NaNs, want 4", nans)
+	}
+	// Budget above the zero population: poisons every zero and stops.
+	m2 := testNet(t)
+	if n := PoisonPruned(m2, 1<<20); n != zeros {
+		t.Errorf("unbounded poison wrote %d, want %d (every pruned position)", n, zeros)
+	}
+}
+
+func TestTransitionPoint(t *testing.T) {
+	specs, err := ParseSpecs("nan-weights:car1:n=3,stuck-transition:car1:latency=9ms:for=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(5, specs...)
+	rec := &recorder{}
+	in.SetObserver(rec)
+	m := testNet(t)
+
+	if stall := in.OnTransition("car1", 1, m); stall != 9*time.Millisecond {
+		t.Errorf("stall = %v", stall)
+	}
+	nans := 0
+	for _, p := range m.PrunableParams() {
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(float64(v)) {
+				nans++
+			}
+		}
+	}
+	if nans != 3 {
+		t.Errorf("transition to L1 poisoned %d weights, want 3", nans)
+	}
+	// Restores (to == 0) are never poisoned — the point is that L0 heals.
+	m2 := testNet(t)
+	if in.OnTransition("car1", 0, m2); countNaNs(m2) != 0 {
+		t.Error("restore transition was poisoned")
+	}
+	if rec.fired[string(KindStuckTransition)] != 1 {
+		t.Errorf("stuck-transition fired %d times, want 1 (for=1)", rec.fired[string(KindStuckTransition)])
+	}
+}
+
+func countNaNs(m *nn.Sequential) int {
+	n := 0
+	for _, p := range m.PrunableParams() {
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(float64(v)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// errIfCalled fails the test if a request escapes the outage window.
+type errIfCalled struct{ t *testing.T }
+
+func (rt errIfCalled) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.t.Error("request reached base transport during outage window")
+	return nil, errors.New("unexpected")
+}
+
+func TestOutageTransport(t *testing.T) {
+	spec, err := ParseSpec("otlp-outage:for=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(1, spec)
+	rec := &recorder{}
+	in.SetObserver(rec)
+	rt := in.Transport(errIfCalled{t})
+	req, err := http.NewRequest(http.MethodPost, "http://collector.invalid/v1/metrics", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rt.RoundTrip(req); err == nil || !strings.Contains(err.Error(), "outage") {
+			t.Fatalf("attempt %d: err = %v, want injected outage", i, err)
+		}
+	}
+	if rec.fired[string(KindOTLPOutage)] != 2 {
+		t.Errorf("observer saw %d outages, want 2", rec.fired[string(KindOTLPOutage)])
+	}
+	// Window closed: the base transport answers (here: a stub error path is
+	// fine — use a transport that records the pass-through).
+	passed := false
+	rt = in.Transport(roundTripFunc(func(*http.Request) (*http.Response, error) {
+		passed = true
+		return nil, errors.New("base")
+	}))
+	if _, err := rt.RoundTrip(req); err == nil || err.Error() != "base" {
+		t.Errorf("post-window err = %v, want base transport's", err)
+	}
+	if !passed {
+		t.Error("post-window request never reached the base transport")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestInertInjector(t *testing.T) {
+	in := NewInjector(0)
+	frame := tensor.New(4)
+	if repl, drop, stall := in.OnFrame("car0", frame); repl != nil || drop || stall != 0 {
+		t.Error("spec-less injector fired at the frame point")
+	}
+	if stall := in.OnTransition("car0", 1, testNet(t)); stall != 0 {
+		t.Error("spec-less injector fired at the transition point")
+	}
+	if in.OnExport() {
+		t.Error("spec-less injector fired at the export point")
+	}
+	if len(in.Specs()) != 0 {
+		t.Error("Specs() not empty")
+	}
+}

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaultSpec hammers the -chaos grammar: ParseSpecs must never
+// panic, and every accepted spec list must render (FormatSpecs) back into
+// a string that re-parses to the identical specs — the canonical-form
+// round-trip property that keeps the grammar and its printer honest.
+// scripts/verify.sh runs this as a 5 s smoke.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("nan-weights:car2:after=50")
+	f.Add("nan-weights:car1:after=5:for=3:n=2,drop-frames:car2")
+	f.Add("garble-frames,slow-infer:latency=250ms,stuck-transition:car0:latency=1s")
+	f.Add("otlp-outage:after=1:for=2")
+	f.Add("drop-frames:car0:for=4")
+	f.Add(":::")
+	f.Add("nan-weights:car1:after=999999999999999999999")
+	f.Add("slow-infer:latency=-3ms")
+	f.Add("a,b,c")
+	f.Fuzz(func(t *testing.T, raw string) {
+		specs, err := ParseSpecs(raw)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("ParseSpecs(%q) accepted with no specs", raw)
+		}
+		rendered := FormatSpecs(specs)
+		again, err := ParseSpecs(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpecs(%q) ok but re-parse of %q failed: %v", raw, rendered, err)
+		}
+		if len(again) != len(specs) {
+			t.Fatalf("round trip changed spec count: %d → %d", len(specs), len(again))
+		}
+		for i := range specs {
+			if specs[i] != again[i] {
+				t.Fatalf("spec %d did not round-trip: %+v vs %+v (rendered %q)", i, specs[i], again[i], rendered)
+			}
+		}
+		// Accepted windows must behave: closed before After, open at After,
+		// closed again once a finite For elapses.
+		for _, s := range specs {
+			if s.After > 0 && s.active(s.After-1) {
+				t.Fatalf("spec %+v active before its window", s)
+			}
+			if !s.active(s.After) {
+				t.Fatalf("spec %+v inactive at window start", s)
+			}
+			if s.For > 0 && s.active(s.After+s.For) {
+				t.Fatalf("spec %+v active past its window", s)
+			}
+		}
+		if strings.TrimSpace(rendered) != rendered {
+			t.Fatalf("FormatSpecs produced padded output %q", rendered)
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Observer is notified every time an armed fault actually fires, with the
+// fault kind. telemetry.Hooks satisfies it structurally
+// (ObserveFaultInjection → rpn_fault_injections_total{fault="<kind>"}).
+type Observer interface {
+	ObserveFaultInjection(kind string)
+}
+
+// armed is one spec plus its per-instance trigger-event counters.
+type armed struct {
+	spec Spec
+	// events counts trigger events per instance name at this spec's fault
+	// point, so windows advance independently per instance even when the
+	// spec targets all of them.
+	events map[string]int
+}
+
+// Injector owns the armed specs and the fault points the stack calls. All
+// randomness flows from the construction seed and all windowing from
+// per-spec event counters, so a drill replays identically: same seed, same
+// schedule of calls, same faults.
+//
+// All methods are safe for concurrent use (fault points are called from
+// vehicle loops, dispatcher workers, budget-governor passes, and the OTLP
+// transport at once).
+type Injector struct {
+	mu    sync.Mutex
+	specs []*armed
+	rng   *rand.Rand
+	obs   Observer
+}
+
+// NewInjector arms the specs over a deterministic RNG.
+func NewInjector(seed int64, specs ...Spec) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
+	for _, s := range specs {
+		in.specs = append(in.specs, &armed{spec: s, events: map[string]int{}})
+	}
+	return in
+}
+
+// SetObserver installs (or, with nil, removes) the fired-fault observer.
+func (in *Injector) SetObserver(o Observer) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.obs = o
+}
+
+// Specs returns a copy of the armed specs.
+func (in *Injector) Specs() []Spec {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Spec, len(in.specs))
+	for i, a := range in.specs {
+		out[i] = a.spec
+	}
+	return out
+}
+
+// fire advances the event counter of every armed spec of the given kinds
+// matching the instance and returns the specs whose windows are open.
+// Caller must hold in.mu.
+func (in *Injector) fire(model string, kinds ...Kind) []Spec {
+	var hits []Spec
+	for _, a := range in.specs {
+		match := false
+		for _, k := range kinds {
+			if a.spec.Kind == k {
+				match = true
+				break
+			}
+		}
+		if !match || !a.spec.matches(model) {
+			continue
+		}
+		ev := a.events[model]
+		a.events[model] = ev + 1
+		if a.spec.active(ev) {
+			hits = append(hits, a.spec)
+			if in.obs != nil {
+				in.obs.ObserveFaultInjection(string(a.spec.Kind))
+			}
+		}
+	}
+	return hits
+}
+
+// OnFrame is the frame fault point, called once per frame before the
+// forward pass. It returns a replacement frame (nil: use the original),
+// whether the frame should be reported lost, and how long the caller must
+// stall before inference. Each armed frame-kind spec counts this call as
+// one trigger event for the instance.
+func (in *Injector) OnFrame(model string, frame *tensor.Tensor) (replacement *tensor.Tensor, drop bool, stall time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, spec := range in.fire(model, KindDropFrames, KindGarbleFrames, KindSlowInfer) {
+		switch spec.Kind {
+		case KindDropFrames:
+			drop = true
+		case KindGarbleFrames:
+			if frame != nil {
+				replacement = in.garble(frame)
+			}
+		case KindSlowInfer:
+			if spec.Latency > stall {
+				stall = spec.Latency
+			}
+		}
+	}
+	return replacement, drop, stall
+}
+
+// garble returns a corrupted copy of the frame: a short read (three
+// quarters of the pixels — a truncated DMA transfer) filled with random
+// sensor garbage and NaN pixels. The truncation is the load-bearing part:
+// the pipeline rejects the geometry mismatch deterministically, whereas
+// in-range garbage (even NaN — ReLU zeroes it) can wash out inside the
+// network and pass as noise. Caller holds in.mu.
+func (in *Injector) garble(frame *tensor.Tensor) *tensor.Tensor {
+	short := frame.Len() * 3 / 4
+	if short < 1 {
+		short = 1
+	}
+	g := tensor.New(short)
+	data := g.Data()
+	for i := range data {
+		if i%5 == 0 {
+			data[i] = float32(math.NaN())
+		} else {
+			data[i] = in.rng.Float32()*2000 - 1000
+		}
+	}
+	return g
+}
+
+// OnTransition is the transition fault point, called with the instance
+// lock held after every completed level change (to is the new level; m the
+// live model). It poisons weights per armed nan-weights specs and returns
+// how long the caller must stall before releasing the lock (a stuck
+// transition). Each armed transition-kind spec counts this call as one
+// trigger event for the instance.
+func (in *Injector) OnTransition(model string, to int, m *nn.Sequential) (stall time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, spec := range in.fire(model, KindNaNWeights, KindStuckTransition) {
+		switch spec.Kind {
+		case KindNaNWeights:
+			// Poison only at pruned levels: L0 restores just overwrote every
+			// pruned position, and corrupting a dense position would be
+			// unrecoverable by design (the store covers pruned positions).
+			if to > 0 && m != nil {
+				PoisonPruned(m, spec.Count)
+			}
+		case KindStuckTransition:
+			if spec.Latency > stall {
+				stall = spec.Latency
+			}
+		}
+	}
+	return stall
+}
+
+// PoisonPruned overwrites up to n currently-zero prunable weights with
+// NaN, walking parameters in deterministic reverse order — output side
+// first — and returns how many it wrote. Reverse order matters: NaN in an
+// early layer dies at the next ReLU (max(0, NaN) is implemented as
+// v > 0, which is false), while NaN in the head's weights reaches the
+// logits (NaN·x is NaN even for x = 0) and trips the NaN watchdog.
+// Because only pruned (zeroed) positions are touched, a restore to L0 —
+// which writes the displaced dense values back over every pruned position —
+// genuinely heals the corruption; this is the same recoverability boundary
+// the bit-flip experiment (internal/faults) measures.
+func PoisonPruned(m *nn.Sequential, n int) int {
+	poisoned := 0
+	nan := float32(math.NaN())
+	params := m.PrunableParams()
+	for k := len(params) - 1; k >= 0; k-- {
+		data := params[k].Value.Data()
+		for i := range data {
+			if poisoned >= n {
+				return poisoned
+			}
+			if data[i] == 0 { //lint:allow(floateq) pruned positions are exactly zero by construction
+				data[i] = nan
+				poisoned++
+			}
+		}
+	}
+	return poisoned
+}
+
+// OnExport is the OTLP fault point: it reports whether this collector POST
+// should fail. Each armed otlp-outage spec counts one trigger event per
+// call (the exporter's retries each count, so a window of 2 fails exactly
+// two attempts).
+func (in *Injector) OnExport() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.fire("", KindOTLPOutage)) > 0
+}
+
+// Transport wraps an http.RoundTripper so armed otlp-outage windows fail
+// requests with a transport error before they reach the network — the
+// exporter sees a retryable network failure, exactly what a collector
+// outage looks like. base nil defaults to http.DefaultTransport.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return outageTransport{in: in, base: base}
+}
+
+// outageTransport is the RoundTripper Transport returns.
+type outageTransport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// RoundTrip fails the request during an armed outage window.
+func (t outageTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.in.OnExport() {
+		return nil, fmt.Errorf("fault: injected collector outage")
+	}
+	return t.base.RoundTrip(req)
+}

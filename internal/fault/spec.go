@@ -1,0 +1,259 @@
+// Package fault is the deterministic fault-injection harness behind
+// `simdrive -chaos` and the chaos-drill tests: a seedable Injector with
+// named fault points the fleet stack calls at its seams, armed by parsed
+// spec strings.
+//
+// A spec is colon-separated: the fault kind, an optional bare instance
+// name narrowing the target, and `key=value` windowing parameters:
+//
+//	nan-weights:car2:after=50          poison car2's 51st+ transitions
+//	drop-frames:car1:after=40:for=3    drop car1's frames 40..42
+//	slow-infer:latency=250ms           stall every instance's frames
+//	otlp-outage:after=0:for=2          fail the first two collector POSTs
+//
+// Multiple specs join with commas. Every fault point counts its trigger
+// events per (spec, instance) and fires only inside the window
+// [after, after+for) — so a drill is reproducible tick-for-tick given the
+// same seed and schedule. The injector never fires outside an armed
+// window and an Injector with no specs is inert.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names one fault class an Injector can arm.
+type Kind string
+
+const (
+	// KindNaNWeights poisons currently-pruned (zero) weights with NaN after
+	// a transition to a pruned level — corruption the reversible store can
+	// heal, so an emergency restore to L0 genuinely recovers the model.
+	KindNaNWeights Kind = "nan-weights"
+	// KindDropFrames makes the frame point report the frame lost before it
+	// reaches the pipeline.
+	KindDropFrames Kind = "drop-frames"
+	// KindGarbleFrames replaces the frame with a corrupted copy: a short
+	// read of random sensor garbage and NaN pixels, the classic dying-
+	// camera burst — the pipeline rejects the truncated geometry.
+	KindGarbleFrames Kind = "garble-frames"
+	// KindSlowInfer stalls the frame point by the spec latency before the
+	// forward pass, simulating accelerator contention.
+	KindSlowInfer Kind = "slow-infer"
+	// KindStuckTransition stalls the transition point by the spec latency
+	// while the instance lock is held, simulating a wedged level change.
+	KindStuckTransition Kind = "stuck-transition"
+	// KindOTLPOutage fails OTLP collector POSTs at the transport, so the
+	// exporter's retry/backoff path runs against a dead collector.
+	KindOTLPOutage Kind = "otlp-outage"
+)
+
+// Kinds lists every valid fault kind, in the order error messages and
+// docs present them.
+func Kinds() []Kind {
+	return []Kind{KindNaNWeights, KindDropFrames, KindGarbleFrames,
+		KindSlowInfer, KindStuckTransition, KindOTLPOutage}
+}
+
+// Spec is one parsed fault directive.
+type Spec struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Model narrows the fault to one instance name; empty targets every
+	// instance. Ignored by otlp-outage (the collector is shared).
+	Model string
+	// After is how many trigger events at the fault point pass untouched
+	// before the window opens (default 0: fire from the first event).
+	After int
+	// For is the window length in trigger events; 0 means the window never
+	// closes.
+	For int
+	// Latency is the stall for slow-infer and stuck-transition (default
+	// 150ms there, 0 and unused elsewhere).
+	Latency time.Duration
+	// Count bounds how many weights nan-weights poisons per transition
+	// (default 8, only meaningful there).
+	Count int
+}
+
+// defaultLatency is the stall applied when a slow-infer/stuck-transition
+// spec omits latency=.
+const defaultLatency = 150 * time.Millisecond
+
+// defaultPoisonCount is the per-transition NaN budget when a nan-weights
+// spec omits n=.
+const defaultPoisonCount = 8
+
+// String renders the spec back into the grammar ParseSpec accepts;
+// defaulted fields are omitted, so ParseSpec(s.String()) round-trips to an
+// equal Spec.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(string(s.Kind))
+	if s.Model != "" {
+		b.WriteByte(':')
+		b.WriteString(s.Model)
+	}
+	if s.After != 0 {
+		fmt.Fprintf(&b, ":after=%d", s.After)
+	}
+	if s.For != 0 {
+		fmt.Fprintf(&b, ":for=%d", s.For)
+	}
+	if s.usesLatency() && s.Latency != defaultLatency {
+		fmt.Fprintf(&b, ":latency=%s", s.Latency)
+	}
+	if s.Kind == KindNaNWeights && s.Count != defaultPoisonCount {
+		fmt.Fprintf(&b, ":n=%d", s.Count)
+	}
+	return b.String()
+}
+
+func (s Spec) usesLatency() bool {
+	return s.Kind == KindSlowInfer || s.Kind == KindStuckTransition
+}
+
+// matches reports whether the spec targets the named instance.
+func (s Spec) matches(model string) bool {
+	return s.Model == "" || s.Model == model
+}
+
+// active reports whether trigger event number ev (0-based) falls inside
+// the spec's window.
+func (s Spec) active(ev int) bool {
+	if ev < s.After {
+		return false
+	}
+	return s.For == 0 || ev < s.After+s.For
+}
+
+// ParseSpec parses one fault directive.
+func ParseSpec(raw string) (Spec, error) {
+	segs := strings.Split(strings.TrimSpace(raw), ":")
+	if segs[0] == "" {
+		return Spec{}, fmt.Errorf("fault: empty spec")
+	}
+	spec := Spec{Kind: Kind(segs[0])}
+	known := false
+	for _, k := range Kinds() {
+		if spec.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Spec{}, fmt.Errorf("fault: unknown kind %q (have %v)", segs[0], Kinds())
+	}
+	if spec.usesLatency() {
+		spec.Latency = defaultLatency
+	}
+	if spec.Kind == KindNaNWeights {
+		spec.Count = defaultPoisonCount
+	}
+	for i, seg := range segs[1:] {
+		key, val, isParam := strings.Cut(seg, "=")
+		if !isParam {
+			if i != 0 {
+				return Spec{}, fmt.Errorf("fault: %s: target %q must come right after the kind", spec.Kind, seg)
+			}
+			if seg == "" {
+				return Spec{}, fmt.Errorf("fault: %s: empty target segment", spec.Kind)
+			}
+			if spec.Kind == KindOTLPOutage {
+				return Spec{}, fmt.Errorf("fault: otlp-outage hits the shared collector and takes no instance target")
+			}
+			spec.Model = seg
+			continue
+		}
+		var err error
+		switch key {
+		case "after":
+			spec.After, err = parseCount(key, val, 0)
+		case "for":
+			spec.For, err = parseCount(key, val, 0)
+		case "latency":
+			if !spec.usesLatency() {
+				return Spec{}, fmt.Errorf("fault: %s does not take latency=", spec.Kind)
+			}
+			spec.Latency, err = time.ParseDuration(val)
+			if err == nil && spec.Latency <= 0 {
+				err = fmt.Errorf("fault: latency %s must be positive", spec.Latency)
+			}
+		case "n":
+			if spec.Kind != KindNaNWeights {
+				return Spec{}, fmt.Errorf("fault: %s does not take n=", spec.Kind)
+			}
+			spec.Count, err = parseCount(key, val, 1)
+		default:
+			return Spec{}, fmt.Errorf("fault: %s: unknown parameter %q", spec.Kind, key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	return spec, nil
+}
+
+// maxCount bounds window and poison parameters, far above any real drill
+// but small enough that After+For can never overflow.
+const maxCount = 1 << 30
+
+// parseCount parses a bounded non-negative integer parameter with a floor.
+func parseCount(key, val string, min int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("fault: bad %s=%q: %w", key, val, err)
+	}
+	if n < min {
+		return 0, fmt.Errorf("fault: %s=%d below minimum %d", key, n, min)
+	}
+	if n > maxCount {
+		return 0, fmt.Errorf("fault: %s=%d above maximum %d", key, n, maxCount)
+	}
+	return n, nil
+}
+
+// ParseSpecs parses a comma-separated spec list (the -chaos flag value).
+func ParseSpecs(raw string) ([]Spec, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("fault: empty spec list")
+	}
+	var specs []Spec
+	for _, part := range strings.Split(raw, ",") {
+		spec, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// FormatSpecs renders a spec list back into the -chaos grammar,
+// deterministically (input order preserved).
+func FormatSpecs(specs []Spec) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// SpecKinds returns the sorted, deduplicated kinds present in a spec list
+// (operator surfaces print what a drill arms).
+func SpecKinds(specs []Spec) []Kind {
+	seen := map[Kind]bool{}
+	var kinds []Kind
+	for _, s := range specs {
+		if !seen[s.Kind] {
+			seen[s.Kind] = true
+			kinds = append(kinds, s.Kind)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -42,6 +43,13 @@ type BudgetGovernor struct {
 	budget Budget
 	floor  float64
 	obs    RebalanceObserver
+	gate   HealthGate
+}
+
+// HealthGate tells the budget governor which instances may be touched.
+// health.Monitor satisfies it (Admissible: everything but Quarantined).
+type HealthGate interface {
+	Admissible(model string) bool
 }
 
 // BudgetOption configures a BudgetGovernor.
@@ -50,6 +58,15 @@ type BudgetOption func(*BudgetGovernor)
 // WithRebalanceObserver installs the rebalance observer (fleet telemetry).
 func WithRebalanceObserver(o RebalanceObserver) BudgetOption {
 	return func(b *BudgetGovernor) { b.obs = o }
+}
+
+// WithHealthGate makes every rebalance pass skip inadmissible
+// (quarantined) instances entirely: their calibrated cost is excluded from
+// the aggregate and they are never retargeted — a fenced instance holds
+// its emergency-restored level, and the budget the fleet must meet is the
+// budget of the instances actually serving.
+func WithHealthGate(g HealthGate) BudgetOption {
+	return func(b *BudgetGovernor) { b.gate = g }
 }
 
 // WithAccuracyFloor forbids rebalancing any instance to a level whose
@@ -86,6 +103,15 @@ func (b *BudgetGovernor) Rebalance() (int, error) {
 		t0 = now()
 	}
 	insts := b.fleet.Instances()
+	if b.gate != nil {
+		admitted := insts[:0:0]
+		for _, inst := range insts {
+			if b.gate.Admissible(inst.Name()) {
+				admitted = append(admitted, inst)
+			}
+		}
+		insts = admitted
+	}
 	n := len(insts)
 	assigned := make([]int, n)
 	libraries := make([][]costedLevel, n)
@@ -149,12 +175,17 @@ func (b *BudgetGovernor) Rebalance() (int, error) {
 	}
 
 	retargets := 0
+	var errs []error
 	for k, inst := range insts {
 		if assigned[k] == inst.Current() {
 			continue
 		}
+		// A failed retarget must not strand the rest of the fleet over
+		// budget: keep applying the remaining assignments and report every
+		// failure joined.
 		if err := inst.retarget(assigned[k]); err != nil {
-			return retargets, fmt.Errorf("fleet: rebalance %q: %w", inst.Name(), err)
+			errs = append(errs, fmt.Errorf("fleet: rebalance %q: %w", inst.Name(), err))
+			continue
 		}
 		retargets++
 	}
@@ -162,7 +193,7 @@ func (b *BudgetGovernor) Rebalance() (int, error) {
 	if b.obs != nil {
 		b.obs.ObserveRebalance(retargets, energy, latency, overBudget, now().Sub(t0))
 	}
-	return retargets, nil
+	return retargets, errors.Join(errs...)
 }
 
 // costedLevel is the per-level cost snapshot a rebalance pass works from.

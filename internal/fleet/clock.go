@@ -5,3 +5,7 @@ import "time"
 // now is the package clock seam; tests pin it for deterministic latency
 // observations.
 var now = time.Now
+
+// sleep is the stall seam the fault points go through; tests swap it to
+// record injected stalls without real waiting.
+var sleep = time.Sleep

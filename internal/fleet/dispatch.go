@@ -1,13 +1,22 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/health"
 	"repro/internal/perception"
 	"repro/internal/tensor"
 )
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("fleet: dispatcher closed")
+
+// ErrQuarantined is the Result.Err of a frame rejected because its
+// instance is quarantined by the health monitor.
+var ErrQuarantined = errors.New("fleet: instance quarantined")
 
 // Result is one dispatched frame's perception output.
 type Result struct {
@@ -17,8 +26,16 @@ type Result struct {
 	// correlating results (which arrive in completion order) back to
 	// submissions.
 	Seq int64
-	// Detection is the classification.
+	// Detection is the classification (zero when Err is set).
 	Detection perception.Detection
+	// Err reports a failed frame: ErrQuarantined for a fenced instance, a
+	// detection error (dropped frame, geometry mismatch), or a recovered
+	// panic from the instance's detection path — the worker survives all
+	// of them.
+	Err error
+	// Health is the instance's state after this frame was observed
+	// (Healthy when no monitor is installed).
+	Health health.State
 }
 
 // job is one queued frame.
@@ -34,23 +51,43 @@ type job struct {
 // frames for the same instance serialize on that instance's lock. Results
 // arrive on Results in completion order.
 //
-// Lifecycle: Submit must not be called after Close. Close drains the
+// Lifecycle: Submit after Close returns ErrClosed. Close drains the
 // queue, waits for in-flight work, then closes Results — so ranging over
 // Results after Close terminates.
 type Dispatcher struct {
 	fleet   *Fleet
+	monitor *health.Monitor
 	jobs    chan job
 	results chan Result
 	wg      sync.WaitGroup
 	once    sync.Once
 	seq     atomic.Int64
+
+	// closeMu orders Submit's closed-check-then-send against Close's
+	// close(jobs): senders hold the read side across the send, so the
+	// channel can only close once no Submit is mid-flight.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// DispatchOption configures a Dispatcher.
+type DispatchOption func(*Dispatcher)
+
+// WithHealthMonitor puts every dispatched frame under the watchdog: frames
+// for quarantined instances are rejected with ErrQuarantined (counting
+// toward the quarantine dwell), every served frame is observed (NaN,
+// deadline, error), and a panic from the detection path is recovered and
+// reported as a ReasonPanic fault. Instances must be registered with the
+// monitor separately.
+func WithHealthMonitor(m *health.Monitor) DispatchOption {
+	return func(d *Dispatcher) { d.monitor = m }
 }
 
 // NewDispatcher starts workers goroutines over the fleet. queue bounds the
 // number of submitted-but-unstarted frames (Submit blocks when full);
 // Results has the same capacity, so a caller that stops draining results
 // eventually backpressures Submit.
-func NewDispatcher(f *Fleet, workers, queue int) (*Dispatcher, error) {
+func NewDispatcher(f *Fleet, workers, queue int, opts ...DispatchOption) (*Dispatcher, error) {
 	if f == nil {
 		return nil, fmt.Errorf("fleet: nil fleet")
 	}
@@ -65,6 +102,9 @@ func NewDispatcher(f *Fleet, workers, queue int) (*Dispatcher, error) {
 		jobs:    make(chan job, queue),
 		results: make(chan Result, queue),
 	}
+	for _, o := range opts {
+		o(d)
+	}
 	for w := 0; w < workers; w++ {
 		d.wg.Add(1)
 		go d.worker()
@@ -76,17 +116,50 @@ func NewDispatcher(f *Fleet, workers, queue int) (*Dispatcher, error) {
 func (d *Dispatcher) worker() {
 	defer d.wg.Done()
 	for j := range d.jobs {
-		d.results <- Result{Model: j.name, Seq: j.seq, Detection: j.inst.Detect(j.frame)}
+		d.results <- d.process(j)
 	}
+}
+
+// process serves one frame: health gate, detection, observation. A panic
+// anywhere in the detection path is recovered into the Result — one bad
+// frame must not take a worker (and with it the whole pool) down.
+func (d *Dispatcher) process(j job) (res Result) {
+	res = Result{Model: j.name, Seq: j.seq}
+	if d.monitor != nil && !d.monitor.Gate(j.name) {
+		res.Err = ErrQuarantined
+		res.Health = d.monitor.State(j.name)
+		return res
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("fleet: instance %q: recovered panic: %v", j.name, r)
+			if d.monitor != nil {
+				res.Health = d.monitor.ObserveFault(j.name, health.ReasonPanic)
+			}
+		}
+	}()
+	start := now()
+	det, err := j.inst.Detect(j.frame)
+	res.Detection, res.Err = det, err
+	if d.monitor != nil {
+		res.Health, _ = d.monitor.Observe(j.name, det.Confidence, det.Uncertainty, now().Sub(start), err)
+	}
+	return res
 }
 
 // Submit queues one frame for the named instance and returns its sequence
 // number. The frame must stay untouched until its Result arrives (workers
-// read it asynchronously). Blocks while the queue is full.
+// read it asynchronously). Blocks while the queue is full; returns
+// ErrClosed after Close.
 func (d *Dispatcher) Submit(model string, frame *tensor.Tensor) (int64, error) {
 	inst, ok := d.fleet.Get(model)
 	if !ok {
 		return 0, fmt.Errorf("fleet: unknown instance %q", model)
+	}
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
 	}
 	seq := d.seq.Add(1) - 1
 	d.jobs <- job{inst: inst, name: model, seq: seq, frame: frame}
@@ -102,6 +175,9 @@ func (d *Dispatcher) Results() <-chan Result { return d.results }
 // Results (or have capacity left) for Close to return.
 func (d *Dispatcher) Close() {
 	d.once.Do(func() {
+		d.closeMu.Lock()
+		d.closed = true
+		d.closeMu.Unlock()
 		close(d.jobs)
 		d.wg.Wait()
 		close(d.results)

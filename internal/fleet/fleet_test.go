@@ -163,7 +163,10 @@ func TestInstanceGovernorSerializesAgainstDetect(t *testing.T) {
 	if inst.Switches() != inst.Governor().Switches() {
 		t.Fatal("Switches mismatch")
 	}
-	det := inst.Detect(testFrame())
+	det, err := inst.Detect(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if det.Confidence < 0 || det.Confidence > 1 {
 		t.Fatalf("confidence %v out of range", det.Confidence)
 	}

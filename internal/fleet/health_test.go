@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/health"
+)
+
+// Compile-time seam check: the health monitor gates budget rebalances.
+var _ HealthGate = (*health.Monitor)(nil)
+
+func TestDispatcherSubmitAfterClose(t *testing.T) {
+	f := New()
+	if err := f.Add(newTestInstance(t, "car0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(f, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit("car0", testFrame()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range d.Results() {
+		}
+	}()
+	d.Close()
+	if _, err := d.Submit("car0", testFrame()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// panickyObserver blows up inside the instance's detect path, standing in
+// for any bug downstream of the dispatcher worker.
+type panickyObserver struct{ armed bool }
+
+func (p *panickyObserver) ObserveFrame(time.Duration) {
+	if p.armed {
+		panic("observer bug")
+	}
+}
+
+func TestDispatcherRecoversPanic(t *testing.T) {
+	f := New()
+	inst := newTestInstance(t, "car0", 1)
+	if err := f.Add(inst); err != nil {
+		t.Fatal(err)
+	}
+	obs := &panickyObserver{armed: true}
+	inst.SetObserver(obs)
+	monitor := health.NewMonitor(health.Config{})
+	if err := monitor.Register("car0", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(f, 1, 4, WithHealthMonitor(monitor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit("car0", testFrame()); err != nil {
+		t.Fatal(err)
+	}
+	r := <-d.Results()
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "recovered panic") {
+		t.Fatalf("panicked frame Err = %v", r.Err)
+	}
+	if r.Health != health.Degraded {
+		t.Fatalf("health after panic = %v", r.Health)
+	}
+	// The worker survived: a clean frame still flows.
+	obs.armed = false
+	if _, err := d.Submit("car0", testFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if r := <-d.Results(); r.Err != nil {
+		t.Fatalf("frame after recovery: %v", r.Err)
+	}
+	d.Close()
+}
+
+// TestDispatcherHealthWatchdog drives one instance through the full
+// quarantine trajectory over the dispatcher path: injected frame drops
+// fault it to quarantine, gated submissions serve the dwell, probation
+// re-admits, and clean frames heal — while the untouched instance keeps
+// serving throughout.
+func TestDispatcherHealthWatchdog(t *testing.T) {
+	f := New()
+	car0 := newTestInstance(t, "car0", 1)
+	car1 := newTestInstance(t, "car1", 2)
+	for _, inst := range []*Instance{car0, car1} {
+		if err := f.Add(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs, err := fault.ParseSpecs("drop-frames:car1:for=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(1, specs...)
+	car1.SetFaultInjector(inj)
+
+	monitor := health.NewMonitor(health.Config{QuarantineDwell: 2, ProbationAfter: 1})
+	for _, inst := range []*Instance{car0, car1} {
+		if err := monitor.Register(inst.Name(), inst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := NewDispatcher(f, 1, 1, WithHealthMonitor(monitor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// submit pushes one car1 frame through and returns its result (single
+	// worker: completion order is submission order).
+	submit := func(model string) Result {
+		t.Helper()
+		if _, err := d.Submit(model, testFrame()); err != nil {
+			t.Fatal(err)
+		}
+		return <-d.Results()
+	}
+
+	// Three dropped frames: Degraded after the first (DegradeAfter=1),
+	// Quarantined after the third (QuarantineAfter=2 more).
+	wantStates := []health.State{health.Degraded, health.Degraded, health.Quarantined}
+	for i, want := range wantStates {
+		r := submit("car1")
+		if r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+			t.Fatalf("drop %d: err %v", i, r.Err)
+		}
+		if r.Health != want {
+			t.Fatalf("drop %d: health %v, want %v", i, r.Health, want)
+		}
+	}
+	// Two gated frames serve the dwell, then probation re-admits.
+	for i := 0; i < 2; i++ {
+		r := submit("car1")
+		if !errors.Is(r.Err, ErrQuarantined) {
+			t.Fatalf("dwell %d: err %v, want ErrQuarantined", i, r.Err)
+		}
+	}
+	if st := monitor.State("car1"); st != health.Probation {
+		t.Fatalf("after dwell: %v", st)
+	}
+	// The drop window (for=3) has passed: one clean frame heals
+	// (ProbationAfter=1).
+	r := submit("car1")
+	if r.Err != nil {
+		t.Fatalf("probation frame: %v", r.Err)
+	}
+	if r.Health != health.Healthy {
+		t.Fatalf("after probation frame: %v", r.Health)
+	}
+	// The healthy neighbor never noticed.
+	if r := submit("car0"); r.Err != nil || r.Health != health.Healthy {
+		t.Fatalf("car0: %v %v", r.Err, r.Health)
+	}
+}
+
+// stubGate fences a fixed set of instances.
+type stubGate struct{ blocked map[string]bool }
+
+func (g stubGate) Admissible(name string) bool { return !g.blocked[name] }
+
+// TestBudgetRebalanceHealthGate covers an instance failing mid-operation:
+// while car1 is fenced the pass squeezes only the admitted instances (and
+// only their cost counts against the budget), the accuracy floor still
+// holds, the fenced instance is never retargeted — and once car1 recovers
+// the next pass includes it again, squeezing the whole fleet.
+func TestBudgetRebalanceHealthGate(t *testing.T) {
+	f := New()
+	for _, name := range []string{"car0", "car1", "car2"} {
+		if err := f.Add(newTestInstance(t, name, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gate := stubGate{blocked: map[string]bool{"car1": true}}
+	rec := &rebalanceRecorder{}
+	// All demand L0 (10 mJ each). With car1 fenced the admitted aggregate
+	// is 20 mJ; budget 16 forces exactly one of the two admitted instances
+	// to L1 (6 mJ): 16 ≤ 16. The floor keeps L2 (acc .70) out of reach.
+	bg, err := NewBudgetGovernor(f, Budget{EnergyMJ: 16},
+		WithHealthGate(gate), WithAccuracyFloor(0.80), WithRebalanceObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bg.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	car1, _ := f.Get("car1")
+	car2, _ := f.Get("car2")
+	if car1.Current() != 0 {
+		t.Fatalf("fenced instance retargeted to %d", car1.Current())
+	}
+	if got := car0.Current() + car2.Current(); got != 1 {
+		t.Fatalf("admitted levels %d/%d, want exactly one squeezed to L1", car0.Current(), car2.Current())
+	}
+	if c := rec.calls[0]; c.energyMJ != 16 || c.overBudget {
+		t.Fatalf("observed %+v, want energy=16 (fenced cost excluded) overBudget=false", c)
+	}
+	for _, inst := range []*Instance{car0, car1, car2} {
+		if inst.Current() == 2 {
+			t.Fatalf("%s squeezed below the accuracy floor", inst.Name())
+		}
+	}
+
+	// car1 recovers: the next pass governs all three again. 30 mJ demand
+	// against 16 deepens everyone to L1 (18 mJ) and stops — the floor
+	// blocks L2, so the pass reports over budget rather than breaking it.
+	gate.blocked["car1"] = false
+	if _, err := bg.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if car0.Current() != 1 || car1.Current() != 1 || car2.Current() != 1 {
+		t.Fatalf("levels after recovery %d/%d/%d, want 1/1/1",
+			car0.Current(), car1.Current(), car2.Current())
+	}
+	if c := rec.calls[len(rec.calls)-1]; c.energyMJ != 18 || !c.overBudget {
+		t.Fatalf("observed %+v, want energy=18 overBudget=true", c)
+	}
+}
+
+// TestInstanceFaultPoints exercises the injector seams end to end on a
+// real instance: a garbled (truncated) frame is rejected by the pipeline,
+// a slow-infer stall goes through the sleep seam, and transition-point NaN
+// poison lands on a pruned level and heals on the restore to dense.
+func TestInstanceFaultPoints(t *testing.T) {
+	var stalls []time.Duration
+	origSleep := sleep
+	sleep = func(d time.Duration) { stalls = append(stalls, d) }
+	defer func() { sleep = origSleep }()
+
+	specs, err := fault.ParseSpecs(
+		"garble-frames:car0:for=1,slow-infer:car0:after=1:for=1:latency=70ms,nan-weights:car0:after=1,stuck-transition:car0:after=1:for=1:latency=90ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(7, specs...)
+	inst := newTestInstance(t, "car0", 1)
+	inst.SetFaultInjector(inj)
+
+	// Frame 0: garbled — the truncated read is rejected by the pipeline.
+	if _, err := inst.Detect(testFrame()); err == nil {
+		t.Fatal("garbled (short) frame accepted")
+	}
+	// Frame 1: slow-infer window — the stall goes through the seam.
+	if _, err := inst.Detect(testFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if len(stalls) != 1 || stalls[0] != 70*time.Millisecond {
+		t.Fatalf("stalls %v, want [70ms]", stalls)
+	}
+
+	// Transition 0 (L0→L1): before the nan-weights window — clean.
+	if err := inst.ApplyLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if det, _ := inst.Detect(testFrame()); math.IsNaN(det.Confidence) {
+		t.Fatal("poison fired before its window")
+	}
+	// Transition 1 (L1→L2): nan-weights poisons pruned positions and the
+	// stuck-transition window stalls under the lock.
+	stalls = nil
+	if err := inst.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(stalls) != 1 || stalls[0] != 90*time.Millisecond {
+		t.Fatalf("transition stalls %v, want [90ms]", stalls)
+	}
+	det, err := inst.Detect(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(det.Confidence) && !math.IsNaN(det.Uncertainty) {
+		t.Fatalf("poisoned model produced finite detection %+v", det)
+	}
+	// The emergency restore heals: L0 rewrites every pruned position.
+	if err := inst.ApplyLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	det, err = inst.Detect(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(det.Confidence) || math.IsNaN(det.Uncertainty) {
+		t.Fatalf("restore to dense did not heal the poison: %+v", det)
+	}
+}

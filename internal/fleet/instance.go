@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/governor"
 	"repro/internal/perception"
 	"repro/internal/safety"
@@ -38,6 +39,10 @@ type Instance struct {
 	// obs is the per-frame observer behind an atomic pointer, so installing
 	// it mid-flight is safe (same pattern as perception.Concurrent).
 	obs atomic.Pointer[perception.FrameObserver]
+	// inj, when non-nil, is the chaos harness: its frame point runs before
+	// every forward pass and its transition point after every completed
+	// level change. Guarded by mu.
+	inj *fault.Injector
 
 	tickMu sync.Mutex
 	gov    *governor.Governor
@@ -103,10 +108,21 @@ func (i *Instance) SetModelObserver(o core.TransitionObserver) {
 	i.rm.SetObserver(o)
 }
 
+// SetFaultInjector arms (or, with nil, removes) the chaos harness on this
+// instance. Call at wiring time, before frames flow.
+func (i *Instance) SetFaultInjector(inj *fault.Injector) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.inj = inj
+}
+
 // Detect classifies one frame under the instance lock. The observed
 // latency includes lock wait — a transition in flight delays frames, and
 // that stall is exactly what the per-model frame histogram should show.
-func (i *Instance) Detect(frame *tensor.Tensor) perception.Detection {
+// An armed fault injector's frame point runs first: a dropped frame
+// returns an error without touching the pipeline, a garbled frame
+// replaces the input, and a slow-infer stall delays the pass.
+func (i *Instance) Detect(frame *tensor.Tensor) (perception.Detection, error) {
 	var obs perception.FrameObserver
 	if p := i.obs.Load(); p != nil {
 		obs = *p
@@ -115,13 +131,30 @@ func (i *Instance) Detect(frame *tensor.Tensor) perception.Detection {
 	if obs != nil {
 		t0 = now()
 	}
+	defer func() {
+		if obs != nil {
+			obs.ObserveFrame(now().Sub(t0))
+		}
+	}()
 	i.mu.Lock()
-	d := i.pipe.Detect(frame)
+	inj := i.inj
 	i.mu.Unlock()
-	if obs != nil {
-		obs.ObserveFrame(now().Sub(t0))
+	if inj != nil {
+		replacement, drop, stall := inj.OnFrame(i.name, frame)
+		if stall > 0 {
+			sleep(stall)
+		}
+		if drop {
+			return perception.Detection{}, fmt.Errorf("fleet: instance %q: frame lost (injected drop)", i.name)
+		}
+		if replacement != nil {
+			frame = replacement
+		}
 	}
-	return d
+	i.mu.Lock()
+	d, err := i.pipe.Detect(frame)
+	i.mu.Unlock()
+	return d, err
 }
 
 // Tick runs one governor iteration (perception.Stack seam). Without an
@@ -155,7 +188,7 @@ func (i *Instance) Switches() int {
 func (i *Instance) ApplyLevel(target int) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	if err := i.rm.ApplyLevel(target); err != nil {
+	if err := i.applyLocked(target); err != nil {
 		return err
 	}
 	i.demand = target
@@ -168,7 +201,25 @@ func (i *Instance) ApplyLevel(target int) error {
 func (i *Instance) retarget(target int) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.rm.ApplyLevel(target)
+	return i.applyLocked(target)
+}
+
+// applyLocked transitions the model and, on an actual level change, runs
+// the injector's transition fault point — under the lock, so a stuck-
+// transition stall wedges exactly where a real one would (frames queue on
+// mu) and NaN poison lands before any frame sees the new level. Caller
+// holds i.mu.
+func (i *Instance) applyLocked(target int) error {
+	prev := i.rm.Current()
+	if err := i.rm.ApplyLevel(target); err != nil {
+		return err
+	}
+	if cur := i.rm.Current(); i.inj != nil && cur != prev {
+		if stall := i.inj.OnTransition(i.name, cur, i.rm.Model()); stall > 0 {
+			sleep(stall)
+		}
+	}
+	return nil
 }
 
 // Demand returns the level most recently requested through ApplyLevel.

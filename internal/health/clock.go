@@ -1,0 +1,7 @@
+package health
+
+import "time"
+
+// now is the package clock seam; tests swap it for a fake to script
+// deadline breaches deterministically.
+var now = time.Now

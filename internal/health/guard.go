@@ -1,0 +1,91 @@
+package health
+
+import (
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/perception"
+	"repro/internal/safety"
+	"repro/internal/tensor"
+)
+
+// FailSafe is the detection the Guard serves in place of a faulted or
+// quarantined frame: obstacle declared with full confidence and full
+// uncertainty, so the vehicle brakes and the safety assessor sees maximum
+// criticality on the next tick. Failing toward caution is the paper's
+// degradation contract — a fenced instance must never silently report
+// "clear".
+var FailSafe = perception.Detection{Obstacle: true, Confidence: 1, Uncertainty: 1}
+
+// Guard wraps a perception.Stack with the watchdog: every Detect is gated
+// on admission, timed against the monitor's deadline, checked for NaN, and
+// absorbed into FailSafe when it faults; every Tick is suppressed while the
+// instance is fenced and deadline-watched while it is not (a stuck
+// transition wedges inside Tick on the sequential loop path, so Detect
+// timing alone would never see it). Guard itself satisfies
+// perception.Stack, so perception.RunStack drives the watchdog unchanged.
+type Guard struct {
+	name    string
+	stack   perception.Stack
+	monitor *Monitor
+}
+
+// NewGuard wraps the stack under the monitor's watch. The name must be
+// registered with the monitor (Register) before frames flow.
+func NewGuard(name string, st perception.Stack, m *Monitor) *Guard {
+	return &Guard{name: name, stack: st, monitor: m}
+}
+
+// Detect gates, times, and observes one frame. A quarantined instance's
+// frame never reaches the stack; a faulted frame (error, NaN, deadline
+// breach) is absorbed into FailSafe after the monitor has run its safety
+// response. The closed loop therefore keeps running — degradation, not
+// crash.
+func (g *Guard) Detect(frame *tensor.Tensor) (perception.Detection, error) {
+	if !g.monitor.Gate(g.name) {
+		return FailSafe, nil
+	}
+	start := now()
+	det, err := g.stack.Detect(frame)
+	state, reason := g.monitor.Observe(g.name, det.Confidence, det.Uncertainty, now().Sub(start), err)
+	if reason != "" || state == Quarantined {
+		return FailSafe, nil
+	}
+	return det, nil
+}
+
+// Tick runs the stack's governor iteration when the watchdog allows it.
+// While fenced (Probation, Quarantined) the instance holds its
+// emergency-restored level — no adaptation until it has proven itself. A
+// tick that errors or breaches the deadline is itself a fault: the stuck-
+// transition failure mode lives here, because on a sequential loop the
+// wedged transition completes before the next Detect ever starts.
+func (g *Guard) Tick(tick int, a safety.Assessment) (governor.Decision, error) {
+	if !g.monitor.TickAllowed(g.name) {
+		return governor.Decision{}, nil
+	}
+	start := now()
+	dec, err := g.stack.Tick(tick, a)
+	elapsed := now().Sub(start)
+	if err != nil {
+		g.monitor.ObserveFault(g.name, ReasonError)
+		return governor.Decision{}, nil
+	}
+	if d := g.monitor.Config().Deadline; d > 0 && elapsed > d {
+		g.monitor.ObserveFault(g.name, ReasonDeadline)
+	}
+	return dec, nil
+}
+
+// Current delegates to the wrapped stack.
+func (g *Guard) Current() int { return g.stack.Current() }
+
+// Levels delegates to the wrapped stack.
+func (g *Guard) Levels() []*core.Level { return g.stack.Levels() }
+
+// Switches delegates to the wrapped stack.
+func (g *Guard) Switches() int { return g.stack.Switches() }
+
+// State returns the guarded instance's current health state.
+func (g *Guard) State() State { return g.monitor.State(g.name) }
+
+var _ perception.Stack = (*Guard)(nil)

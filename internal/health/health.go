@@ -1,0 +1,339 @@
+// Package health is the per-instance watchdog of a fleet deployment: a
+// state machine Healthy→Degraded→Quarantined with probation-based
+// re-admission, fed by per-frame observations (NaN outputs, deadline
+// breaches, Detect errors, recovered panics) and armed with an automatic
+// safety response — on a NaN output or a deadline breach the monitor
+// forces an emergency restore to the dense level L0 through the
+// governor.Target seam before degrading the instance, because the paper's
+// reversible store makes dense the one state guaranteed to heal
+// pruned-position corruption.
+//
+// The Monitor is the bookkeeping core; Guard wraps a perception.Stack so a
+// closed loop (perception.RunStack) drives the watchdog without the loop
+// knowing it is there. fleet.Dispatcher wires the same Monitor for
+// frame-fanout deployments, and fleet.BudgetGovernor consults
+// Monitor.Admissible to skip quarantined instances when rebalancing.
+package health
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// State is one instance's position in the health machine. The integer
+// values are the telemetry.MetricHealthState gauge codes.
+type State int
+
+const (
+	// Healthy instances serve frames normally.
+	Healthy State = telemetry.HealthHealthy
+	// Degraded instances faulted recently; they keep serving (the
+	// emergency restore already forced them dense) but are one fault
+	// streak from quarantine.
+	Degraded State = telemetry.HealthDegraded
+	// Probation instances were re-admitted after quarantine and must stay
+	// clean to return to Healthy; any fault sends them straight back.
+	Probation State = telemetry.HealthProbation
+	// Quarantined instances are fenced off: the dispatcher rejects their
+	// frames, the Guard serves the fail-safe detection, the budget
+	// governor skips them, and governor ticks are suppressed.
+	Quarantined State = telemetry.HealthQuarantined
+)
+
+// String renders the state's operator-facing name.
+func (s State) String() string { return telemetry.HealthStateName(int(s)) }
+
+// Watchdog reasons attached to fault observations (the reason label of
+// rpn_health_faults_total).
+const (
+	// ReasonNaN: the detection carried a non-finite confidence or
+	// uncertainty — the signature of poisoned weights or a garbled frame.
+	ReasonNaN = "nan"
+	// ReasonDeadline: Detect (or a governor tick) exceeded the configured
+	// deadline — a stuck transition or contended accelerator.
+	ReasonDeadline = "deadline"
+	// ReasonError: Detect returned an error (dropped frame, shape
+	// mismatch).
+	ReasonError = "error"
+	// ReasonPanic: a dispatcher worker recovered a panic from the
+	// instance's detection path.
+	ReasonPanic = "panic"
+)
+
+// Restorer executes the emergency response: force the dense level. Both
+// *fleet.Instance and *core.ReversibleModel satisfy it (it is the
+// ApplyLevel half of the governor.Target seam).
+type Restorer interface {
+	ApplyLevel(target int) error
+}
+
+// Observer receives the monitor's telemetry: every attributed fault (with
+// whether an emergency restore ran) and every state-machine step.
+// telemetry.Hooks satisfies it structurally.
+type Observer interface {
+	ObserveHealthFault(reason string, restored bool)
+	ObserveHealthState(from, to int)
+}
+
+// Config tunes the watchdog. The zero value of any field selects its
+// default; thresholds count consecutive-state observations, and the
+// quarantine dwell counts gated admission attempts rather than wall time,
+// so drills replay deterministically.
+type Config struct {
+	// Deadline is the per-observation latency budget; an observation
+	// slower than this is a ReasonDeadline fault (default 150ms, the
+	// safety contract's order of magnitude for a restore-plus-frame; <0
+	// disables the deadline watchdog).
+	Deadline time.Duration
+	// DegradeAfter is how many faults a Healthy instance absorbs before
+	// degrading (default 1: the first fault degrades).
+	DegradeAfter int
+	// QuarantineAfter is how many further faults a Degraded instance
+	// absorbs before quarantine (default 2).
+	QuarantineAfter int
+	// RecoverAfter is how many consecutive clean observations return a
+	// Degraded instance to Healthy (default 25).
+	RecoverAfter int
+	// QuarantineDwell is how many gated admission attempts an instance
+	// sits in quarantine before probation re-admits it (default 50).
+	QuarantineDwell int
+	// ProbationAfter is how many consecutive clean observations promote a
+	// Probation instance back to Healthy (default 25).
+	ProbationAfter int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Deadline == 0 {
+		c.Deadline = 150 * time.Millisecond
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 1
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 25
+	}
+	if c.QuarantineDwell <= 0 {
+		c.QuarantineDwell = 50
+	}
+	if c.ProbationAfter <= 0 {
+		c.ProbationAfter = 25
+	}
+	return c
+}
+
+// tracked is one registered instance's watchdog state.
+type tracked struct {
+	state    State
+	restorer Restorer
+	obs      Observer
+	// faults counts faults observed in the current state; clean counts
+	// consecutive clean observations; dwell counts gated admission
+	// attempts while quarantined. Each transition resets all three.
+	faults, clean, dwell int
+}
+
+// Monitor tracks the health of registered instances. All methods are safe
+// for concurrent use; the emergency restore runs under the monitor lock,
+// so a quarantine decision and its safety response are atomic with respect
+// to other observers.
+type Monitor struct {
+	cfg Config
+
+	mu    sync.Mutex
+	insts map[string]*tracked
+}
+
+// NewMonitor builds a monitor with the config (zero fields defaulted).
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), insts: map[string]*tracked{}}
+}
+
+// Config returns the resolved configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Register adds an instance at Healthy. restorer, when non-nil, receives
+// the emergency ApplyLevel(0) on NaN and deadline faults; obs, when
+// non-nil, receives the instance's health telemetry (registration reports
+// the initial Healthy state as a from==to no-op).
+func (m *Monitor) Register(name string, restorer Restorer, obs Observer) error {
+	if name == "" {
+		return fmt.Errorf("health: empty instance name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.insts[name]; dup {
+		return fmt.Errorf("health: instance %q already registered", name)
+	}
+	m.insts[name] = &tracked{state: Healthy, restorer: restorer, obs: obs}
+	if obs != nil {
+		obs.ObserveHealthState(int(Healthy), int(Healthy))
+	}
+	return nil
+}
+
+// State returns the instance's current state (Healthy for unregistered
+// names — an unmonitored instance is not fenced).
+func (m *Monitor) State(name string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tr, ok := m.insts[name]; ok {
+		return tr.state
+	}
+	return Healthy
+}
+
+// States snapshots every registered instance's state.
+func (m *Monitor) States() map[string]State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]State, len(m.insts))
+	for name, tr := range m.insts {
+		out[name] = tr.state
+	}
+	return out
+}
+
+// Admissible reports whether the instance may receive work — everything
+// but Quarantined. The fleet BudgetGovernor's health gate calls this.
+func (m *Monitor) Admissible(name string) bool {
+	return m.State(name) != Quarantined
+}
+
+// Gate is the admission check callers make before handing the instance a
+// frame. A quarantined instance's Gate calls count toward its dwell;
+// once QuarantineDwell attempts have passed, the instance moves to
+// Probation (re-admitted from the next call on). Gate returns whether
+// this frame may proceed.
+func (m *Monitor) Gate(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr, ok := m.insts[name]
+	if !ok || tr.state != Quarantined {
+		return true
+	}
+	tr.dwell++
+	if tr.dwell >= m.cfg.QuarantineDwell {
+		m.transition(tr, Probation)
+	}
+	return false
+}
+
+// TickAllowed reports whether the instance's governor may tick: yes in
+// Healthy and Degraded (the governor keeps adapting a degraded instance),
+// no in Probation and Quarantined (the instance holds the emergency-
+// restored dense level until it has proven itself).
+func (m *Monitor) TickAllowed(name string) bool {
+	switch m.State(name) {
+	case Healthy, Degraded:
+		return true
+	}
+	return false
+}
+
+// Observe feeds one served frame into the watchdog: the detection's
+// confidence and uncertainty (NaN check), the observation latency
+// (deadline check), and Detect's error. It returns the instance's state
+// after the observation and the fault reason ("" on a clean frame).
+func (m *Monitor) Observe(name string, confidence, uncertainty float64, elapsed time.Duration, err error) (State, string) {
+	reason := ""
+	switch {
+	case err != nil:
+		reason = ReasonError
+	case math.IsNaN(confidence) || math.IsInf(confidence, 0) ||
+		math.IsNaN(uncertainty) || math.IsInf(uncertainty, 0):
+		reason = ReasonNaN
+	case m.cfg.Deadline > 0 && elapsed > m.cfg.Deadline:
+		reason = ReasonDeadline
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr, ok := m.insts[name]
+	if !ok {
+		return Healthy, reason
+	}
+	if reason == "" {
+		m.observeClean(tr)
+	} else {
+		m.observeFault(tr, reason)
+	}
+	return tr.state, reason
+}
+
+// ObserveFault feeds an out-of-band fault (a recovered panic, a failed
+// governor tick, a deadline breach measured outside Detect) into the
+// watchdog and returns the state after it.
+func (m *Monitor) ObserveFault(name, reason string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr, ok := m.insts[name]
+	if !ok {
+		return Healthy
+	}
+	m.observeFault(tr, reason)
+	return tr.state
+}
+
+// observeClean advances the recovery counters. Caller holds m.mu.
+func (m *Monitor) observeClean(tr *tracked) {
+	tr.clean++
+	switch tr.state {
+	case Degraded:
+		if tr.clean >= m.cfg.RecoverAfter {
+			m.transition(tr, Healthy)
+		}
+	case Probation:
+		if tr.clean >= m.cfg.ProbationAfter {
+			m.transition(tr, Healthy)
+		}
+	}
+}
+
+// observeFault runs the safety response and advances the state machine.
+// Caller holds m.mu.
+func (m *Monitor) observeFault(tr *tracked, reason string) {
+	// The emergency response: a NaN output means the weights (or the
+	// frame) are corrupt, a deadline breach means a transition wedged —
+	// both answers are "get back to dense NOW", because L0 is the one
+	// level the reversible store can always reconstruct exactly.
+	restored := false
+	if (reason == ReasonNaN || reason == ReasonDeadline) && tr.restorer != nil {
+		restored = tr.restorer.ApplyLevel(0) == nil
+	}
+	if tr.obs != nil {
+		tr.obs.ObserveHealthFault(reason, restored)
+	}
+	tr.clean = 0
+	tr.faults++
+	switch tr.state {
+	case Healthy:
+		if tr.faults >= m.cfg.DegradeAfter {
+			m.transition(tr, Degraded)
+		}
+	case Degraded:
+		if tr.faults >= m.cfg.QuarantineAfter {
+			m.transition(tr, Quarantined)
+		}
+	case Probation:
+		// Probation has no second chances.
+		m.transition(tr, Quarantined)
+	}
+}
+
+// transition moves the instance to a new state, resetting the counters.
+// Caller holds m.mu.
+func (m *Monitor) transition(tr *tracked, to State) {
+	from := tr.state
+	tr.state = to
+	tr.faults, tr.clean, tr.dwell = 0, 0, 0
+	if tr.obs != nil {
+		tr.obs.ObserveHealthState(int(from), int(to))
+	}
+}

@@ -1,0 +1,450 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/perception"
+	"repro/internal/safety"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// testConfig keeps trajectories short enough to walk by hand.
+func testConfig() Config {
+	return Config{
+		Deadline:        10 * time.Millisecond,
+		DegradeAfter:    1,
+		QuarantineAfter: 2,
+		RecoverAfter:    3,
+		QuarantineDwell: 4,
+		ProbationAfter:  2,
+	}
+}
+
+// stubRestorer records emergency restores and can be made to fail.
+type stubRestorer struct {
+	calls []int
+	err   error
+}
+
+func (r *stubRestorer) ApplyLevel(target int) error {
+	r.calls = append(r.calls, target)
+	return r.err
+}
+
+// stubObserver records the monitor's telemetry stream.
+type stubObserver struct {
+	faults      []string // "reason/restored"
+	transitions []string // "from->to"
+}
+
+func (o *stubObserver) ObserveHealthFault(reason string, restored bool) {
+	o.faults = append(o.faults, fmt.Sprintf("%s/%v", reason, restored))
+}
+
+func (o *stubObserver) ObserveHealthState(from, to int) {
+	o.transitions = append(o.transitions, fmt.Sprintf("%d->%d", from, to))
+}
+
+func TestMonitorFullTrajectory(t *testing.T) {
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{}
+	obs := &stubObserver{}
+	if err := m.Register("car1", rst, obs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault 1 (NaN): Healthy → Degraded, with an emergency restore.
+	nan := func() (State, string) {
+		return m.Observe("car1", 0.5, math.NaN(), 0, nil)
+	}
+	if st, reason := nan(); st != Degraded || reason != ReasonNaN {
+		t.Fatalf("after first NaN: state %v reason %q", st, reason)
+	}
+	if len(rst.calls) != 1 || rst.calls[0] != 0 {
+		t.Fatalf("restore calls %v, want [0]", rst.calls)
+	}
+	// Faults 2 and 3: Degraded absorbs QuarantineAfter=2 more, then fences.
+	if st, _ := nan(); st != Degraded {
+		t.Fatalf("after second fault: %v", st)
+	}
+	if st, _ := nan(); st != Quarantined {
+		t.Fatalf("after third fault: %v", st)
+	}
+	if m.Admissible("car1") {
+		t.Fatal("quarantined instance admissible")
+	}
+	if m.TickAllowed("car1") {
+		t.Fatal("quarantined instance may tick")
+	}
+
+	// QuarantineDwell=4 gated attempts re-admit to Probation. Gate returns
+	// false for every quarantined attempt, including the one that flips the
+	// state (re-admission starts with the NEXT frame).
+	for i := 0; i < 4; i++ {
+		if m.Gate("car1") {
+			t.Fatalf("gate %d admitted a quarantined instance", i)
+		}
+	}
+	if st := m.State("car1"); st != Probation {
+		t.Fatalf("after dwell: %v", st)
+	}
+	if !m.Gate("car1") {
+		t.Fatal("probation instance not re-admitted")
+	}
+	if m.TickAllowed("car1") {
+		t.Fatal("probation instance may tick")
+	}
+
+	// ProbationAfter=2 clean frames promote back to Healthy.
+	clean := func() State {
+		st, _ := m.Observe("car1", 0.5, 0.1, 0, nil)
+		return st
+	}
+	if st := clean(); st != Probation {
+		t.Fatalf("after one clean frame: %v", st)
+	}
+	if st := clean(); st != Healthy {
+		t.Fatalf("after two clean frames: %v", st)
+	}
+
+	wantTransitions := []string{"0->0", "0->1", "1->3", "3->2", "2->0"}
+	if fmt.Sprint(obs.transitions) != fmt.Sprint(wantTransitions) {
+		t.Fatalf("transitions %v, want %v", obs.transitions, wantTransitions)
+	}
+	for _, f := range obs.faults {
+		if f != "nan/true" {
+			t.Fatalf("fault record %q, want nan/true", f)
+		}
+	}
+	if len(obs.faults) != 3 {
+		t.Fatalf("%d fault records, want 3", len(obs.faults))
+	}
+}
+
+func TestMonitorDegradedRecovers(t *testing.T) {
+	m := NewMonitor(testConfig())
+	if err := m.Register("car0", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveFault("car0", ReasonError)
+	if st := m.State("car0"); st != Degraded {
+		t.Fatalf("state %v", st)
+	}
+	// RecoverAfter=3 clean frames heal without quarantine.
+	for i := 0; i < 2; i++ {
+		if st, _ := m.Observe("car0", 0.5, 0.1, 0, nil); st != Degraded {
+			t.Fatalf("clean frame %d: %v", i, st)
+		}
+	}
+	if st, _ := m.Observe("car0", 0.5, 0.1, 0, nil); st != Healthy {
+		t.Fatalf("after recovery: %v", st)
+	}
+	// A fault resets the clean streak.
+	m.ObserveFault("car0", ReasonError)
+	m.Observe("car0", 0.5, 0.1, 0, nil)
+	m.Observe("car0", 0.5, 0.1, 0, nil)
+	m.ObserveFault("car0", ReasonError)
+	for i := 0; i < 2; i++ {
+		m.Observe("car0", 0.5, 0.1, 0, nil)
+	}
+	if st := m.State("car0"); st != Degraded {
+		t.Fatalf("clean streak not reset by interleaved fault: %v", st)
+	}
+}
+
+func TestMonitorProbationFaultQuarantines(t *testing.T) {
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{}
+	if err := m.Register("car2", rst, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.ObserveFault("car2", ReasonError)
+	}
+	for i := 0; i < 4; i++ {
+		m.Gate("car2")
+	}
+	if st := m.State("car2"); st != Probation {
+		t.Fatalf("state %v", st)
+	}
+	if st := m.ObserveFault("car2", ReasonDeadline); st != Quarantined {
+		t.Fatalf("probation fault left state %v", st)
+	}
+	// The deadline fault still ran the emergency restore.
+	if len(rst.calls) != 1 {
+		t.Fatalf("restore calls %v, want one", rst.calls)
+	}
+}
+
+func TestMonitorReasonAttribution(t *testing.T) {
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{}
+	obs := &stubObserver{}
+	if err := m.Register("car0", rst, obs); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		conf, unc float64
+		elapsed   time.Duration
+		err       error
+		want      string
+		restores  int
+	}{
+		{0.5, 0.1, 0, errors.New("boom"), ReasonError, 0},
+		{math.NaN(), 0.1, 0, nil, ReasonNaN, 1},
+		{0.5, 0.1, 20 * time.Millisecond, nil, ReasonDeadline, 1},
+		// Error wins over NaN wins over deadline.
+		{math.NaN(), 0.1, 20 * time.Millisecond, errors.New("x"), ReasonError, 0},
+		{0.5, 0.1, 0, nil, "", 0},
+	}
+	for i, c := range cases {
+		before := len(rst.calls)
+		_, reason := m.Observe("car0", c.conf, c.unc, c.elapsed, c.err)
+		if reason != c.want {
+			t.Fatalf("case %d: reason %q, want %q", i, reason, c.want)
+		}
+		if got := len(rst.calls) - before; got != c.restores {
+			t.Fatalf("case %d: %d restores, want %d", i, got, c.restores)
+		}
+	}
+	// Infinite confidence is as non-finite as NaN.
+	if _, reason := m.Observe("car0", math.Inf(1), 0.1, 0, nil); reason != ReasonNaN {
+		t.Fatalf("inf confidence reason %q", reason)
+	}
+}
+
+func TestMonitorFailedRestoreReported(t *testing.T) {
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{err: errors.New("store corrupt")}
+	obs := &stubObserver{}
+	if err := m.Register("car0", rst, obs); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveFault("car0", ReasonNaN)
+	if len(obs.faults) != 1 || obs.faults[0] != "nan/false" {
+		t.Fatalf("fault records %v, want [nan/false]", obs.faults)
+	}
+}
+
+func TestMonitorRegistration(t *testing.T) {
+	m := NewMonitor(Config{})
+	if err := m.Register("", nil, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := m.Register("car0", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("car0", nil, nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	// Unregistered names are unmonitored, not fenced.
+	if m.State("ghost") != Healthy || !m.Admissible("ghost") || !m.Gate("ghost") || !m.TickAllowed("ghost") {
+		t.Fatal("unregistered instance fenced")
+	}
+	if st := m.ObserveFault("ghost", ReasonError); st != Healthy {
+		t.Fatalf("unregistered fault state %v", st)
+	}
+	states := m.States()
+	if len(states) != 1 || states["car0"] != Healthy {
+		t.Fatalf("states %v", states)
+	}
+	// Defaults resolve.
+	cfg := m.Config()
+	if cfg.Deadline != 150*time.Millisecond || cfg.DegradeAfter != 1 ||
+		cfg.QuarantineAfter != 2 || cfg.RecoverAfter != 25 ||
+		cfg.QuarantineDwell != 50 || cfg.ProbationAfter != 25 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Healthy.String() != "healthy" || Quarantined.String() != "quarantined" {
+		t.Fatalf("state names %q %q", Healthy, Quarantined)
+	}
+	if int(Quarantined) != telemetry.HealthQuarantined {
+		t.Fatal("state codes drifted from telemetry")
+	}
+}
+
+// scriptedStack is a perception.Stack whose Detect/Tick behavior the test
+// scripts call by call.
+type scriptedStack struct {
+	det     perception.Detection
+	detErr  error
+	tickErr error
+	detects int
+	ticks   int
+}
+
+func (s *scriptedStack) Detect(*tensor.Tensor) (perception.Detection, error) {
+	s.detects++
+	return s.det, s.detErr
+}
+
+func (s *scriptedStack) Tick(int, safety.Assessment) (governor.Decision, error) {
+	s.ticks++
+	return governor.Decision{Applied: 2}, s.tickErr
+}
+
+func (s *scriptedStack) Current() int          { return 1 }
+func (s *scriptedStack) Levels() []*core.Level { return nil }
+func (s *scriptedStack) Switches() int         { return 7 }
+
+// pinClock replaces the package clock with one advancing step per read and
+// restores it on cleanup.
+func pinClock(t *testing.T, step time.Duration) {
+	t.Helper()
+	orig := now
+	base := time.Unix(1000, 0)
+	reads := 0
+	now = func() time.Time {
+		reads++
+		return base.Add(time.Duration(reads) * step)
+	}
+	t.Cleanup(func() { now = orig })
+}
+
+func TestGuardAbsorbsFaultsIntoFailSafe(t *testing.T) {
+	pinClock(t, time.Microsecond)
+	m := NewMonitor(testConfig())
+	st := &scriptedStack{det: perception.Detection{Obstacle: false, Confidence: 0.9, Uncertainty: 0.2}}
+	g := NewGuard("car1", st, m)
+	if err := m.Register("car1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean frame passes through untouched.
+	det, err := g.Detect(nil)
+	if err != nil || det != st.det {
+		t.Fatalf("clean frame: %+v, %v", det, err)
+	}
+
+	// A stack error becomes FailSafe, not an error — the loop must keep
+	// driving.
+	st.detErr = errors.New("sensor gone")
+	det, err = g.Detect(nil)
+	if err != nil {
+		t.Fatalf("guard leaked error %v", err)
+	}
+	if det != FailSafe {
+		t.Fatalf("faulted frame %+v, want FailSafe", det)
+	}
+	if got := m.State("car1"); got != Degraded {
+		t.Fatalf("state %v after fault", got)
+	}
+
+	// A NaN detection is absorbed too, even with no error.
+	st.detErr = nil
+	st.det.Confidence = math.NaN()
+	if det, _ := g.Detect(nil); det != FailSafe {
+		t.Fatalf("NaN frame %+v, want FailSafe", det)
+	}
+
+	// Third fault quarantines; frames stop reaching the stack.
+	g.Detect(nil)
+	if g.State() != Quarantined {
+		t.Fatalf("state %v", g.State())
+	}
+	before := st.detects
+	if det, err := g.Detect(nil); err != nil || det != FailSafe {
+		t.Fatalf("quarantined frame %+v, %v", det, err)
+	}
+	if st.detects != before {
+		t.Fatal("quarantined frame reached the stack")
+	}
+
+	// Delegation.
+	if g.Current() != 1 || g.Switches() != 7 || g.Levels() != nil {
+		t.Fatal("delegation broken")
+	}
+}
+
+func TestGuardDetectDeadline(t *testing.T) {
+	// Every clock read advances 20ms > the 10ms test deadline, so each
+	// Detect (two reads) observes a breach.
+	pinClock(t, 20*time.Millisecond)
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{}
+	if err := m.Register("car0", rst, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := &scriptedStack{det: perception.Detection{Confidence: 0.9, Uncertainty: 0.2}}
+	g := NewGuard("car0", st, m)
+	if det, err := g.Detect(nil); err != nil || det != FailSafe {
+		t.Fatalf("slow frame %+v, %v", det, err)
+	}
+	if m.State("car0") != Degraded {
+		t.Fatalf("state %v", m.State("car0"))
+	}
+	if len(rst.calls) != 1 {
+		t.Fatalf("restore calls %v", rst.calls)
+	}
+}
+
+func TestGuardTickWatchdog(t *testing.T) {
+	pinClock(t, 20*time.Millisecond)
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{}
+	if err := m.Register("car0", rst, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := &scriptedStack{}
+	g := NewGuard("car0", st, m)
+
+	// A tick slower than the deadline is a fault with the emergency
+	// restore — the stuck-transition path.
+	dec, err := g.Tick(0, safety.Assessment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Applied != 2 {
+		t.Fatalf("decision %+v not delegated", dec)
+	}
+	if m.State("car0") != Degraded || len(rst.calls) != 1 {
+		t.Fatalf("state %v restores %v", m.State("car0"), rst.calls)
+	}
+	// Degraded instances keep ticking (the governor re-adapts them)…
+	g.Tick(1, safety.Assessment{})
+	if st.ticks != 2 {
+		t.Fatalf("ticks %d", st.ticks)
+	}
+	// …until quarantined: then ticks are suppressed entirely.
+	m.ObserveFault("car0", ReasonError)
+	if m.State("car0") != Quarantined {
+		t.Fatalf("state %v", m.State("car0"))
+	}
+	dec, err = g.Tick(2, safety.Assessment{})
+	if err != nil || dec != (governor.Decision{}) {
+		t.Fatalf("fenced tick %+v, %v", dec, err)
+	}
+	if st.ticks != 2 {
+		t.Fatal("fenced tick reached the stack")
+	}
+}
+
+func TestGuardTickErrorAbsorbed(t *testing.T) {
+	pinClock(t, time.Microsecond)
+	m := NewMonitor(testConfig())
+	if err := m.Register("car0", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := &scriptedStack{tickErr: errors.New("governor wedged")}
+	g := NewGuard("car0", st, m)
+	dec, err := g.Tick(0, safety.Assessment{})
+	if err != nil {
+		t.Fatalf("guard leaked tick error %v", err)
+	}
+	if dec != (governor.Decision{}) {
+		t.Fatalf("errored tick returned %+v", dec)
+	}
+	if m.State("car0") != Degraded {
+		t.Fatalf("state %v", m.State("car0"))
+	}
+}

@@ -21,6 +21,8 @@ var CtxboundPackages = []string{
 	// this analyzer exists for.
 	"repro/internal/telemetry/otlp",
 	"repro/internal/fleet",
+	"repro/internal/fault",
+	"repro/internal/health",
 }
 
 // AnalyzerCtxbound audits `go func` literals in long-lived packages: the

@@ -20,6 +20,11 @@ var DetrandPackages = []string{
 	// auditable here.
 	"repro/internal/telemetry/otlp",
 	"repro/internal/fleet",
+	// The chaos harness and the watchdog must replay drills tick-for-tick:
+	// injector randomness flows from the construction seed, watchdog time
+	// from the clock seam.
+	"repro/internal/fault",
+	"repro/internal/health",
 }
 
 // detrandAllowedFuncs are the math/rand functions that construct seeded

@@ -56,7 +56,7 @@ func (c *Concurrent) SetObserver(o FrameObserver) {
 }
 
 // Detect classifies one frame under the lock.
-func (c *Concurrent) Detect(frame *tensor.Tensor) Detection {
+func (c *Concurrent) Detect(frame *tensor.Tensor) (Detection, error) {
 	var obs FrameObserver
 	if p := c.obs.Load(); p != nil {
 		obs = *p
@@ -66,12 +66,12 @@ func (c *Concurrent) Detect(frame *tensor.Tensor) Detection {
 		t0 = now()
 	}
 	c.mu.Lock()
-	d := c.pipe.Detect(frame)
+	d, err := c.pipe.Detect(frame)
 	c.mu.Unlock()
 	if obs != nil {
 		obs.ObserveFrame(now().Sub(t0))
 	}
-	return d
+	return d, err
 }
 
 // ApplyLevel transitions the model under the lock.

@@ -92,11 +92,15 @@ func NewPipeline(model *nn.Sequential, frameSize int, threshold float64) (*Pipel
 // for; Detect only accepts frames with exactly FrameSize² pixels.
 func (p *Pipeline) FrameSize() int { return p.size }
 
-// Detect classifies one [1, S, S] frame.
-func (p *Pipeline) Detect(frame *tensor.Tensor) Detection {
+// Detect classifies one [1, S, S] frame. A frame whose pixel count does
+// not match FrameSize² is rejected with an error — a truncated or garbled
+// sensor read must degrade, not crash the control loop.
+func (p *Pipeline) Detect(frame *tensor.Tensor) (Detection, error) {
+	if frame == nil {
+		return Detection{}, fmt.Errorf("perception: nil frame")
+	}
 	if frame.Len() != p.size*p.size {
-		//lint:allow(nopanic) frame geometry is fixed at pipeline construction; a mismatch is a programmer error
-		panic(fmt.Sprintf("perception: frame with %d pixels, want %d", frame.Len(), p.size*p.size))
+		return Detection{}, fmt.Errorf("perception: frame with %d pixels, want %d", frame.Len(), p.size*p.size)
 	}
 	copy(p.batch.Data(), frame.Data())
 	logits := p.model.Forward(p.batch, false)
@@ -122,7 +126,7 @@ func (p *Pipeline) Detect(frame *tensor.Tensor) Detection {
 		Obstacle:    decided,
 		Confidence:  pObstacle,
 		Uncertainty: safety.Entropy(probs.Row(0).Data()),
-	}
+	}, nil
 }
 
 // LoopConfig parameterizes a closed-loop scenario run.
@@ -201,8 +205,10 @@ func (r LoopResult) MissRate() float64 {
 // loop goroutine per instance composes safely with a fleet-level budget
 // governor retargeting levels concurrently.
 type Stack interface {
-	// Detect classifies one [1, S, S] frame.
-	Detect(frame *tensor.Tensor) Detection
+	// Detect classifies one [1, S, S] frame. A frame the stack cannot
+	// serve (geometry mismatch, fenced instance) returns an error; the
+	// loop treats it as a failed tick.
+	Detect(frame *tensor.Tensor) (Detection, error)
 	// Tick runs one governor iteration (a no-op Decision when the stack has
 	// no governor attached).
 	Tick(tick int, a safety.Assessment) (governor.Decision, error)
@@ -225,7 +231,7 @@ type soloStack struct {
 	gov  *governor.Governor
 }
 
-func (s soloStack) Detect(frame *tensor.Tensor) Detection { return s.pipe.Detect(frame) }
+func (s soloStack) Detect(frame *tensor.Tensor) (Detection, error) { return s.pipe.Detect(frame) }
 
 func (s soloStack) Tick(tick int, a safety.Assessment) (governor.Decision, error) {
 	if s.gov == nil {
@@ -373,7 +379,10 @@ func runLoop(sc sim.Scenario, st Stack, cfg LoopConfig, estimate func() float64)
 		}
 
 		frame, truth := world.Frame(cfg.FrameSize)
-		det := st.Detect(frame)
+		det, err := st.Detect(frame)
+		if err != nil {
+			return res, fmt.Errorf("perception: tick %d: %w", tick, err)
+		}
 		lastUncertainty = det.Uncertainty
 		world.SetBraking(det.Obstacle)
 

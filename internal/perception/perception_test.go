@@ -126,7 +126,10 @@ func TestPipelineDetectsObstacles(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		truth := i%2 == 0
 		pix := dataset.RenderObstaclePatch(truth, 16, 4, 0.05, rng)
-		det := pipe.Detect(tensor.FromSlice(pix, 1, 16, 16))
+		det, err := pipe.Detect(tensor.FromSlice(pix, 1, 16, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if det.Obstacle == truth {
 			hits++
 		}
@@ -328,21 +331,29 @@ func TestDebounceSuppressesSingleFrameFlips(t *testing.T) {
 	clear := tensor.FromSlice(dataset.RenderObstaclePatch(false, 16, 3, 0.02, rng), 1, 16, 16)
 	obstacle := tensor.FromSlice(dataset.RenderObstaclePatch(true, 16, 4.5, 0.02, rng), 1, 16, 16)
 
+	detect := func(frame *tensor.Tensor) Detection {
+		t.Helper()
+		det, err := pipe.Detect(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
 	// A lone positive frame between clear frames must not fire with 2-of-3.
-	pipe.Detect(clear)
-	pipe.Detect(clear)
-	if det := pipe.Detect(obstacle); det.Obstacle {
+	detect(clear)
+	detect(clear)
+	if det := detect(obstacle); det.Obstacle {
 		t.Error("single positive frame fired through 2-of-3 debounce")
 	}
 	// A second consecutive positive frame fires.
-	if det := pipe.Detect(obstacle); !det.Obstacle {
+	if det := detect(obstacle); !det.Obstacle {
 		t.Error("two consecutive positives did not fire")
 	}
 	// After the obstacle passes, one clear frame is not enough to release.
-	if det := pipe.Detect(clear); !det.Obstacle {
+	if det := detect(clear); !det.Obstacle {
 		t.Error("released after a single clear frame")
 	}
-	if det := pipe.Detect(clear); det.Obstacle {
+	if det := detect(clear); det.Obstacle {
 		t.Error("held after two clear frames")
 	}
 }
@@ -374,7 +385,10 @@ func TestConcurrentDetectAndSwitch(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 300; i++ {
-		det := c.Detect(frame)
+		det, err := c.Detect(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if det.Confidence < 0 || det.Confidence > 1 {
 			t.Fatalf("malformed confidence %v", det.Confidence)
 		}

@@ -51,6 +51,10 @@ func TestMetricsDocCrossCheck(t *testing.T) {
 	h.ObserveTick(1, 0, false, false, false, 10*time.Microsecond)
 	h.ObserveFrame(3 * time.Millisecond)
 	h.ObserveRebalance(2, 1.5, 4.2, true, 8*time.Microsecond)
+	h.ObserveFaultInjection("nan-weights")
+	h.ObserveHealthFault("nan", true)
+	h.ObserveHealthState(HealthHealthy, HealthHealthy)
+	h.ObserveHealthState(HealthHealthy, HealthDegraded)
 
 	// Scrape the live rendering: every family announces itself with one
 	// # TYPE line, labels already folded onto the base name.

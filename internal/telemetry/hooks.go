@@ -72,10 +72,64 @@ const (
 	MetricFleetOverBudget = "rpn_fleet_over_budget"
 	// MetricFleetRebalanceLatency is the rebalance-pass latency histogram (µs).
 	MetricFleetRebalanceLatency = "rpn_fleet_rebalance_latency_us"
+	// MetricFaultInjections counts fault events an injection harness
+	// (internal/fault) actually fired, one series per fault kind (see
+	// LabelFault). Zero outside chaos drills.
+	MetricFaultInjections = "rpn_fault_injections_total"
+	// LabelFault is the label key of the fault-injection counter: the fault
+	// spec kind that fired (e.g. "nan-weights").
+	LabelFault = "fault"
+	// MetricHealthState is a gauge holding the instance's health state as an
+	// integer: 0 Healthy, 1 Degraded, 2 Probation, 3 Quarantined (see
+	// HealthStateName).
+	MetricHealthState = "rpn_health_state"
+	// MetricHealthTransitions counts health state-machine transitions
+	// (excluding the initial registration at Healthy).
+	MetricHealthTransitions = "rpn_health_transitions_total"
+	// MetricHealthFaults counts fault observations the health monitor
+	// attributed to the instance, one series per reason (see LabelReason).
+	MetricHealthFaults = "rpn_health_faults_total"
+	// LabelReason is the label key of the health-fault counter: what the
+	// watchdog saw ("nan", "deadline", "error", "panic").
+	LabelReason = "reason"
+	// MetricHealthRestores counts emergency restores to the dense level L0
+	// the health monitor forced in response to a NaN output or a deadline
+	// breach, before degrading the instance.
+	MetricHealthRestores = "rpn_health_emergency_restores_total"
 	// metricResidencyPrefix prefixes the per-level residency-tick counters:
 	// rpn_level_residency_ticks_L0, _L1, …
 	metricResidencyPrefix = "rpn_level_residency_ticks_L"
 )
+
+// Health state codes written to the MetricHealthState gauge. They mirror
+// internal/health's state machine without telemetry importing it (telemetry
+// stays a stdlib-only leaf); internal/health asserts the two stay aligned.
+const (
+	// HealthHealthy: the instance serves frames normally.
+	HealthHealthy = 0
+	// HealthDegraded: recent faults; still serving, under scrutiny.
+	HealthDegraded = 1
+	// HealthProbation: re-admitted after quarantine, must stay clean.
+	HealthProbation = 2
+	// HealthQuarantined: fenced off — no frames, no governor ticks.
+	HealthQuarantined = 3
+)
+
+// HealthStateName renders a MetricHealthState gauge value for human
+// surfaces (the /healthz document, log lines, operator tables).
+func HealthStateName(state int) string {
+	switch state {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthProbation:
+		return "probation"
+	case HealthQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("unknown(%d)", state)
+}
 
 // hookFamilies lists every fixed metric family Hooks writes, so NewHooks
 // can pre-render the labeled series identifiers once. Per-level residency
@@ -102,6 +156,9 @@ var hookFamilies = []string{
 	MetricFleetLatency,
 	MetricFleetOverBudget,
 	MetricFleetRebalanceLatency,
+	MetricHealthState,
+	MetricHealthTransitions,
+	MetricHealthRestores,
 }
 
 // Hooks adapts a Registry to the observer seams of the stack. Its method
@@ -132,11 +189,12 @@ type Hooks struct {
 	// residency[i] is the precomputed per-level residency series, so the
 	// per-tick path does not format strings.
 	residency []string
-	// layerMu guards layerSeries, the lazily built cache of parameter name
-	// → rendered per-layer series identifier, so steady-state per-parameter
-	// observations don't re-render labels.
-	layerMu     sync.Mutex
-	layerSeries map[string]string
+	// dynMu guards dynSeries, the lazily built cache of dynamically labeled
+	// series identifiers (per-layer histograms, per-kind fault counters,
+	// per-reason health-fault counters), so steady-state observations don't
+	// re-render labels.
+	dynMu     sync.Mutex
+	dynSeries map[string]string
 }
 
 // NewHooks wires a Hooks to the registry. Optional base labels (typically
@@ -213,25 +271,26 @@ func (h *Hooks) ObserveTransition(from, to int, weights int64, elapsed time.Dura
 // lands in the layer-labeled series
 // rpn_layer_transition_latency_us{layer="<param>"} (plus any base labels).
 func (h *Hooks) ObserveParamTransition(from, to int, param string, weights int64, elapsed time.Duration) {
-	h.reg.ObserveDuration(h.layerSeriesFor(param), elapsed)
+	h.reg.ObserveDuration(h.dynamicSeries(MetricLayerTransitionLatency, LabelLayer, param), elapsed)
 }
 
-// layerSeriesFor returns (rendering and caching on first sight) the
-// labeled series identifier for one parameter's transition-latency
-// histogram.
-func (h *Hooks) layerSeriesFor(param string) string {
-	h.layerMu.Lock()
-	defer h.layerMu.Unlock()
-	s, ok := h.layerSeries[param]
+// dynamicSeries returns (rendering and caching on first sight) the labeled
+// series identifier for a family carrying one runtime-valued label on top
+// of the base labels.
+func (h *Hooks) dynamicSeries(family, labelKey, labelValue string) string {
+	cacheKey := family + "\x00" + labelValue
+	h.dynMu.Lock()
+	defer h.dynMu.Unlock()
+	s, ok := h.dynSeries[cacheKey]
 	if !ok {
-		if h.layerSeries == nil {
-			h.layerSeries = make(map[string]string)
+		if h.dynSeries == nil {
+			h.dynSeries = make(map[string]string)
 		}
 		ls := make([]Label, 0, len(h.base)+1)
 		ls = append(ls, h.base...)
-		ls = append(ls, Label{Key: LabelLayer, Value: param})
-		s = Series(MetricLayerTransitionLatency, ls...)
-		h.layerSeries[param] = s
+		ls = append(ls, Label{Key: labelKey, Value: labelValue})
+		s = Series(family, ls...)
+		h.dynSeries[cacheKey] = s
 	}
 	return s
 }
@@ -288,4 +347,35 @@ func (h *Hooks) ObserveRebalance(retargets int, energyMJ, latencyMS float64, ove
 	}
 	h.reg.SetGauge(h.name(MetricFleetOverBudget), over)
 	h.reg.ObserveDuration(h.name(MetricFleetRebalanceLatency), elapsed)
+}
+
+// ObserveFaultInjection implements the fault.Observer seam: called by an
+// injection harness every time a fault actually fired, with the fault spec
+// kind. The counter stays at zero outside chaos drills — any movement in
+// production is itself an incident signal.
+func (h *Hooks) ObserveFaultInjection(kind string) {
+	h.reg.Inc(h.dynamicSeries(MetricFaultInjections, LabelFault, kind))
+}
+
+// ObserveHealthFault implements half of the health.Observer seam: called by
+// the health monitor for every fault it attributes to the instance, with
+// the watchdog's reason ("nan", "deadline", "error", "panic") and whether
+// the monitor forced an emergency restore to L0 in response.
+func (h *Hooks) ObserveHealthFault(reason string, restored bool) {
+	h.reg.Inc(h.dynamicSeries(MetricHealthFaults, LabelReason, reason))
+	if restored {
+		h.reg.Inc(h.name(MetricHealthRestores))
+	}
+}
+
+// ObserveHealthState implements the other half of the health.Observer seam:
+// called on registration (from == to == Healthy) and after every state
+// change with the integer state codes (see HealthStateName). The gauge
+// always tracks the latest state; the transition counter ignores the
+// registration no-op.
+func (h *Hooks) ObserveHealthState(from, to int) {
+	h.reg.SetGauge(h.name(MetricHealthState), float64(to))
+	if from != to {
+		h.reg.Inc(h.name(MetricHealthTransitions))
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -37,6 +38,11 @@ type Exporter struct {
 	attempts int
 	backoff  time.Duration
 	compress bool
+	// jitter picks the actual wait before a retry given the exponential
+	// ceiling for this attempt. The default is full jitter — uniform in
+	// [0, ceiling) — so a fleet of exporters knocked over by the same
+	// collector outage does not retry in lockstep.
+	jitter func(max time.Duration) time.Duration
 
 	// gzOff latches on once a collector proves it cannot take gzip (it
 	// rejected a compressed body but accepted the same bytes plain), so
@@ -111,6 +117,19 @@ func WithRetry(attempts int, backoff time.Duration) ExporterOption {
 	}
 }
 
+// WithJitter replaces the retry-backoff jitter: f receives the
+// exponential ceiling for the attempt (initial backoff << attempt) and
+// returns the wait to use. The default is full jitter over a source
+// seeded at construction; tests inject a deterministic picker. nil is
+// ignored.
+func WithJitter(f func(max time.Duration) time.Duration) ExporterOption {
+	return func(e *Exporter) {
+		if f != nil {
+			e.jitter = f
+		}
+	}
+}
+
 // WithCompression enables or disables gzip request bodies (default: on).
 // With compression on, a collector that rejects a compressed body with a
 // non-retryable 4xx gets the same payload re-sent uncompressed in the same
@@ -141,6 +160,7 @@ func NewExporter(reg *telemetry.Registry, endpoint string, opts ...ExporterOptio
 		attempts: 3,
 		backoff:  250 * time.Millisecond,
 		compress: true,
+		jitter:   defaultJitter(),
 		done:     make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -266,7 +286,7 @@ func (e *Exporter) export(ctx context.Context, abort <-chan struct{}) error {
 			return err
 		}
 		e.count(func(s *Stats) { s.Retries++ })
-		wait := e.backoff << attempt
+		wait := e.jitter(e.backoff << attempt)
 		select {
 		case <-abort:
 			e.count(func(s *Stats) { s.Failures++ })
@@ -303,6 +323,22 @@ func (e *Exporter) post(ctx context.Context, body []byte, gzipped bool) (retryab
 	}
 	retryable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
 	return retryable, resp.StatusCode, fmt.Errorf("otlp: collector %s returned %s", e.url, resp.Status)
+}
+
+// defaultJitter builds the full-jitter backoff picker over its own
+// mutex-guarded source, seeded once at construction (the seam keeps the
+// package's determinism discipline: no unseeded global randomness).
+func defaultJitter() func(max time.Duration) time.Duration {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(now().UnixNano()))
+	return func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Int63n(int64(max)))
+	}
 }
 
 // gzipBytes compresses one request body. Writes to the in-memory buffer

@@ -484,3 +484,59 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 		t.Error("no truncated input was rejected")
 	}
 }
+
+// TestExporterBackoffJitter pins the retry waits to the jitter seam: the
+// picker must be called once per retried attempt with the exponential
+// ceiling for that attempt, and the wait actually slept is whatever it
+// returns (here: ~0, keeping the test fast).
+func TestExporterBackoffJitter(t *testing.T) {
+	col := &collector{status: http.StatusServiceUnavailable, failN: 3}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var ceilings []time.Duration
+	picker := func(max time.Duration) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		ceilings = append(ceilings, max)
+		return time.Microsecond
+	}
+	reg := telemetry.NewRegistry()
+	reg.Inc("rpn_transitions_total")
+	exp, err := NewExporter(reg, srv.URL,
+		WithInterval(time.Hour), WithRetry(5, 16*time.Millisecond), WithJitter(picker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after retries: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{16 * time.Millisecond, 32 * time.Millisecond, 64 * time.Millisecond}
+	if len(ceilings) != len(want) {
+		t.Fatalf("jitter called with %v, want %v", ceilings, want)
+	}
+	for i := range want {
+		if ceilings[i] != want[i] {
+			t.Fatalf("jitter ceiling %d = %v, want %v", i, ceilings[i], want[i])
+		}
+	}
+}
+
+// TestDefaultJitterBounds sanity-checks the built-in full-jitter picker:
+// waits stay inside [0, ceiling) and degenerate ceilings return zero.
+func TestDefaultJitterBounds(t *testing.T) {
+	j := defaultJitter()
+	for i := 0; i < 200; i++ {
+		if w := j(250 * time.Millisecond); w < 0 || w >= 250*time.Millisecond {
+			t.Fatalf("jitter %v outside [0, 250ms)", w)
+		}
+	}
+	if j(0) != 0 || j(-time.Second) != 0 {
+		t.Fatal("degenerate ceiling not clamped to 0")
+	}
+}

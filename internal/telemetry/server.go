@@ -78,9 +78,17 @@ func (s *Server) Close() error {
 	return err
 }
 
-// writeHealthz renders the /healthz JSON document.
+// writeHealthz renders the /healthz JSON document. When any instance's
+// health-state gauge reads quarantined, the document's status flips to
+// "degraded" and the response carries HTTP 503 — so load balancers and
+// uptime probes see a fenced-off instance without parsing the body.
 func writeHealthz(w http.ResponseWriter, reg *Registry) {
 	snap := reg.Snapshot()
+	health, quarantined := healthStates(snap)
+	status, code := "ok", http.StatusOK
+	if quarantined {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
 	doc := struct {
 		Status string `json:"status"`
 		// Summary lifts the well-known deployment metrics (written by
@@ -89,19 +97,55 @@ func writeHealthz(w http.ResponseWriter, reg *Registry) {
 		Sparsity   float64 `json:"sparsity"`
 		Switches   int64   `json:"switches"`
 		Violations int64   `json:"violations"`
+		// Health maps each instance (the model label; "" for a solo
+		// deployment) to its health-state name, from the
+		// rpn_health_state gauges. Absent when no health monitor writes.
+		Health map[string]string `json:"health,omitempty"`
 		Snapshot
 	}{
-		Status:     "ok",
+		Status:     status,
 		Level:      int(snap.Gauges[MetricLevel]),
 		Sparsity:   snap.Gauges[MetricSparsity],
 		Switches:   snap.Counters[MetricLevelSwitches],
 		Violations: snap.Counters[MetricContractViolations],
+		Health:     health,
 		Snapshot:   snap,
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(doc)
+}
+
+// healthStates collects every rpn_health_state gauge in the snapshot into
+// an instance → state-name map and reports whether any instance is
+// quarantined.
+func healthStates(snap Snapshot) (states map[string]string, quarantined bool) {
+	for key, v := range snap.Gauges {
+		name, labels, ok := ParseSeries(key)
+		if !ok {
+			name = key
+		}
+		if name != MetricHealthState {
+			continue
+		}
+		model := ""
+		for _, l := range labels {
+			if l.Key == LabelModel {
+				model = l.Value
+			}
+		}
+		if states == nil {
+			states = make(map[string]string)
+		}
+		state := int(v)
+		states[model] = HealthStateName(state)
+		if state == HealthQuarantined {
+			quarantined = true
+		}
+	}
+	return states, quarantined
 }
 
 // series is one registry key decomposed for rendering: the sanitized base

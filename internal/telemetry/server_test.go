@@ -110,3 +110,91 @@ func TestServerCloseJoinsGoroutine(t *testing.T) {
 	// Closing is idempotent enough not to hang (second Close errors fast).
 	_ = srv.srv.Close()
 }
+
+// TestHealthzHealthStates exercises the /healthz health map and the status
+// flip: a quarantined instance's rpn_health_state gauge must turn the
+// document "degraded" with HTTP 503, and recovery must flip it back.
+func TestHealthzHealthStates(t *testing.T) {
+	reg := NewRegistry()
+	car0 := NewHooks(reg, Label{Key: LabelModel, Value: "car0"})
+	car1 := NewHooks(reg, Label{Key: LabelModel, Value: "car1"})
+	car0.ObserveHealthState(HealthHealthy, HealthHealthy)
+	car1.ObserveHealthState(HealthHealthy, HealthDegraded)
+
+	srv, err := Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/healthz"
+
+	decode := func(resp *http.Response) (status string, health map[string]string) {
+		t.Helper()
+		defer resp.Body.Close()
+		var doc struct {
+			Status string            `json:"status"`
+			Health map[string]string `json:"health"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Status, doc.Health
+	}
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded-but-not-quarantined fleet: status %d, want 200", resp.StatusCode)
+	}
+	status, health := decode(resp)
+	if status != "ok" {
+		t.Errorf("status = %q, want ok", status)
+	}
+	if health["car0"] != "healthy" || health["car1"] != "degraded" {
+		t.Errorf("health map = %v", health)
+	}
+
+	car1.ObserveHealthState(HealthDegraded, HealthQuarantined)
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("quarantined fleet: status %d, want 503", resp.StatusCode)
+	}
+	status, health = decode(resp)
+	if status != "degraded" {
+		t.Errorf("status = %q, want degraded", status)
+	}
+	if health["car1"] != "quarantined" {
+		t.Errorf("health map = %v", health)
+	}
+
+	car1.ObserveHealthState(HealthQuarantined, HealthProbation)
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("probation fleet: status %d, want 200", resp.StatusCode)
+	}
+	if status, health = decode(resp); status != "ok" || health["car1"] != "probation" {
+		t.Errorf("status %q health %v after probation", status, health)
+	}
+}
+
+func TestHealthStateName(t *testing.T) {
+	for state, want := range map[int]string{
+		HealthHealthy:     "healthy",
+		HealthDegraded:    "degraded",
+		HealthProbation:   "probation",
+		HealthQuarantined: "quarantined",
+		42:                "unknown(42)",
+	} {
+		if got := HealthStateName(state); got != want {
+			t.Errorf("HealthStateName(%d) = %q, want %q", state, got, want)
+		}
+	}
+}

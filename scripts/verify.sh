@@ -27,11 +27,12 @@ step go vet ./...
 step go build ./...
 step go run ./cmd/rpnlint ./...
 step go test ./...
-step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/
+step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
 step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry/otlp/
 step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemetry/
+step go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 5s ./internal/fault/
 step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
 
 echo "verify: all gates passed"
