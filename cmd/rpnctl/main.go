@@ -9,13 +9,18 @@
 //	rpnctl info     -bundle bundle.rrp
 //	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N [-telemetry :8080] [-otlp-endpoint localhost:4318]
 //	rpnctl sensitivity -task obstacle|sign -model model.bin
+//	rpnctl health   -addr localhost:8080
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -103,6 +108,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "sensitivity":
 		err = cmdSensitivity(os.Args[2:])
+	case "health":
+		err = cmdHealth(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -124,7 +131,8 @@ commands:
   bundle       design a level library and save a deployment bundle
   info         print a bundle's level library
   eval         evaluate a bundle at a given level
-  sensitivity  per-layer pruning sensitivity analysis`)
+  sensitivity  per-layer pruning sensitivity analysis
+  health       query a telemetry server's /healthz and print per-instance health`)
 }
 
 // task bundles the per-task model builder, dataset, and evaluator.
@@ -371,6 +379,85 @@ func cmdEval(args []string) error {
 	acc := t.evaluator(te)(model)
 	fmt.Printf("level L%d (sparsity %s): live test accuracy %.4f (calibrated %.4f)\n",
 		*level, metrics.Pct(rm.Level(*level).Sparsity), acc, rm.Level(*level).Accuracy)
+	return nil
+}
+
+// healthDoc is the subset of the telemetry server's /healthz document the
+// CLI renders.
+type healthDoc struct {
+	Status        string            `json:"status"`
+	Level         int               `json:"level"`
+	Sparsity      float64           `json:"sparsity"`
+	Switches      int64             `json:"switches"`
+	Violations    int64             `json:"violations"`
+	Health        map[string]string `json:"health"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+}
+
+func cmdHealth(args []string) error {
+	return cmdHealthTo(args, os.Stdout)
+}
+
+// cmdHealthTo queries a telemetry server's /healthz endpoint and prints
+// the deployment summary plus the per-instance watchdog states. It
+// returns an error when any instance is quarantined (the server signals
+// that with HTTP 503), so scripts can gate on the exit code.
+func cmdHealthTo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "telemetry server address (host:port, or a full URL)")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	fs.Parse(args)
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/healthz") {
+		url = strings.TrimSuffix(url, "/") + "/healthz"
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("health: %s returned %s", url, resp.Status)
+	}
+	var doc healthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("health: decoding %s: %w", url, err)
+	}
+
+	fmt.Fprintf(out, "status: %s (uptime %.1fs)\n", doc.Status, doc.UptimeSeconds)
+	dep := metrics.NewTable("deployment", "metric", "value")
+	dep.AddRow("level", fmt.Sprintf("L%d", doc.Level))
+	dep.AddRow("sparsity", metrics.Pct(doc.Sparsity))
+	dep.AddRow("level switches", fmt.Sprintf("%d", doc.Switches))
+	dep.AddRow("contract violations", fmt.Sprintf("%d", doc.Violations))
+	fmt.Fprint(out, dep.String())
+
+	if len(doc.Health) == 0 {
+		fmt.Fprintln(out, "no health monitor attached (no rpn_health_state gauges)")
+	} else {
+		names := make([]string, 0, len(doc.Health))
+		for name := range doc.Health {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		tb := metrics.NewTable("instance health", "instance", "state")
+		for _, name := range names {
+			label := name
+			if label == "" {
+				label = "(solo)"
+			}
+			tb.AddRow(label, doc.Health[name])
+		}
+		fmt.Fprint(out, tb.String())
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return fmt.Errorf("health: %s: an instance is quarantined", doc.Status)
+	}
 	return nil
 }
 

@@ -2,7 +2,10 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // TestCLIEndToEnd exercises the full operator workflow: train → bundle →
@@ -49,6 +52,66 @@ func TestCLIExplicitTargets(t *testing.T) {
 	}
 }
 
+// TestCLIHealth drives rpnctl health against a live telemetry server:
+// per-instance watchdog states render as a table, and a quarantined
+// instance turns the exit into an error (mirroring the server's 503).
+func TestCLIHealth(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	car0 := telemetry.NewHooks(reg, telemetry.Label{Key: telemetry.LabelModel, Value: "car0"})
+	car0.ObserveHealthState(telemetry.HealthHealthy, telemetry.HealthHealthy)
+	car1 := telemetry.NewHooks(reg, telemetry.Label{Key: telemetry.LabelModel, Value: "car1"})
+	car1.ObserveHealthState(telemetry.HealthHealthy, telemetry.HealthDegraded)
+
+	var out strings.Builder
+	if err := cmdHealthTo([]string{"-addr", srv.Addr()}, &out); err != nil {
+		t.Fatalf("health: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"status: ok", "instance health", "car0", "car1", "healthy", "degraded"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Quarantine an instance: the server flips to 503 and the CLI's exit
+	// becomes an error while still printing the table.
+	car1.ObserveHealthState(telemetry.HealthDegraded, telemetry.HealthQuarantined)
+	out.Reset()
+	err = cmdHealthTo([]string{"-addr", srv.Addr()}, &out)
+	if err == nil {
+		t.Fatalf("health should fail when an instance is quarantined\noutput:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("error %q does not mention quarantine", err)
+	}
+	if !strings.Contains(out.String(), "quarantined") {
+		t.Errorf("table missing quarantined state:\n%s", out.String())
+	}
+}
+
+// TestCLIHealthNoMonitor checks the no-gauges rendering path.
+func TestCLIHealthNoMonitor(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var out strings.Builder
+	if err := cmdHealthTo([]string{"-addr", srv.Addr()}, &out); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if !strings.Contains(out.String(), "no health monitor attached") {
+		t.Errorf("missing no-monitor notice:\n%s", out.String())
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if err := cmdTrain([]string{"-task", "bogus"}); err == nil {
 		t.Error("bogus task accepted")
@@ -58,5 +121,9 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := cmdBundle([]string{"-task", "obstacle", "-model", "/nonexistent/model.bin"}); err == nil {
 		t.Error("missing model accepted")
+	}
+	var out strings.Builder
+	if err := cmdHealthTo([]string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}, &out); err == nil {
+		t.Error("unreachable telemetry server accepted")
 	}
 }

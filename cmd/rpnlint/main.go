@@ -1,12 +1,14 @@
 // Command rpnlint is the project's multichecker: it runs the custom
-// internal/lint analyzers (nopanic, floateq, lockcheck, detrand, ctxbound)
-// over the module's packages and exits nonzero on any unsuppressed
-// finding. It complements — not replaces — `go vet`; scripts/verify.sh
-// runs both, alongside the build, the unit tests, and the -race suites.
+// internal/lint analyzers (nopanic, floateq, lockcheck, detrand, ctxbound,
+// goroleak, errdrop, atomicmix) over the module's packages and exits
+// nonzero on any unsuppressed finding. It complements — not replaces —
+// `go vet`; scripts/verify.sh runs both, alongside the build, the unit
+// tests, and the -race suites.
 //
 // Usage:
 //
-//	rpnlint [-v] [-analyzers] [patterns ...]
+//	rpnlint [-v] [-analyzers] [-format=text|json|sarif] [-fail-on=error|warning]
+//	        [-stale] [-parallel=false] [patterns ...]
 //
 // Patterns default to ./... and support the ./..., dir/..., and plain
 // directory forms, resolved against the enclosing module root. Findings
@@ -14,6 +16,15 @@
 // `//lint:allow(<analyzer>)` comment on the offending line or on its own
 // line directly above; -v prints suppressed findings too, tagged
 // [suppressed].
+//
+// -format=json emits the full result (findings, suppression directives,
+// summary) as one JSON document; -format=sarif emits SARIF 2.1.0 for
+// code-scanning UIs. -fail-on=error relaxes the gate to error-severity
+// findings only (warnings still print). -stale additionally fails the run
+// when a lint:allow directive suppressed nothing — only meaningful on
+// whole-repo runs, where "suppressed nothing" means the comment is dead.
+// Packages load and type-check in parallel by default; -parallel=false
+// falls back to the serial loader.
 package main
 
 import (
@@ -26,16 +37,39 @@ import (
 	"repro/internal/lint"
 )
 
+// options carries the driver's flag state.
+type options struct {
+	verbose  bool
+	format   string // "text", "json", or "sarif"
+	failOn   lint.Severity
+	stale    bool
+	parallel bool
+}
+
 func main() {
-	verbose := flag.Bool("v", false, "also print suppressed findings")
+	var opts options
+	flag.BoolVar(&opts.verbose, "v", false, "also print suppressed findings (text format)")
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.StringVar(&opts.format, "format", "text", "output format: text, json, or sarif")
+	failOn := flag.String("fail-on", "warning", "minimum severity that fails the run: error or warning")
+	flag.BoolVar(&opts.stale, "stale", false, "fail when a lint:allow directive suppresses nothing")
+	flag.BoolVar(&opts.parallel, "parallel", true, "type-check packages concurrently")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-10s [%s] %s\n", a.Name, a.Severity, a.Doc)
 		}
 		return
+	}
+	opts.failOn = lint.Severity(*failOn)
+	if opts.failOn != lint.SeverityError && opts.failOn != lint.SeverityWarning {
+		fmt.Fprintf(os.Stderr, "rpnlint: -fail-on must be %q or %q\n", lint.SeverityError, lint.SeverityWarning)
+		os.Exit(2)
+	}
+	if opts.format != "text" && opts.format != "json" && opts.format != "sarif" {
+		fmt.Fprintln(os.Stderr, `rpnlint: -format must be "text", "json", or "sarif"`)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -52,7 +86,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpnlint:", err)
 		os.Exit(2)
 	}
-	code, err := run(root, patterns, *verbose, os.Stdout)
+	code, err := run(root, patterns, opts, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpnlint:", err)
 		os.Exit(2)
@@ -60,39 +94,81 @@ func main() {
 	os.Exit(code)
 }
 
-// run loads the patterns, applies every analyzer, and prints findings.
-// It returns 0 when clean and 1 when unsuppressed findings exist.
-func run(root string, patterns []string, verbose bool, out io.Writer) (int, error) {
+// run loads the patterns, applies every analyzer, and writes the report in
+// the requested format. It returns 0 when clean and 1 when unsuppressed
+// findings at or above the -fail-on severity exist (or, with -stale, when
+// stale suppressions exist).
+func run(root string, patterns []string, opts options, out io.Writer) (int, error) {
 	loader, modPath, err := lint.NewModuleLoader(root)
 	if err != nil {
 		return 2, err
 	}
-	pkgs, err := loader.LoadPatterns(root, modPath, patterns)
+	var pkgs []*lint.Package
+	if opts.parallel {
+		pkgs, err = loader.LoadPatternsParallel(root, modPath, patterns, 0)
+	} else {
+		pkgs, err = loader.LoadPatterns(root, modPath, patterns)
+	}
 	if err != nil {
 		return 2, err
 	}
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(out, "typecheck: %s: %v\n", pkg.Path, terr)
-		}
-	}
-	diags, err := lint.RunAnalyzers(pkgs, lint.All())
-	if err != nil {
-		return 2, err
-	}
-	bad := 0
-	for _, d := range diags {
-		if d.Suppressed {
-			if verbose {
-				fmt.Fprintf(out, "%s [suppressed]\n", d)
+	if opts.format == "text" {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(out, "typecheck: %s: %v\n", pkg.Path, terr)
 			}
-			continue
 		}
-		bad++
-		fmt.Fprintln(out, d)
 	}
-	if bad > 0 {
-		fmt.Fprintf(out, "rpnlint: %d finding(s)\n", bad)
+	res, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		return 2, err
+	}
+
+	bad := 0
+	for _, d := range res.Diagnostics {
+		if !d.Suppressed && d.Severity.FailsUnder(opts.failOn) {
+			bad++
+		}
+	}
+	stale := res.Stale()
+
+	switch opts.format {
+	case "json":
+		if err := lint.WriteJSON(out, res, root); err != nil {
+			return 2, err
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(out, res, lint.All(), root); err != nil {
+			return 2, err
+		}
+	default:
+		for _, d := range res.Diagnostics {
+			if d.Suppressed {
+				if opts.verbose {
+					fmt.Fprintf(out, "%s [suppressed]\n", d)
+				}
+				continue
+			}
+			fmt.Fprintln(out, d)
+		}
+		if bad > 0 {
+			fmt.Fprintf(out, "rpnlint: %d finding(s)\n", bad)
+		}
+		if opts.stale {
+			for _, d := range stale {
+				why := "suppresses nothing"
+				if !d.Known {
+					why = "names an unknown analyzer"
+				}
+				fmt.Fprintf(out, "stale: %s %s\n", d, why)
+			}
+			if len(stale) > 0 {
+				fmt.Fprintf(out, "rpnlint: %d stale suppression(s)\n", len(stale))
+			}
+		}
+	}
+
+	if bad > 0 || (opts.stale && len(stale) > 0) {
 		return 1, nil
 	}
 	return 0, nil

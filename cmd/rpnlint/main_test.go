@@ -1,24 +1,26 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// textOpts is the default CLI configuration (text output, everything
+// gates, serial loader — tests that care about the parallel path opt in).
+var textOpts = options{format: "text", failOn: "warning"}
+
 // TestRunFlagsFixturePackage drives the real driver over the floateq
 // fixture tree: the analyzer must fire on the seeded violations and the
 // process-level contract (exit code 1, findings then a count line) must
 // hold.
 func TestRunFlagsFixturePackage(t *testing.T) {
-	root, err := findModuleRoot(mustGetwd(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	root := moduleRoot(t)
 	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
 	var out strings.Builder
-	code, err := run(root, []string{fixture}, false, &out)
+	code, err := run(root, []string{fixture}, textOpts, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -37,16 +39,15 @@ func TestRunFlagsFixturePackage(t *testing.T) {
 // findings with the [suppressed] tag while still exiting clean when every
 // finding is suppressed or absent.
 func TestRunVerboseShowsSuppressed(t *testing.T) {
-	root, err := findModuleRoot(mustGetwd(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	root := moduleRoot(t)
 	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
 	var quiet, verbose strings.Builder
-	if _, err := run(root, []string{fixture}, false, &quiet); err != nil {
+	if _, err := run(root, []string{fixture}, textOpts, &quiet); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(root, []string{fixture}, true, &verbose); err != nil {
+	vOpts := textOpts
+	vOpts.verbose = true
+	if _, err := run(root, []string{fixture}, vOpts, &verbose); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(quiet.String(), "[suppressed]") {
@@ -60,12 +61,9 @@ func TestRunVerboseShowsSuppressed(t *testing.T) {
 // TestRunCleanTree checks exit 0 and silence on a pattern with no
 // findings.
 func TestRunCleanTree(t *testing.T) {
-	root, err := findModuleRoot(mustGetwd(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	root := moduleRoot(t)
 	var out strings.Builder
-	code, err := run(root, []string{"internal/lint/linttest"}, false, &out)
+	code, err := run(root, []string{"internal/lint/linttest"}, textOpts, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -74,11 +72,229 @@ func TestRunCleanTree(t *testing.T) {
 	}
 }
 
-func mustGetwd(t *testing.T) string {
+// TestRunJSONFormat checks the -format=json document: findings with
+// relative paths, suppression directives, and derived summary counts.
+func TestRunJSONFormat(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
+	opts := textOpts
+	opts.format = "json"
+	var out strings.Builder
+	code, err := run(root, []string{fixture}, opts, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out.String())
+	}
+	var doc struct {
+		Findings []struct {
+			Analyzer   string `json:"analyzer"`
+			Severity   string `json:"severity"`
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Suppressed bool   `json:"suppressed"`
+		} `json:"findings"`
+		Directives []struct {
+			Analyzer string `json:"analyzer"`
+			Used     bool   `json:"used"`
+			Known    bool   `json:"known"`
+		} `json:"directives"`
+		Summary struct {
+			Total      int `json:"total"`
+			Suppressed int `json:"suppressed"`
+			Stale      int `json:"stale"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Findings) == 0 || doc.Summary.Total != len(doc.Findings) {
+		t.Fatalf("summary.total=%d, findings=%d", doc.Summary.Total, len(doc.Findings))
+	}
+	suppressed := 0
+	for _, f := range doc.Findings {
+		if f.Analyzer != "floateq" || f.Severity != "warning" {
+			t.Errorf("unexpected finding %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q is absolute; want relative to module root", f.File)
+		}
+		if f.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 || doc.Summary.Suppressed != suppressed {
+		t.Errorf("summary.suppressed=%d, counted %d (fixture seeds suppressed findings)", doc.Summary.Suppressed, suppressed)
+	}
+	if len(doc.Directives) == 0 {
+		t.Error("no directives reported; fixture has lint:allow comments")
+	}
+}
+
+// TestRunSARIFFormat checks -format=sarif structure: version, rule
+// metadata for every analyzer, results with locations, and inSource
+// suppression objects for suppressed findings.
+func TestRunSARIFFormat(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
+	opts := textOpts
+	opts.format = "sarif"
+	var out strings.Builder
+	code, err := run(root, []string{fixture}, opts, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "rpnlint" {
+		t.Errorf("driver name = %q", run0.Tool.Driver.Name)
+	}
+	if len(run0.Tool.Driver.Rules) != 8 {
+		t.Errorf("rules = %d, want 8 (one per analyzer)", len(run0.Tool.Driver.Rules))
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("no results in SARIF output")
+	}
+	sawSuppressed := false
+	for _, r := range run0.Results {
+		if r.RuleID != "floateq" || r.Level != "warning" {
+			t.Errorf("unexpected result %+v", r)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result missing location: %+v", r)
+		}
+		for _, s := range r.Suppressions {
+			if s.Kind == "inSource" {
+				sawSuppressed = true
+			}
+		}
+	}
+	if !sawSuppressed {
+		t.Error("no inSource suppression objects; fixture seeds suppressed findings")
+	}
+}
+
+// TestRunStaleAudit checks that -stale fails a run whose lint:allow
+// directives suppress nothing, including unknown analyzer names.
+func TestRunStaleAudit(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "stale")
+	opts := textOpts
+	opts.stale = true
+	var out strings.Builder
+	code, err := run(root, []string{fixture}, opts, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stale directives)\noutput:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "stale: ") || !strings.Contains(got, "2 stale suppression(s)") {
+		t.Errorf("missing stale report:\n%s", got)
+	}
+	if !strings.Contains(got, "names an unknown analyzer") {
+		t.Errorf("unknown-analyzer directive not called out:\n%s", got)
+	}
+	// Without -stale the same tree is clean.
+	var quiet strings.Builder
+	code, err = run(root, []string{fixture}, textOpts, &quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || quiet.Len() != 0 {
+		t.Errorf("without -stale: exit=%d output=%q, want clean pass", code, quiet.String())
+	}
+}
+
+// TestRunFailOnError checks that -fail-on=error exits clean on
+// warning-only findings while still printing them.
+func TestRunFailOnError(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
+	opts := textOpts
+	opts.failOn = "error"
+	var out strings.Builder
+	code, err := run(root, []string{fixture}, opts, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (floateq is warning severity)\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "(floateq)") {
+		t.Errorf("warnings should still print under -fail-on=error:\n%s", out.String())
+	}
+}
+
+// TestRunParallelMatchesSerial checks the parallel loader produces
+// byte-identical driver output.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "floateq")
+	var serial, parallel strings.Builder
+	sOpts := textOpts
+	if _, err := run(root, []string{fixture}, sOpts, &serial); err != nil {
+		t.Fatal(err)
+	}
+	pOpts := textOpts
+	pOpts.parallel = true
+	if _, err := run(root, []string{fixture}, pOpts, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel output differs from serial:\n--- serial\n%s--- parallel\n%s", serial.String(), parallel.String())
+	}
+}
+
+func moduleRoot(t *testing.T) string {
 	t.Helper()
 	cwd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return cwd
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
 }

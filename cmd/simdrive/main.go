@@ -365,6 +365,20 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 		})
 	}
 
+	// Watchdog-driven integrity scrubbing: while an instance sits at
+	// Degraded, periodically re-enforce its masks so silent pruned-position
+	// corruption is repaired before the fault streak reaches quarantine.
+	scrubber := health.NewScrubber(monitor, 25*time.Millisecond, func(name string, repaired int64) {
+		if repaired > 0 {
+			fmt.Printf("health: scrub repaired %d pruned positions on %s\n", repaired, name)
+		}
+	})
+	for _, v := range vehicles {
+		scrubber.Track(v.inst.Name(), v.inst)
+	}
+	scrubber.Start(context.Background())
+	defer scrubber.Stop()
+
 	// Optional fleet budget governor: one initial pass so the fleet starts
 	// inside the envelope, then a periodic rebalance loop for the duration
 	// of the run.

@@ -1,0 +1,124 @@
+package health
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ScrubTarget is the repair seam the Scrubber drives: re-enforce the
+// current level's masks on the live weights and report how many pruned
+// positions were repaired. Both *fleet.Instance and *core.ReversibleModel
+// satisfy it.
+type ScrubTarget interface {
+	Scrub() int64
+}
+
+// Scrubber periodically runs Scrub on every tracked instance the monitor
+// holds at Degraded. A degraded instance faulted recently — if the fault
+// was silent corruption of pruned positions, the scrub repairs it before
+// the fault streak reaches quarantine; Healthy instances are left alone
+// (their integrity is not in doubt, and a scrub takes the instance lock),
+// and Quarantined/Probation instances hold the emergency-restored dense
+// level, where there are no pruned positions to repair.
+//
+// The background loop is cancellable and joinable: Start derives a
+// sub-context, the loop selects on its Done channel, and Stop cancels then
+// waits — the goroutine can neither leak nor outlive the Scrubber (the
+// goroleak analyzer checks exactly this shape).
+type Scrubber struct {
+	mon      *Monitor
+	interval time.Duration
+	// onScrub, when non-nil, receives every scrub performed and the number
+	// of positions it repaired (a repaired>0 scrub is a caught corruption).
+	onScrub func(name string, repaired int64)
+
+	mu      sync.Mutex
+	targets map[string]ScrubTarget
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewScrubber builds a scrubber over the monitor's state view. interval
+// <= 0 selects 1s. onScrub may be nil.
+func NewScrubber(mon *Monitor, interval time.Duration, onScrub func(name string, repaired int64)) *Scrubber {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Scrubber{
+		mon:      mon,
+		interval: interval,
+		onScrub:  onScrub,
+		targets:  map[string]ScrubTarget{},
+	}
+}
+
+// Track registers the instance's repair seam under the same name the
+// monitor knows it by. Tracking is independent of Monitor.Register so the
+// scrubber can be wired before or after the watchdog.
+func (s *Scrubber) Track(name string, t ScrubTarget) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.targets[name] = t
+}
+
+// RunOnce scrubs every tracked Degraded instance and returns the repaired
+// count per scrubbed instance. It is the loop body, exported so tests and
+// drills can drive the scrubber deterministically without the ticker.
+func (s *Scrubber) RunOnce() map[string]int64 {
+	s.mu.Lock()
+	targets := make(map[string]ScrubTarget, len(s.targets))
+	for name, t := range s.targets {
+		targets[name] = t
+	}
+	s.mu.Unlock()
+
+	out := map[string]int64{}
+	for name, t := range targets {
+		if s.mon.State(name) != Degraded {
+			continue
+		}
+		// Scrub outside the scrubber's lock: it takes the instance lock and
+		// can contend with the serving path.
+		repaired := t.Scrub()
+		out[name] = repaired
+		if s.onScrub != nil {
+			s.onScrub(name, repaired)
+		}
+	}
+	return out
+}
+
+// Start launches the periodic loop. The loop stops when ctx is canceled or
+// Stop is called, whichever comes first. Start is not reentrant: call it
+// once per Scrubber.
+func (s *Scrubber) Start(ctx context.Context) {
+	ctx, s.cancel = context.WithCancel(ctx)
+	s.wg.Add(1)
+	go s.loop(ctx)
+}
+
+// loop ticks until canceled.
+func (s *Scrubber) loop(ctx context.Context) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.RunOnce()
+		}
+	}
+}
+
+// Stop cancels the loop and waits for it to exit. Safe to call without a
+// prior Start, and idempotent.
+func (s *Scrubber) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,138 @@
+package health
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTarget counts scrubs and reports a fixed repaired count.
+type fakeTarget struct {
+	mu       sync.Mutex
+	calls    int
+	repaired int64
+	scrubbed chan struct{}
+}
+
+func (f *fakeTarget) Scrub() int64 {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	if f.scrubbed != nil {
+		select {
+		case f.scrubbed <- struct{}{}:
+		default:
+		}
+	}
+	return f.repaired
+}
+
+func (f *fakeTarget) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func TestScrubberRunOnceScrubsOnlyDegraded(t *testing.T) {
+	mon := NewMonitor(Config{})
+	for _, name := range []string{"healthy", "degraded", "quarantined"} {
+		if err := mon.Register(name, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.ObserveFault("degraded", ReasonError)
+	if got := mon.State("degraded"); got != Degraded {
+		t.Fatalf("setup: state = %v, want Degraded", got)
+	}
+	mon.ObserveFault("quarantined", ReasonError)
+	mon.ObserveFault("quarantined", ReasonError)
+	mon.ObserveFault("quarantined", ReasonError)
+	if got := mon.State("quarantined"); got != Quarantined {
+		t.Fatalf("setup: state = %v, want Quarantined", got)
+	}
+
+	var gotName string
+	var gotRepaired int64
+	s := NewScrubber(mon, time.Hour, func(name string, repaired int64) {
+		gotName, gotRepaired = name, repaired
+	})
+	targets := map[string]*fakeTarget{
+		"healthy":              {repaired: 1},
+		"degraded":             {repaired: 7},
+		"quarantined":          {repaired: 2},
+		"untracked-in-monitor": {repaired: 3},
+	}
+	for name, tgt := range targets {
+		s.Track(name, tgt)
+	}
+
+	out := s.RunOnce()
+	if len(out) != 1 || out["degraded"] != 7 {
+		t.Fatalf("RunOnce = %v, want map[degraded:7]", out)
+	}
+	if targets["healthy"].callCount() != 0 || targets["quarantined"].callCount() != 0 {
+		t.Error("RunOnce scrubbed a non-Degraded instance")
+	}
+	if targets["untracked-in-monitor"].callCount() != 0 {
+		t.Error("RunOnce scrubbed an instance the monitor reports Healthy by default")
+	}
+	if targets["degraded"].callCount() != 1 {
+		t.Errorf("degraded scrubbed %d times, want 1", targets["degraded"].callCount())
+	}
+	if gotName != "degraded" || gotRepaired != 7 {
+		t.Errorf("onScrub got (%q, %d), want (degraded, 7)", gotName, gotRepaired)
+	}
+}
+
+func TestScrubberPeriodicLoopAndStop(t *testing.T) {
+	mon := NewMonitor(Config{})
+	if err := mon.Register("inst", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon.ObserveFault("inst", ReasonError)
+
+	tgt := &fakeTarget{scrubbed: make(chan struct{}, 1)}
+	s := NewScrubber(mon, time.Millisecond, nil)
+	s.Track("inst", tgt)
+	s.Start(context.Background())
+	select {
+	case <-tgt.scrubbed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("periodic loop never scrubbed the degraded instance")
+	}
+	s.Stop()
+	// After Stop joins the loop, no further scrubs happen.
+	calls := tgt.callCount()
+	time.Sleep(10 * time.Millisecond)
+	if tgt.callCount() != calls {
+		t.Error("scrub loop kept running after Stop")
+	}
+	s.Stop() // idempotent
+}
+
+func TestScrubberContextCancelStopsLoop(t *testing.T) {
+	mon := NewMonitor(Config{})
+	if err := mon.Register("inst", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon.ObserveFault("inst", ReasonError)
+
+	tgt := &fakeTarget{scrubbed: make(chan struct{}, 1)}
+	s := NewScrubber(mon, time.Millisecond, nil)
+	s.Track("inst", tgt)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	select {
+	case <-tgt.scrubbed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("periodic loop never scrubbed the degraded instance")
+	}
+	cancel()
+	s.Stop() // joins even though the context, not Stop, ended the loop
+}
+
+func TestScrubberStopWithoutStart(t *testing.T) {
+	s := NewScrubber(NewMonitor(Config{}), 0, nil)
+	s.Stop() // must not panic or hang
+}

@@ -31,14 +31,51 @@ import (
 	"strings"
 )
 
+// Severity ranks an analyzer's findings for CI ingestion. Every severity
+// still gates verify.sh by default; the tiers exist so downstream tooling
+// (SARIF viewers, dashboards) can rank, and so a driver flag can relax the
+// gate deliberately rather than by accident.
+type Severity string
+
+const (
+	// SeverityError marks invariants whose violation is a direct safety
+	// defect: a leak, a masked failure, a data race, a panic in a hot path.
+	SeverityError Severity = "error"
+	// SeverityWarning marks discipline rules (determinism, float hygiene)
+	// whose violation degrades replayability or reviewability rather than
+	// breaking the restore guarantee outright.
+	SeverityWarning Severity = "warning"
+)
+
+// FailsUnder reports whether a finding of this severity fails the build
+// when the driver's gate is set to min ("error" gates only errors,
+// "warning" gates everything). An empty severity counts as an error.
+func (s Severity) FailsUnder(min Severity) bool {
+	if min == SeverityError {
+		return s != SeverityWarning
+	}
+	return true
+}
+
 // Analyzer is one named check. It mirrors analysis.Analyzer.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and in lint:allow comments.
 	Name string
 	// Doc is a one-paragraph description, shown by `rpnlint -help`.
 	Doc string
+	// Severity is the tier stamped on the analyzer's findings
+	// (SeverityError when left zero).
+	Severity Severity
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
+}
+
+// severity resolves the zero value.
+func (a *Analyzer) severity() Severity {
+	if a.Severity == "" {
+		return SeverityError
+	}
+	return a.Severity
 }
 
 // Pass carries one package's parsed and type-checked state to an analyzer.
@@ -63,6 +100,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diagnostics = append(*p.diagnostics, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -77,6 +115,7 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 // Diagnostic is one finding with its resolved source position.
 type Diagnostic struct {
 	Analyzer   string
+	Severity   Severity
 	Pos        token.Position
 	Message    string
 	Suppressed bool
@@ -86,26 +125,59 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
+// Directive is one //lint:allow(...) suppression comment, tracked for the
+// stale-suppression audit: a directive that suppressed no diagnostic in a
+// whole-repo run is dead weight hiding nothing, and usually marks code that
+// was since fixed (delete the comment) or an analyzer rename (fix the name).
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Position
+	// Analyzer is one name from the directive's parenthesized list (a
+	// comment naming several analyzers yields one Directive each).
+	Analyzer string
+	// Used records whether any diagnostic was suppressed by this directive.
+	Used bool
+	// Known records whether Analyzer matched a registered analyzer in the
+	// run; an unknown name can never suppress anything.
+	Known bool
+}
+
+func (d Directive) String() string {
+	return fmt.Sprintf("%s:%d: lint:allow(%s)", d.Pos.Filename, d.Pos.Line, d.Analyzer)
+}
+
 // allowRe extracts the analyzer list from a lint:allow comment.
 var allowRe = regexp.MustCompile(`lint:allow\(([^)]+)\)`)
 
-// suppressionIndex maps "file:line" to the set of analyzer names allowed
-// there. A comment on line L grants the allowance to line L and line L+1,
-// covering both the trailing-comment and comment-above placements.
-type suppressionIndex map[string]map[string]bool
+// directiveRe recognizes a directive-shaped comment: the comment must
+// *begin* with lint:allow so that prose merely mentioning the syntax (doc
+// comments, examples) neither suppresses findings nor trips the stale
+// audit.
+var directiveRe = regexp.MustCompile(`^//\s*lint:allow\(`)
 
-func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+// suppressionIndex maps "file:line" to the directives allowed there, keyed
+// by analyzer name. A comment on line L grants the allowance to line L and
+// line L+1, covering both the trailing-comment and comment-above
+// placements; both keys point at the same *Directive so one use marks it.
+type suppressionIndex map[string]map[string][]*Directive
+
+// buildSuppressions indexes every directive-shaped lint:allow comment in
+// files and appends the discovered directives to *out.
+func buildSuppressions(fset *token.FileSet, files []*ast.File, out *[]*Directive) suppressionIndex {
 	idx := suppressionIndex{}
-	add := func(file string, line int, name string) {
+	add := func(file string, line int, d *Directive) {
 		key := fmt.Sprintf("%s:%d", file, line)
 		if idx[key] == nil {
-			idx[key] = map[string]bool{}
+			idx[key] = map[string][]*Directive{}
 		}
-		idx[key][name] = true
+		idx[key][d.Analyzer] = append(idx[key][d.Analyzer], d)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if !directiveRe.MatchString(c.Text) {
+					continue
+				}
 				for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
 					pos := fset.Position(c.Pos())
 					for _, name := range strings.Split(m[1], ",") {
@@ -113,8 +185,12 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex 
 						if name == "" {
 							continue
 						}
-						add(pos.Filename, pos.Line, name)
-						add(pos.Filename, pos.Line+1, name)
+						d := &Directive{Pos: pos, Analyzer: name}
+						if out != nil {
+							*out = append(*out, d)
+						}
+						add(pos.Filename, pos.Line, d)
+						add(pos.Filename, pos.Line+1, d)
 					}
 				}
 			}
@@ -123,17 +199,50 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex 
 	return idx
 }
 
+// allows reports whether a directive covers d, marking every covering
+// directive used.
 func (s suppressionIndex) allows(d Diagnostic) bool {
 	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-	return s[key][d.Analyzer]
+	ds := s[key][d.Analyzer]
+	for _, dir := range ds {
+		dir.Used = true
+	}
+	return len(ds) > 0
 }
 
-// RunAnalyzers runs every analyzer over every package and returns all
-// findings, suppressed ones included (marked), sorted by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Result is one Run's complete output: every finding (suppressed ones
+// included, marked) and every suppression directive (used ones marked).
+type Result struct {
+	Diagnostics []Diagnostic
+	Directives  []Directive
+}
+
+// Stale returns the directives that suppressed nothing — the
+// stale-suppression audit's finding list. Only meaningful for runs that
+// covered every package and analyzer the directives could apply to (a
+// partial run under-reports uses).
+func (r *Result) Stale() []Directive {
+	var stale []Directive
+	for _, d := range r.Directives {
+		if !d.Used {
+			stale = append(stale, d)
+		}
+	}
+	return stale
+}
+
+// Run applies every analyzer to every package and returns all findings
+// sorted by position, plus the suppression directives seen, sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var all []Diagnostic
+	var dirs []*Directive
 	for _, pkg := range pkgs {
-		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		sup := buildSuppressions(pkg.Fset, pkg.Files, &dirs)
 		for _, a := range analyzers {
 			var diags []Diagnostic
 			pass := &Pass{
@@ -167,7 +276,33 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return all, nil
+	res := &Result{Diagnostics: all}
+	for _, d := range dirs {
+		d.Known = known[d.Analyzer]
+		res.Directives = append(res.Directives, *d)
+	}
+	sort.Slice(res.Directives, func(i, j int) bool {
+		a, b := res.Directives[i], res.Directives[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// RunAnalyzers runs every analyzer over every package and returns all
+// findings, suppressed ones included (marked), sorted by position. It is
+// Run without the directive bookkeeping.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := Run(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
 }
 
 // inspectStack walks every file, calling fn with each node and the stack of

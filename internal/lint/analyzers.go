@@ -1,11 +1,22 @@
 package lint
 
+// Severity assignment for the suite: "error" analyzers (nopanic, lockcheck,
+// ctxbound, goroleak, errdrop, atomicmix) guard invariants whose violation
+// is a direct safety defect — a panic in the hot path, a leaked goroutine,
+// a masked failure, a data race, a held lock. "warning" analyzers (floateq,
+// detrand) guard replay and review discipline. Both tiers gate
+// scripts/verify.sh — the tier is for CI dashboards and the -fail-on
+// escape hatch, not a license to ignore.
+
 // All returns the full rpnlint analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AnalyzerAtomicmix,
 		AnalyzerCtxbound,
 		AnalyzerDetrand,
+		AnalyzerErrdrop,
 		AnalyzerFloateq,
+		AnalyzerGoroleak,
 		AnalyzerLockcheck,
 		AnalyzerNopanic,
 	}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAtomicmix extends lockcheck's guarded-field discipline to the
+// lock-free side: a variable or struct field that is accessed through
+// sync/atomic anywhere in the package must be accessed through sync/atomic
+// everywhere — one plain load or store next to atomic ones re-introduces
+// exactly the race the atomics were bought to remove, and the race
+// detector only sees it when a test happens to interleave the two.
+//
+// Mechanics: pass 1 collects every object whose address is taken inside a
+// sync/atomic call (atomic.AddInt64(&s.n, 1) marks s.n); pass 2 flags
+// every other use of those objects outside a sync/atomic call. Composite
+// literal keys are exempt: a struct literal initializes the field before
+// the value can be shared. The cleaner fix is usually the typed atomics
+// (atomic.Int64, atomic.Pointer), which make mixing impossible.
+var AnalyzerAtomicmix = &Analyzer{
+	Name:     "atomicmix",
+	Severity: SeverityError,
+	Doc: "flag non-atomic reads/writes of variables and fields that are accessed through sync/atomic " +
+		"elsewhere in the package; prefer the typed atomics, which make mixing impossible.",
+	Run: runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	// Pass 1: objects addressed inside sync/atomic calls, and every ident
+	// node lexically inside such a call (those uses are the sanctioned
+	// ones).
+	atomicObjs := map[types.Object]string{}
+	inAtomicCall := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Only package-level functions (atomic.AddInt64, atomic.StorePointer,
+			// ...) name their atomic cell through an &arg. For methods on the
+			// typed atomics (atomic.Int64, atomic.Pointer[T]) the cell is the
+			// receiver and the arguments are plain values — an &local passed to
+			// Pointer.Store is not itself shared atomic state.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				for _, arg := range call.Args {
+					if obj := addressedObject(pass, arg); obj != nil {
+						if _, seen := atomicObjs[obj]; !seen {
+							atomicObjs[obj] = fn.Name()
+						}
+					}
+				}
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					inAtomicCall[id] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those objects is a mixing race.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		inspectStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			op, isAtomic := atomicObjs[obj]
+			if !isAtomic || inAtomicCall[id] {
+				return true
+			}
+			if isCompositeLitKey(id, stack) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed with atomic.%s elsewhere in this package; "+
+				"this plain access races with it — use sync/atomic (or a typed atomic) consistently", id.Name, op)
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedObject resolves &x or &s.f to the variable object being
+// addressed, or nil when the argument is not an address-of expression over
+// an identifier or field selector.
+func addressedObject(pass *Pass, arg ast.Expr) types.Object {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isCompositeLitKey reports whether id is the key of a composite literal
+// element — a pre-publication initialization, not a shared-state access.
+func isCompositeLitKey(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, inLit := stack[len(stack)-2].(*ast.CompositeLit)
+	return inLit
+}

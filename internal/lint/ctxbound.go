@@ -32,7 +32,8 @@ var CtxboundPackages = []string{
 // goroutine boundary must be passed as an argument so the data flow is
 // explicit at the spawn site.
 var AnalyzerCtxbound = &Analyzer{
-	Name: "ctxbound",
+	Name:     "ctxbound",
+	Severity: SeverityError,
 	Doc: "in long-lived packages (see CtxboundPackages), flag go-func literals with no " +
 		"done/context/WaitGroup signal and literals that capture enclosing loop variables.",
 	Run: runCtxbound,

@@ -41,7 +41,8 @@ var detrandAllowedFuncs = map[string]bool{
 // flow through an injectable clock seam such as the package-level
 // `var now = time.Now`).
 var AnalyzerDetrand = &Analyzer{
-	Name: "detrand",
+	Name:     "detrand",
+	Severity: SeverityWarning,
 	Doc: "in replay-critical packages (see DetrandPackages), forbid unseeded math/rand top-level " +
 		"functions and bare time.Now(); inject a seeded *rand.Rand and a clock seam instead.",
 	Run: runDetrand,

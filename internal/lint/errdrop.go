@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrdropPackages lists the import paths (exact, or as a prefix of
+// path+"/") where a silently dropped error is a masked failed restore: the
+// reversible core, the fleet fan-out, the watchdog, the chaos harness, and
+// the telemetry pipeline. Everywhere else (examples, experiment tables,
+// CLIs) the cost/benefit of exhaustive error plumbing is different and the
+// standard toolchain rules apply.
+var ErrdropPackages = []string{
+	"repro/internal/core",
+	"repro/internal/fleet",
+	"repro/internal/health",
+	"repro/internal/fault",
+	"repro/internal/telemetry",
+	// Covered by the telemetry prefix rule, listed explicitly because the
+	// exporter's retry path is where a dropped error becomes silent data
+	// loss.
+	"repro/internal/telemetry/otlp",
+}
+
+// AnalyzerErrdrop flags discarded error returns in registered packages
+// (ErrdropPackages): a call used as a bare statement whose results include
+// an error, an error result assigned to the blank identifier, and a
+// deferred Close() on a value that implements io.Writer (the deferred form
+// throws away the flush error — exactly the write the caller thought
+// succeeded). A drop that is genuinely safe must say so with a
+// //lint:allow(errdrop) comment carrying the reason.
+//
+// Exempt by design (documented in docs/LINT.md): the fmt print family
+// (Fprint* only when the destination writer never fails), methods on
+// strings.Builder / bytes.Buffer, and hash.Hash-shaped receivers, whose
+// error results are documented to be always nil or not actionable.
+var AnalyzerErrdrop = &Analyzer{
+	Name:     "errdrop",
+	Severity: SeverityError,
+	Doc: "in failure-critical packages (see ErrdropPackages), flag bare calls that discard an error " +
+		"result, error results assigned to _, and deferred Close() on writers.",
+	Run: runErrdrop,
+}
+
+func runErrdrop(pass *Pass) error {
+	if !errdropApplies(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlankErrors(pass, n)
+			case *ast.DeferStmt:
+				checkDeferredClose(pass, n.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func errdropApplies(pkgPath string) bool {
+	for _, p := range ErrdropPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t can carry an error: the error interface
+// itself or any interface that includes it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Identical(iface, errIface)
+}
+
+// resultErrs returns the indices of error-typed results in the call's
+// result list (empty when none, or when call is a type conversion).
+func resultErrs(pass *Pass, call *ast.CallExpr) []int {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var idxs []int
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				idxs = append(idxs, i)
+			}
+		}
+		return idxs
+	}
+	if isErrorType(t) {
+		idxs = append(idxs, 0)
+	}
+	return idxs
+}
+
+// errdropExempt reports whether the callee's dropped error is sanctioned:
+// the fmt print family (including Fprint* when the destination is a
+// never-failing writer), methods on strings.Builder / bytes.Buffer, and
+// methods on hash.Hash-shaped receivers — all documented to return a nil
+// or non-actionable error.
+func errdropExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		if strings.Contains(fn.Name(), "Print") {
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			return neverFailsWriter(pass.TypesInfo.TypeOf(call.Args[0]))
+		}
+	}
+	switch fn.Pkg().Path() + "." + recvNamed(fn) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if recv := pass.TypesInfo.TypeOf(sel.X); recv != nil && isHashShaped(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// neverFailsWriter reports whether t is a writer whose Write is documented
+// never to return an error: strings.Builder, bytes.Buffer, or a hash.Hash
+// (all detected through at most one pointer indirection).
+func neverFailsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return isHashShaped(t)
+}
+
+// isHashShaped reports whether t's method set matches hash.Hash (Write +
+// Sum([]byte) []byte + Reset() + Size() int + BlockSize() int), detected
+// structurally so the framework needs no importer access to hash.
+func isHashShaped(t types.Type) bool {
+	need := map[string]bool{"Write": false, "Sum": false, "Reset": false, "Size": false, "BlockSize": false}
+	for _, probe := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(probe)
+		for i := 0; i < ms.Len(); i++ {
+			name := ms.At(i).Obj().Name()
+			if _, wanted := need[name]; wanted {
+				need[name] = true
+			}
+		}
+	}
+	for _, ok := range need {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// calleeFunc resolves the called function object, or nil for func values
+// and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkBareCall flags an expression-statement call that returns an error
+// nobody looks at.
+func checkBareCall(pass *Pass, call *ast.CallExpr) {
+	if len(resultErrs(pass, call)) == 0 || errdropExempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call discards its error result; handle the error (or suppress with a reasoned //lint:allow(errdrop))")
+}
+
+// checkBlankErrors flags error results assigned to _.
+func checkBlankErrors(pass *Pass, as *ast.AssignStmt) {
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	// Tuple form: a, _ := f() — one call, results map 1:1 onto the LHS.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || errdropExempt(pass, call) {
+			return
+		}
+		for _, i := range resultErrs(pass, call) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				pass.Reportf(as.Lhs[i].Pos(), "error result discarded with _; handle the error (or suppress with a reasoned //lint:allow(errdrop))")
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), or a, _ = f(), g().
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || errdropExempt(pass, call) {
+			continue
+		}
+		if len(resultErrs(pass, call)) > 0 {
+			pass.Reportf(as.Lhs[i].Pos(), "error result discarded with _; handle the error (or suppress with a reasoned //lint:allow(errdrop))")
+		}
+	}
+}
+
+// checkDeferredClose flags `defer x.Close()` when x implements io.Writer:
+// the deferred error vanishes, and for writers that error is the flush.
+func checkDeferredClose(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return
+	}
+	if len(resultErrs(pass, call)) == 0 {
+		return
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !implementsWriter(recv) {
+		return
+	}
+	pass.Reportf(call.Pos(), "deferred Close on a writer discards the flush error; check Close explicitly on the success path")
+}
+
+// implementsWriter reports whether t (or *t) has a Write([]byte) (int,
+// error) method — the io.Writer shape, detected structurally so the lint
+// framework needs no importer access to io.
+func implementsWriter(t types.Type) bool {
+	for _, probe := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(probe)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != "Write" {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+				continue
+			}
+			if sl, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+				if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+					if isErrorType(sig.Results().At(1).Type()) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -13,7 +13,8 @@ import (
 // //lint:allow(floateq) where bit-exactness is the point — e.g. the
 // pruned-weights-are-exact-zeros sparse skip).
 var AnalyzerFloateq = &Analyzer{
-	Name: "floateq",
+	Name:     "floateq",
+	Severity: SeverityWarning,
 	Doc: "flag ==/!= between floating-point expressions; compare through metrics.ApproxEqual, " +
 		"or suppress with //lint:allow(floateq) where exact bit equality is intended.",
 	Run: runFloateq,

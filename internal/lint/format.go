@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// jsonFinding is one diagnostic in the machine-readable report.
+type jsonFinding struct {
+	Analyzer   string   `json:"analyzer"`
+	Severity   Severity `json:"severity"`
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Column     int      `json:"column"`
+	Message    string   `json:"message"`
+	Suppressed bool     `json:"suppressed,omitempty"`
+}
+
+// jsonDirective is one lint:allow comment in the machine-readable report.
+type jsonDirective struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Used     bool   `json:"used"`
+	Known    bool   `json:"known"`
+}
+
+// jsonReport is the -format=json document. Counts in Summary are derived
+// from the same slices the document carries so consumers never need to
+// recompute them.
+type jsonReport struct {
+	Findings   []jsonFinding   `json:"findings"`
+	Directives []jsonDirective `json:"directives"`
+	Summary    struct {
+		Total      int `json:"total"`
+		Suppressed int `json:"suppressed"`
+		Stale      int `json:"stale"`
+	} `json:"summary"`
+}
+
+// relPath makes file relative to relTo (slash-separated for portability);
+// it falls back to the absolute path when no relative form exists.
+func relPath(relTo, file string) string {
+	if relTo == "" {
+		return file
+	}
+	rel, err := filepath.Rel(relTo, file)
+	if err != nil {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteJSON encodes the result as a stable, indented JSON document. File
+// paths are written relative to relTo when possible so reports do not leak
+// build-host directory layouts.
+func WriteJSON(w io.Writer, res *Result, relTo string) error {
+	doc := jsonReport{Findings: []jsonFinding{}, Directives: []jsonDirective{}}
+	for _, d := range res.Diagnostics {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			Analyzer:   d.Analyzer,
+			Severity:   d.Severity,
+			File:       relPath(relTo, d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Column:     d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+		doc.Summary.Total++
+		if d.Suppressed {
+			doc.Summary.Suppressed++
+		}
+	}
+	for _, d := range res.Directives {
+		doc.Directives = append(doc.Directives, jsonDirective{
+			File:     relPath(relTo, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Used:     d.Used,
+			Known:    d.Known,
+		})
+		if !d.Used {
+			doc.Summary.Stale++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// sarifLevel maps the suite's severities onto SARIF reportingConfiguration
+// levels.
+func sarifLevel(s Severity) string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// WriteSARIF encodes the result as a minimal SARIF 2.1.0 log so findings
+// ingest into code-scanning UIs. Suppressed findings are emitted with an
+// inSource suppression object rather than dropped — reviewers can audit
+// what the allow comments hide. analyzers supplies the rule metadata; every
+// diagnostic's analyzer must be present in it.
+func WriteSARIF(w io.Writer, res *Result, analyzers []*Analyzer, relTo string) error {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+		DefaultConfig    struct {
+			Level string `json:"level"`
+		} `json:"defaultConfiguration"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region struct {
+				StartLine   int `json:"startLine"`
+				StartColumn int `json:"startColumn"`
+			} `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifSuppression struct {
+		Kind string `json:"kind"`
+	}
+	type sarifResult struct {
+		RuleID       string             `json:"ruleId"`
+		Level        string             `json:"level"`
+		Message      sarifMessage       `json:"message"`
+		Locations    []sarifLocation    `json:"locations"`
+		Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+	}
+
+	rules := make([]sarifRule, 0, len(analyzers))
+	ruleIdx := map[string]bool{}
+	for _, a := range analyzers {
+		r := sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+		r.DefaultConfig.Level = sarifLevel(a.severity())
+		rules = append(rules, r)
+		ruleIdx[a.Name] = true
+	}
+	results := []sarifResult{}
+	for _, d := range res.Diagnostics {
+		if !ruleIdx[d.Analyzer] {
+			return fmt.Errorf("lint: diagnostic from unregistered analyzer %q", d.Analyzer)
+		}
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+		}
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = relPath(relTo, d.Pos.Filename)
+		loc.PhysicalLocation.Region.StartLine = d.Pos.Line
+		loc.PhysicalLocation.Region.StartColumn = d.Pos.Column
+		r.Locations = []sarifLocation{loc}
+		if d.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, r)
+	}
+
+	doc := map[string]any{
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []any{
+			map[string]any{
+				"tool": map[string]any{
+					"driver": map[string]any{
+						"name":           "rpnlint",
+						"informationUri": "docs/LINT.md",
+						"rules":          rules,
+					},
+				},
+				"results": results,
+			},
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

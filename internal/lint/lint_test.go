@@ -51,6 +51,71 @@ func TestCtxbound(t *testing.T) {
 	linttest.Run(t, fixtures(t), lint.AnalyzerCtxbound, "ctxbound")
 }
 
+func TestGoroleak(t *testing.T) {
+	old := lint.GoroleakPackages
+	lint.GoroleakPackages = append([]string{"goroleak"}, old...)
+	defer func() { lint.GoroleakPackages = old }()
+	linttest.Run(t, fixtures(t), lint.AnalyzerGoroleak, "goroleak")
+}
+
+func TestGoroleakSilentOutsideRegisteredPackages(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerGoroleak, "goroleakoff")
+}
+
+func TestErrdrop(t *testing.T) {
+	old := lint.ErrdropPackages
+	lint.ErrdropPackages = append([]string{"errdrop"}, old...)
+	defer func() { lint.ErrdropPackages = old }()
+	linttest.Run(t, fixtures(t), lint.AnalyzerErrdrop, "errdrop")
+}
+
+func TestErrdropSilentOutsideRegisteredPackages(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerErrdrop, "errdropoff")
+}
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.AnalyzerAtomicmix, "atomicmix")
+}
+
+func TestSeverities(t *testing.T) {
+	want := map[string]lint.Severity{
+		"atomicmix": lint.SeverityError,
+		"ctxbound":  lint.SeverityError,
+		"detrand":   lint.SeverityWarning,
+		"errdrop":   lint.SeverityError,
+		"floateq":   lint.SeverityWarning,
+		"goroleak":  lint.SeverityError,
+		"lockcheck": lint.SeverityError,
+		"nopanic":   lint.SeverityError,
+	}
+	if len(lint.All()) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(lint.All()), len(want))
+	}
+	for _, a := range lint.All() {
+		if a.Severity != want[a.Name] {
+			t.Errorf("%s severity = %q, want %q", a.Name, a.Severity, want[a.Name])
+		}
+	}
+}
+
+func TestSeverityFailsUnder(t *testing.T) {
+	cases := []struct {
+		sev, min lint.Severity
+		want     bool
+	}{
+		{lint.SeverityError, lint.SeverityWarning, true},
+		{lint.SeverityWarning, lint.SeverityWarning, true},
+		{lint.SeverityError, lint.SeverityError, true},
+		{lint.SeverityWarning, lint.SeverityError, false},
+		{"", lint.SeverityError, true}, // zero severity counts as error
+	}
+	for _, c := range cases {
+		if got := c.sev.FailsUnder(c.min); got != c.want {
+			t.Errorf("Severity(%q).FailsUnder(%q) = %v, want %v", c.sev, c.min, got, c.want)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		if got := lint.ByName(a.Name); got != a {

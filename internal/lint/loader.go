@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -34,12 +35,24 @@ type Package struct {
 // itself; everything else (the standard library) resolves through the
 // source importer, which type-checks GOROOT packages from source and so
 // needs no export data, network, or module cache.
+//
+// The package cache and the standard-library importer are guarded by
+// mutexes so LoadPatternsParallel can type-check independent packages on
+// separate goroutines; token.FileSet is safe for concurrent use by
+// construction. Load itself remains a single-goroutine recursive walk.
 type Loader struct {
 	fset *token.FileSet
 	// resolve maps an import path to a source directory for paths the
 	// loader owns; ok=false falls through to the standard-library importer.
 	resolve func(path string) (dir string, ok bool)
-	std     types.Importer
+	// stdMu serializes the source importer, which caches internally but is
+	// not documented concurrency-safe. Contention is front-loaded: once a
+	// standard-library package is cached, Import is a map hit.
+	stdMu sync.Mutex
+	std   types.Importer
+	// mu guards pkgs. loading is only touched by the single-goroutine
+	// recursive Load path.
+	mu      sync.Mutex
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -53,6 +66,29 @@ func newLoader(resolve func(string) (string, bool)) *Loader {
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
 	}
+}
+
+// cached returns the already-loaded package at importPath.
+func (l *Loader) cached(importPath string) (*Package, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pkg, ok := l.pkgs[importPath]
+	return pkg, ok
+}
+
+// store caches a completed package.
+func (l *Loader) store(pkg *Package) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pkgs[pkg.Path] = pkg
+}
+
+// stdImport resolves a standard-library import through the serialized
+// source importer.
+func (l *Loader) stdImport(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
+	return l.std.Import(path)
 }
 
 // NewModuleLoader loads packages of the module rooted at root, reading the
@@ -103,7 +139,7 @@ func modulePath(gomod string) (string, error) {
 // Load returns the package at importPath, loading and type-checking it (and
 // transitively its in-tree imports) on first use.
 func (l *Loader) Load(importPath string) (*Package, error) {
-	if pkg, ok := l.pkgs[importPath]; ok {
+	if pkg, ok := l.cached(importPath); ok {
 		return pkg, nil
 	}
 	dir, ok := l.resolve(importPath)
@@ -120,6 +156,36 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	// In-tree dependency failures (unparseable dir, import cycle) are load
+	// errors, not type errors: the type-checker's Error hook would otherwise
+	// swallow them into TypeErrors, and the parallel loader hard-fails on
+	// the same conditions.
+	var depErr error
+	pkg, err := l.check(importPath, dir, files, importerFunc(func(path string) (*types.Package, error) {
+		if _, ok := l.resolve(path); ok {
+			dep, err := l.Load(path)
+			if err != nil {
+				if depErr == nil {
+					depErr = err
+				}
+				return nil, err
+			}
+			return dep.Types, nil
+		}
+		return l.stdImport(path)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if depErr != nil {
+		return nil, depErr
+	}
+	l.store(pkg)
+	return pkg, nil
+}
+
+// check type-checks one parsed package through imp.
+func (l *Loader) check(importPath, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
 	}
@@ -133,17 +199,8 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{
-		Importer: importerFunc(func(path string) (*types.Package, error) {
-			if _, ok := l.resolve(path); ok {
-				dep, err := l.Load(path)
-				if err != nil {
-					return nil, err
-				}
-				return dep.Types, nil
-			}
-			return l.std.Import(path)
-		}),
-		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
 	if tpkg == nil {
@@ -151,7 +208,6 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	}
 	pkg.Types = tpkg
 	pkg.Info = info
-	l.pkgs[importPath] = pkg
 	return pkg, nil
 }
 
@@ -183,10 +239,13 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// LoadPatterns expands the driver's package patterns. Supported forms:
-// "./..." (every package under root), "dir/..." (every package under dir),
-// and plain directory paths relative to root.
-func (l *Loader) LoadPatterns(root, modPath string, patterns []string) ([]*Package, error) {
+// expandPatterns resolves the driver's package patterns to source
+// directories, sorted. Supported forms: "./..." (every package under
+// root), "dir/..." (every package under dir), and plain directory paths
+// relative to root. Hidden, underscore, testdata, and vendor directories
+// are excluded from tree walks — vendored sources are third-party code the
+// suite's invariants do not govern.
+func expandPatterns(root string, patterns []string) ([]string, error) {
 	var dirs []string
 	seen := map[string]bool{}
 	addTree := func(base string) error {
@@ -198,7 +257,8 @@ func (l *Loader) LoadPatterns(root, modPath string, patterns []string) ([]*Packa
 				return nil
 			}
 			name := d.Name()
-			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
 				return filepath.SkipDir
 			}
 			if hasGoFiles(path) && !seen[path] {
@@ -231,15 +291,33 @@ func (l *Loader) LoadPatterns(root, modPath string, patterns []string) ([]*Packa
 		}
 	}
 	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// dirImportPath maps a source directory under root to its import path.
+func dirImportPath(root, modPath, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadPatterns expands the driver's package patterns (see expandPatterns)
+// and loads each package serially.
+func (l *Loader) LoadPatterns(root, modPath string, patterns []string) ([]*Package, error) {
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
 	for _, dir := range dirs {
-		rel, err := filepath.Rel(root, dir)
+		path, err := dirImportPath(root, modPath, dir)
 		if err != nil {
 			return nil, err
-		}
-		path := modPath
-		if rel != "." {
-			path = modPath + "/" + filepath.ToSlash(rel)
 		}
 		pkg, err := l.Load(path)
 		if err != nil {

@@ -1,0 +1,200 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixtureMod returns the loader fixture module root (a tiny module with an
+// in-tree dependency edge, a type-error package, and vendor/testdata
+// directories that must be excluded).
+func fixtureMod(t testing.TB) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func loadFixtureMod(t testing.TB) (*lint.Loader, string) {
+	t.Helper()
+	l, modPath, err := lint.NewModuleLoader(fixtureMod(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, modPath
+}
+
+func pkgPaths(pkgs []*lint.Package) []string {
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	return paths
+}
+
+func TestLoadPatternsExcludesVendorAndTestdata(t *testing.T) {
+	l, modPath := loadFixtureMod(t)
+	pkgs, err := l.LoadPatterns(fixtureMod(t), modPath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pkgPaths(pkgs)
+	want := []string{"fixturemod/a", "fixturemod/b", "fixturemod/typeerr"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("LoadPatterns(./...) = %v, want %v (vendor/ and testdata/ excluded)", got, want)
+	}
+}
+
+func TestLoadSkipsTestFiles(t *testing.T) {
+	// a/skip_test.go is not valid Go; loading succeeds only if the loader
+	// never parses _test.go files.
+	l, _ := loadFixtureMod(t)
+	pkg, err := l.Load("fixturemod/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("fixturemod/a has %d files, want 1 (a.go only)", len(pkg.Files))
+	}
+}
+
+func TestLoadTypeErrorPackageStillAnalyzed(t *testing.T) {
+	l, _ := loadFixtureMod(t)
+	pkg, err := l.Load("fixturemod/typeerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("fixturemod/typeerr loaded with no TypeErrors; fixture should fail type-checking")
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.AnalyzerNopanic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("nopanic reported nothing for a type-error package; analyzers must still run on best-effort info")
+	}
+	if !strings.Contains(diags[0].Message, "panic") {
+		t.Errorf("unexpected diagnostic %q", diags[0])
+	}
+}
+
+func TestLoadUnresolvableImportPath(t *testing.T) {
+	l, _ := loadFixtureMod(t)
+	if _, err := l.Load("no/such/package"); err == nil {
+		t.Fatal("Load of an unresolvable import path should fail")
+	}
+}
+
+func TestLoadRejectsImportCycle(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "cycmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, load := range map[string]func(l *lint.Loader, modPath string) error{
+		"serial": func(l *lint.Loader, modPath string) error {
+			_, err := l.LoadPatterns(root, modPath, []string{"./..."})
+			return err
+		},
+		"parallel": func(l *lint.Loader, modPath string) error {
+			_, err := l.LoadPatternsParallel(root, modPath, []string{"./..."}, 4)
+			return err
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			l, modPath, err := lint.NewModuleLoader(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = load(l, modPath)
+			if err == nil {
+				t.Fatal("loading an import cycle should fail")
+			}
+			if !strings.Contains(err.Error(), "cycle") {
+				t.Errorf("error %q does not mention the cycle", err)
+			}
+		})
+	}
+}
+
+func TestLoadPatternsParallelMatchesSerial(t *testing.T) {
+	serialLoader, modPath := loadFixtureMod(t)
+	serial, err := serialLoader.LoadPatterns(fixtureMod(t), modPath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelLoader, _ := loadFixtureMod(t)
+	parallel, err := parallelLoader.LoadPatternsParallel(fixtureMod(t), modPath, []string{"./..."}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pkgPaths(parallel), pkgPaths(serial); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("parallel packages %v, serial packages %v", got, want)
+	}
+	sres, err := lint.Run(serial, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := lint.Run(parallel, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	format := func(diags []lint.Diagnostic, root string) string {
+		var b strings.Builder
+		for _, d := range diags {
+			rel, err := filepath.Rel(root, d.Pos.Filename)
+			if err != nil {
+				rel = d.Pos.Filename
+			}
+			b.WriteString(rel)
+			b.WriteString(": ")
+			b.WriteString(d.Message)
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	if got, want := format(pres.Diagnostics, fixtureMod(t)), format(sres.Diagnostics, fixtureMod(t)); got != want {
+		t.Errorf("parallel diagnostics differ from serial:\nparallel:\n%swant:\n%s", got, want)
+	}
+}
+
+// BenchmarkRunAnalyzers loads the repository itself and runs the full
+// analyzer suite, comparing the serial loader against the parallel one.
+// Each iteration uses a fresh loader so the type-check work is actually
+// repeated; most of the cost is source-importing the standard library.
+func BenchmarkRunAnalyzers(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := func(b *testing.B, load func(l *lint.Loader, modPath string) ([]*lint.Package, error)) {
+		for i := 0; i < b.N; i++ {
+			l, modPath, err := lint.NewModuleLoader(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs, err := load(l, modPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lint.Run(pkgs, lint.All()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		bench(b, func(l *lint.Loader, modPath string) ([]*lint.Package, error) {
+			return l.LoadPatterns(root, modPath, []string{"./..."})
+		})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		bench(b, func(l *lint.Loader, modPath string) ([]*lint.Package, error) {
+			return l.LoadPatternsParallel(root, modPath, []string{"./..."}, 0)
+		})
+	})
+}

@@ -19,7 +19,8 @@ import (
 //     when the struct also carries a mutex — such fields are meant to be
 //     accessed through the type's own locked methods.
 var AnalyzerLockcheck = &Analyzer{
-	Name: "lockcheck",
+	Name:     "lockcheck",
+	Severity: SeverityError,
 	Doc: "flag mutexes copied by value, Lock() calls with no reachable Unlock in the same function, " +
 		"and cross-package access to exported fields of mutex-guarded structs.",
 	Run: runLockcheck,

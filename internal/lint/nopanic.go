@@ -24,7 +24,8 @@ var NopanicAllowlist = map[string]bool{
 // surface as returned errors. Panics are permitted only inside allowlisted
 // validation helpers or under //lint:allow(nopanic).
 var AnalyzerNopanic = &Analyzer{
-	Name: "nopanic",
+	Name:     "nopanic",
+	Severity: SeverityError,
 	Doc: "forbid panic/log.Fatal in library packages; hot-path failures must be returned errors. " +
 		"Allowlisted shape-validation helpers (see NopanicAllowlist) and //lint:allow(nopanic) sites are exempt.",
 	Run: runNopanic,

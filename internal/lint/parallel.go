@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// LoadPatternsParallel is LoadPatterns with goroutine-per-package
+// type-checking. It returns exactly the packages LoadPatterns would, in
+// the same order, with identical type information — only the wall clock
+// differs.
+//
+// Pipeline: (1) expand the patterns to target directories; (2) parse the
+// targets and, transitively, every in-tree import, fanning the parses
+// across workers (token.FileSet is concurrency-safe); (3) type-check in
+// dependency order — a package starts the moment its in-tree imports are
+// done, so independent subtrees check concurrently. Standard-library
+// imports go through the loader's serialized source importer; in-tree
+// imports resolve from the loader cache, which the schedule guarantees is
+// populated. workers <= 0 selects GOMAXPROCS.
+func (l *Loader) LoadPatternsParallel(root, modPath string, patterns []string, workers int) ([]*Package, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		path, err := dirImportPath(root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, path)
+	}
+
+	graph, err := l.parseClosure(targets, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.checkWaves(graph, workers); err != nil {
+		return nil, err
+	}
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, path := range targets {
+		pkg, ok := l.cached(path)
+		if !ok {
+			return nil, fmt.Errorf("lint: internal: %s missing after parallel load", path)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parsedPkg is one package between the parse and type-check phases.
+type parsedPkg struct {
+	path  string
+	dir   string
+	files []*ast.File
+	// deps are the in-tree imports (paths the loader resolves).
+	deps []string
+}
+
+// parseClosure parses the target packages and every in-tree package they
+// transitively import, using up to workers goroutines. Packages already in
+// the loader cache are returned as empty nodes (no files) so the schedule
+// can treat them as pre-satisfied.
+func (l *Loader) parseClosure(targets []string, workers int) (map[string]*parsedPkg, error) {
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		graph   = map[string]*parsedPkg{}
+		firstEr error
+		sem     = make(chan struct{}, workers)
+	)
+	var enqueue func(path string)
+	enqueue = func(path string) {
+		// Caller holds mu.
+		if _, seen := graph[path]; seen {
+			return
+		}
+		node := &parsedPkg{path: path}
+		graph[path] = node
+		if _, done := l.cached(path); done {
+			return // already type-checked by an earlier load
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dir, ok := l.resolve(path)
+			if !ok {
+				mu.Lock()
+				defer mu.Unlock()
+				if firstEr == nil {
+					firstEr = fmt.Errorf("lint: cannot resolve %q to a directory", path)
+				}
+				return
+			}
+			files, err := l.parseDir(dir)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstEr == nil {
+					firstEr = err
+				}
+				return
+			}
+			node.dir = dir
+			node.files = files
+			for _, f := range files {
+				for _, imp := range f.Imports {
+					p, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if _, inTree := l.resolve(p); inTree {
+						node.deps = append(node.deps, p)
+						enqueue(p)
+					}
+				}
+			}
+		}()
+	}
+	mu.Lock()
+	for _, path := range targets {
+		enqueue(path)
+	}
+	mu.Unlock()
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return graph, nil
+}
+
+// checkWaves type-checks the parsed graph in dependency order, fanning
+// independent packages across workers. Each package's importer reads
+// in-tree dependencies straight from the loader cache — the schedule only
+// releases a package once every dependency is checked and stored.
+func (l *Loader) checkWaves(graph map[string]*parsedPkg, workers int) error {
+	// indegree counts unchecked in-tree deps; dependents is the reverse
+	// edge list. Cached nodes (no files) start satisfied.
+	indegree := map[string]int{}
+	dependents := map[string][]string{}
+	for path, node := range graph {
+		if _, done := l.cached(path); done {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, dep := range node.deps {
+			if seen[dep] || dep == path {
+				continue
+			}
+			seen[dep] = true
+			if _, done := l.cached(dep); done {
+				continue
+			}
+			indegree[path]++
+			dependents[dep] = append(dependents[dep], path)
+		}
+	}
+	var ready []string
+	for path := range graph {
+		if _, done := l.cached(path); done {
+			continue
+		}
+		if indegree[path] == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+
+	remaining := 0
+	for path := range graph {
+		if _, done := l.cached(path); !done {
+			remaining++
+		}
+	}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if _, ok := l.resolve(path); ok {
+			dep, ok := l.cached(path)
+			if !ok {
+				return nil, fmt.Errorf("lint: internal: in-tree import %q not yet checked", path)
+			}
+			return dep.Types, nil
+		}
+		return l.stdImport(path)
+	})
+	for len(ready) > 0 {
+		wave := ready
+		ready = nil
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			firstEr error
+			sem     = make(chan struct{}, workers)
+		)
+		for _, path := range wave {
+			node := graph[path]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pkg, err := l.check(node.path, node.dir, node.files, imp)
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				l.store(pkg)
+			}()
+		}
+		wg.Wait()
+		if firstEr != nil {
+			return firstEr
+		}
+		remaining -= len(wave)
+		next := map[string]bool{}
+		for _, path := range wave {
+			for _, dep := range dependents[path] {
+				indegree[dep]--
+				if indegree[dep] == 0 {
+					next[dep] = true
+				}
+			}
+		}
+		for path := range next {
+			ready = append(ready, path)
+		}
+		sort.Strings(ready)
+	}
+	if remaining > 0 {
+		var stuck []string
+		for path := range indegree {
+			if _, done := l.cached(path); !done {
+				stuck = append(stuck, path)
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("lint: import cycle through %v", stuck)
+	}
+	return nil
+}

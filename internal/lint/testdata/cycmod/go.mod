@@ -1,0 +1,3 @@
+module cycmod
+
+go 1.22

@@ -1,0 +1,8 @@
+// Package one imports two, which imports one: an import cycle both
+// loaders must reject with a clear error instead of deadlocking.
+package one
+
+import "cycmod/two"
+
+// A references the cycle partner.
+const A = two.B

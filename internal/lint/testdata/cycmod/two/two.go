@@ -1,0 +1,7 @@
+// Package two closes the import cycle with one.
+package two
+
+import "cycmod/one"
+
+// B references the cycle partner.
+const B = one.A

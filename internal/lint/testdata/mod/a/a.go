@@ -1,0 +1,8 @@
+// Package a exercises in-tree import resolution: it depends on
+// fixturemod/b, which the loader must type-check first.
+package a
+
+import "fixturemod/b"
+
+// Double returns twice the shared constant.
+func Double() int { return 2 * b.Value }

@@ -1,0 +1,1 @@
+this file is not valid Go; the loader must never parse _test.go files

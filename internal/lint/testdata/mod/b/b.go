@@ -1,0 +1,5 @@
+// Package b is a leaf dependency of fixturemod/a.
+package b
+
+// Value is the shared constant.
+const Value = 21

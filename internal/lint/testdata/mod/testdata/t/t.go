@@ -1,0 +1,8 @@
+// Package t lives under a nested testdata/ directory and must be
+// excluded from pattern expansion, matching go tooling convention.
+package t
+
+// Fixture panics; the loader must never see it.
+func Fixture() {
+	panic("testdata must be excluded")
+}

@@ -1,0 +1,12 @@
+// Package typeerr fails to type-check. The loader must still return the
+// package (TypeErrors non-empty) so analyzers can run on best-effort
+// information — Boom's panic below must remain visible to nopanic.
+package typeerr
+
+var broken int = "not an int"
+
+// Boom panics unconditionally; nopanic must flag it even though the
+// package has type errors.
+func Boom() {
+	panic("boom")
+}

@@ -1,0 +1,9 @@
+// Package v lives under vendor/ and must never be walked by pattern
+// expansion: vendored sources are third-party code outside the suite's
+// invariants. The panic below would be a nopanic finding if loaded.
+package v
+
+// Vendored panics; the loader must never see it.
+func Vendored() {
+	panic("vendored code must be excluded")
+}

@@ -1,0 +1,72 @@
+// Package atomicmix is the fixture suite for the atomicmix analyzer: a
+// field accessed through sync/atomic anywhere must be accessed through
+// sync/atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	// plain is never touched atomically; plain access is fine.
+	plain int64
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) readGood() int64 {
+	return atomic.LoadInt64(&c.hits) // ok: atomic read
+}
+
+func (c *counter) readBad() int64 {
+	return c.hits // want "accessed with atomic.AddInt64 elsewhere"
+}
+
+func (c *counter) writeBad() {
+	c.hits = 0 // want "accessed with atomic.AddInt64 elsewhere"
+}
+
+func (c *counter) plainField() int64 {
+	c.misses = c.misses + 1 // ok: misses is never accessed atomically
+	return c.plain
+}
+
+// Composite literal keys are pre-publication initialization, not races.
+func newCounter() *counter {
+	return &counter{hits: 0}
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobalBad() int64 {
+	return global // want "accessed with atomic.AddInt64 elsewhere"
+}
+
+func casGood(c *counter) bool {
+	return atomic.CompareAndSwapInt64(&c.hits, 0, 1) // ok: atomic op
+}
+
+// Typed atomics name their cell through the receiver; the &local passed to
+// Pointer.Store is a plain value, not shared atomic state.
+type holder struct {
+	obs atomic.Pointer[int]
+}
+
+func (h *holder) set(o int) {
+	if o == 0 {
+		h.obs.Store(nil)
+		return
+	}
+	h.obs.Store(&o) // ok: o is not an atomic cell
+}
+
+// Suppression: the allow comment silences the finding (no want here).
+func suppressed(c *counter) int64 {
+	return c.hits //lint:allow(atomicmix) fixture: single-goroutine teardown read
+}

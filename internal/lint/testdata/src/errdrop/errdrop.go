@@ -1,0 +1,86 @@
+// Package errdrop is the fixture suite for the errdrop analyzer:
+// discarded error returns in failure-critical packages.
+package errdrop
+
+import (
+	"fmt"
+	"hash"
+	"strings"
+)
+
+func fail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// sink is a writer whose Close carries the flush error.
+type sink struct{}
+
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+func (sink) Close() error                { return nil }
+
+// reader only closes; its deferred Close is idiomatic.
+type reader struct{}
+
+func (reader) Read(p []byte) (int, error) { return 0, nil }
+func (reader) Close() error               { return nil }
+
+func bareCall() {
+	fail() // want "call discards its error result"
+}
+
+func blankAssign() {
+	_ = fail() // want "error result discarded with _"
+}
+
+func blankTuple() {
+	n, _ := pair() // want "error result discarded with _"
+	_ = n
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	return err
+}
+
+func deferredWriterClose(s sink) error {
+	defer s.Close() // want "deferred Close on a writer discards the flush error"
+	_, err := s.Write(nil)
+	return err
+}
+
+func deferredReaderClose(r reader) {
+	defer r.Close() // ok: not a writer
+}
+
+func exemptFmt() {
+	fmt.Println("telemetry push failed") // ok: fmt print family is exempt
+}
+
+func exemptBuilder() {
+	var b strings.Builder
+	b.WriteString("x") // ok: strings.Builder never fails
+	_ = b.String()
+}
+
+func exemptFprintfBuilder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", 1) // ok: Fprintf to a never-failing writer
+	return b.String()
+}
+
+func fprintfFailingWriter(s sink) {
+	fmt.Fprintf(s, "n=%d", 1) // want "call discards its error result"
+}
+
+func exemptHashWrite(h hash.Hash) {
+	h.Write([]byte("x")) // ok: hash.Hash.Write never returns an error
+}
+
+// Suppression: the allow comment silences the finding (no want here).
+func suppressed() {
+	_ = fail() //lint:allow(errdrop) fixture: error is documented unreachable
+}

@@ -1,0 +1,12 @@
+// Package errdropoff proves errdrop stays silent for packages outside
+// ErrdropPackages: same drops as the errdrop fixture, zero want comments.
+package errdropoff
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func Unregistered() {
+	fail()
+	_ = fail()
+}

@@ -1,0 +1,109 @@
+// Package goroleak is the fixture suite for the goroleak analyzer: every
+// `go` statement must have a reachable cancellation or completion path.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	jobs chan int
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Receiving from a channel is a cancellation point.
+func spawnReceiver(p *pool) {
+	go func() { // ok: blocks on p.done
+		<-p.done
+	}()
+}
+
+// Sending is a completion handoff the spawner can join on.
+func spawnSender(results chan int) {
+	go func() { // ok: result send
+		results <- 1
+	}()
+}
+
+// WaitGroup Done makes the goroutine joinable.
+func spawnJoinable(p *pool) {
+	p.wg.Add(1)
+	go func() { // ok: wg.Done
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// Ranging over a channel terminates when the spawner closes it.
+func (p *pool) worker() {
+	for j := range p.jobs {
+		_ = j
+	}
+}
+
+// Spawning a same-package method is audited through its body.
+func (p *pool) start() {
+	go p.worker() // ok: worker ranges over p.jobs
+}
+
+// An intermediate same-package call is followed one level deep.
+func (p *pool) startIndirect() {
+	go func() { // ok: worker (called below) ranges over p.jobs
+		p.worker()
+	}()
+}
+
+// Passing a context to the callee delegates cancellation.
+func spawnDelegated(ctx context.Context) {
+	go run(ctx) // ok: ctx handed to the callee
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// close(ch) is a completion signal to the spawner.
+func spawnCloser(done chan struct{}) {
+	go func() { // ok: closes done on exit
+		defer close(done)
+		work()
+	}()
+}
+
+func spawnLeak() {
+	go func() { // want "no reachable cancellation or completion path"
+		for {
+			work()
+		}
+	}()
+}
+
+func leakLoop() {
+	for {
+		work()
+	}
+}
+
+func spawnNamedLeak() {
+	go leakLoop() // want "no reachable cancellation or completion path"
+}
+
+// A context that is merely referenced, never consumed or forwarded, does
+// not make the goroutine cancellable (the case ctxbound misses).
+func spawnDecorative(ctx context.Context) {
+	go func() { // want "no reachable cancellation or completion path"
+		_ = ctx
+		for {
+			work()
+		}
+	}()
+}
+
+// Suppression: the allow comment silences the finding (no want here).
+func spawnSuppressed() {
+	go leakLoop() //lint:allow(goroleak) fixture: documented fire-and-forget
+}
+
+func work() {}

@@ -1,0 +1,11 @@
+// Package goroleakoff proves goroleak stays silent for packages outside
+// GoroleakPackages: same leak as the goroleak fixture, zero want comments.
+package goroleakoff
+
+func Unregistered(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}

@@ -1,0 +1,10 @@
+// Package stale seeds the stale-suppression audit fixtures: every
+// directive below suppresses nothing. The driver's -stale flag must flag
+// all of them; nothing here is a finding, so there are no want comments.
+package stale
+
+// Quiet violates no invariant, so the allowance above it is dead weight.
+//lint:allow(nopanic)
+func Quiet() int {
+	return 1 //lint:allow(nosuch) unknown analyzer name can never suppress
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -57,7 +58,7 @@ func Serve(reg *Registry, addr string) (*Server, error) {
 	go func(done chan struct{}) {
 		// Serve returns http.ErrServerClosed (or an accept error) once the
 		// server is closed; closing done lets Close join this goroutine.
-		_ = s.srv.Serve(s.ln)
+		_ = s.srv.Serve(s.ln) //lint:allow(errdrop) Serve always returns non-nil on shutdown; Close is the real error path
 		close(done)
 	}(s.done)
 	return s, nil
@@ -115,7 +116,7 @@ func writeHealthz(w http.ResponseWriter, reg *Registry) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(doc)
+	_ = enc.Encode(doc) //lint:allow(errdrop) healthz-response write failure means the client disconnected; nothing to recover
 }
 
 // healthStates collects every rpn_health_state gauge in the snapshot into
@@ -218,7 +219,13 @@ func sortedSeries[V any](m map[string]V) []series {
 // summaries: rolling-window quantiles plus lifetime _sum/_count. Labeled
 // series render with their label set, one # TYPE header per family; the
 // summary quantile label is appended after any series labels.
-func writePrometheus(w io.Writer, snap Snapshot) {
+//
+// The exposition is staged through an in-memory buffer and flushed with a
+// single write; a failure there means the scraper hung up, which the
+// server cannot act on.
+func writePrometheus(dst io.Writer, snap Snapshot) {
+	var buf bytes.Buffer
+	w := &buf
 	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
 		"rpn_uptime_seconds", "rpn_uptime_seconds", formatFloat(snap.UptimeSeconds))
 	prevType := ""
@@ -255,6 +262,7 @@ func writePrometheus(w io.Writer, snap Snapshot) {
 		fmt.Fprintf(w, "%s %s\n", sumSeries.render(), formatFloat(h.Sum))
 		fmt.Fprintf(w, "%s %d\n", countSeries.render(), h.Count)
 	}
+	_, _ = dst.Write(buf.Bytes()) //lint:allow(errdrop) scrape-response write failure means the client disconnected; nothing to recover
 }
 
 func formatFloat(v float64) string {

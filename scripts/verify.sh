@@ -5,16 +5,27 @@
 #   1. go vet            — the standard toolchain checks
 #   2. go build          — everything compiles
 #   3. rpnlint           — the project's safety-invariant analyzers
-#                          (nopanic, floateq, lockcheck, detrand, ctxbound);
-#                          exits nonzero on any unsuppressed finding
-#   4. go test           — the full unit-test suite
-#   5. go test -race     — the concurrency-sensitive packages under the
+#                          (nopanic, floateq, lockcheck, detrand, ctxbound,
+#                          goroleak, errdrop, atomicmix; see docs/LINT.md).
+#                          One -format=json run doubles as the machine-
+#                          readable artifact (rpnlint.json) and, through
+#                          -stale, the stale-suppression audit: the step
+#                          fails on any unsuppressed finding OR any
+#                          lint:allow comment that suppresses nothing.
+#   4. rpnlint perf      — the parallel loader must not regress against the
+#                          serial one (tolerance 1.5x, best of two attempts,
+#                          because CI wall clocks are noisy)
+#   5. go test           — the full unit-test suite
+#   6. go test -race     — the concurrency-sensitive packages under the
 #                          race detector
-#   6. go test -fuzz     — a short coverage-guided smoke run of the binary
+#   7. go test -fuzz     — a short coverage-guided smoke run of the binary
 #                          format fuzzers (the checked-in corpus always runs
-#                          as part of step 4)
-#   7. docs consistency  — the METRICS.md cross-check: every emitted metric
+#                          as part of step 5)
+#   8. docs consistency  — the METRICS.md cross-check: every emitted metric
 #                          documented, every documented metric emitted
+#
+# Artifacts land in $VERIFY_ARTIFACT_DIR (default: a fresh temp dir,
+# echoed so CI can collect it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +34,48 @@ step() {
     "$@"
 }
 
+ARTIFACT_DIR="${VERIFY_ARTIFACT_DIR:-$(mktemp -d /tmp/rpn-verify.XXXXXX)}"
+mkdir -p "$ARTIFACT_DIR"
+RPNLINT="$ARTIFACT_DIR/rpnlint"
+
 step go vet ./...
 step go build ./...
-step go run ./cmd/rpnlint ./...
+step go build -o "$RPNLINT" ./cmd/rpnlint
+
+echo "==> rpnlint -stale -format=json ./... (artifact: $ARTIFACT_DIR/rpnlint.json)"
+if ! "$RPNLINT" -stale -format=json ./... > "$ARTIFACT_DIR/rpnlint.json"; then
+    echo "rpnlint gate failed; findings and stale suppressions:"
+    "$RPNLINT" -stale ./... || true
+    exit 1
+fi
+
+# Parallel-loader wall-clock non-regression: the goroutine-per-package
+# type-checker must stay within 1.5x of the serial loader. Wall clocks are
+# noisy, so a failing first attempt gets one re-measure before the gate
+# trips.
+echo "==> rpnlint parallel loader non-regression"
+lint_ms() { # lint_ms <extra-flags...> -> milliseconds on stdout
+    local t0 t1
+    t0=$(date +%s%N)
+    "$RPNLINT" "$@" ./... > /dev/null
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+}
+perf_ok=0
+for attempt in 1 2; do
+    serial_ms=$(lint_ms -parallel=false)
+    parallel_ms=$(lint_ms)
+    echo "    attempt $attempt: serial ${serial_ms}ms, parallel ${parallel_ms}ms"
+    if (( parallel_ms * 10 <= serial_ms * 15 )); then
+        perf_ok=1
+        break
+    fi
+done
+if (( ! perf_ok )); then
+    echo "parallel loader regressed: ${parallel_ms}ms > 1.5x serial ${serial_ms}ms"
+    exit 1
+fi
+
 step go test ./...
 step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
@@ -35,4 +85,4 @@ step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemet
 step go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 5s ./internal/fault/
 step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
 
-echo "verify: all gates passed"
+echo "verify: all gates passed (artifacts: $ARTIFACT_DIR)"
