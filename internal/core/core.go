@@ -145,11 +145,12 @@ type TransitionStats struct {
 // ReversibleModel is a network with an attached level library and recovery
 // store. It is not safe for concurrent use; a perception pipeline owns one.
 type ReversibleModel struct {
-	model   *nn.Sequential
-	levels  []*Level
-	deltas  [][]delta // deltas[i] moves level i-1 → i, for i ≥ 1
+	model    *nn.Sequential
+	levels   []*Level
+	deltas   [][]delta // deltas[i] moves level i-1 → i, for i ≥ 1
 	current  int
 	hash0    uint64 // FNV-64a of dense prunable weights at Build time
+	ckpt     uint64 // hash0 folded with every level's delta layout
 	lossy    bool   // half-precision recovery store
 	stats    TransitionStats
 	observer TransitionObserver // nil: observation disabled (zero cost)
@@ -255,8 +256,52 @@ func Build(model *nn.Sequential, plans []*prune.Plan, opts ...BuildOption) (*Rev
 			prevMasks[name] = mask
 		}
 	}
+	rm.ckpt = rm.fingerprint()
 	return rm, nil
 }
+
+// fingerprint folds the dense weight hash with every level's delta layout
+// (parameter names and pruned indices, in application order) into one
+// FNV-64a value. Two models agree exactly at every level iff their dense
+// weights and nested plans agree, which is what this fingerprint proxies.
+func (rm *ReversibleModel) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(rm.hash0)
+	buf[1] = byte(rm.hash0 >> 8)
+	buf[2] = byte(rm.hash0 >> 16)
+	buf[3] = byte(rm.hash0 >> 24)
+	buf[4] = byte(rm.hash0 >> 32)
+	buf[5] = byte(rm.hash0 >> 40)
+	buf[6] = byte(rm.hash0 >> 48)
+	buf[7] = byte(rm.hash0 >> 56)
+	h.Write(buf[:])
+	for l := 1; l < len(rm.deltas); l++ {
+		for di := range rm.deltas[l] {
+			d := &rm.deltas[l][di]
+			h.Write([]byte(d.param))
+			h.Write([]byte{0})
+			for _, k := range d.indices {
+				buf[0] = byte(k)
+				buf[1] = byte(k >> 8)
+				buf[2] = byte(k >> 16)
+				buf[3] = byte(k >> 24)
+				h.Write(buf[:4])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// CheckpointID returns a stable fingerprint of the model's provenance: the
+// dense prunable weights folded with the full nested-plan delta layout.
+// Instances cloned from the same trained checkpoint with the same plan
+// family share a CheckpointID and therefore hold bit-identical weights at
+// every prune level — the precondition the fleet batch planner requires
+// before fusing their frames into one batched forward pass. The value is
+// computed at Build (and refreshed by RefreshStore) and never changes
+// across level transitions, so reading it is cheap.
+func (rm *ReversibleModel) CheckpointID() uint64 { return rm.ckpt }
 
 // Model returns the live network. Its weights reflect the current level.
 func (rm *ReversibleModel) Model() *nn.Sequential { return rm.model }
@@ -510,6 +555,7 @@ func (rm *ReversibleModel) RefreshStore() error {
 		}
 	}
 	rm.hash0 = hashPrunable(rm.model)
+	rm.ckpt = rm.fingerprint()
 	return nil
 }
 

@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/perception"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// Differential harness for the batch planner: every scenario runs the
+// exact same frame schedule through a batched dispatcher and a plain
+// per-instance dispatcher over two identically constructed fleets, then
+// compares the two result streams frame by frame. Both dispatchers run a
+// single worker so each instance's frames execute in submission order —
+// the determinism needed to compare debounce trajectories and injector
+// RNG draws; the batched path's *internal* concurrency (goroutine-tiled
+// kernels) stays fully exercised.
+
+// diffEps is the comparison tolerance. The blocked/fused kernels are
+// bit-identical to the serial ones by construction, so this is slack for
+// the float64 conversions at the Detection boundary, not for the math.
+const diffEps = 1e-9
+
+// diffInstanceCfg describes one instance of a differential fleet. Two
+// instances with the same modelSeed are clones of the same checkpoint
+// (identical weights and prune ladder) and are what the planner fuses.
+type diffInstanceCfg struct {
+	name                 string
+	modelSeed            int64
+	ladder               []float64 // nested prune ladder sparsities
+	debounceK, debounceN int       // 0: no debouncing
+	faultSpec            string    // "" : no injector armed
+	faultSeed            int64
+}
+
+// diffSubmission is one scheduled frame.
+type diffSubmission struct {
+	name  string
+	frame *tensor.Tensor
+}
+
+// diffTransition retargets one instance between waves.
+type diffTransition struct {
+	name  string
+	level int
+}
+
+// diffScenario is a full schedule: fleet layout, frame waves, and the
+// level transitions applied after each wave (while no frames are in
+// flight, so both execution paths see the same level at every frame).
+type diffScenario struct {
+	cfgs  []diffInstanceCfg
+	waves [][]diffSubmission
+	trans [][]diffTransition
+}
+
+// genDiffScenario derives a scenario from a seed: fleet size 1–64 drawn
+// from a pool of 1–4 distinct checkpoints with random prune ladders,
+// random debouncing, fault injectors armed on a random subset, 2–4 frame
+// waves with random per-instance frame counts, and random level
+// transitions between waves.
+func genDiffScenario(seed int64) diffScenario {
+	rng := tensor.NewRNG(seed)
+	nInst := 1 + rng.Intn(64)
+	nCkpts := 1 + rng.Intn(4)
+
+	// One prune ladder per checkpoint: 1–3 nested levels, ascending
+	// sparsity. Clones share the ladder — part of the checkpoint identity.
+	ladders := make([][]float64, nCkpts)
+	for c := range ladders {
+		depth := 1 + rng.Intn(3)
+		lo := 0.2 + 0.2*rng.Float64()
+		for l := 0; l < depth; l++ {
+			ladders[c] = append(ladders[c], lo+(0.95-lo)*float64(l+1)/float64(depth+1))
+		}
+	}
+
+	var sc diffScenario
+	for i := 0; i < nInst; i++ {
+		ck := rng.Intn(nCkpts)
+		cfg := diffInstanceCfg{
+			name:      fmt.Sprintf("v%02d", i),
+			modelSeed: 1000 + int64(ck),
+			ladder:    ladders[ck],
+		}
+		if rng.Intn(3) == 0 {
+			cfg.debounceN = 2 + rng.Intn(3)
+			cfg.debounceK = 1 + rng.Intn(cfg.debounceN)
+		}
+		if rng.Intn(5) == 0 {
+			// Armed instances must fall back to the per-instance path in
+			// the batched dispatcher; drop and garble are the
+			// deterministic, behavior-changing kinds.
+			kinds := []string{"drop-frames", "garble-frames"}
+			cfg.faultSpec = fmt.Sprintf("%s:%s:after=%d:for=%d",
+				kinds[rng.Intn(len(kinds))], cfg.name, rng.Intn(3), 1+rng.Intn(4))
+			cfg.faultSeed = seed + int64(i)
+		}
+		sc.cfgs = append(sc.cfgs, cfg)
+	}
+
+	px := testFrameSize * testFrameSize
+	nWaves := 2 + rng.Intn(3)
+	for w := 0; w < nWaves; w++ {
+		var wave []diffSubmission
+		for _, cfg := range sc.cfgs {
+			for n := rng.Intn(4); n > 0; n-- {
+				frame := tensor.New(px)
+				d := frame.Data()
+				for p := range d {
+					d[p] = float32(rng.Uniform(-1, 1))
+				}
+				wave = append(wave, diffSubmission{name: cfg.name, frame: frame})
+			}
+		}
+		sc.waves = append(sc.waves, wave)
+
+		var ts []diffTransition
+		for _, cfg := range sc.cfgs {
+			if rng.Intn(3) == 0 {
+				ts = append(ts, diffTransition{name: cfg.name, level: rng.Intn(len(cfg.ladder) + 1)})
+			}
+		}
+		sc.trans = append(sc.trans, ts)
+	}
+	return sc
+}
+
+// buildDiffFleet constructs one fleet instance of the scenario. Called
+// twice per scenario — same cfgs, same seeds — so the two fleets hold
+// bit-identical weights, plans, debounce state, and injector RNGs.
+func buildDiffFleet(t *testing.T, cfgs []diffInstanceCfg) *Fleet {
+	t.Helper()
+	f := New()
+	for _, c := range cfgs {
+		m := testModel(c.modelSeed)
+		plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, c.ladder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := core.Build(m, plans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := perception.NewPipeline(m, testFrameSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.debounceN > 0 {
+			if err := pipe.SetDebounce(c.debounceK, c.debounceN); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inst, err := NewInstance(c.name, pipe, rm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.faultSpec != "" {
+			specs, err := fault.ParseSpecs(c.faultSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst.SetFaultInjector(fault.NewInjector(c.faultSeed, specs...))
+		}
+		if err := f.Add(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// runDiffSchedule drives one fleet through the scenario's schedule and
+// returns every Result keyed by submission sequence number, plus how many
+// frames were served by fused batched passes.
+func runDiffSchedule(t *testing.T, sc diffScenario, f *Fleet, batched bool) (map[int64]Result, int) {
+	t.Helper()
+	opts := []DispatchOption{}
+	if batched {
+		opts = append(opts, WithBatching(64))
+	}
+	d, err := NewDispatcher(f, 1, 512, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[int64]Result)
+	fusedFrames := 0
+	for w, wave := range sc.waves {
+		for _, sub := range wave {
+			if _, err := d.Submit(sub.name, sub.frame); err != nil {
+				t.Fatalf("wave %d: submit %s: %v", w, sub.name, err)
+			}
+		}
+		for range wave {
+			r := <-d.Results()
+			results[r.Seq] = r
+			if r.Batched {
+				fusedFrames++
+			}
+		}
+		for _, tr := range sc.trans[w] {
+			inst, ok := f.Get(tr.name)
+			if !ok {
+				t.Fatalf("wave %d: unknown instance %s", w, tr.name)
+			}
+			if err := inst.ApplyLevel(tr.level); err != nil {
+				t.Fatalf("wave %d: retarget %s -> L%d: %v", w, tr.name, tr.level, err)
+			}
+		}
+	}
+	d.Close()
+	for r := range d.Results() {
+		results[r.Seq] = r
+	}
+	return results, fusedFrames
+}
+
+// diffOneScenario runs one seed through both execution paths and asserts
+// per-frame agreement. Returns the batched run's fused-frame count so the
+// caller can assert the planner actually fused something across a corpus.
+func diffOneScenario(t *testing.T, seed int64) int {
+	t.Helper()
+	sc := genDiffScenario(seed)
+	seqFleet := buildDiffFleet(t, sc.cfgs)
+	batFleet := buildDiffFleet(t, sc.cfgs)
+
+	seqRes, _ := runDiffSchedule(t, sc, seqFleet, false)
+	batRes, fused := runDiffSchedule(t, sc, batFleet, true)
+
+	if len(seqRes) != len(batRes) {
+		t.Fatalf("seed %d: %d sequential results vs %d batched", seed, len(seqRes), len(batRes))
+	}
+	for seq, a := range seqRes {
+		b, ok := batRes[seq]
+		if !ok {
+			t.Fatalf("seed %d: seq %d missing from batched results", seed, seq)
+		}
+		if a.Model != b.Model {
+			t.Fatalf("seed %d seq %d: model %q vs %q", seed, seq, a.Model, b.Model)
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("seed %d seq %d (%s): err %v vs %v", seed, seq, a.Model, a.Err, b.Err)
+		}
+		if a.Err != nil {
+			continue
+		}
+		if a.Detection.Obstacle != b.Detection.Obstacle {
+			t.Fatalf("seed %d seq %d (%s): obstacle %v vs %v (conf %v vs %v)",
+				seed, seq, a.Model, a.Detection.Obstacle, b.Detection.Obstacle,
+				a.Detection.Confidence, b.Detection.Confidence)
+		}
+		if !metrics.ApproxEqual(a.Detection.Confidence, b.Detection.Confidence, diffEps) {
+			t.Fatalf("seed %d seq %d (%s): confidence %v vs %v",
+				seed, seq, a.Model, a.Detection.Confidence, b.Detection.Confidence)
+		}
+		if !metrics.ApproxEqual(a.Detection.Uncertainty, b.Detection.Uncertainty, diffEps) {
+			t.Fatalf("seed %d seq %d (%s): uncertainty %v vs %v",
+				seed, seq, a.Model, a.Detection.Uncertainty, b.Detection.Uncertainty)
+		}
+	}
+	return fused
+}
+
+// diffRegressionSeeds is the checked-in regression corpus: seeds that
+// exercise the planner's corners (fleet of 1; all-clone fleets; heavy
+// fault arming; transition-dense schedules). A seed that ever exposes a
+// divergence gets appended here so the failure stays covered forever.
+var diffRegressionSeeds = []int64{1, 2, 3, 7, 11, 23, 42, 1977, 20260808}
+
+// TestBatchDiffRegressionCorpus pins the checked-in corpus.
+func TestBatchDiffRegressionCorpus(t *testing.T) {
+	totalFused := 0
+	for _, seed := range diffRegressionSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			totalFused += diffOneScenario(t, seed)
+		})
+	}
+	if totalFused == 0 {
+		t.Fatal("regression corpus never exercised a fused batched pass")
+	}
+}
+
+// TestBatchDiffProperty sweeps fresh seeds beyond the corpus. The sweep is
+// deterministic (seeded), so a failure here names the exact seed to add to
+// diffRegressionSeeds.
+func TestBatchDiffProperty(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(5000 + i*101)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			diffOneScenario(t, seed)
+		})
+	}
+}
+
+// TestBatchedDispatcherFuses asserts the planner actually forms fused
+// groups under sustained clone traffic and stamps their Results, and that
+// the flat frame counts match either way.
+func TestBatchedDispatcherFuses(t *testing.T) {
+	f := New()
+	for i := 0; i < 4; i++ {
+		inst := newTestInstance(t, fmt.Sprintf("car%d", i), 7) // same seed: clones
+		if err := f.Add(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := NewDispatcher(f, 1, 256, WithBatching(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 200
+	done := make(chan int)
+	go func() {
+		fused := 0
+		for r := range d.Results() {
+			if r.Err != nil {
+				t.Errorf("frame %d: %v", r.Seq, r.Err)
+			}
+			if r.Batched {
+				if r.BatchSize < 2 || r.BatchSize > 16 {
+					t.Errorf("frame %d: batch size %d out of [2,16]", r.Seq, r.BatchSize)
+				}
+				fused++
+			}
+		}
+		done <- fused
+	}()
+	frame := testFrame()
+	for i := 0; i < frames; i++ {
+		if _, err := d.Submit(fmt.Sprintf("car%d", i%4), frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	if fused := <-done; fused == 0 {
+		t.Fatal("no frame was served by a fused batched pass")
+	}
+}

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/health"
+	"repro/internal/telemetry"
+)
+
+// TestBatchPlannerHammer runs, under -race via scripts/verify.sh (the
+// fleet package is in the race-target list), 1000 submissions through a
+// batched dispatcher while everything the planner synchronizes against
+// churns concurrently: level retargets invalidating group snapshots
+// mid-formation, health-monitor quarantine flapping the gate, observer
+// flips on the atomic pointer, a second submitter racing Close, and a
+// telemetry scraper. The exact result count proves no frame was lost or
+// duplicated across the fused/fallback split.
+func TestBatchPlannerHammer(t *testing.T) {
+	const (
+		framesMain  = 700
+		iters       = 1000
+		retargets   = 400
+		faultBursts = 150
+		snapshots   = 100
+	)
+	reg := telemetry.NewRegistry()
+	flat := telemetry.NewHooks(reg)
+	monitor := health.NewMonitor(health.Config{QuarantineAfter: 1, QuarantineDwell: 3, ProbationAfter: 1})
+	f := New()
+	var names []string
+	for i := 0; i < 6; i++ {
+		// Two checkpoint groups of three clones each, so the planner has
+		// real fusion opportunities and real non-fusable mixes.
+		name := fmt.Sprintf("v%d", i)
+		names = append(names, name)
+		inst := newTestInstance(t, name, int64(7+i/3))
+		if err := f.Add(inst); err != nil {
+			t.Fatal(err)
+		}
+		if err := monitor.Register(name, inst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := NewDispatcher(f, 4, 32, WithBatching(16), WithHealthMonitor(monitor), WithBatchObserver(flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+
+	// Drainer: counts every result; the channel closes when Close finishes.
+	received := make(chan int64)
+	go func() {
+		var n int64
+		for range d.Results() {
+			n++
+		}
+		received <- n
+	}()
+
+	// Main submitter: a fixed budget of frames, always before Close (the
+	// closer waits on mainDone).
+	mainDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(mainDone)
+		frame := testFrame()
+		for i := 0; i < framesMain; i++ {
+			if _, err := d.Submit(names[i%len(names)], frame); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			accepted.Add(1)
+		}
+	}()
+	// Racing submitter: keeps submitting until Close wins the race.
+	wg.Add(1)
+	closing := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		frame := testFrame()
+		for i := 0; i < iters; i++ {
+			_, err := d.Submit(names[(i+3)%len(names)], frame)
+			if err != nil {
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("racing submit: %v", err)
+				}
+				return
+			}
+			accepted.Add(1)
+		}
+		<-closing // budget exhausted before Close started; wait it out
+	}()
+	// Retargeters: level churn concurrent with batch formation, so group
+	// snapshots go stale between planning and execution.
+	for _, name := range names {
+		inst, _ := f.Get(name)
+		wg.Add(1)
+		go func(inst *Instance) {
+			defer wg.Done()
+			for i := 0; i < retargets; i++ {
+				if err := inst.ApplyLevel(i % inst.NumLevels()); err != nil {
+					t.Errorf("retarget: %v", err)
+					return
+				}
+			}
+		}(inst)
+	}
+	// Quarantine churn: fault bursts flap v0 through
+	// Degraded/Quarantined/Probation while its frames are being planned.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < faultBursts; i++ {
+			monitor.ObserveFault("v0", health.ReasonError)
+		}
+	}()
+	// Observer flips on the atomic pointer, mid-batch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inst, _ := f.Get("v1")
+		h := telemetry.NewHooks(reg, telemetry.Label{Key: telemetry.LabelModel, Value: "v1"})
+		for i := 0; i < iters/2; i++ {
+			inst.SetObserver(h)
+			inst.SetObserver(nil)
+		}
+	}()
+	// Scraper reads snapshots while the batch counters move.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snapshots; i++ {
+			reg.Snapshot()
+		}
+	}()
+
+	// Close while the racing submitter may still be mid-Submit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-mainDone
+		d.Close()
+		close(closing)
+	}()
+	wg.Wait()
+
+	if got, want := <-received, accepted.Load(); got != want {
+		t.Fatalf("received %d results for %d accepted submissions", got, want)
+	}
+	// Batch counters stay internally consistent: every fused frame and
+	// every fallback was an accepted submission.
+	snap := reg.Snapshot()
+	fusedFrames := snap.Counters[telemetry.MetricFleetBatchFrames]
+	fallbacks := snap.Counters[telemetry.MetricFleetBatchFallbacks]
+	if fusedFrames+fallbacks > accepted.Load() {
+		t.Fatalf("batch accounting: %d fused + %d fallback > %d accepted",
+			fusedFrames, fallbacks, accepted.Load())
+	}
+}

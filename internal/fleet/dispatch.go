@@ -36,6 +36,12 @@ type Result struct {
 	// Health is the instance's state after this frame was observed
 	// (Healthy when no monitor is installed).
 	Health health.State
+	// Batched reports that the frame was served by a fused batched pass
+	// (always false without WithBatching); BatchSize is that pass's group
+	// size. The Detection is identical either way — the batch planner's
+	// kernels are bit-identical to the per-instance path's.
+	Batched   bool
+	BatchSize int
 }
 
 // job is one queued frame.
@@ -63,6 +69,14 @@ type Dispatcher struct {
 	once    sync.Once
 	seq     atomic.Int64
 
+	// Batch planner state (nil/zero without WithBatching): the batcher
+	// goroutine turns the job stream into execution units — fused groups
+	// or singletons — on exec, and the workers consume exec instead of
+	// jobs. See batch.go.
+	maxBatch int
+	exec     chan []job
+	batchObs BatchObserver
+
 	// closeMu orders Submit's closed-check-then-send against Close's
 	// close(jobs): senders hold the read side across the send, so the
 	// channel can only close once no Submit is mid-flight.
@@ -81,6 +95,23 @@ type DispatchOption func(*Dispatcher)
 // monitor separately.
 func WithHealthMonitor(m *health.Monitor) DispatchOption {
 	return func(d *Dispatcher) { d.monitor = m }
+}
+
+// WithBatching enables the fused batch planner: frames already queued for
+// instances sharing a (checkpoint, level, geometry) batch key run as one
+// batched forward pass — one matmul per layer — of at most maxBatch
+// frames. Frames that cannot fuse (singletons, armed fault injectors,
+// mid-transition stragglers) take the unchanged per-instance path, so
+// enabling batching never changes a Detection, only the wall-clock it
+// takes to produce it. maxBatch must be ≥ 2.
+func WithBatching(maxBatch int) DispatchOption {
+	return func(d *Dispatcher) { d.maxBatch = maxBatch }
+}
+
+// WithBatchObserver installs the batch planner's telemetry seam
+// (typically a flat telemetry.Hooks). Only meaningful with WithBatching.
+func WithBatchObserver(o BatchObserver) DispatchOption {
+	return func(d *Dispatcher) { d.batchObs = o }
 }
 
 // NewDispatcher starts workers goroutines over the fleet. queue bounds the
@@ -105,6 +136,14 @@ func NewDispatcher(f *Fleet, workers, queue int, opts ...DispatchOption) (*Dispa
 	for _, o := range opts {
 		o(d)
 	}
+	if d.maxBatch == 1 || d.maxBatch < 0 {
+		return nil, fmt.Errorf("fleet: batch size %d (need ≥ 2)", d.maxBatch)
+	}
+	if d.maxBatch > 1 {
+		d.exec = make(chan []job, queue+1)
+		d.wg.Add(1)
+		go d.batcher()
+	}
 	for w := 0; w < workers; w++ {
 		d.wg.Add(1)
 		go d.worker()
@@ -112,9 +151,21 @@ func NewDispatcher(f *Fleet, workers, queue int, opts ...DispatchOption) (*Dispa
 	return d, nil
 }
 
-// worker drains the job queue until Close closes it.
+// worker drains its input stream until Close shuts it down: execution
+// units from the batcher when the batch planner is on, raw jobs
+// otherwise.
 func (d *Dispatcher) worker() {
 	defer d.wg.Done()
+	if d.exec != nil {
+		for g := range d.exec {
+			if len(g) == 1 {
+				d.results <- d.process(g[0])
+				continue
+			}
+			d.processBatch(g)
+		}
+		return
+	}
 	for j := range d.jobs {
 		d.results <- d.process(j)
 	}

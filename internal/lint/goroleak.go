@@ -22,6 +22,8 @@ var GoroleakPackages = []string{
 	// exporter's periodic push loop is the longest-lived goroutine in the
 	// tree.
 	"repro/internal/telemetry/otlp",
+	// Includes the dispatcher's batch planner (the batcher goroutine and
+	// the fused-group workers in fleet/batch.go).
 	"repro/internal/fleet",
 	"repro/internal/fault",
 	"repro/internal/health",

@@ -70,7 +70,12 @@ func (c *Conv2D) checkInput(x *tensor.Tensor) int {
 	return x.Dim(0)
 }
 
-// Forward convolves each sample via im2col + matmul.
+// Forward convolves via im2col + matmul. The training path expands and
+// multiplies per sample (Backward needs each sample's patch matrix); the
+// inference path fuses the whole batch into one (C·KH·KW) × (B·OutH·OutW)
+// patch matrix and runs a single blocked matmul for the layer. Per output
+// element the contraction order is identical in both paths, so fused
+// batched inference is bit-identical to running the samples one at a time.
 func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	batch := c.checkInput(x)
 	g := c.geom
@@ -81,27 +86,47 @@ func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	sampleOut := c.outC * spatial
 
 	out := tensor.New(batch, c.outC, oh, ow)
+	xd, od, bias := x.Data(), out.Data(), c.bias.Value.Data()
+
 	if training {
 		c.lastInput = x
 		c.lastCols = make([]*tensor.Tensor, batch)
-	} else if c.colsBuf == nil {
-		c.colsBuf = tensor.New(k, spatial)
+		for s := 0; s < batch; s++ {
+			cols := tensor.New(k, spatial)
+			c.lastCols[s] = cols
+			tensor.Im2col(xd[s*sampleIn:(s+1)*sampleIn], g, cols)
+			res := tensor.MatMul(c.weight.Value, cols) // (outC × spatial)
+			rd := res.Data()
+			base := s * sampleOut
+			for oc := 0; oc < c.outC; oc++ {
+				b := bias[oc]
+				src := rd[oc*spatial : (oc+1)*spatial]
+				dst := od[base+oc*spatial : base+(oc+1)*spatial]
+				for i, v := range src {
+					dst[i] = v + b
+				}
+			}
+		}
+		return out
 	}
 
-	xd, od, bias := x.Data(), out.Data(), c.bias.Value.Data()
+	// Inference: one matmul for the whole layer. The scratch patch matrix
+	// is cached per batch width, so the steady states (single-frame Detect,
+	// a stable fleet batch size) stay allocation-free on this path.
+	total := batch * spatial
+	if c.colsBuf == nil || c.colsBuf.Dim(1) != total {
+		c.colsBuf = tensor.New(k, total)
+	}
 	for s := 0; s < batch; s++ {
-		cols := c.colsBuf
-		if training {
-			cols = tensor.New(k, spatial)
-			c.lastCols[s] = cols
-		}
-		tensor.Im2col(xd[s*sampleIn:(s+1)*sampleIn], g, cols)
-		res := tensor.MatMul(c.weight.Value, cols) // (outC × spatial)
-		rd := res.Data()
+		tensor.Im2colOffset(xd[s*sampleIn:(s+1)*sampleIn], g, c.colsBuf, s*spatial)
+	}
+	res := tensor.MatMulBlocked(c.weight.Value, c.colsBuf) // (outC × B·spatial)
+	rd := res.Data()
+	for s := 0; s < batch; s++ {
 		base := s * sampleOut
 		for oc := 0; oc < c.outC; oc++ {
 			b := bias[oc]
-			src := rd[oc*spatial : (oc+1)*spatial]
+			src := rd[oc*total+s*spatial : oc*total+(s+1)*spatial]
 			dst := od[base+oc*spatial : base+(oc+1)*spatial]
 			for i, v := range src {
 				dst[i] = v + b

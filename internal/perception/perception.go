@@ -41,6 +41,7 @@ type Pipeline struct {
 	size      int
 	threshold float64
 	batch     *tensor.Tensor // reusable [1,1,S,S] input
+	batchBuf  *tensor.Tensor // reusable [N,1,S,S] input for batched passes
 
 	// Debouncing (optional): declare an obstacle only when at least
 	// debounceK of the last debounceN raw frame decisions were positive.
@@ -105,7 +106,49 @@ func (p *Pipeline) Detect(frame *tensor.Tensor) (Detection, error) {
 	copy(p.batch.Data(), frame.Data())
 	logits := p.model.Forward(p.batch, false)
 	probs := tensor.SoftmaxRows(logits)
-	pObstacle := float64(probs.At2(0, 1))
+	return p.DecideRow(probs, 0), nil
+}
+
+// ProbsBatch stacks the frames into one [N,1,S,S] batch, runs a single
+// fused forward pass, and returns the [N,2] softmax probability matrix —
+// row i belongs to frames[i]. It is the model half of batched detection:
+// it advances no debounce state, so probability rows can be handed to
+// *other* pipelines' DecideRow (the fleet batch planner runs one
+// instance's model for a whole group and lets each member decide its own
+// frame). Frames are validated like Detect validates; the stack buffer is
+// cached per batch size. Callers serialize ProbsBatch against anything
+// else touching this pipeline's model.
+func (p *Pipeline) ProbsBatch(frames []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("perception: empty batch")
+	}
+	px := p.size * p.size
+	for i, f := range frames {
+		if f == nil {
+			return nil, fmt.Errorf("perception: batch frame %d is nil", i)
+		}
+		if f.Len() != px {
+			return nil, fmt.Errorf("perception: batch frame %d with %d pixels, want %d", i, f.Len(), px)
+		}
+	}
+	buf := p.batch
+	if n := len(frames); n > 1 {
+		if p.batchBuf == nil || p.batchBuf.Dim(0) != n {
+			p.batchBuf = tensor.New(n, 1, p.size, p.size)
+		}
+		buf = p.batchBuf
+	}
+	tensor.StackInto(buf, frames)
+	logits := p.model.Forward(buf, false)
+	return tensor.SoftmaxRows(logits), nil
+}
+
+// DecideRow turns row r of a ProbsBatch probability matrix into this
+// pipeline's Detection: threshold, then the k-of-n debounce vote, which
+// advances by one frame — rows must therefore be consumed in frame order.
+// Callers serialize DecideRow the same way they serialize Detect.
+func (p *Pipeline) DecideRow(probs *tensor.Tensor, r int) Detection {
+	pObstacle := float64(probs.At2(r, 1))
 	raw := pObstacle >= p.threshold
 	decided := raw
 	if p.debounceN > 0 {
@@ -125,8 +168,25 @@ func (p *Pipeline) Detect(frame *tensor.Tensor) (Detection, error) {
 	return Detection{
 		Obstacle:    decided,
 		Confidence:  pObstacle,
-		Uncertainty: safety.Entropy(probs.Row(0).Data()),
-	}, nil
+		Uncertainty: safety.Entropy(probs.Row(r).Data()),
+	}
+}
+
+// DetectBatch classifies the frames in one fused forward pass and returns
+// per-frame Detections in submission order. It is exactly equivalent to
+// calling Detect on each frame in sequence — same probabilities
+// (bit-identical kernels), same debounce trajectory — just one matmul per
+// layer instead of len(frames).
+func (p *Pipeline) DetectBatch(frames []*tensor.Tensor) ([]Detection, error) {
+	probs, err := p.ProbsBatch(frames)
+	if err != nil {
+		return nil, err
+	}
+	dets := make([]Detection, len(frames))
+	for i := range frames {
+		dets[i] = p.DecideRow(probs, i)
+	}
+	return dets, nil
 }
 
 // LoopConfig parameterizes a closed-loop scenario run.

@@ -166,13 +166,48 @@ func matMulRows(out, a, b *Tensor, accumulate bool, lo, hi int) {
 
 // MatMulTransB returns a·bᵀ for 2-D a (m×k) and b (n×k) → (m×n). This is the
 // natural kernel for dense-layer forward passes where weights are stored as
-// (out×in).
+// (out×in). Large products fan rows out across the SetMatMulWorkers budget;
+// each output row is computed wholly within one goroutine, so results stay
+// bit-identical to the serial kernel — the property the batched fleet path
+// relies on when a fused dense layer runs many frames as one product.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	m, n := checkMatMulShapes("MatMulTransB", a, b, nil, false, true)
 	k := a.shape[1]
 	out := New(m, n)
+	workers := resolveWorkers()
+	if workers > 1 && int64(m)*int64(k)*int64(n) >= parallelThreshold && m > 1 {
+		if workers > m {
+			workers = m
+		}
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matMulTransBRows(out, a, b, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return out
+	}
+	matMulTransBRows(out, a, b, 0, m)
+	return out
+}
+
+// matMulTransBRows computes output rows [lo, hi) of out = a·bᵀ.
+func matMulTransBRows(out, a, b *Tensor, lo, hi int) {
+	k, n := a.shape[1], out.shape[1]
 	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
@@ -184,7 +219,6 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // MatMulTransA returns aᵀ·b for 2-D a (k×m) and b (k×n) → (m×n). This is the

@@ -1,0 +1,77 @@
+package tensor
+
+// Batch stacking: the fleet batch planner groups per-instance frames into
+// one [N, ...] tensor so a whole group runs as a single fused forward
+// pass, then splits per-frame views back out. Stack/Unstack round-trip
+// exactly (copy in, view out).
+
+// Stack copies n equally shaped tensors into a fresh [n, shape...] tensor.
+// It panics on an empty input or a shape mismatch — batch formation is a
+// programmer-controlled path, not a data-dependent one.
+func Stack(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		failf("tensor: Stack of no tensors")
+	}
+	first := ts[0]
+	for i, t := range ts {
+		if t == nil {
+			failf("tensor: Stack item %d is nil", i)
+		}
+		if !SameShape(first, t) {
+			failf("tensor: Stack shape mismatch: item %d has %v, item 0 has %v", i, t.shape, first.shape)
+		}
+	}
+	shape := make([]int, 0, len(first.shape)+1)
+	shape = append(shape, len(ts))
+	shape = append(shape, first.shape...)
+	out := New(shape...)
+	StackInto(out, ts)
+	return out
+}
+
+// StackInto copies the tensors into consecutive slots of dst's leading
+// axis. dst must have leading dimension len(ts), and every item must hold
+// exactly dst.Len()/len(ts) elements; item shapes beyond their length are
+// not constrained, so a flat [S·S] frame stacks directly into a
+// [N,1,S,S] model input batch.
+func StackInto(dst *Tensor, ts []*Tensor) {
+	if len(ts) == 0 {
+		failf("tensor: StackInto of no tensors")
+	}
+	if len(dst.shape) == 0 || dst.shape[0] != len(ts) {
+		failf("tensor: StackInto dst shape %v, want leading dimension %d", dst.shape, len(ts))
+	}
+	stride := len(dst.data) / len(ts)
+	for i, t := range ts {
+		if t == nil {
+			failf("tensor: StackInto item %d is nil", i)
+		}
+		if len(t.data) != stride {
+			failf("tensor: StackInto item %d has %d elements, want %d", i, len(t.data), stride)
+		}
+		copy(dst.data[i*stride:(i+1)*stride], t.data)
+	}
+}
+
+// Unstack splits t's leading axis into views sharing t's storage: a
+// [n, shape...] tensor yields n tensors of shape [shape...]. Mutating a
+// view mutates t. It panics on a 0-D tensor.
+func Unstack(t *Tensor) []*Tensor {
+	if len(t.shape) == 0 {
+		failf("tensor: Unstack of 0-D tensor")
+	}
+	n := t.shape[0]
+	rest := append([]int(nil), t.shape[1:]...)
+	if len(rest) == 0 {
+		rest = []int{1}
+	}
+	stride := 0
+	if n > 0 {
+		stride = len(t.data) / n
+	}
+	out := make([]*Tensor, n)
+	for i := 0; i < n; i++ {
+		out[i] = &Tensor{shape: append([]int(nil), rest...), data: t.data[i*stride : (i+1)*stride]}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package tensor
+
+import "testing"
+
+func TestStackUnstackRoundTrip(t *testing.T) {
+	r := NewRNG(5)
+	items := []*Tensor{
+		RandNormal(r, 0, 1, 2, 3),
+		RandNormal(r, 0, 1, 2, 3),
+		RandNormal(r, 0, 1, 2, 3),
+	}
+	s := Stack(items)
+	if s.Dim(0) != 3 || s.Dim(1) != 2 || s.Dim(2) != 3 {
+		t.Fatalf("Stack shape %v, want [3 2 3]", s.Shape())
+	}
+	views := Unstack(s)
+	if len(views) != 3 {
+		t.Fatalf("Unstack returned %d views", len(views))
+	}
+	for i, v := range views {
+		if !Equal(items[i], v) {
+			t.Errorf("item %d did not round-trip", i)
+		}
+	}
+	// Unstack views share the stacked storage.
+	views[1].Data()[0] = 99
+	if s.At(1, 0, 0) != 99 {
+		t.Error("Unstack view does not alias the stacked tensor")
+	}
+	// Stack copied, so the originals are untouched.
+	if items[1].At2(0, 0) == 99 {
+		t.Error("Stack aliased its input instead of copying")
+	}
+}
+
+func TestStackIntoFlatFramesIntoBatch(t *testing.T) {
+	// The fleet path stacks flat [S·S] frames straight into a [N,1,S,S]
+	// model input: StackInto constrains element counts, not trailing shape.
+	const s = 4
+	frames := []*Tensor{New(s * s), New(s * s)}
+	frames[0].Fill(1)
+	frames[1].Fill(2)
+	dst := New(2, 1, s, s)
+	StackInto(dst, frames)
+	if dst.At(0, 0, 0, 0) != 1 || dst.At(1, 0, s-1, s-1) != 2 {
+		t.Errorf("StackInto placed frames wrongly: %v", dst.Data()[:4])
+	}
+}
+
+func TestUnstackOneDim(t *testing.T) {
+	v := FromSlice([]float32{7, 8, 9}, 3)
+	parts := Unstack(v)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for i, p := range parts {
+		if p.Len() != 1 || p.Dim(0) != 1 {
+			t.Fatalf("part %d shape %v, want [1]", i, p.Shape())
+		}
+		if p.Data()[0] != v.Data()[i] {
+			t.Errorf("part %d = %v", i, p.Data()[0])
+		}
+	}
+}
+
+func TestStackPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Stack empty", func() { Stack(nil) })
+	expectPanic("Stack nil item", func() { Stack([]*Tensor{New(2), nil}) })
+	expectPanic("Stack shape mismatch", func() { Stack([]*Tensor{New(2, 3), New(3, 2)}) })
+	expectPanic("StackInto empty", func() { StackInto(New(1, 2), nil) })
+	expectPanic("StackInto wrong leading dim", func() { StackInto(New(3, 2), []*Tensor{New(2), New(2)}) })
+	expectPanic("StackInto wrong element count", func() { StackInto(New(2, 2), []*Tensor{New(2), New(3)}) })
+	expectPanic("Unstack 0-D", func() { Unstack(New()) })
+}

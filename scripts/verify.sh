@@ -23,6 +23,10 @@
 #                          as part of step 5)
 #   8. docs consistency  — the METRICS.md cross-check: every emitted metric
 #                          documented, every documented metric emitted
+#   9. fleet throughput  — scripts/bench_fleet.sh: the batched fused
+#                          dispatch path must not be slower than the
+#                          per-instance path at fleet sizes ≥ 8 (best of
+#                          two attempts); writes BENCH_fleet.json
 #
 # Artifacts land in $VERIFY_ARTIFACT_DIR (default: a fresh temp dir,
 # echoed so CI can collect it).
@@ -79,10 +83,12 @@ fi
 step go test ./...
 step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
+step go test -run '^$' -fuzz FuzzStackRoundTrip -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
 step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry/otlp/
 step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemetry/
 step go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 5s ./internal/fault/
 step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
+step scripts/bench_fleet.sh
 
 echo "verify: all gates passed (artifacts: $ARTIFACT_DIR)"
