@@ -422,16 +422,22 @@ func BenchmarkA5_HalfStoreRestore(b *testing.B) {
 
 // --- Fleet throughput: fused batched dispatch vs the per-instance path. ---
 
-// benchFleet builds a fleet of size clones of the obstacle stack — same
-// trained weights, same nested plans, so every instance shares a
-// CheckpointID and the batch planner can fuse across the whole fleet.
+// benchFleet builds a fleet of size clones of the obstacle stack — every
+// instance a copy-on-write view over the zoo's one shared checkpoint
+// store, so the whole fleet shares a CheckpointID and the batch planner
+// can fuse across it without re-fingerprinting.
 func benchFleet(b testing.TB, size int) (*fleet.Fleet, []string, []*tensor.Tensor) {
 	b.Helper()
 	z := zooTB(b)
 	f := fleet.New()
+	b.Cleanup(func() {
+		if err := f.Release(); err != nil {
+			b.Error(err)
+		}
+	})
 	names := make([]string, size)
 	for i := range names {
-		model, rm, err := z.ObstacleStack(nil, platform.EmbeddedCPU())
+		model, rm, err := z.ObstacleStackView(platform.EmbeddedCPU())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -131,6 +131,12 @@ func TestRunChaosDrill(t *testing.T) {
 		// skipKind skips the rpn_fault_injections_total cross-check for
 		// faults that fire after the probe (the otlp-outage final flush).
 		skipKind bool
+		// finalStates overrides the expected end-of-run /healthz per
+		// instance (default: every car healthy). Permanent fault kinds end
+		// with the target still fenced.
+		finalStates map[string]string
+		// status overrides the expected /healthz status (default "ok").
+		status string
 	}{
 		{
 			// Poison fires on car1's first level transition; the NaN output
@@ -185,6 +191,25 @@ func TestRunChaosDrill(t *testing.T) {
 			minRestores:    1,
 		},
 		{
+			// Bit flips in car1's recovery store on its first level
+			// transition. The damage is silent until the governor next
+			// restores toward dense: the per-level checksum refuses the
+			// restore, the watchdog classifies it unrecoverable, and car1 is
+			// quarantined permanently — no restore can heal a corrupt store,
+			// so unlike every other drill this one must NOT end healthy.
+			// 64 flips spread over every level's displaced values so any
+			// restore path crosses damage. Chaos cars are built over private
+			// stores, so car0/car2 share nothing with the blast radius.
+			name:           "store-corrupt",
+			spec:           "store-corrupt:car1:for=1:n=64",
+			minTransitions: 1, // Healthy→Quarantined, one-way
+			reason:         "store-corrupt",
+			minReason:      1,
+			minRestores:    0,
+			finalStates:    map[string]string{"car0": "healthy", "car1": "quarantined", "car2": "healthy"},
+			status:         "degraded",
+		},
+		{
 			// A collector outage fails the first two POSTs; the exporter's
 			// jittered retries must still land the final flush. No instance
 			// faults: the whole fleet stays healthy throughout.
@@ -209,14 +234,24 @@ func TestRunChaosDrill(t *testing.T) {
 				t.Fatal("probe never ran")
 			}
 
-			// Every drill ends recovered: /healthz reports all three
-			// instances healthy and the overall status ok.
-			if scrape.status != "ok" {
-				t.Errorf("healthz status = %q, want ok (health %v)", scrape.status, scrape.health)
+			// Most drills end recovered — /healthz reports all three
+			// instances healthy and the overall status ok. Permanent fault
+			// kinds (store-corrupt) instead end with the target fenced and
+			// the endpoint degraded.
+			wantStatus := tc.status
+			if wantStatus == "" {
+				wantStatus = "ok"
+			}
+			if scrape.status != wantStatus {
+				t.Errorf("healthz status = %q, want %q (health %v)", scrape.status, wantStatus, scrape.health)
 			}
 			for _, car := range []string{"car0", "car1", "car2"} {
-				if st := scrape.health[car]; st != "healthy" {
-					t.Errorf("final %s state = %q, want healthy", car, st)
+				want := "healthy"
+				if tc.finalStates != nil {
+					want = tc.finalStates[car]
+				}
+				if st := scrape.health[car]; st != want {
+					t.Errorf("final %s state = %q, want %q", car, st, want)
 				}
 			}
 

@@ -26,12 +26,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/governor"
 	"repro/internal/health"
 	"repro/internal/metrics"
+	"repro/internal/nn"
 	"repro/internal/perception"
 	"repro/internal/platform"
 	"repro/internal/safety"
@@ -392,7 +394,21 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 	vehicles := make([]fleetVehicle, 0, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("car%d", i)
-		model, rm, err := z.ObstacleStack(nil, spec)
+		// Clean fleets share one checkpoint store copy-on-write: every car
+		// is a view over the same dense snapshot and recovery deltas. A
+		// chaos drill instead builds each car its own stack — store-corrupt
+		// flips bits in displaced values, and an unshared store keeps that
+		// blast radius to the targeted car.
+		var (
+			model *nn.Sequential
+			rm    *core.ReversibleModel
+			err   error
+		)
+		if inj == nil {
+			model, rm, err = z.ObstacleStackView(spec)
+		} else {
+			model, rm, err = z.ObstacleStack(nil, spec)
+		}
 		if err != nil {
 			return err
 		}
@@ -455,6 +471,15 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 			seed:  seed + int64(i),
 		})
 	}
+
+	// Views hold store references; detach them once the run is over so a
+	// leaked reference in fleet teardown shows up as an error, not as
+	// permanently resident recovery deltas.
+	defer func() {
+		if err := f.Release(); err != nil {
+			fmt.Fprintln(os.Stderr, "simdrive: fleet teardown:", err)
+		}
+	}()
 
 	// While every clone still shares its checkpoint and prune level — the
 	// one moment the whole fleet is guaranteed fusable — measure the fused

@@ -27,7 +27,10 @@ func run(w io.Writer) error {
 	f := revprune.NewFleet()
 	names := []string{"lead", "follow"}
 	for _, name := range names {
-		model, rm, err := zoo.ObstacleStack(nil, spec)
+		// Both vehicles are copy-on-write views over one shared checkpoint
+		// store: the dense weights and recovery deltas are resident once,
+		// not once per vehicle.
+		model, rm, err := zoo.ObstacleStackView(spec)
 		if err != nil {
 			return err
 		}
@@ -47,6 +50,12 @@ func run(w io.Writer) error {
 			return err
 		}
 	}
+	// Views hold store references; detach them when the demo is done.
+	defer func() {
+		if err := f.Release(); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet teardown:", err)
+		}
+	}()
 
 	levels := func(w io.Writer, caption string) {
 		fmt.Fprintf(w, "\n%s\n%-8s %7s %7s %11s %9s\n", caption,

@@ -61,10 +61,11 @@ type Level struct {
 // deepening into a level, along with their displaced dense values. Values
 // are held either exactly (float32) or half-precision compressed
 // (bfloat16-style, high 16 bits of the float32 pattern), trading bit-exact
-// reversal for half the store memory.
+// reversal for half the store memory. Deltas live in the shared
+// CheckpointStore; the per-view live-buffer slices they are applied to are
+// cached view-side (ReversibleModel.bufs), index-aligned with these.
 type delta struct {
 	param    string
-	data     []float32 // the live parameter buffer (aliases Param.Value)
 	indices  []int32
 	values   []float32 // exact store (nil when compressed)
 	values16 []uint16  // compressed store (nil when exact)
@@ -142,18 +143,30 @@ type TransitionStats struct {
 	WeightsZeroed, WeightsRestored int64
 }
 
-// ReversibleModel is a network with an attached level library and recovery
-// store. It is not safe for concurrent use; a perception pipeline owns one.
+// ReversibleModel is a live network viewing a shared CheckpointStore: the
+// store holds the sealed dense snapshot, the level library, and every
+// level's displaced values exactly once; the view holds the current level,
+// transition statistics, and — copy-on-write — only the weight buffers
+// transitions have actually written. Build returns the first view of a
+// fresh store; CheckpointStore.NewView clones further instances in O(1)
+// weight memory. It is not safe for concurrent use; a perception pipeline
+// owns one.
 type ReversibleModel struct {
 	model    *nn.Sequential
-	levels   []*Level
-	deltas   [][]delta // deltas[i] moves level i-1 → i, for i ≥ 1
+	store    *CheckpointStore
 	current  int
-	hash0    uint64 // FNV-64a of dense prunable weights at Build time
-	ckpt     uint64 // hash0 folded with every level's delta layout
-	lossy    bool   // half-precision recovery store
 	stats    TransitionStats
 	observer TransitionObserver // nil: observation disabled (zero cost)
+
+	// Copy-on-write state. aliased marks prunable parameters still reading
+	// the store's snapshot buffer; bufs caches the live buffer of every
+	// delta (index-aligned with store.deltas) so the transition hot loop
+	// stays allocation- and lookup-free; privateBytes counts materialized
+	// and copied buffers.
+	aliased      map[string]bool
+	bufs         [][][]float32
+	privateBytes int64
+	released     bool
 }
 
 // BuildOption configures Build.
@@ -210,9 +223,9 @@ func Build(model *nn.Sequential, plans []*prune.Plan, opts ...BuildOption) (*Rev
 		}
 	}
 
-	rm := &ReversibleModel{model: model, hash0: hashPrunable(model), lossy: cfg.halfPrecision}
-	rm.levels = append(rm.levels, &Level{ID: 0, Name: "L0"})
-	rm.deltas = append(rm.deltas, nil) // deltas[0] unused
+	st := &CheckpointStore{hash0: hashPrunable(model), lossy: cfg.halfPrecision}
+	st.levels = append(st.levels, &Level{ID: 0, Name: "L0"})
+	st.deltas = append(st.deltas, nil) // deltas[0] unused
 
 	prevMasks := map[string]*prune.Mask{}
 	for i, p := range plans {
@@ -239,24 +252,35 @@ func Build(model *nn.Sequential, plans []*prune.Plan, opts ...BuildOption) (*Rev
 			} else {
 				d.values = make([]float32, len(idx))
 			}
-			// Cache the live buffer: tensors are never reallocated (layers
-			// edit values in place), so transitions can skip the per-delta
-			// name lookup — ApplyLevel stays allocation-free.
-			d.data = model.Param(name).Value.Data()
-			w := d.data
+			w := model.Param(name).Value.Data()
 			for j, k := range idx {
 				d.indices[j] = int32(k)
 				d.capture(j, w[k])
 			}
 			ds = append(ds, d)
 		}
-		rm.deltas = append(rm.deltas, ds)
-		rm.levels = append(rm.levels, lvl)
+		st.deltas = append(st.deltas, ds)
+		st.levels = append(st.levels, lvl)
 		for name, mask := range p.Masks {
 			prevMasks[name] = mask
 		}
 	}
-	rm.ckpt = rm.fingerprint()
+	// Seal the dense snapshot: the first view's live buffers ARE the
+	// snapshot (zero copies at Build). Clones alias these copy-on-write;
+	// the first view's own aliased flags make it materialize private
+	// buffers before its transitions write, exactly like any clone.
+	for _, p := range model.Params() {
+		st.dense = append(st.dense, denseParam{name: p.Name, data: p.Value.Data(), prunable: p.Prunable})
+	}
+	st.ckpt = st.fingerprint()
+	st.seal()
+
+	rm := &ReversibleModel{model: model, store: st, aliased: map[string]bool{}}
+	for _, p := range model.PrunableParams() {
+		rm.aliased[p.Name] = true
+	}
+	rm.rebindAll()
+	st.Acquire()
 	return rm, nil
 }
 
@@ -264,21 +288,21 @@ func Build(model *nn.Sequential, plans []*prune.Plan, opts ...BuildOption) (*Rev
 // (parameter names and pruned indices, in application order) into one
 // FNV-64a value. Two models agree exactly at every level iff their dense
 // weights and nested plans agree, which is what this fingerprint proxies.
-func (rm *ReversibleModel) fingerprint() uint64 {
+func (s *CheckpointStore) fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	buf[0] = byte(rm.hash0)
-	buf[1] = byte(rm.hash0 >> 8)
-	buf[2] = byte(rm.hash0 >> 16)
-	buf[3] = byte(rm.hash0 >> 24)
-	buf[4] = byte(rm.hash0 >> 32)
-	buf[5] = byte(rm.hash0 >> 40)
-	buf[6] = byte(rm.hash0 >> 48)
-	buf[7] = byte(rm.hash0 >> 56)
+	buf[0] = byte(s.hash0)
+	buf[1] = byte(s.hash0 >> 8)
+	buf[2] = byte(s.hash0 >> 16)
+	buf[3] = byte(s.hash0 >> 24)
+	buf[4] = byte(s.hash0 >> 32)
+	buf[5] = byte(s.hash0 >> 40)
+	buf[6] = byte(s.hash0 >> 48)
+	buf[7] = byte(s.hash0 >> 56)
 	h.Write(buf[:])
-	for l := 1; l < len(rm.deltas); l++ {
-		for di := range rm.deltas[l] {
-			d := &rm.deltas[l][di]
+	for l := 1; l < len(s.deltas); l++ {
+		for di := range s.deltas[l] {
+			d := &s.deltas[l][di]
 			h.Write([]byte(d.param))
 			h.Write([]byte{0})
 			for _, k := range d.indices {
@@ -299,37 +323,44 @@ func (rm *ReversibleModel) fingerprint() uint64 {
 // family share a CheckpointID and therefore hold bit-identical weights at
 // every prune level — the precondition the fleet batch planner requires
 // before fusing their frames into one batched forward pass. The value is
-// computed at Build (and refreshed by RefreshStore) and never changes
-// across level transitions, so reading it is cheap.
-func (rm *ReversibleModel) CheckpointID() uint64 { return rm.ckpt }
+// computed once when the store is sealed (Build, RefreshStore) and shared
+// by every view, so neither reading it nor cloning an instance re-hashes
+// the weights.
+func (rm *ReversibleModel) CheckpointID() uint64 { return rm.store.ckpt }
 
 // Model returns the live network. Its weights reflect the current level.
 func (rm *ReversibleModel) Model() *nn.Sequential { return rm.model }
 
 // NumLevels returns the library size including the dense level L0.
-func (rm *ReversibleModel) NumLevels() int { return len(rm.levels) }
+func (rm *ReversibleModel) NumLevels() int { return len(rm.store.levels) }
 
 // Current returns the active level index.
 func (rm *ReversibleModel) Current() int { return rm.current }
 
 // Level returns the metadata of level i.
 func (rm *ReversibleModel) Level(i int) *Level {
-	if i < 0 || i >= len(rm.levels) {
-		failf("core: level %d out of range [0,%d)", i, len(rm.levels))
+	if i < 0 || i >= len(rm.store.levels) {
+		failf("core: level %d out of range [0,%d)", i, len(rm.store.levels))
 	}
-	return rm.levels[i]
+	return rm.store.levels[i]
 }
 
-// Levels returns the level metadata slice (shared; do not mutate entries'
-// identity fields).
-func (rm *ReversibleModel) Levels() []*Level { return rm.levels }
+// Levels returns the level metadata slice (shared across every view of the
+// store; do not mutate entries' identity fields).
+func (rm *ReversibleModel) Levels() []*Level { return rm.store.levels }
 
 // SetObserver installs (or, with nil, removes) the transition observer.
 // The hook is nil-safe by construction: with no observer, ApplyLevel takes
 // no clock readings and performs no extra allocations. SetObserver is not
 // synchronized with ApplyLevel; install the observer before the model is
 // shared (perception.Concurrent serializes the callers afterwards).
-func (rm *ReversibleModel) SetObserver(o TransitionObserver) { rm.observer = o }
+// An observer that also implements StoreObserver additionally receives
+// checksum-verification and residency reports, starting with the view's
+// current residency at install time.
+func (rm *ReversibleModel) SetObserver(o TransitionObserver) {
+	rm.observer = o
+	rm.reportResidency()
+}
 
 // Stats returns a copy of the accumulated transition statistics.
 func (rm *ReversibleModel) Stats() TransitionStats { return rm.stats }
@@ -340,14 +371,40 @@ func (rm *ReversibleModel) ResetStats() { rm.stats = TransitionStats{} }
 // ApplyLevel transitions the live model to the target level, deepening
 // (zeroing newly pruned weights) or reverting (restoring displaced values)
 // as needed. The cost is proportional to the number of weights that differ
-// between the current and target levels. ApplyLevel is a no-op for the
+// between the current and target levels, plus — on revert paths — one
+// checksum pass over each crossed level's recovery data: every restore,
+// including the emergency ApplyLevel(0), verifies the displaced values it
+// is about to write and refuses the transition (weights and level
+// untouched, error wrapping ErrStoreCorrupt) if the store is corrupt.
+// The first transition that writes a still-aliased parameter materializes
+// a private copy-on-write buffer for it. ApplyLevel is a no-op for the
 // current level.
 func (rm *ReversibleModel) ApplyLevel(target int) error {
-	if target < 0 || target >= len(rm.levels) {
-		return fmt.Errorf("core: level %d out of range [0,%d)", target, len(rm.levels))
+	if rm.released {
+		return fmt.Errorf("core: ApplyLevel(%d) on a released view", target)
+	}
+	st := rm.store
+	if target < 0 || target >= len(st.levels) {
+		return fmt.Errorf("core: level %d out of range [0,%d)", target, len(st.levels))
 	}
 	if target == rm.current {
 		return nil
+	}
+	so, _ := rm.observer.(StoreObserver)
+	if target < rm.current {
+		// Verify every level about to be restored before writing anything:
+		// a failed transition must leave the weights exactly as they were.
+		for l := rm.current; l > target; l-- {
+			if err := st.VerifyLevel(l); err != nil {
+				if so != nil {
+					so.ObserveStoreCheck(false)
+				}
+				return fmt.Errorf("core: refusing restore %d→%d: %w", rm.current, target, err)
+			}
+			if so != nil {
+				so.ObserveStoreCheck(true)
+			}
+		}
 	}
 	from := rm.current
 	var t0 time.Time
@@ -359,13 +416,16 @@ func (rm *ReversibleModel) ApplyLevel(target int) error {
 	var moved int64
 	if target > rm.current {
 		for l := rm.current + 1; l <= target; l++ {
-			for di := range rm.deltas[l] {
-				d := &rm.deltas[l][di]
+			for di := range st.deltas[l] {
+				d := &st.deltas[l][di]
+				if rm.aliased[d.param] {
+					rm.materialize(d.param)
+				}
 				var pt time.Time
 				if po != nil {
 					pt = now()
 				}
-				w := d.data
+				w := rm.bufs[l][di]
 				for _, k := range d.indices {
 					w[k] = 0
 				}
@@ -379,13 +439,16 @@ func (rm *ReversibleModel) ApplyLevel(target int) error {
 		rm.stats.Deepen++
 	} else {
 		for l := rm.current; l > target; l-- {
-			for di := range rm.deltas[l] {
-				d := &rm.deltas[l][di]
+			for di := range st.deltas[l] {
+				d := &st.deltas[l][di]
+				if rm.aliased[d.param] {
+					rm.materialize(d.param)
+				}
 				var pt time.Time
 				if po != nil {
 					pt = now()
 				}
-				w := d.data
+				w := rm.bufs[l][di]
 				for j, k := range d.indices {
 					w[k] = d.value(j)
 				}
@@ -414,46 +477,32 @@ func (rm *ReversibleModel) RestoreFull() error { return rm.ApplyLevel(0) }
 // transition writes — the analytic transition-cost model behind experiment
 // T5.
 func (rm *ReversibleModel) WeightsChanged(from, to int) int64 {
-	if from < 0 || from >= len(rm.levels) || to < 0 || to >= len(rm.levels) {
-		failf("core: WeightsChanged(%d,%d) out of range [0,%d)", from, to, len(rm.levels))
+	st := rm.store
+	if from < 0 || from >= len(st.levels) || to < 0 || to >= len(st.levels) {
+		failf("core: WeightsChanged(%d,%d) out of range [0,%d)", from, to, len(st.levels))
 	}
 	if from > to {
 		from, to = to, from
 	}
 	var n int64
 	for l := from + 1; l <= to; l++ {
-		for _, d := range rm.deltas[l] {
+		for _, d := range st.deltas[l] {
 			n += int64(len(d.indices))
 		}
 	}
 	return n
 }
 
-// StoreBytes returns the memory footprint of the recovery store: displaced
-// values plus their indices. This is the overhead reversibility costs over
-// an ordinary pruned deployment (experiment T1 compares it to per-level
-// full checkpoints).
-func (rm *ReversibleModel) StoreBytes() int64 {
-	var n int64
-	for _, ds := range rm.deltas {
-		for i := range ds {
-			n += int64(len(ds[i].indices))*4 + int64(ds[i].count())*ds[i].bytesPerValue()
-		}
-	}
-	return n
-}
+// StoreBytes returns the memory footprint of the shared recovery store:
+// displaced values plus their indices. This is the overhead reversibility
+// costs over an ordinary pruned deployment (experiment T1 compares it to
+// per-level full checkpoints); with views it is paid once per store, not
+// per instance.
+func (rm *ReversibleModel) StoreBytes() int64 { return rm.store.StoreBytes() }
 
 // StoredWeights returns the total number of displaced weights held by the
 // recovery store.
-func (rm *ReversibleModel) StoredWeights() int64 {
-	var n int64
-	for _, ds := range rm.deltas {
-		for i := range ds {
-			n += int64(ds[i].count())
-		}
-	}
-	return n
-}
+func (rm *ReversibleModel) StoredWeights() int64 { return rm.store.StoredWeights() }
 
 // Calibrate fills each level's Accuracy by applying it and running eval,
 // then returns the model to the level that was active. Calibration runs
@@ -463,11 +512,11 @@ func (rm *ReversibleModel) Calibrate(eval func(m *nn.Sequential) float64) error 
 		return fmt.Errorf("core: Calibrate with nil evaluator")
 	}
 	prev := rm.current
-	for i := range rm.levels {
+	for i := range rm.store.levels {
 		if err := rm.ApplyLevel(i); err != nil {
 			return err
 		}
-		rm.levels[i].Accuracy = eval(rm.model)
+		rm.store.levels[i].Accuracy = eval(rm.model)
 	}
 	return rm.ApplyLevel(prev)
 }
@@ -483,14 +532,14 @@ func (rm *ReversibleModel) SetCost(i int, latencyMS, energyMJ float64) {
 // value captured at Build time — the end-to-end reversibility integrity
 // check. Calling it at any other level is an error.
 func (rm *ReversibleModel) VerifyDense() error {
-	if rm.lossy {
+	if rm.store.lossy {
 		return fmt.Errorf("core: VerifyDense unavailable with a half-precision store (restoration is approximate)")
 	}
 	if rm.current != 0 {
 		return fmt.Errorf("core: VerifyDense at level %d; restore to L0 first", rm.current)
 	}
-	if h := hashPrunable(rm.model); h != rm.hash0 {
-		return fmt.Errorf("core: dense weight hash mismatch: %#x != %#x (weights modified outside the level library?)", h, rm.hash0)
+	if h := hashPrunable(rm.model); h != rm.store.hash0 {
+		return fmt.Errorf("core: dense weight hash mismatch: %#x != %#x (weights modified outside the level library?)", h, rm.store.hash0)
 	}
 	return nil
 }
@@ -499,7 +548,7 @@ func (rm *ReversibleModel) VerifyDense() error {
 // masks: every pruned position must be exactly zero. It is O(total
 // weights) and intended for tests and debugging.
 func (rm *ReversibleModel) CheckInvariants() error {
-	lvl := rm.levels[rm.current]
+	lvl := rm.store.levels[rm.current]
 	if lvl.Plan == nil {
 		return nil
 	}
@@ -522,7 +571,7 @@ func (rm *ReversibleModel) CheckInvariants() error {
 // (those need the dense checkpoint), but at deep levels the majority of
 // weight memory is store-covered.
 func (rm *ReversibleModel) Scrub() int64 {
-	lvl := rm.levels[rm.current]
+	lvl := rm.store.levels[rm.current]
 	if lvl.Plan == nil {
 		return 0
 	}
@@ -539,23 +588,46 @@ func (rm *ReversibleModel) Scrub() int64 {
 	return repaired
 }
 
-// RefreshStore recaptures displaced weights from the current dense weights.
-// Call it after offline fine-tuning at L0 invalidates the captured values.
-// The model must be at L0.
+// RefreshStore re-seals the shared store from the view's current dense
+// weights: the snapshot is rewritten, displaced values recaptured, and the
+// fingerprint and integrity checksums recomputed. Call it after offline
+// fine-tuning at L0 invalidates the captured values. The model must be at
+// L0, and the view must be the store's sole owner (refcount 1): rewriting
+// a snapshot other views alias would change their weights underneath them.
 func (rm *ReversibleModel) RefreshStore() error {
 	if rm.current != 0 {
 		return fmt.Errorf("core: RefreshStore at level %d; restore to L0 first", rm.current)
 	}
-	for l := 1; l < len(rm.levels); l++ {
-		for di := range rm.deltas[l] {
-			d := &rm.deltas[l][di]
+	st := rm.store
+	if n := st.Refs(); n != 1 {
+		return fmt.Errorf("core: RefreshStore with %d views attached; the store must be solely owned", n)
+	}
+	// Fold the view's materialized buffers back into the snapshot and
+	// re-alias, so the refreshed store is again shared-from-scratch.
+	for i := range st.dense {
+		dp := &st.dense[i]
+		if !dp.prunable || rm.aliased[dp.name] {
+			continue
+		}
+		p := rm.model.Param(dp.name)
+		copy(dp.data, p.Value.Data())
+		rm.privateBytes -= int64(len(dp.data)) * 4
+		p.Value.SetData(dp.data)
+		rm.aliased[dp.name] = true
+		rm.rebind(dp.name, dp.data)
+	}
+	for l := 1; l < len(st.deltas); l++ {
+		for di := range st.deltas[l] {
+			d := &st.deltas[l][di]
+			w := rm.bufs[l][di]
 			for j, k := range d.indices {
-				d.capture(j, d.data[k])
+				d.capture(j, w[k])
 			}
 		}
 	}
-	rm.hash0 = hashPrunable(rm.model)
-	rm.ckpt = rm.fingerprint()
+	st.hash0 = hashPrunable(rm.model)
+	st.ckpt = st.fingerprint()
+	st.seal()
 	return nil
 }
 

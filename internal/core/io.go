@@ -70,11 +70,11 @@ func (rm *ReversibleModel) saveBody(w io.Writer) error {
 		return fmt.Errorf("core: save weights: %w", err)
 	}
 	var n4 [4]byte
-	binary.LittleEndian.PutUint32(n4[:], uint32(len(rm.levels)-1))
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(rm.store.levels)-1))
 	if _, err := w.Write(n4[:]); err != nil {
 		return fmt.Errorf("core: save level count: %w", err)
 	}
-	for _, lvl := range rm.levels[1:] {
+	for _, lvl := range rm.store.levels[1:] {
 		if err := writeString(w, lvl.Plan.Method); err != nil {
 			return err
 		}
@@ -95,7 +95,7 @@ func (rm *ReversibleModel) saveBody(w io.Writer) error {
 			}
 		}
 	}
-	for _, lvl := range rm.levels {
+	for _, lvl := range rm.store.levels {
 		for _, v := range []float64{lvl.Sparsity, lvl.Accuracy, lvl.LatencyMS, lvl.EnergyMJ} {
 			if err := writeFloat64(w, v); err != nil {
 				return err
@@ -183,7 +183,7 @@ func loadBody(model *nn.Sequential, r io.Reader) (*ReversibleModel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild from bundle: %w", err)
 	}
-	for _, lvl := range rm.levels {
+	for _, lvl := range rm.store.levels {
 		vals := make([]float64, 4)
 		for k := range vals {
 			v, err := readFloat64(r)

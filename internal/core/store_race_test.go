@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAcquireApplyRelease hammers the store refcount from many
+// goroutines while every goroutine transitions its own private view. Views
+// themselves are single-owner (each goroutine drives only its own), but
+// Acquire/NewView/Release and all shared-store reads must be race-free —
+// this is the -race contract the fleet relies on when instances are cloned
+// and torn down while siblings keep transitioning.
+func TestConcurrentAcquireApplyRelease(t *testing.T) {
+	rm, _ := buildRM(t, 17)
+	st := rm.Store()
+	const workers = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				view, err := st.NewView(buildModel(seed))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for l := 0; l < view.NumLevels(); l++ {
+					if err := view.ApplyLevel(l); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := view.ApplyLevel(0); err != nil {
+					errs <- err
+					return
+				}
+				if err := view.VerifyDense(); err != nil {
+					errs <- err
+					return
+				}
+				if err := view.Release(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := st.Refs(); got != 1 {
+		t.Fatalf("leaked store references: Refs = %d, want 1 (the builder's view)", got)
+	}
+	// The original view must be untouched by all that cloning.
+	if err := rm.VerifyDense(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBareAcquireRelease exercises the raw refcount without
+// views, including the over-release error path, under -race.
+func TestConcurrentBareAcquireRelease(t *testing.T) {
+	rm, _ := buildRM(t, 18)
+	st := rm.Store()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				st.Acquire()
+				if err := st.Release(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Refs(); got != 1 {
+		t.Fatalf("Refs = %d after balanced acquire/release storm, want 1", got)
+	}
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// newView clones a fresh architecture-identical view from rm's store.
+func newView(t *testing.T, rm *ReversibleModel, seed int64) *ReversibleModel {
+	t.Helper()
+	view, err := rm.Store().NewView(buildModel(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func TestNewViewSharesWeightsCopyOnWrite(t *testing.T) {
+	rm, m := buildRM(t, 1)
+	view := newView(t, rm, 99) // different init seed: snapshot must win
+	for _, p := range m.PrunableParams() {
+		vp := view.Model().Param(p.Name)
+		if !tensor.SharesData(p.Value, vp.Value) {
+			t.Fatalf("clone %q must alias the dense snapshot", p.Name)
+		}
+	}
+	if got := view.PrivateBytes(); got >= rm.Store().SharedBytes()/4 {
+		t.Fatalf("fresh view PrivateBytes = %d, want O(biases) only", got)
+	}
+
+	// Deepening the clone must not disturb the original (copy-on-write).
+	before := snapshotAll(m)
+	if err := view.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	compareSnapshots(t, m, before)
+	for _, p := range m.PrunableParams() {
+		vp := view.Model().Param(p.Name)
+		if tensor.SharesData(p.Value, vp.Value) {
+			t.Fatalf("%q still aliased after the clone deepened through it", p.Name)
+		}
+	}
+	if view.PrivateBytes() == 0 {
+		t.Fatal("PrivateBytes must grow after materialization")
+	}
+
+	// And the clone restores bit-exactly from the shared store.
+	if err := view.ApplyLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.VerifyDense(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewMatchesOriginalAtEveryLevel(t *testing.T) {
+	rm, m := buildRM(t, 7)
+	view := newView(t, rm, 8)
+	for l := 0; l < rm.NumLevels(); l++ {
+		if err := rm.ApplyLevel(l); err != nil {
+			t.Fatal(err)
+		}
+		if err := view.ApplyLevel(l); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Params() {
+			vp := view.Model().Param(p.Name)
+			if !tensor.Equal(p.Value, vp.Value) {
+				t.Fatalf("level %d: %q differs between original and view", l, p.Name)
+			}
+		}
+	}
+	if rm.CheckpointID() != view.CheckpointID() {
+		t.Fatal("views of one store must share its CheckpointID")
+	}
+	if err := rm.ApplyLevel(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewViewRejectsMismatchedArchitecture(t *testing.T) {
+	rm, _ := buildRM(t, 1)
+	rng := tensor.NewRNG(3)
+	other := nn.NewSequential("m",
+		nn.NewDense("fc1", 12, 24, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("fc2", 24, 16, rng),
+	)
+	if _, err := rm.Store().NewView(other); err == nil {
+		t.Fatal("NewView must reject an architecture with missing parameters")
+	}
+	if _, err := rm.Store().NewView(nil); err == nil {
+		t.Fatal("NewView must reject a nil model")
+	}
+}
+
+func TestRefcountLifecycle(t *testing.T) {
+	rm, _ := buildRM(t, 1)
+	st := rm.Store()
+	if got := st.Refs(); got != 1 {
+		t.Fatalf("Refs after Build = %d, want 1", got)
+	}
+	v1 := newView(t, rm, 2)
+	v2 := newView(t, rm, 3)
+	if got := st.Refs(); got != 3 {
+		t.Fatalf("Refs after two clones = %d, want 3", got)
+	}
+	if err := v1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Release(); err == nil {
+		t.Fatal("double Release must be an error")
+	}
+	if !v1.Released() {
+		t.Fatal("Released() must report true after Release")
+	}
+	if err := v1.ApplyLevel(1); err == nil {
+		t.Fatal("ApplyLevel on a released view must fail")
+	}
+	if err := v2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Refs(); got != 0 {
+		t.Fatalf("Refs after releasing every view = %d, want 0", got)
+	}
+	if err := st.Release(); err == nil {
+		t.Fatal("over-releasing the store must be an error")
+	}
+}
+
+func TestChecksumTripsOnRestore(t *testing.T) {
+	rm, _ := buildRM(t, 5)
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if n := rm.CorruptDisplaced(4, 1234); n != 4 {
+		t.Fatalf("CorruptDisplaced flipped %d bits, want 4", n)
+	}
+	before := snapshotAll(rm.Model())
+	err := rm.ApplyLevel(0)
+	if err == nil {
+		t.Fatal("restore over a corrupted store must fail")
+	}
+	if !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("error %v must wrap ErrStoreCorrupt", err)
+	}
+	// The refused transition must not have touched weights or level.
+	compareSnapshots(t, rm.Model(), before)
+	if rm.Current() != 2 {
+		t.Fatalf("Current = %d after refused restore, want 2", rm.Current())
+	}
+	// Deepening does not read displaced values and stays available.
+	if err := rm.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumTripsOnHalfPrecisionStore(t *testing.T) {
+	m := buildModel(11)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Build(m, plans, WithHalfPrecisionStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if n := rm.CorruptDisplaced(1, 77); n != 1 {
+		t.Fatalf("flipped %d, want 1", n)
+	}
+	if err := rm.ApplyLevel(0); !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("lossy store corruption must trip the checksum, got %v", err)
+	}
+}
+
+func TestVerifyCleanStore(t *testing.T) {
+	rm, _ := buildRM(t, 1)
+	if err := rm.Store().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Store().VerifyLevel(0); err == nil {
+		t.Fatal("VerifyLevel(0) must be a usage error (dense level has no deltas)")
+	}
+	if err := rm.Store().VerifyLevel(99); err == nil {
+		t.Fatal("VerifyLevel out of range must error")
+	}
+}
+
+func TestPrivatizeIsolatesInjectedDamage(t *testing.T) {
+	rm, m := buildRM(t, 9)
+	view := newView(t, rm, 10)
+	view.Privatize()
+	for _, p := range m.PrunableParams() {
+		vp := view.Model().Param(p.Name)
+		if tensor.SharesData(p.Value, vp.Value) {
+			t.Fatalf("%q still aliased after Privatize", p.Name)
+		}
+	}
+	// A stray write into the privatized view must not reach the original.
+	before := snapshotAll(m)
+	view.Model().PrunableParams()[0].Value.Data()[0] = 42
+	compareSnapshots(t, m, before)
+}
+
+func TestRefreshStoreRequiresSoleOwnership(t *testing.T) {
+	rm, _ := buildRM(t, 1)
+	view := newView(t, rm, 2)
+	if err := rm.RefreshStore(); err == nil {
+		t.Fatal("RefreshStore with two attached views must fail")
+	}
+	if err := view.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RefreshStore(); err != nil {
+		t.Fatalf("RefreshStore as sole owner: %v", err)
+	}
+	if err := rm.Store().Verify(); err != nil {
+		t.Fatalf("checksums stale after RefreshStore: %v", err)
+	}
+}
+
+func TestRefreshStoreResealsMaterializedView(t *testing.T) {
+	rm, m := buildRM(t, 13)
+	// Materialize everything, fine-tune a kept weight, and refresh.
+	if err := rm.ApplyLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	w := m.PrunableParams()[0].Value.Data()
+	w[firstKeptIndex(rm)] += 0.25
+	if err := rm.RefreshStore(); err != nil {
+		t.Fatal(err)
+	}
+	if rm.PrivateBytes() != 0 {
+		t.Fatalf("PrivateBytes = %d after RefreshStore, want 0 (re-aliased)", rm.PrivateBytes())
+	}
+	if err := rm.VerifyDense(); err != nil {
+		t.Fatal(err)
+	}
+	// Clones cut after the refresh see the fine-tuned snapshot.
+	view := newView(t, rm, 14)
+	if !tensor.Equal(m.PrunableParams()[0].Value, view.Model().PrunableParams()[0].Value) {
+		t.Fatal("post-refresh clone must read the refreshed snapshot")
+	}
+}
+
+// firstKeptIndex returns an index of prunable parameter 0 kept at the
+// deepest level (so editing it exercises the snapshot, not the deltas).
+func firstKeptIndex(rm *ReversibleModel) int {
+	p := rm.Model().PrunableParams()[0]
+	deepest := rm.Level(rm.NumLevels() - 1)
+	mask := deepest.Plan.Masks[p.Name]
+	if mask == nil {
+		return 0
+	}
+	for i := 0; i < mask.Len(); i++ {
+		if mask.Keep(i) {
+			return i
+		}
+	}
+	return 0
+}
+
+func TestStoreObserverSeesChecksAndResidency(t *testing.T) {
+	rm, _ := buildRM(t, 21)
+	obs := &storeObsRecorder{}
+	rm.SetObserver(obs)
+	if obs.residencyReports == 0 {
+		t.Fatal("SetObserver must report initial residency")
+	}
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ApplyLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	if obs.checksOK != 2 {
+		t.Fatalf("checksOK = %d after a 2-level restore, want 2", obs.checksOK)
+	}
+	if obs.lastRatio <= 0 || obs.lastRatio > 1 {
+		t.Fatalf("shared ratio %v out of (0,1]", obs.lastRatio)
+	}
+	rm.CorruptDisplaced(2, 5)
+	if err := rm.ApplyLevel(2); err != nil {
+		t.Fatal(err) // deepen: no store reads
+	}
+	if err := rm.ApplyLevel(0); !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("want ErrStoreCorrupt, got %v", err)
+	}
+	if obs.checksFailed == 0 {
+		t.Fatal("observer must see the failed checksum verification")
+	}
+}
+
+type storeObsRecorder struct {
+	checksOK, checksFailed int
+	residencyReports       int
+	lastPrivate            int64
+	lastRatio              float64
+}
+
+func (o *storeObsRecorder) ObserveTransition(from, to int, weights int64, elapsed time.Duration) {}
+
+func (o *storeObsRecorder) ObserveStoreCheck(ok bool) {
+	if ok {
+		o.checksOK++
+	} else {
+		o.checksFailed++
+	}
+}
+
+func (o *storeObsRecorder) ObserveStoreResidency(privateBytes int64, sharedRatio float64) {
+	o.residencyReports++
+	o.lastPrivate = privateBytes
+	o.lastRatio = sharedRatio
+}
+
+func TestRecoveryRoundTrip(t *testing.T) {
+	rm, _ := buildRM(t, 31)
+	var buf bytes.Buffer
+	if err := rm.Store().WriteRecovery(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadRecovery(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredWeights() != rm.StoredWeights() {
+		t.Fatalf("StoredWeights %d != %d", st.StoredWeights(), rm.StoredWeights())
+	}
+	if st.StoreBytes() != rm.StoreBytes() {
+		t.Fatalf("StoreBytes %d != %d", st.StoreBytes(), rm.StoreBytes())
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Payload-only stores refuse to hand out views.
+	if _, err := st.NewView(buildModel(31)); err == nil {
+		t.Fatal("NewView on a payload-only store must fail")
+	}
+	// A flipped bit anywhere in the displaced values fails the decode.
+	raw := buf.Bytes()
+	raw[len(raw)-16] ^= 0x40
+	if _, err := DecodeRecovery(raw); err == nil {
+		t.Fatal("decode of a tampered stream must fail")
+	}
+}
+
+func TestRecoveryRoundTripHalfPrecision(t *testing.T) {
+	m := buildModel(32)
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Build(m, plans, WithHalfPrecisionStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rm.Store().WriteRecovery(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeRecovery(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.lossy {
+		t.Fatal("lossy flag lost in round trip")
+	}
+	if st.StoredWeights() != rm.StoredWeights() {
+		t.Fatalf("StoredWeights %d != %d", st.StoredWeights(), rm.StoredWeights())
+	}
+}
+
+func TestDecodeRecoveryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x52},
+		[]byte("not a recovery stream at all"),
+		{0x52, 0x53, 0x54, 0x31, 0xFF}, // bad flags
+		{0x52, 0x53, 0x54, 0x31, 0x00, 0xFF, 0xFF, 0xFF, 0xFF}, // absurd level count
+	}
+	for i, c := range cases {
+		if _, err := DecodeRecovery(c); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}

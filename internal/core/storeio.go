@@ -1,0 +1,273 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Recovery-store wire format ("RST1", little-endian):
+//
+//	magic   uint32 0x31545352 ("RST1")
+//	flags   uint8  (bit 0: half-precision displaced values)
+//	nLevels uint32 (delta levels, excluding L0)
+//	levels  nLevels × {
+//	          nDeltas uint32
+//	          deltas  nDeltas × {
+//	                    name    uint16-length string
+//	                    count   uint32
+//	                    indices count × int32
+//	                    values  count × float32 (exact) | count × uint16 (lossy)
+//	                  }
+//	          sum uint64  — the level's sealed FNV-64a checksum
+//	        }
+//
+// Unlike the deployment bundle (io.go), which omits the recovery store and
+// recomputes it from dense weights at load, this format ships the store
+// itself — the audit/transport artifact for the displaced values — with
+// its integrity checksums embedded so corruption in flight or at rest is
+// caught at decode time.
+
+const recoveryMagic uint32 = 0x31545352 // "RST1"
+
+// WriteRecovery serializes the store's recovery data (deltas and sealed
+// checksums) in the RST1 format.
+func (s *CheckpointStore) WriteRecovery(w io.Writer) error {
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], recoveryMagic)
+	if _, err := w.Write(n4[:]); err != nil {
+		return fmt.Errorf("core: write recovery magic: %w", err)
+	}
+	flags := byte(0)
+	if s.lossy {
+		flags = 1
+	}
+	if _, err := w.Write([]byte{flags}); err != nil {
+		return fmt.Errorf("core: write recovery flags: %w", err)
+	}
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(s.deltas)-1))
+	if _, err := w.Write(n4[:]); err != nil {
+		return fmt.Errorf("core: write recovery level count: %w", err)
+	}
+	var n8 [8]byte
+	for l := 1; l < len(s.deltas); l++ {
+		ds := s.deltas[l]
+		binary.LittleEndian.PutUint32(n4[:], uint32(len(ds)))
+		if _, err := w.Write(n4[:]); err != nil {
+			return fmt.Errorf("core: write recovery delta count: %w", err)
+		}
+		for di := range ds {
+			d := &ds[di]
+			if err := writeString(w, d.param); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(n4[:], uint32(d.count()))
+			if _, err := w.Write(n4[:]); err != nil {
+				return fmt.Errorf("core: write recovery count: %w", err)
+			}
+			for _, k := range d.indices {
+				binary.LittleEndian.PutUint32(n4[:], uint32(k))
+				if _, err := w.Write(n4[:]); err != nil {
+					return fmt.Errorf("core: write recovery index: %w", err)
+				}
+			}
+			if d.values != nil {
+				for _, v := range d.values {
+					binary.LittleEndian.PutUint32(n4[:], math.Float32bits(v))
+					if _, err := w.Write(n4[:]); err != nil {
+						return fmt.Errorf("core: write recovery value: %w", err)
+					}
+				}
+			} else {
+				for _, v := range d.values16 {
+					binary.LittleEndian.PutUint16(n4[:2], v)
+					if _, err := w.Write(n4[:2]); err != nil {
+						return fmt.Errorf("core: write recovery value: %w", err)
+					}
+				}
+			}
+		}
+		binary.LittleEndian.PutUint64(n8[:], s.sums[l])
+		if _, err := w.Write(n8[:]); err != nil {
+			return fmt.Errorf("core: write recovery checksum: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadRecovery reads an RST1 stream into a payload-only CheckpointStore:
+// it carries the deltas and checksums (VerifyLevel, StoreBytes,
+// StoredWeights, WriteRecovery all work) but no dense snapshot or level
+// library, so NewView on it fails. Every level's checksum is verified
+// against the recomputed value during decode; a mismatch wraps
+// ErrStoreCorrupt.
+func ReadRecovery(r io.Reader) (*CheckpointStore, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read recovery stream: %w", err)
+	}
+	return DecodeRecovery(data)
+}
+
+// DecodeRecovery is ReadRecovery over an in-memory buffer. Allocation is
+// bounded by the input length: every count is validated against the bytes
+// actually remaining before a slice is made, so arbitrary (fuzzed) input
+// cannot force large allocations.
+func DecodeRecovery(data []byte) (*CheckpointStore, error) {
+	d := &recoveryDecoder{data: data}
+	magic, err := d.u32("magic")
+	if err != nil {
+		return nil, err
+	}
+	if magic != recoveryMagic {
+		return nil, fmt.Errorf("core: bad recovery magic %#x", magic)
+	}
+	flags, err := d.u8("flags")
+	if err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("core: unknown recovery flags %#x", flags)
+	}
+	s := &CheckpointStore{lossy: flags == 1}
+	valueSize := 4
+	if s.lossy {
+		valueSize = 2
+	}
+	nLevels, err := d.u32("level count")
+	if err != nil {
+		return nil, err
+	}
+	if int(nLevels) > 1024 {
+		return nil, fmt.Errorf("core: implausible recovery level count %d", nLevels)
+	}
+	s.deltas = make([][]delta, 1, nLevels+1)
+	s.sums = make([]uint64, 1, nLevels+1)
+	for l := 1; l <= int(nLevels); l++ {
+		nDeltas, err := d.u32("delta count")
+		if err != nil {
+			return nil, err
+		}
+		// Each delta costs ≥ 2+4 bytes on the wire even when empty.
+		if int64(nDeltas) > int64(d.remaining())/6 {
+			return nil, fmt.Errorf("core: implausible recovery delta count %d", nDeltas)
+		}
+		ds := make([]delta, 0, nDeltas)
+		for j := 0; j < int(nDeltas); j++ {
+			name, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			count, err := d.u32("displaced count")
+			if err != nil {
+				return nil, err
+			}
+			if int64(count) > int64(d.remaining())/int64(4+valueSize) {
+				return nil, fmt.Errorf("core: implausible displaced count %d for %q", count, name)
+			}
+			dd := delta{param: name, indices: make([]int32, count)}
+			for k := range dd.indices {
+				v, err := d.u32("index")
+				if err != nil {
+					return nil, err
+				}
+				dd.indices[k] = int32(v)
+			}
+			if s.lossy {
+				dd.values16 = make([]uint16, count)
+				for k := range dd.values16 {
+					v, err := d.u16("value")
+					if err != nil {
+						return nil, err
+					}
+					dd.values16[k] = v
+				}
+			} else {
+				dd.values = make([]float32, count)
+				for k := range dd.values {
+					v, err := d.u32("value")
+					if err != nil {
+						return nil, err
+					}
+					dd.values[k] = math.Float32frombits(v)
+				}
+			}
+			ds = append(ds, dd)
+		}
+		sum, err := d.u64("checksum")
+		if err != nil {
+			return nil, err
+		}
+		if got := levelChecksum(ds); got != sum {
+			return nil, fmt.Errorf("core: recovery level L%d checksum %#x != embedded %#x: %w", l, got, sum, ErrStoreCorrupt)
+		}
+		s.deltas = append(s.deltas, ds)
+		s.sums = append(s.sums, sum)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after recovery stream", d.remaining())
+	}
+	return s, nil
+}
+
+// recoveryDecoder reads little-endian primitives from an in-memory buffer.
+type recoveryDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *recoveryDecoder) remaining() int { return len(d.data) - d.off }
+
+func (d *recoveryDecoder) take(n int, what string) ([]byte, error) {
+	if d.remaining() < n {
+		return nil, fmt.Errorf("core: truncated recovery stream reading %s (%d of %d bytes)", what, d.remaining(), n)
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *recoveryDecoder) u8(what string) (byte, error) {
+	b, err := d.take(1, what)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *recoveryDecoder) u16(what string) (uint16, error) {
+	b, err := d.take(2, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (d *recoveryDecoder) u32(what string) (uint32, error) {
+	b, err := d.take(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *recoveryDecoder) u64(what string) (uint64, error) {
+	b, err := d.take(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *recoveryDecoder) str() (string, error) {
+	n, err := d.u16("string length")
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n), "string")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

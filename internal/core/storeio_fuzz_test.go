@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/prune"
+)
+
+// FuzzStoreRoundTrip feeds arbitrary bytes to the recovery-store decoder.
+// The decoder must never panic or over-allocate, and any input it accepts
+// must re-encode and re-decode to an identical store (checksums included).
+func FuzzStoreRoundTrip(f *testing.F) {
+	seedStore := func(seed int64, sparsities []float64, opts ...BuildOption) {
+		m := buildModel(seed)
+		plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, sparsities)
+		if err != nil {
+			f.Fatal(err)
+		}
+		rm, err := Build(m, plans, opts...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rm.Store().WriteRecovery(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seedStore(1, []float64{0.3, 0.6, 0.9})
+	seedStore(2, []float64{0.5})
+	seedStore(3, []float64{0.4, 0.8}, WithHalfPrecisionStore())
+	f.Add([]byte{0x52, 0x53, 0x54, 0x31, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte("RST1 garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeRecovery(data)
+		if err != nil {
+			return
+		}
+		if err := st.Verify(); err != nil {
+			t.Fatalf("decoder accepted a store its own Verify rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := st.WriteRecovery(&buf); err != nil {
+			t.Fatalf("re-encode of accepted store: %v", err)
+		}
+		st2, err := DecodeRecovery(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded store: %v", err)
+		}
+		if st.StoredWeights() != st2.StoredWeights() || st.StoreBytes() != st2.StoreBytes() {
+			t.Fatalf("round trip changed store accounting: %d/%d != %d/%d",
+				st.StoredWeights(), st.StoreBytes(), st2.StoredWeights(), st2.StoreBytes())
+		}
+		for l := 1; l < len(st.sums); l++ {
+			if st.sums[l] != st2.sums[l] {
+				t.Fatalf("round trip changed level %d checksum", l)
+			}
+		}
+	})
+}

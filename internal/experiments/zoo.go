@@ -43,6 +43,10 @@ type Zoo struct {
 	levelsCache []float64
 	levelsErr   error
 
+	stackOnce sync.Once
+	stackRM   *core.ReversibleModel
+	stackErr  error
+
 	stratMu    sync.Mutex
 	stratCache []strategyResult
 }
@@ -229,4 +233,48 @@ func (z *Zoo) ObstacleStack(levels []float64, spec platform.Spec) (*nn.Sequentia
 		return nil, nil, err
 	}
 	return m, rm, nil
+}
+
+// ObstacleStackView returns a fresh fleet clone of the standard obstacle
+// deployment stack: a new architecture skeleton re-pointed copy-on-write at
+// one memoized, calibrated checkpoint store. The first call builds and
+// calibrates the base stack (designed ladder, the given spec's costs);
+// every call — including the first — returns an independent view holding
+// one store reference, so a fleet of N clones keeps the dense weights,
+// recovery deltas, and level metadata resident once instead of N times.
+// Release each view when its instance is torn down; the zoo retains the
+// base reference, so the store outlives all views.
+//
+// Because costs and calibration are level metadata shared through the
+// store, every caller must pass the same spec. Instances that will take
+// weight-corrupting fault injection should use ObstacleStack instead — an
+// unshared store bounds the blast radius.
+func (z *Zoo) ObstacleStackView(spec platform.Spec) (*nn.Sequential, *core.ReversibleModel, error) {
+	z.stackOnce.Do(func() {
+		_, rm, err := z.ObstacleStack(nil, spec)
+		if err != nil {
+			z.stackErr = err
+			return
+		}
+		z.stackRM = rm
+	})
+	if z.stackErr != nil {
+		return nil, nil, z.stackErr
+	}
+	arch := NewObstacleNet(z.seed + 997)
+	view, err := z.stackRM.Store().NewView(arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return arch, view, nil
+}
+
+// ObstacleStore exposes the memoized shared checkpoint store behind
+// ObstacleStackView (building it on first use), so harnesses can assert
+// refcount hygiene after tearing a fleet down.
+func (z *Zoo) ObstacleStore() (*core.CheckpointStore, error) {
+	if _, _, err := z.ObstacleStackView(platform.EmbeddedCPU()); err != nil {
+		return nil, err
+	}
+	return z.stackRM.Store(), nil
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"net/http"
@@ -28,6 +29,8 @@ func TestParseSpec(t *testing.T) {
 		{"slow-infer:car3:latency=250ms", Spec{Kind: KindSlowInfer, Model: "car3", Latency: 250 * time.Millisecond}},
 		{"stuck-transition:latency=1s", Spec{Kind: KindStuckTransition, Latency: time.Second}},
 		{"otlp-outage:after=1:for=2", Spec{Kind: KindOTLPOutage, After: 1, For: 2}},
+		{"store-corrupt", Spec{Kind: KindStoreCorrupt, Count: defaultCorruptBits}},
+		{"store-corrupt:car1:n=2:for=1", Spec{Kind: KindStoreCorrupt, Model: "car1", For: 1, Count: 2}},
 		{"  garble-frames  ", Spec{Kind: KindGarbleFrames}},
 	}
 	for _, c := range cases {
@@ -56,9 +59,12 @@ func TestParseSpecRejects(t *testing.T) {
 		"slow-infer:latency=0s",
 		"slow-infer:latency=-5ms",
 		"garble-frames:n=4", // n on a kind without poison
+		"drop-frames:n=4",   // likewise for the count-less frame kinds
 		"nan-weights:car1:n=0",
-		"otlp-outage:collector1", // outage takes no target
-		"nan-weights::after=1",   // empty target segment
+		"store-corrupt:car1:n=0",
+		"store-corrupt:latency=5ms", // store corruption has no stall
+		"otlp-outage:collector1",    // outage takes no target
+		"nan-weights::after=1",      // empty target segment
 	} {
 		if spec, err := ParseSpec(raw); err == nil {
 			t.Errorf("ParseSpec(%q) accepted: %+v", raw, spec)
@@ -67,12 +73,12 @@ func TestParseSpecRejects(t *testing.T) {
 }
 
 func TestParseSpecsListAndFormatRoundTrip(t *testing.T) {
-	raw := "nan-weights:car1:after=5:for=3,drop-frames:car2,slow-infer:latency=75ms"
+	raw := "nan-weights:car1:after=5:for=3,drop-frames:car2,slow-infer:latency=75ms,store-corrupt:car1:n=2:for=1"
 	specs, err := ParseSpecs(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 3 {
+	if len(specs) != 4 {
 		t.Fatalf("got %d specs", len(specs))
 	}
 	again, err := ParseSpecs(FormatSpecs(specs))
@@ -91,7 +97,7 @@ func TestParseSpecsListAndFormatRoundTrip(t *testing.T) {
 		t.Error("empty list accepted")
 	}
 	kinds := SpecKinds(specs)
-	if len(kinds) != 3 || kinds[0] != KindDropFrames {
+	if len(kinds) != 4 || kinds[0] != KindDropFrames {
 		t.Errorf("SpecKinds = %v", kinds)
 	}
 }
@@ -301,6 +307,123 @@ func TestTransitionPoint(t *testing.T) {
 	}
 }
 
+// stubCorruptor records CorruptDisplaced calls and pretends every requested
+// bit flipped.
+type stubCorruptor struct {
+	calls int
+	ns    []int
+	seeds []int64
+}
+
+func (s *stubCorruptor) CorruptDisplaced(n int, seed int64) int {
+	s.calls++
+	s.ns = append(s.ns, n)
+	s.seeds = append(s.seeds, seed)
+	return n
+}
+
+func TestStorePoint(t *testing.T) {
+	specs, err := ParseSpecs("store-corrupt:car1:after=1:for=2:n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(11, specs...)
+	rec := &recorder{}
+	in.SetObserver(rec)
+	st := &stubCorruptor{}
+
+	// Event 0 is before the window; events 1 and 2 fire; event 3 is past it.
+	var flipped []int
+	for i := 0; i < 4; i++ {
+		flipped = append(flipped, in.OnStore("car1", st))
+	}
+	if want := []int{0, 3, 3, 0}; !equalInts(flipped, want) {
+		t.Errorf("flipped per event = %v, want %v", flipped, want)
+	}
+	if st.calls != 2 {
+		t.Errorf("corruptor called %d times, want 2", st.calls)
+	}
+	for _, n := range st.ns {
+		if n != 3 {
+			t.Errorf("corruptor asked for %d bits, want 3 (n=3)", n)
+		}
+	}
+	if len(st.seeds) == 2 && st.seeds[0] == st.seeds[1] {
+		t.Error("both firings drew the same corruption seed")
+	}
+	if rec.fired[string(KindStoreCorrupt)] != 2 {
+		t.Errorf("observer saw %d store corruptions, want 2", rec.fired[string(KindStoreCorrupt)])
+	}
+	// Untargeted instance: window never opens, counters independent.
+	if n := in.OnStore("car2", st); n != 0 {
+		t.Error("untargeted instance's store was corrupted")
+	}
+	// Nil corruptor (an instance without a reversible store) is a no-op.
+	if n := in.OnStore("car1", nil); n != 0 {
+		t.Error("nil corruptor reported flips")
+	}
+}
+
+// TestStorePointDeterministicPerSeed drives the store point against a real
+// reversible model twice with the same injector seed and asserts the damage
+// lands on identical bits — the replayability contract of a chaos drill.
+func TestStorePointDeterministicPerSeed(t *testing.T) {
+	spec, err := ParseSpec("store-corrupt:n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(seed int64) []byte {
+		rng := tensor.NewRNG(3)
+		m := nn.NewSequential("faultnet",
+			nn.NewDense("fc1", 16, 8, rng),
+			nn.NewReLU("relu"),
+			nn.NewDense("fc2", 8, 2, rng),
+		)
+		plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, []float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := core.Build(m, plans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rm.ApplyLevel(1); err != nil {
+			t.Fatal(err)
+		}
+		in := NewInjector(seed, spec)
+		if n := in.OnStore("car0", rm); n != 2 {
+			t.Fatalf("flipped %d bits, want 2", n)
+		}
+		if err := rm.Store().Verify(); err == nil {
+			t.Fatal("corruption tripped no level checksum")
+		}
+		var buf bytes.Buffer
+		if err := rm.Store().WriteRecovery(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, c := corrupt(21), corrupt(21), corrupt(22)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed flipped different bits")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds flipped identical bits")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func countNaNs(m *nn.Sequential) int {
 	n := 0
 	for _, p := range m.PrunableParams() {
@@ -369,6 +492,9 @@ func TestInertInjector(t *testing.T) {
 	}
 	if stall := in.OnTransition("car0", 1, testNet(t)); stall != 0 {
 		t.Error("spec-less injector fired at the transition point")
+	}
+	if n := in.OnStore("car0", &stubCorruptor{}); n != 0 {
+		t.Error("spec-less injector fired at the store point")
 	}
 	if in.OnExport() {
 		t.Error("spec-less injector fired at the export point")

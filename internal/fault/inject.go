@@ -173,6 +173,37 @@ func (in *Injector) OnTransition(model string, to int, m *nn.Sequential) (stall 
 	return stall
 }
 
+// StoreCorruptor is the seam through which the store fault point reaches a
+// recovery store without importing internal/core: CorruptDisplaced flips
+// one pseudo-random bit in each of n displaced values, deterministically
+// from seed, and returns how many bits it flipped.
+// core.ReversibleModel implements it.
+type StoreCorruptor interface {
+	CorruptDisplaced(n int, seed int64) int
+}
+
+// OnStore is the recovery-store fault point, called with the instance lock
+// held after every completed level change. Armed store-corrupt specs flip
+// bits in the instance's displaced values (the seed flows from the
+// injector RNG, so a drill replays bit-for-bit); the return value is the
+// total number of bits flipped. The damage is silent here by design — it
+// surfaces only when a checksum-verified restore later refuses to run.
+//
+// Corruption reaches everything that shares the store, so harnesses arm it
+// only on instances whose stores are unshared (simdrive builds chaos-armed
+// cars over private stores for exactly this reason).
+func (in *Injector) OnStore(model string, st StoreCorruptor) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	flipped := 0
+	for _, spec := range in.fire(model, KindStoreCorrupt) {
+		if st != nil {
+			flipped += st.CorruptDisplaced(spec.Count, in.rng.Int63())
+		}
+	}
+	return flipped
+}
+
 // PoisonPruned overwrites up to n currently-zero prunable weights with
 // NaN, walking parameters in deterministic reverse order — output side
 // first — and returns how many it wrote. Reverse order matters: NaN in an

@@ -47,6 +47,12 @@ const (
 	// KindStuckTransition stalls the transition point by the spec latency
 	// while the instance lock is held, simulating a wedged level change.
 	KindStuckTransition Kind = "stuck-transition"
+	// KindStoreCorrupt flips bits in the recovery store's displaced values
+	// after a completed level change — unlike nan-weights, corruption the
+	// store cannot heal (the displaced dense values exist nowhere else).
+	// The drill proves the integrity checksums refuse the next restore and
+	// the watchdog quarantines the instance permanently.
+	KindStoreCorrupt Kind = "store-corrupt"
 	// KindOTLPOutage fails OTLP collector POSTs at the transport, so the
 	// exporter's retry/backoff path runs against a dead collector.
 	KindOTLPOutage Kind = "otlp-outage"
@@ -56,7 +62,7 @@ const (
 // docs present them.
 func Kinds() []Kind {
 	return []Kind{KindNaNWeights, KindDropFrames, KindGarbleFrames,
-		KindSlowInfer, KindStuckTransition, KindOTLPOutage}
+		KindSlowInfer, KindStuckTransition, KindStoreCorrupt, KindOTLPOutage}
 }
 
 // Spec is one parsed fault directive.
@@ -76,7 +82,8 @@ type Spec struct {
 	// 150ms there, 0 and unused elsewhere).
 	Latency time.Duration
 	// Count bounds how many weights nan-weights poisons per transition
-	// (default 8, only meaningful there).
+	// (default 8) or how many displaced-value bits store-corrupt flips per
+	// transition (default 4); unused by the other kinds.
 	Count int
 }
 
@@ -87,6 +94,25 @@ const defaultLatency = 150 * time.Millisecond
 // defaultPoisonCount is the per-transition NaN budget when a nan-weights
 // spec omits n=.
 const defaultPoisonCount = 8
+
+// defaultCorruptBits is the per-transition bit-flip budget when a
+// store-corrupt spec omits n=.
+const defaultCorruptBits = 4
+
+// defaultCount returns the kind's n= default (0 for kinds without one).
+func (s Spec) defaultCount() int {
+	switch s.Kind {
+	case KindNaNWeights:
+		return defaultPoisonCount
+	case KindStoreCorrupt:
+		return defaultCorruptBits
+	}
+	return 0
+}
+
+func (s Spec) usesCount() bool {
+	return s.Kind == KindNaNWeights || s.Kind == KindStoreCorrupt
+}
 
 // String renders the spec back into the grammar ParseSpec accepts;
 // defaulted fields are omitted, so ParseSpec(s.String()) round-trips to an
@@ -107,7 +133,7 @@ func (s Spec) String() string {
 	if s.usesLatency() && s.Latency != defaultLatency {
 		fmt.Fprintf(&b, ":latency=%s", s.Latency)
 	}
-	if s.Kind == KindNaNWeights && s.Count != defaultPoisonCount {
+	if s.usesCount() && s.Count != s.defaultCount() {
 		fmt.Fprintf(&b, ":n=%d", s.Count)
 	}
 	return b.String()
@@ -151,8 +177,8 @@ func ParseSpec(raw string) (Spec, error) {
 	if spec.usesLatency() {
 		spec.Latency = defaultLatency
 	}
-	if spec.Kind == KindNaNWeights {
-		spec.Count = defaultPoisonCount
+	if spec.usesCount() {
+		spec.Count = spec.defaultCount()
 	}
 	for i, seg := range segs[1:] {
 		key, val, isParam := strings.Cut(seg, "=")
@@ -184,7 +210,7 @@ func ParseSpec(raw string) (Spec, error) {
 				err = fmt.Errorf("fault: latency %s must be positive", spec.Latency)
 			}
 		case "n":
-			if spec.Kind != KindNaNWeights {
+			if !spec.usesCount() {
 				return Spec{}, fmt.Errorf("fault: %s does not take n=", spec.Kind)
 			}
 			spec.Count, err = parseCount(key, val, 1)

@@ -16,6 +16,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -88,4 +89,19 @@ func (f *Fleet) Size() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return len(f.instances)
+}
+
+// Release detaches every instance's model view from its checkpoint store,
+// in name order. Call once at fleet teardown, after dispatchers and
+// budget governors have stopped; released instances refuse transitions.
+// All release errors are joined so one double-release cannot mask a leak
+// elsewhere in the fleet.
+func (f *Fleet) Release() error {
+	var errs []error
+	for _, inst := range f.Instances() {
+		if err := inst.Release(); err != nil {
+			errs = append(errs, fmt.Errorf("fleet: release %s: %w", inst.name, err))
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -322,5 +324,78 @@ func TestRunStackOverInstance(t *testing.T) {
 	}
 	if res.Ticks != sc.Ticks {
 		t.Fatalf("ran %d ticks, want %d", res.Ticks, sc.Ticks)
+	}
+}
+
+// newViewInstance wraps a copy-on-write view over base's checkpoint store
+// in a fleet instance named name.
+func newViewInstance(t testing.TB, base *core.ReversibleModel, name string, seed int64) *Instance {
+	t.Helper()
+	arch := testModel(seed)
+	view, err := base.Store().NewView(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := perception.NewPipeline(arch, testFrameSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(name, pipe, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestFleetReleaseRefcounts is the teardown leak detector: a fleet of
+// copy-on-write views must hand every store reference back on Release,
+// leaving only the base model's own reference, and a second Release must
+// surface the double-release as an error rather than underflowing the
+// count.
+func TestFleetReleaseRefcounts(t *testing.T) {
+	base := newTestInstance(t, "base", 1)
+	store := base.rm.Store()
+	f := New()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := f.Add(newViewInstance(t, base.rm, fmt.Sprintf("car%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.Refs(); got != n+1 {
+		t.Fatalf("Refs = %d after cloning, want %d", got, n+1)
+	}
+	// Exercise the store before teardown so the release path covers views
+	// that actually transitioned (materialized private buffers).
+	for _, inst := range f.Instances() {
+		if err := inst.ApplyLevel(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Refs(); got != 1 {
+		t.Fatalf("Refs = %d after fleet Release, want 1 (base only) — leaked view reference", got)
+	}
+	for _, inst := range f.Instances() {
+		if !inst.rm.Released() {
+			t.Fatalf("%s not marked released", inst.Name())
+		}
+		if err := inst.ApplyLevel(1); err == nil {
+			t.Fatalf("%s accepted a transition after release", inst.Name())
+		}
+	}
+	err := f.Release()
+	if err == nil {
+		t.Fatal("second fleet Release succeeded — double release undetected")
+	}
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("car%d", i); !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined release error misses %s: %v", want, err)
+		}
+	}
+	if got := store.Refs(); got != 1 {
+		t.Fatalf("Refs = %d after double Release, want 1 still", got)
 	}
 }

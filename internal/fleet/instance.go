@@ -109,11 +109,26 @@ func (i *Instance) SetModelObserver(o core.TransitionObserver) {
 }
 
 // SetFaultInjector arms (or, with nil, removes) the chaos harness on this
-// instance. Call at wiring time, before frames flow.
+// instance. Call at wiring time, before frames flow. Arming privatizes the
+// model's copy-on-write weight buffers: injected damage (NaN poison, bit
+// flips) must land in this instance alone, never in a checkpoint-store
+// snapshot siblings alias.
 func (i *Instance) SetFaultInjector(inj *fault.Injector) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if inj != nil {
+		i.rm.Privatize()
+	}
 	i.inj = inj
+}
+
+// Release detaches the instance's model view from its checkpoint store.
+// Call at teardown, after the dispatcher has stopped routing frames here;
+// a released instance refuses transitions.
+func (i *Instance) Release() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rm.Release()
 }
 
 // Detect classifies one frame under the instance lock. The observed
@@ -218,6 +233,10 @@ func (i *Instance) applyLocked(target int) error {
 		if stall := i.inj.OnTransition(i.name, cur, i.rm.Model()); stall > 0 {
 			sleep(stall)
 		}
+		// The store fault point runs after the transition settles: armed
+		// store-corrupt specs flip bits in the recovery store, silently —
+		// the next checksum-verified restore is what must refuse to run.
+		i.inj.OnStore(i.name, i.rm)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package health
 
 import (
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/perception"
@@ -67,7 +69,14 @@ func (g *Guard) Tick(tick int, a safety.Assessment) (governor.Decision, error) {
 	dec, err := g.stack.Tick(tick, a)
 	elapsed := now().Sub(start)
 	if err != nil {
-		g.monitor.ObserveFault(g.name, ReasonError)
+		// A tick refused by the store's integrity checksum is not an
+		// ordinary error: the recovery data this instance would restore
+		// from is corrupt, and that never heals.
+		if errors.Is(err, core.ErrStoreCorrupt) {
+			g.monitor.ObserveFault(g.name, ReasonStoreCorrupt)
+		} else {
+			g.monitor.ObserveFault(g.name, ReasonError)
+		}
 		return governor.Decision{}, nil
 	}
 	if d := g.monitor.Config().Deadline; d > 0 && elapsed > d {

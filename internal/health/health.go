@@ -16,11 +16,13 @@
 package health
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/telemetry"
 )
 
@@ -62,6 +64,11 @@ const (
 	// ReasonPanic: a dispatcher worker recovered a panic from the
 	// instance's detection path.
 	ReasonPanic = "panic"
+	// ReasonStoreCorrupt: an integrity checksum refused a restore — the
+	// recovery store holds displaced values that exist nowhere else, so
+	// this corruption is unrecoverable by design and the instance is
+	// quarantined permanently (no probation re-admission).
+	ReasonStoreCorrupt = "store-corrupt"
 )
 
 // Restorer executes the emergency response: force the dense level. Both
@@ -138,6 +145,9 @@ type tracked struct {
 	// consecutive clean observations; dwell counts gated admission
 	// attempts while quarantined. Each transition resets all three.
 	faults, clean, dwell int
+	// permanent marks a quarantine with no probation path: the instance's
+	// recovery store is corrupt, so no amount of dwell makes it safe.
+	permanent bool
 }
 
 // Monitor tracks the health of registered instances. All methods are safe
@@ -218,6 +228,10 @@ func (m *Monitor) Gate(name string) bool {
 	tr, ok := m.insts[name]
 	if !ok || tr.state != Quarantined {
 		return true
+	}
+	if tr.permanent {
+		// Unrecoverable by design: a corrupt store never earns probation.
+		return false
 	}
 	tr.dwell++
 	if tr.dwell >= m.cfg.QuarantineDwell {
@@ -305,13 +319,32 @@ func (m *Monitor) observeFault(tr *tracked, reason string) {
 	// level the reversible store can always reconstruct exactly.
 	restored := false
 	if (reason == ReasonNaN || reason == ReasonDeadline) && tr.restorer != nil {
-		restored = tr.restorer.ApplyLevel(0) == nil
+		err := tr.restorer.ApplyLevel(0)
+		restored = err == nil
+		if errors.Is(err, core.ErrStoreCorrupt) {
+			// The one restore guaranteed to heal was refused by the
+			// integrity checksum: the store itself is corrupt. Report the
+			// triggering fault, then escalate as store corruption.
+			if tr.obs != nil {
+				tr.obs.ObserveHealthFault(reason, false)
+			}
+			reason = ReasonStoreCorrupt
+		}
 	}
 	if tr.obs != nil {
 		tr.obs.ObserveHealthFault(reason, restored)
 	}
 	tr.clean = 0
 	tr.faults++
+	if reason == ReasonStoreCorrupt {
+		// Unrecoverable by design: no state absorbs a corrupt store, and
+		// no dwell earns it probation.
+		if tr.state != Quarantined {
+			m.transition(tr, Quarantined)
+		}
+		tr.permanent = true
+		return
+	}
 	switch tr.state {
 	case Healthy:
 		if tr.faults >= m.cfg.DegradeAfter {

@@ -15,6 +15,15 @@ import (
 	"repro/internal/tensor"
 )
 
+// telemetry.Hooks must keep satisfying the observer seams the stack wires
+// it into structurally; this package already imports both sides, so the
+// compile-time check lives here.
+var (
+	_ Observer                = (*telemetry.Hooks)(nil)
+	_ core.StoreObserver      = (*telemetry.Hooks)(nil)
+	_ core.TransitionObserver = (*telemetry.Hooks)(nil)
+)
+
 // testConfig keeps trajectories short enough to walk by hand.
 func testConfig() Config {
 	return Config{
@@ -230,6 +239,108 @@ func TestMonitorFailedRestoreReported(t *testing.T) {
 	m.ObserveFault("car0", ReasonNaN)
 	if len(obs.faults) != 1 || obs.faults[0] != "nan/false" {
 		t.Fatalf("fault records %v, want [nan/false]", obs.faults)
+	}
+}
+
+func TestMonitorStoreCorruptQuarantinesPermanently(t *testing.T) {
+	m := NewMonitor(testConfig())
+	obs := &stubObserver{}
+	if err := m.Register("car1", nil, obs); err != nil {
+		t.Fatal(err)
+	}
+	// Store corruption skips Degraded entirely: one observation fences.
+	if st := m.ObserveFault("car1", ReasonStoreCorrupt); st != Quarantined {
+		t.Fatalf("state after store-corrupt fault: %v", st)
+	}
+	if fmt.Sprint(obs.faults) != fmt.Sprint([]string{"store-corrupt/false"}) {
+		t.Fatalf("fault records %v", obs.faults)
+	}
+	// No dwell count re-admits: run far past QuarantineDwell=4.
+	for i := 0; i < 40; i++ {
+		if m.Gate("car1") {
+			t.Fatalf("gate %d admitted a permanently quarantined instance", i)
+		}
+	}
+	if st := m.State("car1"); st != Quarantined {
+		t.Fatalf("state after dwell attempts: %v (permanent quarantine must never reach probation)", st)
+	}
+	if m.Admissible("car1") || m.TickAllowed("car1") {
+		t.Fatal("permanently quarantined instance still schedulable")
+	}
+	// A repeat observation while fenced records the fault but emits no
+	// duplicate state transition.
+	m.ObserveFault("car1", ReasonStoreCorrupt)
+	wantTransitions := []string{"0->0", "0->3"}
+	if fmt.Sprint(obs.transitions) != fmt.Sprint(wantTransitions) {
+		t.Fatalf("transitions %v, want %v", obs.transitions, wantTransitions)
+	}
+}
+
+func TestMonitorRefusedRestoreEscalatesToStoreCorrupt(t *testing.T) {
+	m := NewMonitor(testConfig())
+	rst := &stubRestorer{err: fmt.Errorf("core: refusing restore 2→0: %w", core.ErrStoreCorrupt)}
+	obs := &stubObserver{}
+	if err := m.Register("car0", rst, obs); err != nil {
+		t.Fatal(err)
+	}
+	// The NaN watchdog fires, the emergency restore is refused by the
+	// integrity checksum, and the fault escalates: first the triggering
+	// reason (unrestored), then the store-corrupt attribution.
+	if st := m.ObserveFault("car0", ReasonNaN); st != Quarantined {
+		t.Fatalf("state after refused restore: %v", st)
+	}
+	want := []string{"nan/false", "store-corrupt/false"}
+	if fmt.Sprint(obs.faults) != fmt.Sprint(want) {
+		t.Fatalf("fault records %v, want %v", obs.faults, want)
+	}
+	// Permanent: dwell never earns probation.
+	for i := 0; i < 20; i++ {
+		m.Gate("car0")
+	}
+	if st := m.State("car0"); st != Quarantined {
+		t.Fatalf("state after dwell: %v", st)
+	}
+	// An ordinarily-failing restore (no ErrStoreCorrupt in the chain) does
+	// NOT escalate — that path stays the plain nan/false record.
+	m2 := NewMonitor(testConfig())
+	obs2 := &stubObserver{}
+	if err := m2.Register("car0", &stubRestorer{err: errors.New("transient")}, obs2); err != nil {
+		t.Fatal(err)
+	}
+	if st := m2.ObserveFault("car0", ReasonNaN); st != Degraded {
+		t.Fatalf("transient restore failure state: %v", st)
+	}
+	if fmt.Sprint(obs2.faults) != fmt.Sprint([]string{"nan/false"}) {
+		t.Fatalf("fault records %v", obs2.faults)
+	}
+}
+
+func TestGuardTickClassifiesStoreCorrupt(t *testing.T) {
+	pinClock(t, time.Microsecond)
+	m := NewMonitor(testConfig())
+	obs := &stubObserver{}
+	if err := m.Register("car0", nil, obs); err != nil {
+		t.Fatal(err)
+	}
+	st := &scriptedStack{tickErr: fmt.Errorf("governor: apply: %w", core.ErrStoreCorrupt)}
+	g := NewGuard("car0", st, m)
+	dec, err := g.Tick(0, safety.Assessment{})
+	if err != nil || dec != (governor.Decision{}) {
+		t.Fatalf("tick %+v, %v", dec, err)
+	}
+	// One checksum-refused transition is enough to fence the instance for
+	// good — no Degraded detour, no dwell-based re-admission.
+	if m.State("car0") != Quarantined {
+		t.Fatalf("state %v", m.State("car0"))
+	}
+	if fmt.Sprint(obs.faults) != fmt.Sprint([]string{"store-corrupt/false"}) {
+		t.Fatalf("fault records %v", obs.faults)
+	}
+	for i := 0; i < 20; i++ {
+		m.Gate("car0")
+	}
+	if m.State("car0") != Quarantined {
+		t.Fatal("permanent quarantine re-admitted")
 	}
 }
 

@@ -46,6 +46,10 @@ func NewMask(n int) *Mask {
 // Len returns the mask length.
 func (m *Mask) Len() int { return m.n }
 
+// StorageBytes returns the memory footprint of the bitset itself — what a
+// checkpoint store pays to hold this mask once for all attached views.
+func (m *Mask) StorageBytes() int64 { return int64(len(m.bits)) * 8 }
+
 // Keep reports whether element i survives.
 func (m *Mask) Keep(i int) bool {
 	m.check(i)

@@ -53,6 +53,9 @@ func TestMetricsDocCrossCheck(t *testing.T) {
 	h.ObserveRebalance(2, 1.5, 4.2, true, 8*time.Microsecond)
 	h.ObserveBatch(6, 90*time.Microsecond)
 	h.ObserveBatchFallback(2)
+	h.ObserveStoreCheck(true)
+	h.ObserveStoreCheck(false)
+	h.ObserveStoreResidency(4096, 0.97)
 	h.ObserveFaultInjection("nan-weights")
 	h.ObserveHealthFault("nan", true)
 	h.ObserveHealthState(HealthHealthy, HealthHealthy)

@@ -114,6 +114,25 @@ const (
 	// the health monitor forced in response to a NaN output or a deadline
 	// breach, before degrading the instance.
 	MetricHealthRestores = "rpn_health_emergency_restores_total"
+	// MetricStoreResidentBytes is a gauge holding the instance's private
+	// (unshared) weight bytes: non-prunable copies plus any prunable buffers
+	// materialized by copy-on-write. A fleet clone starts near zero and
+	// grows only as transitions touch parameters.
+	MetricStoreResidentBytes = "rpn_store_resident_bytes"
+	// MetricStoreSharedRatio is a gauge in [0, 1]: the fraction of the
+	// instance's total weight+store bytes served by the shared checkpoint
+	// store. 1 means fully aliased; it decays as copy-on-write privatizes
+	// buffers (Privatize drops it to the non-prunable share).
+	MetricStoreSharedRatio = "rpn_store_shared_ratio"
+	// MetricStoreChecksumVerifications counts per-level integrity-checksum
+	// verifications run on the restore path (one per level crossed toward
+	// dense), passes and failures alike.
+	MetricStoreChecksumVerifications = "rpn_store_checksum_verifications_total"
+	// MetricStoreChecksumFailures counts checksum verifications that failed —
+	// the restore was refused and the recovery store is corrupt. Any movement
+	// is an incident: the corruption is unrecoverable by design and the
+	// watchdog quarantines the instance permanently.
+	MetricStoreChecksumFailures = "rpn_store_checksum_failures_total"
 	// metricResidencyPrefix prefixes the per-level residency-tick counters:
 	// rpn_level_residency_ticks_L0, _L1, …
 	metricResidencyPrefix = "rpn_level_residency_ticks_L"
@@ -182,11 +201,16 @@ var hookFamilies = []string{
 	MetricHealthState,
 	MetricHealthTransitions,
 	MetricHealthRestores,
+	MetricStoreResidentBytes,
+	MetricStoreSharedRatio,
+	MetricStoreChecksumVerifications,
+	MetricStoreChecksumFailures,
 }
 
 // Hooks adapts a Registry to the observer seams of the stack. Its method
 // set structurally satisfies core.TransitionObserver (including the
-// optional core.ParamTransitionObserver extension), governor.TickObserver,
+// optional core.ParamTransitionObserver and core.StoreObserver
+// extensions), governor.TickObserver,
 // perception.FrameObserver, fleet.RebalanceObserver and
 // fleet.BatchObserver without this package importing any of them, keeping
 // telemetry a stdlib-only leaf.
@@ -391,6 +415,27 @@ func (h *Hooks) ObserveBatch(size int, elapsed time.Duration) {
 // group whose fused pass failed.
 func (h *Hooks) ObserveBatchFallback(frames int) {
 	h.reg.Add(h.name(MetricFleetBatchFallbacks), int64(frames))
+}
+
+// ObserveStoreCheck implements half of the core.StoreObserver seam: called
+// by ReversibleModel.ApplyLevel for every per-level integrity-checksum
+// verification on the restore path, with whether the level's displaced
+// values matched their sealed checksum. A failure means the restore was
+// refused — rpn_store_checksum_failures_total moving is an incident signal.
+func (h *Hooks) ObserveStoreCheck(ok bool) {
+	h.reg.Inc(h.name(MetricStoreChecksumVerifications))
+	if !ok {
+		h.reg.Inc(h.name(MetricStoreChecksumFailures))
+	}
+}
+
+// ObserveStoreResidency implements the other half of the core.StoreObserver
+// seam: called whenever the instance's copy-on-write residency changes (a
+// buffer materialized, Privatize ran, the observer was installed) with the
+// private byte count and the shared fraction of its total footprint.
+func (h *Hooks) ObserveStoreResidency(privateBytes int64, sharedRatio float64) {
+	h.reg.SetGauge(h.name(MetricStoreResidentBytes), float64(privateBytes))
+	h.reg.SetGauge(h.name(MetricStoreSharedRatio), sharedRatio)
 }
 
 // ObserveFaultInjection implements the fault.Observer seam: called by an

@@ -1,0 +1,27 @@
+package tensor
+
+// SetData re-points t at data, which must hold exactly t.Len() elements.
+// The previous backing slice is released to the garbage collector (unless
+// aliased elsewhere). This is the primitive behind copy-on-write weight
+// sharing: a checkpoint-store view aliases the shared dense snapshot and
+// swaps in a private copy the first time a transition writes the parameter.
+func (t *Tensor) SetData(data []float32) {
+	if len(data) != len(t.data) {
+		failf("tensor: SetData length %d does not match shape %v (want %d)", len(data), t.shape, len(t.data))
+	}
+	t.data = data
+}
+
+// SharesData reports whether a and b read the same backing storage, i.e.
+// whether a write through one is visible through the other. Two empty
+// tensors never share.
+func SharesData(a, b *Tensor) bool {
+	return len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+}
+
+// Alias returns a read-view of t: a tensor with the same shape backed by
+// the same storage. No data is copied; mutating either tensor's elements
+// mutates both. Callers that need isolation use Clone instead.
+func Alias(t *Tensor) *Tensor {
+	return &Tensor{shape: append([]int(nil), t.shape...), data: t.data}
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import "testing"
+
+func TestSetData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	fresh := []float32{5, 6, 7, 8}
+	a.SetData(fresh)
+	if a.At2(1, 1) != 8 {
+		t.Fatalf("At2(1,1) = %v after SetData, want 8", a.At2(1, 1))
+	}
+	fresh[0] = 42
+	if a.At2(0, 0) != 42 {
+		t.Fatalf("SetData must alias, not copy: At2(0,0) = %v, want 42", a.At2(0, 0))
+	}
+}
+
+func TestSetDataLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetData with wrong length must panic")
+		}
+	}()
+	New(2, 2).SetData(make([]float32, 3))
+}
+
+func TestSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 4)
+	b := Alias(a)
+	c := a.Clone()
+	if !SharesData(a, b) {
+		t.Fatal("Alias must share storage")
+	}
+	if SharesData(a, c) {
+		t.Fatal("Clone must not share storage")
+	}
+	if SharesData(New(), New()) {
+		t.Fatal("empty tensors never share")
+	}
+	b.SetData(make([]float32, 4))
+	if SharesData(a, b) {
+		t.Fatal("SetData must detach the alias")
+	}
+}
+
+func TestAliasWritesVisibleBothWays(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := Alias(a)
+	b.Set2(-1, 1, 2)
+	if a.At2(1, 2) != -1 {
+		t.Fatalf("write through alias invisible: got %v", a.At2(1, 2))
+	}
+	// Shape metadata stays independent.
+	r := b.Reshape(3, 2)
+	if a.Dims() != 2 || a.Dim(0) != 2 {
+		t.Fatalf("alias reshape mutated original shape: %v", a.Shape())
+	}
+	if !SharesData(a, r) {
+		t.Fatal("reshaped alias must still share storage")
+	}
+}

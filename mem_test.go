@@ -1,0 +1,234 @@
+package revprune
+
+// Fleet memory-footprint harness: the copy-on-write checkpoint store's
+// headline number. A fleet of N independent stacks keeps N copies of the
+// dense weights, recovery deltas, and mask bitsets resident; a fleet of N
+// views over one shared store keeps them resident once plus O(private
+// deltas) per view. TestFleetMemoryFootprint measures both arms —
+// analytically from the store's own byte accounting and empirically from
+// runtime.ReadMemStats — asserts the shared arm wins by at least 4× per
+// instance at fleet 64, and (when RPN_MEM_BENCH_OUT is set) writes the
+// numbers as JSON for scripts/bench_mem.sh → BENCH_mem.json, which
+// scripts/verify.sh gates against regression.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/prune"
+)
+
+// memFleetSize is the fleet width the paper-scale claim is made at.
+const memFleetSize = 64
+
+// memReport is the BENCH_mem.json schema.
+type memReport struct {
+	Fleet int `json:"fleet"`
+
+	// Analytic accounting from the store's own byte counters.
+	DenseBytes             int64   `json:"dense_bytes"`
+	StoreBytes             int64   `json:"store_bytes"`
+	SharedBytes            int64   `json:"shared_bytes"`
+	PrivateBytesTotal      int64   `json:"private_bytes_total"`
+	PerCloneBytes          int64   `json:"per_clone_bytes"`
+	SharedPerInstanceBytes int64   `json:"shared_per_instance_bytes"`
+	AnalyticReduction      float64 `json:"analytic_reduction"`
+
+	// Empirical heap deltas (runtime.ReadMemStats), per instance.
+	MeasuredPerCloneBytes int64   `json:"measured_per_clone_bytes"`
+	MeasuredPerViewBytes  int64   `json:"measured_per_view_bytes"`
+	MeasuredReduction     float64 `json:"measured_reduction"`
+}
+
+// heapAlloc forces a full collection and returns live heap bytes.
+func heapAlloc() int64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// TestFleetMemoryFootprint builds the same 64-wide fleet twice — once as
+// independent stacks, once as copy-on-write views over one shared
+// checkpoint store — and proves the per-instance resident footprint drops
+// by ≥ 4×. The test is also the measurement harness behind
+// scripts/bench_mem.sh: with RPN_MEM_BENCH_OUT set it writes a memReport.
+func TestFleetMemoryFootprint(t *testing.T) {
+	z := experiments.NewZoo(1)
+	levels, err := z.DesignedLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Baseline arm: N independent builds, each its own store. ---
+	// Measured first so the shared arm's base stack cannot sit in the
+	// baseline's heap window.
+	before := heapAlloc()
+	clones := make([]*core.ReversibleModel, memFleetSize)
+	for i := range clones {
+		m := z.CloneObstacle()
+		plans, err := (prune.MagnitudeGlobal{}).PlanNested(m, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clones[i], err = core.Build(m, plans)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	measuredPerClone := (heapAlloc() - before) / memFleetSize
+
+	// Analytic baseline from one representative: everything an independent
+	// stack keeps resident (dense snapshot + recovery deltas + masks +
+	// the base view's private buffers).
+	perClone := clones[0].Store().SharedBytes() + clones[0].PrivateBytes()
+	denseBytes := int64(0)
+	for _, p := range clones[0].Model().Params() {
+		denseBytes += int64(len(p.Value.Data())) * 4
+	}
+	storeBytes := clones[0].StoreBytes()
+	clones = nil
+
+	// --- Shared arm: one base stack, N-1 additional views. ---
+	before = heapAlloc()
+	baseArch := z.CloneObstacle()
+	plans, err := (prune.MagnitudeGlobal{}).PlanNested(baseArch, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Build(baseArch, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := base.Store()
+	views := make([]*core.ReversibleModel, 0, memFleetSize-1)
+	for i := 1; i < memFleetSize; i++ {
+		arch := experiments.NewObstacleNet(int64(i))
+		view, err := store.NewView(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, view)
+	}
+	measuredPerView := (heapAlloc() - before) / memFleetSize
+	// A view's true cost (~KBs) sits below GC heap-measurement noise, so
+	// the empirical delta can come out negative; clamp it. The regression
+	// gate reads the deterministic analytic numbers, not these.
+	if measuredPerView < 0 {
+		measuredPerView = 0
+	}
+
+	if got := store.Refs(); got != memFleetSize {
+		t.Fatalf("Refs = %d, want %d", got, memFleetSize)
+	}
+	privateTotal := base.PrivateBytes()
+	for _, v := range views {
+		privateTotal += v.PrivateBytes()
+	}
+	sharedPerInstance := (store.SharedBytes() + privateTotal) / memFleetSize
+	for _, v := range views {
+		if err := v.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.Refs(); got != 1 {
+		t.Fatalf("Refs = %d after releasing views, want 1", got)
+	}
+
+	rep := memReport{
+		Fleet:                  memFleetSize,
+		DenseBytes:             denseBytes,
+		StoreBytes:             storeBytes,
+		SharedBytes:            store.SharedBytes(),
+		PrivateBytesTotal:      privateTotal,
+		PerCloneBytes:          perClone,
+		SharedPerInstanceBytes: sharedPerInstance,
+		AnalyticReduction:      float64(perClone) / float64(sharedPerInstance),
+		MeasuredPerCloneBytes:  measuredPerClone,
+		MeasuredPerViewBytes:   measuredPerView,
+	}
+	if measuredPerView > 0 {
+		rep.MeasuredReduction = float64(measuredPerClone) / float64(measuredPerView)
+	}
+	t.Logf("fleet %d: per-clone %d B, shared per-instance %d B (%.1f× analytic); measured %d B vs %d B (%.1f×)",
+		rep.Fleet, rep.PerCloneBytes, rep.SharedPerInstanceBytes, rep.AnalyticReduction,
+		rep.MeasuredPerCloneBytes, rep.MeasuredPerViewBytes, rep.MeasuredReduction)
+
+	// The paper-scale claim, asserted on the deterministic analytic
+	// numbers: sharing the store must cut the per-instance footprint by at
+	// least 4× at fleet 64.
+	if rep.AnalyticReduction < 4 {
+		t.Errorf("analytic per-instance reduction %.2f× < 4× (per-clone %d B, shared %d B)",
+			rep.AnalyticReduction, rep.PerCloneBytes, rep.SharedPerInstanceBytes)
+	}
+
+	if out := os.Getenv("RPN_MEM_BENCH_OUT"); out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("memory report written to %s", out)
+	}
+}
+
+// TestViewTransitionIndependence pins the copy-on-write semantics the
+// memory numbers rely on: a view that transitions materializes private
+// buffers (PrivateBytes grows, SharedRatio decays) without disturbing a
+// sibling view still reading the sealed snapshot.
+func TestViewTransitionIndependence(t *testing.T) {
+	z := experiments.NewZoo(1)
+	_, rm, err := z.ObstacleStackView(platform.EmbeddedCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	archB, sib, err := z.ObstacleStackView(platform.EmbeddedCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, v := range []*core.ReversibleModel{rm, sib} {
+			if err := v.Release(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	if rm.Store() != sib.Store() {
+		t.Fatal("zoo views do not share one store")
+	}
+	snapshot := encodeWeights(t, archB)
+	priv0, ratio0 := rm.PrivateBytes(), rm.SharedRatio()
+	if err := rm.ApplyLevel(rm.NumLevels() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if rm.PrivateBytes() <= priv0 {
+		t.Fatalf("PrivateBytes %d did not grow from %d on first transition", rm.PrivateBytes(), priv0)
+	}
+	if rm.SharedRatio() >= ratio0 {
+		t.Fatalf("SharedRatio %.3f did not decay from %.3f", rm.SharedRatio(), ratio0)
+	}
+	if got := encodeWeights(t, archB); string(got) != string(snapshot) {
+		t.Fatal("sibling view's weights changed when another view transitioned")
+	}
+	if err := rm.RestoreFull(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encodeWeights(t *testing.T, m *nn.Sequential) []byte {
+	t.Helper()
+	blob, err := m.EncodeWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}

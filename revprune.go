@@ -42,7 +42,19 @@ type (
 	Level = core.Level
 	// TransitionStats counts runtime level-transition work.
 	TransitionStats = core.TransitionStats
+	// CheckpointStore is the refcounted, sealed snapshot of dense weights,
+	// masks, and displaced values behind a ReversibleModel; fleet clones
+	// attach to it copy-on-write via NewView (see docs/ARCHITECTURE.md,
+	// "The memory model").
+	CheckpointStore = core.CheckpointStore
 )
+
+// ErrStoreCorrupt is the sentinel wrapped by every integrity-checksum
+// failure on the restore path; errors.Is(err, ErrStoreCorrupt) means the
+// recovery store can no longer reproduce the dense weights and the
+// instance must be fenced (the health watchdog quarantines it
+// permanently).
+var ErrStoreCorrupt = core.ErrStoreCorrupt
 
 // Core constructors.
 var (

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_mem.sh — the fleet memory-footprint runner and non-regression gate.
+# Runs TestFleetMemoryFootprint (64 independent stack builds vs one shared
+# checkpoint store + 63 copy-on-write views), writes the byte accounting to
+# BENCH_mem.json, and exits nonzero unless the shared arm's per-instance
+# resident bytes are at most a quarter of the per-clone baseline.
+#
+# The gate reads the analytic numbers (the store's own deterministic byte
+# accounting); the empirical ReadMemStats deltas ride along in the JSON as
+# corroboration but are too noisy to gate on — a view's true cost is a few
+# KB, below GC measurement noise.
+#
+# Environment:
+#   MEM_BENCH_OUT  output path (default BENCH_mem.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${MEM_BENCH_OUT:-BENCH_mem.json}"
+
+echo "==> fleet memory footprint (TestFleetMemoryFootprint -> $OUT)"
+RPN_MEM_BENCH_OUT="$OUT" go test -run '^TestFleetMemoryFootprint$' -count=1 -v . \
+    | grep -E 'fleet 64|memory report|FAIL|ok ' || true
+
+if [[ ! -s "$OUT" ]]; then
+    echo "bench_mem: $OUT was not written (test failed before the report?)" >&2
+    exit 1
+fi
+
+read -r per_clone shared_per < <(awk '
+    /"per_clone_bytes"/              { gsub(/[^0-9]/, "", $2); pc = $2 }
+    /"shared_per_instance_bytes"/    { gsub(/[^0-9]/, "", $2); sp = $2 }
+    END { print pc, sp }' "$OUT")
+
+if [[ -z "$per_clone" || -z "$shared_per" ]]; then
+    echo "bench_mem: could not parse per_clone_bytes / shared_per_instance_bytes from $OUT" >&2
+    exit 1
+fi
+
+# Gate: shared per-instance residency must be <= 0.25x the per-clone
+# baseline at fleet 64 (i.e. the copy-on-write store cuts memory >= 4x).
+if (( shared_per * 4 > per_clone )); then
+    echo "bench_mem: shared per-instance ${shared_per} B exceeds 0.25x per-clone ${per_clone} B" >&2
+    exit 1
+fi
+echo "bench_mem: shared store holds per-instance residency at ${shared_per} B vs ${per_clone} B per clone (>= 4x reduction)"

@@ -21,12 +21,20 @@
 #   7. go test -fuzz     — a short coverage-guided smoke run of the binary
 #                          format fuzzers (the checked-in corpus always runs
 #                          as part of step 5)
-#   8. docs consistency  — the METRICS.md cross-check: every emitted metric
-#                          documented, every documented metric emitted
+#   8. docs consistency  — the METRICS.md cross-check (every emitted metric
+#                          documented, every documented metric emitted) and
+#                          the docs link check (every docs/*.md file that
+#                          README.md, DESIGN.md, or a docs page references
+#                          must exist — a renamed chapter fails here, not in
+#                          a reader's 404)
 #   9. fleet throughput  — scripts/bench_fleet.sh: the batched fused
 #                          dispatch path must not be slower than the
 #                          per-instance path at fleet sizes ≥ 8 (best of
 #                          two attempts); writes BENCH_fleet.json
+#  10. fleet memory      — scripts/bench_mem.sh: a 64-wide fleet of
+#                          copy-on-write store views must keep per-instance
+#                          resident bytes ≤ 0.25× the independent-build
+#                          baseline; writes BENCH_mem.json
 #
 # Artifacts land in $VERIFY_ARTIFACT_DIR (default: a fresh temp dir,
 # echoed so CI can collect it).
@@ -81,14 +89,34 @@ if (( ! perf_ok )); then
 fi
 
 step go test ./...
-step go test -race ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
+step go test -race ./internal/core/ ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzStackRoundTrip -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
+step go test -run '^$' -fuzz FuzzStoreRoundTrip -fuzztime 5s ./internal/core/
 step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry/otlp/
 step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemetry/
 step go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 5s ./internal/fault/
 step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
+
+# Docs link check: every docs/*.md page referenced from README.md,
+# DESIGN.md, or another docs page must exist on disk.
+echo "==> docs link check"
+docs_ok=1
+while read -r src ref; do
+    # Relative links resolve against the source file's directory.
+    target="$(dirname "$src")/$ref"
+    target="${target#./}"
+    if [[ ! -f "$target" ]]; then
+        echo "docs link check: $src references $target, which does not exist" >&2
+        docs_ok=0
+    fi
+done < <(grep -oE '\((docs/)?[A-Za-z_]+\.md(#[a-z-]+)?\)' README.md DESIGN.md docs/*.md \
+    | sed -E 's/[()]//g; s/#[a-z-]+$//' \
+    | awk -F: '$2 ~ /\.md$/ { print $1, $2 }' | sort -u)
+(( docs_ok )) || exit 1
+
 step scripts/bench_fleet.sh
+step scripts/bench_mem.sh
 
 echo "verify: all gates passed (artifacts: $ARTIFACT_DIR)"
