@@ -9,7 +9,7 @@
 //	rpnctl info     -bundle bundle.rrp
 //	rpnctl eval     -task obstacle|sign -bundle bundle.rrp -level N [-telemetry :8080] [-otlp-endpoint localhost:4318]
 //	rpnctl sensitivity -task obstacle|sign -model model.bin
-//	rpnctl health   -addr localhost:8080
+//	rpnctl health   -addr localhost:8080 [-window 5m] [-lookback 2h] [-metric rpn_frame_latency_us]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -132,7 +133,8 @@ commands:
   info         print a bundle's level library
   eval         evaluate a bundle at a given level
   sensitivity  per-layer pruning sensitivity analysis
-  health       query a telemetry server's /healthz and print per-instance health`)
+  health       query a telemetry server's /healthz and print per-instance health
+               (-window/-lookback add the sar-style windowed series table)`)
 }
 
 // task bundles the per-task model builder, dataset, and evaluator.
@@ -385,13 +387,35 @@ func cmdEval(args []string) error {
 // healthDoc is the subset of the telemetry server's /healthz document the
 // CLI renders.
 type healthDoc struct {
-	Status        string            `json:"status"`
-	Level         int               `json:"level"`
-	Sparsity      float64           `json:"sparsity"`
-	Switches      int64             `json:"switches"`
-	Violations    int64             `json:"violations"`
-	Health        map[string]string `json:"health"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
+	Status        string                  `json:"status"`
+	Level         int                     `json:"level"`
+	Sparsity      float64                 `json:"sparsity"`
+	Switches      int64                   `json:"switches"`
+	Violations    int64                   `json:"violations"`
+	Health        map[string]string       `json:"health"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Windows       map[string]windowSeries `json:"windows"`
+}
+
+// windowSeries mirrors the telemetry server's windowed-series JSON shape;
+// rpnctl keeps its own copy so the CLI stays decoupled from the server
+// package's Go types.
+type windowSeries struct {
+	Kind   string        `json:"kind"`
+	Points []windowPoint `json:"points"`
+}
+
+type windowPoint struct {
+	Window string  `json:"window"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Rate   float64 `json:"rate"`
 }
 
 func cmdHealth(args []string) error {
@@ -406,6 +430,9 @@ func cmdHealthTo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "telemetry server address (host:port, or a full URL)")
 	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	window := fs.Duration("window", 0, "sar-style windowed query: bucket width (e.g. 5m); 0 = no windowed series")
+	lookback := fs.Duration("lookback", 0, "windowed query history horizon (e.g. 2h); implies -window's default bucket")
+	metric := fs.String("metric", "", "restrict the windowed query to one metric family (e.g. rpn_frame_latency_us)")
 	fs.Parse(args)
 
 	url := *addr
@@ -414,6 +441,19 @@ func cmdHealthTo(args []string, out io.Writer) error {
 	}
 	if !strings.HasSuffix(url, "/healthz") {
 		url = strings.TrimSuffix(url, "/") + "/healthz"
+	}
+	if *window > 0 || *lookback > 0 {
+		q := neturl.Values{}
+		if *window > 0 {
+			q.Set("window", window.String())
+		}
+		if *lookback > 0 {
+			q.Set("lookback", lookback.String())
+		}
+		if *metric != "" {
+			q.Set("metric", *metric)
+		}
+		url += "?" + q.Encode()
 	}
 	client := &http.Client{Timeout: *timeout}
 	resp, err := client.Get(url)
@@ -455,10 +495,42 @@ func cmdHealthTo(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, tb.String())
 	}
+	if *window > 0 || *lookback > 0 {
+		writeWindowTable(out, doc.Windows)
+	}
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		return fmt.Errorf("health: %s: an instance is quarantined", doc.Status)
 	}
 	return nil
+}
+
+// writeWindowTable renders the windowed series a sar-style /healthz query
+// returned: one row per (series, window) in deterministic order.
+func writeWindowTable(out io.Writer, windows map[string]windowSeries) {
+	if len(windows) == 0 {
+		fmt.Fprintln(out, "no windowed series (registry has no flushed windows in the lookback)")
+		return
+	}
+	names := make([]string, 0, len(windows))
+	for name := range windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tb := metrics.NewTable("windowed series", "series", "window (UTC)", "count", "mean", "min", "p50", "p90", "p99", "max", "rate/s")
+	for _, name := range names {
+		ws := windows[name]
+		for _, p := range ws.Points {
+			if ws.Kind == "counter" {
+				tb.AddRow(name, p.Window, fmt.Sprintf("%d", p.Count),
+					metrics.F(p.Mean, 2), "", "", "", "", "", metrics.F(p.Rate, 2))
+				continue
+			}
+			tb.AddRow(name, p.Window, fmt.Sprintf("%d", p.Count),
+				metrics.F(p.Mean, 1), metrics.F(p.Min, 1), metrics.F(p.P50, 1),
+				metrics.F(p.P90, 1), metrics.F(p.P99, 1), metrics.F(p.Max, 1), "")
+		}
+	}
+	fmt.Fprint(out, tb.String())
 }
 
 func cmdSensitivity(args []string) error {

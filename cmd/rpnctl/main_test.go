@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -92,6 +93,61 @@ func TestCLIHealth(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "quarantined") {
 		t.Errorf("table missing quarantined state:\n%s", out.String())
+	}
+}
+
+// TestCLIHealthWindowed drives rpnctl health -window/-lookback against a
+// live server whose registry holds flushed time windows: the CLI must
+// render the windowed series table with per-window aggregates, and a
+// metric filter must narrow it.
+func TestCLIHealthWindowed(t *testing.T) {
+	reg := telemetry.NewRegistry(telemetry.WithWindowWidth(time.Second))
+	srv, err := telemetry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	series := telemetry.Series(telemetry.MetricFrameLatency,
+		telemetry.Label{Key: telemetry.LabelModel, Value: "car0"})
+	reg.Observe(series, 1500)
+	reg.Observe(series, 2500)
+	reg.Inc(telemetry.MetricGovernorTicks)
+	reg.Flush()
+
+	var out strings.Builder
+	if err := cmdHealthTo([]string{"-addr", srv.Addr(), "-window", "5m", "-lookback", "2h"}, &out); err != nil {
+		t.Fatalf("health -window: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"windowed series", telemetry.MetricFrameLatency, "car0", telemetry.MetricGovernorTicks} {
+		if !strings.Contains(got, want) {
+			t.Errorf("windowed output missing %q:\n%s", want, got)
+		}
+	}
+
+	// -metric narrows the table to one family.
+	out.Reset()
+	if err := cmdHealthTo([]string{"-addr", srv.Addr(), "-window", "5m", "-lookback", "2h",
+		"-metric", telemetry.MetricFrameLatency}, &out); err != nil {
+		t.Fatalf("health -metric: %v", err)
+	}
+	got = out.String()
+	if !strings.Contains(got, telemetry.MetricFrameLatency) {
+		t.Errorf("filtered output missing the requested family:\n%s", got)
+	}
+	if strings.Contains(got, telemetry.MetricGovernorTicks) {
+		t.Errorf("-metric filter leaked other families:\n%s", got)
+	}
+
+	// A lookback with no flushed windows in range renders the empty notice.
+	out.Reset()
+	if err := cmdHealthTo([]string{"-addr", srv.Addr(), "-window", "1s", "-lookback", "1ms",
+		"-metric", "rpn_nope"}, &out); err != nil {
+		t.Fatalf("health empty window: %v", err)
+	}
+	if !strings.Contains(out.String(), "no windowed series") {
+		t.Errorf("missing empty-window notice:\n%s", out.String())
 	}
 }
 

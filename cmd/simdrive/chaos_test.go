@@ -227,7 +227,7 @@ func TestRunChaosDrill(t *testing.T) {
 			var scrape *chaosScrape
 			probe := func(baseURL string) { scrape = scrapeChaos(t, baseURL) }
 			if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0",
-				collector.URL, 3, tc.budget, tc.spec, probe); err != nil {
+				collector.URL, 3, tc.budget, tc.spec, "", probe); err != nil {
 				t.Fatalf("chaos drill %q: %v", tc.spec, err)
 			}
 			if scrape == nil {

@@ -54,9 +54,10 @@ func main() {
 	fleetSize := flag.Int("fleet", 1, "number of model instances to run as a fleet (1 = single-model mode)")
 	fleetBudget := flag.Float64("fleet-budget-mj", 0, "aggregate per-inference energy budget (mJ) a fleet governor holds during the run (0 = no budget; fleet mode only)")
 	chaos := flag.String("chaos", "", "arm a chaos drill: comma-separated fault specs, e.g. nan-weights:car1:after=1,drop-frames:car2:after=40:for=3 (fleet mode only)")
+	windowFile := flag.String("window-file", "", "persist telemetry time windows to this append-only file (replayed on the next run; requires -telemetry or -otlp-endpoint)")
 	flag.Parse()
 
-	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, *chaos, nil); err != nil {
+	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, *chaos, *windowFile, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "simdrive:", err)
 		os.Exit(1)
 	}
@@ -74,10 +75,12 @@ func findScenario(name string) (sim.Scenario, error) {
 // interval still deliver). chaos, when non-empty, is a fault-spec list
 // (see internal/fault) armed over the run's seed — fleet mode only, so a
 // drill always has healthy instances to measure the blast radius against.
+// windowFile, when non-empty, persists the registry's flushed time windows
+// to that append-only file (replaying whatever a previous run left there).
 // probe, when non-nil, is invoked with the server's base URL after the run
 // completes and before the server shuts down (tests hook it to scrape the
 // live endpoints).
-func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, fleetSize int, fleetBudgetMJ float64, chaos string, probe func(baseURL string)) error {
+func run(scenarioName, policyName string, seed int64, csvPath string, every int, telemetryAddr, otlpEndpoint string, fleetSize int, fleetBudgetMJ float64, chaos, windowFile string, probe func(baseURL string)) error {
 	sc, err := findScenario(scenarioName)
 	if err != nil {
 		return err
@@ -102,6 +105,20 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 	var tsrv *telemetry.Server
 	if telemetryAddr != "" || otlpEndpoint != "" {
 		reg = telemetry.NewRegistry()
+		if windowFile != "" {
+			if err := reg.Persist(windowFile); err != nil {
+				return err
+			}
+			fmt.Printf("telemetry: window persistence at %s\n", windowFile)
+		}
+		// Roll hot-path samples into time windows for the duration of the
+		// run; Close takes the final flush (and persists it) on the way out.
+		reg.StartAggregator(250 * time.Millisecond)
+		defer func() {
+			if err := reg.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "simdrive: telemetry close:", err)
+			}
+		}()
 		if inj != nil {
 			// Fired faults land on the shared registry unlabeled: the kind
 			// label already identifies them, and outage faults have no model.
@@ -138,6 +155,8 @@ func run(scenarioName, policyName string, seed int64, csvPath string, every int,
 			}()
 			fmt.Printf("otlp: exporting to %s\n", exp.URL())
 		}
+	} else if windowFile != "" {
+		return fmt.Errorf("-window-file needs a telemetry registry: pass -telemetry or -otlp-endpoint")
 	}
 
 	if fleetSize == 1 {
@@ -515,6 +534,11 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 		bopts := []fleet.BudgetOption{fleet.WithHealthGate(monitor)}
 		if reg != nil {
 			bopts = append(bopts, fleet.WithRebalanceObserver(telemetry.NewHooks(reg)))
+			// Close the measurement loop: rebalance passes read each car's
+			// observed frame latency from the flushed time windows instead of
+			// trusting the calibrated platform numbers alone.
+			bopts = append(bopts, fleet.WithMeasuredLatency(
+				telemetry.NewLatencyProbe(reg, telemetry.DefaultProbeLookback)))
 		}
 		bg, err := fleet.NewBudgetGovernor(f, fleet.Budget{EnergyMJ: budgetMJ}, bopts...)
 		if err != nil {
@@ -618,6 +642,10 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 	}
 	fmt.Print(ht.String())
 
+	if reg != nil {
+		printWindowedLatency(reg)
+	}
+
 	if csvPath != "" {
 		ext := filepath.Ext(csvPath)
 		stem := strings.TrimSuffix(csvPath, ext)
@@ -630,4 +658,55 @@ func runFleet(base sim.Scenario, policyName string, seed int64, csvPath string, 
 		}
 	}
 	return nil
+}
+
+// printWindowedLatency renders the per-model frame-latency time windows the
+// run accumulated — the same aggregates a /healthz?window=&lookback= query
+// returns, and the figures the measured-latency rebalance path acted on.
+func printWindowedLatency(reg *telemetry.Registry) {
+	series := reg.WindowQuery(telemetry.WindowQueryOptions{
+		Metric:   telemetry.MetricFrameLatency,
+		Lookback: time.Hour,
+	})
+	if len(series) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	wt := metrics.NewTable("fleet latency windows (µs per frame)",
+		"series", "windows", "frames", "mean", "min", "p90", "p99", "max")
+	for _, k := range keys {
+		ws := series[k]
+		var count int64
+		var sum, min, max, p90, p99 float64
+		for i, p := range ws.Points {
+			count += p.Count
+			sum += p.Sum
+			if i == 0 || p.Min < min {
+				min = p.Min
+			}
+			if p.Max > max {
+				max = p.Max
+			}
+			// The newest window's sketch quantiles stand in for the span —
+			// per-window sketches don't merge across the query result.
+			p90, p99 = p.P90, p.P99
+		}
+		if count == 0 {
+			continue
+		}
+		wt.AddRow(k,
+			fmt.Sprintf("%d", len(ws.Points)),
+			fmt.Sprintf("%d", count),
+			metrics.F(sum/float64(count), 1),
+			metrics.F(min, 1),
+			metrics.F(p90, 1),
+			metrics.F(p99, 1),
+			metrics.F(max, 1),
+		)
+	}
+	fmt.Print(wt.String())
 }

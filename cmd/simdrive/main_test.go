@@ -33,7 +33,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("simdrive end-to-end skipped in -short mode")
 	}
 	csvPath := filepath.Join(t.TempDir(), "timeline.csv")
-	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", 1, 0, "", nil); err != nil {
+	if err := run("cut-in", "hysteresis", 42, csvPath, 500, "", "", 1, 0, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -43,15 +43,15 @@ func TestRunEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(data), "tick,") {
 		t.Errorf("timeline CSV malformed: %q", string(data[:40]))
 	}
-	if err := run("cut-in", "bogus", 1, "", 500, "", "", 1, 0, "", nil); err == nil {
+	if err := run("cut-in", "bogus", 1, "", 500, "", "", 1, 0, "", "", nil); err == nil {
 		t.Error("bogus policy accepted")
 	}
-	if err := run("cut-in", "hysteresis", 1, "", 500, "", "", 0, 0, "", nil); err == nil {
+	if err := run("cut-in", "hysteresis", 1, "", 500, "", "", 0, 0, "", "", nil); err == nil {
 		t.Error("zero fleet size accepted")
 	}
 	// All remaining policies at least construct and run.
 	for _, p := range []string{"static-dense", "static-deep", "threshold", "predictive"} {
-		if err := run("highway-cruise", p, 1, "", 1000, "", "", 1, 0, "", nil); err != nil {
+		if err := run("highway-cruise", p, 1, "", 1000, "", "", 1, 0, "", "", nil); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
 	}
@@ -122,7 +122,7 @@ func TestRunWithTelemetry(t *testing.T) {
 			}
 		}
 	}
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", 1, 0, "", probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", "", 1, 0, "", "", probe); err != nil {
 		t.Fatal(err)
 	}
 	if !probed {
@@ -217,7 +217,7 @@ func TestRunWithOTLP(t *testing.T) {
 		}
 	}
 
-	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, 1, 0, "", probe); err != nil {
+	if err := run("cut-in", "hysteresis", 42, "", 500, "127.0.0.1:0", collector.URL, 1, 0, "", "", probe); err != nil {
 		t.Fatal(err)
 	}
 
@@ -243,10 +243,10 @@ func TestRunWithOTLP(t *testing.T) {
 
 	layerLat := last.Metric(telemetry.MetricLayerTransitionLatency)
 	if layerLat == nil {
-		t.Fatal("export missing per-layer transition latency summaries")
+		t.Fatal("export missing per-layer transition latency histograms")
 	}
-	if layerLat.Type != "summary" {
-		t.Errorf("per-layer latency exported as %q, want summary", layerLat.Type)
+	if layerLat.Type != "histogram" {
+		t.Errorf("per-layer latency exported as %q, want histogram (_us families carry bucket counts)", layerLat.Type)
 	}
 	otlpLayers := map[string]bool{}
 	for _, p := range layerLat.Points {
@@ -352,8 +352,41 @@ func TestRunFleet(t *testing.T) {
 		}
 	}
 
-	if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0", collector.URL, len(models), 40, "", probe); err != nil {
+	// The windowed query must answer over live HTTP mid-run, and the window
+	// file must survive to disk — the simdrive leg of the ISSUE 9 loop.
+	windowFile := filepath.Join(t.TempDir(), "windows.db")
+	var windowed map[string]telemetry.WindowSeries
+	fullProbe := func(baseURL string) {
+		probe(baseURL)
+		resp, err := http.Get(baseURL + "/healthz?window=5m&lookback=2h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Windows map[string]telemetry.WindowSeries `json:"windows"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		windowed = doc.Windows
+	}
+
+	if err := run("cut-in", "hysteresis", 42, "", 1000, "127.0.0.1:0", collector.URL, len(models), 40, "", windowFile, fullProbe); err != nil {
 		t.Fatal(err)
+	}
+
+	sawFrameWindow := false
+	for series := range windowed {
+		if name, _, ok := telemetry.ParseSeries(series); ok && name == telemetry.MetricFrameLatency {
+			sawFrameWindow = true
+		}
+	}
+	if !sawFrameWindow {
+		t.Errorf("windowed /healthz query returned no %s series: %v", telemetry.MetricFrameLatency, windowed)
+	}
+	if fi, err := os.Stat(windowFile); err != nil || fi.Size() == 0 {
+		t.Errorf("window file not persisted: %v (size %v)", err, fi)
 	}
 
 	for _, m := range models {

@@ -44,12 +44,22 @@ type BudgetGovernor struct {
 	floor  float64
 	obs    RebalanceObserver
 	gate   HealthGate
+	latSrc LatencySource
 }
 
 // HealthGate tells the budget governor which instances may be touched.
 // health.Monitor satisfies it (Admissible: everything but Quarantined).
 type HealthGate interface {
 	Admissible(model string) bool
+}
+
+// LatencySource supplies a measured per-instance inference latency in
+// milliseconds, keyed by instance name. ok=false means no measurement is
+// available yet (cold start, no recent windows) and the caller must fall
+// back to the calibrated figure. telemetry.LatencyProbe satisfies this
+// interface from flushed time windows.
+type LatencySource interface {
+	MeasuredLatencyMS(model string) (float64, bool)
 }
 
 // BudgetOption configures a BudgetGovernor.
@@ -67,6 +77,19 @@ func WithRebalanceObserver(o RebalanceObserver) BudgetOption {
 // budget of the instances actually serving.
 func WithHealthGate(g HealthGate) BudgetOption {
 	return func(b *BudgetGovernor) { b.gate = g }
+}
+
+// WithMeasuredLatency closes the governor loop on observed reality: every
+// rebalance pass asks src for the instance's measured latency and, when a
+// measurement exists, rescales the instance's whole calibrated latency
+// ladder by measured/calibrated-at-current-level. An instance running
+// slower than its calibration (thermal throttling, contention) therefore
+// presents proportionally costlier levels and attracts budget pressure
+// first; an instance with no measurement yet keeps its calibrated costs
+// untouched. Energy figures are never rescaled — only the latency
+// dimension is observable at runtime.
+func WithMeasuredLatency(src LatencySource) BudgetOption {
+	return func(b *BudgetGovernor) { b.latSrc = src }
 }
 
 // WithAccuracyFloor forbids rebalancing any instance to a level whose
@@ -120,6 +143,9 @@ func (b *BudgetGovernor) Rebalance() (int, error) {
 		lib := make([]costedLevel, len(lvls))
 		for j, l := range lvls {
 			lib[j] = costedLevel{energy: l.EnergyMJ, latency: l.LatencyMS, accuracy: l.Accuracy}
+		}
+		if b.latSrc != nil {
+			scaleMeasured(lib, inst, b.latSrc)
 		}
 		libraries[k] = lib
 		d := inst.Demand()
@@ -199,6 +225,25 @@ func (b *BudgetGovernor) Rebalance() (int, error) {
 // costedLevel is the per-level cost snapshot a rebalance pass works from.
 type costedLevel struct {
 	energy, latency, accuracy float64
+}
+
+// scaleMeasured rescales lib's latency ladder in place by the ratio of the
+// instance's measured latency to its calibrated latency at the level it is
+// currently running. Skipped (calibrated figures kept) when no measurement
+// exists, the measurement is nonpositive, or the calibrated base is zero.
+func scaleMeasured(lib []costedLevel, inst *Instance, src LatencySource) {
+	measured, ok := src.MeasuredLatencyMS(inst.Name())
+	if !ok || measured <= 0 {
+		return
+	}
+	cur := inst.Current()
+	if cur < 0 || cur >= len(lib) || lib[cur].latency <= 0 {
+		return
+	}
+	ratio := measured / lib[cur].latency
+	for j := range lib {
+		lib[j].latency *= ratio
+	}
 }
 
 // total sums the assigned levels' calibrated costs.

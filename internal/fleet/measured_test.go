@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The telemetry windowed-latency probe must satisfy the governor's
+// measurement seam without the fleet package importing telemetry.
+var _ LatencySource = (*telemetry.LatencyProbe)(nil)
+
+// echoSource reports each instance's calibrated latency at its current
+// level — a perfectly calibrated platform, where measurement and
+// calibration agree exactly.
+type echoSource struct{ f *Fleet }
+
+func (s echoSource) MeasuredLatencyMS(model string) (float64, bool) {
+	inst, ok := s.f.Get(model)
+	if !ok {
+		return 0, false
+	}
+	return inst.Levels()[inst.Current()].LatencyMS, true
+}
+
+// mapSource reports fixed measured latencies per instance; absent names
+// have no measurement.
+type mapSource map[string]float64
+
+func (s mapSource) MeasuredLatencyMS(model string) (float64, bool) {
+	v, ok := s[model]
+	return v, ok
+}
+
+// coldSource never has a measurement — the probe before the first flush.
+type coldSource struct{}
+
+func (coldSource) MeasuredLatencyMS(string) (float64, bool) { return 0, false }
+
+func buildTestFleet(t *testing.T, names ...string) *Fleet {
+	t.Helper()
+	f := New()
+	for i, name := range names {
+		if err := f.Add(newTestInstance(t, name, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func levelsOf(t *testing.T, f *Fleet) map[string]int {
+	t.Helper()
+	out := map[string]int{}
+	for _, inst := range f.Instances() {
+		out[inst.Name()] = inst.Current()
+	}
+	return out
+}
+
+// TestMeasuredLatencyDifferential is the ISSUE 9 differential suite: when
+// measurement agrees with calibration (echo source) — or when no
+// measurement exists at all — WithMeasuredLatency must produce exactly the
+// assignments of the calibrated path, across a matrix of budget scenarios.
+func TestMeasuredLatencyDifferential(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		budget Budget
+		floor  float64
+	}{
+		{"loose", Budget{LatencyMS: 100}, 0},
+		{"latency_squeeze", Budget{LatencyMS: 3}, 0},
+		{"latency_hard", Budget{LatencyMS: 4}, 0}, // 2-instance fleet: forces deepening
+		{"energy_only", Budget{EnergyMJ: 13}, 0},
+		{"both_dims", Budget{EnergyMJ: 13, LatencyMS: 5}, 0},
+		{"floored", Budget{LatencyMS: 2}, 0.8},
+		{"unconstrained", Budget{}, 0},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, src := range []struct {
+				name string
+				mk   func(f *Fleet) LatencySource
+			}{
+				{"echo", func(f *Fleet) LatencySource { return echoSource{f} }},
+				{"cold", func(f *Fleet) LatencySource { return coldSource{} }},
+			} {
+				calibrated := buildTestFleet(t, "bus1", "car0")
+				measured := buildTestFleet(t, "bus1", "car0")
+
+				opts := []BudgetOption{}
+				if sc.floor > 0 {
+					opts = append(opts, WithAccuracyFloor(sc.floor))
+				}
+				bgCal, err := NewBudgetGovernor(calibrated, sc.budget, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bgMeas, err := NewBudgetGovernor(measured, sc.budget,
+					append(opts, WithMeasuredLatency(src.mk(measured)))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := bgCal.Rebalance(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := bgMeas.Rebalance(); err != nil {
+					t.Fatal(err)
+				}
+				want, got := levelsOf(t, calibrated), levelsOf(t, measured)
+				for name, lvl := range want {
+					if got[name] != lvl {
+						t.Errorf("%s source: %s at L%d, calibrated path at L%d (must agree)",
+							src.name, name, got[name], lvl)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMeasuredLatencySpikeDeepens: an instance observed running 3× slower
+// than calibration presents a proportionally costlier ladder, so a latency
+// budget the calibrated path meets at L1 now forces the deepest level.
+func TestMeasuredLatencySpikeDeepens(t *testing.T) {
+	f := buildTestFleet(t, "car0")
+	// Calibrated L0 is 4 ms; measured says 12 ms → ratio 3 → ladder
+	// 12/7.5/4.5 ms. Budget 5 ms: the calibrated path would not deepen at
+	// all (4 ≤ 5); the measured path must go all the way to L2, where
+	// 4.5 ms finally fits.
+	rec := &rebalanceRecorder{}
+	bg, err := NewBudgetGovernor(f, Budget{LatencyMS: 5},
+		WithMeasuredLatency(mapSource{"car0": 12}), WithRebalanceObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bg.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	if car0.Current() != 2 {
+		t.Fatalf("level = %d, want 2 (3× slowdown must deepen past calibrated answer)", car0.Current())
+	}
+	// The observer reports the measured aggregate (4.5 ms), inside budget.
+	if len(rec.calls) != 1 || rec.calls[0].overBudget || rec.calls[0].latency != 4.5 {
+		t.Fatalf("observer = %+v, want in-budget pass at 4.5 ms measured", rec.calls)
+	}
+}
+
+// TestMeasuredLatencyFastInstanceRelaxes: an instance measured faster than
+// calibration presents a cheaper ladder, so a budget that would squeeze
+// the calibrated fleet leaves the measured fleet at its demand.
+func TestMeasuredLatencyFastInstanceRelaxes(t *testing.T) {
+	f := buildTestFleet(t, "car0")
+	// Calibrated L0 is 4 ms > 3 ms budget → calibrated path deepens to L1.
+	// Measured 2 ms at L0 (ratio 0.5): ladder 2/1.25/0.75 fits at L0.
+	bg, err := NewBudgetGovernor(f, Budget{LatencyMS: 3},
+		WithMeasuredLatency(mapSource{"car0": 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bg.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	if n != 0 || car0.Current() != 0 {
+		t.Fatalf("retargets=%d level=%d, want 0 retargets at L0 (fast instance needs no squeeze)",
+			n, car0.Current())
+	}
+}
+
+// TestMeasuredLatencyIgnoresBadMeasurements: nonpositive measurements fall
+// back to calibration rather than zeroing or inverting the ladder.
+func TestMeasuredLatencyIgnoresBadMeasurements(t *testing.T) {
+	f := buildTestFleet(t, "car0")
+	bg, err := NewBudgetGovernor(f, Budget{LatencyMS: 3},
+		WithMeasuredLatency(mapSource{"car0": -7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bg.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	if car0.Current() != 1 {
+		t.Fatalf("level = %d, want 1 (calibrated answer under a bad measurement)", car0.Current())
+	}
+}
+
+// TestMeasuredLatencyFromProbe closes the loop end-to-end inside the
+// process: frame latencies observed into a telemetry registry, rolled into
+// windows, read back by the probe, and acted on by the governor.
+func TestMeasuredLatencyFromProbe(t *testing.T) {
+	base := time.Date(2025, 8, 10, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return base }
+	reg := telemetry.NewRegistry(telemetry.WithClock(clock), telemetry.WithWindowWidth(time.Second))
+	series := telemetry.Series(telemetry.MetricFrameLatency,
+		telemetry.Label{Key: telemetry.LabelModel, Value: "car0"})
+	// 12 ms mean in microseconds: 3× the calibrated 4 ms at L0.
+	reg.Observe(series, 11_000)
+	reg.Observe(series, 13_000)
+	reg.Flush()
+
+	probe := telemetry.NewLatencyProbe(reg, time.Minute)
+	if got, ok := probe.MeasuredLatencyMS("car0"); !ok || got != 12 {
+		t.Fatalf("probe = %v/%v, want 12 ms", got, ok)
+	}
+
+	f := buildTestFleet(t, "car0")
+	bg, err := NewBudgetGovernor(f, Budget{LatencyMS: 5}, WithMeasuredLatency(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bg.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	car0, _ := f.Get("car0")
+	if car0.Current() != 2 {
+		t.Fatalf("level = %d, want 2 (measured 12 ms must force deepest level)", car0.Current())
+	}
+}

@@ -16,6 +16,10 @@ var CtxboundPackages = []string{
 	"repro/internal/perception",
 	"repro/internal/metrics",
 	"repro/internal/telemetry",
+	// Covered by the telemetry prefix rule, listed explicitly: the window
+	// tier's persistence store and key math must stay deterministic and
+	// goroutine-clean (time flows in as parameters, never from time.Now).
+	"repro/internal/telemetry/window",
 	// Covered by the telemetry prefix rule, listed explicitly because the
 	// exporter's periodic loop is exactly the kind of long-lived goroutine
 	// this analyzer exists for.

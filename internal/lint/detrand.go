@@ -15,6 +15,10 @@ var DetrandPackages = []string{
 	"repro/internal/experiments",
 	"repro/internal/dataset",
 	"repro/internal/telemetry",
+	// Covered by the telemetry prefix rule, listed explicitly: the window
+	// tier's persistence store and key math must stay deterministic and
+	// goroutine-clean (time flows in as parameters, never from time.Now).
+	"repro/internal/telemetry/window",
 	// Covered by the telemetry prefix rule, listed explicitly so the OTLP
 	// exporter's clock discipline (export timestamps through the seam) is
 	// auditable here.

@@ -18,6 +18,10 @@ var ErrdropPackages = []string{
 	"repro/internal/health",
 	"repro/internal/fault",
 	"repro/internal/telemetry",
+	// Covered by the telemetry prefix rule, listed explicitly: the window
+	// tier's persistence store and key math must stay deterministic and
+	// goroutine-clean (time flows in as parameters, never from time.Now).
+	"repro/internal/telemetry/window",
 	// Covered by the telemetry prefix rule, listed explicitly because the
 	// exporter's retry path is where a dropped error becomes silent data
 	// loss.

@@ -1,52 +1,212 @@
 package telemetry
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
 
-// histogram is a fixed-window rolling histogram: the last `cap(window)`
-// samples in a ring buffer, plus monotonic lifetime count/sum. Quantiles
-// are computed over the window at snapshot time, so the write path is one
-// store and two adds — cheap enough for per-tick recording.
+	"repro/internal/telemetry/window"
+)
+
+// histogram is the two-tier rolling histogram. The hot path (observe)
+// appends into one of several shards — each a fixed-capacity sample buffer
+// behind its own mutex, chosen round-robin by an atomic sequence — so
+// concurrent writers spread across locks instead of queueing on one. The
+// flush path (drainLocked, guarded by flushMu) periodically moves shard
+// contents into the flushed tier: the rolling ring the quantile snapshot
+// reads, the lifetime count/sum/min/max, and the lifetime quantile
+// sketch. Collect and flush never share a mutex, which is the
+// move-and-flush split this package is named for.
 //
-// histogram is not internally synchronized; the owning Registry's mutex
-// guards every access.
+// Exactness: count, sum, min and max are exact even when a shard buffer
+// wraps between flushes (the buffer ring-overwrites, but n/sum/extremes
+// keep counting), so lifetime aggregates never undercount under overload;
+// only the *window* quantiles degrade to the most recent samples.
 type histogram struct {
-	window []float64 // ring buffer, len == configured window
-	next   int       // next write position
-	filled int       // number of valid samples in window
-	count  int64     // lifetime samples
-	sum    float64   // lifetime sum
+	shards []histShard
+	seq    atomic.Uint32
+
+	// flushMu guards everything below (the flushed tier).
+	flushMu sync.Mutex
+	ring    []float64 // rolling window, len == configured window
+	next    int       // next ring write position
+	filled  int       // valid samples in ring
+	count   int64     // lifetime samples
+	sum     float64   // lifetime sum
+	min     float64   // lifetime min (valid when count > 0)
+	max     float64   // lifetime max (valid when count > 0)
+	sketch  window.Sketch
 }
 
-func newHistogram(window int) *histogram {
-	if window < 1 {
-		window = DefaultWindow
+// histShard is one collect buffer. Padded so adjacent shards do not share
+// a cache line under contention.
+type histShard struct {
+	mu  sync.Mutex
+	buf []float64 // fixed capacity; ring-overwrites past cap
+	n   int       // samples since last drain (may exceed len(buf))
+	sum float64
+	min float64
+	max float64
+	_   [48]byte
+}
+
+func newHistogram(windowSamples, shards int) *histogram {
+	if windowSamples < 1 {
+		windowSamples = DefaultWindow
 	}
-	return &histogram{window: make([]float64, window)}
+	if shards < 1 {
+		shards = 1
+	}
+	// Shard buffers together hold at least one full window (round-robin
+	// spreads samples evenly, so ceil(window/shards) per shard suffices),
+	// with a floor so bursts between flushes rarely wrap.
+	per := (windowSamples + shards - 1) / shards
+	if per < 64 {
+		per = 64
+	}
+	h := &histogram{
+		shards: make([]histShard, shards),
+		ring:   make([]float64, windowSamples),
+	}
+	for i := range h.shards {
+		h.shards[i].buf = make([]float64, per)
+	}
+	return h
 }
 
+// observe is the hot path: one atomic add to pick a shard, one shard mutex,
+// one buffer store. No allocation.
 func (h *histogram) observe(v float64) {
-	h.window[h.next] = v
-	h.next++
-	if h.next == len(h.window) {
-		h.next = 0
+	s := &h.shards[int(h.seq.Add(1))&(len(h.shards)-1)]
+	s.mu.Lock()
+	if s.n == 0 || v < s.min {
+		s.min = v
 	}
-	if h.filled < len(h.window) {
-		h.filled++
+	if s.n == 0 || v > s.max {
+		s.max = v
 	}
-	h.count++
-	h.sum += v
+	s.buf[s.n%len(s.buf)] = v
+	s.n++
+	s.sum += v
+	s.mu.Unlock()
 }
 
-// snapshot summarizes the rolling window. Sorting a copy is O(w log w) with
-// w ≤ the configured window; snapshots run off the hot path (an HTTP
-// scrape or a test assertion).
+// drainLocked moves every shard's pending samples into the flushed tier and
+// returns the flush delta (with a fresh sketch) for time-window merging.
+// The caller holds flushMu.
+//
+// Because shard assignment is strict round-robin on the atomic sequence,
+// arrival order is reconstructible: the k-th pending sample lives in shard
+// (firstSeq+k) mod S, so consuming shards in that rotation feeds the
+// rolling ring in arrival order and the ring's eviction really does drop
+// the oldest samples. Two degradations are deliberate: a shard buffer that
+// wrapped between flushes (overload) falls back to shard-order append, and
+// a writer caught between its sequence increment and its buffer store
+// (racing this drain) only skews the rotation offset — the leftover pass
+// still consumes every sample, so count/sum/min/max stay exact.
+func (h *histogram) drainLocked() window.Agg {
+	var agg window.Agg
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+	}
+	pending, wrapped := 0, false
+	for i := range h.shards {
+		s := &h.shards[i]
+		if s.n > len(s.buf) {
+			wrapped = true
+		}
+		pending += keptOf(s)
+		if s.n > 0 {
+			agg.Merge(window.Agg{Count: int64(s.n), Sum: s.sum, Min: s.min, Max: s.max})
+		}
+	}
+	if pending > 0 {
+		agg.Sketch = &window.Sketch{}
+		consumed := make([]int, len(h.shards))
+		feed := func(i int) {
+			s := &h.shards[i]
+			j := consumed[i]
+			consumed[i]++
+			v := s.buf[j]
+			if s.n > len(s.buf) { // wrapped: oldest kept sample sits at n%cap
+				v = s.buf[(s.n+j)%len(s.buf)]
+			}
+			h.ring[h.next] = v
+			h.next++
+			if h.next == len(h.ring) {
+				h.next = 0
+			}
+			if h.filled < len(h.ring) {
+				h.filled++
+			}
+			agg.Sketch.Add(v)
+		}
+		if !wrapped && len(h.shards) > 1 {
+			mask := len(h.shards) - 1
+			first := int(int32(h.seq.Load())) - pending + 1
+			for k := 0; k < pending; k++ {
+				if i := (first + k) & mask; consumed[i] < keptOf(&h.shards[i]) {
+					feed(i)
+				}
+			}
+		}
+		for i := range h.shards {
+			for consumed[i] < keptOf(&h.shards[i]) {
+				feed(i)
+			}
+		}
+	}
+	for i := range h.shards {
+		h.shards[i].n, h.shards[i].sum = 0, 0
+		h.shards[i].mu.Unlock()
+	}
+	if agg.Count == 0 {
+		return agg
+	}
+	if h.count == 0 || agg.Min < h.min {
+		h.min = agg.Min
+	}
+	if h.count == 0 || agg.Max > h.max {
+		h.max = agg.Max
+	}
+	h.count += agg.Count
+	h.sum += agg.Sum
+	if agg.Sketch != nil {
+		h.sketch.Merge(agg.Sketch)
+	}
+	return agg
+}
+
+// keptOf is the number of shard samples still in the buffer (its pending
+// count clamped to capacity).
+func keptOf(s *histShard) int {
+	if s.n > len(s.buf) {
+		return len(s.buf)
+	}
+	return s.n
+}
+
+// snapshot summarizes the flushed tier (the Registry flushes before
+// snapshotting, so pending shard samples are already drained). Sorting a
+// ring copy is O(w log w) with w ≤ the configured window; snapshots run
+// off the hot path (an HTTP scrape or a test assertion).
 func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Window: h.filled}
+	h.flushMu.Lock()
+	defer h.flushMu.Unlock()
+	s := HistogramSnapshot{
+		Count:       h.count,
+		Sum:         h.sum,
+		Window:      h.filled,
+		LifetimeMin: h.min,
+		LifetimeMax: h.max,
+	}
 	if h.filled == 0 {
 		return s
 	}
+	s.Buckets = make([]uint64, len(h.sketch.Counts))
+	copy(s.Buckets, h.sketch.Counts[:])
 	sorted := make([]float64, h.filled)
-	copy(sorted, h.window[:h.filled])
+	copy(sorted, h.ring[:h.filled])
 	sort.Float64s(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]

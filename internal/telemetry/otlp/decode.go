@@ -25,7 +25,8 @@ type Metric struct {
 	Name string
 	// Unit is the OTLP unit string ("1", "us", "s").
 	Unit string
-	// Type is the decoded oneof arm: "sum", "gauge", or "summary".
+	// Type is the decoded oneof arm: "sum", "gauge", "histogram", or
+	// "summary".
 	Type string
 	// Points holds the datapoints, one per label set.
 	Points []Point
@@ -43,11 +44,21 @@ type Point struct {
 	AsInt int64
 	// AsDouble is a Gauge point's value.
 	AsDouble float64
-	// Count and Sum are a Summary point's lifetime aggregates.
+	// Count and Sum are a Summary or Histogram point's lifetime
+	// aggregates.
 	Count uint64
 	Sum   float64
 	// Quantiles are a Summary point's quantile values in wire order.
 	Quantiles []Quantile
+	// BucketCounts and Bounds are a Histogram point's packed bucket
+	// counts and explicit bounds (len(BucketCounts) == len(Bounds)+1 when
+	// present).
+	BucketCounts []uint64
+	Bounds       []float64
+	// Min and Max are a Histogram point's population extremes; HasMinMax
+	// reports whether the point carried them.
+	Min, Max  float64
+	HasMinMax bool
 }
 
 // Quantile is one ValueAtQuantile pair.
@@ -334,6 +345,11 @@ func decodeMetric(data []byte) (Metric, error) {
 			if err := decodePoints(msg, &m, decodeNumberPoint); err != nil {
 				return m, err
 			}
+		case fieldMetricHistogram:
+			m.Type = "histogram"
+			if err := decodePoints(msg, &m, decodeHistogramPoint); err != nil {
+				return m, err
+			}
 		case fieldMetricSummary:
 			m.Type = "summary"
 			if err := decodePoints(msg, &m, decodeSummaryPoint); err != nil {
@@ -474,6 +490,102 @@ func decodeSummaryPoint(data []byte) (Point, error) {
 		}
 	}
 	return p, nil
+}
+
+func decodeHistogramPoint(data []byte) (Point, error) {
+	p := Point{Attrs: map[string]string{}}
+	r := &reader{b: data}
+	for !r.done() {
+		field, wire, err := r.field()
+		if err != nil {
+			return p, err
+		}
+		switch {
+		case field == fieldHDPStartTime && wire == wireFixed64:
+			if p.StartUnixNano, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldHDPTime && wire == wireFixed64:
+			if p.TimeUnixNano, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldHDPCount && wire == wireFixed64:
+			if p.Count, err = r.fixed64(); err != nil {
+				return p, err
+			}
+		case field == fieldHDPSum && wire == wireFixed64:
+			v, err := r.fixed64()
+			if err != nil {
+				return p, err
+			}
+			p.Sum = math.Float64frombits(v)
+		case field == fieldHDPBucketCounts && wire == wireBytes:
+			msg, err := r.bytes()
+			if err != nil {
+				return p, err
+			}
+			counts, err := decodePackedFixed64(msg)
+			if err != nil {
+				return p, err
+			}
+			p.BucketCounts = counts
+		case field == fieldHDPBounds && wire == wireBytes:
+			msg, err := r.bytes()
+			if err != nil {
+				return p, err
+			}
+			bits, err := decodePackedFixed64(msg)
+			if err != nil {
+				return p, err
+			}
+			p.Bounds = make([]float64, len(bits))
+			for i, b := range bits {
+				p.Bounds[i] = math.Float64frombits(b)
+			}
+		case field == fieldHDPMin && wire == wireFixed64:
+			v, err := r.fixed64()
+			if err != nil {
+				return p, err
+			}
+			p.Min = math.Float64frombits(v)
+			p.HasMinMax = true
+		case field == fieldHDPMax && wire == wireFixed64:
+			v, err := r.fixed64()
+			if err != nil {
+				return p, err
+			}
+			p.Max = math.Float64frombits(v)
+			p.HasMinMax = true
+		case field == fieldHDPAttrs && wire == wireBytes:
+			msg, err := r.bytes()
+			if err != nil {
+				return p, err
+			}
+			k, v, err := decodeKeyValue(msg)
+			if err != nil {
+				return p, err
+			}
+			p.Attrs[k] = v
+		default:
+			if err := r.skip(wire); err != nil {
+				return p, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// decodePackedFixed64 splits a packed repeated fixed64 payload into its
+// little-endian 8-byte lanes. The payload length must be a multiple of 8.
+func decodePackedFixed64(data []byte) ([]uint64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("otlp: packed fixed64 payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]uint64, len(data)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return out, nil
 }
 
 func decodeQuantile(data []byte) (Quantile, error) {

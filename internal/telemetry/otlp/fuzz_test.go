@@ -71,7 +71,10 @@ func FuzzEncodeDecodeSnapshot(f *testing.F) {
 		}
 		s := req.Metric(name + "_us")
 		if s == nil || len(s.Points) != 1 {
-			t.Fatalf("summary %q missing after round trip", name+"_us")
+			t.Fatalf("latency family %q missing after round trip", name+"_us")
+		}
+		if s.Type != "histogram" {
+			t.Fatalf("latency family %q decoded as %q, want histogram", name+"_us", s.Type)
 		}
 		if got := s.Points[0].Attrs["layer"]; got != layer {
 			t.Fatalf("layer attr = %q, want %q", got, layer)

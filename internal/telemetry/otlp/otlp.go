@@ -6,10 +6,14 @@
 // standard.
 //
 // Encode maps one telemetry.Snapshot onto OTLP metrics: monotonic
-// counters become cumulative Sums, gauges become Gauges, and the rolling
-// histograms become Summaries carrying the window quantiles plus lifetime
-// sum/count — the same shape the Prometheus endpoint exposes. Labeled
-// registry series (telemetry.Series keys, e.g. the per-layer
+// counters become cumulative Sums, gauges become Gauges, latency
+// histogram families (*_us) become cumulative Histogram datapoints
+// carrying the registry's lifetime exponential-bucket distribution
+// (bucket_counts/explicit_bounds from the window-tier sketch, plus
+// min/max), and the remaining histogram families become Summaries
+// carrying the window quantiles plus lifetime sum/count — the same shape
+// the Prometheus endpoint exposes. Labeled registry series
+// (telemetry.Series keys, e.g. the per-layer
 // rpn_layer_transition_latency_us{layer=...} histograms) become multiple
 // datapoints of one metric, the labels carried as datapoint attributes.
 //
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/window"
 )
 
 // Proto field numbers of the OTLP metrics schema (opentelemetry-proto
@@ -55,15 +60,26 @@ const (
 	fieldScopeNameKey = 1 // InstrumentationScope.name
 	fieldScopeVersion = 2 // InstrumentationScope.version
 	// Metric
-	fieldMetricName    = 1
-	fieldMetricUnit    = 3
-	fieldMetricGauge   = 5
-	fieldMetricSum     = 7
-	fieldMetricSummary = 11
-	// Gauge / Sum / Summary
+	fieldMetricName      = 1
+	fieldMetricUnit      = 3
+	fieldMetricGauge     = 5
+	fieldMetricSum       = 7
+	fieldMetricHistogram = 9
+	fieldMetricSummary   = 11
+	// Gauge / Sum / Summary / Histogram
 	fieldDataPoints     = 1
 	fieldSumTemporality = 2
 	fieldSumMonotonic   = 3
+	// HistogramDataPoint
+	fieldHDPStartTime    = 2
+	fieldHDPTime         = 3
+	fieldHDPCount        = 4
+	fieldHDPSum          = 5
+	fieldHDPBucketCounts = 6 // repeated fixed64, packed
+	fieldHDPBounds       = 7 // repeated double, packed
+	fieldHDPAttrs        = 9
+	fieldHDPMin          = 11
+	fieldHDPMax          = 12
 	// NumberDataPoint
 	fieldNDPStartTime = 2
 	fieldNDPTime      = 3
@@ -275,6 +291,42 @@ func Encode(snap telemetry.Snapshot, service string, start, ts time.Time) []byte
 	}
 
 	for _, f := range groupFamilies(snap.Histograms) {
+		// Latency families (*_us) carry their lifetime exponential-bucket
+		// distribution, so they export as real OTLP Histogram datapoints;
+		// other histogram families keep the Summary shape (window
+		// quantiles plus lifetime sum/count), mirroring Prometheus.
+		if unitFor(f.name) == "us" {
+			var hg enc
+			for _, s := range f.series {
+				h := snap.Histograms[s.key]
+				var dp enc
+				dp.fixed64Field(fieldHDPStartTime, startNano)
+				dp.fixed64Field(fieldHDPTime, tsNano)
+				dp.fixed64Field(fieldHDPCount, uint64(h.Count))
+				dp.doubleField(fieldHDPSum, h.Sum)
+				if len(h.Buckets) > 0 {
+					var counts enc
+					for _, c := range h.Buckets {
+						counts.buf = binary.LittleEndian.AppendUint64(counts.buf, c)
+					}
+					dp.bytesField(fieldHDPBucketCounts, counts.buf)
+					var bounds enc
+					for _, b := range window.Bounds() {
+						bounds.buf = binary.LittleEndian.AppendUint64(bounds.buf, math.Float64bits(b))
+					}
+					dp.bytesField(fieldHDPBounds, bounds.buf)
+				}
+				attrs(&dp, fieldHDPAttrs, s.labels)
+				if h.Count > 0 {
+					dp.doubleField(fieldHDPMin, h.LifetimeMin)
+					dp.doubleField(fieldHDPMax, h.LifetimeMax)
+				}
+				hg.bytesField(fieldDataPoints, dp.buf)
+			}
+			hg.varintField(fieldSumTemporality, temporalityCumulative)
+			metrics = append(metrics, metricMsg(f.name, "us", fieldMetricHistogram, hg.buf))
+			continue
+		}
 		var sm enc
 		for _, s := range f.series {
 			h := snap.Histograms[s.key]

@@ -86,36 +86,43 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("gauge metric = %+v, want one point of 3", g)
 	}
 
+	// *_latency_us families ride as Histogram datapoints: bucket counts
+	// over the sketch's explicit bounds, plus exact count/sum/min/max.
 	s := req.Metric("rpn_transition_latency_us")
-	if s == nil || s.Type != "summary" || len(s.Points) != 1 {
-		t.Fatalf("summary metric = %+v, want one summary point", s)
+	if s == nil || s.Type != "histogram" || len(s.Points) != 1 {
+		t.Fatalf("latency metric = %+v, want one histogram point", s)
 	}
 	if s.Unit != "us" {
-		t.Errorf("summary unit = %q, want us", s.Unit)
+		t.Errorf("latency unit = %q, want us", s.Unit)
 	}
 	sp := s.Points[0]
 	if sp.Count != 3 || sp.Sum != 60 {
-		t.Errorf("summary count/sum = %d/%v, want 3/60", sp.Count, sp.Sum)
+		t.Errorf("histogram count/sum = %d/%v, want 3/60", sp.Count, sp.Sum)
 	}
-	var p50 float64
-	for _, q := range sp.Quantiles {
-		if q.Q == 0.5 {
-			p50 = q.V
-		}
+	if len(sp.BucketCounts) != len(sp.Bounds)+1 {
+		t.Fatalf("bucket layout = %d counts / %d bounds, want counts = bounds+1",
+			len(sp.BucketCounts), len(sp.Bounds))
 	}
-	if p50 != 20 {
-		t.Errorf("summary p50 = %v, want 20", p50)
+	var inBuckets uint64
+	for _, c := range sp.BucketCounts {
+		inBuckets += c
+	}
+	if inBuckets != sp.Count {
+		t.Errorf("bucket counts total %d, want %d", inBuckets, sp.Count)
+	}
+	if !sp.HasMinMax || sp.Min != 10 || sp.Max != 30 {
+		t.Errorf("histogram min/max = %v/%v (has=%v), want 10/30", sp.Min, sp.Max, sp.HasMinMax)
 	}
 
 	ls := req.Metric("rpn_layer_transition_latency_us")
-	if ls == nil || ls.Type != "summary" || len(ls.Points) != 1 {
-		t.Fatalf("layer summary = %+v, want one point", ls)
+	if ls == nil || ls.Type != "histogram" || len(ls.Points) != 1 {
+		t.Fatalf("layer histogram = %+v, want one point", ls)
 	}
 	if got := ls.Points[0].Attrs["layer"]; got != "conv1.w" {
-		t.Errorf("layer summary attr = %q, want conv1.w", got)
+		t.Errorf("layer histogram attr = %q, want conv1.w", got)
 	}
 	if ls.Points[0].Sum != 120 {
-		t.Errorf("layer summary sum = %v, want 120", ls.Points[0].Sum)
+		t.Errorf("layer histogram sum = %v, want 120", ls.Points[0].Sum)
 	}
 }
 
@@ -380,6 +387,70 @@ func TestExporterGzipRoundTrip(t *testing.T) {
 	}
 	if st := exp.Stats(); st.PlainFallbacks != 0 {
 		t.Errorf("stats = %+v, want no plain fallbacks", st)
+	}
+}
+
+// TestExporterHistogramRoundTrip drives a latency family through the full
+// exporter → fake-collector pipeline and checks the Histogram datapoint
+// arrives intact: bucket layout, totals, extremes, and the model label.
+func TestExporterHistogramRoundTrip(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	series := telemetry.Series(telemetry.MetricRestoreLatency,
+		telemetry.Label{Key: telemetry.LabelModel, Value: "car0"})
+	for _, v := range []float64{150, 450, 900, 1800} {
+		reg.Observe(series, v)
+	}
+	exp, err := NewExporter(reg, srv.URL, WithInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	m := col.last().Metric(telemetry.MetricRestoreLatency)
+	if m == nil || m.Type != "histogram" || len(m.Points) != 1 {
+		t.Fatalf("restore latency = %+v, want one histogram point", m)
+	}
+	p := m.Points[0]
+	if p.Attrs[telemetry.LabelModel] != "car0" {
+		t.Errorf("model attr = %q, want car0", p.Attrs[telemetry.LabelModel])
+	}
+	if p.Count != 4 || p.Sum != 3300 {
+		t.Errorf("count/sum = %d/%v, want 4/3300", p.Count, p.Sum)
+	}
+	if !p.HasMinMax || p.Min != 150 || p.Max != 1800 {
+		t.Errorf("min/max = %v/%v (has=%v), want 150/1800", p.Min, p.Max, p.HasMinMax)
+	}
+	if len(p.BucketCounts) != len(p.Bounds)+1 {
+		t.Fatalf("bucket layout = %d counts / %d bounds", len(p.BucketCounts), len(p.Bounds))
+	}
+	// Bounds must ascend, and every sample must land in a bucket whose
+	// (lower, upper] range actually contains it.
+	var total uint64
+	for i, c := range p.BucketCounts {
+		total += c
+		if i > 0 && i < len(p.Bounds) && p.Bounds[i] <= p.Bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v <= %v", i, p.Bounds[i], p.Bounds[i-1])
+		}
+	}
+	if total != p.Count {
+		t.Errorf("bucket counts total %d, want %d", total, p.Count)
+	}
+	for _, v := range []float64{150, 450, 900, 1800} {
+		idx := 0
+		for idx < len(p.Bounds) && v > p.Bounds[idx] {
+			idx++
+		}
+		if p.BucketCounts[idx] == 0 {
+			t.Errorf("sample %v maps to empty bucket %d", v, idx)
+		}
 	}
 }
 

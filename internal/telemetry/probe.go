@@ -1,0 +1,52 @@
+package telemetry
+
+import "time"
+
+// LatencyProbe answers "what frame latency did this model instance
+// actually measure lately?" from the registry's time windows. It
+// structurally satisfies fleet.LatencySource, closing the loop between the
+// telemetry the perception seams record and the budget governor's
+// retargeting decisions (fleet.WithMeasuredLatency): the governor plans
+// with observed per-instance latency instead of calibrated platform
+// numbers.
+type LatencyProbe struct {
+	reg      *Registry
+	lookback time.Duration
+}
+
+// DefaultProbeLookback bounds how far back the probe averages when the
+// caller passes a non-positive lookback.
+const DefaultProbeLookback = 30 * time.Second
+
+// NewLatencyProbe builds a probe over reg's rpn_frame_latency_us windows,
+// averaging across the trailing lookback.
+func NewLatencyProbe(reg *Registry, lookback time.Duration) *LatencyProbe {
+	if lookback <= 0 {
+		lookback = DefaultProbeLookback
+	}
+	return &LatencyProbe{reg: reg, lookback: lookback}
+}
+
+// MeasuredLatencyMS returns the mean measured frame latency of the named
+// model instance over the probe's lookback, in milliseconds. ok is false
+// when no window holds a sample for that instance (a fresh registry, an
+// idle instance, or a lookback past retention) — callers fall back to
+// calibrated numbers.
+func (p *LatencyProbe) MeasuredLatencyMS(model string) (float64, bool) {
+	series := Series(MetricFrameLatency, Label{Key: LabelModel, Value: model})
+	res := p.reg.WindowQuery(WindowQueryOptions{Lookback: p.lookback, Series: series})
+	ws, ok := res[series]
+	if !ok {
+		return 0, false
+	}
+	var count int64
+	var sum float64
+	for _, pt := range ws.Points {
+		count += pt.Count
+		sum += pt.Sum
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count) / 1e3, true // µs → ms
+}

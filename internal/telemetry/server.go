@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,7 +18,10 @@ import (
 //
 //	GET /healthz  — JSON Snapshot plus a summary of the well-known
 //	                deployment metrics (level, sparsity, switches,
-//	                violations, uptime)
+//	                violations, uptime), the window/persistence
+//	                configuration, and — with sar-style query parameters
+//	                (?window=5m&lookback=2h[&metric=][&series=]) — the
+//	                windowed series history
 //	GET /metrics  — Prometheus text exposition (counters, gauges, and
 //	                histograms as summaries with rolling-window quantiles)
 //
@@ -43,7 +47,7 @@ func Serve(reg *Registry, addr string) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		writeHealthz(w, reg)
+		writeHealthz(w, reg, req.URL.Query())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -79,19 +83,75 @@ func (s *Server) Close() error {
 	return err
 }
 
+// healthzSchema versions the /healthz document. Schema 2 added the
+// telemetry section (window/retention configuration, persistence status)
+// and the windowed-query response; the schema-1 fields are unchanged, so
+// schema-1 consumers keep working.
+const healthzSchema = 2
+
+// healthzTelemetry is the /healthz "telemetry" section: the window tier's
+// configuration plus, when Persist is enabled, the store's status.
+type healthzTelemetry struct {
+	WindowConfig
+	Persistence *PersistenceStatus `json:"persistence,omitempty"`
+}
+
+// healthzQuery echoes the windowed-query parameters back in the response.
+type healthzQuery struct {
+	Window   string `json:"window"`
+	Lookback string `json:"lookback"`
+	Metric   string `json:"metric,omitempty"`
+	Series   string `json:"series,omitempty"`
+}
+
 // writeHealthz renders the /healthz JSON document. When any instance's
 // health-state gauge reads quarantined, the document's status flips to
 // "degraded" and the response carries HTTP 503 — so load balancers and
-// uptime probes see a fenced-off instance without parsing the body.
-func writeHealthz(w http.ResponseWriter, reg *Registry) {
+// uptime probes see a fenced-off instance without parsing the body; the
+// windowed-query parameters never change that contract. With
+// ?window=5m&lookback=2h (either parameter opts in; metric= and series=
+// filter) the document additionally carries the matching windowed series.
+func writeHealthz(w http.ResponseWriter, reg *Registry, q url.Values) {
+	var (
+		query   *healthzQuery
+		windows map[string]WindowSeries
+	)
+	if q.Get("window") != "" || q.Get("lookback") != "" {
+		opt := WindowQueryOptions{Metric: q.Get("metric"), Series: q.Get("series")}
+		var err error
+		if v := q.Get("window"); v != "" {
+			if opt.Bucket, err = time.ParseDuration(v); err != nil {
+				http.Error(w, fmt.Sprintf("bad window: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := q.Get("lookback"); v != "" {
+			if opt.Lookback, err = time.ParseDuration(v); err != nil {
+				http.Error(w, fmt.Sprintf("bad lookback: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		windows = reg.WindowQuery(opt)
+		query = &healthzQuery{
+			Window:   opt.Bucket.String(),
+			Lookback: opt.Lookback.String(),
+			Metric:   opt.Metric,
+			Series:   opt.Series,
+		}
+	}
 	snap := reg.Snapshot()
 	health, quarantined := healthStates(snap)
 	status, code := "ok", http.StatusOK
 	if quarantined {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
+	tel := healthzTelemetry{WindowConfig: reg.WindowInfo()}
+	if ps, ok := reg.PersistStatus(); ok {
+		tel.Persistence = &ps
+	}
 	doc := struct {
 		Status string `json:"status"`
+		Schema int    `json:"schema"`
 		// Summary lifts the well-known deployment metrics (written by
 		// Hooks) to the top level for cheap probes.
 		Level      int     `json:"level"`
@@ -102,14 +162,25 @@ func writeHealthz(w http.ResponseWriter, reg *Registry) {
 		// deployment) to its health-state name, from the
 		// rpn_health_state gauges. Absent when no health monitor writes.
 		Health map[string]string `json:"health,omitempty"`
+		// Telemetry reports the window tier's configuration and, when
+		// enabled, persistence status.
+		Telemetry healthzTelemetry `json:"telemetry"`
+		// Query and Windows carry the windowed-series response when the
+		// request asked for one.
+		Query   *healthzQuery           `json:"query,omitempty"`
+		Windows map[string]WindowSeries `json:"windows,omitempty"`
 		Snapshot
 	}{
 		Status:     status,
+		Schema:     healthzSchema,
 		Level:      int(snap.Gauges[MetricLevel]),
 		Sparsity:   snap.Gauges[MetricSparsity],
 		Switches:   snap.Counters[MetricLevelSwitches],
 		Violations: snap.Counters[MetricContractViolations],
 		Health:     health,
+		Telemetry:  tel,
+		Query:      query,
+		Windows:    windows,
 		Snapshot:   snap,
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with a fixed clock, a persistence store,
+// and a deterministic set of observations, so the /healthz document is
+// byte-stable.
+func goldenRegistry(t *testing.T, dir string, quarantined bool) *Registry {
+	t.Helper()
+	clock, setClock := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock), WithWindowWidth(10*time.Second), WithRetention(360))
+	if err := r.Persist(filepath.Join(dir, "windows.db")); err != nil {
+		t.Fatal(err)
+	}
+	r.SetGauge(MetricLevel, 2)
+	r.SetGauge(MetricSparsity, 0.75)
+	r.Add(MetricLevelSwitches, 3)
+	r.Observe(MetricRestoreLatency, 120)
+	r.Observe(MetricRestoreLatency, 480)
+	if quarantined {
+		r.SetGauge(Series(MetricHealthState, Label{Key: LabelModel, Value: "car1"}), float64(HealthQuarantined))
+	}
+	r.Flush()
+	setClock(windowTestStart.Add(15 * time.Second))
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestHealthzGolden pins the schema-2 /healthz document — including the
+// telemetry window/persistence section — against golden files, in both the
+// 200 "ok" and the 503 "degraded" shape.
+func TestHealthzGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		golden      string
+		quarantined bool
+		wantCode    int
+	}{
+		{"ok", "healthz_ok.golden", false, http.StatusOK},
+		{"degraded", "healthz_degraded.golden", true, http.StatusServiceUnavailable},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			r := goldenRegistry(t, dir, tc.quarantined)
+			defer func() {
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			rec := httptest.NewRecorder()
+			writeHealthz(rec, r, nil)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.wantCode)
+			}
+			// The persistence path is a temp dir; normalize it for the
+			// golden compare.
+			body := strings.ReplaceAll(rec.Body.String(), dir, "$DIR")
+			checkGolden(t, tc.golden, []byte(body))
+		})
+	}
+}
+
+// TestHealthzWindowQuery exercises the sar-style query over live HTTP,
+// including parameter validation and the 503-preserving contract.
+func TestHealthzWindowQuery(t *testing.T) {
+	clock, setClock := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock), WithWindowWidth(10*time.Second))
+	r.Observe("rpn_frame_latency_us", 1500)
+	r.Flush()
+	setClock(windowTestStart.Add(20 * time.Second))
+	r.Observe("rpn_frame_latency_us", 2500)
+
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/healthz?window=5m&lookback=2h")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var doc struct {
+		Schema    int `json:"schema"`
+		Telemetry struct {
+			Width     string `json:"width"`
+			Retention int    `json:"retention"`
+		} `json:"telemetry"`
+		Query struct {
+			Window   string `json:"window"`
+			Lookback string `json:"lookback"`
+		} `json:"query"`
+		Windows map[string]WindowSeries `json:"windows"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != healthzSchema || doc.Telemetry.Width != "10s" || doc.Telemetry.Retention != DefaultRetention {
+		t.Fatalf("telemetry section = %+v", doc)
+	}
+	if doc.Query.Window != "5m0s" || doc.Query.Lookback != "2h0m0s" {
+		t.Fatalf("query echo = %+v", doc.Query)
+	}
+	ws, ok := doc.Windows["rpn_frame_latency_us"]
+	if !ok || len(ws.Points) != 1 || ws.Points[0].Count != 2 {
+		t.Fatalf("windowed series = %+v", doc.Windows)
+	}
+	// Both samples merged into one 5m bucket despite different 10s
+	// windows.
+	if ws.Points[0].Sum != 4000 {
+		t.Fatalf("bucket sum = %v, want 4000", ws.Points[0].Sum)
+	}
+
+	if code, _ := get("/healthz?window=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad window param: status = %d, want 400", code)
+	}
+	if code, _ := get("/healthz?lookback=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad lookback param: status = %d, want 400", code)
+	}
+
+	// The windowed query preserves the degraded → 503 contract.
+	r.SetGauge(Series(MetricHealthState, Label{Key: LabelModel, Value: "car0"}), float64(HealthQuarantined))
+	if code, _ := get("/healthz?window=5m&lookback=2h"); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded windowed query: status = %d, want 503", code)
+	}
+}
+
+// TestHealthzWindowsSurviveRestart is the ISSUE 9 acceptance e2e: windows
+// written by one server process answer ?window=&lookback= queries from the
+// next process over the same store file.
+func TestHealthzWindowsSurviveRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "windows.db")
+	clock, setClock := settableClock(windowTestStart)
+
+	r1 := NewRegistry(WithClock(clock), WithWindowWidth(10*time.Second))
+	if err := r1.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	r1.Observe("rpn_frame_latency_us", 1000)
+	r1.Flush()
+	setClock(windowTestStart.Add(10 * time.Second))
+	r1.Observe("rpn_frame_latency_us", 3000)
+	if err := r1.Close(); err != nil { // final flush persists the second window
+		t.Fatal(err)
+	}
+
+	// Process restart: fresh registry + fresh server over the same file.
+	clock2, _ := settableClock(windowTestStart.Add(30 * time.Second))
+	r2 := NewRegistry(WithClock(clock2), WithWindowWidth(10*time.Second))
+	if err := r2.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	srv, err := Serve(r2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz?window=5m&lookback=2h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Telemetry struct {
+			Persistence *PersistenceStatus `json:"persistence"`
+		} `json:"telemetry"`
+		Windows map[string]WindowSeries `json:"windows"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	ws := doc.Windows["rpn_frame_latency_us"]
+	if len(ws.Points) != 1 || ws.Points[0].Count != 2 || ws.Points[0].Sum != 4000 {
+		t.Fatalf("restarted windowed query = %+v", ws)
+	}
+	if doc.Telemetry.Persistence == nil || doc.Telemetry.Persistence.Path != path || doc.Telemetry.Persistence.Bytes == 0 {
+		t.Fatalf("persistence status = %+v", doc.Telemetry.Persistence)
+	}
+}

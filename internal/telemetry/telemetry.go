@@ -1,38 +1,54 @@
 // Package telemetry is the runtime observability subsystem of the
-// reversible-pruning stack: a dependency-free, mutex-guarded metrics
-// registry (monotonic counters, gauges, and fixed-window rolling histograms
-// with microsecond-resolution quantiles) plus an HTTP server exposing the
-// registry as a JSON health snapshot (/healthz) and Prometheus text
-// (/metrics). Metrics may carry labels: Series renders a name plus
-// key="value" pairs into one opaque registry key, so labeled families like
+// reversible-pruning stack: a dependency-free two-tier metrics registry
+// plus an HTTP server exposing it as a JSON health snapshot (/healthz,
+// including sar-style windowed queries) and Prometheus text (/metrics).
+//
+// The first tier is the lock-minimal hot path: counters and gauges are
+// single atomics, and histograms append into per-shard sample buffers
+// behind per-shard mutexes (shard chosen round-robin, so writers spread
+// instead of queueing). Metric registration uses a copy-on-write map
+// behind an atomic pointer, so recording into an existing metric takes no
+// registry-wide lock and allocates nothing.
+//
+// The second tier rolls those raw samples into YYYYMMDDHHMMSS-keyed time
+// windows (count/sum/min/max plus a quantile sketch per window, bounded
+// retention — see internal/telemetry/window) on every flush. Flushes
+// happen on read (Snapshot, the HTTP handlers, WindowQuery) and, when
+// StartAggregator is running, periodically in the background; with
+// Persist enabled each flush also appends its window deltas to an
+// append-only file store, so window history survives restarts.
+//
+// Metrics may carry labels: Series renders a name plus key="value" pairs
+// into one opaque registry key, so labeled families like
 // rpn_layer_transition_latency_us{layer="conv1.w"} coexist with flat names
 // without changing the Registry API, and the Prometheus renderer groups
 // them back into families. The otlp subpackage pushes the same registry to
 // OpenTelemetry collectors over OTLP/HTTP.
 //
-// The offline experiment harness (cmd/experiments) measures transitions in
-// tables; telemetry makes the same quantities — restore latency (whole
-// transition and per layer), level residency, contract violations —
-// observable from a *live* deployment, the way containerized services
-// expose rolling counters. The package imports only the standard library
-// so every layer of the stack can depend on it without cycles; the
-// stack-specific wiring lives in Hooks, whose methods structurally satisfy
-// the observer seams of internal/core, internal/governor, and
-// internal/perception.
+// The package imports only the standard library so every layer of the
+// stack can depend on it without cycles; the stack-specific wiring lives
+// in Hooks, whose methods structurally satisfy the observer seams of
+// internal/core, internal/governor, and internal/perception, and in
+// LatencyProbe, which feeds the fleet budget governor measured windowed
+// latency.
 //
 // All registry methods are safe for concurrent use. The hot-path contract
-// is one mutex acquisition and no allocations for existing metrics; the
-// disabled path (a nil observer upstream) costs nothing at all — see the
-// benchmarks in internal/governor.
+// is at most one *sharded* mutex acquisition and no allocations for
+// existing metrics; the disabled path (a nil observer upstream) costs
+// nothing at all — see the benchmarks in internal/governor and the
+// contended benchmarks in this package (scripts/bench_telemetry.sh).
 //
 // docs/METRICS.md is the authoritative reference of every emitted metric
 // (enforced by TestMetricsDocCrossCheck); docs/OPERATIONS.md is the
-// operator guide.
+// operator guide, including persistence and retention sizing.
 package telemetry
 
 import (
+	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,16 +56,63 @@ import (
 // WithWindow is not given.
 const DefaultWindow = 256
 
-// Registry is a mutex-guarded metric store. The zero value is not usable;
+// Registry is the two-tier metric store. The zero value is not usable;
 // construct with NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	clock    func() time.Time
-	start    time.Time
-	window   int
-	counters map[string]int64
-	gauges   map[string]float64
+	clock  func() time.Time
+	start  time.Time
+	window int // rolling-histogram sample window
+	shards int // histogram shard count (power of two)
+
+	// live is the copy-on-write metric set: reads go straight through the
+	// atomic pointer into plain maps; registration of a new metric clones
+	// the set under regMu and swaps the pointer.
+	live  atomic.Pointer[metricSet]
+	regMu sync.Mutex
+
+	// win is the time-window tier (aggregation state, retention,
+	// persistence, background aggregator).
+	win windowState
+}
+
+// metricSet is an immutable registration snapshot. The maps are never
+// mutated after publication; the values they point at carry their own
+// synchronization (atomics, shard mutexes).
+type metricSet struct {
+	counters map[string]*counter
+	gauges   map[string]*gauge
 	hists    map[string]*histogram
+}
+
+func (m *metricSet) clone() *metricSet {
+	n := &metricSet{
+		counters: make(map[string]*counter, len(m.counters)+1),
+		gauges:   make(map[string]*gauge, len(m.gauges)+1),
+		hists:    make(map[string]*histogram, len(m.hists)+1),
+	}
+	for k, v := range m.counters {
+		n.counters[k] = v
+	}
+	for k, v := range m.gauges {
+		n.gauges[k] = v
+	}
+	for k, v := range m.hists {
+		n.hists[k] = v
+	}
+	return n
+}
+
+// counter is a monotonic counter: the hot path adds to v; flushed is the
+// value already rolled into time windows, guarded by the windowState
+// mutex.
+type counter struct {
+	v       atomic.Int64
+	flushed int64
+}
+
+// gauge stores its float64 value as atomic bits.
+type gauge struct {
+	bits atomic.Uint64
 }
 
 // Option configures NewRegistry.
@@ -78,17 +141,35 @@ func WithClock(clock func() time.Time) Option {
 // NewRegistry constructs an empty registry; its uptime starts now.
 func NewRegistry(opts ...Option) *Registry {
 	r := &Registry{
-		clock:    now,
-		window:   DefaultWindow,
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
-		hists:    make(map[string]*histogram),
+		clock:  now,
+		window: DefaultWindow,
+		shards: shardCount(),
 	}
+	r.win.width = DefaultWindowWidth
+	r.win.retention = DefaultRetention
 	for _, o := range opts {
 		o(r)
 	}
+	r.live.Store(&metricSet{
+		counters: map[string]*counter{},
+		gauges:   map[string]*gauge{},
+		hists:    map[string]*histogram{},
+	})
+	r.win.series = map[string]*seriesWindows{}
 	r.start = r.clock()
 	return r
+}
+
+// shardCount sizes histogram sharding to the machine: the next power of
+// two at or above GOMAXPROCS, capped at 16 (beyond that the buffers cost
+// more cache than the contention they remove).
+func shardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 16 {
+		s <<= 1
+	}
+	return s
 }
 
 // Inc increments the named monotonic counter by one.
@@ -100,16 +181,33 @@ func (r *Registry) Add(name string, delta int64) {
 	if name == "" || delta < 0 {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counters[name] += delta
+	if c := r.live.Load().counters[name]; c != nil {
+		c.v.Add(delta)
+		return
+	}
+	r.registerCounter(name).v.Add(delta)
+}
+
+func (r *Registry) registerCounter(name string) *counter {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	cur := r.live.Load()
+	if c := cur.counters[name]; c != nil {
+		return c
+	}
+	next := cur.clone()
+	c := &counter{}
+	next.counters[name] = c
+	r.live.Store(next)
+	return c
 }
 
 // Counter returns the current value of the named counter (0 if absent).
 func (r *Registry) Counter(name string) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	if c := r.live.Load().counters[name]; c != nil {
+		return c.v.Load()
+	}
+	return 0
 }
 
 // SetGauge sets the named gauge to v.
@@ -117,16 +215,33 @@ func (r *Registry) SetGauge(name string, v float64) {
 	if name == "" {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.gauges[name] = v
+	if g := r.live.Load().gauges[name]; g != nil {
+		g.bits.Store(math.Float64bits(v))
+		return
+	}
+	r.registerGauge(name).bits.Store(math.Float64bits(v))
+}
+
+func (r *Registry) registerGauge(name string) *gauge {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	cur := r.live.Load()
+	if g := cur.gauges[name]; g != nil {
+		return g
+	}
+	next := cur.clone()
+	g := &gauge{}
+	next.gauges[name] = g
+	r.live.Store(next)
+	return g
 }
 
 // Gauge returns the current value of the named gauge (0 if absent).
 func (r *Registry) Gauge(name string) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.gauges[name]
+	if g := r.live.Load().gauges[name]; g != nil {
+		return math.Float64frombits(g.bits.Load())
+	}
+	return 0
 }
 
 // Observe records one sample into the named rolling histogram. The unit is
@@ -135,14 +250,25 @@ func (r *Registry) Observe(name string, v float64) {
 	if name == "" {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
-	if h == nil {
-		h = newHistogram(r.window)
-		r.hists[name] = h
+	if h := r.live.Load().hists[name]; h != nil {
+		h.observe(v)
+		return
 	}
-	h.observe(v)
+	r.registerHistogram(name).observe(v)
+}
+
+func (r *Registry) registerHistogram(name string) *histogram {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	cur := r.live.Load()
+	if h := cur.hists[name]; h != nil {
+		return h
+	}
+	next := cur.clone()
+	h := newHistogram(r.window, r.shards)
+	next.hists[name] = h
+	r.live.Store(next)
+	return h
 }
 
 // ObserveDuration records d into the named histogram in microseconds
@@ -153,8 +279,6 @@ func (r *Registry) ObserveDuration(name string, d time.Duration) {
 
 // Uptime returns the time elapsed since the registry was constructed.
 func (r *Registry) Uptime() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.clock().Sub(r.start)
 }
 
@@ -173,6 +297,13 @@ type HistogramSnapshot struct {
 	P90 float64 `json:"p90"`
 	P99 float64 `json:"p99"`
 	Max float64 `json:"max"`
+	// Buckets is the lifetime exponential-bucket distribution
+	// (window.Bounds() gives the matching upper bounds) and LifetimeMin /
+	// LifetimeMax the lifetime extremes; they feed the OTLP Histogram
+	// encoding and are not part of the JSON schema.
+	Buckets     []uint64 `json:"-"`
+	LifetimeMin float64  `json:"-"`
+	LifetimeMax float64  `json:"-"`
 }
 
 // Mean returns the lifetime mean sample (0 with no samples).
@@ -193,24 +324,27 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric under one lock acquisition, so the result
-// is internally consistent (no torn counter/histogram pairs).
+// Snapshot captures every metric at one instant. It first flushes the hot
+// path (draining histogram shards into their rolling windows and rolling
+// counter deltas into time windows), so a sample recorded before Snapshot
+// is visible in it.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	t := r.clock()
+	r.flushAt(t)
+	set := r.live.Load()
 	s := Snapshot{
-		UptimeSeconds: r.clock().Sub(r.start).Seconds(),
-		Counters:      make(map[string]int64, len(r.counters)),
-		Gauges:        make(map[string]float64, len(r.gauges)),
-		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+		UptimeSeconds: t.Sub(r.start).Seconds(),
+		Counters:      make(map[string]int64, len(set.counters)),
+		Gauges:        make(map[string]float64, len(set.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(set.hists)),
 	}
-	for k, v := range r.counters {
-		s.Counters[k] = v
+	for k, c := range set.counters {
+		s.Counters[k] = c.v.Load()
 	}
-	for k, v := range r.gauges {
-		s.Gauges[k] = v
+	for k, g := range set.gauges {
+		s.Gauges[k] = math.Float64frombits(g.bits.Load())
 	}
-	for k, h := range r.hists {
+	for k, h := range set.hists {
 		s.Histograms[k] = h.snapshot()
 	}
 	return s

@@ -1,0 +1,122 @@
+package window
+
+import "math"
+
+// The sketch is a fixed-size exponential-bucket histogram: bucket i covers
+// (2^(minExp+i-1), 2^(minExp+i)], with an underflow bucket for values at or
+// below 2^minExp (including zero, negatives, and NaN) and an overflow
+// bucket past 2^maxExp. The bounds span 0.0625 µs to ~1.76e13 µs (≈ 204
+// days), which covers every duration family the registry records with a
+// worst-case relative quantile error of one octave. A sketch is a plain
+// value (a fixed array of counts), so it can be merged, copied, and
+// persisted without pointer chasing, and two sketches built from the same
+// samples are bit-identical regardless of arrival order.
+const (
+	sketchMinExp = -4
+	sketchMaxExp = 44
+
+	// NumBuckets is the sketch size: one underflow bucket, one bucket per
+	// octave in (minExp, maxExp], and one overflow bucket.
+	NumBuckets = sketchMaxExp - sketchMinExp + 2
+)
+
+// Sketch is a mergeable exponential-bucket quantile sketch.
+type Sketch struct {
+	Counts [NumBuckets]uint64
+}
+
+// lowestBound and highestBound are the smallest and largest finite bucket
+// upper bounds.
+var (
+	lowestBound  = math.Ldexp(1, sketchMinExp)
+	highestBound = math.Ldexp(1, sketchMaxExp)
+)
+
+// bucketIndex maps a sample to its bucket.
+func bucketIndex(v float64) int {
+	if !(v > lowestBound) { // NaN and v ≤ 2^minExp both land here
+		return 0
+	}
+	if v > highestBound {
+		return NumBuckets - 1
+	}
+	e := int(math.Ceil(math.Log2(v)))
+	switch {
+	case e <= sketchMinExp: // float fuzz right at the lowest bound
+		return 1
+	case e > sketchMaxExp:
+		return NumBuckets - 1
+	}
+	return e - sketchMinExp
+}
+
+// Add records one sample.
+func (s *Sketch) Add(v float64) { s.Counts[bucketIndex(v)]++ }
+
+// Merge adds o's counts into s.
+func (s *Sketch) Merge(o *Sketch) {
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+}
+
+// Total returns the number of recorded samples.
+func (s *Sketch) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Quantile estimates the q-th quantile (clamped to 0..1) of the recorded
+// samples: the bucket holding the target rank is located by a cumulative
+// walk and represented by the geometric midpoint of its bounds (its lower
+// bound for the underflow bucket, its upper bound for overflow). Returns 0
+// with no samples.
+func (s *Sketch) Quantile(q float64) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > rank {
+			return bucketValue(i)
+		}
+	}
+	return highestBound
+}
+
+// bucketValue is the representative sample value for bucket i.
+func bucketValue(i int) float64 {
+	switch {
+	case i <= 0:
+		return lowestBound
+	case i >= NumBuckets-1:
+		return highestBound
+	}
+	hi := math.Ldexp(1, sketchMinExp+i)
+	lo := math.Ldexp(1, sketchMinExp+i-1)
+	return math.Sqrt(lo * hi)
+}
+
+// Bounds returns the NumBuckets-1 ascending bucket upper bounds, matching
+// the OpenTelemetry HistogramDataPoint explicit_bounds convention: bucket i
+// counts samples in (Bounds[i-1], Bounds[i]], the final bucket everything
+// above Bounds[len-1].
+func Bounds() []float64 {
+	b := make([]float64, NumBuckets-1)
+	for i := range b {
+		b[i] = math.Ldexp(1, sketchMinExp+i)
+	}
+	return b
+}

@@ -1,0 +1,295 @@
+package window
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// Store is the append-only window file. Each flush appends one Record per
+// (series, window) carrying the *delta* aggregate of that flush, so the
+// file is a log: replaying it from the start and merging records with equal
+// (series, window) reconstructs the window state at the last flush. The
+// file is never rewritten in place — crash recovery is "truncate the torn
+// tail", not a repair pass.
+//
+// On-disk layout:
+//
+//	magic "RPNWIN1\n"                                  (8 bytes)
+//	repeated records:
+//	    payload length  uint32 LE                      (4 bytes)
+//	    payload CRC32   uint32 LE, IEEE polynomial     (4 bytes)
+//	    payload         MarshalRecord bytes
+//
+// A record whose length field, checksum, or payload fails validation ends
+// the readable prefix: Open returns every record before it and truncates
+// the file there, so a crash mid-append loses at most the windows of the
+// final flush (they are still present in memory if the process survived).
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64
+	wrbuf []byte // reused append buffer
+}
+
+// storeMagic identifies a window store file (and its format version).
+const storeMagic = "RPNWIN1\n"
+
+// Marshal limits: a record larger than these is corrupt by definition.
+const (
+	maxPayload   = 1 << 20
+	maxSeriesLen = 1 << 12
+	maxKeyLen    = 64
+)
+
+// ErrCorrupt reports a window store whose header is not a window store
+// header. (Torn record tails are not errors — Open truncates them.)
+var ErrCorrupt = errors.New("window: not a window store")
+
+// Record is one persisted flush delta.
+type Record struct {
+	Kind   Kind
+	Window string
+	Series string
+	Agg    Agg
+}
+
+// AppendRecord marshals r onto dst (payload only, no framing) and returns
+// the extended slice. The encoding is canonical: sparse sketch entries are
+// emitted in ascending bucket order, so equal records marshal to equal
+// bytes.
+func AppendRecord(dst []byte, r Record) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = append(dst, byte(len(r.Window)))
+	dst = append(dst, r.Window...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Series)))
+	dst = append(dst, r.Series...)
+	dst = binary.AppendUvarint(dst, uint64(r.Agg.Count))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Agg.Sum))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Agg.Min))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Agg.Max))
+	if r.Agg.Sketch == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	var sparse int
+	for _, c := range r.Agg.Sketch.Counts {
+		if c != 0 {
+			sparse++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(sparse))
+	for i, c := range r.Agg.Sketch.Counts {
+		if c == 0 {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(i))
+		dst = binary.AppendUvarint(dst, c)
+	}
+	return dst
+}
+
+// MarshalRecord returns r's canonical payload encoding.
+func MarshalRecord(r Record) []byte { return AppendRecord(nil, r) }
+
+// UnmarshalRecord is the inverse of MarshalRecord. Every length, index, and
+// range is validated, so arbitrary (fuzzed) input yields an error rather
+// than a panic or an out-of-range record.
+func UnmarshalRecord(payload []byte) (Record, error) {
+	var r Record
+	b := payload
+	if len(b) < 2 {
+		return r, errors.New("window: record truncated")
+	}
+	r.Kind = Kind(b[0])
+	if !r.Kind.Valid() {
+		return r, fmt.Errorf("window: record kind %d unknown", b[0])
+	}
+	keyLen := int(b[1])
+	b = b[2:]
+	if keyLen > maxKeyLen || len(b) < keyLen {
+		return r, errors.New("window: record key truncated")
+	}
+	r.Window = string(b[:keyLen])
+	b = b[keyLen:]
+	seriesLen, n := binary.Uvarint(b)
+	if n <= 0 || seriesLen > maxSeriesLen || uint64(len(b[n:])) < seriesLen {
+		return r, errors.New("window: record series truncated")
+	}
+	b = b[n:]
+	r.Series = string(b[:seriesLen])
+	b = b[seriesLen:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > math.MaxInt64 {
+		return r, errors.New("window: record count invalid")
+	}
+	b = b[n:]
+	r.Agg.Count = int64(count)
+	if len(b) < 24 {
+		return r, errors.New("window: record aggregates truncated")
+	}
+	r.Agg.Sum = math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))
+	r.Agg.Min = math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+	r.Agg.Max = math.Float64frombits(binary.LittleEndian.Uint64(b[16:24]))
+	b = b[24:]
+	sparse, n := binary.Uvarint(b)
+	if n <= 0 || sparse > NumBuckets {
+		return r, errors.New("window: record sketch invalid")
+	}
+	b = b[n:]
+	if sparse > 0 {
+		sk := &Sketch{}
+		prev := -1
+		for j := uint64(0); j < sparse; j++ {
+			idx, n := binary.Uvarint(b)
+			if n <= 0 || idx >= NumBuckets {
+				return r, errors.New("window: sketch bucket index invalid")
+			}
+			b = b[n:]
+			if int(idx) <= prev {
+				return r, errors.New("window: sketch buckets out of order")
+			}
+			prev = int(idx)
+			c, n := binary.Uvarint(b)
+			if n <= 0 || c == 0 {
+				return r, errors.New("window: sketch bucket count invalid")
+			}
+			b = b[n:]
+			sk.Counts[idx] = c
+		}
+		r.Agg.Sketch = sk
+	}
+	if len(b) != 0 {
+		return r, errors.New("window: trailing bytes after record")
+	}
+	return r, nil
+}
+
+// scanRecords walks framed records in data (which excludes the magic
+// header) and returns the decoded records plus the byte length of the valid
+// prefix. The first torn or corrupt record stops the scan.
+func scanRecords(data []byte) (recs []Record, good int) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return recs, off
+		}
+		plen := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen == 0 || plen > maxPayload || uint32(len(data)-off-8) < plen {
+			return recs, off
+		}
+		payload := data[off+8 : off+8+int(plen)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off
+		}
+		rec, err := UnmarshalRecord(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += 8 + int(plen)
+	}
+}
+
+// Open opens (creating if absent) the window store at path, replays its
+// readable record prefix, truncates any torn tail, and returns the store
+// positioned for appends along with the replayed records.
+func Open(path string) (*Store, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("window: open store: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, closeJoin(f, fmt.Errorf("window: read store: %w", err))
+	}
+	s := &Store{f: f, path: path}
+	if len(data) == 0 {
+		if _, err := f.Write([]byte(storeMagic)); err != nil {
+			return nil, nil, closeJoin(f, fmt.Errorf("window: write store header: %w", err))
+		}
+		s.size = int64(len(storeMagic))
+		return s, nil, nil
+	}
+	if len(data) < len(storeMagic) || string(data[:len(storeMagic)]) != storeMagic {
+		return nil, nil, closeJoin(f, fmt.Errorf("%w: %s", ErrCorrupt, path))
+	}
+	recs, good := scanRecords(data[len(storeMagic):])
+	s.size = int64(len(storeMagic) + good)
+	if s.size < int64(len(data)) {
+		if err := f.Truncate(s.size); err != nil {
+			return nil, nil, closeJoin(f, fmt.Errorf("window: truncate torn tail: %w", err))
+		}
+	}
+	if _, err := f.Seek(s.size, io.SeekStart); err != nil {
+		return nil, nil, closeJoin(f, fmt.Errorf("window: seek store: %w", err))
+	}
+	return s, recs, nil
+}
+
+// closeJoin closes f on an error path, folding a close failure into err.
+func closeJoin(f *os.File, err error) error {
+	if cerr := f.Close(); cerr != nil {
+		return errors.Join(err, cerr)
+	}
+	return err
+}
+
+// Append frames and writes recs to the store in one write call.
+func (s *Store) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("window: store closed")
+	}
+	buf := s.wrbuf[:0]
+	for _, r := range recs {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc placeholder
+		buf = AppendRecord(buf, r)
+		payload := buf[start+8:]
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	}
+	s.wrbuf = buf[:0]
+	n, err := s.f.Write(buf)
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("window: append store: %w", err)
+	}
+	return nil
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Size returns the store's current byte length (header + valid records).
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Close closes the underlying file; further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("window: close store: %w", err)
+	}
+	return nil
+}

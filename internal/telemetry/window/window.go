@@ -1,0 +1,118 @@
+// Package window implements the time-window layer of the telemetry
+// subsystem: YYYYMMDDHHMMSS window keys, mergeable per-window aggregates
+// (count/sum/min/max plus a fixed-size quantile sketch), and an append-only
+// file store so window history survives process restarts.
+//
+// The design follows the move-and-flush architecture described in
+// SNIPPETS.md §2: the hot path collects raw samples elsewhere (see
+// internal/telemetry), and a flush step periodically rolls them into the
+// window keyed by the flush instant. A window key is the flush time
+// truncated to the window width and rendered as a fixed-width, zero-padded
+// UTC timestamp, so lexicographic order on keys equals chronological order
+// and retention pruning is a string sort.
+//
+// The package never reads the wall clock itself — callers pass the instant
+// in — so its behavior is fully deterministic (and it stays registered with
+// the rpnlint detrand analyzer without a clock seam).
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// keyLayout is the YYYYMMDDHHMMSS rendering of a window start instant.
+const keyLayout = "20060102150405"
+
+// Key returns the window key containing t for window width w: t in UTC,
+// truncated down to a multiple of w, rendered YYYYMMDDHHMMSS. Widths below
+// one second are treated as one second (the key has second resolution).
+func Key(t time.Time, w time.Duration) string {
+	if w < time.Second {
+		w = time.Second
+	}
+	return t.UTC().Truncate(w).Format(keyLayout)
+}
+
+// ParseKey is the inverse of Key: it parses a YYYYMMDDHHMMSS key into the
+// window's start instant (UTC).
+func ParseKey(key string) (time.Time, error) {
+	t, err := time.ParseInLocation(keyLayout, key, time.UTC)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("window: bad key %q: %w", key, err)
+	}
+	return t, nil
+}
+
+// Kind discriminates what a window aggregate summarizes.
+type Kind byte
+
+const (
+	// KindCounter windows hold the counter's per-window delta: Count and
+	// Sum are the delta, Min/Max the smallest/largest single-flush delta.
+	KindCounter Kind = 1
+	// KindHistogram windows hold sample aggregates: Count samples, their
+	// Sum, the window's Min/Max, and a quantile Sketch.
+	KindHistogram Kind = 2
+)
+
+// Valid reports whether k is a known kind.
+func (k Kind) Valid() bool { return k == KindCounter || k == KindHistogram }
+
+// String names the kind for JSON/CLI rendering.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Agg is one window's aggregate. The zero value is empty (Count 0); Min and
+// Max are only meaningful when Count > 0. Sketch is nil for counter
+// windows.
+type Agg struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	// Sketch approximates the sample distribution for quantile queries
+	// (histogram windows only).
+	Sketch *Sketch
+}
+
+// Merge folds b into a. Merging an empty aggregate is a no-op; merging into
+// an empty aggregate copies b's extremes.
+func (a *Agg) Merge(b Agg) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		a.Min, a.Max = b.Min, b.Max
+	} else {
+		if b.Min < a.Min {
+			a.Min = b.Min
+		}
+		if b.Max > a.Max {
+			a.Max = b.Max
+		}
+	}
+	a.Count += b.Count
+	a.Sum += b.Sum
+	if b.Sketch != nil {
+		if a.Sketch == nil {
+			a.Sketch = &Sketch{}
+		}
+		a.Sketch.Merge(b.Sketch)
+	}
+}
+
+// Mean returns the aggregate's mean sample (0 when empty).
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}

@@ -1,0 +1,168 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestKeyTruncatesToWindow(t *testing.T) {
+	at := time.Date(2025, 8, 10, 10, 33, 47, 123456789, time.UTC)
+	cases := []struct {
+		width time.Duration
+		want  string
+	}{
+		{time.Second, "20250810103347"},
+		{10 * time.Second, "20250810103340"},
+		{time.Minute, "20250810103300"},
+		{5 * time.Minute, "20250810103000"},
+		{time.Hour, "20250810100000"},
+		{0, "20250810103347"}, // sub-second widths clamp to one second
+	}
+	for _, c := range cases {
+		if got := Key(at, c.width); got != c.want {
+			t.Errorf("Key(%v) = %q, want %q", c.width, got, c.want)
+		}
+	}
+}
+
+func TestKeyUsesUTC(t *testing.T) {
+	east := time.FixedZone("E5", 5*3600)
+	at := time.Date(2025, 8, 10, 15, 0, 0, 0, east) // 10:00 UTC
+	if got := Key(at, time.Minute); got != "20250810100000" {
+		t.Fatalf("Key in non-UTC zone = %q, want 20250810100000", got)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	at := time.Date(2025, 8, 10, 10, 33, 40, 0, time.UTC)
+	key := Key(at, 10*time.Second)
+	parsed, err := ParseKey(key)
+	if err != nil {
+		t.Fatalf("ParseKey(%q): %v", key, err)
+	}
+	if !parsed.Equal(at) {
+		t.Fatalf("ParseKey(%q) = %v, want %v", key, parsed, at)
+	}
+	if _, err := ParseKey("not-a-key"); err == nil {
+		t.Fatal("ParseKey accepted garbage")
+	}
+}
+
+func TestKeysSortChronologically(t *testing.T) {
+	base := time.Date(2025, 12, 31, 23, 59, 50, 0, time.UTC)
+	prev := Key(base, 10*time.Second)
+	for i := 1; i <= 12; i++ {
+		next := Key(base.Add(time.Duration(i)*10*time.Second), 10*time.Second)
+		if !(prev < next) {
+			t.Fatalf("keys not ascending across year boundary: %q then %q", prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestAggMerge(t *testing.T) {
+	var a Agg
+	a.Merge(Agg{}) // merging empty is a no-op
+	if a.Count != 0 {
+		t.Fatalf("empty merge produced count %d", a.Count)
+	}
+	a.Merge(Agg{Count: 2, Sum: 30, Min: 10, Max: 20})
+	a.Merge(Agg{Count: 1, Sum: 5, Min: 5, Max: 5})
+	if a.Count != 3 || a.Sum != 35 || a.Min != 5 || a.Max != 20 {
+		t.Fatalf("merge result = %+v", a)
+	}
+	if got := a.Mean(); math.Abs(got-35.0/3) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+
+	sk := &Sketch{}
+	sk.Add(100)
+	a.Merge(Agg{Count: 1, Sum: 100, Min: 100, Max: 100, Sketch: sk})
+	if a.Sketch == nil || a.Sketch.Total() != 1 {
+		t.Fatalf("sketch not carried through merge: %+v", a.Sketch)
+	}
+}
+
+func TestSketchQuantiles(t *testing.T) {
+	var s Sketch
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch quantile = %v", got)
+	}
+	// 1000 samples spread 1..1000 µs: quantile estimates must land within
+	// one octave of the exact value.
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	if s.Total() != 1000 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	for _, c := range []struct{ q, exact float64 }{
+		{0.50, 500}, {0.90, 900}, {0.99, 990},
+	} {
+		got := s.Quantile(c.q)
+		if got < c.exact/2 || got > c.exact*2 {
+			t.Errorf("Quantile(%v) = %v, want within one octave of %v", c.q, got, c.exact)
+		}
+	}
+}
+
+func TestSketchBucketEdges(t *testing.T) {
+	var s Sketch
+	s.Add(0)
+	s.Add(-5)
+	s.Add(math.NaN())
+	if s.Counts[0] != 3 {
+		t.Fatalf("underflow bucket = %d, want 3", s.Counts[0])
+	}
+	s.Add(math.Inf(1))
+	s.Add(1e300)
+	if s.Counts[NumBuckets-1] != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", s.Counts[NumBuckets-1])
+	}
+	if got := s.Total(); got != 5 {
+		t.Fatalf("Total = %d", got)
+	}
+}
+
+func TestSketchBoundsMatchBuckets(t *testing.T) {
+	bounds := Bounds()
+	if len(bounds) != NumBuckets-1 {
+		t.Fatalf("len(Bounds) = %d, want %d", len(bounds), NumBuckets-1)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i-1] < bounds[i]) {
+			t.Fatalf("bounds not ascending at %d: %v, %v", i, bounds[i-1], bounds[i])
+		}
+	}
+	// A sample exactly on a bound belongs to the bucket it upper-bounds
+	// (OTLP's (lo, hi] convention).
+	var s Sketch
+	s.Add(bounds[3])
+	if s.Counts[3] != 1 {
+		t.Fatalf("sample on bounds[3] landed in bucket %v", s.Counts)
+	}
+	// Sketch counts line up with bounds: cumulative count below bounds[i]
+	// is the sum of buckets 0..i.
+	s.Add(bounds[3] * 1.01)
+	if s.Counts[4] != 1 {
+		t.Fatalf("sample just above bounds[3] landed elsewhere: %v", s.Counts)
+	}
+}
+
+func TestSketchMergeMatchesCombinedAdd(t *testing.T) {
+	var a, b, both Sketch
+	for i := 1; i < 200; i++ {
+		v := float64(i) * 3.7
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatal("merged sketch differs from combined-add sketch")
+	}
+}

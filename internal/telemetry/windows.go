@@ -1,0 +1,414 @@
+package telemetry
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry/window"
+)
+
+// Time-window tier defaults: 10-second windows retained for two hours per
+// series. See docs/OPERATIONS.md for the memory math behind these numbers.
+const (
+	DefaultWindowWidth = 10 * time.Second
+	DefaultRetention   = 720
+)
+
+// WithWindowWidth sets the time-window width samples are aggregated into
+// (clamped to ≥ 1s: window keys have second resolution).
+func WithWindowWidth(d time.Duration) Option {
+	return func(r *Registry) {
+		if d >= time.Second {
+			r.win.width = d
+		}
+	}
+}
+
+// WithRetention sets how many windows each series retains in memory (the
+// append-only store keeps everything). Values below 1 are ignored.
+func WithRetention(n int) Option {
+	return func(r *Registry) {
+		if n >= 1 {
+			r.win.retention = n
+		}
+	}
+}
+
+// windowState is the registry's time-window tier: per-series window
+// aggregates with bounded retention, the optional append-only store, and
+// the optional background aggregator. mu guards every field (counter
+// flush cursors included — see counter.flushed).
+type windowState struct {
+	mu         sync.Mutex
+	width      time.Duration
+	retention  int
+	series     map[string]*seriesWindows
+	store      *window.Store
+	pending    []window.Record // flush deltas not yet appended to store
+	lastFlush  time.Time
+	persistErr error
+
+	aggDone chan struct{}
+	aggWG   sync.WaitGroup
+	closed  bool
+}
+
+type seriesWindows struct {
+	kind window.Kind
+	wins map[string]*window.Agg
+}
+
+// Flush drains the hot path into the current time window: histogram shards
+// roll into their series' window (keyed by the flush instant), counter
+// deltas since the previous flush likewise. With persistence enabled the
+// deltas are also appended to the window store. Reads (Snapshot, the HTTP
+// handlers, WindowQuery) flush implicitly; the background aggregator
+// (StartAggregator) flushes periodically so windows form and persist even
+// when nobody is scraping.
+func (r *Registry) Flush() { r.flushAt(r.clock()) }
+
+func (r *Registry) flushAt(t time.Time) {
+	set := r.live.Load()
+	w := &r.win
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key := window.Key(t, w.width)
+	for name, h := range set.hists {
+		h.flushMu.Lock()
+		agg := h.drainLocked()
+		h.flushMu.Unlock()
+		if agg.Count > 0 {
+			w.mergeLocked(window.Record{Kind: window.KindHistogram, Window: key, Series: name, Agg: agg}, true)
+		}
+	}
+	for name, c := range set.counters {
+		v := c.v.Load()
+		if delta := v - c.flushed; delta > 0 {
+			c.flushed = v
+			d := float64(delta)
+			w.mergeLocked(window.Record{Kind: window.KindCounter, Window: key, Series: name,
+				Agg: window.Agg{Count: delta, Sum: d, Min: d, Max: d}}, true)
+		}
+	}
+	w.lastFlush = t
+	w.persistLocked()
+}
+
+// mergeLocked folds one flush delta into the in-memory window state and,
+// when persist is set and a store is attached, queues it for append.
+// Caller holds w.mu.
+func (w *windowState) mergeLocked(rec window.Record, persist bool) {
+	sw := w.series[rec.Series]
+	if sw == nil {
+		sw = &seriesWindows{kind: rec.Kind, wins: map[string]*window.Agg{}}
+		w.series[rec.Series] = sw
+	}
+	agg := sw.wins[rec.Window]
+	if agg == nil {
+		agg = &window.Agg{}
+		sw.wins[rec.Window] = agg
+		if len(sw.wins) > w.retention {
+			w.pruneLocked(sw)
+		}
+	}
+	agg.Merge(rec.Agg)
+	if persist && w.store != nil {
+		w.pending = append(w.pending, rec)
+	}
+}
+
+// pruneLocked drops the oldest windows of one series down to the retention
+// bound. Keys are zero-padded timestamps, so lexicographic order is
+// chronological.
+func (w *windowState) pruneLocked(sw *seriesWindows) {
+	keys := sortedKeys(sw.wins)
+	for _, k := range keys[:len(keys)-w.retention] {
+		delete(sw.wins, k)
+	}
+}
+
+// persistLocked appends queued flush deltas to the store. An append
+// failure is remembered (surfaced via PersistStatus and /healthz) and the
+// queue is dropped either way so a dead disk cannot grow it without bound.
+func (w *windowState) persistLocked() {
+	if w.store == nil || len(w.pending) == 0 {
+		return
+	}
+	if err := w.store.Append(w.pending); err != nil {
+		w.persistErr = err
+	}
+	w.pending = w.pending[:0]
+}
+
+// Persist attaches an append-only window store at path: existing records
+// are replayed into the in-memory window state (so history survives the
+// restart), and every subsequent flush appends its deltas. Call at most
+// once, before Close.
+func (r *Registry) Persist(path string) error {
+	st, recs, err := window.Open(path)
+	if err != nil {
+		return err
+	}
+	w := &r.win
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.store != nil {
+		err := errors.New("telemetry: persistence already enabled or registry closed")
+		if cerr := st.Close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
+		return err
+	}
+	w.store = st
+	for _, rec := range recs {
+		w.mergeLocked(rec, false)
+	}
+	return nil
+}
+
+// PersistenceStatus reports the window store's health for /healthz.
+type PersistenceStatus struct {
+	Path string `json:"path"`
+	// Bytes is the store's current size (header plus records).
+	Bytes int64 `json:"bytes"`
+	// LastFlush is the last flush instant (RFC 3339, UTC; empty before the
+	// first flush).
+	LastFlush string `json:"last_flush,omitempty"`
+	// Error carries the most recent append failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// PersistStatus returns the persistence state; ok is false when Persist
+// was never called.
+func (r *Registry) PersistStatus() (PersistenceStatus, bool) {
+	w := &r.win
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.store == nil {
+		return PersistenceStatus{}, false
+	}
+	st := PersistenceStatus{Path: w.store.Path(), Bytes: w.store.Size()}
+	if !w.lastFlush.IsZero() {
+		st.LastFlush = w.lastFlush.UTC().Format(time.RFC3339)
+	}
+	if w.persistErr != nil {
+		st.Error = w.persistErr.Error()
+	}
+	return st, true
+}
+
+// WindowConfig describes the time-window tier for /healthz.
+type WindowConfig struct {
+	// Width is the window width (Go duration string).
+	Width string `json:"width"`
+	// Retention is the per-series in-memory window bound.
+	Retention int `json:"retention"`
+	// Series and Windows count the series and total windows currently
+	// retained.
+	Series  int `json:"series"`
+	Windows int `json:"windows"`
+}
+
+// WindowInfo returns the current window configuration and occupancy.
+func (r *Registry) WindowInfo() WindowConfig {
+	w := &r.win
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cfg := WindowConfig{Width: w.width.String(), Retention: w.retention, Series: len(w.series)}
+	for _, sw := range w.series {
+		cfg.Windows += len(sw.wins)
+	}
+	return cfg
+}
+
+// StartAggregator launches the background flush loop: every interval
+// (clamped to ≥ 100ms, default 1s for non-positive values) the hot path is
+// drained into time windows and, with persistence on, appended to the
+// store. Idempotent; stopped by Close.
+func (r *Registry) StartAggregator(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	w := &r.win
+	w.mu.Lock()
+	if w.aggDone != nil || w.closed {
+		w.mu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	w.aggDone = done
+	w.mu.Unlock()
+	w.aggWG.Add(1)
+	go func() {
+		defer w.aggWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				r.Flush()
+			}
+		}
+	}()
+}
+
+// Close stops the background aggregator (if running), performs a final
+// flush, and closes the window store (if attached). The registry's hot
+// path stays usable after Close, but windows no longer persist. Returns
+// the first persistence error encountered, if any.
+func (r *Registry) Close() error {
+	w := &r.win
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	done := w.aggDone
+	w.mu.Unlock()
+	if done != nil {
+		close(done)
+		w.aggWG.Wait()
+	}
+	r.Flush()
+	w.mu.Lock()
+	st := w.store
+	w.store = nil
+	err := w.persistErr
+	w.mu.Unlock()
+	if st != nil {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// WindowQueryOptions selects and re-buckets windowed series, sar-style.
+type WindowQueryOptions struct {
+	// Bucket is the reporting bucket width; windows are merged up into
+	// buckets. Zero or below the native width means the native width.
+	Bucket time.Duration
+	// Lookback bounds how far back windows are reported (default 1h).
+	Lookback time.Duration
+	// Metric restricts the result to one base family (label-stripped
+	// name); empty means all.
+	Metric string
+	// Series restricts the result to one exact series key; empty means
+	// all.
+	Series string
+}
+
+// WindowPoint is one reporting bucket of one series.
+type WindowPoint struct {
+	// Window is the bucket's YYYYMMDDHHMMSS key (UTC).
+	Window string `json:"window"`
+	Count  int64  `json:"count"`
+	// Sum is the sample sum (histograms) or the counter delta.
+	Sum  float64 `json:"sum"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	// P50/P90/P99 are sketch estimates (histogram series only).
+	P50 float64 `json:"p50,omitempty"`
+	P90 float64 `json:"p90,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+	// Rate is the counter delta per second of bucket width (counter series
+	// only).
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// WindowSeries is one series' windowed history.
+type WindowSeries struct {
+	// Kind is "histogram" or "counter".
+	Kind string `json:"kind"`
+	// Points are the non-empty buckets, oldest first.
+	Points []WindowPoint `json:"points"`
+}
+
+// WindowQuery flushes the hot path and returns the windowed history of
+// matching series, merged up into opt.Bucket-wide buckets, restricted to
+// opt.Lookback. The result maps series key → windowed series.
+func (r *Registry) WindowQuery(opt WindowQueryOptions) map[string]WindowSeries {
+	t := r.clock()
+	r.flushAt(t)
+	w := &r.win
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	bucket := opt.Bucket
+	if bucket < w.width {
+		bucket = w.width
+	}
+	lookback := opt.Lookback
+	if lookback <= 0 {
+		lookback = time.Hour
+	}
+	horizon := t.Add(-lookback)
+	out := make(map[string]WindowSeries)
+	for series, sw := range w.series {
+		if opt.Series != "" && series != opt.Series {
+			continue
+		}
+		if opt.Metric != "" {
+			base, _, ok := ParseSeries(series)
+			if !ok || base != opt.Metric {
+				continue
+			}
+		}
+		buckets := map[string]*window.Agg{}
+		for key, agg := range sw.wins {
+			wt, err := window.ParseKey(key)
+			if err != nil || !wt.Add(w.width).After(horizon) {
+				continue
+			}
+			bk := window.Key(wt, bucket)
+			b := buckets[bk]
+			if b == nil {
+				b = &window.Agg{}
+				buckets[bk] = b
+			}
+			b.Merge(*agg)
+		}
+		if len(buckets) == 0 {
+			continue
+		}
+		pts := make([]WindowPoint, 0, len(buckets))
+		for bk, agg := range buckets {
+			pts = append(pts, windowPoint(bk, agg, sw.kind, bucket))
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Window < pts[j].Window })
+		out[series] = WindowSeries{Kind: sw.kind.String(), Points: pts}
+	}
+	return out
+}
+
+func windowPoint(key string, agg *window.Agg, kind window.Kind, bucket time.Duration) WindowPoint {
+	p := WindowPoint{
+		Window: key,
+		Count:  agg.Count,
+		Sum:    agg.Sum,
+		Min:    agg.Min,
+		Max:    agg.Max,
+		Mean:   agg.Mean(),
+	}
+	switch kind {
+	case window.KindHistogram:
+		if agg.Sketch != nil {
+			p.P50 = agg.Sketch.Quantile(0.50)
+			p.P90 = agg.Sketch.Quantile(0.90)
+			p.P99 = agg.Sketch.Quantile(0.99)
+		}
+	case window.KindCounter:
+		if secs := bucket.Seconds(); secs > 0 {
+			p.Rate = agg.Sum / secs
+		}
+	}
+	return p
+}

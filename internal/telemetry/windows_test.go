@@ -1,0 +1,344 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// settableClock returns a clock whose instant the test moves explicitly.
+func settableClock(start time.Time) (func() time.Time, func(time.Time)) {
+	cur := start
+	return func() time.Time { return cur }, func(t time.Time) { cur = t }
+}
+
+var windowTestStart = time.Date(2025, 8, 10, 10, 33, 40, 0, time.UTC)
+
+func TestFlushRollsSamplesIntoWindows(t *testing.T) {
+	clock, setClock := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock), WithWindowWidth(10*time.Second))
+
+	r.Observe("lat_us", 100)
+	r.Observe("lat_us", 300)
+	r.Inc("ticks")
+	r.Flush()
+
+	setClock(windowTestStart.Add(10 * time.Second))
+	r.Observe("lat_us", 500)
+	r.Inc("ticks")
+	r.Inc("ticks")
+	r.Flush()
+
+	res := r.WindowQuery(WindowQueryOptions{Lookback: time.Hour})
+	lat, ok := res["lat_us"]
+	if !ok || lat.Kind != "histogram" {
+		t.Fatalf("lat_us series missing or wrong kind: %+v", res)
+	}
+	if len(lat.Points) != 2 {
+		t.Fatalf("lat_us points = %d, want 2: %+v", len(lat.Points), lat.Points)
+	}
+	p0, p1 := lat.Points[0], lat.Points[1]
+	if p0.Window != "20250810103340" || p0.Count != 2 || p0.Sum != 400 || p0.Min != 100 || p0.Max != 300 {
+		t.Fatalf("first window = %+v", p0)
+	}
+	if p1.Window != "20250810103350" || p1.Count != 1 || p1.Sum != 500 {
+		t.Fatalf("second window = %+v", p1)
+	}
+	if p0.P50 <= 0 || p0.P90 < p0.P50 {
+		t.Fatalf("quantile estimates missing: %+v", p0)
+	}
+
+	ticks, ok := res["ticks"]
+	if !ok || ticks.Kind != "counter" {
+		t.Fatalf("ticks series missing or wrong kind: %+v", res)
+	}
+	if len(ticks.Points) != 2 || ticks.Points[0].Count != 1 || ticks.Points[1].Count != 2 {
+		t.Fatalf("counter deltas = %+v", ticks.Points)
+	}
+	if want := 2.0 / 10.0; ticks.Points[1].Rate != want {
+		t.Fatalf("counter rate = %v, want %v", ticks.Points[1].Rate, want)
+	}
+}
+
+func TestWindowQueryRebucketsAndBoundsLookback(t *testing.T) {
+	clock, setClock := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock), WithWindowWidth(10*time.Second))
+
+	// Twelve 10s windows over two minutes.
+	for i := 0; i < 12; i++ {
+		setClock(windowTestStart.Add(time.Duration(i) * 10 * time.Second))
+		r.Observe("lat_us", float64(100*(i+1)))
+		r.Flush()
+	}
+
+	// Re-bucket into one-minute buckets: 12 windows collapse into 3
+	// calendar minutes (10:33:40 starts mid-minute).
+	res := r.WindowQuery(WindowQueryOptions{Bucket: time.Minute, Lookback: time.Hour})
+	pts := res["lat_us"].Points
+	if len(pts) != 3 {
+		t.Fatalf("minute buckets = %d, want 3: %+v", len(pts), pts)
+	}
+	var total int64
+	for _, p := range pts {
+		total += p.Count
+	}
+	if total != 12 {
+		t.Fatalf("rebucketed total = %d, want 12", total)
+	}
+	if pts[0].Window != "20250810103300" || pts[0].Count != 2 {
+		t.Fatalf("first minute bucket = %+v", pts[0])
+	}
+
+	// A 30s lookback from the final instant keeps only the recent windows.
+	res = r.WindowQuery(WindowQueryOptions{Lookback: 30 * time.Second})
+	var kept int64
+	for _, p := range res["lat_us"].Points {
+		kept += p.Count
+	}
+	if kept >= 12 || kept == 0 {
+		t.Fatalf("lookback kept %d samples, want a strict recent subset", kept)
+	}
+
+	// Metric and series filters.
+	r.Observe(`lat_us{model="car0"}`, 1)
+	res = r.WindowQuery(WindowQueryOptions{Lookback: time.Hour, Metric: "lat_us"})
+	if len(res) != 2 {
+		t.Fatalf("metric filter matched %d series, want 2", len(res))
+	}
+	res = r.WindowQuery(WindowQueryOptions{Lookback: time.Hour, Series: `lat_us{model="car0"}`})
+	if len(res) != 1 {
+		t.Fatalf("series filter matched %d series, want 1", len(res))
+	}
+}
+
+func TestWindowRetentionBoundsMemory(t *testing.T) {
+	clock, setClock := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock), WithWindowWidth(time.Second), WithRetention(5))
+	for i := 0; i < 20; i++ {
+		setClock(windowTestStart.Add(time.Duration(i) * time.Second))
+		r.Observe("lat_us", 1)
+		r.Flush()
+	}
+	cfg := r.WindowInfo()
+	if cfg.Retention != 5 || cfg.Series != 1 || cfg.Windows != 5 {
+		t.Fatalf("WindowInfo after churn = %+v, want 5 retained windows", cfg)
+	}
+	// The survivors are the newest five.
+	res := r.WindowQuery(WindowQueryOptions{Lookback: time.Hour})
+	pts := res["lat_us"].Points
+	if len(pts) != 5 || pts[0].Window != "20250810103355" {
+		t.Fatalf("retention kept %+v", pts)
+	}
+}
+
+func TestSnapshotFlushesImplicitly(t *testing.T) {
+	clock, _ := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock))
+	r.Observe("lat_us", 42)
+	// No explicit Flush: Snapshot must drain the shards itself.
+	snap := r.Snapshot()
+	if h := snap.Histograms["lat_us"]; h.Count != 1 || h.Min != 42 {
+		t.Fatalf("snapshot did not flush: %+v", h)
+	}
+	if res := r.WindowQuery(WindowQueryOptions{Lookback: time.Hour}); len(res["lat_us"].Points) == 0 {
+		t.Fatal("snapshot flush did not populate windows")
+	}
+}
+
+func TestPersistSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "windows.db")
+	clock, setClock := settableClock(windowTestStart)
+
+	// First process lifetime: persist two windows, then Close (final
+	// flush included).
+	r := NewRegistry(WithClock(clock), WithWindowWidth(10*time.Second))
+	if err := r.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	r.Observe("lat_us", 100)
+	r.Inc("ticks")
+	r.Flush()
+	setClock(windowTestStart.Add(10 * time.Second))
+	r.Observe("lat_us", 900)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh registry over the same file sees the history.
+	clock2, setClock2 := settableClock(windowTestStart.Add(20 * time.Second))
+	r2 := NewRegistry(WithClock(clock2), WithWindowWidth(10*time.Second))
+	if err := r2.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	res := r2.WindowQuery(WindowQueryOptions{Lookback: time.Hour})
+	lat := res["lat_us"]
+	if len(lat.Points) != 2 {
+		t.Fatalf("replayed windows = %+v, want 2 points", lat.Points)
+	}
+	if lat.Points[0].Sum != 100 || lat.Points[1].Sum != 900 {
+		t.Fatalf("replayed sums = %+v", lat.Points)
+	}
+	if res["ticks"].Points[0].Count != 1 {
+		t.Fatalf("replayed counter = %+v", res["ticks"])
+	}
+
+	// New samples append on top of the replayed history.
+	setClock2(windowTestStart.Add(30 * time.Second))
+	r2.Observe("lat_us", 500)
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRegistry(WithClock(clock2), WithWindowWidth(10*time.Second))
+	if err := r3.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r3.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	res = r3.WindowQuery(WindowQueryOptions{Lookback: time.Hour})
+	if len(res["lat_us"].Points) != 3 {
+		t.Fatalf("post-restart append lost: %+v", res["lat_us"].Points)
+	}
+
+	st, ok := r3.PersistStatus()
+	if !ok || st.Path != path || st.Bytes == 0 {
+		t.Fatalf("PersistStatus = %+v, %v", st, ok)
+	}
+}
+
+func TestPersistTwiceFails(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	if err := r.Persist(filepath.Join(dir, "a.db")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Persist(filepath.Join(dir, "b.db")); err == nil {
+		t.Fatal("second Persist succeeded")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+}
+
+func TestAggregatorFlushesInBackground(t *testing.T) {
+	r := NewRegistry() // real clock: the aggregator ticks wall time
+	r.StartAggregator(100 * time.Millisecond)
+	r.StartAggregator(100 * time.Millisecond) // idempotent
+	r.Observe("lat_us", 7)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if res := r.WindowQuery(WindowQueryOptions{Lookback: time.Hour}); len(res["lat_us"].Points) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("aggregator never flushed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Registry stays usable after Close; StartAggregator after Close is a
+	// no-op rather than a leak.
+	r.Observe("lat_us", 8)
+	r.StartAggregator(100 * time.Millisecond)
+}
+
+func TestLatencyProbeReadsFrameWindows(t *testing.T) {
+	clock, _ := settableClock(windowTestStart)
+	r := NewRegistry(WithClock(clock))
+	probe := NewLatencyProbe(r, time.Minute)
+	if _, ok := probe.MeasuredLatencyMS("car0"); ok {
+		t.Fatal("probe reported a measurement with no samples")
+	}
+	series := Series(MetricFrameLatency, Label{Key: LabelModel, Value: "car0"})
+	r.Observe(series, 2000) // µs
+	r.Observe(series, 4000)
+	got, ok := probe.MeasuredLatencyMS("car0")
+	if !ok || got != 3.0 {
+		t.Fatalf("MeasuredLatencyMS = %v, %v, want 3ms", got, ok)
+	}
+	if _, ok := probe.MeasuredLatencyMS("car1"); ok {
+		t.Fatal("probe crossed model labels")
+	}
+}
+
+// TestShardedHotPathUnderConcurrentFlush is the ISSUE 9 hammer: writers on
+// the sharded hot path race a dedicated flusher and snapshot readers for
+// 1000 iterations; totals must come out exact. Run under -race in
+// verify.sh.
+func TestShardedHotPathUnderConcurrentFlush(t *testing.T) {
+	const (
+		iters   = 1000
+		writers = 4
+	)
+	r := NewRegistry(WithWindowWidth(time.Second))
+	stop := make(chan struct{})
+	var loops sync.WaitGroup
+	// Flusher: races drains against the writers.
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Flush()
+			}
+		}
+	}()
+	// Snapshot/query reader: races flush-on-read against the flusher.
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+				_ = r.WindowQuery(WindowQueryOptions{Lookback: time.Minute})
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < iters; i++ {
+				r.Observe("lat_us", float64(i%97+1))
+				r.Inc("ticks")
+				r.SetGauge("level", float64(i))
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	loops.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["ticks"]; got != int64(writers*iters) {
+		t.Fatalf("ticks = %d, want %d", got, writers*iters)
+	}
+	h := snap.Histograms["lat_us"]
+	if h.Count != int64(writers*iters) {
+		t.Fatalf("histogram count = %d, want %d", h.Count, writers*iters)
+	}
+	// Window totals agree with the hot-path totals.
+	res := r.WindowQuery(WindowQueryOptions{Lookback: time.Hour})
+	var winTotal int64
+	for _, p := range res["lat_us"].Points {
+		winTotal += p.Count
+	}
+	if winTotal != h.Count {
+		t.Fatalf("window total %d != histogram count %d", winTotal, h.Count)
+	}
+}

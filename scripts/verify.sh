@@ -35,6 +35,11 @@
 #                          copy-on-write store views must keep per-instance
 #                          resident bytes ≤ 0.25× the independent-build
 #                          baseline; writes BENCH_mem.json
+#  11. telemetry hot path — scripts/bench_telemetry.sh: the sharded
+#                          registry must beat the seed mutex registry ≥ 4×
+#                          under contended Observe/Incr at 8 goroutines
+#                          (non-regression on hosts too small to express
+#                          contention); writes BENCH_telemetry.json
 #
 # Artifacts land in $VERIFY_ARTIFACT_DIR (default: a fresh temp dir,
 # echoed so CI can collect it).
@@ -89,13 +94,14 @@ if (( ! perf_ok )); then
 fi
 
 step go test ./...
-step go test -race ./internal/core/ ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
+step go test -race ./internal/core/ ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/window/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzStackRoundTrip -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
 step go test -run '^$' -fuzz FuzzStoreRoundTrip -fuzztime 5s ./internal/core/
 step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry/otlp/
 step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemetry/
+step go test -run '^$' -fuzz FuzzWindowStoreRoundTrip -fuzztime 5s ./internal/telemetry/window/
 step go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 5s ./internal/fault/
 step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
 
@@ -118,5 +124,6 @@ done < <(grep -oE '\((docs/)?[A-Za-z_]+\.md(#[a-z-]+)?\)' README.md DESIGN.md do
 
 step scripts/bench_fleet.sh
 step scripts/bench_mem.sh
+step scripts/bench_telemetry.sh
 
 echo "verify: all gates passed (artifacts: $ARTIFACT_DIR)"
