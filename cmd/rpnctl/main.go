@@ -422,6 +422,42 @@ func cmdHealth(args []string) error {
 	return cmdHealthTo(args, os.Stdout)
 }
 
+// fetchHealth GETs url with each attempt bounded by a context deadline,
+// retrying exactly once after backoff when the transport fails. Health
+// checks race server restarts by design — a single short retry separates
+// "the server was mid-restart" from "the server is down" without hiding
+// a real outage behind an open-ended retry loop.
+func fetchHealth(url string, timeout, backoff time.Duration) (int, []byte, error) {
+	get := func() (int, []byte, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, nil, err
+		}
+		return resp.StatusCode, body, nil
+	}
+	status, body, err := get()
+	if err == nil {
+		return status, body, nil
+	}
+	time.Sleep(backoff)
+	status, body, rerr := get()
+	if rerr != nil {
+		return 0, nil, fmt.Errorf("%v (retry after %s: %w)", err, backoff, rerr)
+	}
+	return status, body, nil
+}
+
 // cmdHealthTo queries a telemetry server's /healthz endpoint and prints
 // the deployment summary plus the per-instance watchdog states. It
 // returns an error when any instance is quarantined (the server signals
@@ -429,7 +465,8 @@ func cmdHealth(args []string) error {
 func cmdHealthTo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "telemetry server address (host:port, or a full URL)")
-	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt request deadline")
+	backoff := fs.Duration("retry-backoff", 500*time.Millisecond, "wait before the single retry after a failed attempt")
 	window := fs.Duration("window", 0, "sar-style windowed query: bucket width (e.g. 5m); 0 = no windowed series")
 	lookback := fs.Duration("lookback", 0, "windowed query history horizon (e.g. 2h); implies -window's default bucket")
 	metric := fs.String("metric", "", "restrict the windowed query to one metric family (e.g. rpn_frame_latency_us)")
@@ -455,17 +492,15 @@ func cmdHealthTo(args []string, out io.Writer) error {
 		}
 		url += "?" + q.Encode()
 	}
-	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Get(url)
+	status, body, err := fetchHealth(url, *timeout, *backoff)
 	if err != nil {
-		return err
+		return fmt.Errorf("health: %s: %w", url, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
-		return fmt.Errorf("health: %s returned %s", url, resp.Status)
+	if status != http.StatusOK && status != http.StatusServiceUnavailable {
+		return fmt.Errorf("health: %s returned %d", url, status)
 	}
 	var doc healthDoc
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+	if err := json.Unmarshal(body, &doc); err != nil {
 		return fmt.Errorf("health: decoding %s: %w", url, err)
 	}
 
@@ -498,7 +533,7 @@ func cmdHealthTo(args []string, out io.Writer) error {
 	if *window > 0 || *lookback > 0 {
 		writeWindowTable(out, doc.Windows)
 	}
-	if resp.StatusCode == http.StatusServiceUnavailable {
+	if status == http.StatusServiceUnavailable {
 		return fmt.Errorf("health: %s: an instance is quarantined", doc.Status)
 	}
 	return nil

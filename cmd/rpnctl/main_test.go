@@ -168,6 +168,63 @@ func TestCLIHealthNoMonitor(t *testing.T) {
 	}
 }
 
+// TestCLIHealthRetry pins the health command's transient-failure
+// behavior: the first attempt hits a dead socket, the server comes up
+// during the backoff, and the single retry succeeds — one retry, not an
+// open-ended loop, so a genuinely down server still errors promptly.
+func TestCLIHealthRetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// Reserve an address, then close the listener so the first attempt
+	// gets connection-refused.
+	probe, err := telemetry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bring the real server up mid-backoff.
+	type startResult struct {
+		srv *telemetry.Server
+		err error
+	}
+	started := make(chan startResult, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		srv, err := telemetry.Serve(reg, addr)
+		started <- startResult{srv, err}
+	}()
+
+	var out strings.Builder
+	err = cmdHealthTo([]string{"-addr", addr, "-timeout", "2s", "-retry-backoff", "400ms"}, &out)
+	res := <-started
+	if res.err != nil {
+		t.Fatalf("restarting server: %v", res.err)
+	}
+	defer func() {
+		if err := res.srv.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err != nil {
+		t.Fatalf("health should have succeeded on the retry: %v", err)
+	}
+	if !strings.Contains(out.String(), "status: ok") {
+		t.Errorf("retry output missing status line:\n%s", out.String())
+	}
+
+	// Both attempts failing surfaces both errors.
+	_, _, err = fetchHealth("http://127.0.0.1:1/healthz", 200*time.Millisecond, 10*time.Millisecond)
+	if err == nil {
+		t.Fatal("fetchHealth against a dead address should fail after its retry")
+	}
+	if !strings.Contains(err.Error(), "retry after") {
+		t.Errorf("error %q does not show the retry attempt", err)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if err := cmdTrain([]string{"-task", "bogus"}); err == nil {
 		t.Error("bogus task accepted")

@@ -53,11 +53,37 @@ func main() {
 	otlpEndpoint := flag.String("otlp-endpoint", "", "export OTLP/HTTP metrics to this collector (e.g. localhost:4318) during the run")
 	fleetSize := flag.Int("fleet", 1, "number of model instances to run as a fleet (1 = single-model mode)")
 	fleetBudget := flag.Float64("fleet-budget-mj", 0, "aggregate per-inference energy budget (mJ) a fleet governor holds during the run (0 = no budget; fleet mode only)")
-	chaos := flag.String("chaos", "", "arm a chaos drill: comma-separated fault specs, e.g. nan-weights:car1:after=1,drop-frames:car2:after=40:for=3 (fleet mode only)")
+	chaos := flag.String("chaos", "", "arm a chaos drill: comma-separated fault specs, e.g. nan-weights:car1:after=1,drop-frames:car2:after=40:for=3 (fleet mode only; with -serve, wire faults on the listener)")
 	windowFile := flag.String("window-file", "", "persist telemetry time windows to this append-only file (replayed on the next run; requires -telemetry or -otlp-endpoint)")
+	serveAddr := flag.String("serve", "", "serve the fleet behind the ingest front end on this address (e.g. :9077) instead of driving scenarios")
+	replayAddr := flag.String("replay", "", "stream synthetic frames at a running ingest front end on this address instead of driving scenarios")
+	vehicles := flag.Int("vehicles", 8, "replay mode: number of concurrent vehicle connections")
+	frames := flag.Int("frames", 200, "replay mode: frames per vehicle")
+	interval := flag.Duration("interval", 0, "replay mode: pause between one vehicle's frames (0 = as fast as admitted)")
+	ingestQueue := flag.Int("ingest-queue", 0, "serve mode: criticality queue capacity (0 = default)")
+	ingestFPS := flag.Float64("ingest-fps", 0, "serve mode: per-tenant frames/sec admission limit (0 = unlimited)")
+	ingestConns := flag.Int("ingest-conns", 0, "serve mode: per-tenant connection cap (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, *chaos, *windowFile, nil); err != nil {
+	var err error
+	switch {
+	case *replayAddr != "":
+		err = runReplayCmd(*replayAddr, *vehicles, *frames, *seed, *interval)
+	case *serveAddr != "":
+		err = runServe(serveOptions{
+			Addr:          *serveAddr,
+			Fleet:         *fleetSize,
+			Seed:          *seed,
+			TelemetryAddr: *telemetryAddr,
+			Chaos:         *chaos,
+			QueueCap:      *ingestQueue,
+			FramesPerSec:  *ingestFPS,
+			MaxConns:      *ingestConns,
+		})
+	default:
+		err = run(*scenarioName, *policyName, *seed, *csvPath, *every, *telemetryAddr, *otlpEndpoint, *fleetSize, *fleetBudget, *chaos, *windowFile, nil)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simdrive:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,315 @@
+package main
+
+// replay.go is simdrive's load-generator mode: -replay <addr> opens
+// -vehicles RFR1 connections against a running ingest front end (its
+// own -serve mode, or any other) and streams seeded synthetic frames
+// with a realistic criticality mix (~50% nominal, 30% elevated, 15%
+// critical, 5% emergency). The generator is a well-behaved client: it
+// honors RETRY-AFTER hints, reads its results continuously, reconnects
+// after a severed connection, and reports exactly what the server did
+// with every frame — the shed/served tallies the overload e2e compares
+// against the server's rpn_ingest_* counters.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+	"repro/internal/safety"
+	"repro/internal/tensor"
+)
+
+// replayStats aggregates every vehicle's accounting. Every frame sent
+// lands in exactly one bucket: a RESULT status, Refused (typed
+// RETRY-AFTER — the server never accepted it), or Lost (the connection
+// died with the frame in flight; only possible under chaos).
+type replayStats struct {
+	mu          sync.Mutex
+	Sent        int
+	Refused     int
+	Lost        int
+	Advisories  int
+	Reconnects  int
+	ByStatus    map[ingest.Status]int
+	ShedByClass map[string]int
+	// EmergencySent/EmergencyServed pin the acceptance invariant: under
+	// overload every emergency frame must come back StatusOK.
+	EmergencySent   int
+	EmergencyServed int
+}
+
+func newReplayStats() *replayStats {
+	return &replayStats{
+		ByStatus:    map[ingest.Status]int{},
+		ShedByClass: map[string]int{},
+	}
+}
+
+func (st *replayStats) addResult(class safety.Criticality, status ingest.Status) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ByStatus[status]++
+	if status == ingest.StatusShed {
+		st.ShedByClass[class.String()]++
+	}
+	if class == safety.Emergency && status == ingest.StatusOK {
+		st.EmergencyServed++
+	}
+}
+
+func (st *replayStats) add(field *int, n int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	*field += n
+}
+
+// Shed returns the total shed count across classes.
+func (st *replayStats) Shed() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ByStatus[ingest.StatusShed]
+}
+
+// Delivered returns how many frames got a RESULT of any status.
+func (st *replayStats) Delivered() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, v := range st.ByStatus {
+		n += v
+	}
+	return n
+}
+
+// replayClasses draws one vehicle's frame classes from a seeded RNG:
+// ~50/30/15/5 nominal/elevated/critical/emergency.
+func replayClasses(rng *rand.Rand, frames int) []safety.Criticality {
+	out := make([]safety.Criticality, frames)
+	for i := range out {
+		switch p := rng.Float64(); {
+		case p < 0.50:
+			out[i] = safety.Nominal
+		case p < 0.80:
+			out[i] = safety.Elevated
+		case p < 0.95:
+			out[i] = safety.Critical
+		default:
+			out[i] = safety.Emergency
+		}
+	}
+	return out
+}
+
+// runReplay drives the full load: vehicles connections, frames each,
+// paced by interval per vehicle (0: as fast as the server admits).
+func runReplay(addr string, vehicles, frames int, seed int64, interval time.Duration) (*replayStats, error) {
+	if vehicles < 1 || frames < 1 {
+		return nil, fmt.Errorf("replay: want ≥ 1 vehicle and ≥ 1 frame, got %d/%d", vehicles, frames)
+	}
+	frame := tensor.RandNormal(tensor.NewRNG(seed), 0, 1, 1, 16, 16)
+	stats := newReplayStats()
+	errs := make([]error, vehicles)
+	var wg sync.WaitGroup
+	for v := 0; v < vehicles; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(v)))
+			classes := replayClasses(rng, frames)
+			emergencies := 0
+			for _, c := range classes {
+				if c == safety.Emergency {
+					emergencies++
+				}
+			}
+			stats.add(&stats.EmergencySent, emergencies)
+			errs[v] = replayVehicle(addr, fmt.Sprintf("car%d", v), classes, frame, interval, stats)
+		}(v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// replayVehicle streams one vehicle's frames, reconnecting (with
+// backoff) when the connection is severed mid-run — the chaos drill's
+// conn-drop windows make that an expected event, not a failure.
+func replayVehicle(addr, vehicle string, classes []safety.Criticality, frame *tensor.Tensor, interval time.Duration, stats *replayStats) error {
+	remaining := classes
+	attempts := 0
+	for len(remaining) > 0 {
+		cl, err := ingest.Dial(addr, "replay", vehicle, 2*time.Second)
+		if err != nil {
+			attempts++
+			if attempts > 8 {
+				return fmt.Errorf("replay %s: dial: %w", vehicle, err)
+			}
+			time.Sleep(time.Duration(attempts) * 50 * time.Millisecond)
+			continue
+		}
+		attempts = 0
+		accounted, lost, err := replayBurst(cl, remaining, frame, interval, stats)
+		_ = cl.Close() // burst over; the server saw our FIN or already severed us
+		stats.add(&stats.Lost, lost)
+		remaining = remaining[accounted+lost:]
+		if err == nil && accounted+lost < len(classes) && len(remaining) > 0 {
+			// Clean burst but frames left (shouldn't happen) — avoid spin.
+			return fmt.Errorf("replay %s: burst stalled with %d frames left", vehicle, len(remaining))
+		}
+		if err != nil {
+			stats.add(&stats.Reconnects, 1)
+		}
+	}
+	return nil
+}
+
+// maxInFlight bounds one connection's unacknowledged frames — half the
+// server's per-connection write buffer, so the generator can never be
+// severed as a slow client by the echoes of its own burst.
+const maxInFlight = 128
+
+// replayBurst sends classes over one connection and reads until every
+// sent frame is accounted for (RESULT or typed refusal). Returns how
+// many frames were accounted, how many were lost in flight when the
+// connection broke, and the break error (nil for a complete burst).
+func replayBurst(cl *ingest.Client, classes []safety.Criticality, frame *tensor.Tensor, interval time.Duration, stats *replayStats) (accounted, lost int, err error) {
+	var (
+		sent      atomic.Int64
+		senderFin atomic.Bool
+		acked     atomic.Int64
+		// backoffMs accumulates RETRY-AFTER hints for the sender to sleep.
+		backoffMs atomic.Int64
+	)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		for {
+			if senderFin.Load() && acked.Load() >= sent.Load() {
+				return
+			}
+			m, rerr := cl.Read(500 * time.Millisecond)
+			if rerr != nil {
+				if ingest.IsTimeout(rerr) {
+					continue
+				}
+				readErr <- rerr
+				return
+			}
+			switch m.Type {
+			case ingest.TypeResult:
+				idx := int(m.Seq) - 1
+				if idx < 0 || idx >= len(classes) {
+					continue
+				}
+				stats.addResult(classes[idx], m.Status)
+				acked.Add(1)
+			case ingest.TypeRetryAfter:
+				if m.Millis > 0 {
+					backoffMs.Store(int64(m.Millis))
+				}
+				if m.Seq == 0 {
+					stats.add(&stats.Advisories, 1)
+				} else {
+					stats.add(&stats.Refused, 1)
+					acked.Add(1)
+				}
+			}
+		}
+	}()
+
+	var sendErr error
+	next := time.Now()
+	for i, c := range classes {
+		// Flow control: never run more than maxInFlight frames ahead of
+		// the results stream — a sender racing far ahead would overflow
+		// the server's per-connection write buffer with its own shed
+		// echoes and be severed as a slow client.
+		for int(sent.Load())-int(acked.Load()) >= maxInFlight {
+			time.Sleep(200 * time.Microsecond)
+			if len(readErr) > 0 {
+				break
+			}
+		}
+		if interval > 0 {
+			// Absolute schedule: frame i is due at next, so sleep-granularity
+			// overshoot self-corrects and the average rate holds even for
+			// sub-millisecond intervals — but the backlog a stall can
+			// reclaim is capped, so a pause never turns into a burst big
+			// enough to distort the server's per-class arrival mix.
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+			if time.Since(next) > 16*interval {
+				next = time.Now().Add(-16 * interval)
+			}
+		}
+		if ms := backoffMs.Swap(0); ms > 0 {
+			// A RETRY-AFTER hint lowers the offered rate: the sleep shifts
+			// the schedule instead of accruing catch-up debt.
+			d := time.Duration(ms) * time.Millisecond
+			time.Sleep(d)
+			next = next.Add(d)
+		}
+		if sendErr = cl.SendFrame(uint64(i+1), c, frame); sendErr != nil {
+			break
+		}
+		sent.Add(1)
+		stats.add(&stats.Sent, 1)
+	}
+	senderFin.Store(true)
+	rerr := <-readErr
+
+	accounted = int(acked.Load())
+	lost = int(sent.Load()) - accounted
+	if sendErr != nil {
+		return accounted, lost, sendErr
+	}
+	return accounted, lost, rerr
+}
+
+// runReplayCmd is the -replay command path: run the load and print the
+// accounting table.
+func runReplayCmd(addr string, vehicles, frames int, seed int64, interval time.Duration) error {
+	t0 := time.Now()
+	stats, err := runReplay(addr, vehicles, frames, seed, interval)
+	elapsed := time.Since(t0)
+	if stats != nil {
+		printReplay(stats, vehicles, elapsed)
+	}
+	return err
+}
+
+// printReplay renders the accounting table.
+func printReplay(st *replayStats, vehicles int, elapsed time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tb := metrics.NewTable(fmt.Sprintf("replay: %d vehicles, %s", vehicles, elapsed.Round(time.Millisecond)), "metric", "value")
+	tb.AddRow("frames sent", fmt.Sprintf("%d", st.Sent))
+	tb.AddRow("served ok", fmt.Sprintf("%d", st.ByStatus[ingest.StatusOK]))
+	tb.AddRow("shed", fmt.Sprintf("%d", st.ByStatus[ingest.StatusShed]))
+	for _, class := range []safety.Criticality{safety.Nominal, safety.Elevated, safety.Critical, safety.Emergency} {
+		if n := st.ShedByClass[class.String()]; n > 0 {
+			tb.AddRow("  shed "+class.String(), fmt.Sprintf("%d", n))
+		}
+	}
+	tb.AddRow("errored", fmt.Sprintf("%d", st.ByStatus[ingest.StatusError]))
+	tb.AddRow("quarantined", fmt.Sprintf("%d", st.ByStatus[ingest.StatusQuarantined]))
+	tb.AddRow("refused (retry-after)", fmt.Sprintf("%d", st.Refused))
+	tb.AddRow("lost in flight", fmt.Sprintf("%d", st.Lost))
+	tb.AddRow("advisories seen", fmt.Sprintf("%d", st.Advisories))
+	tb.AddRow("reconnects", fmt.Sprintf("%d", st.Reconnects))
+	tb.AddRow("emergency sent/served", fmt.Sprintf("%d/%d", st.EmergencySent, st.EmergencyServed))
+	if secs := elapsed.Seconds(); secs > 0 {
+		tb.AddRow("frames/sec", metrics.F(float64(st.Sent)/secs, 1))
+	}
+	fmt.Print(tb.String())
+}

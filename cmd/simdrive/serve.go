@@ -1,0 +1,223 @@
+package main
+
+// serve.go is simdrive's service mode: instead of driving scenarios
+// in-process, -serve stands the trained fleet up behind the ingest front
+// end (internal/ingest) so external vehicles — simdrive -replay, or
+// anything speaking RFR1 — stream frames over TCP and read detections
+// back. -telemetry serves /healthz and /metrics alongside; -chaos arms
+// the listener's wire fault point (conn-drop, slow-loris,
+// garble-frames) for network chaos drills.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+	"repro/internal/perception"
+	"repro/internal/platform"
+	"repro/internal/telemetry"
+)
+
+// serveOptions parameterizes the service stack.
+type serveOptions struct {
+	// Addr is the ingest listen address (host:port; :0 for ephemeral).
+	Addr string
+	// Fleet is the number of model instances behind the dispatcher.
+	Fleet int
+	// Seed trains the shared model deterministically.
+	Seed int64
+	// TelemetryAddr, when non-empty, serves /healthz and /metrics.
+	TelemetryAddr string
+	// Chaos, when non-empty, arms wire fault specs on the listener.
+	Chaos string
+	// QueueCap bounds the criticality queue (0: ingest default).
+	QueueCap int
+	// FramesPerSec and MaxConns are the default per-tenant limits
+	// (0: unlimited).
+	FramesPerSec float64
+	MaxConns     int
+	// Workers sizes the dispatcher pool (0: 4). Tests pin it to 1 so the
+	// service rate is a single inference stream and overload is exact.
+	Workers int
+}
+
+// serveStack is the running service: fleet, dispatcher, ingest server,
+// and telemetry. Tests build it directly; runServe wraps it in signal
+// handling.
+type serveStack struct {
+	srv  *ingest.Server
+	disp *fleet.Dispatcher
+	flt  *fleet.Fleet
+	reg  *telemetry.Registry
+	tsrv *telemetry.Server
+}
+
+// Addr returns the ingest listener's address.
+func (st *serveStack) Addr() string { return st.srv.Addr().String() }
+
+// TelemetryAddr returns the /healthz server's address ("" if not serving).
+func (st *serveStack) TelemetryAddr() string {
+	if st.tsrv == nil {
+		return ""
+	}
+	return st.tsrv.Addr()
+}
+
+// Registry exposes the stack's metrics registry (tests read counters).
+func (st *serveStack) Registry() *telemetry.Registry { return st.reg }
+
+// Close drains the stack in dependency order: the front end stops
+// accepting and flushes every accepted frame through the dispatcher
+// (bounded by ctx), then the dispatcher, fleet views, and telemetry
+// tear down.
+func (st *serveStack) Close(ctx context.Context) error {
+	err := st.srv.Shutdown(ctx)
+	st.disp.Close()
+	if rerr := st.flt.Release(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if st.tsrv != nil {
+		if terr := st.tsrv.Close(); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	if rerr := st.reg.Close(); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// fleetModelFor maps vehicle names onto the n fleet instances: a
+// trailing integer ("car17" → car(17 mod n)) keeps the replay
+// generator's mapping obvious; anything else hashes stably.
+func fleetModelFor(n int) func(string) string {
+	return func(vehicle string) string {
+		i := len(vehicle)
+		for i > 0 && vehicle[i-1] >= '0' && vehicle[i-1] <= '9' {
+			i--
+		}
+		if i < len(vehicle) {
+			if idx, err := strconv.Atoi(vehicle[i:]); err == nil {
+				return fmt.Sprintf("car%d", idx%n)
+			}
+		}
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(vehicle))
+		return fmt.Sprintf("car%d", int(h.Sum32())%n)
+	}
+}
+
+// buildServeStack trains the fleet and wires ingest + dispatcher +
+// telemetry together. The fleet shares one checkpoint store
+// copy-on-write (views), so n instances cost one training run.
+func buildServeStack(o serveOptions) (*serveStack, error) {
+	if o.Fleet < 1 {
+		return nil, fmt.Errorf("serve: fleet size %d (want ≥ 1)", o.Fleet)
+	}
+	var inj *fault.Injector
+	if o.Chaos != "" {
+		specs, err := fault.ParseSpecs(o.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		inj = fault.NewInjector(o.Seed, specs...)
+		fmt.Printf("chaos: armed %s on the wire (seed %d)\n", fault.FormatSpecs(specs), o.Seed)
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.StartAggregator(250 * time.Millisecond)
+	hooks := telemetry.NewHooks(reg)
+	if inj != nil {
+		inj.SetObserver(hooks)
+	}
+
+	fmt.Printf("training perception model and cloning %d fleet instances (deterministic, ~seconds)…\n", o.Fleet)
+	z := experiments.NewZoo(1)
+	spec := platform.EmbeddedCPU()
+	f := fleet.New()
+	for i := 0; i < o.Fleet; i++ {
+		model, rm, err := z.ObstacleStackView(spec)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := perception.NewPipeline(model, 16, 0)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := fleet.NewInstance(fmt.Sprintf("car%d", i), pipe, rm)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Add(inst); err != nil {
+			return nil, err
+		}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	disp, err := fleet.NewDispatcher(f, workers, 2*o.Fleet+8)
+	if err != nil {
+		return nil, err
+	}
+
+	var tsrv *telemetry.Server
+	if o.TelemetryAddr != "" {
+		tsrv, err = telemetry.Serve(reg, o.TelemetryAddr)
+		if err != nil {
+			disp.Close()
+			return nil, err
+		}
+	}
+
+	srv, err := ingest.Listen(ingest.Config{
+		Backend:       disp,
+		QueueCap:      o.QueueCap,
+		DefaultLimits: ingest.TenantLimits{FramesPerSec: o.FramesPerSec, MaxConns: o.MaxConns},
+		ModelFor:      fleetModelFor(o.Fleet),
+		Observer:      hooks,
+		Injector:      inj,
+	}, o.Addr)
+	if err != nil {
+		if tsrv != nil {
+			_ = tsrv.Close()
+		}
+		disp.Close()
+		return nil, err
+	}
+	return &serveStack{srv: srv, disp: disp, flt: f, reg: reg, tsrv: tsrv}, nil
+}
+
+// runServe is the -serve command path: build the stack, print where it
+// listens, and drain gracefully on SIGINT/SIGTERM.
+func runServe(o serveOptions) error {
+	st, err := buildServeStack(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingest: listening on %s (fleet %d)\n", st.Addr(), o.Fleet)
+	if a := st.TelemetryAddr(); a != "" {
+		fmt.Printf("telemetry: http://%s/healthz and /metrics\n", a)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Println("ingest: draining…")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := st.Close(ctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	fmt.Println("ingest: drained cleanly")
+	return nil
+}

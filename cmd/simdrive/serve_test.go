@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/safety"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// ingestCounter reads one class/reason-labeled ingest counter off the
+// stack's registry.
+func ingestCounter(st *serveStack, family, labelKey, labelValue string) int64 {
+	return st.Registry().Counter(telemetry.Series(family, telemetry.Label{Key: labelKey, Value: labelValue}))
+}
+
+func shedTotal(st *serveStack) int64 {
+	var n int64
+	for c := 0; c < safety.NumClasses; c++ {
+		n += ingestCounter(st, telemetry.MetricIngestShed, telemetry.LabelClass, safety.Criticality(c).String())
+	}
+	return n
+}
+
+func acceptedTotal(st *serveStack) int64 {
+	var n int64
+	for c := 0; c < safety.NumClasses; c++ {
+		n += ingestCounter(st, telemetry.MetricIngestAccepted, telemetry.LabelClass, safety.Criticality(c).String())
+	}
+	return n
+}
+
+// measureRoundTrip estimates one frame's synchronous ingest round-trip:
+// the pacing yardstick the overload phase multiplies into a sustained
+// 4x arrival rate. Round-trip ≥ service time, so 4x this rate is at
+// most 4x the service rate — overload, with the emergency class's
+// arrival share still safely below capacity.
+func measureRoundTrip(t *testing.T, addr string) time.Duration {
+	t.Helper()
+	cl, err := ingest.Dial(addr, "probe", "car0", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	frame := tensor.RandNormal(tensor.NewRNG(7), 0, 1, 1, 16, 16)
+	const probes = 20
+	t0 := time.Now()
+	for i := 0; i < probes; i++ {
+		if err := cl.SendFrame(uint64(i+1), safety.Nominal, frame); err != nil {
+			t.Fatal(err)
+		}
+		m, err := cl.Read(5 * time.Second)
+		if err != nil || m.Type != ingest.TypeResult || m.Status != ingest.StatusOK {
+			t.Fatalf("probe %d: %+v, %v", i, m, err)
+		}
+	}
+	return time.Since(t0) / probes
+}
+
+// TestServeReplayOverloadE2E is the acceptance drill: the full stack —
+// trained fleet, dispatcher, ingest listener, telemetry — under a
+// sustained 4x overload from the replay generator. It pins down:
+// sheds happen and hit only the lowest classes (zero emergency drops,
+// every emergency served), /healthz stays responsive throughout, the
+// server's rpn_ingest_shed_total agrees exactly with the generator's
+// count, and a graceful drain loses nothing.
+func TestServeReplayOverloadE2E(t *testing.T) {
+	st, err := buildServeStack(serveOptions{
+		Addr:          "127.0.0.1:0",
+		Fleet:         2,
+		Seed:          42,
+		TelemetryAddr: "127.0.0.1:0",
+		QueueCap:      16,
+		Workers:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := measureRoundTrip(t, st.Addr())
+	t.Logf("round-trip %v/frame", rt)
+
+	// 4 vehicles each pacing at 1/rt: aggregate arrival = 4/rt ≈ 4x the
+	// service rate. ~1.5s of sustained overload.
+	const vehicles = 4
+	frames := int(1500 * time.Millisecond / rt)
+	if frames < 50 {
+		frames = 50
+	}
+	if frames > 4000 {
+		frames = 4000
+	}
+
+	// /healthz must answer while the server sheds.
+	healthURL := "http://" + st.TelemetryAddr() + "/healthz"
+	healthOK := atomic.Int64{}
+	healthStop := make(chan struct{})
+	healthDone := make(chan struct{})
+	go func() {
+		defer close(healthDone)
+		for {
+			select {
+			case <-healthStop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				resp, err := http.Get(healthURL)
+				if err != nil {
+					t.Errorf("/healthz during overload: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/healthz status %d during overload", resp.StatusCode)
+				}
+				if err := resp.Body.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+				healthOK.Add(1)
+			}
+		}
+	}()
+
+	preShed := shedTotal(st)
+	stats, err := runReplay(st.Addr(), vehicles, frames, 42, rt)
+	close(healthStop)
+	<-healthDone
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if healthOK.Load() == 0 {
+		t.Error("no successful /healthz probe completed during the overload window")
+	}
+
+	stats.mu.Lock()
+	sent := stats.Sent
+	lost := stats.Lost
+	refused := stats.Refused
+	shedClient := stats.ByStatus[ingest.StatusShed]
+	okClient := stats.ByStatus[ingest.StatusOK]
+	emSent, emServed := stats.EmergencySent, stats.EmergencyServed
+	shedEmergency := stats.ShedByClass[safety.Emergency.String()]
+	stats.mu.Unlock()
+
+	if sent != vehicles*frames {
+		t.Fatalf("sent %d != %d", sent, vehicles*frames)
+	}
+	if lost != 0 || refused != 0 {
+		t.Fatalf("chaos-free overload lost %d / refused %d frames", lost, refused)
+	}
+	if shedClient == 0 {
+		t.Fatal("4x sustained overload shed nothing")
+	}
+	// The acceptance invariant: load-shedding never touches the
+	// emergency class.
+	if shedEmergency != 0 {
+		t.Fatalf("shed %d emergency frames under overload", shedEmergency)
+	}
+	if got := ingestCounter(st, telemetry.MetricIngestShed, telemetry.LabelClass, safety.Emergency.String()); got != 0 {
+		t.Fatalf("rpn_ingest_shed_total{class=emergency} = %d", got)
+	}
+	if emServed != emSent {
+		t.Fatalf("emergency served %d/%d", emServed, emSent)
+	}
+	// Counter agreement: the server's shed counter moved by exactly the
+	// generator's shed tally.
+	if moved := shedTotal(st) - preShed; moved != int64(shedClient) {
+		t.Fatalf("rpn_ingest_shed_total moved %d, generator counted %d", moved, shedClient)
+	}
+	t.Logf("overload: %d sent, %d ok, %d shed, emergencies %d/%d, %d healthz probes",
+		sent, okClient, shedClient, emServed, emSent, healthOK.Load())
+
+	// Graceful drain: every accepted frame got its result (accepted ==
+	// delivered across the probe + overload phases), and the drain
+	// completes inside its deadline.
+	delivered := int64(stats.Delivered()) + 20 // + the probe's synchronous frames
+	if acc := acceptedTotal(st); acc != delivered {
+		t.Fatalf("accepted %d != results delivered %d — frames lost", acc, delivered)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := st.Close(ctx); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+}
+
+// TestServeChaosDrill arms conn-drop and slow-loris on the listener and
+// replays through them: the generator must ride out severed connections
+// (reconnect, bounded loss) and stalled reads, the stack must stay
+// healthy for unaffected vehicles, and the drain must still be clean.
+func TestServeChaosDrill(t *testing.T) {
+	st, err := buildServeStack(serveOptions{
+		Addr:    "127.0.0.1:0",
+		Fleet:   2,
+		Seed:    43,
+		Chaos:   "conn-drop:car0:after=10:for=1,slow-loris:car1:latency=15ms:for=3",
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const vehicles, frames = 2, 40
+	stats, err := runReplay(st.Addr(), vehicles, frames, 43, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("replay through chaos: %v", err)
+	}
+
+	stats.mu.Lock()
+	sent := stats.Sent
+	reconnects := stats.Reconnects
+	lost := stats.Lost
+	delivered := 0
+	for _, v := range stats.ByStatus {
+		delivered += v
+	}
+	refused := stats.Refused
+	stats.mu.Unlock()
+
+	// conn-drop severed car0 at least once and the generator recovered.
+	if reconnects == 0 {
+		t.Error("armed conn-drop window never severed the generator")
+	}
+	// Loss is bounded to frames in flight across drops, never silent:
+	// every sent frame is accounted as result, refusal, or counted lost.
+	if delivered+refused+lost != sent {
+		t.Fatalf("accounting leak: %d delivered + %d refused + %d lost != %d sent",
+			delivered, refused, lost, sent)
+	}
+	if lost > sent/4 {
+		t.Fatalf("chaos lost %d of %d frames — drop windows should bound loss to in-flight frames", lost, sent)
+	}
+	t.Logf("chaos: %d sent, %d delivered, %d lost, %d reconnects", sent, delivered, lost, reconnects)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := st.Close(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+}
+
+// TestFleetModelFor pins the vehicle→instance mapping.
+func TestFleetModelFor(t *testing.T) {
+	mf := fleetModelFor(3)
+	cases := map[string]string{
+		"car0":  "car0",
+		"car1":  "car1",
+		"car4":  "car1",
+		"car17": "car2",
+		"v9":    "car0",
+	}
+	for in, want := range cases {
+		if got := mf(in); got != want {
+			t.Errorf("modelFor(%q) = %q want %q", in, got, want)
+		}
+	}
+	// Non-numeric names hash stably onto the fleet.
+	a, b := mf("alpha"), mf("alpha")
+	if a != b {
+		t.Errorf("hash mapping unstable: %q != %q", a, b)
+	}
+	found := false
+	for i := 0; i < 3; i++ {
+		if a == fmt.Sprintf("car%d", i) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hash mapping %q outside the fleet", a)
+	}
+}

@@ -32,6 +32,9 @@ func TestParseSpec(t *testing.T) {
 		{"store-corrupt", Spec{Kind: KindStoreCorrupt, Count: defaultCorruptBits}},
 		{"store-corrupt:car1:n=2:for=1", Spec{Kind: KindStoreCorrupt, Model: "car1", For: 1, Count: 2}},
 		{"  garble-frames  ", Spec{Kind: KindGarbleFrames}},
+		{"conn-drop:car1:after=2", Spec{Kind: KindConnDrop, Model: "car1", After: 2}},
+		{"slow-loris", Spec{Kind: KindSlowLoris, Latency: defaultLatency}},
+		{"slow-loris:car2:latency=40ms:for=3", Spec{Kind: KindSlowLoris, Model: "car2", For: 3, Latency: 40 * time.Millisecond}},
 	}
 	for _, c := range cases {
 		got, err := ParseSpec(c.raw)
@@ -62,9 +65,13 @@ func TestParseSpecRejects(t *testing.T) {
 		"drop-frames:n=4",   // likewise for the count-less frame kinds
 		"nan-weights:car1:n=0",
 		"store-corrupt:car1:n=0",
-		"store-corrupt:latency=5ms", // store corruption has no stall
-		"otlp-outage:collector1",    // outage takes no target
-		"nan-weights::after=1",      // empty target segment
+		"store-corrupt:latency=5ms",            // store corruption has no stall
+		"otlp-outage:collector1",               // outage takes no target
+		"nan-weights::after=1",                 // empty target segment
+		"conn-drop:latency=5ms",                // conn-drop severs, it never stalls
+		"drop-frames:after=1:after=2",          // duplicate key: silent last-wins is a mangled schedule
+		"slow-infer:latency=10ms:latency=20ms", // duplicate key on a defaulted param
+		"nan-weights:car1:n=2:for=1:n=3",       // duplicate key separated by another param
 	} {
 		if spec, err := ParseSpec(raw); err == nil {
 			t.Errorf("ParseSpec(%q) accepted: %+v", raw, spec)
@@ -499,7 +506,81 @@ func TestInertInjector(t *testing.T) {
 	if in.OnExport() {
 		t.Error("spec-less injector fired at the export point")
 	}
+	if drop, stall := in.OnWire("car0", []byte{1, 2, 3}); drop || stall != 0 {
+		t.Error("spec-less injector fired at the wire point")
+	}
 	if len(in.Specs()) != 0 {
 		t.Error("Specs() not empty")
+	}
+}
+
+func TestWirePoint(t *testing.T) {
+	specs, err := ParseSpecs("conn-drop:car1:after=2:for=1,slow-loris:car2:latency=25ms:for=2,garble-frames:car3:for=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(7, specs...)
+	rec := &recorder{}
+	in.SetObserver(rec)
+
+	// conn-drop: events 0,1 pass, event 2 severs, event 3 is past the window.
+	for ev := 0; ev < 4; ev++ {
+		drop, stall := in.OnWire("car1", []byte{9})
+		if stall != 0 {
+			t.Fatalf("car1 event %d: unexpected stall %v", ev, stall)
+		}
+		if want := ev == 2; drop != want {
+			t.Errorf("car1 event %d: drop = %v, want %v", ev, drop, want)
+		}
+	}
+	// slow-loris: first two events stall by the spec latency, then the
+	// window closes; the connection is never severed.
+	for ev := 0; ev < 3; ev++ {
+		drop, stall := in.OnWire("car2", []byte{9})
+		if drop {
+			t.Fatalf("car2 event %d: slow-loris severed the connection", ev)
+		}
+		want := time.Duration(0)
+		if ev < 2 {
+			want = 25 * time.Millisecond
+		}
+		if stall != want {
+			t.Errorf("car2 event %d: stall = %v, want %v", ev, stall, want)
+		}
+	}
+	// garble-frames at the wire point corrupts the payload in place.
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	pristine := bytes.Clone(payload)
+	if drop, stall := in.OnWire("car3", payload); drop || stall != 0 {
+		t.Fatal("garble-frames must neither sever nor stall")
+	}
+	if bytes.Equal(payload, pristine) {
+		t.Error("armed garble window left the payload untouched")
+	}
+	// Untargeted peers pass clean.
+	other := bytes.Clone(pristine)
+	if drop, stall := in.OnWire("car9", other); drop || stall != 0 || !bytes.Equal(other, pristine) {
+		t.Error("wire point touched an untargeted peer")
+	}
+	if rec.fired[string(KindConnDrop)] != 1 || rec.fired[string(KindSlowLoris)] != 2 || rec.fired[string(KindGarbleFrames)] != 1 {
+		t.Errorf("observer counts = %v", rec.fired)
+	}
+}
+
+func TestWireGarbleDeterministicPerSeed(t *testing.T) {
+	spec, err := ParseSpec("garble-frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(seed int64) []byte {
+		p := bytes.Repeat([]byte{0x55}, 128)
+		NewInjector(seed, spec).OnWire("car0", p)
+		return p
+	}
+	if !bytes.Equal(mutate(3), mutate(3)) {
+		t.Error("same seed produced different wire corruption")
+	}
+	if bytes.Equal(mutate(3), mutate(4)) {
+		t.Error("different seeds produced identical wire corruption")
 	}
 }

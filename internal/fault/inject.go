@@ -146,6 +146,39 @@ func (in *Injector) garble(frame *tensor.Tensor) *tensor.Tensor {
 	return g
 }
 
+// OnWire is the network fault point, called by the ingest listener once
+// per received message with the peer's vehicle name and the raw payload
+// bytes (length prefix stripped). It reports whether the connection must
+// be severed (conn-drop), how long the read loop must stall first
+// (slow-loris), and corrupts the payload in place for armed garble-frames
+// specs — flipped bits the decoder downstream must reject, the wire-level
+// shape of the dying-camera burst OnFrame produces in-process. Each armed
+// wire-kind spec counts this call as one trigger event for the peer.
+func (in *Injector) OnWire(peer string, payload []byte) (drop bool, stall time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, spec := range in.fire(peer, KindConnDrop, KindSlowLoris, KindGarbleFrames) {
+		switch spec.Kind {
+		case KindConnDrop:
+			drop = true
+		case KindSlowLoris:
+			if spec.Latency > stall {
+				stall = spec.Latency
+			}
+		case KindGarbleFrames:
+			// Flip one bit in each of up to 16 pseudo-random payload
+			// positions. The wire format is checksummed by structure (magic,
+			// type, bounded lengths), so scattered flips surface as typed
+			// decode errors rather than silently different tensors.
+			for i := 0; i < 16 && len(payload) > 0; i++ {
+				pos := in.rng.Intn(len(payload))
+				payload[pos] ^= 1 << uint(in.rng.Intn(8))
+			}
+		}
+	}
+	return drop, stall
+}
+
 // OnTransition is the transition fault point, called with the instance
 // lock held after every completed level change (to is the new level; m the
 // live model). It poisons weights per armed nan-weights specs and returns

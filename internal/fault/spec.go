@@ -56,13 +56,25 @@ const (
 	// KindOTLPOutage fails OTLP collector POSTs at the transport, so the
 	// exporter's retry/backoff path runs against a dead collector.
 	KindOTLPOutage Kind = "otlp-outage"
+	// KindConnDrop severs an ingest connection at the wire fault point: the
+	// listener closes the vehicle's TCP stream mid-conversation, the abrupt
+	// disconnect resource-constrained radio links produce. The client must
+	// reconnect and re-admit; the server must reap the dead connection's
+	// state without leaking a slot.
+	KindConnDrop Kind = "conn-drop"
+	// KindSlowLoris stalls the listener's per-message read loop by the spec
+	// latency while the connection stays open — the slow-loris shape, where
+	// a trickling peer occupies a connection slot and read deadlines are
+	// the only defense. Uses latency= like slow-infer.
+	KindSlowLoris Kind = "slow-loris"
 )
 
 // Kinds lists every valid fault kind, in the order error messages and
 // docs present them.
 func Kinds() []Kind {
 	return []Kind{KindNaNWeights, KindDropFrames, KindGarbleFrames,
-		KindSlowInfer, KindStuckTransition, KindStoreCorrupt, KindOTLPOutage}
+		KindSlowInfer, KindStuckTransition, KindStoreCorrupt, KindOTLPOutage,
+		KindConnDrop, KindSlowLoris}
 }
 
 // Spec is one parsed fault directive.
@@ -140,7 +152,8 @@ func (s Spec) String() string {
 }
 
 func (s Spec) usesLatency() bool {
-	return s.Kind == KindSlowInfer || s.Kind == KindStuckTransition
+	return s.Kind == KindSlowInfer || s.Kind == KindStuckTransition ||
+		s.Kind == KindSlowLoris
 }
 
 // matches reports whether the spec targets the named instance.
@@ -180,6 +193,7 @@ func ParseSpec(raw string) (Spec, error) {
 	if spec.usesCount() {
 		spec.Count = spec.defaultCount()
 	}
+	seen := make(map[string]bool, len(segs)-1)
 	for i, seg := range segs[1:] {
 		key, val, isParam := strings.Cut(seg, "=")
 		if !isParam {
@@ -195,6 +209,13 @@ func ParseSpec(raw string) (Spec, error) {
 			spec.Model = seg
 			continue
 		}
+		// A repeated key is almost always a mangled drill schedule (two
+		// specs merged by a lost comma); taking the last value silently
+		// would arm a different window than the operator reviewed.
+		if seen[key] {
+			return Spec{}, fmt.Errorf("fault: %s: duplicate parameter %q", spec.Kind, key)
+		}
+		seen[key] = true
 		var err error
 		switch key {
 		case "after":

@@ -159,7 +159,7 @@ func (d *Dispatcher) processBatch(g []job) {
 	live := g[:0]
 	for _, j := range g {
 		if d.monitor != nil && !d.monitor.Gate(j.name) {
-			d.results <- Result{Model: j.name, Seq: j.seq, Err: ErrQuarantined, Health: d.monitor.State(j.name)}
+			d.results <- Result{Model: j.name, Seq: j.seq, Tag: j.tag, Err: ErrQuarantined, Health: d.monitor.State(j.name)}
 			continue
 		}
 		live = append(live, j)
@@ -231,7 +231,7 @@ func (d *Dispatcher) processBatch(g []job) {
 		if p := j.inst.obs.Load(); p != nil {
 			(*p).ObserveFrame(elapsed)
 		}
-		res := Result{Model: j.name, Seq: j.seq, Detection: det, Batched: true, BatchSize: len(fused)}
+		res := Result{Model: j.name, Seq: j.seq, Tag: j.tag, Detection: det, Batched: true, BatchSize: len(fused)}
 		if d.monitor != nil {
 			res.Health, _ = d.monitor.Observe(j.name, det.Confidence, det.Uncertainty, elapsed, nil)
 		}

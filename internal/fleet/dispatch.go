@@ -42,6 +42,13 @@ type Result struct {
 	// kernels are bit-identical to the per-instance path's.
 	Batched   bool
 	BatchSize int
+	// Tag is the opaque routing handle the submitter attached through
+	// SubmitTagged (nil for plain Submit). The dispatcher carries it
+	// untouched through every execution path — per-instance, fused batch,
+	// quarantine reject, recovered panic — so a caller multiplexing many
+	// upstream sources (the ingest front end routing results back to
+	// network connections) never needs a seq→source map.
+	Tag any
 }
 
 // job is one queued frame.
@@ -50,6 +57,7 @@ type job struct {
 	name  string
 	seq   int64
 	frame *tensor.Tensor
+	tag   any
 }
 
 // Dispatcher fans frames out across fleet instances on a fixed pool of
@@ -175,7 +183,7 @@ func (d *Dispatcher) worker() {
 // anywhere in the detection path is recovered into the Result — one bad
 // frame must not take a worker (and with it the whole pool) down.
 func (d *Dispatcher) process(j job) (res Result) {
-	res = Result{Model: j.name, Seq: j.seq}
+	res = Result{Model: j.name, Seq: j.seq, Tag: j.tag}
 	if d.monitor != nil && !d.monitor.Gate(j.name) {
 		res.Err = ErrQuarantined
 		res.Health = d.monitor.State(j.name)
@@ -203,6 +211,16 @@ func (d *Dispatcher) process(j job) (res Result) {
 // read it asynchronously). Blocks while the queue is full; returns
 // ErrClosed after Close.
 func (d *Dispatcher) Submit(model string, frame *tensor.Tensor) (int64, error) {
+	return d.SubmitTagged(model, frame, nil)
+}
+
+// SubmitTagged is Submit with an opaque routing tag: the frame's Result —
+// whichever execution path produces it — carries tag back verbatim in
+// Result.Tag. Submitters that need to correlate results to their origin
+// (per-connection routing in the ingest front end) attach the origin here
+// instead of maintaining a seq-indexed map, which would race the result
+// arriving before the map entry is written.
+func (d *Dispatcher) SubmitTagged(model string, frame *tensor.Tensor, tag any) (int64, error) {
 	inst, ok := d.fleet.Get(model)
 	if !ok {
 		return 0, fmt.Errorf("fleet: unknown instance %q", model)
@@ -213,7 +231,7 @@ func (d *Dispatcher) Submit(model string, frame *tensor.Tensor) (int64, error) {
 		return 0, ErrClosed
 	}
 	seq := d.seq.Add(1) - 1
-	d.jobs <- job{inst: inst, name: model, seq: seq, frame: frame}
+	d.jobs <- job{inst: inst, name: model, seq: seq, frame: frame, tag: tag}
 	return seq, nil
 }
 

@@ -1,7 +1,10 @@
 package fleet
 
 import (
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestDispatcherFansOutAndDrains(t *testing.T) {
@@ -49,6 +52,128 @@ func TestDispatcherFansOutAndDrains(t *testing.T) {
 		t.Fatalf("total results %d, want %d", len(seen), 3*perModel)
 	}
 	d.Close() // idempotent
+}
+
+// TestDispatcherTagRoundTrip pins SubmitTagged's contract: the opaque tag
+// submitted with a frame rides the pipeline untouched and comes back on
+// exactly that frame's Result — the correlation handle the ingest router
+// builds its connection bookkeeping on.
+func TestDispatcherTagRoundTrip(t *testing.T) {
+	f := New()
+	if err := f.Add(newTestInstance(t, "car0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(f, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type marker struct{ n int }
+	tags := map[int64]*marker{}
+	const frames = 8
+	for i := 0; i < frames; i++ {
+		m := &marker{n: i}
+		seq, err := d.SubmitTagged("car0", testFrame(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tags[seq] = m
+	}
+	go d.Close()
+	got := 0
+	for r := range d.Results() {
+		m, ok := r.Tag.(*marker)
+		if !ok {
+			t.Fatalf("result %d tag %T, want *marker", r.Seq, r.Tag)
+		}
+		if want := tags[r.Seq]; m != want {
+			t.Fatalf("result %d carried tag %+v, want %+v", r.Seq, m, want)
+		}
+		got++
+	}
+	if got != frames {
+		t.Fatalf("got %d results, want %d", got, frames)
+	}
+}
+
+// TestDispatcherCloseWhileSubmitting hammers SubmitTagged from several
+// goroutines while Close runs concurrently: no send-on-closed-channel
+// panic, every accepted frame gets a result, every refused submit returns
+// ErrClosed, and all worker goroutines join. Run under -race this is the
+// dispatcher's shutdown-safety proof.
+func TestDispatcherCloseWhileSubmitting(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	f := New()
+	if err := f.Add(newTestInstance(t, "car0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(f, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const submitters = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := map[int64]bool{}
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				seq, err := d.SubmitTagged("car0", testFrame(), i)
+				if err != nil {
+					if err != ErrClosed {
+						t.Errorf("Submit failed with %v, want ErrClosed", err)
+					}
+					return
+				}
+				mu.Lock()
+				accepted[seq] = true
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Let the submitters get going, then slam the door under them while a
+	// drainer keeps Results flowing so Close can complete.
+	time.Sleep(5 * time.Millisecond)
+	results := map[int64]bool{}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for r := range d.Results() {
+			results[r.Seq] = true
+		}
+	}()
+	d.Close()
+	wg.Wait()
+	<-drained
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(accepted) == 0 {
+		t.Fatal("no submissions landed before Close — the race window never opened")
+	}
+	for seq := range accepted {
+		if !results[seq] {
+			t.Fatalf("accepted frame %d never produced a result", seq)
+		}
+	}
+	if len(results) != len(accepted) {
+		t.Fatalf("%d results for %d accepted frames", len(results), len(accepted))
+	}
+
+	// All dispatcher goroutines (workers) must have joined.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
 }
 
 func TestDispatcherUnknownModel(t *testing.T) {

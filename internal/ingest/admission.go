@@ -1,0 +1,146 @@
+package ingest
+
+// admission.go is the front door's admission controller: per-tenant
+// connection caps and token-bucket frame rate limits. Admission decides
+// *before* work enters the system — a rejected connection costs one
+// handshake, a rate-limited frame costs one RETRY-AFTER — which is what
+// keeps the criticality queues meaningful: they hold only work the server
+// intends to serve.
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantLimits bounds one tenant's footprint on the front end. The zero
+// value means unlimited on every axis.
+type TenantLimits struct {
+	// MaxConns caps the tenant's concurrent admitted connections
+	// (0: unlimited).
+	MaxConns int
+	// FramesPerSec is the tenant's token-bucket refill rate across all of
+	// its connections (0: unlimited).
+	FramesPerSec float64
+	// Burst is the bucket capacity — how many frames may arrive
+	// back-to-back after an idle stretch. 0 defaults to FramesPerSec
+	// (a one-second burst) with a floor of 1.
+	Burst float64
+}
+
+// burst returns the effective bucket capacity.
+func (l TenantLimits) burst() float64 {
+	b := l.Burst
+	if b <= 0 {
+		b = l.FramesPerSec
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// tenantState is one tenant's live admission state.
+type tenantState struct {
+	conns  int
+	tokens float64
+	last   time.Time
+}
+
+// admission is the controller. All methods are safe for concurrent use.
+type admission struct {
+	mu sync.Mutex
+	// limits are per-tenant overrides; def applies to everyone else.
+	limits map[string]TenantLimits
+	def    TenantLimits
+	state  map[string]*tenantState
+	total  int
+}
+
+func newAdmission(def TenantLimits, overrides map[string]TenantLimits) *admission {
+	a := &admission{def: def, state: map[string]*tenantState{}}
+	if len(overrides) > 0 {
+		a.limits = make(map[string]TenantLimits, len(overrides))
+		for t, l := range overrides {
+			a.limits[t] = l
+		}
+	}
+	return a
+}
+
+// limitsFor returns the tenant's effective limits.
+func (a *admission) limitsFor(tenant string) TenantLimits {
+	if l, ok := a.limits[tenant]; ok {
+		return l
+	}
+	return a.def
+}
+
+// tenant returns (creating) the tenant's state. Caller holds a.mu.
+func (a *admission) tenant(name string, at time.Time) *tenantState {
+	s, ok := a.state[name]
+	if !ok {
+		s = &tenantState{tokens: a.limitsFor(name).burst(), last: at}
+		a.state[name] = s
+	}
+	return s
+}
+
+// AdmitConn admits one connection for the tenant, or reports the typed
+// refusal. On admission the returned release function MUST be called
+// exactly once when the connection ends.
+func (a *admission) AdmitConn(tenant string, at time.Time) (release func(), reason Reason, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lim := a.limitsFor(tenant)
+	s := a.tenant(tenant, at)
+	if lim.MaxConns > 0 && s.conns >= lim.MaxConns {
+		return nil, ReasonConnLimit, false
+	}
+	s.conns++
+	a.total++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			s.conns--
+			a.total--
+			a.mu.Unlock()
+		})
+	}, ReasonNone, true
+}
+
+// Conns returns the admitted connection count across all tenants.
+func (a *admission) Conns() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// AllowFrame spends one token from the tenant's bucket. When the bucket
+// is empty it refuses and returns how long the client should wait for the
+// next token — the RETRY-AFTER hint.
+func (a *admission) AllowFrame(tenant string, at time.Time) (wait time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lim := a.limitsFor(tenant)
+	if lim.FramesPerSec <= 0 {
+		return 0, true
+	}
+	s := a.tenant(tenant, at)
+	// Refill for the elapsed interval, capped at the burst capacity. A
+	// clock step backwards (test clock swap, NTP) refills nothing rather
+	// than draining the bucket.
+	if dt := at.Sub(s.last); dt > 0 {
+		s.tokens += dt.Seconds() * lim.FramesPerSec
+		if b := lim.burst(); s.tokens > b {
+			s.tokens = b
+		}
+	}
+	s.last = at
+	if s.tokens >= 1 {
+		s.tokens--
+		return 0, true
+	}
+	deficit := 1 - s.tokens
+	return time.Duration(deficit / lim.FramesPerSec * float64(time.Second)), false
+}

@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionConnCaps(t *testing.T) {
+	a := newAdmission(TenantLimits{MaxConns: 2}, map[string]TenantLimits{
+		"vip": {MaxConns: 3},
+	})
+	at := time.Unix(1000, 0)
+
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, _, ok := a.AdmitConn("acme", at)
+		if !ok {
+			t.Fatalf("conn %d refused below cap", i)
+		}
+		releases = append(releases, rel)
+	}
+	if _, reason, ok := a.AdmitConn("acme", at); ok || reason != ReasonConnLimit {
+		t.Fatalf("third conn: ok=%v reason=%v, want conn-limit refusal", ok, reason)
+	}
+	// Another tenant's cap is independent.
+	for i := 0; i < 3; i++ {
+		rel, _, ok := a.AdmitConn("vip", at)
+		if !ok {
+			t.Fatalf("vip conn %d refused below its override cap", i)
+		}
+		releases = append(releases, rel)
+	}
+	if a.Conns() != 5 {
+		t.Fatalf("Conns() = %d want 5", a.Conns())
+	}
+	// Release frees the slot; double-release must not double-free.
+	releases[0]()
+	releases[0]()
+	if a.Conns() != 4 {
+		t.Fatalf("Conns() after release = %d want 4", a.Conns())
+	}
+	if _, _, ok := a.AdmitConn("acme", at); !ok {
+		t.Fatal("slot not reusable after release")
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := newAdmission(TenantLimits{FramesPerSec: 10, Burst: 2}, nil)
+	at := time.Unix(1000, 0)
+
+	// Burst capacity: two frames pass, the third is refused with a wait
+	// hint that, once slept, yields a token.
+	for i := 0; i < 2; i++ {
+		if _, ok := a.AllowFrame("acme", at); !ok {
+			t.Fatalf("burst frame %d refused", i)
+		}
+	}
+	wait, ok := a.AllowFrame("acme", at)
+	if ok {
+		t.Fatal("frame above burst admitted")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait hint %v, want (0, 100ms] at 10 fps", wait)
+	}
+	if _, ok := a.AllowFrame("acme", at.Add(wait)); !ok {
+		t.Fatal("frame refused after sleeping the advertised wait")
+	}
+	// Refill is capped at burst: a long idle stretch does not bank
+	// unbounded tokens.
+	at = at.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, ok := a.AllowFrame("acme", at); !ok {
+			t.Fatalf("post-idle frame %d refused", i)
+		}
+	}
+	if _, ok := a.AllowFrame("acme", at); ok {
+		t.Fatal("idle stretch banked more than the burst capacity")
+	}
+	// A clock step backwards refuses refill rather than corrupting the
+	// bucket.
+	if _, ok := a.AllowFrame("acme", at.Add(-time.Minute)); ok {
+		t.Fatal("backwards clock minted tokens")
+	}
+}
+
+func TestAdmissionUnlimitedByDefault(t *testing.T) {
+	a := newAdmission(TenantLimits{}, nil)
+	at := time.Unix(1000, 0)
+	for i := 0; i < 1000; i++ {
+		if _, ok := a.AllowFrame("anyone", at); !ok {
+			t.Fatal("unlimited tenant rate-limited")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, ok := a.AdmitConn("anyone", at); !ok {
+			t.Fatal("unlimited tenant conn-capped")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/safety"
+)
+
+// benchObs records enqueue latencies for the p99 gate on top of the
+// counter recording the tests share.
+type benchObs struct {
+	recObs
+	emu      sync.Mutex
+	enqueueD []time.Duration
+}
+
+func (o *benchObs) ObserveIngestEnqueue(d time.Duration) {
+	o.emu.Lock()
+	o.enqueueD = append(o.enqueueD, d)
+	o.emu.Unlock()
+	o.recObs.ObserveIngestEnqueue(d)
+}
+
+func (o *benchObs) p99EnqueueMicros() float64 {
+	o.emu.Lock()
+	defer o.emu.Unlock()
+	if len(o.enqueueD) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), o.enqueueD...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return float64(sorted[len(sorted)*99/100].Microseconds())
+}
+
+// BenchmarkIngest drives the full TCP path — handshake, frames, shed
+// queue, stub backend, result routing — at 1/8/64 vehicles and reports
+// frames/sec, shed_ratio, and p99_enqueue_us. The backend is pinned at a
+// finite service rate so higher vehicle counts genuinely overload the
+// queue; the p99 enqueue latency staying flat under that overload is the
+// sheds-before-blocking property scripts/bench_ingest.sh gates on.
+func BenchmarkIngest(b *testing.B) {
+	for _, vehicles := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("vehicles=%d", vehicles), func(b *testing.B) {
+			benchIngest(b, vehicles)
+		})
+	}
+}
+
+func benchIngest(b *testing.B, vehicles int) {
+	obs := &benchObs{recObs: *newRecObs()}
+	back := newStubBackend(2, 8, 100*time.Microsecond)
+	s, err := Listen(Config{Backend: back, Observer: obs, QueueCap: 64, Pumps: 2}, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := testFrame(64)
+	perVehicle := b.N / vehicles
+	if perVehicle < 1 {
+		perVehicle = 1
+	}
+	total := perVehicle * vehicles
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for v := 0; v < vehicles; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr().String(), "bench", fmt.Sprintf("car%d", v), 5*time.Second)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer func() {
+				_ = cl.Close() //lint:allow(errdrop) bench teardown
+			}()
+			// Reader: every accepted frame (all of them — no rate limits
+			// armed) is owed exactly one RESULT, served or shed.
+			var got atomic.Int64
+			results := make(chan struct{})
+			go func() {
+				defer close(results)
+				for got.Load() < int64(perVehicle) {
+					m, err := cl.Read(10 * time.Second)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if m.Type == TypeResult {
+						got.Add(1)
+					}
+				}
+			}()
+			for i := 0; i < perVehicle; i++ {
+				// Flow control, like the replay generator's: never run more
+				// than half the server's write buffer ahead of the results
+				// stream, or the echoes of our own shed frames would get the
+				// connection severed as a slow client.
+				for int64(i)-got.Load() >= 128 {
+					time.Sleep(50 * time.Microsecond)
+				}
+				if err := cl.SendFrame(uint64(i+1), safety.Criticality(i%4), frame); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			<-results
+		}(v)
+	}
+	wg.Wait()
+	elapsed := b.Elapsed()
+	b.StopTimer()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+	back.Close()
+
+	if elapsed > 0 {
+		b.ReportMetric(float64(total)/elapsed.Seconds(), "frames/sec")
+	}
+	accepted := obs.acceptedTotal()
+	if accepted > 0 {
+		b.ReportMetric(float64(obs.shedTotal())/float64(accepted), "shed_ratio")
+	}
+	b.ReportMetric(obs.p99EnqueueMicros(), "p99_enqueue_us")
+}

@@ -1,0 +1,114 @@
+package ingest
+
+// client.go is the RFR1 client used by the simdrive load generator, the
+// rpnctl probes, and the e2e tests. It is deliberately thin: a dialed
+// connection, a HELLO/WELCOME handshake with typed rejection, a locked
+// writer (frames and reads may run from different goroutines), and a
+// deadline-bounded reader.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/safety"
+	"repro/internal/tensor"
+)
+
+// RejectError is the typed admission refusal a client receives.
+type RejectError struct {
+	Reason Reason
+	Text   string
+}
+
+func (e *RejectError) Error() string {
+	if e.Text == "" {
+		return fmt.Sprintf("ingest: rejected: %s", e.Reason)
+	}
+	return fmt.Sprintf("ingest: rejected: %s (%s)", e.Reason, e.Text)
+}
+
+// Client is one vehicle's connection to the front end.
+type Client struct {
+	c          net.Conn
+	maxPayload int
+
+	// wmu serializes writers; the read side is single-consumer by
+	// convention (one goroutine calls Read*).
+	wmu sync.Mutex
+}
+
+// Dial connects, performs the HELLO handshake, and waits for the
+// admission verdict. A REJECT surfaces as *RejectError.
+func Dial(addr, tenant, vehicle string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial %s: %w", addr, err)
+	}
+	cl := &Client{c: c, maxPayload: DefaultMaxPayload}
+	deadline := now().Add(timeout)
+	if err := c.SetDeadline(deadline); err != nil {
+		_ = c.Close() //lint:allow(errdrop) handshake never started
+		return nil, err
+	}
+	if err := WriteMessage(c, &Message{Type: TypeHello, Tenant: tenant, Vehicle: vehicle}, cl.maxPayload); err != nil {
+		_ = c.Close() //lint:allow(errdrop) handshake failed; nothing buffered
+		return nil, err
+	}
+	m, err := ReadMessage(c, cl.maxPayload)
+	if err != nil {
+		_ = c.Close() //lint:allow(errdrop) handshake failed; nothing buffered
+		return nil, fmt.Errorf("ingest: handshake: %w", err)
+	}
+	switch m.Type {
+	case TypeWelcome:
+		// Clear the handshake deadline; per-call deadlines take over.
+		if err := c.SetDeadline(time.Time{}); err != nil {
+			_ = c.Close() //lint:allow(errdrop) socket already unusable
+			return nil, err
+		}
+		return cl, nil
+	case TypeReject:
+		_ = c.Close() //lint:allow(errdrop) server already rejected; nothing buffered
+		return nil, &RejectError{Reason: m.Reason, Text: m.Text}
+	default:
+		_ = c.Close() //lint:allow(errdrop) protocol error; nothing buffered
+		return nil, fmt.Errorf("ingest: handshake: unexpected message type %d", m.Type)
+	}
+}
+
+// SendFrame submits one frame. Safe for concurrent use with other
+// senders; results arrive via Read on the reader goroutine.
+func (cl *Client) SendFrame(seq uint64, class safety.Criticality, frame *tensor.Tensor) error {
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+	return WriteMessage(cl.c, &Message{Type: TypeFrame, Seq: seq, Class: class, Frame: frame}, cl.maxPayload)
+}
+
+// Read returns the next server message, waiting at most timeout
+// (0: block indefinitely).
+func (cl *Client) Read(timeout time.Duration) (*Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = now().Add(timeout)
+	}
+	if err := cl.c.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	return ReadMessage(cl.c, cl.maxPayload)
+}
+
+// IsTimeout reports whether a Read error was the deadline (no message
+// arrived), as opposed to a closed or broken connection.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Close hangs up.
+func (cl *Client) Close() error { return cl.c.Close() }

@@ -1,0 +1,11 @@
+package ingest
+
+import "time"
+
+// Clock seams, swapped by tests so admission refills, deadlines, and
+// latency observations replay deterministically (and so the detrand
+// analyzer can hold this package to the no-bare-time.Now rule).
+var (
+	now   = time.Now
+	sleep = time.Sleep
+)

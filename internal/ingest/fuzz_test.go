@@ -1,0 +1,57 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/safety"
+)
+
+// FuzzReadFrame drives the RFR1 reader with arbitrary bytes: it must
+// return a typed error or a well-formed Message — never panic, never
+// over-read, and an accepted message must re-encode to the identical
+// payload (the round-trip property that keeps client and server decoders
+// in lockstep).
+func FuzzReadFrame(f *testing.F) {
+	seed := []*Message{
+		{Type: TypeHello, Tenant: "acme", Vehicle: "car0"},
+		{Type: TypeWelcome},
+		{Type: TypeReject, Reason: ReasonDraining, Text: "bye"},
+		{Type: TypeFrame, Seq: 9, Class: safety.Elevated, Frame: testFrame(16)},
+		{Type: TypeResult, Seq: 9, Status: StatusOK, Obstacle: true, Confidence: 0.5, Uncertainty: 0.25},
+		{Type: TypeRetryAfter, Seq: 0, Millis: 50, Reason: ReasonBackpressure},
+	}
+	for _, m := range seed {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m, 0); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{4, 0, 0, 0, 'R', 'F', 'R', '1'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		payload, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %+v: %v", m, err)
+		}
+		again, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		if again.Type != m.Type || again.Seq != m.Seq || again.Class != m.Class ||
+			again.Status != m.Status || again.Reason != m.Reason || again.Millis != m.Millis ||
+			again.Tenant != m.Tenant || again.Vehicle != m.Vehicle || again.Text != m.Text {
+			t.Fatalf("round-trip diverged: %+v != %+v", again, m)
+		}
+		if (m.Frame == nil) != (again.Frame == nil) {
+			t.Fatal("frame presence diverged")
+		}
+	})
+}

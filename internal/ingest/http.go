@@ -1,0 +1,163 @@
+package ingest
+
+// http.go is the HTTP handler variant of the front end: one POST is one
+// frame, answered synchronously. It shares the server's admission
+// controller, shed queue, pumps, and router — an HTTP frame and a TCP
+// frame are indistinguishable past the front door — so the shed policy
+// and metrics stay coherent across both entrances.
+//
+//	POST /ingest?vehicle=car0&class=2     body: RSNT tensor bytes
+//	headers: X-RPN-Tenant (optional)
+//
+//	200 JSON  {"seq":…,"status":"ok","obstacle":…,"confidence":…,"uncertainty":…}
+//	200 JSON  status "error"/"quarantined" with "error" detail
+//	429       rate-limited or shed; Retry-After header in seconds
+//	503       draining; Retry-After header
+//	400       malformed request (missing vehicle, bad class, bad tensor)
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/safety"
+	"repro/internal/tensor"
+)
+
+// httpDoc is the JSON response body.
+type httpDoc struct {
+	Seq         uint64  `json:"seq"`
+	Status      string  `json:"status"`
+	Obstacle    bool    `json:"obstacle,omitempty"`
+	Confidence  float64 `json:"confidence,omitempty"`
+	Uncertainty float64 `json:"uncertainty,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// httpReply is the resultSink of one synchronous HTTP request.
+type httpReply struct{ ch chan *Message }
+
+func (r *httpReply) deliver(m *Message) bool {
+	select {
+	case r.ch <- m:
+		return true
+	default:
+		// The request already timed out and nobody is listening; the
+		// result is dropped exactly as a disconnected TCP client's would
+		// be.
+		return false
+	}
+}
+
+// httpSeq numbers HTTP frames server-side (TCP clients pick their own
+// seqs; HTTP clients correlate by response instead).
+var httpSeq atomic.Uint64
+
+// Handler returns the HTTP variant mounted on the same server. Requests
+// are admitted per-frame: the tenant's token bucket applies, connection
+// caps do not (an HTTP request holds no standing slot).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		arrived := now()
+		vehicle := req.URL.Query().Get("vehicle")
+		if vehicle == "" {
+			http.Error(w, "vehicle parameter required", http.StatusBadRequest)
+			return
+		}
+		classN, err := strconv.Atoi(req.URL.Query().Get("class"))
+		if err != nil || classN < 0 || classN >= safety.NumClasses {
+			http.Error(w, "class must be 0..3", http.StatusBadRequest)
+			return
+		}
+		class := safety.Criticality(classN)
+		tenant := req.Header.Get("X-RPN-Tenant")
+
+		if s.draining.Load() {
+			s.obs.ObserveIngestRejected(ReasonDraining.String())
+			retryAfterSeconds(w, drainRetryMillis)
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if wait, ok := s.adm.AllowFrame(tenant, arrived); !ok {
+			s.obs.ObserveIngestRejected(ReasonRateLimited.String())
+			retryAfterSeconds(w, ceilMillis(wait))
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		frame := &tensor.Tensor{}
+		if _, err := frame.ReadFrom(io.LimitReader(req.Body, int64(s.cfg.MaxPayload))); err != nil {
+			s.obs.ObserveIngestRejected(ReasonBadFrame.String())
+			http.Error(w, fmt.Sprintf("bad frame: %v", err), http.StatusBadRequest)
+			return
+		}
+		reply := &httpReply{ch: make(chan *Message, 1)}
+		it := &item{
+			sink:    reply,
+			seq:     httpSeq.Add(1),
+			class:   class,
+			frame:   frame,
+			model:   s.cfg.ModelFor(vehicle),
+			arrived: arrived,
+		}
+		s.pendingWG.Add(1)
+		victims, ok := s.queue.Push(it)
+		if !ok {
+			s.pendingWG.Done()
+			s.obs.ObserveIngestRejected(ReasonDraining.String())
+			retryAfterSeconds(w, drainRetryMillis)
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		s.obs.ObserveIngestAccepted(class.String())
+		s.obs.ObserveIngestEnqueue(now().Sub(arrived))
+		for _, v := range victims {
+			s.obs.ObserveIngestShed(v.class.String())
+			s.finish(v, &Message{Type: TypeResult, Seq: v.seq, Status: StatusShed})
+		}
+		select {
+		case m := <-reply.ch:
+			writeHTTPResult(w, m)
+		case <-req.Context().Done():
+			// The result, when it lands, hits the sink's full-buffer
+			// fallback and is dropped; pendingWG still retires through
+			// finish, so drain accounting stays exact.
+			http.Error(w, "request cancelled", http.StatusGatewayTimeout)
+		}
+	})
+}
+
+// retryAfterSeconds sets the standard Retry-After header (whole seconds,
+// rounded up, minimum 1).
+func retryAfterSeconds(w http.ResponseWriter, millis uint32) {
+	secs := (millis + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatUint(uint64(secs), 10))
+}
+
+// writeHTTPResult renders one RESULT message as the HTTP response.
+func writeHTTPResult(w http.ResponseWriter, m *Message) {
+	doc := httpDoc{Seq: m.Seq, Status: m.Status.String(), Error: m.Text}
+	code := http.StatusOK
+	switch m.Status {
+	case StatusOK:
+		doc.Obstacle = m.Obstacle
+		doc.Confidence = m.Confidence
+		doc.Uncertainty = m.Uncertainty
+	case StatusShed:
+		code = http.StatusTooManyRequests
+		retryAfterSeconds(w, drainRetryMillis)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(doc) //lint:allow(errdrop) response write failure means the client disconnected; nothing to recover
+}

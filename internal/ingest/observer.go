@@ -1,0 +1,44 @@
+package ingest
+
+import "time"
+
+// Observer is the ingest front end's telemetry seam; telemetry.Hooks
+// satisfies it structurally (the rpn_ingest_* families). Class strings
+// are safety.Criticality names; reason strings are Reason.String() values.
+type Observer interface {
+	// ObserveIngestAccepted reports one frame accepted into its
+	// criticality queue. Every accepted frame is owed exactly one result
+	// (served, shed, or error), so accepted = results always balances.
+	ObserveIngestAccepted(class string)
+	// ObserveIngestRejected reports one admission refusal (connection- or
+	// frame-level) with its typed reason. Rejected work never queued.
+	ObserveIngestRejected(reason string)
+	// ObserveIngestShed reports one accepted frame the load-shedder
+	// dropped, with the victim's class.
+	ObserveIngestShed(class string)
+	// ObserveIngestBackpressure reports one advisory RETRY-AFTER pushed
+	// because queue depth crossed the high watermark.
+	ObserveIngestBackpressure()
+	// SetIngestConnections reports the admitted connection count.
+	SetIngestConnections(n int)
+	// SetIngestQueueDepth reports one class's current queue depth.
+	SetIngestQueueDepth(class string, depth int)
+	// ObserveIngestEnqueue reports one accepted frame's arrival-to-queued
+	// latency (the sheds-before-blocking quantity the bench gate bounds).
+	ObserveIngestEnqueue(elapsed time.Duration)
+	// ObserveIngestFrameLatency reports one served frame's full ingest
+	// round-trip, arrival to result written back.
+	ObserveIngestFrameLatency(elapsed time.Duration)
+}
+
+// nopObserver is the default Observer when none is configured.
+type nopObserver struct{}
+
+func (nopObserver) ObserveIngestAccepted(string)            {}
+func (nopObserver) ObserveIngestRejected(string)            {}
+func (nopObserver) ObserveIngestShed(string)                {}
+func (nopObserver) ObserveIngestBackpressure()              {}
+func (nopObserver) SetIngestConnections(int)                {}
+func (nopObserver) SetIngestQueueDepth(string, int)         {}
+func (nopObserver) ObserveIngestEnqueue(time.Duration)      {}
+func (nopObserver) ObserveIngestFrameLatency(time.Duration) {}

@@ -1,0 +1,156 @@
+package ingest
+
+// queue.go is the bounded per-criticality queue between the network
+// readers and the dispatcher pumps, and the home of the load-shedding
+// policy: Push NEVER blocks. When the queue is full, room is made by
+// shedding the oldest frame of the lowest-criticality class — or the
+// incoming frame itself, if nothing queued ranks below it. Blocking
+// would let a burst of nominal-class frames delay an emergency frame
+// behind a full channel; shedding inverts that, so under overload the
+// queue composition drifts upward in criticality and emergency frames
+// are the last standing. This reuses the safety-class ranking the budget
+// governor already orders the fleet by (safety.Criticality, increasing
+// danger).
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/safety"
+	"repro/internal/tensor"
+)
+
+// item is one accepted frame waiting for (or in) service.
+type item struct {
+	// sink receives the frame's RESULT (or shed notice).
+	sink resultSink
+	// seq is the client's frame sequence number, echoed in the result.
+	seq uint64
+	// class is the frame's safety class, the shed ranking key.
+	class safety.Criticality
+	// frame is the decoded sensor tensor.
+	frame *tensor.Tensor
+	// model is the fleet instance that will serve the frame.
+	model string
+	// arrived is when the front end first saw the frame, for the
+	// end-to-end latency histogram.
+	arrived time.Time
+}
+
+// classQueue is the bounded queue. All methods are safe for concurrent
+// use; Pop blocks, Push never does.
+type classQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// capTotal bounds frames across all classes; capClass bounds one
+	// class (so a nominal flood cannot monopolize even its own share of
+	// an otherwise empty queue's headroom forever).
+	capTotal int
+	capClass int
+	total    int
+	q        [safety.NumClasses][]*item
+	closed   bool
+	obs      Observer
+}
+
+func newClassQueue(capTotal, capClass int, obs Observer) *classQueue {
+	if capTotal < 1 {
+		capTotal = 1
+	}
+	if capClass < 1 || capClass > capTotal {
+		capClass = capTotal
+	}
+	cq := &classQueue{capTotal: capTotal, capClass: capClass, obs: obs}
+	cq.cond = sync.NewCond(&cq.mu)
+	return cq
+}
+
+// Push enqueues the frame, shedding to make room per the class policy.
+// It returns the shed victims (possibly containing it itself) for the
+// caller to answer with StatusShed, and ok=false only when the queue is
+// closed (the frame was not enqueued and nothing was shed).
+func (cq *classQueue) Push(it *item) (victims []*item, ok bool) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if cq.closed {
+		return nil, false
+	}
+	if len(cq.q[it.class]) >= cq.capClass {
+		// The frame's own class is saturated: freshest-wins within a
+		// class, so the oldest same-class frame goes.
+		victims = append(victims, cq.popOldestLocked(it.class))
+	} else if cq.total >= cq.capTotal {
+		// The queue as a whole is full: evict from the lowest non-empty
+		// class if it ranks below the incoming frame, else the incoming
+		// frame is the lowest-value work in sight and sheds itself.
+		low := cq.lowestLocked()
+		if low < it.class {
+			victims = append(victims, cq.popOldestLocked(low))
+		} else {
+			cq.obs.SetIngestQueueDepth(it.class.String(), len(cq.q[it.class]))
+			return append(victims, it), true
+		}
+	}
+	cq.q[it.class] = append(cq.q[it.class], it)
+	cq.total++
+	cq.obs.SetIngestQueueDepth(it.class.String(), len(cq.q[it.class]))
+	cq.cond.Signal()
+	return victims, true
+}
+
+// lowestLocked returns the lowest class with queued frames. Caller holds
+// cq.mu and guarantees total > 0.
+func (cq *classQueue) lowestLocked() safety.Criticality {
+	for c := 0; c < safety.NumClasses; c++ {
+		if len(cq.q[c]) > 0 {
+			return safety.Criticality(c)
+		}
+	}
+	return safety.Criticality(safety.NumClasses - 1)
+}
+
+// popOldestLocked removes and returns the oldest frame of a class.
+// Caller holds cq.mu and guarantees the class is non-empty.
+func (cq *classQueue) popOldestLocked(c safety.Criticality) *item {
+	it := cq.q[c][0]
+	cq.q[c] = cq.q[c][1:]
+	cq.total--
+	cq.obs.SetIngestQueueDepth(c.String(), len(cq.q[c]))
+	return it
+}
+
+// Pop blocks until a frame is available and returns the
+// highest-criticality one (FIFO within a class), or nil, false once the
+// queue is closed and empty — the pumps' drain-then-exit signal.
+func (cq *classQueue) Pop() (*item, bool) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	for cq.total == 0 && !cq.closed {
+		cq.cond.Wait()
+	}
+	if cq.total == 0 {
+		return nil, false
+	}
+	for c := safety.NumClasses - 1; c >= 0; c-- {
+		if len(cq.q[c]) > 0 {
+			return cq.popOldestLocked(safety.Criticality(c)), true
+		}
+	}
+	return nil, false
+}
+
+// Depth returns the total queued frame count.
+func (cq *classQueue) Depth() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.total
+}
+
+// Close stops Push (it reports not-ok) and lets Pop drain what remains;
+// blocked Pops wake. Idempotent.
+func (cq *classQueue) Close() {
+	cq.mu.Lock()
+	cq.closed = true
+	cq.mu.Unlock()
+	cq.cond.Broadcast()
+}

@@ -1,0 +1,259 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/safety"
+)
+
+// recObs records every Observer call for assertions.
+type recObs struct {
+	mu           sync.Mutex
+	accepted     map[string]int
+	rejected     map[string]int
+	shed         map[string]int
+	backpressure int
+	conns        int
+	depth        map[string]int
+	enqueues     int
+	frames       int
+}
+
+func newRecObs() *recObs {
+	return &recObs{
+		accepted: map[string]int{}, rejected: map[string]int{},
+		shed: map[string]int{}, depth: map[string]int{},
+	}
+}
+
+func (o *recObs) ObserveIngestAccepted(class string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.accepted[class]++
+}
+func (o *recObs) ObserveIngestRejected(reason string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rejected[reason]++
+}
+func (o *recObs) ObserveIngestShed(class string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.shed[class]++
+}
+func (o *recObs) ObserveIngestBackpressure() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.backpressure++
+}
+func (o *recObs) SetIngestConnections(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.conns = n
+}
+func (o *recObs) SetIngestQueueDepth(class string, depth int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.depth[class] = depth
+}
+func (o *recObs) ObserveIngestEnqueue(time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.enqueues++
+}
+func (o *recObs) ObserveIngestFrameLatency(time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.frames++
+}
+
+func (o *recObs) shedOf(class string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.shed[class]
+}
+func (o *recObs) acceptedTotal() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, v := range o.accepted {
+		n += v
+	}
+	return n
+}
+func (o *recObs) shedTotal() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, v := range o.shed {
+		n += v
+	}
+	return n
+}
+func (o *recObs) rejectedOf(reason string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rejected[reason]
+}
+
+func qItem(class safety.Criticality, seq uint64) *item {
+	return &item{class: class, seq: seq}
+}
+
+func TestQueueShedsLowestClassFirst(t *testing.T) {
+	cq := newClassQueue(4, 4, newRecObs())
+	// Fill with two nominal, one elevated, one critical.
+	for i, c := range []safety.Criticality{safety.Nominal, safety.Nominal, safety.Elevated, safety.Critical} {
+		victims, ok := cq.Push(qItem(c, uint64(i)))
+		if !ok || len(victims) != 0 {
+			t.Fatalf("push %d: victims=%v ok=%v", i, victims, ok)
+		}
+	}
+	// An emergency frame arrives into the full queue: the OLDEST NOMINAL
+	// frame sheds, not the newcomer.
+	victims, ok := cq.Push(qItem(safety.Emergency, 100))
+	if !ok || len(victims) != 1 {
+		t.Fatalf("full-queue push: victims=%v ok=%v", victims, ok)
+	}
+	if victims[0].class != safety.Nominal || victims[0].seq != 0 {
+		t.Fatalf("victim = class %v seq %d, want oldest nominal (seq 0)", victims[0].class, victims[0].seq)
+	}
+	// A nominal frame arriving now (queue full, lowest queued class ==
+	// nominal) sheds ITSELF: nothing queued ranks below it.
+	self, ok := cq.Push(qItem(safety.Nominal, 101))
+	if !ok || len(self) != 1 || self[0].seq != 101 {
+		t.Fatalf("incoming-lowest push: victims=%v", self)
+	}
+	// Service order: highest criticality first, FIFO within a class.
+	wantOrder := []uint64{100, 3, 2, 1}
+	for i, want := range wantOrder {
+		it, ok := cq.Pop()
+		if !ok || it.seq != want {
+			t.Fatalf("pop %d: seq %d ok=%v, want %d", i, it.seq, ok, want)
+		}
+	}
+}
+
+func TestQueuePerClassCap(t *testing.T) {
+	cq := newClassQueue(8, 2, newRecObs())
+	if v, _ := cq.Push(qItem(safety.Nominal, 0)); len(v) != 0 {
+		t.Fatal("unexpected shed")
+	}
+	if v, _ := cq.Push(qItem(safety.Nominal, 1)); len(v) != 0 {
+		t.Fatal("unexpected shed")
+	}
+	// Third nominal exceeds the class cap even though the queue has
+	// room: freshest-wins within the class, the oldest sheds.
+	v, ok := cq.Push(qItem(safety.Nominal, 2))
+	if !ok || len(v) != 1 || v[0].seq != 0 {
+		t.Fatalf("class-cap push: victims=%v", v)
+	}
+	if cq.Depth() != 2 {
+		t.Fatalf("depth = %d want 2", cq.Depth())
+	}
+}
+
+func TestQueuePushNeverBlocks(t *testing.T) {
+	cq := newClassQueue(2, 2, newRecObs())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			cq.Push(qItem(safety.Nominal, uint64(i)))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push blocked on a full queue — sheds-before-blocking violated")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	cq := newClassQueue(8, 8, newRecObs())
+	for i := 0; i < 3; i++ {
+		cq.Push(qItem(safety.Elevated, uint64(i)))
+	}
+	cq.Close()
+	if _, ok := cq.Push(qItem(safety.Emergency, 99)); ok {
+		t.Fatal("push accepted after Close")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := cq.Pop(); !ok {
+			t.Fatalf("pop %d: queue lost a queued frame at close", i)
+		}
+	}
+	if _, ok := cq.Pop(); ok {
+		t.Fatal("pop after drain returned a frame")
+	}
+	// A blocked Pop wakes on Close.
+	cq2 := newClassQueue(2, 2, newRecObs())
+	woke := make(chan struct{})
+	go func() {
+		defer close(woke)
+		cq2.Pop()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cq2.Close()
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Pop did not wake on Close")
+	}
+}
+
+func TestQueueConcurrentPushPop(t *testing.T) {
+	obs := newRecObs()
+	cq := newClassQueue(16, 16, obs)
+	const producers, perProducer = 4, 500
+	var popped, shed int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			it, ok := cq.Pop()
+			if !ok {
+				return
+			}
+			_ = it
+			mu.Lock()
+			popped++
+			mu.Unlock()
+			select {
+			case <-stop:
+			default:
+			}
+		}
+	}()
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				victims, ok := cq.Push(qItem(safety.Criticality(i%4), uint64(p*perProducer+i)))
+				if !ok {
+					t.Error("push refused before close")
+					return
+				}
+				mu.Lock()
+				shed += len(victims)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	pwg.Wait()
+	cq.Close()
+	wg.Wait()
+	close(stop)
+	mu.Lock()
+	defer mu.Unlock()
+	if popped+shed != producers*perProducer {
+		t.Fatalf("popped %d + shed %d != pushed %d — frames lost or duplicated", popped, shed, producers*perProducer)
+	}
+}

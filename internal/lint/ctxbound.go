@@ -27,6 +27,9 @@ var CtxboundPackages = []string{
 	"repro/internal/fleet",
 	"repro/internal/fault",
 	"repro/internal/health",
+	// The front end's accept loop, pumps, router, and per-connection
+	// reader/writer pairs all outlive individual frames.
+	"repro/internal/ingest",
 }
 
 // AnalyzerCtxbound audits `go func` literals in long-lived packages: the

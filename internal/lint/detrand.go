@@ -29,6 +29,9 @@ var DetrandPackages = []string{
 	// from the clock seam.
 	"repro/internal/fault",
 	"repro/internal/health",
+	// The ingestion front end timestamps arrivals and paces retries; both
+	// must flow through its clock seam so overload drills replay exactly.
+	"repro/internal/ingest",
 }
 
 // detrandAllowedFuncs are the math/rand functions that construct seeded

@@ -26,6 +26,10 @@ var ErrdropPackages = []string{
 	// exporter's retry path is where a dropped error becomes silent data
 	// loss.
 	"repro/internal/telemetry/otlp",
+	// A dropped error on the ingest wire is a frame silently lost between
+	// a vehicle and the fleet — every socket and encode error must be
+	// handled or visibly annotated.
+	"repro/internal/ingest",
 }
 
 // AnalyzerErrdrop flags discarded error returns in registered packages

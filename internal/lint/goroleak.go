@@ -32,6 +32,9 @@ var GoroleakPackages = []string{
 	"repro/internal/fault",
 	"repro/internal/health",
 	"repro/internal/core",
+	// Every connection spawns a reader and a writer; Shutdown must be able
+	// to join all of them, plus the accept loop, pumps, and router.
+	"repro/internal/ingest",
 }
 
 // AnalyzerGoroleak audits every `go` statement in registered packages

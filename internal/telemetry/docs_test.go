@@ -60,6 +60,14 @@ func TestMetricsDocCrossCheck(t *testing.T) {
 	h.ObserveHealthFault("nan", true)
 	h.ObserveHealthState(HealthHealthy, HealthHealthy)
 	h.ObserveHealthState(HealthHealthy, HealthDegraded)
+	h.ObserveIngestAccepted("emergency")
+	h.ObserveIngestRejected("rate-limited")
+	h.ObserveIngestShed("nominal")
+	h.ObserveIngestBackpressure()
+	h.SetIngestConnections(3)
+	h.SetIngestQueueDepth("critical", 2)
+	h.ObserveIngestEnqueue(12 * time.Microsecond)
+	h.ObserveIngestFrameLatency(900 * time.Microsecond)
 
 	// Scrape the live rendering: every family announces itself with one
 	// # TYPE line, labels already folded onto the base name.

@@ -133,6 +133,46 @@ const (
 	// is an incident: the corruption is unrecoverable by design and the
 	// watchdog quarantines the instance permanently.
 	MetricStoreChecksumFailures = "rpn_store_checksum_failures_total"
+	// MetricIngestAccepted counts frames the ingestion front end accepted
+	// into a criticality queue, one series per safety class (see
+	// LabelClass). Every accepted frame is owed a result — served, shed, or
+	// flushed at drain — so accepted = served + shed always balances.
+	MetricIngestAccepted = "rpn_ingest_accepted_total"
+	// MetricIngestRejected counts frames and connections the front end
+	// refused at admission, one series per typed reason (see LabelReason:
+	// "rate-limited", "conn-limit", "draining", "bad-frame", "too-large",
+	// "protocol"). Rejected work never entered a queue and is not owed a
+	// result beyond the reject itself.
+	MetricIngestRejected = "rpn_ingest_rejected_total"
+	// MetricIngestShed counts accepted frames the load-shedder dropped to
+	// make room under overload, one series per safety class. The shedder
+	// evicts lowest class first, so movement in a high class means the
+	// queue is saturated with even higher classes — an incident signal.
+	MetricIngestShed = "rpn_ingest_shed_total"
+	// MetricIngestBackpressure counts advisory RETRY-AFTER frames sent to
+	// clients because queue depth crossed the high watermark.
+	MetricIngestBackpressure = "rpn_ingest_backpressure_total"
+	// MetricIngestConnections is a gauge holding currently admitted
+	// connections across all tenants.
+	MetricIngestConnections = "rpn_ingest_connections"
+	// MetricIngestQueueDepth is a gauge holding the criticality queue's
+	// depth, one series per safety class (see LabelClass).
+	MetricIngestQueueDepth = "rpn_ingest_queue_depth"
+	// MetricIngestEnqueueLatency is the histogram (µs) of the time an
+	// accepted frame spends between arrival and landing in its criticality
+	// queue — admission, rate-limit, and shed decisions included. Staying
+	// bounded under overload is the sheds-before-blocking property the
+	// bench gate enforces.
+	MetricIngestEnqueueLatency = "rpn_ingest_enqueue_latency_us"
+	// MetricIngestFrameLatency is the histogram (µs) of accepted frames'
+	// full ingest round-trip: arrival to result written back (queue wait
+	// and inference included). Shed frames are excluded — their turnaround
+	// is the shedder's, not the pipeline's.
+	MetricIngestFrameLatency = "rpn_ingest_frame_latency_us"
+	// LabelClass is the label key of the per-criticality ingest series: the
+	// frame's safety class name ("nominal", "elevated", "critical",
+	// "emergency").
+	LabelClass = "class"
 	// metricResidencyPrefix prefixes the per-level residency-tick counters:
 	// rpn_level_residency_ticks_L0, _L1, …
 	metricResidencyPrefix = "rpn_level_residency_ticks_L"
@@ -205,6 +245,10 @@ var hookFamilies = []string{
 	MetricStoreSharedRatio,
 	MetricStoreChecksumVerifications,
 	MetricStoreChecksumFailures,
+	MetricIngestBackpressure,
+	MetricIngestConnections,
+	MetricIngestEnqueueLatency,
+	MetricIngestFrameLatency,
 }
 
 // Hooks adapts a Registry to the observer seams of the stack. Its method
@@ -455,6 +499,57 @@ func (h *Hooks) ObserveHealthFault(reason string, restored bool) {
 	if restored {
 		h.reg.Inc(h.name(MetricHealthRestores))
 	}
+}
+
+// ObserveIngestAccepted implements part of the ingest.Observer seam:
+// called by the front end when a frame is accepted into its criticality
+// queue, with the frame's safety class name.
+func (h *Hooks) ObserveIngestAccepted(class string) {
+	h.reg.Inc(h.dynamicSeries(MetricIngestAccepted, LabelClass, class))
+}
+
+// ObserveIngestRejected implements part of the ingest.Observer seam:
+// called when admission refuses a frame or connection, with the typed
+// reject reason.
+func (h *Hooks) ObserveIngestRejected(reason string) {
+	h.reg.Inc(h.dynamicSeries(MetricIngestRejected, LabelReason, reason))
+}
+
+// ObserveIngestShed implements part of the ingest.Observer seam: called
+// when the load-shedder drops an accepted frame under overload, with the
+// victim's safety class name.
+func (h *Hooks) ObserveIngestShed(class string) {
+	h.reg.Inc(h.dynamicSeries(MetricIngestShed, LabelClass, class))
+}
+
+// ObserveIngestBackpressure implements part of the ingest.Observer seam:
+// called for every advisory RETRY-AFTER the server pushes to a client.
+func (h *Hooks) ObserveIngestBackpressure() {
+	h.reg.Inc(h.name(MetricIngestBackpressure))
+}
+
+// SetIngestConnections implements part of the ingest.Observer seam: the
+// currently admitted connection count across tenants.
+func (h *Hooks) SetIngestConnections(n int) {
+	h.reg.SetGauge(h.name(MetricIngestConnections), float64(n))
+}
+
+// SetIngestQueueDepth implements part of the ingest.Observer seam: one
+// criticality class's current queue depth.
+func (h *Hooks) SetIngestQueueDepth(class string, depth int) {
+	h.reg.SetGauge(h.dynamicSeries(MetricIngestQueueDepth, LabelClass, class), float64(depth))
+}
+
+// ObserveIngestEnqueue implements part of the ingest.Observer seam: the
+// arrival-to-queued latency of one accepted frame.
+func (h *Hooks) ObserveIngestEnqueue(elapsed time.Duration) {
+	h.reg.ObserveDuration(h.name(MetricIngestEnqueueLatency), elapsed)
+}
+
+// ObserveIngestFrameLatency implements part of the ingest.Observer seam:
+// one accepted frame's full ingest round-trip, arrival to result written.
+func (h *Hooks) ObserveIngestFrameLatency(elapsed time.Duration) {
+	h.reg.ObserveDuration(h.name(MetricIngestFrameLatency), elapsed)
 }
 
 // ObserveHealthState implements the other half of the health.Observer seam:

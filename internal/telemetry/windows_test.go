@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -248,6 +249,33 @@ func TestAggregatorFlushesInBackground(t *testing.T) {
 	// no-op rather than a leak.
 	r.Observe("lat_us", 8)
 	r.StartAggregator(100 * time.Millisecond)
+}
+
+// TestAggregatorStopJoinsGoroutine proves Close actually joins the
+// aggregator goroutine rather than abandoning it: repeated
+// start-flush-close cycles must return the process to its goroutine
+// baseline. Run under -race this is the registry's shutdown-leak proof
+// (the aggregator is the longest-lived goroutine a serve stack owns).
+func TestAggregatorStopJoinsGoroutine(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		r := NewRegistry()
+		r.StartAggregator(10 * time.Millisecond)
+		r.Observe("lat_us", float64(i))
+		time.Sleep(25 * time.Millisecond) // let at least one tick fire
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("aggregator goroutines leaked: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
 }
 
 func TestLatencyProbeReadsFrameWindows(t *testing.T) {

@@ -40,6 +40,12 @@
 #                          under contended Observe/Incr at 8 goroutines
 #                          (non-regression on hosts too small to express
 #                          contention); writes BENCH_telemetry.json
+#  12. ingest front end   — scripts/bench_ingest.sh: the sheds-before-
+#                          blocking gate — at a 64-vehicle overload the
+#                          criticality queue must actually shed AND p99
+#                          enqueue latency must stay bounded (a blocking
+#                          front end shows queue-scale waits there);
+#                          writes BENCH_ingest.json
 #
 # Artifacts land in $VERIFY_ARTIFACT_DIR (default: a fresh temp dir,
 # echoed so CI can collect it).
@@ -94,7 +100,7 @@ if (( ! perf_ok )); then
 fi
 
 step go test ./...
-step go test -race ./internal/core/ ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/window/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/
+step go test -race ./internal/core/ ./internal/perception/ ./internal/tensor/ ./internal/governor/ ./internal/metrics/ ./internal/telemetry/ ./internal/telemetry/window/ ./internal/telemetry/otlp/ ./internal/fleet/ ./internal/fault/ ./internal/health/ ./internal/ingest/
 step go test -run '^$' -fuzz FuzzReadTensor -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzStackRoundTrip -fuzztime 5s ./internal/tensor/
 step go test -run '^$' -fuzz FuzzMaskRoundTrip -fuzztime 5s ./internal/prune/
@@ -103,6 +109,7 @@ step go test -run '^$' -fuzz FuzzDecodeRequest -fuzztime 5s ./internal/telemetry
 step go test -run '^$' -fuzz FuzzSeriesRoundTrip -fuzztime 5s ./internal/telemetry/
 step go test -run '^$' -fuzz FuzzWindowStoreRoundTrip -fuzztime 5s ./internal/telemetry/window/
 step go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 5s ./internal/fault/
+step go test -run '^$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/ingest/
 step go test -run TestMetricsDocCrossCheck -count=1 ./internal/telemetry/
 
 # Docs link check: every docs/*.md page referenced from README.md,
@@ -125,5 +132,6 @@ done < <(grep -oE '\((docs/)?[A-Za-z_]+\.md(#[a-z-]+)?\)' README.md DESIGN.md do
 step scripts/bench_fleet.sh
 step scripts/bench_mem.sh
 step scripts/bench_telemetry.sh
+step scripts/bench_ingest.sh
 
 echo "verify: all gates passed (artifacts: $ARTIFACT_DIR)"
